@@ -1,0 +1,137 @@
+// Command streambench regenerates the tables and figures of the paper's
+// evaluation section (Zhang, Tangwongsan, Tirthapura, "Streaming k-Means
+// Clustering with Fast Queries", ICDE 2017).
+//
+// Usage:
+//
+//	streambench -exp fig4                # one experiment
+//	streambench -exp all                 # the full evaluation
+//	streambench -exp fig5 -n 100000 -runs 9
+//	streambench -exp table4 -datasets covtype,power
+//	streambench -exp fig4 -paperscale    # full Table-3 cardinalities
+//
+// Experiments: table3, fig4, fig5, fig6, fig7, fig8, fig9, fig10, fig11,
+// table4, ablation. Every experiment prints text tables whose rows are the
+// series plotted in the corresponding paper figure; EXPERIMENTS.md records
+// a reference run and compares the shapes against the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"streamkm/internal/datagen"
+	"streamkm/internal/experiments"
+	"streamkm/internal/metrics"
+)
+
+var experimentFuncs = map[string]func(experiments.Config) ([]*metrics.Table, error){
+	"table3":   experiments.Table3,
+	"fig4":     experiments.Fig4,
+	"fig5":     experiments.Fig5,
+	"fig6":     experiments.Fig6,
+	"fig7":     experiments.Fig7,
+	"fig8":     experiments.Fig8,
+	"fig9":     experiments.Fig9,
+	"fig10":    experiments.Fig10,
+	"fig11":    experiments.Fig11,
+	"table4":   experiments.Table4,
+	"ablation": experiments.Ablation,
+}
+
+// order for -exp all.
+var experimentOrder = []string{
+	"table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"fig11", "table4", "ablation",
+}
+
+func main() {
+	var (
+		exp         = flag.String("exp", "all", "experiment to run (table3, fig4..fig11, table4, ablation, all)")
+		n           = flag.Int("n", 20000, "points per dataset")
+		paperScale  = flag.Bool("paperscale", false, "use the full Table-3 cardinalities (slow)")
+		k           = flag.Int("k", 30, "number of clusters")
+		q           = flag.Int64("q", 100, "fixed query interval in points")
+		runs        = flag.Int("runs", 1, "repetitions per configuration (median reported; paper uses 9)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		datasets    = flag.String("datasets", "", "comma-separated subset of: covtype,power,intrusion,drift")
+		fastQueries = flag.Bool("fastqueries", false, "downgrade query-time k-means++ to one seeding pass (fast smoke runs; distorts timing shapes)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		N:           *n,
+		K:           *k,
+		Q:           *q,
+		Runs:        *runs,
+		Seed:        *seed,
+		FastQueries: *fastQueries,
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experimentOrder
+	}
+	for _, name := range names {
+		f, ok := experimentFuncs[name]
+		if !ok {
+			valid := make([]string, 0, len(experimentFuncs))
+			for e := range experimentFuncs {
+				valid = append(valid, e)
+			}
+			sort.Strings(valid)
+			fmt.Fprintf(os.Stderr, "streambench: unknown experiment %q (valid: %s, all)\n",
+				name, strings.Join(valid, ", "))
+			os.Exit(2)
+		}
+		runCfg := cfg
+		if *paperScale {
+			// Per-dataset paper cardinality requires one run per dataset.
+			runPaperScale(name, f, runCfg)
+			continue
+		}
+		start := time.Now()
+		tables, err := f(runCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		printTables(tables)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// runPaperScale runs the experiment dataset-by-dataset at each dataset's
+// full Table-3 cardinality.
+func runPaperScale(name string, f func(experiments.Config) ([]*metrics.Table, error), cfg experiments.Config) {
+	dss := cfg.Datasets
+	if len(dss) == 0 {
+		dss = datagen.Names()
+	}
+	for _, ds := range dss {
+		runCfg := cfg
+		runCfg.Datasets = []string{ds}
+		runCfg.N = datagen.PaperSizes[ds]
+		start := time.Now()
+		tables, err := f(runCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: %s/%s: %v\n", name, ds, err)
+			os.Exit(1)
+		}
+		printTables(tables)
+		fmt.Printf("[%s/%s completed in %v]\n\n", name, ds, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func printTables(tables []*metrics.Table) {
+	for _, tb := range tables {
+		fmt.Println(tb.String())
+	}
+}

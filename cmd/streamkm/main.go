@@ -1,0 +1,125 @@
+// Command streamkm clusters a point stream with any of the library's
+// streaming k-means algorithms and prints the resulting centers.
+//
+// Input is either a CSV file of numeric rows (one point per row; rows with
+// non-numeric fields are skipped) or one of the built-in synthetic dataset
+// generators.
+//
+// Usage:
+//
+//	streamkm -k 10 -input points.csv
+//	streamkm -k 30 -dataset covtype -n 50000 -algo OnlineCC
+//	cat points.csv | streamkm -k 5 -input -
+//
+// The tool reports the final k centers, the end-of-stream SSQ cost, memory
+// use and timing, querying every -q points along the way like a monitoring
+// application would.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"streamkm/internal/datagen"
+	"streamkm/internal/experiments"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/workload"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "CC", "algorithm: Sequential, StreamKM++, CC, RCC, OnlineCC")
+		k       = flag.Int("k", 10, "number of clusters")
+		m       = flag.Int("m", 0, "bucket/coreset size (default 20*k)")
+		q       = flag.Int64("q", 100, "query interval in points (0 = only final query)")
+		alpha   = flag.Float64("alpha", 1.2, "OnlineCC switching threshold")
+		input   = flag.String("input", "", "CSV file of points ('-' for stdin)")
+		dataset = flag.String("dataset", "", "built-in dataset: covtype, power, intrusion, drift")
+		n       = flag.Int("n", 20000, "points to generate for -dataset")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quiet   = flag.Bool("quiet", false, "suppress the center listing (stats only)")
+	)
+	flag.Parse()
+
+	pts, dim, name, err := loadInput(*input, *dataset, *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamkm:", err)
+		os.Exit(1)
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(os.Stderr, "streamkm: no input points")
+		os.Exit(1)
+	}
+	bucket := *m
+	if bucket == 0 {
+		bucket = 20 * *k
+	}
+
+	alg, err := experiments.NewClusterer(*algo, *k, bucket, len(pts)/bucket, *alpha, *seed, kmeans.FastOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "streamkm:", err)
+		os.Exit(1)
+	}
+	res := workload.Run(alg, pts, workload.FixedInterval{Q: *q})
+	cost := workload.FinalCost(res, pts)
+
+	fmt.Printf("stream    : %s (%d points, %d dims)\n", name, len(pts), dim)
+	fmt.Printf("algorithm : %s (k=%d, m=%d)\n", res.Algorithm, *k, bucket)
+	fmt.Printf("queries   : %d (every %d points)\n", res.Queries, *q)
+	fmt.Printf("update    : %v total, %v/point\n", res.UpdateTime.Round(1000), res.UpdatePerPoint())
+	fmt.Printf("query     : %v total, %v/point amortized\n", res.QueryTime.Round(1000), res.QueryPerPoint())
+	fmt.Printf("memory    : %d points (%.2f MB at 8B/attr)\n",
+		res.PointsStored, float64(res.PointsStored*dim*8)/1e6)
+	fmt.Printf("SSQ cost  : %.6g\n", cost)
+	if !*quiet {
+		fmt.Println("centers   :")
+		for i, c := range res.FinalCenters {
+			fmt.Printf("  [%2d] %v\n", i, truncate(c, 8))
+		}
+	}
+}
+
+// loadInput resolves the point source: CSV file, stdin, or generator.
+func loadInput(input, dataset string, n int, seed int64) ([]geom.Point, int, string, error) {
+	switch {
+	case input == "" && dataset == "":
+		return nil, 0, "", fmt.Errorf("provide -input or -dataset (see -h)")
+	case input != "" && dataset != "":
+		return nil, 0, "", fmt.Errorf("-input and -dataset are mutually exclusive")
+	case input == "-":
+		pts, err := datagen.LoadCSV(os.Stdin, true)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return pts, dimOf(pts), "stdin", nil
+	case input != "":
+		pts, err := datagen.LoadCSVFile(input, true)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return pts, dimOf(pts), input, nil
+	default:
+		ds, err := datagen.ByName(dataset, n, seed)
+		if err != nil {
+			return nil, 0, "", err
+		}
+		return ds.Points, ds.Dim, ds.Name, nil
+	}
+}
+
+func dimOf(pts []geom.Point) int {
+	if len(pts) == 0 {
+		return 0
+	}
+	return len(pts[0])
+}
+
+// truncate limits a printed center to its first d coordinates.
+func truncate(p geom.Point, d int) geom.Point {
+	if len(p) <= d {
+		return p
+	}
+	return p[:d]
+}

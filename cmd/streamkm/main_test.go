@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+func TestLoadInputValidation(t *testing.T) {
+	if _, _, _, err := loadInput("", "", 10, 1); err == nil {
+		t.Fatal("accepted neither -input nor -dataset")
+	}
+	if _, _, _, err := loadInput("x.csv", "power", 10, 1); err == nil {
+		t.Fatal("accepted both -input and -dataset")
+	}
+	if _, _, _, err := loadInput("", "bogus", 10, 1); err == nil {
+		t.Fatal("accepted unknown dataset")
+	}
+	if _, _, _, err := loadInput("/nonexistent.csv", "", 10, 1); err == nil {
+		t.Fatal("accepted missing file")
+	}
+}
+
+func TestLoadInputDataset(t *testing.T) {
+	pts, dim, name, err := loadInput("", "power", 123, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 123 || dim != 7 || name != "Power" {
+		t.Fatalf("got %d points, dim %d, name %q", len(pts), dim, name)
+	}
+}
+
+func TestLoadInputCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	if err := os.WriteFile(path, []byte("1,2\n3,4\nheader,bad\n5,6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pts, dim, name, err := loadInput(path, "", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 || dim != 2 || name != path {
+		t.Fatalf("got %d points, dim %d, name %q", len(pts), dim, name)
+	}
+}
+
+func TestDimOf(t *testing.T) {
+	if dimOf(nil) != 0 {
+		t.Fatal("dimOf(nil)")
+	}
+	if dimOf([]geom.Point{{1, 2, 3}}) != 3 {
+		t.Fatal("dimOf")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	p := geom.Point{1, 2, 3, 4, 5}
+	if got := truncate(p, 3); len(got) != 3 {
+		t.Fatalf("truncate = %v", got)
+	}
+	if got := truncate(p, 10); len(got) != 5 {
+		t.Fatalf("truncate should keep short points: %v", got)
+	}
+}

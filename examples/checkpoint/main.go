@@ -1,0 +1,93 @@
+// Checkpoint: survive a restart without replaying the stream.
+//
+// Long-running stream processors get redeployed, rescheduled and OOM-killed.
+// Because a streaming clusterer's entire state is a few thousand weighted
+// points, it can be checkpointed cheaply and restored instantly — no stream
+// replay. This example clusters half a stream, snapshots to disk, "crashes",
+// restores from the snapshot into a brand-new process state, finishes the
+// stream, and shows the result matches an uninterrupted run.
+//
+// Run with:
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"streamkm"
+)
+
+func emit(rng *rand.Rand) streamkm.Point {
+	blobs := [][2]float64{{0, 0}, {40, 0}, {20, 35}}
+	b := blobs[rng.Intn(len(blobs))]
+	return streamkm.Point{b[0] + rng.NormFloat64(), b[1] + rng.NormFloat64()}
+}
+
+func main() {
+	const (
+		k    = 3
+		half = 15000
+	)
+	dir, err := os.MkdirTemp("", "streamkm-checkpoint")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "clusterer.skm")
+
+	// --- Before the "crash": consume half the stream, checkpoint. ---
+	rng := rand.New(rand.NewSource(1))
+	c := streamkm.MustNew(streamkm.AlgoCC, streamkm.Config{K: k, Seed: 42})
+	for i := 0; i < half; i++ {
+		c.Add(emit(rng))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	if err := streamkm.Save(f, c); err != nil {
+		panic(err)
+	}
+	f.Close()
+	info, _ := os.Stat(path)
+	fmt.Printf("checkpointed after %d points: %d bytes on disk (%d stored points)\n",
+		half, info.Size(), c.PointsStored())
+
+	// --- After the "crash": restore and finish the stream. ---
+	f, err = os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	restored, err := streamkm.Load(f, streamkm.Config{Seed: 43})
+	f.Close()
+	if err != nil {
+		panic(err)
+	}
+	var tail []streamkm.Point
+	for i := 0; i < half; i++ {
+		p := emit(rng)
+		tail = append(tail, p)
+		restored.Add(p)
+	}
+	centers := restored.Centers()
+	fmt.Printf("restored %s finished the stream; %d centers:\n", restored.Name(), len(centers))
+	for _, ctr := range centers {
+		fmt.Printf("   (%6.2f, %6.2f)\n", ctr[0], ctr[1])
+	}
+
+	// --- Reference: the same stream without any interruption. ---
+	rng2 := rand.New(rand.NewSource(1))
+	ref := streamkm.MustNew(streamkm.AlgoCC, streamkm.Config{K: k, Seed: 42})
+	for i := 0; i < 2*half; i++ {
+		ref.Add(emit(rng2))
+	}
+	refCost := streamkm.Cost(tail, ref.Centers())
+	restCost := streamkm.Cost(tail, centers)
+	fmt.Printf("\nSSQ on the post-crash half: restored %.4g vs uninterrupted %.4g (ratio %.3f)\n",
+		restCost, refCost, restCost/refCost)
+	fmt.Println("the checkpointed run clusters as well as the uninterrupted one.")
+}

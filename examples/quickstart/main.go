@@ -1,0 +1,48 @@
+// Quickstart: cluster a stream of points with the cached coreset tree (CC)
+// and query centers while the stream is still running.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamkm"
+)
+
+func main() {
+	// Three Gaussian blobs emitted in a random interleaving — pretend this
+	// is a feed of feature vectors arriving one at a time.
+	rng := rand.New(rand.NewSource(42))
+	blobs := [][2]float64{{0, 0}, {25, 0}, {0, 25}}
+	stream := func() streamkm.Point {
+		b := blobs[rng.Intn(len(blobs))]
+		return streamkm.Point{b[0] + rng.NormFloat64(), b[1] + rng.NormFloat64()}
+	}
+
+	// A CC clusterer with k=3. Every other knob defaults to the paper's
+	// values (bucket size 20k, merge degree 2, one k-means++ run per query).
+	c, err := streamkm.New(streamkm.AlgoCC, streamkm.Config{K: 3, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// Feed 10,000 points, asking for centers every 2,500 — queries are
+	// cheap, so a real application can ask as often as it likes.
+	for i := 1; i <= 10000; i++ {
+		c.Add(stream())
+		if i%2500 == 0 {
+			centers := c.Centers()
+			fmt.Printf("after %5d points, %d centers:\n", i, len(centers))
+			for _, ctr := range centers {
+				fmt.Printf("   (%6.2f, %6.2f)\n", ctr[0], ctr[1])
+			}
+		}
+	}
+
+	// How much does the summary cost us? (Points stored, not raw stream.)
+	fmt.Printf("memory: %d stored points for a 10,000-point stream\n", c.PointsStored())
+}

@@ -1,0 +1,91 @@
+// Package basen implements the base-r digit arithmetic that drives coreset
+// caching (Section 4.1 of the paper): the decomposition of a bucket count N
+// into non-zero digits, and the derived quantities major(N, r), minor(N, r)
+// and prefixsum(N, r).
+//
+// For N > 0 and r >= 2, write N = sum_{i=0..j} beta_i * r^{alpha_i} with
+// 0 <= alpha_0 < ... < alpha_j and 0 < beta_i < r. Then
+//
+//	minor(N, r)     = beta_0 * r^{alpha_0}        (smallest term)
+//	major(N, r)     = N - minor(N, r)
+//	prefixsum(N, r) = { N_kappa | kappa = 1..j }  where N_kappa drops the
+//	                  kappa smallest non-zero terms of N.
+//
+// Example (from the paper): N = 47, r = 3: 47 = 1*27 + 2*9 + 2*1, so
+// minor = 2, major = 45, prefixsum = {45, 27}.
+package basen
+
+import "fmt"
+
+// Term is one non-zero term beta * r^alpha of the base-r decomposition.
+type Term struct {
+	Beta  int // digit value, 0 < Beta < r
+	Alpha int // digit position (power of r)
+	Value int // Beta * r^Alpha
+}
+
+// Terms returns the non-zero terms of n written in base r, in ascending
+// order of Alpha. It panics for n < 0 or r < 2.
+func Terms(n, r int) []Term {
+	if n < 0 {
+		panic(fmt.Sprintf("basen: negative n %d", n))
+	}
+	if r < 2 {
+		panic(fmt.Sprintf("basen: base %d < 2", r))
+	}
+	var out []Term
+	pow := 1
+	for alpha := 0; n > 0; alpha++ {
+		if d := n % r; d != 0 {
+			out = append(out, Term{Beta: d, Alpha: alpha, Value: d * pow})
+		}
+		n /= r
+		pow *= r
+	}
+	return out
+}
+
+// Minor returns the smallest non-zero term of n in base r, or 0 when n = 0.
+func Minor(n, r int) int {
+	t := Terms(n, r)
+	if len(t) == 0 {
+		return 0
+	}
+	return t[0].Value
+}
+
+// MinorTerm returns the smallest non-zero term (beta, alpha, value) of n in
+// base r. ok is false when n = 0.
+func MinorTerm(n, r int) (Term, bool) {
+	t := Terms(n, r)
+	if len(t) == 0 {
+		return Term{}, false
+	}
+	return t[0], true
+}
+
+// Major returns n minus its smallest non-zero base-r term. When n has a
+// single non-zero digit (n = beta*r^alpha), Major is 0.
+func Major(n, r int) int { return n - Minor(n, r) }
+
+// PrefixSums returns prefixsum(n, r): the set {N_kappa} obtained by dropping
+// the kappa smallest non-zero digits for kappa = 1..j, in decreasing order.
+// n itself is not a member. The result is empty when n has at most one
+// non-zero digit.
+func PrefixSums(n, r int) []int {
+	terms := Terms(n, r)
+	if len(terms) <= 1 {
+		return nil
+	}
+	out := make([]int, 0, len(terms)-1)
+	rest := n
+	for kappa := 0; kappa < len(terms)-1; kappa++ {
+		rest -= terms[kappa].Value
+		out = append(out, rest)
+	}
+	return out
+}
+
+// NumNonZeroDigits returns chi(n), the number of non-zero digits of n in
+// base r (used in the proof of Lemma 5).
+func NumNonZeroDigits(n, r int) int { return len(Terms(n, r)) }

@@ -1,0 +1,185 @@
+package basen
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperExample(t *testing.T) {
+	// Section 4.1: n = 47, r = 3; 47 = 1*27 + 2*9 + 2*1.
+	if got := Minor(47, 3); got != 2 {
+		t.Errorf("Minor(47,3) = %d, want 2", got)
+	}
+	if got := Major(47, 3); got != 45 {
+		t.Errorf("Major(47,3) = %d, want 45", got)
+	}
+	got := PrefixSums(47, 3)
+	want := []int{45, 27}
+	if len(got) != len(want) {
+		t.Fatalf("PrefixSums(47,3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrefixSums(47,3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTermsKnown(t *testing.T) {
+	terms := Terms(47, 3)
+	want := []Term{{Beta: 2, Alpha: 0, Value: 2}, {Beta: 2, Alpha: 2, Value: 18}, {Beta: 1, Alpha: 3, Value: 27}}
+	if len(terms) != len(want) {
+		t.Fatalf("Terms(47,3) = %v, want %v", terms, want)
+	}
+	for i := range want {
+		if terms[i] != want[i] {
+			t.Fatalf("Terms(47,3)[%d] = %v, want %v", i, terms[i], want[i])
+		}
+	}
+}
+
+func TestSingleDigit(t *testing.T) {
+	// n = beta*r^alpha has major 0 and empty prefixsum.
+	for _, n := range []int{1, 2, 8, 9, 27, 54} {
+		if Major(n, 3) != 0 && NumNonZeroDigits(n, 3) == 1 {
+			t.Errorf("Major(%d,3) = %d, want 0 for single-digit", n, Major(n, 3))
+		}
+	}
+	if got := PrefixSums(8, 2); got != nil {
+		t.Errorf("PrefixSums(8,2) = %v, want nil", got)
+	}
+	if got := Minor(0, 2); got != 0 {
+		t.Errorf("Minor(0,2) = %d, want 0", got)
+	}
+	if got := PrefixSums(0, 2); got != nil {
+		t.Errorf("PrefixSums(0,2) = %v, want nil", got)
+	}
+}
+
+func TestTermsReconstruct(t *testing.T) {
+	for _, r := range []int{2, 3, 5, 7, 10, 16} {
+		for n := 0; n <= 3000; n++ {
+			var sum int
+			for _, tm := range Terms(n, r) {
+				if tm.Beta <= 0 || tm.Beta >= r {
+					t.Fatalf("Terms(%d,%d): digit %d out of range", n, r, tm.Beta)
+				}
+				sum += tm.Value
+			}
+			if sum != n {
+				t.Fatalf("Terms(%d,%d) sums to %d", n, r, sum)
+			}
+		}
+	}
+}
+
+func TestMajorPlusMinor(t *testing.T) {
+	for _, r := range []int{2, 3, 4, 9} {
+		for n := 0; n <= 2000; n++ {
+			if Major(n, r)+Minor(n, r) != n {
+				t.Fatalf("Major+Minor != n for n=%d r=%d", n, r)
+			}
+		}
+	}
+}
+
+// TestFact2 verifies Fact 2: prefixsum(N+1, r) ⊆ prefixsum(N, r) ∪ {N}.
+// This is exactly the property that lets CC answer every query from the
+// cache when queries arrive at every bucket.
+func TestFact2(t *testing.T) {
+	for _, r := range []int{2, 3, 5, 10} {
+		prev := map[int]bool{}
+		for n := 1; n <= 5000; n++ {
+			cur := PrefixSums(n, r)
+			for _, p := range cur {
+				if !prev[p] && p != n-1 {
+					t.Fatalf("Fact 2 violated: %d in prefixsum(%d,%d) but not in prefixsum(%d,%d) ∪ {%d}",
+						p, n, r, n-1, r, n-1)
+				}
+			}
+			prev = map[int]bool{}
+			for _, p := range cur {
+				prev[p] = true
+			}
+		}
+	}
+}
+
+// TestMajorInPrefixSums verifies that major(N,r) ∈ prefixsum(N,r) whenever
+// it is non-zero — the invariant CC's fast path relies on (Section 4.1:
+// "Since major(N, r) ∈ prefixsum(N, r) for each N ...").
+func TestMajorInPrefixSums(t *testing.T) {
+	for _, r := range []int{2, 3, 4, 8} {
+		for n := 1; n <= 3000; n++ {
+			mj := Major(n, r)
+			if mj == 0 {
+				continue
+			}
+			found := false
+			for _, p := range PrefixSums(n, r) {
+				if p == mj {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("major(%d,%d)=%d not in prefixsum %v", n, r, mj, PrefixSums(n, r))
+			}
+		}
+	}
+}
+
+func TestPrefixSumsDescendingAndDistinct(t *testing.T) {
+	for _, r := range []int{2, 3, 7} {
+		for n := 1; n <= 2000; n++ {
+			ps := PrefixSums(n, r)
+			for i := 1; i < len(ps); i++ {
+				if ps[i] >= ps[i-1] {
+					t.Fatalf("PrefixSums(%d,%d) not strictly descending: %v", n, r, ps)
+				}
+			}
+		}
+	}
+}
+
+func TestNumNonZeroDigits(t *testing.T) {
+	cases := []struct{ n, r, want int }{
+		{47, 3, 3}, {8, 2, 1}, {7, 2, 3}, {0, 2, 0}, {100, 10, 1}, {101, 10, 2},
+	}
+	for _, c := range cases {
+		if got := NumNonZeroDigits(c.n, c.r); got != c.want {
+			t.Errorf("NumNonZeroDigits(%d,%d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Terms(-1, 2) },
+		func() { Terms(5, 1) },
+		func() { Terms(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickReconstruct(t *testing.T) {
+	f := func(n uint16, rRaw uint8) bool {
+		r := int(rRaw%14) + 2
+		var sum int
+		for _, tm := range Terms(int(n), r) {
+			sum += tm.Value
+		}
+		return sum == int(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

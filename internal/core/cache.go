@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sort"
+
+	"streamkm/internal/basen"
+	"streamkm/internal/coretree"
+)
+
+// coresetCache is the coreset cache of Section 4.1: it stores coresets
+// computed at previous queries, keyed by the right endpoint of their span
+// (each cached bucket summarizes base buckets [1, key]). After a query at
+// bucket count N the cache retains exactly the keys in
+// prefixsum(N, r) ∪ {N} (Algorithm 3, line 19), so by Fact 2 the major
+// prefix needed by the next query is always present when queries arrive at
+// every bucket (Lemma 4).
+type coresetCache struct {
+	entries map[int]coretree.Bucket
+}
+
+func newCoresetCache() *coresetCache {
+	return &coresetCache{entries: make(map[int]coretree.Bucket)}
+}
+
+// get returns the cached coreset spanning [1, key], if present.
+func (c *coresetCache) get(key int) (coretree.Bucket, bool) {
+	b, ok := c.entries[key]
+	return b, ok
+}
+
+// put stores a coreset spanning [1, key].
+func (c *coresetCache) put(key int, b coretree.Bucket) { c.entries[key] = b }
+
+// evictTo removes every entry whose key is not in prefixsum(n, r) ∪ {n}.
+func (c *coresetCache) evictTo(n, r int) {
+	keep := make(map[int]bool, 8)
+	keep[n] = true
+	for _, p := range basen.PrefixSums(n, r) {
+		keep[p] = true
+	}
+	for k := range c.entries {
+		if !keep[k] {
+			delete(c.entries, k)
+		}
+	}
+}
+
+// len returns the number of cached coresets.
+func (c *coresetCache) len() int { return len(c.entries) }
+
+// pointsStored returns the total number of points held by the cache.
+func (c *coresetCache) pointsStored() int {
+	var s int
+	for _, b := range c.entries {
+		s += len(b.Points)
+	}
+	return s
+}
+
+// keys returns the cached keys in ascending order (test hook).
+func (c *coresetCache) keys() []int {
+	out := make([]int, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

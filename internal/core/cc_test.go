@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/basen"
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+)
+
+func baseBucket(rng *rand.Rand, m int) []geom.Weighted {
+	out := make([]geom.Weighted, m)
+	for i := range out {
+		out[i] = geom.Weighted{P: geom.Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10}, W: 1}
+	}
+	return out
+}
+
+func newTestCC(r, m int, seed int64) (*CC, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	return NewCC(r, m, coreset.KMeansPP{}, rng), rng
+}
+
+func TestCCEmptyQuery(t *testing.T) {
+	cc, _ := newTestCC(2, 8, 1)
+	if got := cc.Coreset(); got != nil {
+		t.Fatalf("empty CC coreset = %v, want nil", got)
+	}
+	if cc.Stats().Queries() != 0 {
+		t.Fatal("empty query should not count")
+	}
+}
+
+// TestCCLemma4CacheContents verifies Lemma 4 plus the eviction rule: when a
+// query arrives after every bucket, the cache holds exactly
+// prefixsum(N, r) ∪ {N} right after the query at bucket N.
+func TestCCLemma4CacheContents(t *testing.T) {
+	for _, r := range []int{2, 3, 5} {
+		cc, rng := newTestCC(r, 6, int64(r))
+		for n := 1; n <= 150; n++ {
+			cc.Update(baseBucket(rng, 6))
+			_ = cc.Coreset()
+			want := append([]int{n}, basen.PrefixSums(n, r)...)
+			wantSet := map[int]bool{}
+			for _, k := range want {
+				wantSet[k] = true
+			}
+			got := cc.CacheKeys()
+			if len(got) != len(wantSet) {
+				t.Fatalf("r=%d N=%d: cache keys %v, want %v", r, n, got, want)
+			}
+			for _, k := range got {
+				if !wantSet[k] {
+					t.Fatalf("r=%d N=%d: unexpected cache key %d (want %v)", r, n, k, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCCNoFallbackWhenQueriedEveryBucket: with a query after every bucket,
+// the major prefix is always cached (Lemma 4), so CC never needs the CT
+// fallback path after the first single-digit counts.
+func TestCCNoFallbackWhenQueriedEveryBucket(t *testing.T) {
+	cc, rng := newTestCC(3, 6, 7)
+	for n := 1; n <= 200; n++ {
+		cc.Update(baseBucket(rng, 6))
+		_ = cc.Coreset()
+	}
+	st := cc.Stats()
+	// Fallbacks only happen when major(N)=0, i.e. single-digit N; those are
+	// not "cache failures". Count single-digit Ns in 1..200 for r=3.
+	singles := 0
+	for n := 1; n <= 200; n++ {
+		if basen.Major(n, 3) == 0 {
+			singles++
+		}
+	}
+	if int(st.Fallbacks) != singles {
+		t.Fatalf("fallbacks = %d, want %d (single-digit N only)", st.Fallbacks, singles)
+	}
+	if st.MajorHits != 200-int64(singles) {
+		t.Fatalf("major hits = %d, want %d", st.MajorHits, 200-singles)
+	}
+}
+
+// TestCCLemma5LevelBound verifies Lemma 5: with queries after every bucket,
+// the returned coreset level is at most ceil(2*log_r N) - 1.
+func TestCCLemma5LevelBound(t *testing.T) {
+	for _, r := range []int{2, 3, 4} {
+		cc, rng := newTestCC(r, 6, int64(20+r))
+		for n := 1; n <= 250; n++ {
+			cc.Update(baseBucket(rng, 6))
+			b := cc.CoresetBucket()
+			if n == 1 {
+				continue // log 1 = 0; bucket is the raw base bucket
+			}
+			bound := int(math.Ceil(2*math.Log(float64(n))/math.Log(float64(r)))) - 1
+			if bound < 1 {
+				bound = 1
+			}
+			if b.Level > bound {
+				t.Fatalf("r=%d N=%d: level %d exceeds Lemma 5 bound %d", r, n, b.Level, bound)
+			}
+		}
+	}
+}
+
+// TestCCWeightPreservation: the coreset returned at every query carries the
+// full stream weight.
+func TestCCWeightPreservation(t *testing.T) {
+	cc, rng := newTestCC(2, 10, 3)
+	for n := 1; n <= 64; n++ {
+		cc.Update(baseBucket(rng, 10))
+		got := geom.TotalWeight(cc.Coreset())
+		want := float64(n * 10)
+		if math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("N=%d: weight %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestCCSpanCoversStream: the returned bucket spans [1, N].
+func TestCCSpanCoversStream(t *testing.T) {
+	cc, rng := newTestCC(3, 6, 4)
+	for n := 1; n <= 100; n++ {
+		cc.Update(baseBucket(rng, 6))
+		b := cc.CoresetBucket()
+		if b.Start != 1 || b.End != n {
+			t.Fatalf("N=%d: span %s, want [1,%d]", n, b.Span(), n)
+		}
+	}
+}
+
+// TestCCInfrequentQueries: querying rarely still returns the right weight
+// and records fallbacks (cache stale).
+func TestCCInfrequentQueries(t *testing.T) {
+	cc, rng := newTestCC(2, 8, 5)
+	for n := 1; n <= 100; n++ {
+		cc.Update(baseBucket(rng, 8))
+		if n%17 == 0 {
+			got := geom.TotalWeight(cc.Coreset())
+			want := float64(n * 8)
+			if math.Abs(got-want) > 1e-6*want {
+				t.Fatalf("N=%d: weight %v, want %v", n, got, want)
+			}
+		}
+	}
+	if cc.Stats().Fallbacks == 0 {
+		t.Fatal("expected at least one fallback with sparse queries")
+	}
+}
+
+// TestCCExactHitOnRepeatedQuery: querying twice at the same N serves the
+// second from cache without recomputation.
+func TestCCExactHitOnRepeatedQuery(t *testing.T) {
+	cc, rng := newTestCC(2, 8, 6)
+	for n := 1; n <= 10; n++ {
+		cc.Update(baseBucket(rng, 8))
+	}
+	a := cc.Coreset()
+	before := cc.Stats()
+	b := cc.Coreset()
+	after := cc.Stats()
+	if after.ExactHits != before.ExactHits+1 {
+		t.Fatal("second query at same N should be an exact hit")
+	}
+	if len(a) != len(b) {
+		t.Fatal("repeated query returned different coreset")
+	}
+	for i := range a {
+		if !a[i].P.Equal(b[i].P) || a[i].W != b[i].W {
+			t.Fatal("repeated query returned different coreset contents")
+		}
+	}
+}
+
+// TestCCMatchesCTWeightAndBetterMergeCount: CC and CT summarize the same
+// stream; CC's query-time merge size is bounded by r buckets instead of the
+// whole tree.
+func TestCCQueryMergesAtMostRBuckets(t *testing.T) {
+	// Instrument indirectly: with queries each bucket, the parts merged are
+	// 1 cached + at most r-1 tree buckets, so the union fed to the builder
+	// has at most r*m points — reflected in the cached bucket being built
+	// from <= r*m points. We check the observable: coreset size <= m and
+	// level bound already checked; here check stats classification sums.
+	cc, rng := newTestCC(4, 5, 8)
+	for n := 1; n <= 300; n++ {
+		cc.Update(baseBucket(rng, 5))
+		_ = cc.Coreset()
+	}
+	st := cc.Stats()
+	if st.Queries() != 300 {
+		t.Fatalf("queries = %d, want 300", st.Queries())
+	}
+	if st.MajorHits == 0 {
+		t.Fatal("expected major hits when querying every bucket")
+	}
+}
+
+func TestCCPointsStoredIncludesCache(t *testing.T) {
+	cc, rng := newTestCC(2, 8, 9)
+	for n := 1; n <= 20; n++ {
+		cc.Update(baseBucket(rng, 8))
+		_ = cc.Coreset()
+	}
+	tree := cc.Tree().PointsStored()
+	total := cc.PointsStored()
+	if total <= tree {
+		t.Fatalf("PointsStored %d should exceed tree-only %d (cache not counted?)", total, tree)
+	}
+}
+
+func TestCCName(t *testing.T) {
+	cc, _ := newTestCC(2, 4, 10)
+	if cc.Name() != "CC" {
+		t.Fatalf("Name = %q", cc.Name())
+	}
+}

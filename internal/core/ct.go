@@ -1,0 +1,43 @@
+package core
+
+import (
+	"math/rand"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/coretree"
+	"streamkm/internal/geom"
+)
+
+// CT adapts the r-way merging coreset tree (Section 3.2) to the Structure
+// interface. With r = 2 this is streamkm++, the prior state of the art the
+// paper improves upon: queries must union every active bucket across all
+// O(log N / log r) levels.
+type CT struct {
+	tree *coretree.Tree
+}
+
+// NewCT returns a coreset-tree structure with merge degree r and coreset
+// size m.
+func NewCT(r, m int, b coreset.Builder, rng *rand.Rand) *CT {
+	return &CT{tree: coretree.New(r, m, b, rng)}
+}
+
+// Update implements Structure (CT-Update).
+func (c *CT) Update(bucket []geom.Weighted) { c.tree.Update(bucket) }
+
+// Coreset implements Structure (CT-Coreset): the union of all active
+// buckets.
+func (c *CT) Coreset() []geom.Weighted { return c.tree.Coreset() }
+
+// PointsStored implements Structure.
+func (c *CT) PointsStored() int { return c.tree.PointsStored() }
+
+// Name implements Structure.
+func (c *CT) Name() string { return "CT" }
+
+// ScaleWeights multiplies every stored weight by factor (forward-decay
+// epoch support).
+func (c *CT) ScaleWeights(factor float64) { c.tree.ScaleWeights(factor) }
+
+// Tree exposes the underlying coreset tree (tests, persistence).
+func (c *CT) Tree() *coretree.Tree { return c.tree }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func newTestDriver(s Structure, k, m int, seed int64) *Driver {
+	rng := rand.New(rand.NewSource(seed))
+	return NewDriver(s, k, m, rng, kmeans.FastOptions())
+}
+
+func TestDriverValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ct := NewCT(2, 10, coreset.KMeansPP{}, rng)
+	for _, f := range []func(){
+		func() { NewDriver(ct, 0, 10, rng, kmeans.FastOptions()) },
+		func() { NewDriver(ct, 3, 0, rng, kmeans.FastOptions()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDriverBatchesIntoBuckets(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ct := NewCT(2, 10, coreset.KMeansPP{}, rng)
+	d := newTestDriver(ct, 3, 10, 3)
+	for i := 0; i < 25; i++ {
+		d.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	if ct.Tree().N() != 2 {
+		t.Fatalf("tree has %d buckets, want 2 (25 points / m=10)", ct.Tree().N())
+	}
+	if len(d.Partial()) != 5 {
+		t.Fatalf("partial bucket has %d points, want 5", len(d.Partial()))
+	}
+	if d.Count() != 25 {
+		t.Fatalf("Count = %d", d.Count())
+	}
+}
+
+// TestDriverCoresetUnionWeight: structure coreset + partial bucket must
+// carry the weight of every point observed, including the partial tail.
+func TestDriverCoresetUnionWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cc := NewCC(2, 10, coreset.KMeansPP{}, rng)
+	d := newTestDriver(cc, 3, 10, 5)
+	const n = 157 // deliberately not a multiple of m
+	for i := 0; i < n; i++ {
+		d.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	got := geom.TotalWeight(d.CoresetUnion())
+	if math.Abs(got-float64(n)) > 1e-6*float64(n) {
+		t.Fatalf("coreset union weight %v, want %v", got, float64(n))
+	}
+}
+
+func TestDriverCentersCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ct := NewCT(2, 20, coreset.KMeansPP{}, rng)
+	d := newTestDriver(ct, 4, 20, 7)
+	centers := []geom.Point{{0, 0}, {30, 0}, {0, 30}, {30, 30}}
+	for i := 0; i < 2000; i++ {
+		c := centers[rng.Intn(4)]
+		d.Add(geom.Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()})
+	}
+	got := d.Centers()
+	if len(got) != 4 {
+		t.Fatalf("got %d centers, want 4", len(got))
+	}
+	// Each true center should have a learned center nearby.
+	for _, c := range centers {
+		dd, _ := geom.MinSqDist(c, got)
+		if dd > 25 {
+			t.Fatalf("no center near %v (sqdist %v); centers %v", c, dd, got)
+		}
+	}
+}
+
+func TestDriverPointsStoredIncludesPartial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ct := NewCT(2, 10, coreset.KMeansPP{}, rng)
+	d := newTestDriver(ct, 3, 10, 9)
+	for i := 0; i < 15; i++ {
+		d.Add(geom.Point{rng.NormFloat64()})
+	}
+	if got := d.PointsStored(); got != ct.PointsStored()+5 {
+		t.Fatalf("PointsStored = %d, want structure+5", got)
+	}
+}
+
+func TestDriverNameDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, s := range []Structure{
+		NewCT(2, 5, coreset.KMeansPP{}, rng),
+		NewCC(2, 5, coreset.KMeansPP{}, rng),
+		NewRCC(1, 5, coreset.KMeansPP{}, rng),
+	} {
+		d := newTestDriver(s, 2, 5, 11)
+		if d.Name() != s.Name() {
+			t.Fatalf("driver name %q != structure name %q", d.Name(), s.Name())
+		}
+	}
+	rngB := rand.New(rand.NewSource(12))
+	d := NewDriver(NewCT(2, 5, coreset.KMeansPP{}, rngB), 2, 5, rngB, kmeans.FastOptions())
+	if d.K() != 2 || d.M() != 5 {
+		t.Fatalf("K/M accessors wrong: %d %d", d.K(), d.M())
+	}
+	if d.Structure() == nil {
+		t.Fatal("Structure accessor nil")
+	}
+}
+
+// TestStructuresAgreeOnWeight: CT, CC and RCC all summarize the same stream
+// with the same total weight at arbitrary points in time.
+func TestStructuresAgreeOnWeight(t *testing.T) {
+	mk := func() []Structure {
+		return []Structure{
+			NewCT(2, 8, coreset.KMeansPP{}, rand.New(rand.NewSource(20))),
+			NewCC(2, 8, coreset.KMeansPP{}, rand.New(rand.NewSource(21))),
+			NewRCC(2, 8, coreset.KMeansPP{}, rand.New(rand.NewSource(22))),
+		}
+	}
+	structures := mk()
+	rng := rand.New(rand.NewSource(23))
+	for n := 1; n <= 70; n++ {
+		b := baseBucket(rng, 8)
+		for _, s := range structures {
+			s.Update(geom.CloneWeighted(b))
+		}
+		if n%13 == 0 {
+			want := float64(n * 8)
+			for _, s := range structures {
+				got := geom.TotalWeight(s.Coreset())
+				if math.Abs(got-want) > 1e-6*want {
+					t.Fatalf("%s at N=%d: weight %v, want %v", s.Name(), n, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEndToEndQualityAllAlgorithms: every coreset algorithm should land
+// within a modest factor of batch k-means++ on separable data.
+func TestEndToEndQualityAllAlgorithms(t *testing.T) {
+	trueCenters := []geom.Point{{0, 0}, {50, 0}, {0, 50}, {50, 50}}
+	gen := func(rng *rand.Rand, n int) []geom.Point {
+		out := make([]geom.Point, n)
+		for i := range out {
+			c := trueCenters[rng.Intn(len(trueCenters))]
+			out[i] = geom.Point{c[0] + rng.NormFloat64()*2, c[1] + rng.NormFloat64()*2}
+		}
+		return out
+	}
+	dataRng := rand.New(rand.NewSource(30))
+	pts := gen(dataRng, 5000)
+	all := make([]geom.Weighted, len(pts))
+	for i, p := range pts {
+		all[i] = geom.Weighted{P: p, W: 1}
+	}
+	batchCenters, _ := kmeans.Run(rand.New(rand.NewSource(31)), all, 4, kmeans.AccuracyOptions())
+	batch := kmeans.Cost(all, batchCenters)
+
+	mkClusterers := func() []Clusterer {
+		const m = 80
+		return []Clusterer{
+			newTestDriver(NewCT(2, m, coreset.KMeansPP{}, rand.New(rand.NewSource(41))), 4, m, 51),
+			newTestDriver(NewCC(2, m, coreset.KMeansPP{}, rand.New(rand.NewSource(42))), 4, m, 52),
+			newTestDriver(NewRCC(2, m, coreset.KMeansPP{}, rand.New(rand.NewSource(43))), 4, m, 53),
+		}
+	}
+	for _, c := range mkClusterers() {
+		for _, p := range pts {
+			c.Add(p)
+		}
+		cost := kmeans.Cost(all, c.Centers())
+		if cost > 5*batch {
+			t.Errorf("%s: cost %v vs batch %v (ratio %.2f)", c.Name(), cost, batch, cost/batch)
+		}
+	}
+}

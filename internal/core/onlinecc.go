@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+// OnlineCCStats reports how OnlineCC answered queries.
+type OnlineCCStats struct {
+	FastQueries int64 // answered in O(1) from the sequential centers
+	Fallbacks   int64 // cost bound exceeded; recomputed from CC
+}
+
+// OnlineCC is the Online Coreset Cache (Algorithm 7): a hybrid of CC and
+// MacQueen's sequential k-means. Every arriving point both updates a set of
+// live centers sequentially (O(kd) per point) and flows into a CC structure.
+// Queries normally return the live centers in O(1). Only when the running
+// cost estimate phiNow exceeds alpha times the cost at the last fallback
+// does the query path fall back to CC + k-means++, restoring the provable
+// O(log k) quality (Lemma 11).
+//
+// phiNow is an upper bound on the true clustering cost of the live centers
+// (Lemma 10): each point adds its squared distance to the *pre-update*
+// nearest center, which dominates its distance to the moved center.
+type OnlineCC struct {
+	k        int
+	m        int
+	alpha    float64
+	eps      float64
+	rng      *rand.Rand
+	queryOpt kmeans.Options
+
+	cc      *CC
+	partial []geom.Weighted
+
+	centers []geom.Point
+	weights []float64
+	phiPrev float64
+	phiNow  float64
+
+	initBuf  []geom.Weighted
+	initSize int
+	ready    bool
+
+	stats OnlineCCStats
+}
+
+// NewOnlineCC returns an OnlineCC with the given number of clusters k,
+// bucket/coreset size m, CC merge degree r, switching threshold alpha > 1
+// (1.2 in the paper's default setup), and coreset accuracy parameter eps in
+// (0, 1) used to inflate the post-fallback cost estimate.
+func NewOnlineCC(k, m, r int, alpha, eps float64, b coreset.Builder, rng *rand.Rand, queryOpt kmeans.Options) *OnlineCC {
+	if alpha <= 1 {
+		panic("core: OnlineCC threshold alpha must exceed 1")
+	}
+	if eps <= 0 || eps >= 1 {
+		panic("core: OnlineCC eps must be in (0,1)")
+	}
+	return &OnlineCC{
+		k:        k,
+		m:        m,
+		alpha:    alpha,
+		eps:      eps,
+		rng:      rng,
+		queryOpt: queryOpt,
+		cc:       NewCC(r, m, b, rng),
+		partial:  make([]geom.Weighted, 0, m),
+		initSize: 2 * k, // "the first O(k) points of the stream"
+	}
+}
+
+// Add implements Clusterer (OnlineCC-Update).
+func (o *OnlineCC) Add(p geom.Point) { o.AddWeighted(geom.Weighted{P: p, W: 1}) }
+
+// AddWeighted observes a point carrying weight w (equivalent to w unit
+// points at the same coordinates).
+func (o *OnlineCC) AddWeighted(wp geom.Weighted) {
+	// Every point flows into the CC pipeline regardless of the fast path.
+	o.partial = append(o.partial, wp)
+	if len(o.partial) == o.m {
+		o.cc.Update(o.partial)
+		o.partial = make([]geom.Weighted, 0, o.m)
+	}
+
+	if !o.ready {
+		o.initBuf = append(o.initBuf, wp)
+		if len(o.initBuf) >= o.initSize {
+			o.bootstrap()
+		}
+		return
+	}
+
+	// Sequential k-means step: charge the point against the nearest center
+	// *before* moving it, then move the center to the weighted centroid.
+	dsq, idx := geom.MinSqDist(wp.P, o.centers)
+	o.phiNow += wp.W * dsq
+	w := o.weights[idx]
+	c := o.centers[idx]
+	inv := 1 / (w + wp.W)
+	for j := range c {
+		c[j] = (w*c[j] + wp.W*wp.P[j]) * inv
+	}
+	o.weights[idx] = w + wp.W
+}
+
+// bootstrap initializes the live centers from the first O(k) points
+// (Algorithm 7, OnlineCC-Init).
+func (o *OnlineCC) bootstrap() {
+	centers, cost := kmeans.Run(o.rng, o.initBuf, o.k, o.queryOpt)
+	o.centers = centers
+	o.weights = make([]float64, len(centers))
+	for _, wp := range o.initBuf {
+		_, idx := geom.MinSqDist(wp.P, centers)
+		o.weights[idx] += wp.W
+	}
+	o.phiPrev = cost
+	o.phiNow = cost
+	o.initBuf = nil
+	o.ready = true
+}
+
+// Centers implements Clusterer (OnlineCC-Query). The returned centers are
+// copies; the live centers keep moving as points arrive.
+func (o *OnlineCC) Centers() []geom.Point {
+	if !o.ready {
+		centers, _ := kmeans.Run(o.rng, o.initBuf, o.k, o.queryOpt)
+		return centers
+	}
+	if o.phiNow > o.alpha*o.phiPrev {
+		o.fallback()
+	} else {
+		o.stats.FastQueries++
+	}
+	out := make([]geom.Point, len(o.centers))
+	for i, c := range o.centers {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// fallback recomputes the centers from the CC coreset (Algorithm 7, lines
+// 12–16) and resets the cost estimates.
+func (o *OnlineCC) fallback() {
+	o.stats.Fallbacks++
+	cs := o.cc.Coreset()
+	union := make([]geom.Weighted, 0, len(cs)+len(o.partial))
+	union = append(union, cs...)
+	union = append(union, o.partial...)
+	if len(union) == 0 {
+		return
+	}
+	centers, cost := kmeans.Run(o.rng, union, o.k, o.queryOpt)
+	o.centers = centers
+	o.weights = make([]float64, len(centers))
+	for _, wp := range union {
+		_, idx := geom.MinSqDist(wp.P, centers)
+		o.weights[idx] += wp.W
+	}
+	o.phiPrev = cost
+	o.phiNow = cost / (1 - o.eps)
+}
+
+// PointsStored implements Clusterer: the CC structure, the partial bucket,
+// the live centers, and any bootstrap buffer.
+func (o *OnlineCC) PointsStored() int {
+	return o.cc.PointsStored() + len(o.partial) + len(o.centers) + len(o.initBuf)
+}
+
+// Name implements Clusterer.
+func (o *OnlineCC) Name() string { return "OnlineCC" }
+
+// Stats returns a snapshot of the query counters.
+func (o *OnlineCC) Stats() OnlineCCStats { return o.stats }
+
+// PhiNow returns the current upper bound on the live centers' cost
+// (test hook for Lemma 10).
+func (o *OnlineCC) PhiNow() float64 { return o.phiNow }
+
+// CC exposes the embedded cached coreset tree (tests, persistence).
+func (o *OnlineCC) CC() *CC { return o.cc }
+
+// LiveCenters returns the internal (mutating) centers; test hook.
+func (o *OnlineCC) LiveCenters() []geom.Point { return o.centers }

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func newTestOnlineCC(k, m int, alpha float64, seed int64) *OnlineCC {
+	rng := rand.New(rand.NewSource(seed))
+	return NewOnlineCC(k, m, 2, alpha, 0.1, coreset.KMeansPP{}, rng, kmeans.FastOptions())
+}
+
+// drawMixture emits points from a 4-cluster mixture.
+func drawMixture(rng *rand.Rand, n int) []geom.Point {
+	centers := []geom.Point{{0, 0}, {30, 0}, {0, 30}, {30, 30}}
+	out := make([]geom.Point, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = geom.Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestOnlineCCValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, f := range []func(){
+		func() { NewOnlineCC(3, 10, 2, 1.0, 0.1, coreset.KMeansPP{}, rng, kmeans.FastOptions()) },
+		func() { NewOnlineCC(3, 10, 2, 1.5, 0, coreset.KMeansPP{}, rng, kmeans.FastOptions()) },
+		func() { NewOnlineCC(3, 10, 2, 1.5, 1, coreset.KMeansPP{}, rng, kmeans.FastOptions()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestOnlineCCBeforeBootstrap(t *testing.T) {
+	o := newTestOnlineCC(4, 20, 1.2, 2)
+	rng := rand.New(rand.NewSource(3))
+	for _, p := range drawMixture(rng, 5) { // fewer than 2k = 8 points
+		o.Add(p)
+	}
+	centers := o.Centers()
+	if len(centers) == 0 || len(centers) > 4 {
+		t.Fatalf("pre-bootstrap centers = %d", len(centers))
+	}
+}
+
+func TestOnlineCCReturnsKCenters(t *testing.T) {
+	o := newTestOnlineCC(4, 20, 1.2, 4)
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range drawMixture(rng, 2000) {
+		o.Add(p)
+	}
+	if got := len(o.Centers()); got != 4 {
+		t.Fatalf("got %d centers, want 4", got)
+	}
+}
+
+// TestOnlineCCLemma10 verifies that phiNow upper-bounds the true clustering
+// cost of the live centers on everything observed (Lemma 10).
+func TestOnlineCCLemma10(t *testing.T) {
+	o := newTestOnlineCC(4, 25, 2.0, 6)
+	rng := rand.New(rand.NewSource(7))
+	var seen []geom.Weighted
+	for i, p := range drawMixture(rng, 3000) {
+		o.Add(p)
+		seen = append(seen, geom.Weighted{P: p, W: 1})
+		if i > 100 && i%250 == 0 {
+			truth := kmeans.Cost(seen, o.LiveCenters())
+			if bound := o.PhiNow(); truth > bound*(1+1e-9) {
+				t.Fatalf("after %d points: true cost %v exceeds phiNow %v", i+1, truth, bound)
+			}
+		}
+	}
+}
+
+// TestOnlineCCFastPathDominates: on a stationary stream with a loose
+// threshold, almost all queries take the O(1) path.
+func TestOnlineCCFastPathDominates(t *testing.T) {
+	o := newTestOnlineCC(4, 25, 4.0, 8)
+	rng := rand.New(rand.NewSource(9))
+	for i, p := range drawMixture(rng, 5000) {
+		o.Add(p)
+		if i%100 == 0 {
+			_ = o.Centers()
+		}
+	}
+	st := o.Stats()
+	if st.FastQueries < st.Fallbacks*5 {
+		t.Fatalf("fast=%d fallbacks=%d; fast path should dominate on stationary data",
+			st.FastQueries, st.Fallbacks)
+	}
+}
+
+// TestOnlineCCFallsBackOnDrift: an abrupt distribution shift must push
+// phiNow past alpha*phiPrev and force at least one CC fallback.
+func TestOnlineCCFallsBackOnDrift(t *testing.T) {
+	o := newTestOnlineCC(4, 25, 1.2, 10)
+	rng := rand.New(rand.NewSource(11))
+	for _, p := range drawMixture(rng, 1500) {
+		o.Add(p)
+	}
+	_ = o.Centers()
+	pre := o.Stats().Fallbacks
+	// Shift: all mass teleports far away.
+	for i := 0; i < 1500; i++ {
+		o.Add(geom.Point{500 + rng.NormFloat64(), 500 + rng.NormFloat64()})
+	}
+	_ = o.Centers()
+	if o.Stats().Fallbacks <= pre {
+		t.Fatal("expected a fallback after abrupt drift")
+	}
+}
+
+// TestOnlineCCQualityAfterDrift: after drift plus a query, the centers
+// should cover the new region (the CC fallback re-clusters globally).
+func TestOnlineCCQualityAfterDrift(t *testing.T) {
+	o := newTestOnlineCC(2, 25, 1.2, 12)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		o.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	for i := 0; i < 3000; i++ {
+		o.Add(geom.Point{200 + rng.NormFloat64(), 200 + rng.NormFloat64()})
+	}
+	centers := o.Centers()
+	d, _ := geom.MinSqDist(geom.Point{200, 200}, centers)
+	if d > 100 {
+		t.Fatalf("no center near the drifted mass: nearest sqdist %v, centers %v", d, centers)
+	}
+}
+
+// TestOnlineCCCentersAreCopies: mutating returned centers must not corrupt
+// the live state.
+func TestOnlineCCCentersAreCopies(t *testing.T) {
+	o := newTestOnlineCC(3, 20, 1.5, 14)
+	rng := rand.New(rand.NewSource(15))
+	for _, p := range drawMixture(rng, 1000) {
+		o.Add(p)
+	}
+	got := o.Centers()
+	for _, c := range got {
+		for j := range c {
+			c[j] = 1e12
+		}
+	}
+	for _, c := range o.LiveCenters() {
+		if c[0] == 1e12 {
+			t.Fatal("Centers() aliases live state")
+		}
+	}
+}
+
+func TestOnlineCCPointsStored(t *testing.T) {
+	o := newTestOnlineCC(3, 20, 1.5, 16)
+	rng := rand.New(rand.NewSource(17))
+	for _, p := range drawMixture(rng, 500) {
+		o.Add(p)
+	}
+	// Must include CC storage plus live centers plus partial bucket.
+	min := o.CC().PointsStored()
+	if o.PointsStored() <= min {
+		t.Fatalf("PointsStored %d should exceed embedded CC's %d", o.PointsStored(), min)
+	}
+	if o.Name() != "OnlineCC" {
+		t.Fatalf("Name = %q", o.Name())
+	}
+}
+
+// TestOnlineCCPhiNowMonotoneBetweenFallbacks: phiNow only grows while the
+// fast path runs (it accumulates squared distances), and resets at
+// fallback.
+func TestOnlineCCPhiNowMonotone(t *testing.T) {
+	o := newTestOnlineCC(4, 25, 100.0, 18) // huge alpha: never fall back
+	rng := rand.New(rand.NewSource(19))
+	pts := drawMixture(rng, 2000)
+	var last float64
+	for i, p := range pts {
+		o.Add(p)
+		if i > 50 {
+			if now := o.PhiNow(); now+1e-12 < last {
+				t.Fatalf("phiNow decreased without fallback: %v -> %v", last, now)
+			} else {
+				last = now
+			}
+		}
+	}
+	if o.Stats().Fallbacks != 0 {
+		t.Fatal("alpha=100 should never fall back on stationary data")
+	}
+}
+
+func TestOnlineCCCostComparableToBatch(t *testing.T) {
+	// End-to-end sanity: OnlineCC's final centers should be within a small
+	// factor of batch k-means++ on a well-separated mixture.
+	o := newTestOnlineCC(4, 40, 1.2, 20)
+	rng := rand.New(rand.NewSource(21))
+	pts := drawMixture(rng, 4000)
+	var all []geom.Weighted
+	for _, p := range pts {
+		o.Add(p)
+		all = append(all, geom.Weighted{P: p, W: 1})
+	}
+	stream := kmeans.Cost(all, o.Centers())
+	batchCenters, _ := kmeans.Run(rand.New(rand.NewSource(22)), all, 4, kmeans.AccuracyOptions())
+	batch := kmeans.Cost(all, batchCenters)
+	if stream > 5*batch+1e-9 {
+		t.Fatalf("OnlineCC cost %v much worse than batch %v", stream, batch)
+	}
+	if math.IsNaN(stream) || math.IsInf(stream, 0) {
+		t.Fatalf("invalid stream cost %v", stream)
+	}
+}

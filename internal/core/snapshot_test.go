@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+// TestCCSnapshotRestoreDirect round-trips CC state at the structure level
+// and confirms the restored instance continues correctly: same cache keys,
+// same stats, weight conservation on further updates.
+func TestCCSnapshotRestoreDirect(t *testing.T) {
+	cc, rng := newTestCC(3, 8, 41)
+	for n := 1; n <= 47; n++ {
+		cc.Update(baseBucket(rng, 8))
+		_ = cc.Coreset()
+	}
+	snap := cc.Snapshot()
+
+	fresh := NewCC(3, 8, coreset.KMeansPP{}, rand.New(rand.NewSource(99)))
+	fresh.Restore(snap)
+	if got, want := fresh.CacheKeys(), cc.CacheKeys(); len(got) != len(want) {
+		t.Fatalf("cache keys %v != %v", got, want)
+	}
+	if fresh.Stats() != cc.Stats() {
+		t.Fatalf("stats %+v != %+v", fresh.Stats(), cc.Stats())
+	}
+	if fresh.PointsStored() != cc.PointsStored() {
+		t.Fatalf("points stored %d != %d", fresh.PointsStored(), cc.PointsStored())
+	}
+	// Restored structure keeps consuming the stream correctly.
+	for n := 48; n <= 60; n++ {
+		fresh.Update(baseBucket(rng, 8))
+	}
+	got := geom.TotalWeight(fresh.Coreset())
+	want := float64(60 * 8)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("weight after restore+updates: %v, want %v", got, want)
+	}
+}
+
+// TestRCCSnapshotRestoreDirect does the same for the recursive structure,
+// including its nested children and caches.
+func TestRCCSnapshotRestoreDirect(t *testing.T) {
+	rcc, rng := newTestRCC(2, 6, 43)
+	for n := 1; n <= 75; n++ {
+		rcc.Update(baseBucket(rng, 6))
+		if n%3 == 0 {
+			_ = rcc.Coreset()
+		}
+	}
+	snap := rcc.Snapshot()
+	fresh := NewRCC(2, 6, coreset.KMeansPP{}, rand.New(rand.NewSource(7)))
+	fresh.Restore(snap)
+	if fresh.PointsStored() != rcc.PointsStored() {
+		t.Fatalf("points stored %d != %d", fresh.PointsStored(), rcc.PointsStored())
+	}
+	for n := 76; n <= 90; n++ {
+		fresh.Update(baseBucket(rng, 6))
+	}
+	got := geom.TotalWeight(fresh.Coreset())
+	want := float64(90 * 6)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("weight after restore+updates: %v, want %v", got, want)
+	}
+	b := fresh.CoresetBucket()
+	if b.Start != 1 || b.End != 90 {
+		t.Fatalf("span %s after restore", b.Span())
+	}
+}
+
+// TestOnlineCCAddWeighted verifies the weighted sequential step: a weight-w
+// point moves the center exactly like w unit points at the same spot.
+func TestOnlineCCAddWeighted(t *testing.T) {
+	mk := func() *OnlineCC {
+		o := NewOnlineCC(1, 50, 2, 2.0, 0.1, coreset.KMeansPP{},
+			rand.New(rand.NewSource(1)), kmeans.FastOptions())
+		// Bootstrap with two fixed points (initSize = 2k = 2).
+		o.Add(geom.Point{0, 0})
+		o.Add(geom.Point{2, 0})
+		return o
+	}
+	a := mk()
+	a.AddWeighted(geom.Weighted{P: geom.Point{10, 0}, W: 4})
+	b := mk()
+	for i := 0; i < 4; i++ {
+		b.Add(geom.Point{10, 0})
+	}
+	ca, cb := a.LiveCenters(), b.LiveCenters()
+	for i := range ca {
+		for j := range ca[i] {
+			if math.Abs(ca[i][j]-cb[i][j]) > 1e-9 {
+				t.Fatalf("weighted step diverges: %v vs %v", ca, cb)
+			}
+		}
+	}
+	// phiNow: weighted point charges w*d^2 once; four unit points charge a
+	// decreasing series as the center moves — so the weighted estimate must
+	// dominate (it is the more conservative upper bound).
+	if a.PhiNow() < b.PhiNow()-1e-9 {
+		t.Fatalf("weighted phiNow %v < unit-stream %v", a.PhiNow(), b.PhiNow())
+	}
+}
+
+// TestCTStructureBasics exercises the CT adapter accessors not hit
+// elsewhere.
+func TestCTStructureBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ct := NewCT(2, 5, coreset.KMeansPP{}, rng)
+	if ct.Name() != "CT" {
+		t.Fatalf("Name = %q", ct.Name())
+	}
+	ct.Update(baseBucket(rng, 5))
+	if ct.Tree().N() != 1 || ct.PointsStored() != 5 || len(ct.Coreset()) != 5 {
+		t.Fatal("CT adapter bookkeeping wrong")
+	}
+	ct.ScaleWeights(0.5)
+	if got := geom.TotalWeight(ct.Coreset()); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("ScaleWeights: weight %v, want 2.5", got)
+	}
+}
+
+// TestCCScaleWeightsIncludesCache verifies forward-decay epoch scaling hits
+// both the tree and the cached coresets.
+func TestCCScaleWeightsIncludesCache(t *testing.T) {
+	cc, rng := newTestCC(2, 6, 44)
+	for n := 1; n <= 12; n++ {
+		cc.Update(baseBucket(rng, 6))
+		_ = cc.Coreset()
+	}
+	before := geom.TotalWeight(cc.Coreset())
+	cc.ScaleWeights(0.25)
+	after := geom.TotalWeight(cc.Coreset()) // exact cache hit: same bucket, scaled
+	if math.Abs(after-before*0.25) > 1e-9*before {
+		t.Fatalf("cache not scaled: %v -> %v", before, after)
+	}
+}
+
+// TestRCCScaleWeightsNoDoubleScaling: shared buckets between lists and
+// nested structures must be scaled exactly once.
+func TestRCCScaleWeightsNoDoubleScaling(t *testing.T) {
+	rcc, rng := newTestRCC(2, 6, 45)
+	for n := 1; n <= 40; n++ {
+		rcc.Update(baseBucket(rng, 6))
+		if n%5 == 0 {
+			_ = rcc.Coreset()
+		}
+	}
+	want := geom.TotalWeight(rcc.Coreset()) * 0.5
+	rcc.ScaleWeights(0.5)
+	// A fresh query (new bucket count unchanged -> exact cache hit returns
+	// the scaled cached bucket).
+	got := geom.TotalWeight(rcc.Coreset())
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("scaled weight %v, want %v (double or missed scaling)", got, want)
+	}
+}
+
+// TestOnlineCCPointsStoredBeforeBootstrap covers the init-buffer branch.
+func TestOnlineCCPointsStoredBeforeBootstrap(t *testing.T) {
+	o := NewOnlineCC(5, 100, 2, 1.5, 0.1, coreset.KMeansPP{},
+		rand.New(rand.NewSource(3)), kmeans.FastOptions())
+	o.Add(geom.Point{1, 1})
+	o.Add(geom.Point{2, 2})
+	// 2 points live in both the partial bucket and the init buffer.
+	if got := o.PointsStored(); got != 4 {
+		t.Fatalf("PointsStored = %d, want 4 (partial + initBuf)", got)
+	}
+}

@@ -1,0 +1,263 @@
+package coreset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func mixture(rng *rand.Rand, centers []geom.Point, n int, sd float64) []geom.Weighted {
+	out := make([]geom.Weighted, n)
+	d := len(centers[0])
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*sd
+		}
+		out[i] = geom.Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+var mixCenters = []geom.Point{{0, 0}, {40, 0}, {0, 40}, {40, 40}, {20, 20}}
+
+var allBuilders = []Builder{KMeansPP{}, Sensitivity{}, Uniform{}}
+
+func TestBuilderNames(t *testing.T) {
+	want := map[string]bool{
+		"kmeans++-reduce": true, "sensitivity-sampling": true, "uniform-sampling": true,
+	}
+	for _, b := range allBuilders {
+		if !want[b.Name()] {
+			t.Errorf("unexpected builder name %q", b.Name())
+		}
+	}
+}
+
+func TestBuildEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, b := range allBuilders {
+		if got := b.Build(rng, nil, 10); got != nil {
+			t.Errorf("%s: empty input should give nil", b.Name())
+		}
+		pts := []geom.Weighted{{P: geom.Point{1, 2}, W: 3}}
+		if got := b.Build(rng, pts, 0); got != nil {
+			t.Errorf("%s: m=0 should give nil", b.Name())
+		}
+	}
+}
+
+func TestBuildSmallInputIsDeepCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, b := range allBuilders {
+		pts := []geom.Weighted{{P: geom.Point{1, 2}, W: 3}, {P: geom.Point{4, 5}, W: 6}}
+		got := b.Build(rng, pts, 10)
+		if len(got) != 2 {
+			t.Fatalf("%s: want identity copy, got %d points", b.Name(), len(got))
+		}
+		got[0].P[0] = 999
+		if pts[0].P[0] == 999 {
+			t.Fatalf("%s: output aliases input", b.Name())
+		}
+	}
+}
+
+func TestBuildSizeBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := mixture(rng, mixCenters, 2000, 2)
+	for _, b := range allBuilders {
+		for _, m := range []int{10, 50, 200} {
+			cs := b.Build(rng, pts, m)
+			if len(cs) > m {
+				t.Errorf("%s: coreset size %d exceeds m=%d", b.Name(), len(cs), m)
+			}
+			if len(cs) == 0 {
+				t.Errorf("%s: empty coreset from non-empty input", b.Name())
+			}
+		}
+	}
+}
+
+func TestKMeansPPWeightPreservedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := mixture(rng, mixCenters, 1500, 2)
+	// Give varied weights.
+	for i := range pts {
+		pts[i].W = 1 + rng.Float64()*5
+	}
+	want := geom.TotalWeight(pts)
+	cs := KMeansPP{}.Build(rng, pts, 100)
+	got := geom.TotalWeight(cs)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("total weight %v, want %v", got, want)
+	}
+}
+
+func TestUniformWeightPreservedExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := mixture(rng, mixCenters, 1000, 2)
+	want := geom.TotalWeight(pts)
+	cs := Uniform{}.Build(rng, pts, 64)
+	if got := geom.TotalWeight(cs); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("total weight %v, want %v", got, want)
+	}
+}
+
+func TestSensitivityWeightNearlyPreserved(t *testing.T) {
+	// Importance sampling preserves total weight in expectation; for a
+	// decent sample size the realized total should be within ~20%.
+	rng := rand.New(rand.NewSource(6))
+	pts := mixture(rng, mixCenters, 2000, 2)
+	want := geom.TotalWeight(pts)
+	cs := Sensitivity{}.Build(rng, pts, 300)
+	got := geom.TotalWeight(cs)
+	if got < 0.7*want || got > 1.3*want {
+		t.Fatalf("total weight %v too far from %v", got, want)
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := mixture(rng, mixCenters, 500, 2)
+	before := geom.CloneWeighted(pts)
+	for _, b := range allBuilders {
+		_ = b.Build(rng, pts, 50)
+		for i := range pts {
+			if !pts[i].P.Equal(before[i].P) || pts[i].W != before[i].W {
+				t.Fatalf("%s mutated its input", b.Name())
+			}
+		}
+	}
+}
+
+// costRatio builds a coreset and returns max over random center sets Psi of
+// |phi_Psi(C)/phi_Psi(P) - 1| — an empirical epsilon for Definition 1.
+func costRatio(t *testing.T, b Builder, m int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	pts := mixture(rng, mixCenters, 3000, 3)
+	cs := b.Build(rng, pts, m)
+	worst := 0.0
+	for trial := 0; trial < 30; trial++ {
+		// Random plausible center sets: perturbed true centers and random
+		// subsets of data points.
+		var psi []geom.Point
+		if trial%2 == 0 {
+			for _, c := range mixCenters {
+				p := c.Clone()
+				p[0] += rng.NormFloat64() * 5
+				p[1] += rng.NormFloat64() * 5
+				psi = append(psi, p)
+			}
+		} else {
+			for i := 0; i < 5; i++ {
+				psi = append(psi, pts[rng.Intn(len(pts))].P.Clone())
+			}
+		}
+		orig := kmeans.Cost(pts, psi)
+		approx := kmeans.Cost(cs, psi)
+		if orig <= 0 {
+			continue
+		}
+		if r := math.Abs(approx/orig - 1); r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// TestCoresetPreservesCost is the empirical check of Definition 1: for
+// arbitrary center sets, coreset cost tracks the original cost within a
+// small relative error.
+func TestCoresetPreservesCost(t *testing.T) {
+	if eps := costRatio(t, KMeansPP{}, 300); eps > 0.15 {
+		t.Errorf("kmeans++-reduce: empirical eps %.3f > 0.15", eps)
+	}
+	if eps := costRatio(t, Sensitivity{}, 600); eps > 0.35 {
+		t.Errorf("sensitivity: empirical eps %.3f > 0.35", eps)
+	}
+}
+
+// TestInformedBeatsUniformOnSkew verifies the ablation premise: with a tiny
+// far-away cluster, k-means++-reduce keeps it representable while uniform
+// sampling frequently misses it entirely.
+func TestInformedBeatsUniformOnSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var pts []geom.Weighted
+	for i := 0; i < 5000; i++ {
+		pts = append(pts, geom.Weighted{P: geom.Point{rng.NormFloat64(), rng.NormFloat64()}, W: 1})
+	}
+	// 10 points very far away.
+	for i := 0; i < 10; i++ {
+		pts = append(pts, geom.Weighted{P: geom.Point{1000 + rng.NormFloat64(), 1000 + rng.NormFloat64()}, W: 1})
+	}
+	psi := []geom.Point{{0, 0}, {1000, 1000}}
+	orig := kmeans.Cost(pts, psi)
+
+	informedErr, uniformErr := 0.0, 0.0
+	const trials = 10
+	for i := 0; i < trials; i++ {
+		ci := KMeansPP{}.Build(rng, pts, 100)
+		cu := Uniform{}.Build(rng, pts, 100)
+		informedErr += math.Abs(kmeans.Cost(ci, psi) - orig)
+		uniformErr += math.Abs(kmeans.Cost(cu, psi) - orig)
+	}
+	if informedErr >= uniformErr {
+		t.Fatalf("kmeans++-reduce error %v not better than uniform %v", informedErr, uniformErr)
+	}
+}
+
+func TestMergeBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := mixture(rng, mixCenters, 300, 2)
+	b := mixture(rng, mixCenters, 300, 2)
+	cs := MergeBuild(KMeansPP{}, rng, 80, a, b)
+	if len(cs) > 80 {
+		t.Fatalf("merged coreset too large: %d", len(cs))
+	}
+	want := geom.TotalWeight(a) + geom.TotalWeight(b)
+	if got := geom.TotalWeight(cs); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("merge lost weight: %v vs %v", got, want)
+	}
+}
+
+func TestMergeBuildEmptySets(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	if got := MergeBuild(KMeansPP{}, rng, 10); got != nil {
+		t.Fatalf("no sets should give nil, got %v", got)
+	}
+	a := []geom.Weighted{{P: geom.Point{1}, W: 2}}
+	cs := MergeBuild(KMeansPP{}, rng, 10, a, nil, nil)
+	if len(cs) != 1 || cs[0].W != 2 {
+		t.Fatalf("MergeBuild with empties = %v", cs)
+	}
+}
+
+func TestSearchCDF(t *testing.T) {
+	cdf := []float64{1, 3, 6, 10}
+	cases := []struct {
+		target float64
+		want   int
+	}{{0, 0}, {1, 0}, {1.5, 1}, {3, 1}, {5.9, 2}, {9.99, 3}, {10, 3}}
+	for _, c := range cases {
+		if got := searchCDF(cdf, c.target); got != c.want {
+			t.Errorf("searchCDF(%v) = %d, want %d", c.target, got, c.want)
+		}
+	}
+}
+
+func TestCompactZeroWeight(t *testing.T) {
+	in := []geom.Weighted{
+		{P: geom.Point{1}, W: 0},
+		{P: geom.Point{2}, W: 5},
+		{P: geom.Point{3}, W: 0},
+	}
+	out := compactZeroWeight(in)
+	if len(out) != 1 || out[0].W != 5 {
+		t.Fatalf("compactZeroWeight = %v", out)
+	}
+}

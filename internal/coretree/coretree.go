@@ -1,0 +1,216 @@
+// Package coretree implements the r-way merging coreset tree (CT, Section
+// 3.2 / Algorithm 2 of the paper), the structure underlying streamkm++
+// (Ackermann et al.), generalized from merge degree 2 to arbitrary r.
+//
+// The tree maintains buckets at multiple levels. Level-0 buckets ("base
+// buckets") hold m original input points; a level-j bucket is a coreset
+// summarizing r^j base buckets. Adding a base bucket works like
+// incrementing a base-r counter: whenever a level accumulates r buckets they
+// are merged (coreset-reduced) into one bucket one level up. After N base
+// buckets, level i holds exactly s_i buckets where N = (s_q ... s_1 s_0)_r.
+package coretree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+)
+
+// Bucket is one node of the coreset tree: a weighted point set summarizing
+// the base buckets in the span [Start, End] (1-indexed, inclusive).
+type Bucket struct {
+	// Points is the coreset payload (at most m points).
+	Points []geom.Weighted
+	// Level is the coreset level per Definition 2 of the paper: base buckets
+	// are level 0 and a merge of coresets at levels l_1..l_t yields level
+	// 1+max(l_i). Approximation error grows as (1+eps)^Level - 1 (Lemma 1),
+	// so algorithms must keep Level small.
+	Level int
+	// Start and End delimit the span of base buckets this bucket summarizes.
+	Start, End int
+}
+
+// Span returns a human-readable "[start,end]" form matching the paper's
+// figures.
+func (b Bucket) Span() string { return fmt.Sprintf("[%d,%d]", b.Start, b.End) }
+
+// NumPoints returns the number of stored points in the bucket.
+func (b Bucket) NumPoints() int { return len(b.Points) }
+
+// MergeBuckets coreset-reduces the union of the given buckets into a single
+// bucket of at most m points. Its span is the union of the input spans,
+// which must be contiguous and given in stream order.
+//
+// Level accounting follows Definition 2 exactly: if the union already fits
+// in m points no reduction happens (a plain union of coresets is a coreset
+// of the union at the max input level, Observation 1), otherwise the reduce
+// step adds one level (Observation 2).
+func MergeBuckets(b coreset.Builder, rng *rand.Rand, m int, bs ...Bucket) Bucket {
+	if len(bs) == 0 {
+		return Bucket{}
+	}
+	sets := make([][]geom.Weighted, len(bs))
+	maxLevel, total := 0, 0
+	for i, bk := range bs {
+		sets[i] = bk.Points
+		total += len(bk.Points)
+		if bk.Level > maxLevel {
+			maxLevel = bk.Level
+		}
+	}
+	level := maxLevel
+	if total > m {
+		level = maxLevel + 1
+	}
+	return Bucket{
+		Points: coreset.MergeBuild(b, rng, m, sets...),
+		Level:  level,
+		Start:  bs[0].Start,
+		End:    bs[len(bs)-1].End,
+	}
+}
+
+// Tree is the r-way merging coreset tree. It is not safe for concurrent use.
+type Tree struct {
+	r       int
+	m       int
+	builder coreset.Builder
+	rng     *rand.Rand
+	levels  [][]Bucket // levels[j] = Q_j, buckets in arrival order
+	n       int        // base buckets received so far (N)
+}
+
+// New returns an empty coreset tree with merge degree r (>= 2), coreset size
+// m (>= 1), the given reduce builder, and rng as the source of randomness.
+func New(r, m int, b coreset.Builder, rng *rand.Rand) *Tree {
+	if r < 2 {
+		panic(fmt.Sprintf("coretree: merge degree %d < 2", r))
+	}
+	if m < 1 {
+		panic(fmt.Sprintf("coretree: coreset size %d < 1", m))
+	}
+	return &Tree{r: r, m: m, builder: b, rng: rng}
+}
+
+// R returns the merge degree.
+func (t *Tree) R() int { return t.r }
+
+// M returns the per-bucket coreset size.
+func (t *Tree) M() int { return t.m }
+
+// N returns the number of base buckets inserted so far.
+func (t *Tree) N() int { return t.n }
+
+// Update inserts one base bucket (Algorithm 2, CT-Update): append at level
+// 0, then carry: while any level holds r buckets, merge them into one bucket
+// one level higher.
+func (t *Tree) Update(points []geom.Weighted) {
+	t.n++
+	t.UpdateBucket(Bucket{Points: points, Level: 0, Start: t.n, End: t.n})
+}
+
+// UpdateBucket inserts an arbitrary bucket at level 0 of the tree. This is
+// used by the recursive cache (RCC), whose inner trees receive already
+// reduced coresets as their base buckets. The bucket's Start/End and Level
+// are preserved; callers must have set them consistently.
+// Note: when called directly, callers are responsible for incrementing their
+// own bucket counts; Update (the normal path) manages t.n itself.
+func (t *Tree) UpdateBucket(b Bucket) {
+	if len(t.levels) == 0 {
+		t.levels = append(t.levels, nil)
+	}
+	t.levels[0] = append(t.levels[0], b)
+	for j := 0; j < len(t.levels); j++ {
+		if len(t.levels[j]) < t.r {
+			break
+		}
+		merged := MergeBuckets(t.builder, t.rng, t.m, t.levels[j]...)
+		t.levels[j] = nil
+		if j+1 == len(t.levels) {
+			t.levels = append(t.levels, nil)
+		}
+		t.levels[j+1] = append(t.levels[j+1], merged)
+	}
+}
+
+// Coreset returns the union of all active buckets (Algorithm 2,
+// CT-Coreset). The returned slice is freshly allocated but shares point
+// storage with the tree; callers must not mutate the points.
+func (t *Tree) Coreset() []geom.Weighted {
+	var out []geom.Weighted
+	for _, level := range t.levels {
+		for _, b := range level {
+			out = append(out, b.Points...)
+		}
+	}
+	return out
+}
+
+// ActiveBuckets returns all active buckets from every level, freshly sliced.
+func (t *Tree) ActiveBuckets() []Bucket {
+	var out []Bucket
+	for _, level := range t.levels {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// BucketsAtLevel returns the active buckets at tree level j (Q_j). The
+// returned slice aliases internal storage; callers must not modify it.
+func (t *Tree) BucketsAtLevel(j int) []Bucket {
+	if j < 0 || j >= len(t.levels) {
+		return nil
+	}
+	return t.levels[j]
+}
+
+// LevelCounts returns the number of active buckets per level, index = level.
+// Per the Section 3.2 invariant this equals the base-r digits of N.
+func (t *Tree) LevelCounts() []int {
+	out := make([]int, len(t.levels))
+	for j, level := range t.levels {
+		out[j] = len(level)
+	}
+	return out
+}
+
+// MaxBucketLevel returns the maximum coreset level among active buckets
+// (Fact 1 bounds this by ceil(log_r N)). Returns 0 for an empty tree.
+func (t *Tree) MaxBucketLevel() int {
+	max := 0
+	for _, level := range t.levels {
+		for _, b := range level {
+			if b.Level > max {
+				max = b.Level
+			}
+		}
+	}
+	return max
+}
+
+// ScaleWeights multiplies every stored point weight by factor. Cluster
+// centers are invariant under uniform weight scaling, so this is safe at
+// any time; the forward-decay wrapper uses it for overflow epochs.
+func (t *Tree) ScaleWeights(factor float64) {
+	for _, level := range t.levels {
+		for _, b := range level {
+			for i := range b.Points {
+				b.Points[i].W *= factor
+			}
+		}
+	}
+}
+
+// PointsStored returns the total number of weighted points held by the tree,
+// the memory metric used in the paper's Table 4.
+func (t *Tree) PointsStored() int {
+	var s int
+	for _, level := range t.levels {
+		for _, b := range level {
+			s += len(b.Points)
+		}
+	}
+	return s
+}

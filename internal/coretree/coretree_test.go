@@ -1,0 +1,235 @@
+package coretree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+)
+
+// baseBucket fabricates a base bucket of m unit-weight 2-d points.
+func baseBucket(rng *rand.Rand, m int) []geom.Weighted {
+	out := make([]geom.Weighted, m)
+	for i := range out {
+		out[i] = geom.Weighted{P: geom.Point{rng.NormFloat64(), rng.NormFloat64()}, W: 1}
+	}
+	return out
+}
+
+func newTestTree(r, m int, seed int64) (*Tree, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	return New(r, m, coreset.KMeansPP{}, rng), rng
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { newTestTree(1, 10, 1) },
+		func() { newTestTree(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestLevelCountsMatchBaseRDigits verifies the Section 3.2 invariant: after
+// N base buckets, level i holds exactly s_i buckets where N = (s_q...s_0)_r.
+func TestLevelCountsMatchBaseRDigits(t *testing.T) {
+	for _, r := range []int{2, 3, 5} {
+		tree, rng := newTestTree(r, 8, int64(r))
+		for n := 1; n <= 200; n++ {
+			tree.Update(baseBucket(rng, 8))
+			counts := tree.LevelCounts()
+			rem := n
+			for j := 0; j < len(counts); j++ {
+				if counts[j] != rem%r {
+					t.Fatalf("r=%d N=%d level %d has %d buckets, want digit %d",
+						r, n, j, counts[j], rem%r)
+				}
+				rem /= r
+			}
+			if rem != 0 {
+				t.Fatalf("r=%d N=%d: levels missing for remaining digits", r, n)
+			}
+		}
+	}
+}
+
+// TestFact1LevelBound verifies Fact 1: every active bucket's coreset level
+// is at most ceil(log_r N).
+func TestFact1LevelBound(t *testing.T) {
+	for _, r := range []int{2, 3, 4} {
+		tree, rng := newTestTree(r, 6, int64(10+r))
+		for n := 1; n <= 300; n++ {
+			tree.Update(baseBucket(rng, 6))
+			maxLevel := tree.MaxBucketLevel()
+			logN := math.Log(float64(n)) / math.Log(float64(r))
+			if float64(maxLevel) > math.Ceil(logN)+1e-9 {
+				t.Fatalf("r=%d N=%d: max bucket level %d exceeds ceil(log_r N)=%v",
+					r, n, maxLevel, math.Ceil(logN))
+			}
+		}
+	}
+}
+
+// TestSpansPartitionStream verifies that active buckets, ordered old to
+// new, partition [1, N] exactly.
+func TestSpansPartitionStream(t *testing.T) {
+	tree, rng := newTestTree(3, 5, 42)
+	for n := 1; n <= 120; n++ {
+		tree.Update(baseBucket(rng, 5))
+		// Collect spans from highest level (oldest) to lowest.
+		counts := tree.LevelCounts()
+		next := 1
+		for j := len(counts) - 1; j >= 0; j-- {
+			for _, b := range tree.BucketsAtLevel(j) {
+				if b.Start != next {
+					t.Fatalf("N=%d: bucket %s does not start at %d", n, b.Span(), next)
+				}
+				next = b.End + 1
+			}
+		}
+		if next != n+1 {
+			t.Fatalf("N=%d: spans cover up to %d", n, next-1)
+		}
+	}
+}
+
+func TestCoresetWeightEqualsStreamWeight(t *testing.T) {
+	tree, rng := newTestTree(2, 10, 7)
+	const buckets = 50
+	for n := 1; n <= buckets; n++ {
+		tree.Update(baseBucket(rng, 10))
+	}
+	got := geom.TotalWeight(tree.Coreset())
+	want := float64(buckets * 10)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("coreset weight %v, want %v", got, want)
+	}
+}
+
+func TestCoresetSizeBounded(t *testing.T) {
+	// Active buckets number at most (r-1) per level over ceil(log_r N)+1
+	// levels; each holds at most m points.
+	tree, rng := newTestTree(3, 8, 99)
+	for n := 1; n <= 500; n++ {
+		tree.Update(baseBucket(rng, 8))
+		levels := float64(len(tree.LevelCounts()))
+		maxPts := int(levels) * (3 - 1) * 8
+		if got := len(tree.Coreset()); got > maxPts {
+			t.Fatalf("N=%d: coreset has %d points, bound %d", n, got, maxPts)
+		}
+	}
+}
+
+func TestPointsStoredMatchesCoresetPlusNothing(t *testing.T) {
+	tree, rng := newTestTree(2, 6, 3)
+	for n := 1; n <= 33; n++ {
+		tree.Update(baseBucket(rng, 6))
+	}
+	if tree.PointsStored() != len(tree.Coreset()) {
+		t.Fatalf("PointsStored %d != coreset union size %d",
+			tree.PointsStored(), len(tree.Coreset()))
+	}
+}
+
+func TestMergeBucketsLevelSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := coreset.KMeansPP{}
+
+	// Exact union: total <= m keeps the max level (Observation 1).
+	small1 := Bucket{Points: baseBucket(rng, 3), Level: 2, Start: 1, End: 4}
+	small2 := Bucket{Points: baseBucket(rng, 3), Level: 1, Start: 5, End: 6}
+	exact := MergeBuckets(b, rng, 10, small1, small2)
+	if exact.Level != 2 {
+		t.Fatalf("exact union level = %d, want 2", exact.Level)
+	}
+	if len(exact.Points) != 6 {
+		t.Fatalf("exact union size = %d, want 6", len(exact.Points))
+	}
+	if exact.Start != 1 || exact.End != 6 {
+		t.Fatalf("exact union span = %s", exact.Span())
+	}
+
+	// Reduction: total > m adds one level (Observation 2).
+	big1 := Bucket{Points: baseBucket(rng, 10), Level: 2, Start: 1, End: 4}
+	big2 := Bucket{Points: baseBucket(rng, 10), Level: 3, Start: 5, End: 6}
+	red := MergeBuckets(b, rng, 10, big1, big2)
+	if red.Level != 4 {
+		t.Fatalf("reduced level = %d, want 4", red.Level)
+	}
+	if len(red.Points) > 10 {
+		t.Fatalf("reduced size = %d, want <= 10", len(red.Points))
+	}
+}
+
+func TestMergeBucketsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	got := MergeBuckets(coreset.KMeansPP{}, rng, 5)
+	if got.Points != nil || got.Level != 0 {
+		t.Fatalf("empty merge = %+v", got)
+	}
+}
+
+func TestUpdateBucketPreservesMetadata(t *testing.T) {
+	tree, rng := newTestTree(2, 4, 8)
+	in := Bucket{Points: baseBucket(rng, 4), Level: 3, Start: 11, End: 20}
+	tree.UpdateBucket(in)
+	got := tree.BucketsAtLevel(0)
+	if len(got) != 1 || got[0].Level != 3 || got[0].Start != 11 || got[0].End != 20 {
+		t.Fatalf("UpdateBucket lost metadata: %+v", got)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	tree, rng := newTestTree(4, 12, 9)
+	if tree.R() != 4 || tree.M() != 12 || tree.N() != 0 {
+		t.Fatalf("accessors wrong: r=%d m=%d n=%d", tree.R(), tree.M(), tree.N())
+	}
+	tree.Update(baseBucket(rng, 12))
+	if tree.N() != 1 {
+		t.Fatalf("N = %d after one update", tree.N())
+	}
+	if got := tree.BucketsAtLevel(-1); got != nil {
+		t.Fatal("negative level should be nil")
+	}
+	if got := tree.BucketsAtLevel(99); got != nil {
+		t.Fatal("overlarge level should be nil")
+	}
+	if got := len(tree.ActiveBuckets()); got != 1 {
+		t.Fatalf("ActiveBuckets = %d, want 1", got)
+	}
+}
+
+// TestCarryChain drives the counter through an r^3 boundary to exercise a
+// cascading multi-level merge in one update.
+func TestCarryChain(t *testing.T) {
+	tree, rng := newTestTree(2, 4, 17)
+	for n := 1; n <= 8; n++ { // 8 = 2^3 triggers a 3-level cascade at n=8
+		tree.Update(baseBucket(rng, 4))
+	}
+	counts := tree.LevelCounts()
+	want := []int{0, 0, 0, 1}
+	if len(counts) != len(want) {
+		t.Fatalf("LevelCounts = %v, want %v", counts, want)
+	}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("LevelCounts = %v, want %v", counts, want)
+		}
+	}
+	b := tree.BucketsAtLevel(3)[0]
+	if b.Start != 1 || b.End != 8 {
+		t.Fatalf("top bucket span %s, want [1,8]", b.Span())
+	}
+	if b.Level != 3 {
+		t.Fatalf("top bucket level %d, want 3", b.Level)
+	}
+}

@@ -1,0 +1,120 @@
+package coretree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamkm/internal/coreset"
+)
+
+// TestQuickTreeInvariants drives randomly-configured trees through random
+// stream lengths and checks every structural invariant at once:
+//
+//   - level counts equal the base-r digits of N (Section 3.2);
+//   - bucket levels obey Fact 1;
+//   - spans partition [1, N];
+//   - total weight is conserved.
+func TestQuickTreeInvariants(t *testing.T) {
+	f := func(rRaw, mRaw uint8, nRaw uint16, seed int64) bool {
+		r := int(rRaw%6) + 2   // 2..7
+		m := int(mRaw%12) + 2  // 2..13
+		n := int(nRaw%300) + 1 // 1..300
+		rng := rand.New(rand.NewSource(seed))
+		tree := New(r, m, coreset.KMeansPP{}, rng)
+		for i := 0; i < n; i++ {
+			tree.Update(baseBucket(rng, m))
+		}
+		// Digits invariant.
+		rem := n
+		for _, c := range tree.LevelCounts() {
+			if c != rem%r {
+				return false
+			}
+			rem /= r
+		}
+		if rem != 0 {
+			return false
+		}
+		// Fact 1.
+		logN := math.Log(float64(n)) / math.Log(float64(r))
+		if float64(tree.MaxBucketLevel()) > math.Ceil(logN)+1e-9 {
+			return false
+		}
+		// Span partition, old to new.
+		next := 1
+		counts := tree.LevelCounts()
+		for j := len(counts) - 1; j >= 0; j-- {
+			for _, b := range tree.BucketsAtLevel(j) {
+				if b.Start != next {
+					return false
+				}
+				next = b.End + 1
+			}
+		}
+		if next != n+1 {
+			return false
+		}
+		// Weight conservation.
+		var w float64
+		for _, wp := range tree.Coreset() {
+			w += wp.W
+		}
+		want := float64(n * m)
+		return math.Abs(w-want) <= 1e-6*want
+	}
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMergeBucketsWeight checks weight conservation and level
+// accounting for random merges.
+func TestQuickMergeBucketsWeight(t *testing.T) {
+	f := func(sizes [4]uint8, levels [4]uint8, mRaw uint8, seed int64) bool {
+		m := int(mRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var bs []Bucket
+		var want float64
+		start := 1
+		maxLevel, total := 0, 0
+		for i := 0; i < 4; i++ {
+			sz := int(sizes[i]%10) + 1
+			lv := int(levels[i] % 5)
+			b := Bucket{Points: baseBucket(rng, sz), Level: lv, Start: start, End: start}
+			start++
+			bs = append(bs, b)
+			want += float64(sz)
+			total += sz
+			if lv > maxLevel {
+				maxLevel = lv
+			}
+		}
+		merged := MergeBuckets(coreset.KMeansPP{}, rng, m, bs...)
+		var got float64
+		for _, wp := range merged.Points {
+			got += wp.W
+		}
+		if math.Abs(got-want) > 1e-6*want {
+			return false
+		}
+		wantLevel := maxLevel
+		if total > m {
+			wantLevel = maxLevel + 1
+		}
+		return merged.Level == wantLevel && len(merged.Points) <= max(total, m) &&
+			merged.Start == 1 && merged.End == 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

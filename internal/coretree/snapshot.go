@@ -1,0 +1,47 @@
+package coretree
+
+import "streamkm/internal/geom"
+
+// TreeSnapshot is the exported, serialization-friendly state of a Tree.
+// All coordinates are deep copies: a snapshot stays valid however the live
+// tree evolves afterwards.
+type TreeSnapshot struct {
+	R      int
+	M      int
+	N      int
+	Levels [][]Bucket
+}
+
+// Snapshot captures the tree's complete logical state.
+func (t *Tree) Snapshot() TreeSnapshot {
+	s := TreeSnapshot{R: t.r, M: t.m, N: t.n, Levels: make([][]Bucket, len(t.levels))}
+	for j, level := range t.levels {
+		s.Levels[j] = cloneBuckets(level)
+	}
+	return s
+}
+
+// Restore replaces the tree's state with the snapshot's. The tree keeps its
+// builder and rng; only the logical contents change.
+func (t *Tree) Restore(s TreeSnapshot) {
+	t.r = s.R
+	t.m = s.M
+	t.n = s.N
+	t.levels = make([][]Bucket, len(s.Levels))
+	for j, level := range s.Levels {
+		t.levels[j] = cloneBuckets(level)
+	}
+}
+
+func cloneBuckets(bs []Bucket) []Bucket {
+	out := make([]Bucket, len(bs))
+	for i, b := range bs {
+		out[i] = Bucket{
+			Points: geom.CloneWeighted(b.Points),
+			Level:  b.Level,
+			Start:  b.Start,
+			End:    b.End,
+		}
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package coretree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	tree, rng := newTestTree(3, 6, 51)
+	for n := 1; n <= 29; n++ {
+		tree.Update(baseBucket(rng, 6))
+	}
+	snap := tree.Snapshot()
+	if snap.R != 3 || snap.M != 6 || snap.N != 29 {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+
+	fresh := New(2, 2, coreset.KMeansPP{}, rand.New(rand.NewSource(1)))
+	fresh.Restore(snap)
+	if fresh.R() != 3 || fresh.M() != 6 || fresh.N() != 29 {
+		t.Fatalf("restored header wrong: r=%d m=%d n=%d", fresh.R(), fresh.M(), fresh.N())
+	}
+	if fresh.PointsStored() != tree.PointsStored() {
+		t.Fatalf("points stored %d != %d", fresh.PointsStored(), tree.PointsStored())
+	}
+	// Level counts (= base-3 digits of 29) must survive.
+	a, b := tree.LevelCounts(), fresh.LevelCounts()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("level counts %v != %v", b, a)
+		}
+	}
+	// Restored tree continues consuming the stream with the invariant intact.
+	for n := 30; n <= 40; n++ {
+		fresh.Restore(fresh.Snapshot()) // self round-trip mid-stream is a no-op
+		fresh.Update(baseBucket(rng, 6))
+	}
+	got := geom.TotalWeight(fresh.Coreset())
+	want := float64(40 * 6)
+	if math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("weight after restore+updates %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	tree, rng := newTestTree(2, 4, 52)
+	tree.Update(baseBucket(rng, 4))
+	snap := tree.Snapshot()
+	// Mutate the live tree's stored weights; the snapshot must not move.
+	tree.ScaleWeights(100)
+	var snapW float64
+	for _, b := range snap.Levels[0] {
+		for _, wp := range b.Points {
+			snapW += wp.W
+		}
+	}
+	if snapW != 4 {
+		t.Fatalf("snapshot weight %v changed by live mutation", snapW)
+	}
+	// And the reverse: restoring then mutating the restored copy leaves the
+	// snapshot intact.
+	fresh := New(2, 4, coreset.KMeansPP{}, rand.New(rand.NewSource(2)))
+	fresh.Restore(snap)
+	fresh.ScaleWeights(0)
+	var again float64
+	for _, b := range snap.Levels[0] {
+		for _, wp := range b.Points {
+			again += wp.W
+		}
+	}
+	if again != 4 {
+		t.Fatalf("snapshot weight %v changed by restored-copy mutation", again)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	b := Bucket{Points: make([]geom.Weighted, 3), Level: 2, Start: 4, End: 9}
+	if b.Span() != "[4,9]" {
+		t.Fatalf("Span = %q", b.Span())
+	}
+	if b.NumPoints() != 3 {
+		t.Fatalf("NumPoints = %d", b.NumPoints())
+	}
+}
+
+func TestScaleWeights(t *testing.T) {
+	tree, rng := newTestTree(2, 5, 53)
+	for n := 1; n <= 7; n++ {
+		tree.Update(baseBucket(rng, 5))
+	}
+	before := geom.TotalWeight(tree.Coreset())
+	tree.ScaleWeights(0.2)
+	after := geom.TotalWeight(tree.Coreset())
+	if math.Abs(after-before*0.2) > 1e-9*before {
+		t.Fatalf("ScaleWeights: %v -> %v", before, after)
+	}
+}

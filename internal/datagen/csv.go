@@ -1,0 +1,72 @@
+package datagen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"streamkm/internal/geom"
+)
+
+// LoadCSV reads numeric points from CSV data, one point per record. Records
+// whose fields cannot all be parsed as floats are skipped when skipBad is
+// true (useful for header rows and the UCI files' occasional '?' missing
+// values, which the paper drops); otherwise the first bad record aborts
+// with an error. All points must share the dimensionality of the first
+// parsed record.
+func LoadCSV(r io.Reader, skipBad bool) ([]geom.Point, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []geom.Point
+	dim := -1
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("datagen: csv read: %w", err)
+		}
+		line++
+		p := make(geom.Point, len(rec))
+		ok := true
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				ok = false
+				if !skipBad {
+					return nil, fmt.Errorf("datagen: line %d field %d: %w", line, i+1, err)
+				}
+				break
+			}
+			p[i] = v
+		}
+		if !ok {
+			continue
+		}
+		if dim == -1 {
+			dim = len(p)
+		}
+		if len(p) != dim {
+			if skipBad {
+				continue
+			}
+			return nil, fmt.Errorf("datagen: line %d has %d fields, want %d", line, len(p), dim)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadCSVFile reads numeric points from a CSV file on disk.
+func LoadCSVFile(path string, skipBad bool) ([]geom.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadCSV(f, skipBad)
+}

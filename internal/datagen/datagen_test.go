@@ -1,0 +1,216 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func TestByNameAndShapes(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := ByName(name, 500, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if ds.N() != 500 {
+			t.Errorf("%s: N = %d, want 500", name, ds.N())
+		}
+		if ds.Dim != PaperDims[name] {
+			t.Errorf("%s: dim = %d, want %d (Table 3)", name, ds.Dim, PaperDims[name])
+		}
+		for i, p := range ds.Points {
+			if len(p) != ds.Dim {
+				t.Fatalf("%s: point %d has dim %d", name, i, len(p))
+			}
+			if !p.IsFinite() {
+				t.Fatalf("%s: point %d not finite: %v", name, i, p)
+			}
+		}
+	}
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestPaperSizesMatchTable3(t *testing.T) {
+	want := map[string]int{
+		"covtype": 581012, "power": 2049280, "intrusion": 494021, "drift": 200000,
+	}
+	for name, n := range want {
+		if PaperSizes[name] != n {
+			t.Errorf("PaperSizes[%s] = %d, want %d", name, PaperSizes[name], n)
+		}
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := ByName(name, 200, 42)
+		b, _ := ByName(name, 200, 42)
+		for i := range a.Points {
+			if !a.Points[i].Equal(b.Points[i]) {
+				t.Fatalf("%s: point %d differs across identical seeds", name, i)
+			}
+		}
+		c, _ := ByName(name, 200, 43)
+		same := true
+		for i := range a.Points {
+			if !a.Points[i].Equal(c.Points[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds gave identical data", name)
+		}
+	}
+}
+
+func TestCovtypeIsIntegral(t *testing.T) {
+	ds := Covtype(300, 1)
+	for _, p := range ds.Points {
+		for _, v := range p {
+			if v != math.Trunc(v) {
+				t.Fatalf("covtype attribute %v not integral", v)
+			}
+		}
+	}
+}
+
+// TestIntrusionSkew verifies the structural property the Intrusion
+// experiments rely on: the overwhelming majority of the mass lies in a
+// small region (the bulk clusters) and a small fraction is far away.
+func TestIntrusionSkew(t *testing.T) {
+	ds := Intrusion(5000, 2)
+	// Bulk clusters live in [0,100]^d (+noise); attacks near up-to-6000
+	// coordinates. Classify by norm of first coordinates.
+	far := 0
+	for _, p := range ds.Points {
+		if math.Abs(p[0]) > 1000 || math.Abs(p[1]) > 1000 {
+			far++
+		}
+	}
+	frac := float64(far) / float64(ds.N())
+	if frac > 0.15 {
+		t.Fatalf("attack fraction %.3f too high; want rare far clusters", frac)
+	}
+}
+
+// TestMixtureClusterable: k-means++ on a generated mixture should achieve a
+// far lower cost with the true k than with k=1 — i.e. the data actually has
+// cluster structure.
+func TestMixtureClusterable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mix := RandomMixture(rng, 5, 10, 1000, 5, 10, 0)
+	pts := geom.Wrap(mix.SampleN(rng, 2000))
+	k5, _ := kmeans.Run(rng, pts, 5, kmeans.Options{Runs: 3, LloydIters: 10})
+	k1, _ := kmeans.Run(rng, pts, 1, kmeans.Options{Runs: 1, LloydIters: 5})
+	c5 := kmeans.Cost(pts, k5)
+	c1 := kmeans.Cost(pts, k1)
+	if c5 > c1/5 {
+		t.Fatalf("mixture not clusterable: k=5 cost %v vs k=1 cost %v", c5, c1)
+	}
+}
+
+func TestMixtureWeightsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := &Mixture{
+		Centers: []geom.Point{{0}, {1000}},
+		Sds:     []float64{0.1, 0.1},
+		Weights: []float64{0.9, 0.1},
+	}
+	nearHeavy := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		p := m.Sample(rng)
+		if math.Abs(p[0]) < 500 {
+			nearHeavy++
+		}
+	}
+	frac := float64(nearHeavy) / n
+	if frac < 0.85 || frac > 0.95 {
+		t.Fatalf("heavy cluster fraction %.3f, want ~0.9", frac)
+	}
+}
+
+func TestRBFDriftActuallyDrifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewRBFDrift(rng, 5, 4, 100, 1, 2, 1.0, 10)
+	before := g.Centers()
+	_ = g.Take(5 * 10 * 20) // 20 steps
+	after := g.Centers()
+	moved := 0.0
+	for i := range before {
+		moved += geom.Dist(before[i], after[i])
+	}
+	if moved < 10 {
+		t.Fatalf("centers moved only %.2f total; drift not happening", moved)
+	}
+}
+
+func TestRBFDriftStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := NewRBFDrift(rng, 3, 3, 50, 0.5, 1, 5.0, 5)
+	_ = g.Take(3 * 5 * 100) // lots of steps and bounces
+	for _, c := range g.Centers() {
+		for _, v := range c {
+			if v < -1 || v > 51 {
+				t.Fatalf("center coordinate %v escaped [0,50]", v)
+			}
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := []geom.Point{{1}, {2}, {3}, {4}, {5}}
+	orig := map[float64]bool{1: true, 2: true, 3: true, 4: true, 5: true}
+	Shuffle(rng, pts)
+	if len(pts) != 5 {
+		t.Fatal("shuffle changed length")
+	}
+	for _, p := range pts {
+		if !orig[p[0]] {
+			t.Fatalf("shuffle invented point %v", p)
+		}
+		delete(orig, p[0])
+	}
+}
+
+func TestLoadCSV(t *testing.T) {
+	in := "h1,h2\n1.5,2.5\n3,4\nbad,5\n6,7\n"
+	pts, err := LoadCSV(strings.NewReader(in), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points, want 3 (header and bad row skipped)", len(pts))
+	}
+	if !pts[0].Equal(geom.Point{1.5, 2.5}) {
+		t.Fatalf("first point %v", pts[0])
+	}
+	if _, err := LoadCSV(strings.NewReader(in), false); err == nil {
+		t.Fatal("expected error in strict mode")
+	}
+}
+
+func TestLoadCSVDimMismatch(t *testing.T) {
+	in := "1,2\n3,4,5\n"
+	if _, err := LoadCSV(strings.NewReader(in), false); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+	pts, err := LoadCSV(strings.NewReader(in), true)
+	if err != nil || len(pts) != 1 {
+		t.Fatalf("lenient mode: %v %v", pts, err)
+	}
+}
+
+func TestLoadCSVFileMissing(t *testing.T) {
+	if _, err := LoadCSVFile("/nonexistent/path.csv", true); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,40 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadCSV feeds arbitrary text to the CSV point loader: it must never
+// panic, and in lenient mode every record it does accept must be a
+// finite-valued point of consistent dimension.
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("h1,h2\n1.5,-2.5e3\n")
+	f.Add("")
+	f.Add("NaN,Inf\n1,2\n")
+	f.Add("1\n1,2\n1,2,3\n")
+	f.Add("\"quoted\",2\n")
+	f.Add(",,,\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		pts, err := LoadCSV(strings.NewReader(data), true)
+		if err != nil {
+			return // malformed CSV structure is allowed to error
+		}
+		dim := -1
+		for i, p := range pts {
+			if dim == -1 {
+				dim = len(p)
+			}
+			if len(p) != dim {
+				t.Fatalf("record %d has dim %d, others %d", i, len(p), dim)
+			}
+		}
+		// Strict mode must never return more points than lenient mode.
+		strict, err := LoadCSV(strings.NewReader(data), false)
+		if err == nil && len(strict) != len(pts) {
+			t.Fatalf("strict accepted %d records, lenient %d", len(strict), len(pts))
+		}
+	})
+}

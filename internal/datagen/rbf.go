@@ -1,0 +1,116 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"streamkm/internal/geom"
+)
+
+// RBFDrift is an MOA-style Radial Basis Function stream generator with
+// drifting centers — the recipe behind the paper's Drift dataset (Section
+// 5.1, following Barddal et al.): k centers move with a fixed speed in a
+// random direction; at every time step each center emits PointsPerStep
+// points from an isotropic Gaussian with that center's standard deviation.
+//
+// Unlike the static datasets, RBF streams are not shuffled: their point is
+// precisely that the distribution evolves over time.
+type RBFDrift struct {
+	rng           *rand.Rand
+	centers       []geom.Point
+	velocity      []geom.Point
+	sds           []float64
+	box           float64
+	PointsPerStep int
+
+	buf []geom.Point // points generated for the current step, consumed by Next
+}
+
+// NewRBFDrift creates a drifting generator of k clusters in d dimensions.
+// Centers start uniform in [0, box]^d with standard deviations uniform in
+// [sdMin, sdMax]; each center moves `speed` units per step in its own fixed
+// random direction, bouncing off the [0, box] walls.
+func NewRBFDrift(rng *rand.Rand, k, d int, box, sdMin, sdMax, speed float64, pointsPerStep int) *RBFDrift {
+	g := &RBFDrift{
+		rng:           rng,
+		centers:       make([]geom.Point, k),
+		velocity:      make([]geom.Point, k),
+		sds:           make([]float64, k),
+		PointsPerStep: pointsPerStep,
+	}
+	for i := 0; i < k; i++ {
+		c := make(geom.Point, d)
+		v := make(geom.Point, d)
+		var norm float64
+		for j := range c {
+			c[j] = rng.Float64() * box
+			v[j] = rng.NormFloat64()
+			norm += v[j] * v[j]
+		}
+		if norm > 0 {
+			v.Scale(speed / math.Sqrt(norm))
+		}
+		g.centers[i] = c
+		g.velocity[i] = v
+		g.sds[i] = sdMin + rng.Float64()*(sdMax-sdMin)
+	}
+	g.box = box
+	return g
+}
+
+// step advances every center one tick and refills the buffer with
+// PointsPerStep points per center, in randomized cluster order.
+func (g *RBFDrift) step() {
+	for i, c := range g.centers {
+		v := g.velocity[i]
+		for j := range c {
+			c[j] += v[j]
+			if c[j] < 0 {
+				c[j] = -c[j]
+				v[j] = -v[j]
+			} else if c[j] > g.box {
+				c[j] = 2*g.box - c[j]
+				v[j] = -v[j]
+			}
+		}
+	}
+	g.buf = g.buf[:0]
+	for i, c := range g.centers {
+		for p := 0; p < g.PointsPerStep; p++ {
+			q := make(geom.Point, len(c))
+			for j := range q {
+				q[j] = c[j] + g.rng.NormFloat64()*g.sds[i]
+			}
+			g.buf = append(g.buf, q)
+		}
+	}
+	g.rng.Shuffle(len(g.buf), func(a, b int) { g.buf[a], g.buf[b] = g.buf[b], g.buf[a] })
+}
+
+// Next returns the next point of the evolving stream.
+func (g *RBFDrift) Next() geom.Point {
+	if len(g.buf) == 0 {
+		g.step()
+	}
+	p := g.buf[len(g.buf)-1]
+	g.buf = g.buf[:len(g.buf)-1]
+	return p
+}
+
+// Take materializes the next n points of the stream.
+func (g *RBFDrift) Take(n int) []geom.Point {
+	out := make([]geom.Point, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Centers returns a snapshot (copies) of the current drifting centers.
+func (g *RBFDrift) Centers() []geom.Point {
+	out := make([]geom.Point, len(g.centers))
+	for i, c := range g.centers {
+		out[i] = c.Clone()
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package decay adds time-decayed weighting to any coreset-based streaming
+// clusterer, addressing the paper's first open question ("improved handling
+// of concept drift, through the use of time-decaying weights", Section 6).
+//
+// The implementation uses forward decay (Cormode, Shkapenyuk, Srivastava,
+// Xu 2009): the point arriving at time t is inserted with weight
+// g(t) = exp(lambda * t). At query time, the weight of an age-(now - t)
+// point relative to a fresh point is g(t)/g(now) = exp(-lambda*(now - t)) —
+// exactly exponential decay — but no stored weight ever needs rescaling,
+// because k-means centers are invariant under uniform scaling of all
+// weights. The coreset tree, cache and recursive cache therefore work
+// untouched: decayed weights flow through the standard merge-and-reduce.
+//
+// Stored weights grow as exp(lambda*t) and would overflow float64 around
+// t*lambda ≈ 700. Renormalize epochs handle this: when the current scale
+// exceeds a threshold, the driver rescales every stored weight by a
+// constant factor (again cost-invariant), which touches each stored point
+// once per ~600/lambda arrivals — amortized O(1).
+package decay
+
+import (
+	"math"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+)
+
+// rescaleThreshold triggers an epoch rescale before exp overflows.
+const rescaleThreshold = 1e250
+
+// WeightScaler rescales every stored weight by a constant factor.
+// Structures that hold weighted points implement it to support forward
+// decay epochs. core.CT, core.CC and core.RCC all implement it.
+type WeightScaler interface {
+	ScaleWeights(factor float64)
+}
+
+// Clusterer wraps a driver-based streaming clusterer with forward
+// exponential decay: recent points dominate queries with half-life
+// ln(2)/lambda points.
+type Clusterer struct {
+	driver *core.Driver
+	lambda float64
+	growth float64 // exp(lambda), per-point weight growth
+	curW   float64 // insertion weight of the next arriving point
+}
+
+// New wraps driver with forward decay rate lambda (> 0). A point's weight
+// halves every ln(2)/lambda arrivals. The driver's structure must implement
+// WeightScaler (CT, CC and RCC do).
+func New(driver *core.Driver, lambda float64) *Clusterer {
+	if lambda <= 0 {
+		panic("decay: lambda must be > 0")
+	}
+	if _, ok := driver.Structure().(WeightScaler); !ok {
+		panic("decay: driver structure does not support weight scaling")
+	}
+	return &Clusterer{driver: driver, lambda: lambda, growth: math.Exp(lambda), curW: 1}
+}
+
+// Add observes one stream point with forward-decay weight. The insertion
+// weight grows by exp(lambda) per point and is tracked incrementally —
+// never as exp(lambda*t), which would overflow long before any epoch.
+func (c *Clusterer) Add(p geom.Point) {
+	if c.curW > rescaleThreshold {
+		// Epoch: divide all stored weights so the insertion weight returns
+		// to 1. Uniform scaling leaves cluster centers unchanged; weights of
+		// points older than ~1000 half-lives underflow to zero and their
+		// coreset entries get compacted away on the next merge.
+		factor := 1 / c.curW
+		c.driver.Structure().(WeightScaler).ScaleWeights(factor)
+		c.driver.ScalePartialWeights(factor)
+		c.curW = 1
+	}
+	c.driver.AddWeighted(geom.Weighted{P: p, W: c.curW})
+	c.curW *= c.growth
+}
+
+// AddWeighted observes a point carrying weight w — equivalent to w unit
+// points arriving at the same instant, so the decayed insertion weight is
+// w times the current epoch weight and time advances by one tick.
+func (c *Clusterer) AddWeighted(wp geom.Weighted) {
+	if c.curW > rescaleThreshold {
+		factor := 1 / c.curW
+		c.driver.Structure().(WeightScaler).ScaleWeights(factor)
+		c.driver.ScalePartialWeights(factor)
+		c.curW = 1
+	}
+	c.driver.AddWeighted(geom.Weighted{P: wp.P, W: wp.W * c.curW})
+	c.curW *= c.growth
+}
+
+// Centers returns k cluster centers for the decayed stream.
+func (c *Clusterer) Centers() []geom.Point { return c.driver.Centers() }
+
+// PointsStored reports the wrapped driver's memory in points.
+func (c *Clusterer) PointsStored() int { return c.driver.PointsStored() }
+
+// Name identifies the algorithm in reports.
+func (c *Clusterer) Name() string { return "Decay(" + c.driver.Name() + ")" }
+
+// HalfLife returns the decay half-life in points.
+func (c *Clusterer) HalfLife() float64 { return math.Ln2 / c.lambda }
+
+// Driver exposes the wrapped driver (tests).
+func (c *Clusterer) Driver() *core.Driver { return c.driver }

@@ -1,0 +1,171 @@
+package decay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func newDecayed(t *testing.T, lambda float64, m int) *Clusterer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	cc := core.NewCC(2, m, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 2, m, rng, kmeans.FastOptions())
+	return New(d, lambda)
+}
+
+func TestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cc := core.NewCC(2, 10, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 2, 10, rng, kmeans.FastOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lambda <= 0")
+		}
+	}()
+	New(d, 0)
+}
+
+func TestHalfLife(t *testing.T) {
+	c := newDecayed(t, math.Ln2/100, 20)
+	if hl := c.HalfLife(); math.Abs(hl-100) > 1e-9 {
+		t.Fatalf("HalfLife = %v, want 100", hl)
+	}
+}
+
+// TestRecentPointsDominate is the concept-drift property the extension
+// exists for: after a distribution shift, a decayed clusterer's centers
+// should follow the new distribution even when the old one emitted far
+// more points.
+func TestRecentPointsDominate(t *testing.T) {
+	c := newDecayed(t, math.Ln2/200, 25) // half-life 200 points
+	rng := rand.New(rand.NewSource(2))
+	// 4000 points at the old location...
+	for i := 0; i < 4000; i++ {
+		c.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	// ...then only 1200 at the new location (3 half-lives after the shift,
+	// old weight is ~6% more than 1/16 of new weight mass).
+	for i := 0; i < 1200; i++ {
+		c.Add(geom.Point{100 + rng.NormFloat64(), 100 + rng.NormFloat64()})
+	}
+	centers := c.Centers()
+	d, _ := geom.MinSqDist(geom.Point{100, 100}, centers)
+	if d > 25 {
+		t.Fatalf("no center near the recent mass (sqdist %v): %v", d, centers)
+	}
+	// The decayed weight of the recent half must dominate the coreset.
+	union := c.Driver().CoresetUnion()
+	var recent, old float64
+	for _, wp := range union {
+		if wp.P[0] > 50 {
+			recent += wp.W
+		} else {
+			old += wp.W
+		}
+	}
+	if recent < 5*old {
+		t.Fatalf("recent weight %v does not dominate old %v", recent, old)
+	}
+}
+
+// TestUndecayedContrast: without decay the old mass keeps a center pair on
+// it; this contrast pins down that the behaviour above comes from decay.
+func TestUndecayedContrast(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cc := core.NewCC(2, 25, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 2, 25, rng, kmeans.FastOptions())
+	gen := rand.New(rand.NewSource(2))
+	for i := 0; i < 4000; i++ {
+		d.Add(geom.Point{gen.NormFloat64(), gen.NormFloat64()})
+	}
+	for i := 0; i < 1200; i++ {
+		d.Add(geom.Point{100 + gen.NormFloat64(), 100 + gen.NormFloat64()})
+	}
+	union := d.CoresetUnion()
+	var recent, old float64
+	for _, wp := range union {
+		if wp.P[0] > 50 {
+			recent += wp.W
+		} else {
+			old += wp.W
+		}
+	}
+	if old < 2*recent {
+		t.Fatalf("undecayed: old weight %v should dominate recent %v", old, recent)
+	}
+}
+
+// TestEpochRescaleKeepsRelativeWeights drives the clusterer across several
+// overflow epochs and verifies that relative weights (new vs old) stay
+// consistent with pure exponential decay.
+func TestEpochRescaleKeepsRelativeWeights(t *testing.T) {
+	// Large lambda forces an epoch every ~575 points (e^575 > 1e250).
+	lambda := 1.0
+	c := newDecayed(t, lambda, 10)
+	rng := rand.New(rand.NewSource(4))
+	const n = 2000 // > 3 epochs
+	for i := 0; i < n; i++ {
+		c.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	union := c.Driver().CoresetUnion()
+	var total float64
+	var maxW float64
+	for _, wp := range union {
+		if wp.W < 0 || math.IsInf(wp.W, 0) || math.IsNaN(wp.W) {
+			t.Fatalf("invalid weight %v after epochs", wp.W)
+		}
+		total += wp.W
+		if wp.W > maxW {
+			maxW = wp.W
+		}
+	}
+	if total <= 0 || math.IsInf(total, 0) {
+		t.Fatalf("total weight %v invalid", total)
+	}
+	// With lambda=1 per point, essentially all weight sits on the most
+	// recent few points: max weight should carry most of the total.
+	if maxW < total/10 {
+		t.Fatalf("weight distribution inconsistent with strong decay: max %v of %v", maxW, total)
+	}
+}
+
+// TestWorksWithCTAndRCC: decay is structure-agnostic across the scalers.
+func TestWorksWithCTAndRCC(t *testing.T) {
+	for _, mk := range []func(*rand.Rand) core.Structure{
+		func(r *rand.Rand) core.Structure { return core.NewCT(2, 20, coreset.KMeansPP{}, r) },
+		func(r *rand.Rand) core.Structure { return core.NewRCC(1, 20, coreset.KMeansPP{}, r) },
+	} {
+		rng := rand.New(rand.NewSource(5))
+		d := core.NewDriver(mk(rng), 2, 20, rng, kmeans.FastOptions())
+		c := New(d, 0.5) // strong decay with frequent epochs
+		gen := rand.New(rand.NewSource(6))
+		for i := 0; i < 1500; i++ {
+			c.Add(geom.Point{gen.NormFloat64(), gen.NormFloat64()})
+		}
+		centers := c.Centers()
+		if len(centers) == 0 {
+			t.Fatalf("%s: no centers", c.Name())
+		}
+		for _, ctr := range centers {
+			if !ctr.IsFinite() {
+				t.Fatalf("%s: non-finite center %v", c.Name(), ctr)
+			}
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	c := newDecayed(t, 0.1, 10)
+	if c.Name() != "Decay(CC)" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.PointsStored() != 0 {
+		t.Fatalf("PointsStored = %d before any point", c.PointsStored())
+	}
+}

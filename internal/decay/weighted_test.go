@@ -1,0 +1,60 @@
+package decay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+func TestAddWeightedScalesInsertionWeight(t *testing.T) {
+	c := newDecayed(t, 0.01, 10)
+	c.AddWeighted(geom.Weighted{P: geom.Point{1, 1}, W: 5})
+	union := c.Driver().CoresetUnion()
+	if len(union) != 1 {
+		t.Fatalf("union size %d", len(union))
+	}
+	// First point: epoch weight 1, so stored weight = 5.
+	if math.Abs(union[0].W-5) > 1e-12 {
+		t.Fatalf("stored weight %v, want 5", union[0].W)
+	}
+	// Second point arrives one tick later: epoch weight e^lambda.
+	c.AddWeighted(geom.Weighted{P: geom.Point{2, 2}, W: 2})
+	union = c.Driver().CoresetUnion()
+	want := 2 * math.Exp(0.01)
+	if math.Abs(union[1].W-want) > 1e-12 {
+		t.Fatalf("second stored weight %v, want %v", union[1].W, want)
+	}
+}
+
+func TestAddWeightedEpochRescale(t *testing.T) {
+	// Strong decay: epochs trigger; weighted adds must stay finite and the
+	// relative ordering (newer heavier) must persist.
+	c := newDecayed(t, 2.0, 10)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 807; i++ { // not a multiple of m: partial bucket non-empty
+		c.AddWeighted(geom.Weighted{
+			P: geom.Point{rng.NormFloat64(), rng.NormFloat64()},
+			W: 1 + rng.Float64(),
+		})
+	}
+	for _, wp := range c.Driver().CoresetUnion() {
+		if math.IsNaN(wp.W) || math.IsInf(wp.W, 0) || wp.W < 0 {
+			t.Fatalf("invalid weight %v", wp.W)
+		}
+	}
+	// The partial bucket is chronological: each point's stored weight grows
+	// by e^lambda per tick (modulo the 1..2 random multiplier), so newer
+	// entries must outweigh older ones by at least e^lambda/2 > 3.
+	partial := c.Driver().Partial()
+	if len(partial) < 2 {
+		t.Fatalf("expected a non-empty partial bucket, got %d", len(partial))
+	}
+	for i := 1; i < len(partial); i++ {
+		if partial[i].W < partial[i-1].W {
+			t.Fatalf("newer partial point lighter than older: %v after %v",
+				partial[i].W, partial[i-1].W)
+		}
+	}
+}

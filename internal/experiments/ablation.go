@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/datagen"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/workload"
+)
+
+// Ablation regenerates the design-choice ablations called out in DESIGN.md.
+// These have no direct figure in the paper but quantify its design
+// decisions:
+//
+//  1. coreset builder: the k-means++-reduce construction (the paper's
+//     choice) versus sensitivity sampling versus uniform sampling;
+//  2. merge degree r of CC: query/update cost and coreset level versus r
+//     (the Table 1 trade-off);
+//  3. caching: CT versus CC on the same stream — the query-time speedup
+//     that is the paper's core claim;
+//  4. RCC nesting depth: memory versus query time versus coreset level
+//     (the Table 2 trade-off).
+func Ablation(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	// Ablations use the first configured dataset only.
+	ds, err := loadOne(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+
+	// --- 1. Builder ablation (quality at fixed memory). ---
+	bt := metrics.NewTable(
+		"Ablation 1 ("+ds.Name+"): coreset builder vs final k-means cost  [k="+strconv.Itoa(cfg.K)+"]",
+		"builder", "final cost", "coreset points")
+	m := 20 * cfg.K
+	for _, b := range []coreset.Builder{coreset.KMeansPP{}, coreset.Sensitivity{}, coreset.Uniform{}} {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		drv := core.NewDriver(core.NewCC(2, m, b, rng), cfg.K, m, rng, cfg.queryOptions())
+		res := workload.Run(drv, ds.Points, workload.FixedInterval{Q: cfg.Q})
+		extract := rand.New(rand.NewSource(cfg.Seed + 7))
+		centers, _ := kmeans.Run(extract, drv.CoresetUnion(), cfg.K, kmeans.AccuracyOptions())
+		cost := kmeans.Cost(geom.Wrap(ds.Points), centers)
+		bt.AddRow(b.Name(), cost, res.PointsStored)
+	}
+	tables = append(tables, bt)
+
+	// --- 2. Merge degree sweep for CC. ---
+	rt := metrics.NewTable(
+		"Ablation 2 ("+ds.Name+"): CC merge degree r vs cost and time  [k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+		"r", "total time (s)", "query time (s)", "coreset level", "memory (points)")
+	for _, r := range []int{2, 3, 4, 8} {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		cc := core.NewCC(r, m, coreset.KMeansPP{}, rng)
+		drv := core.NewDriver(cc, cfg.K, m, rng, cfg.queryOptions())
+		res := workload.Run(drv, ds.Points, workload.FixedInterval{Q: cfg.Q})
+		level := cc.CoresetBucket().Level
+		rt.AddRow(r, res.TotalTime().Seconds(), res.QueryTime.Seconds(), level, res.PointsStored)
+	}
+	tables = append(tables, rt)
+
+	// --- 3. Caching on/off: CT vs CC, query time only. ---
+	ct := metrics.NewTable(
+		"Ablation 3 ("+ds.Name+"): coreset caching on/off  [k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+		"structure", "query time (s)", "update time (s)", "memory (points)")
+	for _, name := range []string{"StreamKM++", "CC"} {
+		res, err := streamAndMeasure(name, ds, cfg.K, m, 1.2, cfg.Seed,
+			workload.FixedInterval{Q: cfg.Q}, cfg.queryOptions())
+		if err != nil {
+			return nil, err
+		}
+		label := "CT (no cache)"
+		if name == "CC" {
+			label = "CC (cached)"
+		}
+		ct.AddRow(label, res.QueryTime.Seconds(), res.UpdateTime.Seconds(), res.PointsStored)
+	}
+	tables = append(tables, ct)
+
+	// --- 4. RCC nesting depth sweep. ---
+	dt := metrics.NewTable(
+		"Ablation 4 ("+ds.Name+"): RCC nesting depth  [k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+		"order", "degrees", "query time (s)", "coreset level", "memory (points)")
+	for _, order := range []int{0, 1, 2, 3} {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		rcc := core.NewRCC(order, m, coreset.KMeansPP{}, rng)
+		drv := core.NewDriver(rcc, cfg.K, m, rng, cfg.queryOptions())
+		res := workload.Run(drv, ds.Points, workload.FixedInterval{Q: cfg.Q})
+		level := rcc.CoresetBucket().Level
+		dt.AddRow(order, degreesString(core.DefaultRCCDegrees(order)),
+			res.QueryTime.Seconds(), level, res.PointsStored)
+	}
+	tables = append(tables, dt)
+
+	return tables, nil
+}
+
+func loadOne(cfg Config) (datagen.Dataset, error) {
+	all, err := cfg.loadDatasets()
+	if err != nil {
+		return datagen.Dataset{}, err
+	}
+	return all[0], nil
+}
+
+func degreesString(ds []int) string {
+	s := ""
+	for i, d := range ds {
+		if i > 0 {
+			s += ","
+		}
+		s += strconv.Itoa(d)
+	}
+	return s
+}

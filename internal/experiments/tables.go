@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+
+	"streamkm/internal/core"
+	"streamkm/internal/datagen"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/metrics"
+	"streamkm/internal/workload"
+)
+
+// newSchedRng derives an independent randomness source for query schedules
+// so that schedule noise does not perturb algorithm randomness.
+func newSchedRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed ^ 0x5EED)) }
+
+// fallbackCount reruns OnlineCC once and reports how many queries fell back
+// to CC (diagnostic column for Figure 11).
+func fallbackCount(ds datagen.Dataset, cfg Config, m int, alpha float64) int64 {
+	alg, err := NewClusterer("OnlineCC", cfg.K, m, len(ds.Points)/m, alpha, cfg.Seed, kmeans.FastOptions())
+	if err != nil {
+		return -1
+	}
+	_ = workload.Run(alg, ds.Points, workload.FixedInterval{Q: cfg.Q})
+	return alg.(*core.OnlineCC).Stats().Fallbacks
+}
+
+// Table3 regenerates Table 3: the dataset overview. At full scale
+// (N = datagen.PaperSizes) the cardinalities match the paper exactly.
+func Table3(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	tb := metrics.NewTable("Table 3: overview of the datasets",
+		"Dataset", "Points (run)", "Points (paper)", "Dimension", "Description")
+	for _, name := range cfg.Datasets {
+		ds, err := datagen.ByName(name, cfg.N, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(ds.Name, ds.N(), datagen.PaperSizes[name], ds.Dim, ds.Description)
+	}
+	return []*metrics.Table{tb}, nil
+}
+
+// Table4 regenerates Table 4: memory cost in points and megabytes for the
+// coreset algorithms after consuming the whole stream with queries every Q
+// points.
+//
+// Expected shape (paper): StreamKM++ smallest (tree only); CC < 2x
+// StreamKM++ (adds the cache); OnlineCC ≈ CC + k live centers; RCC largest.
+func Table4(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	ptsTable := metrics.NewTable(
+		"Table 4a: memory cost in points  [k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+		append([]string{"Dataset"}, timingAlgos...)...)
+	mbTable := metrics.NewTable(
+		"Table 4b: memory cost in megabytes (8 bytes/attribute)",
+		append([]string{"Dataset"}, timingAlgos...)...)
+	m := 20 * cfg.K
+	for _, ds := range datasets {
+		ptsRow := []interface{}{ds.Name}
+		mbRow := []interface{}{ds.Name}
+		for _, name := range timingAlgos {
+			res, err := streamAndMeasure(name, ds, cfg.K, m, 1.2, cfg.Seed,
+				workload.FixedInterval{Q: cfg.Q}, kmeans.FastOptions())
+			if err != nil {
+				return nil, err
+			}
+			ptsRow = append(ptsRow, res.PointsStored)
+			mbRow = append(mbRow, metrics.MemoryMB(res.PointsStored, ds.Dim))
+		}
+		ptsTable.AddRow(ptsRow...)
+		mbTable.AddRow(mbRow...)
+	}
+	return []*metrics.Table{ptsTable, mbTable}, nil
+}
+
+// Fig6 regenerates Figure 6: k-means cost versus bucket size m = factor·k.
+//
+// Expected shape (paper): cost is essentially flat in m for all coreset
+// algorithms — 20k is already enough in practice.
+func Fig6(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+	for _, ds := range datasets {
+		tb := metrics.NewTable(
+			"Figure 6 ("+ds.Name+"): k-means cost vs bucket size  [n="+strconv.Itoa(ds.N())+", k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+			append([]string{"m"}, coresetAlgos()...)...)
+		for _, f := range cfg.BucketFactors {
+			m := f * cfg.K
+			vals, err := cfg.medianOverRuns(func(seed int64) (map[string]float64, error) {
+				out := map[string]float64{}
+				for _, name := range coresetAlgos() {
+					c, err := finalCost(name, ds, cfg.K, m, cfg, seed)
+					if err != nil {
+						return nil, err
+					}
+					out[name] = c
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{strconv.Itoa(f) + "k"}
+			for _, name := range coresetAlgos() {
+				row = append(row, vals[name])
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// coresetAlgos returns the algorithms shown in Figure 6 (Sequential is
+// omitted: it has no bucket size).
+func coresetAlgos() []string { return []string{"StreamKM++", "CC", "RCC", "OnlineCC"} }

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strconv"
+
+	"streamkm/internal/metrics"
+	"streamkm/internal/workload"
+)
+
+// timingAlgos are the algorithms compared in the runtime figures (the
+// paper's Figures 5 and 7–11 omit Sequential: it has no meaningful
+// query/update split against coreset methods).
+var timingAlgos = []string{"StreamKM++", "CC", "RCC", "OnlineCC"}
+
+// Fig5 regenerates Figure 5: total runtime (seconds) over the whole stream
+// versus the fixed query interval q, one table per dataset.
+//
+// Expected shape (paper): OnlineCC flat and smallest; CC and RCC similar at
+// roughly half of StreamKM++; all algorithms converge as q grows past 1600.
+func Fig5(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+	for _, ds := range datasets {
+		tb := metrics.NewTable(
+			"Figure 5 ("+ds.Name+"): total time (seconds) vs query interval q  [n="+strconv.Itoa(ds.N())+", k="+strconv.Itoa(cfg.K)+"]",
+			append([]string{"q"}, timingAlgos...)...)
+		m := 20 * cfg.K
+		for _, q := range cfg.Qs {
+			vals, err := cfg.medianOverRuns(func(seed int64) (map[string]float64, error) {
+				out := map[string]float64{}
+				for _, name := range timingAlgos {
+					res, err := streamAndMeasure(name, ds, cfg.K, m, 1.2, seed,
+						workload.FixedInterval{Q: q}, cfg.queryOptions())
+					if err != nil {
+						return nil, err
+					}
+					out[name] = res.TotalTime().Seconds()
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{q}
+			for _, name := range timingAlgos {
+				row = append(row, vals[name])
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig7 regenerates Figure 7: average total runtime per point
+// (microseconds) versus bucket size m = factor·k, one table per dataset.
+//
+// Expected shape (paper): all times grow with m; CC's query time crosses
+// above StreamKM++ when m reaches ~80k because the coreset tree gets so
+// shallow that caching cannot pay for its extra coreset construction.
+func Fig7(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+	for _, ds := range datasets {
+		tb := metrics.NewTable(
+			"Figure 7 ("+ds.Name+"): avg runtime per point (µs) vs bucket size  [n="+strconv.Itoa(ds.N())+", k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+			append([]string{"m"}, timingAlgos...)...)
+		for _, f := range cfg.BucketFactors {
+			m := f * cfg.K
+			vals, err := cfg.medianOverRuns(func(seed int64) (map[string]float64, error) {
+				out := map[string]float64{}
+				for _, name := range timingAlgos {
+					res, err := streamAndMeasure(name, ds, cfg.K, m, 1.2, seed,
+						workload.FixedInterval{Q: cfg.Q}, cfg.queryOptions())
+					if err != nil {
+						return nil, err
+					}
+					out[name] = float64(res.TotalPerPoint().Nanoseconds()) / 1e3
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{strconv.Itoa(f) + "k"}
+			for _, name := range timingAlgos {
+				row = append(row, vals[name])
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// poissonFigure regenerates one of Figures 8-10: a per-point time metric
+// versus the Poisson query arrival rate lambda.
+func poissonFigure(cfg Config, title string, metric func(workload.Result) float64) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+	for _, ds := range datasets {
+		tb := metrics.NewTable(
+			title+" ("+ds.Name+")  [n="+strconv.Itoa(ds.N())+", k="+strconv.Itoa(cfg.K)+"]",
+			append([]string{"lambda"}, timingAlgos...)...)
+		m := 20 * cfg.K
+		for _, lambda := range cfg.Lambdas {
+			lambda := lambda
+			vals, err := cfg.medianOverRuns(func(seed int64) (map[string]float64, error) {
+				out := map[string]float64{}
+				for _, name := range timingAlgos {
+					sched := workload.Poisson{Lambda: lambda, Rng: newSchedRng(seed)}
+					res, err := streamAndMeasure(name, ds, cfg.K, m, 1.2, seed, sched, cfg.queryOptions())
+					if err != nil {
+						return nil, err
+					}
+					out[name] = metric(res)
+				}
+				return out, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := []interface{}{strconv.FormatFloat(lambda, 'g', 4, 64)}
+			for _, name := range timingAlgos {
+				row = append(row, vals[name])
+			}
+			tb.AddRow(row...)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}
+
+// Fig8 regenerates Figure 8: update time per point (µs) vs Poisson rate.
+// Expected shape: flat in lambda for every algorithm (queries do not touch
+// the update path).
+func Fig8(cfg Config) ([]*metrics.Table, error) {
+	return poissonFigure(cfg, "Figure 8: update time per point (µs) vs poisson arrival rate",
+		func(r workload.Result) float64 { return float64(r.UpdatePerPoint().Nanoseconds()) / 1e3 })
+}
+
+// Fig9 regenerates Figure 9: query time per point (µs) vs Poisson rate.
+// Expected shape: drops as queries get rarer; RCC beats CC at the highest
+// rate (multi-level caching hits more), CC wins at lower rates; OnlineCC
+// lowest throughout; StreamKM++ highest.
+func Fig9(cfg Config) ([]*metrics.Table, error) {
+	return poissonFigure(cfg, "Figure 9: query time per point (µs) vs poisson arrival rate",
+		func(r workload.Result) float64 { return float64(r.QueryPerPoint().Nanoseconds()) / 1e3 })
+}
+
+// Fig10 regenerates Figure 10: total time per point (µs) vs Poisson rate.
+// Expected shape: mirrors Figure 9 since query time dominates update time.
+func Fig10(cfg Config) ([]*metrics.Table, error) {
+	return poissonFigure(cfg, "Figure 10: total time per point (µs) vs poisson arrival rate",
+		func(r workload.Result) float64 { return float64(r.TotalPerPoint().Nanoseconds()) / 1e3 })
+}
+
+// Fig11 regenerates Figure 11: OnlineCC's total update and query time
+// (seconds, whole stream) versus the switching threshold alpha.
+//
+// Expected shape (paper): runtime drops sharply (~3-5x) from alpha=1.2 to
+// 2.4, then flattens; update time is unaffected by alpha.
+func Fig11(cfg Config) ([]*metrics.Table, error) {
+	cfg = cfg.WithDefaults()
+	datasets, err := cfg.loadDatasets()
+	if err != nil {
+		return nil, err
+	}
+	var tables []*metrics.Table
+	for _, ds := range datasets {
+		tb := metrics.NewTable(
+			"Figure 11 ("+ds.Name+"): OnlineCC runtime (seconds) vs switching threshold alpha  [n="+strconv.Itoa(ds.N())+", k="+strconv.Itoa(cfg.K)+", q="+strconv.FormatInt(cfg.Q, 10)+"]",
+			"alpha", "update time", "query time", "fallbacks")
+		m := 20 * cfg.K
+		for _, alpha := range cfg.Alphas {
+			alpha := alpha
+			vals, err := cfg.medianOverRuns(func(seed int64) (map[string]float64, error) {
+				res, err := streamAndMeasure("OnlineCC", ds, cfg.K, m, alpha, seed,
+					workload.FixedInterval{Q: cfg.Q}, cfg.queryOptions())
+				if err != nil {
+					return nil, err
+				}
+				return map[string]float64{
+					"update": res.UpdateTime.Seconds(),
+					"query":  res.QueryTime.Seconds(),
+				}, nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Fallback count from one representative run (stats are not part
+			// of workload.Result).
+			fb := fallbackCount(ds, cfg, m, alpha)
+			tb.AddRow(alpha, vals["update"], vals["query"], fb)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}

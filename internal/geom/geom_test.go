@@ -1,0 +1,234 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqDistKnown(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 25},
+		{Point{1, 1, 1}, Point{1, 1, 1}, 0},
+		{Point{-1}, Point{2}, 9},
+		{Point{}, Point{}, 0},
+	}
+	for _, c := range cases {
+		if got := SqDist(c.a, c.b); got != c.want {
+			t.Errorf("SqDist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistKnown(t *testing.T) {
+	if got := Dist(Point{0, 0}, Point{3, 4}); got != 5 {
+		t.Errorf("Dist = %v, want 5", got)
+	}
+}
+
+func TestSqDistPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	SqDist(Point{1}, Point{1, 2})
+}
+
+func TestSqDistProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	gen := func() Point {
+		p := make(Point, 4)
+		for i := range p {
+			p[i] = rng.NormFloat64() * 10
+		}
+		return p
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := gen(), gen(), gen()
+		if SqDist(a, b) < 0 {
+			t.Fatal("negative squared distance")
+		}
+		if SqDist(a, a) != 0 {
+			t.Fatal("SqDist(a,a) != 0")
+		}
+		if math.Abs(SqDist(a, b)-SqDist(b, a)) > 1e-9 {
+			t.Fatal("SqDist not symmetric")
+		}
+		// Triangle inequality holds for Dist (not SqDist).
+		if Dist(a, c) > Dist(a, b)+Dist(b, c)+1e-9 {
+			t.Fatalf("triangle inequality violated: %v > %v + %v",
+				Dist(a, c), Dist(a, b), Dist(b, c))
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := Point{1, 2, 3}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if (Point)(nil).Clone() != nil {
+		t.Fatal("Clone of nil should be nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !(Point{1, 2}).Equal(Point{1, 2}) {
+		t.Fatal("equal points reported unequal")
+	}
+	if (Point{1, 2}).Equal(Point{1, 3}) {
+		t.Fatal("unequal points reported equal")
+	}
+	if (Point{1, 2}).Equal(Point{1}) {
+		t.Fatal("different dims reported equal")
+	}
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	p := Point{1, 2}
+	p.AddScaled(Point{10, 20}, 0.5)
+	if !p.Equal(Point{6, 12}) {
+		t.Fatalf("AddScaled got %v", p)
+	}
+	p.Scale(2)
+	if !p.Equal(Point{12, 24}) {
+		t.Fatalf("Scale got %v", p)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !(Point{1, 2}).IsFinite() {
+		t.Fatal("finite point reported non-finite")
+	}
+	if (Point{math.NaN()}).IsFinite() {
+		t.Fatal("NaN point reported finite")
+	}
+	if (Point{math.Inf(1)}).IsFinite() {
+		t.Fatal("Inf point reported finite")
+	}
+}
+
+func TestMinSqDist(t *testing.T) {
+	set := []Point{{0, 0}, {10, 0}, {0, 10}}
+	d, idx := MinSqDist(Point{9, 1}, set)
+	if idx != 1 || d != 2 {
+		t.Fatalf("MinSqDist got (%v,%d), want (2,1)", d, idx)
+	}
+	d, idx = MinSqDist(Point{1, 1}, nil)
+	if !math.IsInf(d, 1) || idx != -1 {
+		t.Fatalf("empty set: got (%v,%d), want (+Inf,-1)", d, idx)
+	}
+}
+
+func TestCentroidWeighted(t *testing.T) {
+	pts := []Weighted{
+		{P: Point{0, 0}, W: 1},
+		{P: Point{4, 0}, W: 3},
+	}
+	c := Centroid(pts)
+	if !c.Equal(Point{3, 0}) {
+		t.Fatalf("Centroid = %v, want [3 0]", c)
+	}
+	if Centroid(nil) != nil {
+		t.Fatal("Centroid of empty should be nil")
+	}
+}
+
+func TestCentroidProperty(t *testing.T) {
+	// The centroid minimizes the weighted sum of squared distances: moving
+	// it in any direction cannot decrease cost.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Weighted, 10)
+		for i := range pts {
+			p := Point{rng.NormFloat64(), rng.NormFloat64()}
+			pts[i] = Weighted{P: p, W: rng.Float64() + 0.1}
+		}
+		c := Centroid(pts)
+		cost := func(q Point) float64 {
+			var s float64
+			for _, wp := range pts {
+				s += wp.W * SqDist(wp.P, q)
+			}
+			return s
+		}
+		base := cost(c)
+		for _, delta := range []Point{{0.1, 0}, {-0.1, 0}, {0, 0.1}, {0, -0.1}} {
+			moved := c.Clone()
+			moved.AddScaled(delta, 1)
+			if cost(moved) < base-1e-9 {
+				t.Fatalf("moving centroid decreased cost: %v < %v", cost(moved), base)
+			}
+		}
+	}
+}
+
+func TestTotalWeightAndWrap(t *testing.T) {
+	pts := Wrap([]Point{{1}, {2}, {3}})
+	if got := TotalWeight(pts); got != 3 {
+		t.Fatalf("TotalWeight = %v, want 3", got)
+	}
+	for _, wp := range pts {
+		if wp.W != 1 {
+			t.Fatal("Wrap should assign unit weights")
+		}
+	}
+}
+
+func TestCloneWeightedIndependence(t *testing.T) {
+	orig := []Weighted{{P: Point{1, 2}, W: 5}}
+	cp := CloneWeighted(orig)
+	cp[0].P[0] = 42
+	cp[0].W = 0
+	if orig[0].P[0] != 1 || orig[0].W != 5 {
+		t.Fatal("CloneWeighted shares storage")
+	}
+}
+
+func TestCheckUniformDim(t *testing.T) {
+	pts := []Weighted{{P: Point{1, 2}, W: 1}, {P: Point{3}, W: 1}}
+	if err := CheckUniformDim(pts, 2); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := CheckUniformDim(pts[:1], 2); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPointsExtract(t *testing.T) {
+	pts := []Weighted{{P: Point{1}, W: 2}, {P: Point{3}, W: 4}}
+	ps := Points(pts)
+	if len(ps) != 2 || !ps[0].Equal(Point{1}) || !ps[1].Equal(Point{3}) {
+		t.Fatalf("Points = %v", ps)
+	}
+}
+
+func TestSqDistQuick(t *testing.T) {
+	// Quick-check: SqDist equals the sum of coordinate-wise squared diffs.
+	f := func(a, b [3]float64) bool {
+		pa, pb := Point(a[:]), Point(b[:])
+		want := 0.0
+		for i := range a {
+			d := a[i] - b[i]
+			want += d * d
+		}
+		got := SqDist(pa, pb)
+		if got == want { // covers exact matches and +Inf overflow
+			return true
+		}
+		if math.IsNaN(got) && math.IsNaN(want) {
+			return true
+		}
+		return math.Abs(got-want) < 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

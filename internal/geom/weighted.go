@@ -1,0 +1,82 @@
+package geom
+
+import "fmt"
+
+// Weighted is a point with a positive weight. Unweighted input points carry
+// weight 1 (Section 2 of the paper). Coreset points carry the accumulated
+// weight of the points they represent.
+type Weighted struct {
+	P Point
+	W float64
+}
+
+// NewWeighted wraps p with weight w.
+func NewWeighted(p Point, w float64) Weighted { return Weighted{P: p, W: w} }
+
+// Clone returns a deep copy of w, including the underlying point storage.
+func (w Weighted) Clone() Weighted { return Weighted{P: w.P.Clone(), W: w.W} }
+
+// Wrap converts a slice of plain points into unit-weight points. The
+// underlying point storage is shared, not copied.
+func Wrap(pts []Point) []Weighted {
+	out := make([]Weighted, len(pts))
+	for i, p := range pts {
+		out[i] = Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+// CloneWeighted deep-copies a slice of weighted points.
+func CloneWeighted(pts []Weighted) []Weighted {
+	out := make([]Weighted, len(pts))
+	for i, wp := range pts {
+		out[i] = wp.Clone()
+	}
+	return out
+}
+
+// TotalWeight returns the sum of the weights in pts.
+func TotalWeight(pts []Weighted) float64 {
+	var s float64
+	for _, wp := range pts {
+		s += wp.W
+	}
+	return s
+}
+
+// Centroid returns the weighted mean of pts. It returns nil for empty input.
+func Centroid(pts []Weighted) Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	c := make(Point, len(pts[0].P))
+	var tw float64
+	for _, wp := range pts {
+		c.AddScaled(wp.P, wp.W)
+		tw += wp.W
+	}
+	if tw > 0 {
+		c.Scale(1 / tw)
+	}
+	return c
+}
+
+// CheckUniformDim verifies that every point in pts has dimension d.
+// It returns an error naming the first offending index.
+func CheckUniformDim(pts []Weighted, d int) error {
+	for i, wp := range pts {
+		if len(wp.P) != d {
+			return fmt.Errorf("geom: point %d has dimension %d, want %d", i, len(wp.P), d)
+		}
+	}
+	return nil
+}
+
+// Points extracts the underlying points of pts, sharing storage.
+func Points(pts []Weighted) []Point {
+	out := make([]Point, len(pts))
+	for i, wp := range pts {
+		out[i] = wp.P
+	}
+	return out
+}

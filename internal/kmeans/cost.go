@@ -1,0 +1,44 @@
+// Package kmeans implements the batch k-means toolkit the paper builds on:
+// k-means++ seeding (Arthur & Vassilvitskii, SODA 2007; Theorem 1 in the
+// paper), weighted Lloyd refinement, and the SSQ cost function. Every
+// streaming algorithm in this repository uses this package both to reduce
+// buckets into coresets and to extract the final k centers at query time.
+package kmeans
+
+import (
+	"math"
+
+	"streamkm/internal/geom"
+)
+
+// Cost returns the weighted k-means cost (within-cluster sum of squares,
+// "SSQ" in the paper's experiments) of pts against centers:
+//
+//	phi_centers(pts) = sum_i w_i * min_c ||p_i - c||^2
+//
+// It returns +Inf when centers is empty and pts is not, and 0 when pts is
+// empty.
+func Cost(pts []geom.Weighted, centers []geom.Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	if len(centers) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, wp := range pts {
+		d, _ := geom.MinSqDist(wp.P, centers)
+		s += wp.W * d
+	}
+	return s
+}
+
+// Assign returns, for each point, the index of its nearest center.
+func Assign(pts []geom.Weighted, centers []geom.Point) []int {
+	out := make([]int, len(pts))
+	for i, wp := range pts {
+		_, idx := geom.MinSqDist(wp.P, centers)
+		out[i] = idx
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+// mixture generates n points around the given centers with the given
+// standard deviation.
+func mixture(rng *rand.Rand, centers []geom.Point, n int, sd float64) []geom.Weighted {
+	out := make([]geom.Weighted, n)
+	d := len(centers[0])
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*sd
+		}
+		out[i] = geom.Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+var testCenters = []geom.Point{{0, 0}, {50, 0}, {0, 50}, {50, 50}}
+
+func TestCostKnown(t *testing.T) {
+	pts := []geom.Weighted{
+		{P: geom.Point{0, 0}, W: 1},
+		{P: geom.Point{2, 0}, W: 3},
+	}
+	centers := []geom.Point{{1, 0}}
+	// cost = 1*1 + 3*1 = 4
+	if got := Cost(pts, centers); got != 4 {
+		t.Fatalf("Cost = %v, want 4", got)
+	}
+}
+
+func TestCostEdgeCases(t *testing.T) {
+	if got := Cost(nil, []geom.Point{{1}}); got != 0 {
+		t.Fatalf("empty points: Cost = %v, want 0", got)
+	}
+	if got := Cost([]geom.Weighted{{P: geom.Point{1}, W: 1}}, nil); !math.IsInf(got, 1) {
+		t.Fatalf("no centers: Cost = %v, want +Inf", got)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	pts := []geom.Weighted{
+		{P: geom.Point{0}, W: 1},
+		{P: geom.Point{9}, W: 1},
+	}
+	centers := []geom.Point{{1}, {10}}
+	got := Assign(pts, centers)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Assign = %v", got)
+	}
+}
+
+func TestSeedPPBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pts := mixture(rng, testCenters, 400, 1)
+
+	if got := SeedPP(rng, pts, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if got := SeedPP(rng, nil, 3); got != nil {
+		t.Fatal("empty input should return nil")
+	}
+
+	centers := SeedPP(rng, pts, 4)
+	if len(centers) != 4 {
+		t.Fatalf("got %d centers, want 4", len(centers))
+	}
+	for _, c := range centers {
+		if len(c) != 2 {
+			t.Fatalf("center has dim %d, want 2", len(c))
+		}
+	}
+}
+
+func TestSeedPPFewerPointsThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := []geom.Weighted{{P: geom.Point{1, 2}, W: 1}, {P: geom.Point{3, 4}, W: 2}}
+	centers := SeedPP(rng, pts, 5)
+	if len(centers) != 2 {
+		t.Fatalf("got %d centers, want all 2 points", len(centers))
+	}
+	// Returned centers must be copies.
+	centers[0][0] = 999
+	if pts[0].P[0] == 999 || pts[1].P[0] == 999 {
+		t.Fatal("SeedPP aliases input storage")
+	}
+}
+
+func TestSeedPPDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := mixture(rng, testCenters, 100, 1)
+	before := geom.CloneWeighted(pts)
+	centers := SeedPP(rng, pts, 4)
+	for _, c := range centers {
+		c[0] = 1e18
+	}
+	for i := range pts {
+		if !pts[i].P.Equal(before[i].P) || pts[i].W != before[i].W {
+			t.Fatal("SeedPP mutated its input")
+		}
+	}
+}
+
+func TestSeedPPCoversSeparatedClusters(t *testing.T) {
+	// With widely separated clusters, D^2 sampling should select one seed
+	// near each true center almost always.
+	rng := rand.New(rand.NewSource(11))
+	ok := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		pts := mixture(rng, testCenters, 400, 0.5)
+		centers := SeedPP(rng, pts, 4)
+		covered := 0
+		for _, tc := range testCenters {
+			d, _ := geom.MinSqDist(tc, centers)
+			if d < 25 { // within 5 units of the true center
+				covered++
+			}
+		}
+		if covered == 4 {
+			ok++
+		}
+	}
+	if ok < trials*3/4 {
+		t.Fatalf("k-means++ covered all clusters in only %d/%d trials", ok, trials)
+	}
+}
+
+func TestSeedPPWeightBias(t *testing.T) {
+	// A single heavy point must essentially always be selected.
+	rng := rand.New(rand.NewSource(3))
+	pts := []geom.Weighted{{P: geom.Point{100, 100}, W: 1e9}}
+	for i := 0; i < 50; i++ {
+		pts = append(pts, geom.Weighted{P: geom.Point{rng.Float64(), rng.Float64()}, W: 1e-6})
+	}
+	hits := 0
+	for trial := 0; trial < 30; trial++ {
+		centers := SeedPP(rng, pts, 1)
+		if len(centers) == 1 && centers[0].Equal(geom.Point{100, 100}) {
+			hits++
+		}
+	}
+	if hits < 29 {
+		t.Fatalf("heavy point selected only %d/30 times", hits)
+	}
+}
+
+func TestSeedPPDeterministicGivenSeed(t *testing.T) {
+	pts := mixture(rand.New(rand.NewSource(9)), testCenters, 200, 1)
+	a := SeedPP(rand.New(rand.NewSource(77)), pts, 4)
+	b := SeedPP(rand.New(rand.NewSource(77)), pts, 4)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatal("non-deterministic centers for identical seed")
+		}
+	}
+}
+
+func TestLloydConvergesToCentroids(t *testing.T) {
+	// Two tight clusters; Lloyd from rough seeds must land on the true
+	// centroids.
+	pts := []geom.Weighted{
+		{P: geom.Point{0, 0}, W: 1}, {P: geom.Point{0, 2}, W: 1},
+		{P: geom.Point{10, 0}, W: 1}, {P: geom.Point{10, 2}, W: 1},
+	}
+	start := []geom.Point{{1, 1}, {9, 1}}
+	centers, cost := Lloyd(pts, start, 10, 0)
+	wantA, wantB := geom.Point{0, 1}, geom.Point{10, 1}
+	okA := centers[0].Equal(wantA) || centers[1].Equal(wantA)
+	okB := centers[0].Equal(wantB) || centers[1].Equal(wantB)
+	if !okA || !okB {
+		t.Fatalf("Lloyd centers = %v", centers)
+	}
+	if math.Abs(cost-4) > 1e-9 { // each point at distance 1 from its centroid
+		t.Fatalf("Lloyd cost = %v, want 4", cost)
+	}
+}
+
+func TestLloydNeverIncreasesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pts := mixture(rng, testCenters, 300, 3)
+	seeds := SeedPP(rng, pts, 4)
+	prev := Cost(pts, seeds)
+	cur := seeds
+	for i := 0; i < 8; i++ {
+		var c float64
+		cur, c = Lloyd(pts, cur, 1, 0)
+		if c > prev+1e-6 {
+			t.Fatalf("Lloyd increased cost at iter %d: %v > %v", i, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestLloydDoesNotMutateInputCenters(t *testing.T) {
+	pts := []geom.Weighted{{P: geom.Point{0}, W: 1}, {P: geom.Point{4}, W: 1}}
+	start := []geom.Point{{1}}
+	_, _ = Lloyd(pts, start, 5, 0)
+	if !start[0].Equal(geom.Point{1}) {
+		t.Fatal("Lloyd mutated the seed centers")
+	}
+}
+
+func TestLloydEmptyClusterRepair(t *testing.T) {
+	// Second seed is so far away that no point maps to it; repair must move
+	// it onto a real point rather than leaving it stranded.
+	pts := []geom.Weighted{
+		{P: geom.Point{0}, W: 1}, {P: geom.Point{1}, W: 1}, {P: geom.Point{100}, W: 1},
+	}
+	start := []geom.Point{{0.5}, {1e6}}
+	centers, cost := Lloyd(pts, start, 5, 0)
+	if len(centers) != 2 {
+		t.Fatalf("lost a center: %v", centers)
+	}
+	if cost > 1 {
+		t.Fatalf("empty-cluster repair failed, cost %v", cost)
+	}
+}
+
+func TestRunReturnsAtMostK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := mixture(rng, testCenters, 200, 1)
+	centers, cost := Run(rng, pts, 4, AccuracyOptions())
+	if len(centers) != 4 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	if math.Abs(cost-Cost(pts, centers)) > math.Max(1e-6, cost*1e-9) {
+		t.Fatalf("reported cost %v != recomputed %v", cost, Cost(pts, centers))
+	}
+}
+
+func TestRunBestOfRunsNotWorse(t *testing.T) {
+	// With multiple restarts plus Lloyd, Run should (statistically) not be
+	// worse than a single bare seeding. Compare expected behaviour over a
+	// few trials with a generous margin.
+	rng := rand.New(rand.NewSource(13))
+	pts := mixture(rng, testCenters, 400, 4)
+	_, multi := Run(rand.New(rand.NewSource(1)), pts, 4, Options{Runs: 5, LloydIters: 10})
+	_, single := Run(rand.New(rand.NewSource(1)), pts, 4, Options{Runs: 1})
+	if multi > single*1.05 {
+		t.Fatalf("5 runs + Lloyd (%v) worse than bare single seeding (%v)", multi, single)
+	}
+}
+
+func TestOptionsPresets(t *testing.T) {
+	a := AccuracyOptions()
+	if a.Runs != 5 || a.LloydIters != 20 {
+		t.Fatalf("AccuracyOptions = %+v", a)
+	}
+	f := FastOptions()
+	if f.Runs != 1 || f.LloydIters != 0 {
+		t.Fatalf("FastOptions = %+v", f)
+	}
+}
+
+func TestRunOnEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers, cost := Run(rng, nil, 3, FastOptions())
+	if centers != nil || cost != 0 {
+		t.Fatalf("empty input: got (%v, %v)", centers, cost)
+	}
+}

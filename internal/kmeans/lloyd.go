@@ -1,0 +1,84 @@
+package kmeans
+
+import (
+	"streamkm/internal/geom"
+)
+
+// Lloyd refines centers in place using weighted Lloyd iterations (the
+// classic k-means algorithm, Lloyd 1982) and returns the refined centers and
+// the final cost. It stops after maxIter iterations or when the relative
+// cost improvement drops below tol.
+//
+// Empty clusters are re-seeded with the point contributing most to the
+// current cost, which keeps exactly len(centers) clusters alive — the same
+// repair rule used by common k-means implementations.
+//
+// The input centers slice is not modified; refined copies are returned.
+func Lloyd(pts []geom.Weighted, centers []geom.Point, maxIter int, tol float64) ([]geom.Point, float64) {
+	if len(pts) == 0 || len(centers) == 0 {
+		return clonePoints(centers), Cost(pts, centers)
+	}
+	cur := clonePoints(centers)
+	d := len(pts[0].P)
+	k := len(cur)
+
+	sums := make([]geom.Point, k)
+	for i := range sums {
+		sums[i] = make(geom.Point, d)
+	}
+	weights := make([]float64, k)
+	// Previous assignments seed the pruned scan: on stable clusterings the
+	// hint is almost always already the nearest center.
+	assign := make([]int, len(pts))
+
+	prevCost := Cost(pts, cur)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range sums {
+			for j := range sums[i] {
+				sums[i][j] = 0
+			}
+			weights[i] = 0
+		}
+		cc := centerSqDistances(cur)
+		// Assignment step with triangle-inequality pruning, accumulating
+		// weighted sums on the fly.
+		var cost float64
+		worstIdx, worstContrib := -1, -1.0
+		for i, wp := range pts {
+			dsq, idx := assignPruned(wp.P, cur, cc, assign[i])
+			assign[i] = idx
+			sums[idx].AddScaled(wp.P, wp.W)
+			weights[idx] += wp.W
+			cost += wp.W * dsq
+			if contrib := wp.W * dsq; contrib > worstContrib {
+				worstContrib = contrib
+				worstIdx = i
+			}
+		}
+		// Update step.
+		for i := range cur {
+			if weights[i] > 0 {
+				for j := range cur[i] {
+					cur[i][j] = sums[i][j] / weights[i]
+				}
+			} else if worstIdx >= 0 {
+				copy(cur[i], pts[worstIdx].P)
+			}
+		}
+		newCost := Cost(pts, cur)
+		if prevCost > 0 && (prevCost-newCost)/prevCost < tol {
+			prevCost = newCost
+			break
+		}
+		prevCost = newCost
+	}
+	return cur, prevCost
+}
+
+func clonePoints(centers []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(centers))
+	for i, c := range centers {
+		out[i] = c.Clone()
+	}
+	return out
+}

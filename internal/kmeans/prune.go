@@ -1,0 +1,61 @@
+package kmeans
+
+import "streamkm/internal/geom"
+
+// Triangle-inequality pruning for the assignment step (the dominant cost of
+// Lloyd refinement). From Elkan's classic observation: if
+//
+//	d(p, best) <= d(best, c)/2
+//
+// then no point of the scan needs to evaluate d(p, c) — the triangle
+// inequality guarantees c cannot be closer than best. In squared form:
+// 4*d²(p, best) <= d²(best, c). Precomputing the k×k center distances costs
+// O(k²d) once per iteration and typically eliminates most of the O(nkd)
+// distance evaluations on clustered data.
+
+// centerSqDistances returns the symmetric matrix of pairwise squared
+// distances between centers.
+func centerSqDistances(centers []geom.Point) [][]float64 {
+	k := len(centers)
+	cc := make([][]float64, k)
+	buf := make([]float64, k*k)
+	for i := range cc {
+		cc[i] = buf[i*k : (i+1)*k]
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			d := geom.SqDist(centers[i], centers[j])
+			cc[i][j] = d
+			cc[j][i] = d
+		}
+	}
+	return cc
+}
+
+// assignPruned returns the squared distance to and index of the nearest
+// center, skipping centers ruled out by the triangle inequality. It starts
+// the scan from hint (the point's previous assignment), which maximizes
+// pruning on stable clusterings. The returned distance always equals the
+// true minimum; on exact ties the returned index may differ from a naive
+// scan's.
+func assignPruned(p geom.Point, centers []geom.Point, cc [][]float64, hint int) (float64, int) {
+	if hint < 0 || hint >= len(centers) {
+		hint = 0
+	}
+	best := geom.SqDist(p, centers[hint])
+	bestIdx := hint
+	for j := range centers {
+		if j == bestIdx {
+			continue
+		}
+		// c_j cannot beat the current best if 4*best <= d²(best, c_j).
+		if 4*best <= cc[bestIdx][j] {
+			continue
+		}
+		if d := geom.SqDist(p, centers[j]); d < best {
+			best = d
+			bestIdx = j
+		}
+	}
+	return best, bestIdx
+}

@@ -1,0 +1,132 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+// TestAssignPrunedMatchesNaive: the pruned scan must return exactly the
+// minimum squared distance for every point and any hint.
+func TestAssignPrunedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(20)
+		d := 1 + rng.Intn(8)
+		centers := make([]geom.Point, k)
+		for i := range centers {
+			c := make(geom.Point, d)
+			for j := range c {
+				c[j] = rng.NormFloat64() * 20
+			}
+			centers[i] = c
+		}
+		cc := centerSqDistances(centers)
+		for i := 0; i < 50; i++ {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 25
+			}
+			want, _ := geom.MinSqDist(p, centers)
+			hint := rng.Intn(k + 2) // sometimes out of range on purpose
+			got, idx := assignPruned(p, centers, cc, hint-1)
+			if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+				t.Fatalf("pruned distance %v != naive %v (k=%d d=%d)", got, want, k, d)
+			}
+			if gotAt := geom.SqDist(p, centers[idx]); math.Abs(gotAt-got) > 1e-9 {
+				t.Fatalf("returned index inconsistent with returned distance")
+			}
+		}
+	}
+}
+
+func TestCenterSqDistancesSymmetric(t *testing.T) {
+	centers := []geom.Point{{0, 0}, {3, 4}, {-1, 1}}
+	cc := centerSqDistances(centers)
+	if cc[0][1] != 25 || cc[1][0] != 25 {
+		t.Fatalf("cc[0][1] = %v", cc[0][1])
+	}
+	for i := range cc {
+		if cc[i][i] != 0 {
+			t.Fatalf("diagonal not zero")
+		}
+		for j := range cc {
+			if cc[i][j] != cc[j][i] {
+				t.Fatalf("not symmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+// TestLloydPrunedSameCostAsBefore: pruning must not change Lloyd's result
+// quality — cost trajectories are identical up to tie-breaking.
+func TestLloydPrunedCostMatchesNaiveAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := mixture(rng, testCenters, 500, 2)
+	seeds := SeedPP(rng, pts, 4)
+
+	// One manual naive Lloyd iteration.
+	naiveIter := func(centers []geom.Point) ([]geom.Point, float64) {
+		k := len(centers)
+		d := len(pts[0].P)
+		sums := make([]geom.Point, k)
+		for i := range sums {
+			sums[i] = make(geom.Point, d)
+		}
+		weights := make([]float64, k)
+		for _, wp := range pts {
+			_, idx := geom.MinSqDist(wp.P, centers)
+			sums[idx].AddScaled(wp.P, wp.W)
+			weights[idx] += wp.W
+		}
+		out := clonePoints(centers)
+		for i := range out {
+			if weights[i] > 0 {
+				for j := range out[i] {
+					out[i][j] = sums[i][j] / weights[i]
+				}
+			}
+		}
+		return out, Cost(pts, out)
+	}
+	naiveCenters, naiveCost := naiveIter(seeds)
+	prunedCenters, prunedCost := Lloyd(pts, seeds, 1, 0)
+	if math.Abs(naiveCost-prunedCost) > 1e-6*naiveCost {
+		t.Fatalf("one pruned Lloyd iteration cost %v != naive %v", prunedCost, naiveCost)
+	}
+	for i := range naiveCenters {
+		for j := range naiveCenters[i] {
+			if math.Abs(naiveCenters[i][j]-prunedCenters[i][j]) > 1e-9 {
+				t.Fatalf("centers diverge: %v vs %v", prunedCenters, naiveCenters)
+			}
+		}
+	}
+}
+
+func BenchmarkAssignNaive(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := mixture(rng, testCenters, 2000, 1)
+	centers := SeedPP(rng, pts, 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, wp := range pts {
+			geom.MinSqDist(wp.P, centers)
+		}
+	}
+}
+
+func BenchmarkAssignPruned(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	pts := mixture(rng, testCenters, 2000, 1)
+	centers := SeedPP(rng, pts, 30)
+	cc := centerSqDistances(centers)
+	hints := make([]int, len(pts))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, wp := range pts {
+			_, hints[j] = assignPruned(wp.P, centers, cc, hints[j])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package kmeans
+
+import (
+	"math/rand"
+
+	"streamkm/internal/geom"
+)
+
+// SeedPP runs weighted k-means++ seeding (D^2 sampling) and returns up to k
+// centers chosen from pts. The returned centers are deep copies; mutating
+// them does not affect pts.
+//
+// The first center is drawn with probability proportional to point weight;
+// each subsequent center is drawn with probability proportional to
+// w(x) * D^2(x, chosen). This is the weighted generalization of Arthur &
+// Vassilvitskii's algorithm, which underlies both coreset reduction and
+// query-time center extraction in the paper.
+//
+// If pts has fewer than k points (or total weight 0), all distinct points
+// are returned; callers must tolerate fewer than k centers.
+func SeedPP(rng *rand.Rand, pts []geom.Weighted, k int) []geom.Point {
+	if k <= 0 || len(pts) == 0 {
+		return nil
+	}
+	if len(pts) <= k {
+		out := make([]geom.Point, len(pts))
+		for i, wp := range pts {
+			out[i] = wp.P.Clone()
+		}
+		return out
+	}
+
+	centers := make([]geom.Point, 0, k)
+
+	// First center: weight-proportional draw.
+	first := sampleByWeight(rng, pts)
+	centers = append(centers, pts[first].P.Clone())
+
+	// minSq[i] is D^2(pts[i], centers) maintained incrementally so seeding
+	// costs O(n*k*d) rather than O(n*k^2*d).
+	minSq := make([]float64, len(pts))
+	var total float64
+	for i, wp := range pts {
+		d := geom.SqDist(wp.P, centers[0])
+		minSq[i] = d
+		total += wp.W * d
+	}
+
+	for len(centers) < k {
+		if total <= 0 {
+			// All remaining mass sits exactly on chosen centers; any further
+			// center would duplicate an existing one.
+			break
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := -1
+		for i, wp := range pts {
+			acc += wp.W * minSq[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			// Floating-point slack: fall back to the last point with mass.
+			for i := len(pts) - 1; i >= 0; i-- {
+				if pts[i].W*minSq[i] > 0 {
+					pick = i
+					break
+				}
+			}
+			if pick < 0 {
+				break
+			}
+		}
+		c := pts[pick].P.Clone()
+		centers = append(centers, c)
+		total = 0
+		for i, wp := range pts {
+			if d := geom.SqDist(wp.P, c); d < minSq[i] {
+				minSq[i] = d
+			}
+			total += wp.W * minSq[i]
+		}
+	}
+	return centers
+}
+
+// sampleByWeight draws an index with probability proportional to point
+// weight. Weights must be non-negative; if all are zero it returns a uniform
+// draw.
+func sampleByWeight(rng *rand.Rand, pts []geom.Weighted) int {
+	var total float64
+	for _, wp := range pts {
+		total += wp.W
+	}
+	if total <= 0 {
+		return rng.Intn(len(pts))
+	}
+	target := rng.Float64() * total
+	var acc float64
+	for i, wp := range pts {
+		acc += wp.W
+		if acc >= target {
+			return i
+		}
+	}
+	return len(pts) - 1
+}

@@ -1,0 +1,45 @@
+package kmedian
+
+import (
+	"math/rand"
+
+	"streamkm/internal/geom"
+)
+
+// Builder is a k-median coreset builder: it selects m representatives by
+// D-sampling (distance, not squared distance) and transfers each input
+// point's weight to its nearest representative. It satisfies the
+// coreset.Builder interface, so it plugs directly into the coreset tree,
+// the coreset cache (CC) and the recursive cache (RCC) — coreset caching
+// for k-median, as the paper's conclusion proposes.
+type Builder struct{}
+
+// Name identifies the construction in reports and benchmarks.
+func (Builder) Name() string { return "kmedian-reduce" }
+
+// Build reduces pts to at most m weighted points under the distance
+// metric. Total weight is preserved exactly and the input is not mutated.
+func (Builder) Build(rng *rand.Rand, pts []geom.Weighted, m int) []geom.Weighted {
+	if len(pts) == 0 || m <= 0 {
+		return nil
+	}
+	if len(pts) <= m {
+		return geom.CloneWeighted(pts)
+	}
+	centers := SeedPP(rng, pts, m)
+	out := make([]geom.Weighted, len(centers))
+	for i, c := range centers {
+		out[i] = geom.Weighted{P: c, W: 0}
+	}
+	for _, wp := range pts {
+		_, idx := geom.MinSqDist(wp.P, centers) // nearest under L2 = nearest under L2^2
+		out[idx].W += wp.W
+	}
+	compact := out[:0]
+	for _, wp := range out {
+		if wp.W > 0 {
+			compact = append(compact, wp)
+		}
+	}
+	return compact
+}

@@ -1,0 +1,73 @@
+package kmedian
+
+import (
+	"math/rand"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+)
+
+// Driver is the k-median analogue of core.Driver: it batches points into
+// base buckets for any clustering Structure (CT, CC, RCC — built with the
+// k-median Builder) and answers queries by running D-sampling + median
+// refinement over the assembled coreset.
+type Driver struct {
+	s        core.Structure
+	k        int
+	m        int
+	rng      *rand.Rand
+	queryOpt Options
+	partial  []geom.Weighted
+	count    int64
+}
+
+// NewDriver wraps s with k-median batching and queries. The structure
+// should have been constructed with the kmedian.Builder so its reductions
+// preserve the distance (not squared-distance) objective.
+func NewDriver(s core.Structure, k, m int, rng *rand.Rand, opt Options) *Driver {
+	if k < 1 {
+		panic("kmedian: k < 1")
+	}
+	if m < 1 {
+		panic("kmedian: bucket size m < 1")
+	}
+	return &Driver{s: s, k: k, m: m, rng: rng, queryOpt: opt,
+		partial: make([]geom.Weighted, 0, m)}
+}
+
+// Add observes one stream point with weight 1.
+func (d *Driver) Add(p geom.Point) { d.AddWeighted(geom.Weighted{P: p, W: 1}) }
+
+// AddWeighted observes one weighted stream point.
+func (d *Driver) AddWeighted(wp geom.Weighted) {
+	d.count++
+	d.partial = append(d.partial, wp)
+	if len(d.partial) == d.m {
+		d.s.Update(d.partial)
+		d.partial = make([]geom.Weighted, 0, d.m)
+	}
+}
+
+// Centers returns k median centers for the stream so far.
+func (d *Driver) Centers() []geom.Point {
+	centers, _ := Run(d.rng, d.CoresetUnion(), d.k, d.queryOpt)
+	return centers
+}
+
+// CoresetUnion returns the structure coreset plus the partial bucket.
+func (d *Driver) CoresetUnion() []geom.Weighted {
+	cs := d.s.Coreset()
+	union := make([]geom.Weighted, 0, len(cs)+len(d.partial))
+	union = append(union, cs...)
+	union = append(union, d.partial...)
+	return union
+}
+
+// PointsStored reports memory in points.
+func (d *Driver) PointsStored() int { return d.s.PointsStored() + len(d.partial) }
+
+// Name identifies the algorithm in reports.
+func (d *Driver) Name() string { return "KMedian(" + d.s.Name() + ")" }
+
+// Count returns the number of points observed so far.
+func (d *Driver) Count() int64 { return d.count }

@@ -1,0 +1,83 @@
+package kmedian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+)
+
+func newTestDriver(k, m int, seed int64) *Driver {
+	rng := rand.New(rand.NewSource(seed))
+	cc := core.NewCC(2, m, Builder{}, rng)
+	return NewDriver(cc, k, m, rng, Options{Runs: 2, RefineIters: 6})
+}
+
+func TestDriverValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { newTestDriver(0, 10, 1) },
+		func() { newTestDriver(2, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDriverBatchingAndWeight(t *testing.T) {
+	d := newTestDriver(3, 25, 2)
+	rng := rand.New(rand.NewSource(3))
+	const n = 137
+	for i := 0; i < n; i++ {
+		d.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	if d.Count() != n {
+		t.Fatalf("Count = %d", d.Count())
+	}
+	got := geom.TotalWeight(d.CoresetUnion())
+	if math.Abs(got-n) > 1e-6*n {
+		t.Fatalf("coreset union weight %v, want %v", got, float64(n))
+	}
+	if d.PointsStored() <= 0 {
+		t.Fatal("PointsStored")
+	}
+	if d.Name() != "KMedian(CC)" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	if (Builder{}).Name() != "kmedian-reduce" {
+		t.Fatal("builder name")
+	}
+}
+
+func TestDriverAddWeighted(t *testing.T) {
+	d := newTestDriver(2, 10, 4)
+	d.AddWeighted(geom.Weighted{P: geom.Point{1, 1}, W: 7})
+	if got := geom.TotalWeight(d.CoresetUnion()); got != 7 {
+		t.Fatalf("weight = %v, want 7", got)
+	}
+}
+
+func TestDriverCentersQuality(t *testing.T) {
+	d := newTestDriver(3, 50, 5)
+	rng := rand.New(rand.NewSource(6))
+	for _, wp := range mixture(rng, 3000) {
+		d.AddWeighted(wp)
+	}
+	centers := d.Centers()
+	if len(centers) != 3 {
+		t.Fatalf("%d centers", len(centers))
+	}
+	for _, tc := range []geom.Point{{0, 0}, {40, 0}, {0, 40}} {
+		dd, _ := geom.MinSqDist(tc, centers)
+		if dd > 9 {
+			t.Fatalf("no center near %v: %v", tc, centers)
+		}
+	}
+}

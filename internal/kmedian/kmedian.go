@@ -1,0 +1,215 @@
+// Package kmedian extends coreset caching to streaming k-median — the
+// extension the paper's conclusion singles out ("applying it to streaming
+// k-median seems natural", Section 6). The k-median objective replaces
+// squared distances with plain Euclidean distances:
+//
+//	phi1_C(P) = sum_{x in P} w(x) * min_{c in C} ||x - c||
+//
+// The merge-and-reduce machinery (coreset tree, coreset cache, recursive
+// cache) is metric-agnostic: it only needs a Builder that reduces a bucket
+// under the right metric. This package provides
+//
+//   - Cost: the weighted k-median cost;
+//   - SeedPP: D-sampling seeding (the k-median analogue of k-means++'s
+//     D^2 sampling, from the same Arthur–Vassilvitskii framework);
+//   - Refine: Lloyd-style alternation using the coordinate-wise weighted
+//     median (a robust 1-median surrogate that is exact for L1 and a good
+//     proxy for Euclidean medians);
+//   - Builder: a coreset builder that reduces under the distance metric;
+//   - Run: seeding + refinement with restarts.
+//
+// Plugging Builder into core.NewCC (or NewCT/NewRCC) yields a streaming
+// k-median clusterer with cached queries.
+package kmedian
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"streamkm/internal/geom"
+)
+
+// Cost returns the weighted k-median cost of pts against centers. It
+// returns +Inf when centers is empty and pts is not, 0 when pts is empty.
+func Cost(pts []geom.Weighted, centers []geom.Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	if len(centers) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, wp := range pts {
+		d, _ := geom.MinSqDist(wp.P, centers)
+		s += wp.W * math.Sqrt(d)
+	}
+	return s
+}
+
+// SeedPP picks up to k centers by D-sampling: the first center is drawn
+// weight-proportionally, each next with probability proportional to
+// w(x)·D(x, chosen). Centers are deep copies.
+func SeedPP(rng *rand.Rand, pts []geom.Weighted, k int) []geom.Point {
+	if k <= 0 || len(pts) == 0 {
+		return nil
+	}
+	if len(pts) <= k {
+		out := make([]geom.Point, len(pts))
+		for i, wp := range pts {
+			out[i] = wp.P.Clone()
+		}
+		return out
+	}
+	centers := make([]geom.Point, 0, k)
+	first := sampleByWeight(rng, pts)
+	centers = append(centers, pts[first].P.Clone())
+
+	minD := make([]float64, len(pts))
+	var total float64
+	for i, wp := range pts {
+		d := geom.Dist(wp.P, centers[0])
+		minD[i] = d
+		total += wp.W * d
+	}
+	for len(centers) < k && total > 0 {
+		target := rng.Float64() * total
+		var acc float64
+		pick := -1
+		for i, wp := range pts {
+			acc += wp.W * minD[i]
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		c := pts[pick].P.Clone()
+		centers = append(centers, c)
+		total = 0
+		for i, wp := range pts {
+			if d := geom.Dist(wp.P, c); d < minD[i] {
+				minD[i] = d
+			}
+			total += wp.W * minD[i]
+		}
+	}
+	return centers
+}
+
+func sampleByWeight(rng *rand.Rand, pts []geom.Weighted) int {
+	var total float64
+	for _, wp := range pts {
+		total += wp.W
+	}
+	if total <= 0 {
+		return rng.Intn(len(pts))
+	}
+	target := rng.Float64() * total
+	var acc float64
+	for i, wp := range pts {
+		acc += wp.W
+		if acc >= target {
+			return i
+		}
+	}
+	return len(pts) - 1
+}
+
+// Refine improves centers with Lloyd-style alternation under the k-median
+// objective: assign points to nearest centers (Euclidean), then move each
+// center to the coordinate-wise weighted median of its cluster. Returns
+// refined copies and the final cost.
+func Refine(pts []geom.Weighted, centers []geom.Point, maxIter int) ([]geom.Point, float64) {
+	if len(pts) == 0 || len(centers) == 0 {
+		return clonePoints(centers), Cost(pts, centers)
+	}
+	cur := clonePoints(centers)
+	prev := Cost(pts, cur)
+	for iter := 0; iter < maxIter; iter++ {
+		groups := make([][]geom.Weighted, len(cur))
+		for _, wp := range pts {
+			_, idx := geom.MinSqDist(wp.P, cur)
+			groups[idx] = append(groups[idx], wp)
+		}
+		for i, g := range groups {
+			if len(g) > 0 {
+				cur[i] = WeightedMedian(g)
+			}
+		}
+		cost := Cost(pts, cur)
+		if cost >= prev-1e-12 {
+			return cur, cost
+		}
+		prev = cost
+	}
+	return cur, prev
+}
+
+// WeightedMedian returns the coordinate-wise weighted median of pts — the
+// exact 1-median under L1 and a standard robust surrogate for the Euclidean
+// geometric median.
+func WeightedMedian(pts []geom.Weighted) geom.Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	d := len(pts[0].P)
+	out := make(geom.Point, d)
+	type pw struct{ v, w float64 }
+	col := make([]pw, len(pts))
+	for j := 0; j < d; j++ {
+		var tw float64
+		for i, wp := range pts {
+			col[i] = pw{wp.P[j], wp.W}
+			tw += wp.W
+		}
+		sort.Slice(col, func(a, b int) bool { return col[a].v < col[b].v })
+		var acc float64
+		for _, c := range col {
+			acc += c.w
+			if acc >= tw/2 {
+				out[j] = c.v
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Options configures Run.
+type Options struct {
+	Runs        int // restarts; best result wins (min 1)
+	RefineIters int // median-Lloyd iterations per restart
+}
+
+// Run executes D-sampling seeding with optional refinement and restarts,
+// returning the best centers and their k-median cost.
+func Run(rng *rand.Rand, pts []geom.Weighted, k int, opt Options) ([]geom.Point, float64) {
+	runs := opt.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	var best []geom.Point
+	bestCost := math.Inf(1)
+	for i := 0; i < runs; i++ {
+		centers := SeedPP(rng, pts, k)
+		cost := Cost(pts, centers)
+		if opt.RefineIters > 0 {
+			centers, cost = Refine(pts, centers, opt.RefineIters)
+		}
+		if cost < bestCost || best == nil {
+			best, bestCost = centers, cost
+		}
+	}
+	return best, bestCost
+}
+
+func clonePoints(centers []geom.Point) []geom.Point {
+	out := make([]geom.Point, len(centers))
+	for i, c := range centers {
+		out[i] = c.Clone()
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package kmedian
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func mixture(rng *rand.Rand, n int) []geom.Weighted {
+	centers := []geom.Point{{0, 0}, {40, 0}, {0, 40}}
+	out := make([]geom.Weighted, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = geom.Weighted{
+			P: geom.Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()},
+			W: 1,
+		}
+	}
+	return out
+}
+
+func TestCostKnown(t *testing.T) {
+	pts := []geom.Weighted{
+		{P: geom.Point{0, 0}, W: 2},
+		{P: geom.Point{3, 4}, W: 1}, // distance 5 from origin
+	}
+	centers := []geom.Point{{0, 0}}
+	if got := Cost(pts, centers); got != 5 {
+		t.Fatalf("Cost = %v, want 5", got)
+	}
+	if got := Cost(nil, centers); got != 0 {
+		t.Fatalf("empty pts: %v", got)
+	}
+	if got := Cost(pts, nil); !math.IsInf(got, 1) {
+		t.Fatalf("no centers: %v", got)
+	}
+}
+
+func TestCostIsNotSSQ(t *testing.T) {
+	// The whole point of k-median: linear, not squared, distances. One far
+	// outlier changes SSQ dramatically but k-median cost linearly.
+	pts := []geom.Weighted{{P: geom.Point{100, 0}, W: 1}}
+	centers := []geom.Point{{0, 0}}
+	if got := Cost(pts, centers); got != 100 {
+		t.Fatalf("Cost = %v, want 100 (not 10000)", got)
+	}
+	if ssq := kmeans.Cost(pts, centers); ssq != 10000 {
+		t.Fatalf("kmeans.Cost = %v, want 10000", ssq)
+	}
+}
+
+func TestSeedPPBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := mixture(rng, 300)
+	centers := SeedPP(rng, pts, 3)
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	if SeedPP(rng, nil, 3) != nil || SeedPP(rng, pts, 0) != nil {
+		t.Fatal("edge cases should be nil")
+	}
+	two := []geom.Weighted{{P: geom.Point{1}, W: 1}, {P: geom.Point{2}, W: 1}}
+	if got := SeedPP(rng, two, 5); len(got) != 2 {
+		t.Fatalf("fewer points than k: got %d", len(got))
+	}
+}
+
+func TestWeightedMedianKnown(t *testing.T) {
+	pts := []geom.Weighted{
+		{P: geom.Point{1, 10}, W: 1},
+		{P: geom.Point{2, 20}, W: 1},
+		{P: geom.Point{100, 30}, W: 1},
+	}
+	med := WeightedMedian(pts)
+	if !med.Equal(geom.Point{2, 20}) {
+		t.Fatalf("median = %v, want [2 20]", med)
+	}
+	// Heavy weight dominates.
+	pts[0].W = 10
+	med = WeightedMedian(pts)
+	if !med.Equal(geom.Point{1, 10}) {
+		t.Fatalf("weighted median = %v, want [1 10]", med)
+	}
+	if WeightedMedian(nil) != nil {
+		t.Fatal("empty median should be nil")
+	}
+}
+
+func TestMedianRobustToOutliers(t *testing.T) {
+	// The median center ignores a far outlier that would drag a mean.
+	pts := []geom.Weighted{
+		{P: geom.Point{0}, W: 1}, {P: geom.Point{1}, W: 1}, {P: geom.Point{2}, W: 1},
+		{P: geom.Point{1000}, W: 1},
+	}
+	med := WeightedMedian(pts)
+	if med[0] > 2 {
+		t.Fatalf("median %v dragged by outlier", med)
+	}
+	mean := geom.Centroid(pts)
+	if mean[0] < 200 {
+		t.Fatalf("sanity: mean %v should be dragged", mean)
+	}
+}
+
+func TestRefineImprovesCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := mixture(rng, 600)
+	seeds := SeedPP(rng, pts, 3)
+	before := Cost(pts, seeds)
+	refined, after := Refine(pts, seeds, 10)
+	if after > before+1e-9 {
+		t.Fatalf("Refine increased cost: %v -> %v", before, after)
+	}
+	if len(refined) != 3 {
+		t.Fatalf("lost centers: %d", len(refined))
+	}
+	// Input seeds untouched.
+	if got := Cost(pts, seeds); math.Abs(got-before) > 1e-9 {
+		t.Fatal("Refine mutated the seed centers")
+	}
+}
+
+func TestRunFindsSeparatedClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := mixture(rng, 900)
+	centers, cost := Run(rng, pts, 3, Options{Runs: 3, RefineIters: 10})
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	// ~1.25 expected distance per unit-variance 2-d Gaussian point.
+	if cost > 2.5*float64(len(pts)) {
+		t.Fatalf("cost %v too high", cost)
+	}
+	for _, tc := range []geom.Point{{0, 0}, {40, 0}, {0, 40}} {
+		d, _ := geom.MinSqDist(tc, centers)
+		if d > 9 {
+			t.Fatalf("no center near %v", tc)
+		}
+	}
+}
+
+func TestBuilderWeightPreservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := mixture(rng, 800)
+	cs := Builder{}.Build(rng, pts, 60)
+	if len(cs) > 60 {
+		t.Fatalf("coreset size %d > 60", len(cs))
+	}
+	want := geom.TotalWeight(pts)
+	if got := geom.TotalWeight(cs); math.Abs(got-want) > 1e-6*want {
+		t.Fatalf("weight %v, want %v", got, want)
+	}
+	if got := (Builder{}).Build(rng, nil, 10); got != nil {
+		t.Fatal("empty build should be nil")
+	}
+	small := Builder{}.Build(rng, pts[:5], 10)
+	small[0].P[0] = 1e9
+	if pts[0].P[0] == 1e9 {
+		t.Fatal("small-input build aliases input")
+	}
+}
+
+// TestBuilderCoresetPreservesKMedianCost: empirical Definition-1 analogue
+// under the distance metric.
+func TestBuilderCoresetPreservesKMedianCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := mixture(rng, 3000)
+	cs := Builder{}.Build(rng, pts, 300)
+	for trial := 0; trial < 20; trial++ {
+		psi := []geom.Point{
+			{rng.NormFloat64() * 5, rng.NormFloat64() * 5},
+			{40 + rng.NormFloat64()*5, rng.NormFloat64() * 5},
+			{rng.NormFloat64() * 5, 40 + rng.NormFloat64()*5},
+		}
+		orig := Cost(pts, psi)
+		approx := Cost(cs, psi)
+		if orig <= 0 {
+			continue
+		}
+		if r := math.Abs(approx/orig - 1); r > 0.15 {
+			t.Fatalf("trial %d: coreset k-median cost off by %.3f", trial, r)
+		}
+	}
+}
+
+// TestStreamingKMedianWithCC wires the k-median builder into the cached
+// coreset tree: the conclusion's proposed extension, end to end.
+func TestStreamingKMedianWithCC(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const m = 60
+	cc := core.NewCC(2, m, Builder{}, rng)
+	dataRng := rand.New(rand.NewSource(7))
+	var all []geom.Weighted
+	var batch []geom.Weighted
+	for i := 0; i < 3000; i++ {
+		wp := mixture(dataRng, 1)[0]
+		all = append(all, wp)
+		batch = append(batch, wp)
+		if len(batch) == m {
+			cc.Update(batch)
+			batch = nil
+		}
+		if (i+1)%500 == 0 {
+			cs := append(append([]geom.Weighted{}, cc.Coreset()...), batch...)
+			centers, _ := Run(rng, cs, 3, Options{Runs: 2, RefineIters: 8})
+			cost := Cost(all, centers)
+			batchCenters, _ := Run(rand.New(rand.NewSource(8)), all, 3, Options{Runs: 3, RefineIters: 10})
+			batchCost := Cost(all, batchCenters)
+			if cost > 2.5*batchCost {
+				t.Fatalf("at %d points: streaming k-median cost %v vs batch %v",
+					i+1, cost, batchCost)
+			}
+		}
+	}
+	if cc.Stats().Queries() == 0 {
+		t.Fatal("no queries recorded")
+	}
+}

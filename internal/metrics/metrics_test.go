@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMemoryMB(t *testing.T) {
+	// Table 4 sanity: 5950 points × 54 dims × 8 bytes = 2.5704 MB (the paper
+	// reports 2.57 for streamkm++ on Covtype).
+	got := MemoryMB(5950, 54)
+	if math.Abs(got-2.5704) > 1e-9 {
+		t.Fatalf("MemoryMB(5950, 54) = %v, want 2.5704", got)
+	}
+	if MemoryMB(0, 54) != 0 {
+		t.Fatal("zero points should be 0 MB")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{9, 9, 1}, 9},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Median must not mutate its input.
+	in := []float64{3, 1, 2}
+	_ = Median(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil)")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 3.14159)
+	tb.AddRow("a-very-long-name", 2)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatalf("separator line = %q", lines[2])
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[1], "value")
+	if !strings.HasPrefix(lines[3][idx:], "3.142") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1234567, "1.235e+06"},
+		{0.0001, "1.000e-04"},
+		{123.456, "123.5"},
+		{3.14159, "3.142"},
+		{-2e9, "-2.000e+09"},
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

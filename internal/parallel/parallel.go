@@ -1,0 +1,156 @@
+// Package parallel clusters distributed and parallel streams, the paper's
+// second open question ("clustering on distributed and parallel streams",
+// Section 6).
+//
+// The construction follows directly from Observation 1: if each of P
+// parallel substreams maintains a coreset of what it has seen (via any of
+// the driver-based structures — CT, CC, RCC), then the union of the shard
+// coresets is a coreset of the union of the substreams. A global query
+// therefore unions the per-shard summaries and runs k-means++ once.
+//
+// Shards are independently locked, so P producer goroutines can feed their
+// shards concurrently with queries; there is no shared mutable state
+// between shards beyond the query-time union.
+package parallel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+// Sharded is a streaming k-means clusterer over P parallel substreams.
+// Each shard owns one driver-based clusterer guarded by its own mutex;
+// queries take every shard lock briefly to union the summaries.
+type Sharded struct {
+	shards   []*shard
+	k        int
+	queryOpt kmeans.Options
+
+	qmu   sync.Mutex // guards rng and the round-robin counter
+	rng   *rand.Rand
+	count int64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	drv *core.Driver
+}
+
+// NewSharded builds a P-shard clusterer. newDriver is called once per
+// shard with the shard index and a shard-specific seed, and must return a
+// fresh driver (shards must not share structures). k is the number of
+// centers returned by global queries.
+func NewSharded(p, k int, seed int64, queryOpt kmeans.Options,
+	newDriver func(shardIdx int, seed int64) *core.Driver) (*Sharded, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("parallel: need at least 1 shard, got %d", p)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("parallel: k must be >= 1, got %d", k)
+	}
+	s := &Sharded{
+		shards:   make([]*shard, p),
+		k:        k,
+		queryOpt: queryOpt,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for i := range s.shards {
+		drv := newDriver(i, seed+int64(i)*7919)
+		if drv == nil {
+			return nil, fmt.Errorf("parallel: newDriver returned nil for shard %d", i)
+		}
+		s.shards[i] = &shard{drv: drv}
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// AddTo feeds one point to a specific shard. Safe for concurrent use by
+// one goroutine per shard (or any routing discipline).
+func (s *Sharded) AddTo(shardIdx int, p geom.Point) {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	sh.drv.Add(p)
+	sh.mu.Unlock()
+}
+
+// AddWeightedTo feeds one weighted point to a specific shard.
+func (s *Sharded) AddWeightedTo(shardIdx int, wp geom.Weighted) {
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	sh.drv.AddWeighted(wp)
+	sh.mu.Unlock()
+}
+
+// Add routes a point to a shard by round-robin on a running counter. For
+// multi-goroutine producers prefer AddTo with a fixed shard per producer.
+func (s *Sharded) Add(p geom.Point) {
+	s.AddWeighted(geom.Weighted{P: p, W: 1})
+}
+
+// AddWeighted routes a weighted point to a shard by round-robin.
+func (s *Sharded) AddWeighted(wp geom.Weighted) {
+	s.qmu.Lock()
+	idx := int(s.count % int64(len(s.shards)))
+	s.count++
+	s.qmu.Unlock()
+	s.AddWeightedTo(idx, wp)
+}
+
+// Centers answers a global clustering query: union every shard's coreset
+// (including partial buckets) and run k-means++ once. Safe for concurrent
+// use with AddTo.
+func (s *Sharded) Centers() []geom.Point {
+	union := s.CoresetUnion()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	centers, _ := kmeans.Run(s.rng, union, s.k, s.queryOpt)
+	return centers
+}
+
+// CoresetUnion returns the union of all shard summaries — itself a coreset
+// of the full multi-stream (Observation 1). Each shard is locked only
+// while its own summary is gathered.
+func (s *Sharded) CoresetUnion() []geom.Weighted {
+	var union []geom.Weighted
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		union = append(union, sh.drv.CoresetUnion()...)
+		sh.mu.Unlock()
+	}
+	return union
+}
+
+// PointsStored sums shard memory in points.
+func (s *Sharded) PointsStored() int {
+	var total int
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.drv.PointsStored()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Count sums the points observed across shards.
+func (s *Sharded) Count() int64 {
+	var total int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		total += sh.drv.Count()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Name identifies the algorithm in reports.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("Sharded[%dx%s]", len(s.shards), s.shards[0].drv.Name())
+}

@@ -1,0 +1,91 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/coretree"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/seqkm"
+)
+
+// FuzzLoad feeds arbitrary bytes to the snapshot loader and restorer: they
+// must never panic, and anything that is not a well-formed snapshot must be
+// rejected with an error. Run as a plain test this exercises the seed
+// corpus below; `go test -fuzz=FuzzLoad ./internal/persist` explores
+// further.
+func FuzzLoad(f *testing.F) {
+	// Seed corpus: a valid snapshot plus targeted corruptions.
+	c := seqkm.New(2)
+	c.Add(geom.Point{1, 2})
+	c.Add(geom.Point{3, 4})
+	env, err := SnapshotClusterer(c)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, env); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte{})
+	f.Add([]byte("SKMSNAP\x01garbage-body-without-checksum"))
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)/2] ^= 0x55
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for noise
+		}
+		// Whatever decoded must restore cleanly or error — never panic.
+		restored, err := RestoreClusterer(env, 1, coreset.KMeansPP{}, kmeans.FastOptions())
+		if err != nil {
+			return
+		}
+		_ = restored.Name()
+		_ = restored.PointsStored()
+		restored.Add(geom.Point{1, 2})
+	})
+}
+
+// TestRestoreRejectsInvalidParameters covers the untrusted-snapshot
+// validation added for fuzz safety: decoded envelopes with nonsensical
+// parameters must produce errors, not constructor panics.
+func TestRestoreRejectsInvalidParameters(t *testing.T) {
+	opt := kmeans.FastOptions()
+	b := coreset.KMeansPP{}
+	tree := func(r, m int) *coretree.TreeSnapshot { return &coretree.TreeSnapshot{R: r, M: m} }
+	drv := func(k, m int) *core.DriverSnapshot { return &core.DriverSnapshot{K: k, M: m} }
+
+	bad := []Envelope{
+		{Kind: KindCT, CT: tree(0, 5), Driver: drv(2, 5)}, // merge degree < 2
+		{Kind: KindCT, CT: tree(2, 0), Driver: drv(2, 5)}, // coreset size < 1
+		{Kind: KindCT, CT: tree(2, 5), Driver: drv(0, 5)}, // k < 1
+		{Kind: KindCT, CT: tree(2, 5), Driver: drv(2, 0)}, // bucket size < 1
+		{Kind: KindCC, CC: &core.CCSnapshot{Tree: coretree.TreeSnapshot{R: 1, M: 5}}, Driver: drv(2, 5)},
+		{Kind: KindRCC, RCC: &core.RCCSnapshot{}, Driver: drv(2, 5)},                           // no degrees
+		{Kind: KindRCC, RCC: &core.RCCSnapshot{Degrees: []int{1}, M: 5}, Driver: drv(2, 5)},    // degree < 2
+		{Kind: KindRCC, RCC: &core.RCCSnapshot{Degrees: []int{2, 4}, M: 5}, Driver: drv(2, 5)}, // order mismatch
+		{Kind: KindOnlineCC, OnlineCC: &core.OnlineCCSnapshot{K: 0, M: 5,
+			CC: core.CCSnapshot{Tree: coretree.TreeSnapshot{R: 2, M: 5}}}},
+		{Kind: KindOnlineCC, OnlineCC: &core.OnlineCCSnapshot{K: 2, M: 5, Alpha: 0.5, Eps: 0.1,
+			CC: core.CCSnapshot{Tree: coretree.TreeSnapshot{R: 2, M: 5}}}},
+		{Kind: KindSequential, Sequential: &seqkm.Snapshot{K: 0}},
+	}
+	for i, env := range bad {
+		if _, err := RestoreClusterer(env, 1, b, opt); err == nil {
+			t.Errorf("case %d: accepted invalid snapshot", i)
+		}
+	}
+	// Nil builder is rejected up front.
+	if _, err := RestoreClusterer(Envelope{Kind: KindSequential}, 1, nil, opt); err == nil {
+		t.Error("accepted nil builder")
+	}
+}

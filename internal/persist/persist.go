@@ -1,0 +1,293 @@
+// Package persist serializes the full logical state of any streaming
+// clusterer to a versioned, checksummed binary format, so a long-running
+// stream processor can snapshot its clustering state and resume after a
+// restart without replaying the stream.
+//
+// Format: an 8-byte header ("SKMSNAP" + format version), a gob-encoded
+// Envelope, and a trailing CRC-32 (IEEE) of the gob bytes. Load verifies
+// magic, version and checksum before decoding, so truncated or corrupted
+// snapshots fail loudly instead of resurrecting silently-wrong state.
+//
+// Randomness is not captured: a restored clusterer continues with a fresh
+// seed. Results after a restore are therefore statistically equivalent but
+// not bit-identical to an uninterrupted run.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"os"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/coretree"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/seqkm"
+)
+
+// magic identifies snapshot files; version gates format evolution.
+var magic = [7]byte{'S', 'K', 'M', 'S', 'N', 'A', 'P'}
+
+// Version is the current snapshot format version.
+const Version byte = 1
+
+// Kind discriminates the clusterer type inside an Envelope.
+type Kind string
+
+// Supported clusterer kinds.
+const (
+	KindCT         Kind = "CT"
+	KindCC         Kind = "CC"
+	KindRCC        Kind = "RCC"
+	KindOnlineCC   Kind = "OnlineCC"
+	KindSequential Kind = "Sequential"
+)
+
+// Envelope carries exactly one clusterer's state. Driver is set for the
+// driver-wrapped kinds (CT, CC, RCC).
+type Envelope struct {
+	Kind       Kind
+	Driver     *core.DriverSnapshot
+	CT         *coretree.TreeSnapshot
+	CC         *core.CCSnapshot
+	RCC        *core.RCCSnapshot
+	OnlineCC   *core.OnlineCCSnapshot
+	Sequential *seqkm.Snapshot
+}
+
+// Save writes the envelope to w in the snapshot format.
+func Save(w io.Writer, env Envelope) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return fmt.Errorf("persist: encode: %w", err)
+	}
+	header := make([]byte, 8)
+	copy(header, magic[:])
+	header[7] = Version
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("persist: write header: %w", err)
+	}
+	if _, err := w.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("persist: write body: %w", err)
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body.Bytes()))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("persist: write checksum: %w", err)
+	}
+	return nil
+}
+
+// Load reads an envelope from r, verifying magic, version and checksum.
+func Load(r io.Reader) (Envelope, error) {
+	var env Envelope
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return env, fmt.Errorf("persist: read: %w", err)
+	}
+	if len(raw) < 12 {
+		return env, fmt.Errorf("persist: snapshot too short (%d bytes)", len(raw))
+	}
+	if !bytes.Equal(raw[:7], magic[:]) {
+		return env, fmt.Errorf("persist: bad magic %q", raw[:7])
+	}
+	if raw[7] != Version {
+		return env, fmt.Errorf("persist: unsupported format version %d (want %d)", raw[7], Version)
+	}
+	body := raw[8 : len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return env, fmt.Errorf("persist: checksum mismatch (got %08x, want %08x)", got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return env, fmt.Errorf("persist: decode: %w", err)
+	}
+	return env, nil
+}
+
+// SaveFile writes a snapshot to path atomically (write temp + rename).
+func SaveFile(path string, env Envelope) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(f, env); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (Envelope, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Envelope{}, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// SnapshotClusterer captures any clusterer built by this library into an
+// Envelope. It returns an error for unsupported concrete types.
+func SnapshotClusterer(c core.Clusterer) (Envelope, error) {
+	switch v := c.(type) {
+	case *core.Driver:
+		drv := v.Snapshot()
+		env := Envelope{Driver: &drv}
+		switch s := v.Structure().(type) {
+		case *core.CT:
+			t := s.Tree().Snapshot()
+			env.Kind, env.CT = KindCT, &t
+		case *core.CC:
+			cs := s.Snapshot()
+			env.Kind, env.CC = KindCC, &cs
+		case *core.RCC:
+			rs := s.Snapshot()
+			env.Kind, env.RCC = KindRCC, &rs
+		default:
+			return Envelope{}, fmt.Errorf("persist: unsupported structure %T", s)
+		}
+		return env, nil
+	case *core.OnlineCC:
+		s := v.Snapshot()
+		return Envelope{Kind: KindOnlineCC, OnlineCC: &s}, nil
+	case *seqkm.Sequential:
+		s := v.Snapshot()
+		return Envelope{Kind: KindSequential, Sequential: &s}, nil
+	}
+	return Envelope{}, fmt.Errorf("persist: unsupported clusterer %T", c)
+}
+
+// validateTree rejects snapshot parameters that would make the
+// constructors panic: snapshots arrive from disk and must be treated as
+// untrusted input.
+func validateTree(r, m int) error {
+	if r < 2 {
+		return fmt.Errorf("persist: invalid merge degree %d in snapshot", r)
+	}
+	if m < 1 {
+		return fmt.Errorf("persist: invalid coreset size %d in snapshot", m)
+	}
+	return nil
+}
+
+func validateDriver(d *core.DriverSnapshot) error {
+	if d.K < 1 {
+		return fmt.Errorf("persist: invalid k %d in snapshot", d.K)
+	}
+	if d.M < 1 {
+		return fmt.Errorf("persist: invalid bucket size %d in snapshot", d.M)
+	}
+	return nil
+}
+
+// RestoreClusterer reconstructs a live clusterer from an envelope. The
+// caller supplies the non-serializable pieces: a seed for fresh randomness,
+// the coreset builder, and the query-time k-means++ options. Envelope
+// contents are validated: snapshots are untrusted disk input and malformed
+// parameters yield errors, never panics.
+func RestoreClusterer(env Envelope, seed int64, b coreset.Builder, opt kmeans.Options) (core.Clusterer, error) {
+	if b == nil {
+		return nil, fmt.Errorf("persist: nil coreset builder")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch env.Kind {
+	case KindCT:
+		if env.CT == nil || env.Driver == nil {
+			return nil, fmt.Errorf("persist: CT envelope missing state")
+		}
+		if err := validateTree(env.CT.R, env.CT.M); err != nil {
+			return nil, err
+		}
+		if err := validateDriver(env.Driver); err != nil {
+			return nil, err
+		}
+		ct := core.NewCT(env.CT.R, env.CT.M, b, rng)
+		ct.Tree().Restore(*env.CT)
+		d := core.NewDriver(ct, env.Driver.K, env.Driver.M, rng, opt)
+		d.Restore(*env.Driver)
+		return d, nil
+	case KindCC:
+		if env.CC == nil || env.Driver == nil {
+			return nil, fmt.Errorf("persist: CC envelope missing state")
+		}
+		if err := validateTree(env.CC.Tree.R, env.CC.Tree.M); err != nil {
+			return nil, err
+		}
+		if err := validateDriver(env.Driver); err != nil {
+			return nil, err
+		}
+		cc := core.NewCC(env.CC.Tree.R, env.CC.Tree.M, b, rng)
+		cc.Restore(*env.CC)
+		d := core.NewDriver(cc, env.Driver.K, env.Driver.M, rng, opt)
+		d.Restore(*env.Driver)
+		return d, nil
+	case KindRCC:
+		if env.RCC == nil || env.Driver == nil {
+			return nil, fmt.Errorf("persist: RCC envelope missing state")
+		}
+		if len(env.RCC.Degrees) == 0 {
+			return nil, fmt.Errorf("persist: RCC snapshot has no merge degrees")
+		}
+		for _, d := range env.RCC.Degrees {
+			if err := validateTree(d, 1); err != nil {
+				return nil, err
+			}
+		}
+		if err := validateTree(2, env.RCC.M); err != nil {
+			return nil, err
+		}
+		if err := validateDriver(env.Driver); err != nil {
+			return nil, err
+		}
+		if env.RCC.Root.Order != len(env.RCC.Degrees)-1 {
+			return nil, fmt.Errorf("persist: RCC root order %d inconsistent with %d degrees",
+				env.RCC.Root.Order, len(env.RCC.Degrees))
+		}
+		rcc := core.NewRCCWithDegrees(env.RCC.Degrees, env.RCC.M, b, rng)
+		rcc.Restore(*env.RCC)
+		d := core.NewDriver(rcc, env.Driver.K, env.Driver.M, rng, opt)
+		d.Restore(*env.Driver)
+		return d, nil
+	case KindOnlineCC:
+		if env.OnlineCC == nil {
+			return nil, fmt.Errorf("persist: OnlineCC envelope missing state")
+		}
+		s := env.OnlineCC
+		if err := validateTree(s.CC.Tree.R, s.CC.Tree.M); err != nil {
+			return nil, err
+		}
+		if s.K < 1 || s.M < 1 {
+			return nil, fmt.Errorf("persist: invalid OnlineCC k=%d m=%d in snapshot", s.K, s.M)
+		}
+		if s.Alpha <= 1 || s.Eps <= 0 || s.Eps >= 1 {
+			return nil, fmt.Errorf("persist: invalid OnlineCC alpha=%v eps=%v in snapshot", s.Alpha, s.Eps)
+		}
+		o := core.NewOnlineCC(s.K, s.M, s.CC.Tree.R, s.Alpha, s.Eps, b, rng, opt)
+		o.Restore(*s)
+		return o, nil
+	case KindSequential:
+		if env.Sequential == nil {
+			return nil, fmt.Errorf("persist: Sequential envelope missing state")
+		}
+		if env.Sequential.K < 1 {
+			return nil, fmt.Errorf("persist: invalid k %d in Sequential snapshot", env.Sequential.K)
+		}
+		sq := seqkm.New(env.Sequential.K)
+		sq.Restore(*env.Sequential)
+		return sq, nil
+	}
+	return nil, fmt.Errorf("persist: unknown kind %q", env.Kind)
+}

@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/seqkm"
+)
+
+func feed(c core.Clusterer, n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []geom.Point{{0, 0}, {30, 30}, {-30, 30}}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		b := centers[rng.Intn(len(centers))]
+		pts[i] = geom.Point{b[0] + rng.NormFloat64(), b[1] + rng.NormFloat64()}
+		c.Add(pts[i])
+	}
+	return pts
+}
+
+func mkAll(t *testing.T) map[Kind]core.Clusterer {
+	t.Helper()
+	const k, m = 3, 40
+	mk := func(s core.Structure) core.Clusterer {
+		rng := rand.New(rand.NewSource(1))
+		return core.NewDriver(s, k, m, rng, kmeans.FastOptions())
+	}
+	rng := func(s int64) *rand.Rand { return rand.New(rand.NewSource(s)) }
+	return map[Kind]core.Clusterer{
+		KindCT:  mk(core.NewCT(2, m, coreset.KMeansPP{}, rng(2))),
+		KindCC:  mk(core.NewCC(2, m, coreset.KMeansPP{}, rng(3))),
+		KindRCC: mk(core.NewRCC(2, m, coreset.KMeansPP{}, rng(4))),
+		KindOnlineCC: core.NewOnlineCC(k, m, 2, 1.2, 0.1,
+			coreset.KMeansPP{}, rng(5), kmeans.FastOptions()),
+		KindSequential: seqkm.New(k),
+	}
+}
+
+// TestRoundTripAllKinds snapshots every clusterer kind mid-stream, restores
+// it, and verifies the restored clusterer (a) reports identical memory
+// state and (b) keeps working and produces sensible centers.
+func TestRoundTripAllKinds(t *testing.T) {
+	for kind, c := range mkAll(t) {
+		pts := feed(c, 500, 7)
+
+		env, err := SnapshotClusterer(c)
+		if err != nil {
+			t.Fatalf("%s: snapshot: %v", kind, err)
+		}
+		if env.Kind != kind {
+			t.Fatalf("%s: envelope kind %q", kind, env.Kind)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, env); err != nil {
+			t.Fatalf("%s: save: %v", kind, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: load: %v", kind, err)
+		}
+		restored, err := RestoreClusterer(loaded, 99, coreset.KMeansPP{}, kmeans.FastOptions())
+		if err != nil {
+			t.Fatalf("%s: restore: %v", kind, err)
+		}
+		if restored.Name() != c.Name() {
+			t.Fatalf("%s: restored name %q != %q", kind, restored.Name(), c.Name())
+		}
+		if restored.PointsStored() != c.PointsStored() {
+			t.Fatalf("%s: restored PointsStored %d != %d",
+				kind, restored.PointsStored(), c.PointsStored())
+		}
+
+		// The restored clusterer must keep working: feed more points, query.
+		more := feed(restored, 300, 8)
+		centers := restored.Centers()
+		if len(centers) == 0 {
+			t.Fatalf("%s: no centers after restore", kind)
+		}
+		all := append(append([]geom.Point{}, pts...), more...)
+		cost := kmeans.Cost(geom.Wrap(all), centers)
+		if math.IsNaN(cost) || math.IsInf(cost, 0) {
+			t.Fatalf("%s: invalid cost %v after restore", kind, cost)
+		}
+	}
+}
+
+// TestSnapshotIsDeepCopy: mutating the live clusterer after Snapshot must
+// not change the snapshot.
+func TestSnapshotIsDeepCopy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cc := core.NewCC(2, 20, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 2, 20, rng, kmeans.FastOptions())
+	feed(d, 100, 2)
+	env, err := SnapshotClusterer(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := env.CC.Tree.N
+	feed(d, 200, 3) // mutate the live structure
+	if env.CC.Tree.N != before {
+		t.Fatal("snapshot changed when live structure advanced")
+	}
+}
+
+// TestWeightConservedAcrossRestore: coreset weight equals points observed,
+// before and after a round trip.
+func TestWeightConservedAcrossRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cc := core.NewCC(2, 25, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 3, 25, rng, kmeans.FastOptions())
+	const n = 730
+	feed(d, n, 5)
+	env, _ := SnapshotClusterer(d)
+	var buf bytes.Buffer
+	if err := Save(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := Load(&buf)
+	restored, err := RestoreClusterer(loaded, 11, coreset.KMeansPP{}, kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := geom.TotalWeight(restored.(*core.Driver).CoresetUnion())
+	if math.Abs(got-n) > 1e-6*n {
+		t.Fatalf("restored coreset weight %v, want %v", got, float64(n))
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	c := seqkm.New(2)
+	c.Add(geom.Point{1, 2})
+	env, _ := SnapshotClusterer(c)
+	var buf bytes.Buffer
+	if err := Save(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncated.
+	if _, err := Load(bytes.NewReader(good[:5])); err == nil {
+		t.Fatal("accepted truncated snapshot")
+	}
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad magic")
+	}
+	// Bad version.
+	bad = append([]byte{}, good...)
+	bad[7] = 99
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted bad version")
+	}
+	// Flipped body byte -> checksum failure.
+	bad = append([]byte{}, good...)
+	bad[10] ^= 0xFF
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted corrupted body")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.skm")
+	c := seqkm.New(2)
+	c.Add(geom.Point{1, 2})
+	c.Add(geom.Point{3, 4})
+	env, _ := SnapshotClusterer(c)
+	if err := SaveFile(path, env); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreClusterer(loaded, 1, coreset.KMeansPP{}, kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.(*seqkm.Sequential).Count() != 2 {
+		t.Fatal("restored count wrong")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.skm")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestRestoreRejectsMalformedEnvelopes(t *testing.T) {
+	cases := []Envelope{
+		{Kind: KindCT},
+		{Kind: KindCC},
+		{Kind: KindRCC},
+		{Kind: KindOnlineCC},
+		{Kind: KindSequential},
+		{Kind: "Bogus"},
+	}
+	for _, env := range cases {
+		if _, err := RestoreClusterer(env, 1, coreset.KMeansPP{}, kmeans.FastOptions()); err == nil {
+			t.Fatalf("accepted malformed envelope %+v", env)
+		}
+	}
+}
+
+// TestCCStatsSurviveRestore: diagnostic counters are part of the state.
+func TestCCStatsSurviveRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cc := core.NewCC(2, 20, coreset.KMeansPP{}, rng)
+	d := core.NewDriver(cc, 2, 20, rng, kmeans.FastOptions())
+	feed(d, 300, 10)
+	_ = d.Centers()
+	_ = d.Centers()
+	want := cc.Stats()
+	env, _ := SnapshotClusterer(d)
+	restored, err := RestoreClusterer(env, 2, coreset.KMeansPP{}, kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := restored.(*core.Driver).Structure().(*core.CC).Stats()
+	if got != want {
+		t.Fatalf("stats %+v != %+v", got, want)
+	}
+}

@@ -1,0 +1,164 @@
+// Package quality provides clustering quality diagnostics beyond the SSQ
+// cost the paper reports: silhouette coefficient (sampled), Davies–Bouldin
+// index, and per-cluster statistics. These let downstream users of the
+// streaming clusterers validate results the way they would with a batch
+// library.
+package quality
+
+import (
+	"math"
+	"math/rand"
+
+	"streamkm/internal/geom"
+)
+
+// Report summarizes how well a set of centers clusters a point set.
+type Report struct {
+	// K is the number of centers evaluated.
+	K int
+	// N is the number of points evaluated.
+	N int
+	// SSQ is the k-means cost (within-cluster sum of squared distances).
+	SSQ float64
+	// Silhouette is the mean silhouette coefficient in [-1, 1]; higher is
+	// better. Computed exactly when N <= the sample cap, otherwise on a
+	// uniform sample.
+	Silhouette float64
+	// DaviesBouldin is the Davies–Bouldin index; lower is better.
+	DaviesBouldin float64
+	// ClusterSizes is the weighted mass assigned to each center.
+	ClusterSizes []float64
+	// EmptyClusters counts centers with no assigned mass.
+	EmptyClusters int
+}
+
+// silhouetteSampleCap bounds the O(n^2)-ish silhouette computation.
+const silhouetteSampleCap = 2000
+
+// Evaluate computes a quality report for centers over pts. rng drives
+// silhouette sampling for large inputs; pass a seeded source for
+// reproducibility. Empty input or empty centers yield a zero Report.
+func Evaluate(rng *rand.Rand, pts []geom.Weighted, centers []geom.Point) Report {
+	r := Report{K: len(centers), N: len(pts)}
+	if len(pts) == 0 || len(centers) == 0 {
+		return r
+	}
+	assign := make([]int, len(pts))
+	r.ClusterSizes = make([]float64, len(centers))
+	for i, wp := range pts {
+		d, idx := geom.MinSqDist(wp.P, centers)
+		assign[i] = idx
+		r.SSQ += wp.W * d
+		r.ClusterSizes[idx] += wp.W
+	}
+	for _, sz := range r.ClusterSizes {
+		if sz == 0 {
+			r.EmptyClusters++
+		}
+	}
+	r.DaviesBouldin = daviesBouldin(pts, centers, assign, r.ClusterSizes)
+	r.Silhouette = silhouette(rng, pts, assign, len(centers))
+	return r
+}
+
+// daviesBouldin computes the Davies–Bouldin index: the mean over clusters
+// of the worst ratio (s_i + s_j) / d(c_i, c_j), where s_i is the mean
+// distance of cluster i's points to its center.
+func daviesBouldin(pts []geom.Weighted, centers []geom.Point, assign []int, sizes []float64) float64 {
+	k := len(centers)
+	if k < 2 {
+		return 0
+	}
+	scatter := make([]float64, k)
+	for i, wp := range pts {
+		scatter[assign[i]] += wp.W * geom.Dist(wp.P, centers[assign[i]])
+	}
+	active := 0
+	for i := range scatter {
+		if sizes[i] > 0 {
+			scatter[i] /= sizes[i]
+			active++
+		}
+	}
+	if active < 2 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		if sizes[i] == 0 {
+			continue
+		}
+		worst := 0.0
+		for j := 0; j < k; j++ {
+			if j == i || sizes[j] == 0 {
+				continue
+			}
+			d := geom.Dist(centers[i], centers[j])
+			if d == 0 {
+				continue
+			}
+			if v := (scatter[i] + scatter[j]) / d; v > worst {
+				worst = v
+			}
+		}
+		sum += worst
+	}
+	return sum / float64(active)
+}
+
+// silhouette computes the mean silhouette coefficient, sampling points when
+// the input exceeds the cap. Weights act as multiplicities for the cluster
+// composition but sampling is uniform over stored points.
+func silhouette(rng *rand.Rand, pts []geom.Weighted, assign []int, k int) float64 {
+	idxs := make([]int, len(pts))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	if len(idxs) > silhouetteSampleCap {
+		rng.Shuffle(len(idxs), func(a, b int) { idxs[a], idxs[b] = idxs[b], idxs[a] })
+		idxs = idxs[:silhouetteSampleCap]
+	}
+	var sum float64
+	var n int
+	meanDist := make([]float64, k)
+	weight := make([]float64, k)
+	for _, i := range idxs {
+		for c := 0; c < k; c++ {
+			meanDist[c] = 0
+			weight[c] = 0
+		}
+		for j, other := range pts {
+			if j == i {
+				continue
+			}
+			meanDist[assign[j]] += other.W * geom.Dist(pts[i].P, other.P)
+			weight[assign[j]] += other.W
+		}
+		own := assign[i]
+		if weight[own] == 0 {
+			continue // singleton cluster: silhouette undefined, skip
+		}
+		a := meanDist[own] / weight[own]
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || weight[c] == 0 {
+				continue
+			}
+			if v := meanDist[c] / weight[c]; v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			sum += (b - a) / den
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,121 @@
+package quality
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+func blobs(rng *rand.Rand, centers []geom.Point, n int, sd float64) []geom.Weighted {
+	out := make([]geom.Weighted, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		p := make(geom.Point, len(c))
+		for j := range p {
+			p[j] = c[j] + rng.NormFloat64()*sd
+		}
+		out[i] = geom.Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := Evaluate(rng, nil, []geom.Point{{0}})
+	if r.N != 0 || r.SSQ != 0 || r.Silhouette != 0 {
+		t.Fatalf("empty input: %+v", r)
+	}
+	r = Evaluate(rng, []geom.Weighted{{P: geom.Point{1}, W: 1}}, nil)
+	if r.K != 0 {
+		t.Fatalf("no centers: %+v", r)
+	}
+}
+
+func TestGoodClusteringScoresWell(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trueCenters := []geom.Point{{0, 0}, {50, 0}, {0, 50}}
+	pts := blobs(rng, trueCenters, 600, 1)
+	r := Evaluate(rng, pts, trueCenters)
+	if r.Silhouette < 0.8 {
+		t.Errorf("silhouette %.3f for well-separated clusters, want > 0.8", r.Silhouette)
+	}
+	if r.DaviesBouldin > 0.3 {
+		t.Errorf("Davies-Bouldin %.3f for well-separated clusters, want < 0.3", r.DaviesBouldin)
+	}
+	if r.EmptyClusters != 0 {
+		t.Errorf("empty clusters: %d", r.EmptyClusters)
+	}
+	var mass float64
+	for _, s := range r.ClusterSizes {
+		mass += s
+	}
+	if math.Abs(mass-600) > 1e-9 {
+		t.Errorf("cluster mass %v, want 600", mass)
+	}
+}
+
+func TestBadClusteringScoresWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trueCenters := []geom.Point{{0, 0}, {50, 0}, {0, 50}}
+	pts := blobs(rng, trueCenters, 600, 1)
+	good := Evaluate(rng, pts, trueCenters)
+	// Deliberately bad centers: all stacked in one corner.
+	bad := Evaluate(rng, pts, []geom.Point{{0, 0}, {1, 0}, {2, 0}})
+	if bad.Silhouette >= good.Silhouette {
+		t.Errorf("bad silhouette %.3f >= good %.3f", bad.Silhouette, good.Silhouette)
+	}
+	if bad.SSQ <= good.SSQ {
+		t.Errorf("bad SSQ %v <= good %v", bad.SSQ, good.SSQ)
+	}
+	if bad.DaviesBouldin <= good.DaviesBouldin {
+		t.Errorf("bad DB %v <= good DB %v", bad.DaviesBouldin, good.DaviesBouldin)
+	}
+}
+
+func TestEmptyClusterDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := blobs(rng, []geom.Point{{0, 0}}, 100, 1)
+	r := Evaluate(rng, pts, []geom.Point{{0, 0}, {1e6, 1e6}})
+	if r.EmptyClusters != 1 {
+		t.Fatalf("EmptyClusters = %d, want 1", r.EmptyClusters)
+	}
+}
+
+func TestSilhouetteSamplingKicksIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trueCenters := []geom.Point{{0, 0}, {50, 0}}
+	pts := blobs(rng, trueCenters, 3000, 1) // above the cap
+	r := Evaluate(rng, pts, trueCenters)
+	if r.Silhouette < 0.8 {
+		t.Errorf("sampled silhouette %.3f, want > 0.8", r.Silhouette)
+	}
+}
+
+func TestSingleClusterEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	pts := blobs(rng, []geom.Point{{0, 0}}, 100, 1)
+	r := Evaluate(rng, pts, []geom.Point{{0, 0}})
+	if r.DaviesBouldin != 0 {
+		t.Errorf("DB for k=1 should be 0, got %v", r.DaviesBouldin)
+	}
+	// Silhouette is undefined with one cluster; must not be NaN.
+	if math.IsNaN(r.Silhouette) {
+		t.Error("silhouette is NaN for k=1")
+	}
+}
+
+func TestWeightsActAsMultiplicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	centers := []geom.Point{{0}, {100}}
+	// One heavy point at 0, one light at 100.
+	pts := []geom.Weighted{
+		{P: geom.Point{0}, W: 10},
+		{P: geom.Point{100}, W: 1},
+	}
+	r := Evaluate(rng, pts, centers)
+	if r.ClusterSizes[0] != 10 || r.ClusterSizes[1] != 1 {
+		t.Fatalf("ClusterSizes = %v", r.ClusterSizes)
+	}
+}

@@ -1,0 +1,75 @@
+// Package seqkm implements MacQueen's sequential k-means (1967) — "Online
+// Lloyd's" — the fast-but-unguaranteed baseline the paper compares against
+// (and the fast path inside OnlineCC). Following the paper's experimental
+// setup (Section 5.2, mirroring Apache Spark MLlib run sequentially), the
+// initial centers are the first k points of the stream, which guarantees no
+// cluster starts empty.
+package seqkm
+
+import "streamkm/internal/geom"
+
+// Sequential maintains k centers, applying one step of Lloyd's update per
+// arriving point: the nearest center moves to the weighted centroid of
+// itself and the new point. Updates and queries are O(kd) and O(kd)
+// respectively, with O(kd) memory — but there is no approximation
+// guarantee, and on adversarial or skewed data (e.g. the Intrusion dataset,
+// Figure 4c) the cost can be orders of magnitude worse than coreset
+// methods.
+type Sequential struct {
+	k       int
+	centers []geom.Point
+	weights []float64
+	count   int64
+}
+
+// New returns a sequential k-means clusterer targeting k centers.
+func New(k int) *Sequential {
+	if k < 1 {
+		panic("seqkm: k < 1")
+	}
+	return &Sequential{k: k}
+}
+
+// Add implements the Clusterer façade: one sequential k-means step.
+func (s *Sequential) Add(p geom.Point) { s.AddWeighted(geom.Weighted{P: p, W: 1}) }
+
+// AddWeighted observes a point carrying weight w (equivalent to w unit
+// points at the same coordinates): the nearest center moves to the weighted
+// centroid of itself and the new point.
+func (s *Sequential) AddWeighted(wp geom.Weighted) {
+	s.count++
+	if len(s.centers) < s.k {
+		s.centers = append(s.centers, wp.P.Clone())
+		s.weights = append(s.weights, wp.W)
+		return
+	}
+	_, idx := geom.MinSqDist(wp.P, s.centers)
+	w := s.weights[idx]
+	c := s.centers[idx]
+	inv := 1 / (w + wp.W)
+	for j := range c {
+		c[j] = (w*c[j] + wp.W*wp.P[j]) * inv
+	}
+	s.weights[idx] = w + wp.W
+}
+
+// Centers returns copies of the current centers.
+func (s *Sequential) Centers() []geom.Point {
+	out := make([]geom.Point, len(s.centers))
+	for i, c := range s.centers {
+		out[i] = c.Clone()
+	}
+	return out
+}
+
+// PointsStored reports memory in points: just the k centers.
+func (s *Sequential) PointsStored() int { return len(s.centers) }
+
+// Name identifies the algorithm in reports.
+func (s *Sequential) Name() string { return "Sequential" }
+
+// Count returns the number of points observed.
+func (s *Sequential) Count() int64 { return s.count }
+
+// Weights returns the per-center accumulated weights (test hook).
+func (s *Sequential) Weights() []float64 { return s.weights }

@@ -1,0 +1,132 @@
+package seqkm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k < 1")
+		}
+	}()
+	New(0)
+}
+
+func TestFirstKPointsBecomeCenters(t *testing.T) {
+	s := New(3)
+	pts := []geom.Point{{1, 1}, {2, 2}, {3, 3}}
+	for _, p := range pts {
+		s.Add(p)
+	}
+	centers := s.Centers()
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	for i, p := range pts {
+		if !centers[i].Equal(p) {
+			t.Fatalf("center %d = %v, want %v", i, centers[i], p)
+		}
+	}
+}
+
+func TestCentroidUpdateMath(t *testing.T) {
+	s := New(1)
+	s.Add(geom.Point{0, 0})
+	s.Add(geom.Point{2, 0}) // centroid of {0,0},{2,0} = {1,0}
+	if c := s.Centers()[0]; !c.Equal(geom.Point{1, 0}) {
+		t.Fatalf("center = %v, want [1 0]", c)
+	}
+	s.Add(geom.Point{4, 0}) // centroid of 3 points = {2,0}
+	if c := s.Centers()[0]; !c.Equal(geom.Point{2, 0}) {
+		t.Fatalf("center = %v, want [2 0]", c)
+	}
+	if w := s.Weights()[0]; w != 3 {
+		t.Fatalf("weight = %v, want 3", w)
+	}
+}
+
+func TestWeightsSumToCount(t *testing.T) {
+	s := New(4)
+	rng := rand.New(rand.NewSource(1))
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Add(geom.Point{rng.NormFloat64() * 10, rng.NormFloat64() * 10})
+	}
+	var sum float64
+	for _, w := range s.Weights() {
+		sum += w
+	}
+	if math.Abs(sum-n) > 1e-9 {
+		t.Fatalf("weights sum to %v, want %d", sum, n)
+	}
+	if s.Count() != n {
+		t.Fatalf("Count = %d", s.Count())
+	}
+}
+
+func TestCentersAreCopies(t *testing.T) {
+	s := New(2)
+	s.Add(geom.Point{1, 1})
+	s.Add(geom.Point{2, 2})
+	got := s.Centers()
+	got[0][0] = 999
+	if s.Centers()[0][0] == 999 {
+		t.Fatal("Centers aliases internal state")
+	}
+}
+
+func TestTracksSeparatedClusters(t *testing.T) {
+	// On easy, well-separated data sequential k-means does fine — the paper
+	// only shows it failing on skewed data.
+	s := New(2)
+	rng := rand.New(rand.NewSource(2))
+	// Seed centers: one point from each cluster.
+	s.Add(geom.Point{0, 0})
+	s.Add(geom.Point{100, 100})
+	for i := 0; i < 5000; i++ {
+		if i%2 == 0 {
+			s.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+		} else {
+			s.Add(geom.Point{100 + rng.NormFloat64(), 100 + rng.NormFloat64()})
+		}
+	}
+	centers := s.Centers()
+	d0, _ := geom.MinSqDist(geom.Point{0, 0}, centers)
+	d1, _ := geom.MinSqDist(geom.Point{100, 100}, centers)
+	if d0 > 1 || d1 > 1 {
+		t.Fatalf("centers drifted: %v", centers)
+	}
+}
+
+func TestPoorQualityOnSkewedInit(t *testing.T) {
+	// The pathology from the paper (Fig 4c): if the first k points all land
+	// in one region, sequential k-means can never recover a far small
+	// cluster. This documents the baseline's known weakness.
+	s := New(2)
+	s.Add(geom.Point{0, 0})
+	s.Add(geom.Point{0.1, 0.1}) // both initial centers in cluster A
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		s.Add(geom.Point{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+	}
+	// A single far outlier group, too small to drag a center over.
+	for i := 0; i < 10; i++ {
+		s.Add(geom.Point{1000, 1000})
+	}
+	centers := s.Centers()
+	d, _ := geom.MinSqDist(geom.Point{1000, 1000}, centers)
+	if d < 100 {
+		t.Fatalf("unexpectedly recovered the far cluster; centers %v", centers)
+	}
+	if s.PointsStored() != 2 {
+		t.Fatalf("PointsStored = %d, want k", s.PointsStored())
+	}
+	if s.Name() != "Sequential" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}

@@ -1,0 +1,36 @@
+package seqkm
+
+import "streamkm/internal/geom"
+
+// Snapshot is the exported state of a Sequential clusterer.
+type Snapshot struct {
+	K       int
+	Centers []geom.Point
+	Weights []float64
+	Count   int64
+}
+
+// Snapshot captures the clusterer's complete state (deep copies).
+func (s *Sequential) Snapshot() Snapshot {
+	centers := make([]geom.Point, len(s.centers))
+	for i, c := range s.centers {
+		centers[i] = c.Clone()
+	}
+	return Snapshot{
+		K:       s.k,
+		Centers: centers,
+		Weights: append([]float64(nil), s.weights...),
+		Count:   s.count,
+	}
+}
+
+// Restore replaces the clusterer's state with the snapshot's.
+func (s *Sequential) Restore(snap Snapshot) {
+	s.k = snap.K
+	s.centers = make([]geom.Point, len(snap.Centers))
+	for i, c := range snap.Centers {
+		s.centers[i] = c.Clone()
+	}
+	s.weights = append([]float64(nil), snap.Weights...)
+	s.count = snap.Count
+}

@@ -1,0 +1,67 @@
+package seqkm
+
+import (
+	"math"
+	"testing"
+
+	"streamkm/internal/geom"
+)
+
+func TestAddWeightedCentroidMath(t *testing.T) {
+	s := New(1)
+	s.AddWeighted(geom.Weighted{P: geom.Point{0, 0}, W: 3})
+	s.AddWeighted(geom.Weighted{P: geom.Point{4, 0}, W: 1})
+	// centroid = (3*0 + 1*4)/4 = 1
+	if c := s.Centers()[0]; !c.Equal(geom.Point{1, 0}) {
+		t.Fatalf("center = %v, want [1 0]", c)
+	}
+	if w := s.Weights()[0]; w != 4 {
+		t.Fatalf("weight = %v, want 4", w)
+	}
+}
+
+func TestAddWeightedEqualsRepeatedAdd(t *testing.T) {
+	a, b := New(2), New(2)
+	seedPts := []geom.Point{{0, 0}, {10, 10}}
+	for _, p := range seedPts {
+		a.Add(p)
+		b.Add(p)
+	}
+	a.AddWeighted(geom.Weighted{P: geom.Point{1, 1}, W: 5})
+	for i := 0; i < 5; i++ {
+		b.Add(geom.Point{1, 1})
+	}
+	ca, cb := a.Centers(), b.Centers()
+	for i := range ca {
+		for j := range ca[i] {
+			if math.Abs(ca[i][j]-cb[i][j]) > 1e-9 {
+				t.Fatalf("weighted add diverges from repeated add: %v vs %v", ca, cb)
+			}
+		}
+	}
+}
+
+func TestSnapshotRestoreSequential(t *testing.T) {
+	s := New(2)
+	s.Add(geom.Point{1, 2})
+	s.Add(geom.Point{3, 4})
+	s.Add(geom.Point{1.5, 2.5})
+	snap := s.Snapshot()
+
+	// Snapshot is a deep copy: mutating the live clusterer leaves it alone.
+	s.Add(geom.Point{100, 100})
+	if snap.Count != 3 {
+		t.Fatalf("snapshot count mutated: %d", snap.Count)
+	}
+
+	r := New(2)
+	r.Restore(snap)
+	if r.Count() != 3 || len(r.Centers()) != 2 {
+		t.Fatalf("restore: count %d, centers %d", r.Count(), len(r.Centers()))
+	}
+	// Restored state continues independently.
+	r.Add(geom.Point{3, 4})
+	if s.Count() != 4 || r.Count() != 4 {
+		t.Fatalf("counts diverged wrongly: %d %d", s.Count(), r.Count())
+	}
+}

@@ -1,0 +1,158 @@
+// Package workload drives streaming clusterers through the paper's
+// experimental workloads: a point stream interleaved with clustering
+// queries at either fixed intervals (every q points, Section 5.2's default)
+// or Poisson arrivals with rate lambda (Figures 8–10), measuring update
+// time and query time separately as the paper does.
+package workload
+
+import (
+	"math/rand"
+	"time"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+// Schedule produces the (1-indexed) stream positions at which clustering
+// queries fire, in strictly increasing order.
+type Schedule interface {
+	// Next returns the next query position after pos, or -1 for "never".
+	Next(pos int64) int64
+	// Name describes the schedule in reports.
+	Name() string
+}
+
+// FixedInterval queries after every Q-th point — "queries present with
+// interval of q points".
+type FixedInterval struct{ Q int64 }
+
+// Next implements Schedule.
+func (s FixedInterval) Next(pos int64) int64 {
+	if s.Q <= 0 {
+		return -1
+	}
+	return (pos/s.Q + 1) * s.Q
+}
+
+// Name implements Schedule.
+func (s FixedInterval) Name() string { return "fixed" }
+
+// Poisson queries according to a Poisson process over the point sequence:
+// inter-arrival gaps are exponential with mean 1/Lambda points (Section
+// 5.2). Gaps round up to at least one point.
+type Poisson struct {
+	Lambda float64
+	Rng    *rand.Rand
+}
+
+// Next implements Schedule.
+func (s Poisson) Next(pos int64) int64 {
+	if s.Lambda <= 0 {
+		return -1
+	}
+	gap := int64(s.Rng.ExpFloat64() / s.Lambda)
+	if gap < 1 {
+		gap = 1
+	}
+	return pos + gap
+}
+
+// Name implements Schedule.
+func (s Poisson) Name() string { return "poisson" }
+
+// Never is a schedule with no queries (update-cost-only measurements).
+type Never struct{}
+
+// Next implements Schedule.
+func (Never) Next(int64) int64 { return -1 }
+
+// Name implements Schedule.
+func (Never) Name() string { return "never" }
+
+// Result aggregates one streaming run.
+type Result struct {
+	Algorithm    string
+	N            int64         // points streamed
+	Queries      int64         // queries answered
+	UpdateTime   time.Duration // total time inside Add
+	QueryTime    time.Duration // total time inside Centers
+	FinalCenters []geom.Point  // result of a final query (always issued)
+	PointsStored int           // memory at end of stream, in points
+}
+
+// TotalTime returns update plus query time.
+func (r Result) TotalTime() time.Duration { return r.UpdateTime + r.QueryTime }
+
+// UpdatePerPoint returns average update time per point.
+func (r Result) UpdatePerPoint() time.Duration {
+	if r.N == 0 {
+		return 0
+	}
+	return r.UpdateTime / time.Duration(r.N)
+}
+
+// QueryPerPoint returns total query time amortized per point — the paper's
+// "query time per point" metric.
+func (r Result) QueryPerPoint() time.Duration {
+	if r.N == 0 {
+		return 0
+	}
+	return r.QueryTime / time.Duration(r.N)
+}
+
+// TotalPerPoint returns total time amortized per point.
+func (r Result) TotalPerPoint() time.Duration {
+	if r.N == 0 {
+		return 0
+	}
+	return r.TotalTime() / time.Duration(r.N)
+}
+
+// Run streams pts into alg, firing a query at every position the schedule
+// produces plus one final query at end of stream. Update time is measured
+// in blocks between queries (accurate totals without a timer call per
+// point).
+func Run(alg core.Clusterer, pts []geom.Point, sched Schedule) Result {
+	res := Result{Algorithm: alg.Name()}
+	n := int64(len(pts))
+	nextQ := sched.Next(0)
+	var i, lastQ int64
+	lastQ = -1
+	for i < n {
+		stop := n
+		if nextQ > 0 && nextQ < stop {
+			stop = nextQ
+		}
+		t0 := time.Now()
+		for ; i < stop; i++ {
+			alg.Add(pts[i])
+		}
+		res.UpdateTime += time.Since(t0)
+		if i == nextQ {
+			t0 = time.Now()
+			res.FinalCenters = alg.Centers()
+			res.QueryTime += time.Since(t0)
+			res.Queries++
+			lastQ = i
+			nextQ = sched.Next(i)
+		}
+	}
+	if lastQ != n {
+		// Final query so FinalCenters reflects the whole stream even when
+		// the schedule did not land exactly on the last point.
+		t0 := time.Now()
+		res.FinalCenters = alg.Centers()
+		res.QueryTime += time.Since(t0)
+		res.Queries++
+	}
+	res.N = n
+	res.PointsStored = alg.PointsStored()
+	return res
+}
+
+// FinalCost evaluates the SSQ of the run's final centers over the full
+// stream — the paper's accuracy metric (k-means cost at end of stream).
+func FinalCost(r Result, pts []geom.Point) float64 {
+	return kmeans.Cost(geom.Wrap(pts), r.FinalCenters)
+}

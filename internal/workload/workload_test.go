@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/seqkm"
+)
+
+func testPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []geom.Point{{0, 0}, {40, 40}}
+	out := make([]geom.Point, n)
+	for i := range out {
+		c := centers[rng.Intn(2)]
+		out[i] = geom.Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+	}
+	return out
+}
+
+func newCC(k, m int, seed int64) core.Clusterer {
+	rng := rand.New(rand.NewSource(seed))
+	return core.NewDriver(core.NewCC(2, m, coreset.KMeansPP{}, rng), k, m, rng, kmeans.FastOptions())
+}
+
+func TestFixedIntervalSchedule(t *testing.T) {
+	s := FixedInterval{Q: 100}
+	if got := s.Next(0); got != 100 {
+		t.Fatalf("Next(0) = %d", got)
+	}
+	if got := s.Next(100); got != 200 {
+		t.Fatalf("Next(100) = %d", got)
+	}
+	if got := s.Next(150); got != 200 {
+		t.Fatalf("Next(150) = %d", got)
+	}
+	if got := (FixedInterval{Q: 0}).Next(5); got != -1 {
+		t.Fatalf("Q=0 should disable queries, got %d", got)
+	}
+	if s.Name() != "fixed" {
+		t.Fatal("name")
+	}
+}
+
+func TestPoissonScheduleStatistics(t *testing.T) {
+	s := Poisson{Lambda: 0.01, Rng: rand.New(rand.NewSource(1))} // mean gap 100
+	var pos int64
+	var gaps []int64
+	for i := 0; i < 3000; i++ {
+		next := s.Next(pos)
+		if next <= pos {
+			t.Fatalf("non-increasing schedule: %d -> %d", pos, next)
+		}
+		gaps = append(gaps, next-pos)
+		pos = next
+	}
+	var sum float64
+	for _, g := range gaps {
+		sum += float64(g)
+	}
+	mean := sum / float64(len(gaps))
+	if mean < 85 || mean > 115 {
+		t.Fatalf("mean gap %.1f, want ~100", mean)
+	}
+	if (Poisson{Lambda: 0, Rng: s.Rng}).Next(5) != -1 {
+		t.Fatal("lambda=0 should disable queries")
+	}
+	if s.Name() != "poisson" {
+		t.Fatal("name")
+	}
+}
+
+func TestNeverSchedule(t *testing.T) {
+	if (Never{}).Next(123) != -1 || (Never{}).Name() != "never" {
+		t.Fatal("Never misbehaves")
+	}
+}
+
+func TestRunCountsQueries(t *testing.T) {
+	pts := testPoints(1000, 2)
+	res := Run(newCC(2, 20, 3), pts, FixedInterval{Q: 100})
+	if res.N != 1000 {
+		t.Fatalf("N = %d", res.N)
+	}
+	// Queries at 100, 200, ..., 1000 = 10 (the one at 1000 doubles as the
+	// final query).
+	if res.Queries != 10 {
+		t.Fatalf("Queries = %d, want 10", res.Queries)
+	}
+	if len(res.FinalCenters) != 2 {
+		t.Fatalf("final centers = %d", len(res.FinalCenters))
+	}
+	if res.PointsStored <= 0 {
+		t.Fatal("PointsStored not recorded")
+	}
+	if res.UpdateTime <= 0 || res.QueryTime <= 0 {
+		t.Fatalf("timings not recorded: update=%v query=%v", res.UpdateTime, res.QueryTime)
+	}
+}
+
+func TestRunAlwaysIssuesFinalQuery(t *testing.T) {
+	pts := testPoints(500, 4)
+	res := Run(newCC(2, 20, 5), pts, Never{})
+	if res.Queries != 1 {
+		t.Fatalf("Queries = %d, want exactly the final one", res.Queries)
+	}
+	if len(res.FinalCenters) != 2 {
+		t.Fatalf("final centers = %d", len(res.FinalCenters))
+	}
+}
+
+func TestRunPartialIntervalTail(t *testing.T) {
+	// N=250 with q=100: queries at 100, 200, then final at 250.
+	pts := testPoints(250, 6)
+	res := Run(newCC(2, 10, 7), pts, FixedInterval{Q: 100})
+	if res.Queries != 3 {
+		t.Fatalf("Queries = %d, want 3", res.Queries)
+	}
+}
+
+func TestRunWithSequential(t *testing.T) {
+	pts := testPoints(2000, 8)
+	res := Run(seqkm.New(2), pts, FixedInterval{Q: 50})
+	if res.Algorithm != "Sequential" {
+		t.Fatalf("Algorithm = %q", res.Algorithm)
+	}
+	if res.Queries != 40 {
+		t.Fatalf("Queries = %d, want 40", res.Queries)
+	}
+	cost := FinalCost(res, pts)
+	if cost <= 0 {
+		t.Fatalf("FinalCost = %v", cost)
+	}
+}
+
+func TestResultDerivedMetrics(t *testing.T) {
+	r := Result{N: 100, UpdateTime: 1000, QueryTime: 500}
+	if r.TotalTime() != 1500 {
+		t.Fatal("TotalTime")
+	}
+	if r.UpdatePerPoint() != 10 {
+		t.Fatal("UpdatePerPoint")
+	}
+	if r.QueryPerPoint() != 5 {
+		t.Fatal("QueryPerPoint")
+	}
+	if r.TotalPerPoint() != 15 {
+		t.Fatal("TotalPerPoint")
+	}
+	var zero Result
+	if zero.UpdatePerPoint() != 0 || zero.QueryPerPoint() != 0 || zero.TotalPerPoint() != 0 {
+		t.Fatal("zero-N division")
+	}
+}
+
+// TestRunFinalCostReasonable: the runner end-to-end produces centers that
+// actually cluster the data.
+func TestRunFinalCostReasonable(t *testing.T) {
+	pts := testPoints(3000, 9)
+	res := Run(newCC(2, 40, 10), pts, FixedInterval{Q: 200})
+	cost := FinalCost(res, pts)
+	// Two unit-variance clusters in 2-d: optimal cost ~ 2*n. Allow slack.
+	if cost > 6*float64(len(pts)) {
+		t.Fatalf("final cost %v too high for easy data", cost)
+	}
+}

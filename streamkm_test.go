@@ -1,0 +1,175 @@
+package streamkm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mixturePoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	centers := []Point{{0, 0}, {50, 0}, {0, 50}}
+	out := make([]Point, n)
+	for i := range out {
+		c := centers[rng.Intn(len(centers))]
+		out[i] = Point{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestNewAllAlgorithms(t *testing.T) {
+	pts := mixturePoints(2000, 1)
+	for _, algo := range Algos() {
+		c, err := New(algo, Config{K: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if c.Name() != string(algo) {
+			t.Errorf("%s: Name = %q", algo, c.Name())
+		}
+		for _, p := range pts {
+			c.Add(p)
+		}
+		centers := c.Centers()
+		if len(centers) != 3 {
+			t.Errorf("%s: %d centers, want 3", algo, len(centers))
+		}
+		for _, ctr := range centers {
+			if len(ctr) != 2 {
+				t.Errorf("%s: center dim %d", algo, len(ctr))
+			}
+		}
+		if c.PointsStored() <= 0 {
+			t.Errorf("%s: PointsStored = %d", algo, c.PointsStored())
+		}
+	}
+}
+
+func TestNewUnknownAlgorithm(t *testing.T) {
+	if _, err := New("Bogus", Config{K: 3}); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: 0},
+		{K: 3, BucketSize: -1},
+		{K: 3, MergeDegree: 1},
+		{K: 3, RCCOrder: -1},
+		{K: 3, Alpha: 0.5},
+		{K: 3, Epsilon: 2},
+		{K: 3, QueryRuns: -1},
+		{K: 3, QueryLloydIters: -1},
+		{K: 3, Builder: "nope"},
+	}
+	for i, cfg := range bad {
+		if _, err := New(AlgoCC, cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg, err := Config{K: 30}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BucketSize != 600 {
+		t.Errorf("default bucket size %d, want 20k = 600", cfg.BucketSize)
+	}
+	if cfg.MergeDegree != 2 || cfg.RCCOrder != 3 || cfg.Alpha != 1.2 ||
+		cfg.Epsilon != 0.1 || cfg.Builder != BuilderKMeansPP || cfg.Seed != 1 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+}
+
+func TestMustNewPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(AlgoCC, Config{K: 0})
+}
+
+func TestAllBuilders(t *testing.T) {
+	pts := mixturePoints(1500, 2)
+	for _, b := range []BuilderKind{BuilderKMeansPP, BuilderSensitivity, BuilderUniform} {
+		c := MustNew(AlgoCC, Config{K: 3, Builder: b})
+		for _, p := range pts {
+			c.Add(p)
+		}
+		if got := len(c.Centers()); got != 3 {
+			t.Errorf("builder %s: %d centers", b, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Point {
+		c := MustNew(AlgoCC, Config{K: 3, Seed: 99})
+		for _, p := range mixturePoints(1000, 3) {
+			c.Add(p)
+		}
+		return c.Centers()
+	}
+	a, b := run(), run()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different centers")
+			}
+		}
+	}
+}
+
+func TestCostHelper(t *testing.T) {
+	pts := []Point{{0, 0}, {2, 0}}
+	centers := []Point{{1, 0}}
+	if got := Cost(pts, centers); got != 2 {
+		t.Fatalf("Cost = %v, want 2", got)
+	}
+}
+
+func TestKMeansPlusPlusHelper(t *testing.T) {
+	pts := mixturePoints(900, 4)
+	centers := KMeansPlusPlus(pts, 3, 7, 3, 10)
+	if len(centers) != 3 {
+		t.Fatalf("got %d centers", len(centers))
+	}
+	// Batch cost should be near-optimal for this easy mixture: roughly
+	// 2 (unit variances, 2 dims) per point.
+	if cost := Cost(pts, centers); cost > 6*float64(len(pts)) {
+		t.Fatalf("batch cost %v too high", cost)
+	}
+}
+
+// TestStreamingMatchesBatchOnEasyData is the headline accuracy claim
+// (Figure 4): streaming algorithms match batch k-means++ on cost.
+func TestStreamingMatchesBatchOnEasyData(t *testing.T) {
+	pts := mixturePoints(5000, 5)
+	batch := Cost(pts, KMeansPlusPlus(pts, 3, 11, 5, 20))
+	for _, algo := range []Algo{AlgoCT, AlgoCC, AlgoRCC, AlgoOnlineCC} {
+		c := MustNew(algo, Config{K: 3, QueryRuns: 3, QueryLloydIters: 10})
+		for _, p := range pts {
+			c.Add(p)
+		}
+		cost := Cost(pts, c.Centers())
+		if cost > 3*batch {
+			t.Errorf("%s: cost %v vs batch %v (ratio %.2f)", algo, cost, batch, cost/batch)
+		}
+	}
+}
+
+func TestQueriesBetweenAdds(t *testing.T) {
+	c := MustNew(AlgoCC, Config{K: 2, BucketSize: 25})
+	pts := mixturePoints(1000, 6)
+	for i, p := range pts {
+		c.Add(p)
+		if i%100 == 7 {
+			if got := c.Centers(); len(got) == 0 {
+				t.Fatalf("no centers at i=%d", i)
+			}
+		}
+	}
+}

@@ -14,6 +14,17 @@
 // table4, ablation. Every experiment prints text tables whose rows are the
 // series plotted in the corresponding paper figure; EXPERIMENTS.md records
 // a reference run and compares the shapes against the paper's.
+//
+// # HTTP load-replay client mode
+//
+// With -replay, streambench becomes a load generator against a running
+// streamkmd daemon instead: it replays a generated dataset over POST
+// /ingest from -conc concurrent producers (batches of -batch points)
+// while querying GET /centers every -q points, then prints client-side
+// throughput/latency and the daemon's /stats:
+//
+//	streamkmd -algo CC -k 30 -shards 8 &
+//	streambench -replay http://localhost:7070 -datasets covtype -n 100000 -conc 8 -batch 500
 package main
 
 import (
@@ -60,8 +71,36 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		datasets    = flag.String("datasets", "", "comma-separated subset of: covtype,power,intrusion,drift")
 		fastQueries = flag.Bool("fastqueries", false, "downgrade query-time k-means++ to one seeding pass (fast smoke runs; distorts timing shapes)")
+		replay      = flag.String("replay", "", "replay a dataset over HTTP against a streamkmd daemon at this base URL instead of running experiments")
+		conc        = flag.Int("conc", 4, "concurrent producers in -replay mode")
+		batch       = flag.Int("batch", 500, "points per ingest request in -replay mode")
 	)
 	flag.Parse()
+
+	if *replay != "" {
+		if *conc < 1 || *batch < 1 {
+			fmt.Fprintf(os.Stderr, "streambench: -conc and -batch must be >= 1 (got %d, %d)\n", *conc, *batch)
+			os.Exit(2)
+		}
+		ds := "covtype"
+		if *datasets != "" {
+			ds = strings.Split(*datasets, ",")[0]
+		}
+		err := runReplay(replayConfig{
+			url:        strings.TrimRight(*replay, "/"),
+			dataset:    ds,
+			n:          *n,
+			conc:       *conc,
+			batch:      *batch,
+			queryEvery: *q,
+			seed:       *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "streambench: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{
 		N:           *n,

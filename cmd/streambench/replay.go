@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/datagen"
+	"streamkm/internal/geom"
+	"streamkm/internal/metrics"
+)
+
+// replayConfig parameterizes the HTTP load-replay client mode: it streams
+// a generated dataset to a running streamkmd daemon from conc concurrent
+// producers while a querier hits /centers at the configured interval —
+// the paper's ingest-while-querying workload, over the wire.
+type replayConfig struct {
+	url        string // daemon base URL, e.g. http://localhost:7070
+	dataset    string // datagen dataset name
+	n          int    // points to replay
+	conc       int    // concurrent producers
+	batch      int    // points per ingest request
+	queryEvery int64  // issue a /centers query every this many points (0 = none)
+	seed       int64
+}
+
+// replayStats aggregates what the producers and the querier observed.
+type replayStats struct {
+	ingested  atomic.Int64
+	requests  atomic.Int64
+	queries   atomic.Int64
+	mu        sync.Mutex
+	queryMs   []float64
+	lastK     atomic.Int64
+	firstErr  atomic.Pointer[error]
+	errorsHit atomic.Int64
+}
+
+func (st *replayStats) fail(err error) {
+	st.errorsHit.Add(1)
+	st.firstErr.CompareAndSwap(nil, &err)
+}
+
+// runReplay generates the dataset, replays it over HTTP, and prints a
+// summary table. It returns an error if the daemon was unreachable or any
+// request failed.
+func runReplay(rc replayConfig) error {
+	ds, err := datagen.ByName(rc.dataset, rc.n, rc.seed)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	if err := checkHealth(client, rc.url); err != nil {
+		return fmt.Errorf("daemon not healthy at %s: %v", rc.url, err)
+	}
+
+	var st replayStats
+	start := time.Now()
+
+	// Querier: polls the shared progress counter and issues a /centers
+	// query each time another queryEvery points have been acknowledged.
+	done := make(chan struct{})
+	var qwg sync.WaitGroup
+	if rc.queryEvery > 0 {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			var next = rc.queryEvery
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if st.ingested.Load() >= next {
+					next += rc.queryEvery
+					queryCenters(client, rc.url, &st, false)
+				} else {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}
+		}()
+	}
+
+	// Producers: disjoint slices of the stream, each posted in batches.
+	var pwg sync.WaitGroup
+	for w := 0; w < rc.conc; w++ {
+		lo := w * len(ds.Points) / rc.conc
+		hi := (w + 1) * len(ds.Points) / rc.conc
+		pwg.Add(1)
+		go func(pts []geom.Point) {
+			defer pwg.Done()
+			for off := 0; off < len(pts); off += rc.batch {
+				end := off + rc.batch
+				if end > len(pts) {
+					end = len(pts)
+				}
+				if err := postBatch(client, rc.url, pts[off:end], &st); err != nil {
+					st.fail(err)
+					return
+				}
+			}
+		}(ds.Points[lo:hi])
+	}
+	pwg.Wait()
+	close(done)
+	qwg.Wait()
+	wall := time.Since(start)
+
+	// Final authoritative query + server-side stats.
+	queryCenters(client, rc.url, &st, true)
+	if ep := st.firstErr.Load(); ep != nil {
+		return fmt.Errorf("replay hit %d request errors; first: %v", st.errorsHit.Load(), *ep)
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d) against %s", ds.Name, ds.N(), ds.Dim, rc.url),
+		"producers", "batch", "points", "ingest reqs", "wall", "points/s", "queries", "median query ms", "final k")
+	st.mu.Lock()
+	medQ := metrics.Median(st.queryMs)
+	st.mu.Unlock()
+	t.AddRow(rc.conc, rc.batch, st.ingested.Load(), st.requests.Load(),
+		wall.Round(time.Millisecond).String(),
+		float64(st.ingested.Load())/wall.Seconds(),
+		st.queries.Load(), medQ, st.lastK.Load())
+	fmt.Println(t.String())
+	return printServerStats(client, rc.url)
+}
+
+// checkHealth probes /healthz.
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// postBatch streams one ndjson batch to /ingest and accounts the
+// daemon-acknowledged point count.
+func postBatch(client *http.Client, base string, pts []geom.Point, st *replayStats) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, p := range pts {
+		if err := enc.Encode([]float64(p)); err != nil {
+			return err
+		}
+	}
+	resp, err := client.Post(base+"/ingest", "application/x-ndjson", &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Ingested int64  `json:"ingested"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("ingest response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
+	}
+	st.ingested.Add(body.Ingested)
+	st.requests.Add(1)
+	return nil
+}
+
+// queryCenters hits /centers (optionally forcing a cache refresh) and
+// records latency and the returned center count.
+func queryCenters(client *http.Client, base string, st *replayStats, refresh bool) {
+	url := base + "/centers"
+	if refresh {
+		url += "?refresh=1"
+	}
+	t0 := time.Now()
+	resp, err := client.Get(url)
+	if err != nil {
+		st.fail(err)
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Centers [][]float64 `json:"centers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || resp.StatusCode != http.StatusOK {
+		st.fail(fmt.Errorf("centers status %d, err %v", resp.StatusCode, err))
+		return
+	}
+	ms := float64(time.Since(t0).Microseconds()) / 1e3
+	st.lastK.Store(int64(len(body.Centers)))
+	if refresh {
+		// The final forced recomputation is not a serving-path query;
+		// keep it out of the cached-query latency statistics.
+		return
+	}
+	st.queries.Add(1)
+	st.mu.Lock()
+	st.queryMs = append(st.queryMs, ms)
+	st.mu.Unlock()
+}
+
+// printServerStats dumps the daemon's /stats JSON, indented.
+func printServerStats(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var pretty bytes.Buffer
+	if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+		return err
+	}
+	fmt.Printf("server /stats:\n%s\n", pretty.String())
+	return nil
+}

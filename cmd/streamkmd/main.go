@@ -1,0 +1,113 @@
+// Command streamkmd is the streaming k-means daemon: it serves concurrent
+// ingest and clustering-query traffic over HTTP, backed by
+// streamkm.Concurrent (P-way sharded ingest, cached-centers fast-path
+// queries — see the paper's CC/RCC algorithms for why queries are cheap
+// enough to serve inline).
+//
+// Usage:
+//
+//	streamkmd -addr :7070 -algo CC -k 10 -shards 8
+//
+// Then:
+//
+//	printf '[1,2]\n[1.1,2.2]\n[9,9]\n' | curl -sS --data-binary @- localhost:7070/ingest
+//	curl -sS localhost:7070/centers
+//	curl -sS localhost:7070/stats
+//	curl -sS localhost:7070/healthz
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"streamkm"
+	"streamkm/internal/server"
+)
+
+// options carries the flag values; split from main for testability.
+type options struct {
+	addr     string
+	algo     string
+	k        int
+	shards   int
+	dim      int
+	bucket   int
+	alpha    float64
+	seed     int64
+	runs     int
+	lloyd    int
+	maxBatch int
+}
+
+// build wires options into a running-ready handler. It returns the
+// backing clusterer too so callers (and tests) can inspect it.
+func build(o options) (*streamkm.Concurrent, http.Handler, error) {
+	if o.shards < 1 {
+		o.shards = runtime.GOMAXPROCS(0)
+	}
+	c, err := streamkm.NewConcurrent(streamkm.Algo(o.algo), o.shards, streamkm.Config{
+		K:               o.k,
+		BucketSize:      o.bucket,
+		Alpha:           o.alpha,
+		Seed:            o.seed,
+		QueryRuns:       o.runs,
+		QueryLloydIters: o.lloyd,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(c, server.Config{K: o.k, Dim: o.dim, MaxBatch: o.maxBatch})
+	return c, srv.Handler(), nil
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7070", "listen address")
+	flag.StringVar(&o.algo, "algo", "CC", "summary structure per shard (CT, CC, RCC)")
+	flag.IntVar(&o.k, "k", 10, "number of cluster centers")
+	flag.IntVar(&o.shards, "shards", 0, "ingest shards (0 = GOMAXPROCS)")
+	flag.IntVar(&o.dim, "dim", 0, "point dimension (0 = adopt from first point)")
+	flag.IntVar(&o.bucket, "bucket", 0, "coreset bucket size m (0 = 20*k)")
+	flag.Float64Var(&o.alpha, "alpha", 0, "centers-cache staleness threshold (>1; 0 = default 1.2)")
+	flag.Int64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.runs, "queryruns", 1, "k-means++ restarts per query recomputation")
+	flag.IntVar(&o.lloyd, "lloyd", 0, "Lloyd refinement iterations per query recomputation")
+	flag.IntVar(&o.maxBatch, "maxbatch", 0, "points applied per shard-lock acquisition during ingest (0 = 512)")
+	flag.Parse()
+
+	c, h, err := build(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamkmd: %v\n", err)
+		os.Exit(2)
+	}
+	hs := &http.Server{Addr: o.addr, Handler: h}
+
+	go func() {
+		log.Printf("streamkmd: serving %s (k=%d, %d shards) on %s", c.Name(), c.K(), c.NumShards(), o.addr)
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("streamkmd: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	log.Printf("streamkmd: shutting down (%d points observed)", c.Count())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("streamkmd: shutdown: %v", err)
+	}
+}

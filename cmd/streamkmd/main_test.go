@@ -1,0 +1,64 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestBuildWiresConfigToServer(t *testing.T) {
+	c, h, err := build(options{algo: "CC", k: 4, shards: 3, dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() != 3 || c.K() != 4 {
+		t.Fatalf("clusterer shards=%d k=%d", c.NumShards(), c.K())
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader("[1,2]\n[3,4]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("ingest status %d", resp.StatusCode)
+	}
+	if c.Count() != 2 {
+		t.Fatalf("count %d, want 2", c.Count())
+	}
+	// The configured -dim must be enforced by the HTTP layer.
+	resp, err = ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader("[1,2,3]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("dim-mismatch status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBuildDefaultsShardsToGOMAXPROCS(t *testing.T) {
+	c, _, err := build(options{algo: "RCC", k: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumShards() < 1 {
+		t.Fatalf("shards %d", c.NumShards())
+	}
+}
+
+func TestBuildRejectsBadOptions(t *testing.T) {
+	for _, o := range []options{
+		{algo: "Bogus", k: 3},
+		{algo: "Sequential", k: 3},
+		{algo: "CC", k: 0},
+		{algo: "CC", k: 3, alpha: 0.5},
+	} {
+		if _, _, err := build(o); err == nil {
+			t.Errorf("options %+v: expected error", o)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package streamkm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentBasic(t *testing.T) {
+	pts := mixturePoints(4000, 10)
+	c := MustNewConcurrent(AlgoCC, 4, Config{K: 3})
+	if c.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", c.NumShards())
+	}
+	if c.K() != 3 {
+		t.Fatalf("K = %d, want 3", c.K())
+	}
+	for i := 0; i < len(pts); i += 100 {
+		c.AddBatch(pts[i : i+100])
+	}
+	if c.Count() != int64(len(pts)) {
+		t.Fatalf("Count = %d, want %d", c.Count(), len(pts))
+	}
+	centers := c.Centers()
+	if len(centers) != 3 {
+		t.Fatalf("%d centers, want 3", len(centers))
+	}
+	batch := Cost(pts, KMeansPlusPlus(pts, 3, 11, 5, 20))
+	if cost := Cost(pts, centers); cost > 3*batch {
+		t.Errorf("sharded cost %v vs batch %v", cost, batch)
+	}
+	if c.PointsStored() <= 0 {
+		t.Errorf("PointsStored = %d", c.PointsStored())
+	}
+	if c.Name() != "Sharded[4xCC]" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestConcurrentRejectsNonCoresetAlgos(t *testing.T) {
+	for _, algo := range []Algo{AlgoOnlineCC, AlgoSequential, "Bogus"} {
+		if _, err := NewConcurrent(algo, 2, Config{K: 3}); err == nil {
+			t.Errorf("%s: expected error", algo)
+		}
+	}
+	if _, err := NewConcurrent(AlgoCC, 0, Config{K: 3}); err == nil {
+		t.Error("0 shards: expected error")
+	}
+	if _, err := NewConcurrent(AlgoCC, 2, Config{K: 0}); err == nil {
+		t.Error("K=0: expected error")
+	}
+}
+
+func TestMustNewConcurrentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNewConcurrent(AlgoSequential, 2, Config{K: 3})
+}
+
+// TestConcurrentCacheFastPath pins the OnlineCC-style serving behavior:
+// repeated queries against an unchanged (or barely-grown) stream are
+// answered from the cache, and growth past Alpha invalidates it.
+func TestConcurrentCacheFastPath(t *testing.T) {
+	pts := mixturePoints(2000, 11)
+	c := MustNewConcurrent(AlgoCC, 2, Config{K: 3, Alpha: 1.5})
+	c.AddBatch(pts[:1000])
+
+	first := c.Centers()
+	if hits, misses := c.CacheStats(); hits != 0 || misses != 1 {
+		t.Fatalf("after first query: hits=%d misses=%d", hits, misses)
+	}
+	second := c.Centers() // unchanged stream: must be a hit
+	if hits, _ := c.CacheStats(); hits != 1 {
+		t.Fatalf("second query on unchanged stream did not hit the cache")
+	}
+	for i := range first {
+		for j := range first[i] {
+			if first[i][j] != second[i][j] {
+				t.Fatal("cached centers differ from computed centers")
+			}
+		}
+	}
+	// A caller mutating its copy must not corrupt the cache.
+	second[0][0] = 1e9
+	third := c.Centers()
+	if third[0][0] == 1e9 {
+		t.Fatal("cache entry aliased into caller's slice")
+	}
+
+	c.AddBatch(pts[1000:1400]) // 1400 <= 1.5*1000: still fresh
+	c.Centers()
+	if _, misses := c.CacheStats(); misses != 1 {
+		t.Fatalf("query within staleness bound recomputed (misses=%d)", misses)
+	}
+	c.AddBatch(pts[1400:2000]) // 2000 > 1.5*1000: stale
+	c.Centers()
+	if _, misses := c.CacheStats(); misses != 2 {
+		t.Fatalf("query past staleness bound did not recompute (misses=%d)", misses)
+	}
+}
+
+func TestConcurrentRefreshBypassesCache(t *testing.T) {
+	c := MustNewConcurrent(AlgoCC, 2, Config{K: 2, BucketSize: 20})
+	c.AddBatch(mixturePoints(200, 12))
+	c.Centers()
+	hits0, _ := c.CacheStats()
+	if got := c.Refresh(); len(got) != 2 {
+		t.Fatalf("Refresh returned %d centers", len(got))
+	}
+	// Refresh installs a new entry; the next query must hit it.
+	c.Centers()
+	if hits, _ := c.CacheStats(); hits != hits0+1 {
+		t.Fatalf("query after Refresh missed the cache")
+	}
+}
+
+func TestConcurrentEmptyStream(t *testing.T) {
+	c := MustNewConcurrent(AlgoRCC, 3, Config{K: 5})
+	if got := c.Centers(); len(got) != 0 {
+		t.Fatalf("empty stream returned %d centers", len(got))
+	}
+	// The empty answer must not be served once points exist.
+	c.AddBatch(mixturePoints(500, 13))
+	if got := c.Centers(); len(got) != 5 {
+		t.Fatalf("after ingest got %d centers, want 5", len(got))
+	}
+}
+
+// TestConcurrentParallelIngestAndQuery drives N producer goroutines
+// through Add/AddTo/AddBatch while queriers hammer Centers — the
+// workload the type exists for. Run with -race.
+func TestConcurrentParallelIngestAndQuery(t *testing.T) {
+	const producers = 4
+	const perProducer = 1500
+	c := MustNewConcurrent(AlgoCC, producers, Config{K: 3, BucketSize: 30})
+
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pts := mixturePoints(perProducer, int64(100+w))
+			for i, p := range pts {
+				switch i % 3 {
+				case 0:
+					c.AddTo(w, p)
+				case 1:
+					c.Add(p)
+				default:
+					c.AddWeighted(p, 2)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 3; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Centers()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	if c.Count() != producers*perProducer {
+		t.Fatalf("Count = %d, want %d", c.Count(), producers*perProducer)
+	}
+	if got := c.Refresh(); len(got) != 3 {
+		t.Fatalf("final query: %d centers, want 3", len(got))
+	}
+}

@@ -1,0 +1,47 @@
+package streamkm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"streamkm"
+)
+
+// Example_concurrent serves a clustering workload the way cmd/streamkmd
+// does: one producer goroutine pinned to each ingest shard (so producers
+// never contend on a lock) while another goroutine queries Centers
+// concurrently — most queries are answered from the cached-centers fast
+// path without touching the shards.
+func Example_concurrent() {
+	const shards = 4
+	c := streamkm.MustNewConcurrent(streamkm.AlgoCC, shards, streamkm.Config{K: 3})
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(s)))
+			means := []streamkm.Point{{0, 0}, {40, 0}, {0, 40}}
+			for i := 0; i < 2000; i++ {
+				m := means[rng.Intn(len(means))]
+				c.AddTo(s, streamkm.Point{m[0] + rng.NormFloat64(), m[1] + rng.NormFloat64()})
+			}
+		}(s)
+	}
+
+	done := make(chan struct{})
+	go func() { // a concurrent reader querying mid-stream
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			c.Centers()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	centers := c.Refresh() // force an up-to-the-last-point answer
+	fmt.Println(len(centers), "centers from", c.Count(), "points")
+	// Output: 3 centers from 8000 points
+}

@@ -177,16 +177,27 @@ func NewSharded(p int, algo Algo, cfg Config) (*ShardedClusterer, error) {
 	if err != nil {
 		return nil, err
 	}
-	b, err := cfg.builder()
-	if err != nil {
-		return nil, err
-	}
 	switch algo {
 	case AlgoCT, AlgoCC, AlgoRCC:
 	default:
 		return nil, fmt.Errorf("streamkm: sharding supports CT, CC and RCC, not %q", algo)
 	}
-	sh, err := parallel.NewSharded(p, cfg.K, cfg.Seed, cfg.queryOptions(),
+	sh, err := newShardedInner(p, algo, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClusterer{inner: sh}, nil
+}
+
+// newShardedInner builds the parallel.Sharded backing both NewSharded and
+// NewConcurrent: p independent driver-based structures with per-shard
+// seeds. cfg must already carry defaults and algo must be CT, CC or RCC.
+func newShardedInner(p int, algo Algo, cfg Config) (*parallel.Sharded, error) {
+	b, err := cfg.builder()
+	if err != nil {
+		return nil, err
+	}
+	return parallel.NewSharded(p, cfg.K, cfg.Seed, cfg.queryOptions(),
 		func(_ int, seed int64) *core.Driver {
 			rng := rand.New(rand.NewSource(seed))
 			var s core.Structure
@@ -200,10 +211,6 @@ func NewSharded(p int, algo Algo, cfg Config) (*ShardedClusterer, error) {
 			}
 			return core.NewDriver(s, cfg.K, cfg.BucketSize, rng, cfg.queryOptions())
 		})
-	if err != nil {
-		return nil, err
-	}
-	return &ShardedClusterer{inner: sh}, nil
 }
 
 // ShardedClusterer clusters p parallel substreams. It satisfies Clusterer

@@ -1,0 +1,3 @@
+module streamkm
+
+go 1.24

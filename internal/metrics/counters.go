@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// EndpointStats accumulates request counters for one server endpoint:
+// request and error counts, items processed (e.g. points ingested), and
+// total/maximum latency. All methods are safe for concurrent use; Record
+// is a handful of atomic adds, cheap enough for every request.
+type EndpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+	items    atomic.Int64
+	totalNs  atomic.Int64
+	maxNs    atomic.Int64
+}
+
+// Record accounts one finished request: its latency, the number of items
+// it processed (0 where not meaningful), and whether it failed.
+func (e *EndpointStats) Record(d time.Duration, items int64, failed bool) {
+	e.requests.Add(1)
+	if failed {
+		e.errors.Add(1)
+	}
+	if items > 0 {
+		e.items.Add(items)
+	}
+	ns := d.Nanoseconds()
+	e.totalNs.Add(ns)
+	for {
+		cur := e.maxNs.Load()
+		if ns <= cur || e.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointSnapshot is a point-in-time copy of an endpoint's counters,
+// shaped for direct JSON serialization in a stats response.
+type EndpointSnapshot struct {
+	Requests     int64   `json:"requests"`
+	Errors       int64   `json:"errors"`
+	Items        int64   `json:"items,omitempty"`
+	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	MaxLatencyMs float64 `json:"max_latency_ms"`
+}
+
+// Snapshot captures the current counter values. Counters advance
+// concurrently, so the fields are individually — not jointly — consistent,
+// which is fine for monitoring.
+func (e *EndpointStats) Snapshot() EndpointSnapshot {
+	s := EndpointSnapshot{
+		Requests:     e.requests.Load(),
+		Errors:       e.errors.Load(),
+		Items:        e.items.Load(),
+		MaxLatencyMs: float64(e.maxNs.Load()) / 1e6,
+	}
+	if s.Requests > 0 {
+		s.AvgLatencyMs = float64(e.totalNs.Load()) / float64(s.Requests) / 1e6
+	}
+	return s
+}
+
+// Throughput returns items per second over the window since start —
+// the coarse "points/s served" figure for a stats endpoint.
+func (e *EndpointStats) Throughput(since time.Time) float64 {
+	el := time.Since(since).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(e.items.Load()) / el
+}

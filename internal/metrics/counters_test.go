@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEndpointStatsRecordAndSnapshot(t *testing.T) {
+	var e EndpointStats
+	e.Record(10*time.Millisecond, 100, false)
+	e.Record(30*time.Millisecond, 200, true)
+	s := e.Snapshot()
+	if s.Requests != 2 || s.Errors != 1 || s.Items != 300 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.AvgLatencyMs < 19 || s.AvgLatencyMs > 21 {
+		t.Fatalf("avg latency %v, want ~20", s.AvgLatencyMs)
+	}
+	if s.MaxLatencyMs < 29 || s.MaxLatencyMs > 31 {
+		t.Fatalf("max latency %v, want ~30", s.MaxLatencyMs)
+	}
+}
+
+func TestEndpointStatsZero(t *testing.T) {
+	var e EndpointStats
+	s := e.Snapshot()
+	if s.Requests != 0 || s.AvgLatencyMs != 0 || s.MaxLatencyMs != 0 {
+		t.Fatalf("zero snapshot %+v", s)
+	}
+}
+
+func TestEndpointStatsThroughput(t *testing.T) {
+	var e EndpointStats
+	start := time.Now().Add(-2 * time.Second)
+	e.Record(time.Millisecond, 1000, false)
+	tp := e.Throughput(start)
+	if tp <= 0 || tp > 1000 {
+		t.Fatalf("throughput %v, want in (0, 500]±", tp)
+	}
+}
+
+// TestEndpointStatsConcurrent exercises the lock-free counters from many
+// goroutines; run with -race.
+func TestEndpointStatsConcurrent(t *testing.T) {
+	var e EndpointStats
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				e.Record(time.Duration(w+1)*time.Microsecond, 2, i%10 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := e.Snapshot()
+	if s.Requests != 4000 || s.Items != 8000 || s.Errors != 400 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.MaxLatencyMs != 0.008 {
+		t.Fatalf("max %v, want 0.008", s.MaxLatencyMs)
+	}
+}

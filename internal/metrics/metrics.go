@@ -1,7 +1,9 @@
 // Package metrics provides the reporting substrate for the experiment
-// harness: aligned text tables, memory conversion (points to megabytes at 8
-// bytes per dimension, as in the paper's Table 4) and small summary
-// statistics (the paper reports medians over repeated runs).
+// harness and the serving layer: aligned text tables, memory conversion
+// (points to megabytes at 8 bytes per dimension, as in the paper's Table
+// 4), small summary statistics (the paper reports medians over repeated
+// runs), and lock-free per-endpoint request counters (EndpointStats) for
+// the HTTP server's /stats endpoint.
 package metrics
 
 import (

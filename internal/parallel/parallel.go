@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"streamkm/internal/core"
 	"streamkm/internal/geom"
@@ -31,9 +32,11 @@ type Sharded struct {
 	k        int
 	queryOpt kmeans.Options
 
-	qmu   sync.Mutex // guards rng and the round-robin counter
-	rng   *rand.Rand
-	count int64
+	n  atomic.Int64 // points observed across all shards
+	rr atomic.Int64 // round-robin shard cursor
+
+	qmu sync.Mutex // guards rng at query time
+	rng *rand.Rand
 }
 
 type shard struct {
@@ -79,6 +82,7 @@ func (s *Sharded) AddTo(shardIdx int, p geom.Point) {
 	sh.mu.Lock()
 	sh.drv.Add(p)
 	sh.mu.Unlock()
+	s.n.Add(1)
 }
 
 // AddWeightedTo feeds one weighted point to a specific shard.
@@ -87,6 +91,23 @@ func (s *Sharded) AddWeightedTo(shardIdx int, wp geom.Weighted) {
 	sh.mu.Lock()
 	sh.drv.AddWeighted(wp)
 	sh.mu.Unlock()
+	s.n.Add(1)
+}
+
+// AddBatchTo feeds a whole batch of weighted points to one shard under a
+// single lock acquisition — the ingest fast path for high-throughput
+// producers, amortizing the per-point lock cost over the batch.
+func (s *Sharded) AddBatchTo(shardIdx int, wps []geom.Weighted) {
+	if len(wps) == 0 {
+		return
+	}
+	sh := s.shards[shardIdx]
+	sh.mu.Lock()
+	for _, wp := range wps {
+		sh.drv.AddWeighted(wp)
+	}
+	sh.mu.Unlock()
+	s.n.Add(int64(len(wps)))
 }
 
 // Add routes a point to a shard by round-robin on a running counter. For
@@ -97,11 +118,13 @@ func (s *Sharded) Add(p geom.Point) {
 
 // AddWeighted routes a weighted point to a shard by round-robin.
 func (s *Sharded) AddWeighted(wp geom.Weighted) {
-	s.qmu.Lock()
-	idx := int(s.count % int64(len(s.shards)))
-	s.count++
-	s.qmu.Unlock()
-	s.AddWeightedTo(idx, wp)
+	s.AddWeightedTo(s.NextShard(), wp)
+}
+
+// NextShard advances the round-robin cursor and returns the shard a
+// routing-agnostic producer should feed next. Lock-free.
+func (s *Sharded) NextShard() int {
+	return int((s.rr.Add(1) - 1) % int64(len(s.shards)))
 }
 
 // Centers answers a global clustering query: union every shard's coreset
@@ -139,16 +162,10 @@ func (s *Sharded) PointsStored() int {
 	return total
 }
 
-// Count sums the points observed across shards.
-func (s *Sharded) Count() int64 {
-	var total int64
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		total += sh.drv.Count()
-		sh.mu.Unlock()
-	}
-	return total
-}
+// Count returns the number of points observed across shards. It reads a
+// single atomic counter maintained by the add paths, so it is cheap enough
+// to call on every query (the cached-centers fast path does).
+func (s *Sharded) Count() int64 { return s.n.Load() }
 
 // Name identifies the algorithm in reports.
 func (s *Sharded) Name() string {

@@ -1,0 +1,36 @@
+// Package server exposes a streaming clusterer over HTTP — the
+// query-serving layer the paper's fast-query algorithms exist for: a
+// stream can be ingested continuously while clients query current
+// centers, because CC/RCC/OnlineCC (and the cached-centers fast path in
+// streamkm.Concurrent) make queries cheap enough to answer inline.
+//
+// # Architecture
+//
+// The server is algorithm-agnostic: it serves anything satisfying the
+// small Clusterer interface ([][]float64 in, [][]float64 out), so
+// windowed or decayed variants (e.g. sliding-window clustering à la
+// Braverman et al.) can slot in without touching the HTTP layer. In the
+// shipped daemon (cmd/streamkmd) the implementation is
+// streamkm.Concurrent: P-way sharded ingest with per-shard locks and a
+// read-mostly centers cache, so ingest handlers running on different
+// shards do not contend and query handlers rarely leave the cache.
+//
+// Endpoints:
+//
+//	POST /ingest   ndjson stream of points; each value is either a JSON
+//	               array [x1,...,xd] (weight 1) or {"p":[...],"w":2.5}.
+//	               Points are applied in batches under one shard lock.
+//	               Responds {"ingested":n,"count":total}.
+//	GET  /centers  current k centers (cached fast path); ?refresh=1
+//	               forces recomputation when the backend supports it.
+//	GET  /stats    counts, memory, cache hit ratio, and per-endpoint
+//	               latency/throughput counters (internal/metrics).
+//	GET  /healthz  liveness probe.
+//
+// The first ingested point fixes the stream dimension unless the server
+// was configured with one; subsequent mismatches are rejected with 400
+// before touching the clusterer, keeping the shards dimension-consistent.
+//
+// Request accounting uses metrics.EndpointStats: a few atomic adds per
+// request, no locks on the hot path.
+package server

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"streamkm/internal/metrics"
+)
+
+// Clusterer is the minimal surface the HTTP layer needs from a streaming
+// clusterer. It is deliberately algorithm-agnostic ([][]float64 in and
+// out) so windowed, decayed or sharded variants serve identically.
+// Implementations must be safe for concurrent use.
+type Clusterer interface {
+	// AddBatch observes a batch of unit-weight points.
+	AddBatch(pts [][]float64)
+	// Centers returns the current cluster centers.
+	Centers() [][]float64
+	// Count returns the number of points observed so far.
+	Count() int64
+	// PointsStored reports memory use in stored points.
+	PointsStored() int
+	// Name identifies the algorithm in stats responses.
+	Name() string
+}
+
+// WeightedAdder is optionally implemented by backends that accept
+// weighted points ({"p":[...],"w":2.5} ingest values).
+type WeightedAdder interface {
+	AddWeighted(p []float64, w float64)
+}
+
+// Refresher is optionally implemented by backends with a centers cache;
+// GET /centers?refresh=1 calls it to force recomputation.
+type Refresher interface {
+	Refresh() [][]float64
+}
+
+// CacheStater is optionally implemented by backends with a centers
+// cache; /stats reports its hit/miss counters.
+type CacheStater interface {
+	CacheStats() (hits, misses int64)
+}
+
+// Config configures a Server.
+type Config struct {
+	// K is the number of centers the backend answers with; reported in
+	// /centers and /stats responses.
+	K int
+	// Dim fixes the expected point dimension. 0 means adopt the dimension
+	// of the first ingested point.
+	Dim int
+	// MaxBatch caps how many points are applied to the backend per
+	// AddBatch call while streaming an ingest body. Default 512.
+	MaxBatch int
+}
+
+// Server serves a Clusterer over HTTP. Create with New, mount via
+// Handler. All handlers are safe for concurrent use; per-endpoint
+// counters are lock-free.
+type Server struct {
+	c     Clusterer
+	cfg   Config
+	dim   atomic.Int64 // fixed stream dimension; 0 until first point
+	start time.Time
+	mux   *http.ServeMux
+
+	ingestStats  metrics.EndpointStats
+	centersStats metrics.EndpointStats
+	statsStats   metrics.EndpointStats
+}
+
+// New builds a Server over c. cfg.K should match the backend's k.
+func New(c Clusterer, cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	s := &Server{c: c, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
+	if cfg.Dim > 0 {
+		s.dim.Store(int64(cfg.Dim))
+	}
+	s.mux.Handle("POST /ingest", s.record(&s.ingestStats, s.handleIngest))
+	s.mux.Handle("GET /centers", s.record(&s.centersStats, s.handleCenters))
+	s.mux.Handle("GET /stats", s.record(&s.statsStats, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// Handler returns the routing handler for the server's endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handled is an http handler that additionally reports how many items it
+// processed and whether it failed, for endpoint accounting.
+type handled func(w http.ResponseWriter, r *http.Request) (items int64, failed bool)
+
+// record wraps a handler with latency/throughput accounting.
+func (s *Server) record(st *metrics.EndpointStats, h handled) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		items, failed := h(w, r)
+		st.Record(time.Since(t0), items, failed)
+	})
+}
+
+// ingestValue is one ndjson value in an ingest body: either a bare JSON
+// array (a unit-weight point) or an object {"p":[...],"w":2.5}. W is a
+// pointer so an absent weight (default 1) is distinguishable from an
+// explicit, invalid "w":0.
+type ingestValue struct {
+	P []float64 `json:"p"`
+	W *float64  `json:"w"`
+}
+
+// handleIngest streams points out of the request body and applies them in
+// batches. On a malformed value or dimension mismatch it stops, keeps
+// what was already applied, and reports both the error and the applied
+// count.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	dec := json.NewDecoder(r.Body)
+	var ingested int64
+	batch := make([][]float64, 0, s.cfg.MaxBatch)
+	flush := func() {
+		if len(batch) > 0 {
+			s.c.AddBatch(batch)
+			ingested += int64(len(batch))
+			batch = batch[:0]
+		}
+	}
+	fail := func(status int, format string, args ...interface{}) (int64, bool) {
+		flush()
+		writeJSON(w, status, map[string]interface{}{
+			"error":    fmt.Sprintf(format, args...),
+			"ingested": ingested,
+		})
+		return ingested, true
+	}
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			// Note: the applied count lives in the response's "ingested"
+			// field; don't embed it in the message, it predates the flush.
+			return fail(http.StatusBadRequest, "malformed ingest body: %v", err)
+		}
+		p, weight, err := parsePoint(raw)
+		if err != nil {
+			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
+		}
+		if err := s.checkDim(p); err != nil {
+			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
+		}
+		if weight != 1 {
+			wa, ok := s.c.(WeightedAdder)
+			if !ok {
+				return fail(http.StatusBadRequest, "backend %s does not accept weighted points", s.c.Name())
+			}
+			flush()
+			wa.AddWeighted(p, weight)
+			ingested++
+			continue
+		}
+		batch = append(batch, p)
+		if len(batch) == s.cfg.MaxBatch {
+			flush()
+		}
+	}
+	flush()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ingested": ingested,
+		"count":    s.c.Count(),
+	})
+	return ingested, false
+}
+
+// parsePoint interprets one raw ingest value.
+func parsePoint(raw json.RawMessage) ([]float64, float64, error) {
+	i := 0
+	for i < len(raw) && (raw[i] == ' ' || raw[i] == '\t' || raw[i] == '\n' || raw[i] == '\r') {
+		i++
+	}
+	if i < len(raw) && raw[i] == '{' {
+		var v ingestValue
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, 0, fmt.Errorf("malformed weighted point: %v", err)
+		}
+		w := 1.0
+		if v.W != nil {
+			w = *v.W
+		}
+		if w <= 0 {
+			return nil, 0, fmt.Errorf("weight must be > 0, got %v", w)
+		}
+		if len(v.P) == 0 {
+			return nil, 0, errors.New(`weighted point has empty "p"`)
+		}
+		return v.P, w, nil
+	}
+	var p []float64
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, 0, fmt.Errorf("expected a JSON array of coordinates: %v", err)
+	}
+	if len(p) == 0 {
+		return nil, 0, errors.New("empty point")
+	}
+	return p, 1, nil
+}
+
+// checkDim enforces a single stream dimension, adopting the first point's
+// if none was configured.
+func (s *Server) checkDim(p []float64) error {
+	d := int64(len(p))
+	if s.dim.CompareAndSwap(0, d) {
+		return nil
+	}
+	if want := s.dim.Load(); want != d {
+		return fmt.Errorf("dimension mismatch: stream is %d-dimensional, got %d", want, d)
+	}
+	return nil
+}
+
+// handleCenters answers a clustering query, via the backend's cached fast
+// path unless ?refresh=1 forces recomputation.
+func (s *Server) handleCenters(w http.ResponseWriter, r *http.Request) (int64, bool) {
+	var centers [][]float64
+	refresh, _ := strconv.ParseBool(r.URL.Query().Get("refresh"))
+	if rf, ok := s.c.(Refresher); ok && refresh {
+		centers = rf.Refresh()
+	} else {
+		centers = s.c.Centers()
+	}
+	if centers == nil {
+		centers = [][]float64{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"algo":    s.c.Name(),
+		"k":       s.cfg.K,
+		"count":   s.c.Count(),
+		"centers": centers,
+	})
+	return int64(len(centers)), false
+}
+
+// handleStats reports stream, memory, cache and per-endpoint counters.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	stored := s.c.PointsStored()
+	dim := int(s.dim.Load())
+	resp := map[string]interface{}{
+		"algo":                s.c.Name(),
+		"k":                   s.cfg.K,
+		"dim":                 dim,
+		"count":               s.c.Count(),
+		"points_stored":       stored,
+		"memory_mb":           metrics.MemoryMB(stored, dim),
+		"uptime_s":            time.Since(s.start).Seconds(),
+		"ingest_points_per_s": s.ingestStats.Throughput(s.start),
+		"endpoints": map[string]metrics.EndpointSnapshot{
+			"ingest":  s.ingestStats.Snapshot(),
+			"centers": s.centersStats.Snapshot(),
+			"stats":   s.statsStats.Snapshot(),
+		},
+	}
+	if cs, ok := s.c.(CacheStater); ok {
+		hits, misses := cs.CacheStats()
+		resp["centers_cache"] = map[string]int64{"hits": hits, "misses": misses}
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return 0, false
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,329 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamkm"
+)
+
+// newTestServer backs the HTTP layer with a real streamkm.Concurrent —
+// the production pairing — over a tiny configuration.
+func newTestServer(t *testing.T, k, dim int) (*httptest.Server, *streamkm.Concurrent) {
+	t.Helper()
+	c, err := streamkm.NewConcurrent(streamkm.AlgoCC, 2, streamkm.Config{K: k, BucketSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(c, Config{K: k, Dim: dim, MaxBatch: 64}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, c
+}
+
+func ndjson(n, dim int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte('[')
+		for j := 0; j < dim; j++ {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%.4f", rng.NormFloat64()*3+float64(10*(i%3)))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+func postIngest(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("ingest response not JSON: %v", err)
+	}
+	return resp, m
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, map[string]interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("%s: response not JSON: %v", url, err)
+	}
+	return resp, m
+}
+
+func TestIngestAndCenters(t *testing.T) {
+	ts, c := newTestServer(t, 3, 0)
+	resp, m := postIngest(t, ts, ndjson(600, 2, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d: %v", resp.StatusCode, m)
+	}
+	if m["ingested"].(float64) != 600 || m["count"].(float64) != 600 {
+		t.Fatalf("ingest response %v", m)
+	}
+	if c.Count() != 600 {
+		t.Fatalf("backend count %d", c.Count())
+	}
+
+	resp, m = getJSON(t, ts.URL+"/centers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("centers status %d", resp.StatusCode)
+	}
+	centers := m["centers"].([]interface{})
+	if len(centers) != 3 {
+		t.Fatalf("%d centers, want 3", len(centers))
+	}
+	if len(centers[0].([]interface{})) != 2 {
+		t.Fatalf("center dim %d, want 2", len(centers[0].([]interface{})))
+	}
+	if m["k"].(float64) != 3 || m["count"].(float64) != 600 {
+		t.Fatalf("centers response %v", m)
+	}
+
+	resp, m = getJSON(t, ts.URL+"/centers?refresh=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+	if got := len(m["centers"].([]interface{})); got != 3 {
+		t.Fatalf("refresh returned %d centers", got)
+	}
+
+	// refresh=0 must NOT force a recomputation: with the stream unchanged
+	// it has to be served from the cache.
+	hits0, misses0 := c.CacheStats()
+	getJSON(t, ts.URL+"/centers?refresh=0")
+	hits, misses := c.CacheStats()
+	if hits != hits0+1 || misses != misses0 {
+		t.Fatalf("refresh=0 bypassed the cache: hits %d->%d misses %d->%d", hits0, hits, misses0, misses)
+	}
+}
+
+func TestIngestWeightedPoints(t *testing.T) {
+	ts, c := newTestServer(t, 2, 0)
+	body := "[1,2]\n{\"p\":[3,4],\"w\":2.5}\n{\"p\":[5,6]}\n"
+	resp, m := postIngest(t, ts, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	if m["ingested"].(float64) != 3 {
+		t.Fatalf("ingested %v, want 3", m["ingested"])
+	}
+	if c.Count() != 3 {
+		t.Fatalf("count %d, want 3", c.Count())
+	}
+}
+
+func TestIngestMalformedBody(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 0)
+	for _, body := range []string{
+		"[1,2]\nnot json\n",
+		"[1,2]\n[\"a\",\"b\"]\n",
+		"[]\n",
+		"{\"p\":[],\"w\":2}\n",
+		"{\"p\":[1,2],\"w\":-1}\n",
+		"{\"p\":[1,2],\"w\":0}\n",
+		"42\n",
+	} {
+		resp, m := postIngest(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400 (%v)", body, resp.StatusCode, m)
+		}
+		if _, ok := m["error"]; !ok {
+			t.Errorf("body %q: no error field in %v", body, m)
+		}
+	}
+}
+
+func TestIngestPartialApplyOnError(t *testing.T) {
+	ts, c := newTestServer(t, 2, 0)
+	resp, m := postIngest(t, ts, "[1,2]\n[3,4]\nbogus\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if m["ingested"].(float64) != 2 {
+		t.Fatalf("ingested %v, want the 2 valid points", m["ingested"])
+	}
+	if c.Count() != 2 {
+		t.Fatalf("backend count %d, want 2", c.Count())
+	}
+}
+
+func TestIngestDimensionMismatch(t *testing.T) {
+	// Adopted dimension: first point fixes it.
+	ts, _ := newTestServer(t, 2, 0)
+	resp, m := postIngest(t, ts, "[1,2]\n[1,2,3]\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("adopted-dim mismatch: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(m["error"].(string), "dimension mismatch") {
+		t.Fatalf("error %q", m["error"])
+	}
+
+	// Configured dimension: rejected before anything is applied.
+	ts2, c2 := newTestServer(t, 2, 5)
+	resp, _ = postIngest(t, ts2, "[1,2]\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("configured-dim mismatch: status %d", resp.StatusCode)
+	}
+	if c2.Count() != 0 {
+		t.Fatalf("mismatched point was applied")
+	}
+}
+
+func TestCentersEmptyStream(t *testing.T) {
+	ts, _ := newTestServer(t, 3, 0)
+	resp, m := getJSON(t, ts.URL+"/centers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := m["centers"].([]interface{}); len(got) != 0 {
+		t.Fatalf("empty stream returned %d centers", len(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	ts, _ := newTestServer(t, 3, 0)
+	postIngest(t, ts, ndjson(300, 4, 2))
+	getJSON(t, ts.URL+"/centers")
+
+	resp, m := getJSON(t, ts.URL+"/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if m["count"].(float64) != 300 || m["dim"].(float64) != 4 {
+		t.Fatalf("stats %v", m)
+	}
+	if m["points_stored"].(float64) <= 0 || m["memory_mb"].(float64) <= 0 {
+		t.Fatalf("memory stats %v", m)
+	}
+	eps := m["endpoints"].(map[string]interface{})
+	ing := eps["ingest"].(map[string]interface{})
+	if ing["requests"].(float64) != 1 || ing["items"].(float64) != 300 {
+		t.Fatalf("ingest counters %v", ing)
+	}
+	cen := eps["centers"].(map[string]interface{})
+	if cen["requests"].(float64) != 1 {
+		t.Fatalf("centers counters %v", cen)
+	}
+	if _, ok := m["centers_cache"]; !ok {
+		t.Fatalf("no centers_cache in stats: %v", m)
+	}
+}
+
+func TestStatsCountsErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 0)
+	postIngest(t, ts, "bogus\n")
+	_, m := getJSON(t, ts.URL+"/stats")
+	ing := m["endpoints"].(map[string]interface{})["ingest"].(map[string]interface{})
+	if ing["errors"].(float64) != 1 {
+		t.Fatalf("ingest error counter %v", ing)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 0)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 0)
+	resp, err := http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/centers", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /centers: status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestConcurrentTraffic drives parallel ingest and query requests through
+// the full HTTP stack — run with -race to exercise the locking story end
+// to end.
+func TestConcurrentTraffic(t *testing.T) {
+	ts, c := newTestServer(t, 3, 0)
+	const producers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < 5; b++ {
+				resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson",
+					strings.NewReader(ndjson(100, 3, int64(w*10+b))))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var qwg sync.WaitGroup
+	for q := 0; q < 2; q++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/centers")
+				if err == nil {
+					resp.Body.Close()
+				}
+				resp, err = http.Get(ts.URL + "/stats")
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	qwg.Wait()
+
+	if c.Count() != producers*5*100 {
+		t.Fatalf("count %d, want %d", c.Count(), producers*5*100)
+	}
+	_, m := getJSON(t, ts.URL+"/centers?refresh=1")
+	if got := len(m["centers"].([]interface{})); got != 3 {
+		t.Fatalf("final centers %d, want 3", got)
+	}
+}

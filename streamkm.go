@@ -30,8 +30,11 @@
 //	}
 //	centers := c.Centers() // at any time, between any two Adds
 //
-// Clusterers are not safe for concurrent use; wrap with a mutex or use one
-// per goroutine (see the parallel package for multi-stream merging).
+// Clusterers returned by New are single-goroutine objects. For concurrent
+// workloads — many producer goroutines ingesting while queries are served
+// — use Concurrent (sharded ingest plus a cached-centers query fast path)
+// or NewSharded for explicit per-shard routing; cmd/streamkmd serves a
+// Concurrent over HTTP.
 package streamkm
 
 import (
@@ -50,8 +53,8 @@ import (
 type Point = []float64
 
 // Clusterer is a streaming k-means algorithm: feed points with Add, get k
-// centers with Centers at any time. Implementations are not safe for
-// concurrent use.
+// centers with Centers at any time. Implementations returned by New are
+// not safe for concurrent use — use Concurrent for that.
 type Clusterer interface {
 	// Add observes the next stream point with weight 1.
 	Add(p Point)

@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	streamkmd -addr :7070 -algo CC -k 10 -shards 8
+//	streamkmd -addr :7070 -algo CC -k 10 -shards 8 \
+//	          -checkpoint /var/lib/streamkmd/state.snap -checkpoint-interval 30s
 //
 // Then:
 //
@@ -14,9 +15,17 @@
 //	curl -sS localhost:7070/centers
 //	curl -sS localhost:7070/stats
 //	curl -sS localhost:7070/healthz
+//	curl -sS -X POST localhost:7070/snapshot          # checkpoint now
+//	curl -sS localhost:7070/snapshot -o backup.snap   # off-box backup
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// With -checkpoint set, the daemon restores its clustering state from the
+// file at boot (validating -algo, -k and -dim against the snapshot),
+// checkpoints it on the -checkpoint-interval ticker, and writes a final
+// checkpoint during graceful shutdown on SIGINT/SIGTERM — so a restart
+// loses no ingested weight, only the handful of points that arrived after
+// the last checkpoint on a hard kill. Checkpoint writes are atomic (temp
+// file + fsync + rename); a crash mid-write never corrupts the previous
+// checkpoint.
 package main
 
 import (
@@ -38,38 +47,110 @@ import (
 
 // options carries the flag values; split from main for testability.
 type options struct {
-	addr     string
-	algo     string
-	k        int
-	shards   int
-	dim      int
-	bucket   int
-	alpha    float64
-	seed     int64
-	runs     int
-	lloyd    int
-	maxBatch int
+	addr         string
+	algo         string
+	k            int
+	shards       int
+	dim          int
+	bucket       int
+	alpha        float64
+	seed         int64
+	runs         int
+	lloyd        int
+	maxBatch     int
+	checkpoint   string
+	ckptInterval time.Duration
 }
 
-// build wires options into a running-ready handler. It returns the
-// backing clusterer too so callers (and tests) can inspect it.
-func build(o options) (*streamkm.Concurrent, http.Handler, error) {
+// build wires options into a running-ready clusterer + server pair. When a
+// checkpoint file exists at o.checkpoint, the clusterer is restored from
+// it instead of starting empty; the restored state must agree with the
+// -algo, -k and -dim flags, so a misconfigured restart fails loudly
+// instead of silently serving the wrong model.
+func build(o options) (*streamkm.Concurrent, *server.Server, error) {
 	if o.shards < 1 {
 		o.shards = runtime.GOMAXPROCS(0)
 	}
-	c, err := streamkm.NewConcurrent(streamkm.Algo(o.algo), o.shards, streamkm.Config{
+	cfg := streamkm.Config{
 		K:               o.k,
 		BucketSize:      o.bucket,
 		Alpha:           o.alpha,
 		Seed:            o.seed,
 		QueryRuns:       o.runs,
 		QueryLloydIters: o.lloyd,
-	})
+	}
+	c, restored, err := openOrCreate(o, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := server.New(c, server.Config{K: o.k, Dim: o.dim, MaxBatch: o.maxBatch})
-	return c, srv.Handler(), nil
+	dim := o.dim
+	if dim == 0 && restored {
+		dim = c.Dim() // keep the restored stream's dimension authoritative
+	}
+	srv := server.New(c, server.Config{
+		K:            c.K(),
+		Dim:          dim,
+		MaxBatch:     o.maxBatch,
+		SnapshotPath: o.checkpoint,
+	})
+	if o.checkpoint != "" {
+		// Write a checkpoint immediately: an unwritable path must be a
+		// boot error, not a string of ignored ticker failures that void
+		// the durability promise on the first kill.
+		if _, err := srv.WriteCheckpoint(); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint %s not writable: %w", o.checkpoint, err)
+		}
+	}
+	return c, srv, nil
+}
+
+// openOrCreate restores the clusterer from o.checkpoint when the file
+// exists, and builds a fresh one otherwise. The second return reports
+// whether a restore happened.
+func openOrCreate(o options, cfg streamkm.Config) (*streamkm.Concurrent, bool, error) {
+	if o.checkpoint != "" {
+		f, err := os.Open(o.checkpoint)
+		switch {
+		case err == nil:
+			defer f.Close()
+			c, err := streamkm.NewConcurrentFromSnapshot(f, streamkm.Config{
+				Seed:            cfg.Seed,
+				Alpha:           cfg.Alpha,
+				QueryRuns:       cfg.QueryRuns,
+				QueryLloydIters: cfg.QueryLloydIters,
+			})
+			if err != nil {
+				return nil, false, fmt.Errorf("restore %s: %w", o.checkpoint, err)
+			}
+			if err := validateRestored(c, o); err != nil {
+				return nil, false, fmt.Errorf("restore %s: %w", o.checkpoint, err)
+			}
+			return c, true, nil
+		case !errors.Is(err, os.ErrNotExist):
+			return nil, false, fmt.Errorf("checkpoint %s: %w", o.checkpoint, err)
+		}
+	}
+	c, err := streamkm.NewConcurrent(streamkm.Algo(o.algo), o.shards, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	return c, false, nil
+}
+
+// validateRestored cross-checks a restored clusterer against the flags:
+// resuming a CC/k=10 checkpoint into a daemon configured for RCC/k=20
+// would silently answer wrong queries, so mismatches are boot errors.
+func validateRestored(c *streamkm.Concurrent, o options) error {
+	if string(c.Algo()) != o.algo {
+		return fmt.Errorf("checkpoint algo %s does not match -algo %s", c.Algo(), o.algo)
+	}
+	if c.K() != o.k {
+		return fmt.Errorf("checkpoint k=%d does not match -k %d", c.K(), o.k)
+	}
+	if o.dim > 0 && c.Dim() > 0 && c.Dim() != o.dim {
+		return fmt.Errorf("checkpoint dimension %d does not match -dim %d", c.Dim(), o.dim)
+	}
+	return nil
 }
 
 func main() {
@@ -85,14 +166,19 @@ func main() {
 	flag.IntVar(&o.runs, "queryruns", 1, "k-means++ restarts per query recomputation")
 	flag.IntVar(&o.lloyd, "lloyd", 0, "Lloyd refinement iterations per query recomputation")
 	flag.IntVar(&o.maxBatch, "maxbatch", 0, "points applied per shard-lock acquisition during ingest (0 = 512)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: restore on boot, write on ticker and shutdown")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", time.Minute, "interval between periodic checkpoints (needs -checkpoint; 0 disables the ticker)")
 	flag.Parse()
 
-	c, h, err := build(o)
+	c, srv, err := build(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "streamkmd: %v\n", err)
 		os.Exit(2)
 	}
-	hs := &http.Server{Addr: o.addr, Handler: h}
+	if o.checkpoint != "" && c.Count() > 0 {
+		log.Printf("streamkmd: restored %d points from %s", c.Count(), o.checkpoint)
+	}
+	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
 	go func() {
 		log.Printf("streamkmd: serving %s (k=%d, %d shards) on %s", c.Name(), c.K(), c.NumShards(), o.addr)
@@ -101,13 +187,49 @@ func main() {
 		}
 	}()
 
+	done := make(chan struct{})
+	if o.checkpoint != "" && o.ckptInterval > 0 {
+		go func() {
+			ticker := time.NewTicker(o.ckptInterval)
+			defer ticker.Stop()
+			lastCount := c.Count() // build already checkpointed this state
+			for {
+				select {
+				case <-ticker.C:
+					count := c.Count()
+					if count == lastCount {
+						continue // idle: the file already holds this state
+					}
+					if n, err := srv.WriteCheckpoint(); err != nil {
+						log.Printf("streamkmd: checkpoint: %v", err)
+					} else {
+						lastCount = count
+						log.Printf("streamkmd: checkpointed %d points (%d bytes) to %s", count, n, o.checkpoint)
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
+	close(done)
 	log.Printf("streamkmd: shutting down (%d points observed)", c.Count())
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("streamkmd: shutdown: %v", err)
+	}
+	// Final checkpoint after the listener has drained, so the file holds
+	// every point any client got an ack for.
+	if o.checkpoint != "" {
+		if n, err := srv.WriteCheckpoint(); err != nil {
+			log.Printf("streamkmd: final checkpoint: %v", err)
+		} else {
+			log.Printf("streamkmd: final checkpoint: %d points (%d bytes) to %s", c.Count(), n, o.checkpoint)
+		}
 	}
 }

@@ -2,19 +2,21 @@ package main
 
 import (
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 func TestBuildWiresConfigToServer(t *testing.T) {
-	c, h, err := build(options{algo: "CC", k: 4, shards: 3, dim: 2})
+	c, srv, err := build(options{algo: "CC", k: 4, shards: 3, dim: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.NumShards() != 3 || c.K() != 4 {
 		t.Fatalf("clusterer shards=%d k=%d", c.NumShards(), c.K())
 	}
-	ts := httptest.NewServer(h)
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
 		strings.NewReader("[1,2]\n[3,4]\n"))
@@ -60,5 +62,87 @@ func TestBuildRejectsBadOptions(t *testing.T) {
 		if _, _, err := build(o); err == nil {
 			t.Errorf("options %+v: expected error", o)
 		}
+	}
+}
+
+// TestBuildCheckpointRoundTrip is the daemon-level restart path: build
+// with -checkpoint (no file yet → fresh), ingest, checkpoint via POST
+// /snapshot, then build again with the same flags and observe the state
+// back, including flag cross-validation against the restored snapshot.
+func TestBuildCheckpointRoundTrip(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.snap")
+	o := options{algo: "CC", k: 3, shards: 2, checkpoint: ckpt}
+
+	c1, srv1, err := build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv1.Handler())
+	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader("[1,2]\n[3,4]\n[5,6]\n[7,8]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = ts.Client().Post(ts.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+	ts.Close()
+
+	c2, _, err := build(o)
+	if err != nil {
+		t.Fatalf("rebuild with checkpoint: %v", err)
+	}
+	if c2.Count() != c1.Count() {
+		t.Fatalf("restored count %d, want %d", c2.Count(), c1.Count())
+	}
+	if c2.Dim() != 2 {
+		t.Fatalf("restored dim %d, want 2", c2.Dim())
+	}
+
+	// Flag mismatches against the checkpoint must refuse to boot.
+	for _, bad := range []options{
+		{algo: "RCC", k: 3, checkpoint: ckpt},
+		{algo: "CC", k: 7, checkpoint: ckpt},
+		{algo: "CC", k: 3, dim: 9, checkpoint: ckpt},
+	} {
+		if _, _, err := build(bad); err == nil {
+			t.Errorf("options %+v: expected restore validation error", bad)
+		}
+	}
+}
+
+// TestBuildRejectsUnwritableCheckpoint: an unwritable checkpoint location
+// must be a boot error, not a string of silently failing ticker writes.
+func TestBuildRejectsUnwritableCheckpoint(t *testing.T) {
+	o := options{algo: "CC", k: 2, shards: 1,
+		checkpoint: filepath.Join(t.TempDir(), "no-such-dir", "state.snap")}
+	if _, _, err := build(o); err == nil {
+		t.Fatal("expected error for checkpoint in a nonexistent directory")
+	}
+}
+
+// TestBuildWritesInitialCheckpoint: with -checkpoint set, the state file
+// exists as soon as the daemon is built, so even an immediate kill
+// restarts cleanly.
+func TestBuildWritesInitialCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "state.snap")
+	if _, _, err := build(options{algo: "CC", k: 2, shards: 1, checkpoint: ckpt}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("no initial checkpoint written: %v", err)
+	}
+	c, _, err := build(options{algo: "CC", k: 2, shards: 1, checkpoint: ckpt})
+	if err != nil {
+		t.Fatalf("restart from initial checkpoint: %v", err)
+	}
+	if c.Count() != 0 {
+		t.Fatalf("restored count %d, want 0", c.Count())
 	}
 }

@@ -2,11 +2,13 @@ package streamkm
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
 	"streamkm/internal/geom"
 	"streamkm/internal/parallel"
+	"streamkm/internal/persist"
 )
 
 // Concurrent is a thread-safe streaming clusterer built for serving
@@ -31,6 +33,8 @@ type Concurrent struct {
 	inner *parallel.Sharded
 	k     int
 	alpha float64
+	algo  Algo
+	dim   int // dimension recorded in the snapshot this was restored from; 0 otherwise
 
 	cache atomic.Pointer[centersSnapshot]
 
@@ -67,7 +71,7 @@ func NewConcurrent(algo Algo, p int, cfg Config) (*Concurrent, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Concurrent{inner: inner, k: cfg.K, alpha: cfg.Alpha}, nil
+	return &Concurrent{inner: inner, k: cfg.K, alpha: cfg.Alpha, algo: algo}, nil
 }
 
 // MustNewConcurrent is NewConcurrent that panics on configuration errors.
@@ -204,4 +208,99 @@ func (c *Concurrent) Name() string { return c.inner.Name() }
 // cached-centers fast path (hits) versus recomputed (misses).
 func (c *Concurrent) CacheStats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// Algo returns the per-shard summary structure (AlgoCT, AlgoCC or
+// AlgoRCC) this clusterer was built — or restored — with.
+func (c *Concurrent) Algo() Algo { return c.algo }
+
+// Dim returns the point dimension recorded in the snapshot this clusterer
+// was restored from, or 0 for a fresh instance (the clusterer itself is
+// dimension-agnostic; the serving layer tracks dimension). A daemon
+// restoring a checkpoint uses it to validate its -dim flag.
+func (c *Concurrent) Dim() int { return c.dim }
+
+// Snapshot serializes the clusterer's complete logical state to w as one
+// versioned, checksummed sharded envelope: all per-shard summaries, the
+// round-robin routing cursor, and the cached-centers entry (so a restored
+// instance answers its first queries from the same cache). The shards are
+// quiesced for the duration — concurrent ingest blocks briefly, queries
+// on the cached fast path keep being served — making the snapshot an
+// exactly consistent cut of the stream. Safe for concurrent use.
+func (c *Concurrent) Snapshot(w io.Writer) error {
+	// refreshMu orders the snapshot against cache refreshes: both take
+	// refreshMu before any shard lock, so the cache entry written below
+	// can never be newer than the quiesced shard state.
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	env, err := persist.SnapshotSharded(c.inner)
+	if err != nil {
+		return err
+	}
+	s := env.Sharded
+	s.Alpha = c.alpha
+	if snap := c.cache.Load(); snap != nil {
+		s.HasCache = true
+		s.CachedCount = snap.count
+		s.CachedCenters = make([][]float64, len(snap.centers))
+		for i, p := range snap.centers {
+			s.CachedCenters[i] = append([]float64(nil), p...)
+		}
+	}
+	return persist.Save(w, env)
+}
+
+// NewConcurrentFromSnapshot reconstructs a Concurrent previously written
+// by Snapshot, resuming with every ingested point's weight intact. cfg
+// supplies only the non-serialized pieces (Seed, Builder, QueryRuns,
+// QueryLloydIters, and optionally Alpha to override the snapshot's
+// staleness threshold); structural fields (K, BucketSize, ...) come from
+// the snapshot. Randomness is not captured: queries after a restore are
+// statistically equivalent but not bit-identical to an uninterrupted run.
+func NewConcurrentFromSnapshot(r io.Reader, cfg Config) (*Concurrent, error) {
+	userAlpha := cfg.Alpha
+	// Validate only the fields actually used; a zero Config is fine.
+	cfg.K = 1
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b, err := cfg.builder()
+	if err != nil {
+		return nil, err
+	}
+	env, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if env.Kind != persist.KindSharded {
+		return nil, fmt.Errorf("streamkm: snapshot holds a single %q clusterer, not a sharded one (use Load)", env.Kind)
+	}
+	inner, err := persist.RestoreSharded(env, cfg.Seed, b, cfg.queryOptions())
+	if err != nil {
+		return nil, err
+	}
+	s := env.Sharded
+	alpha := s.Alpha
+	if userAlpha != 0 {
+		alpha = userAlpha
+	}
+	if alpha <= 1 {
+		alpha = 1.2 // snapshot predates alpha capture; fall back to the default
+	}
+	c := &Concurrent{
+		inner: inner,
+		k:     s.K,
+		alpha: alpha,
+		algo:  Algo(s.Shards[0].Kind),
+		dim:   s.Dim,
+	}
+	if s.HasCache {
+		centers := make([]Point, len(s.CachedCenters))
+		for i, p := range s.CachedCenters {
+			centers[i] = append([]float64(nil), p...)
+		}
+		c.cache.Store(&centersSnapshot{centers: centers, count: s.CachedCount})
+	}
+	return c, nil
 }

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"os"
@@ -90,4 +91,26 @@ func main() {
 	fmt.Printf("\nSSQ on the post-crash half: restored %.4g vs uninterrupted %.4g (ratio %.3f)\n",
 		restCost, refCost, restCost/refCost)
 	fmt.Println("the checkpointed run clusters as well as the uninterrupted one.")
+
+	// --- The serving path: a Concurrent snapshot captures all P shards,
+	// the routing cursor and the cached-centers entry in one envelope
+	// (this is what streamkmd -checkpoint writes). ---
+	conc := streamkm.MustNewConcurrent(streamkm.AlgoCC, 4, streamkm.Config{K: k, Seed: 7})
+	for i := 0; i < half; i++ {
+		conc.Add(emit(rng))
+	}
+	conc.Centers() // warm the cache so it travels with the snapshot
+	var buf bytes.Buffer
+	if err := conc.Snapshot(&buf); err != nil {
+		panic(err)
+	}
+	conc2, err := streamkm.NewConcurrentFromSnapshot(&buf, streamkm.Config{Seed: 8})
+	if err != nil {
+		panic(err)
+	}
+	conc2.Centers() // answered from the snapshotted cache, no recomputation
+	hits, misses := conc2.CacheStats()
+	fmt.Printf("\nsharded snapshot: restored %s with %d points across %d shards; "+
+		"first query: %d cache hit, %d misses\n",
+		conc2.Name(), conc2.Count(), conc2.NumShards(), hits, misses)
 }

@@ -24,9 +24,12 @@ import (
 //   - parallel/distributed streams (NewSharded).
 
 // Save serializes the clusterer's complete logical state to w in a
-// versioned, checksummed binary format. Only clusterers created by this
-// package can be saved. Randomness is not captured: a restored clusterer
-// continues with the seed passed to Load.
+// versioned, checksummed binary format. Only single-stream clusterers
+// created by New can be saved here; sharded clusterers write a sharded
+// envelope (one nested clusterer per shard plus routing metadata) via
+// Concurrent.Snapshot or ShardedClusterer.Snapshot instead. Randomness is
+// not captured: a restored clusterer continues with the seed passed to
+// Load.
 func Save(w io.Writer, c Clusterer) error {
 	wr, ok := c.(*wrapper)
 	if !ok {
@@ -42,6 +45,9 @@ func Save(w io.Writer, c Clusterer) error {
 // Load reconstructs a clusterer previously written by Save. cfg supplies
 // the non-serialized pieces (Seed, Builder, query options); its structural
 // fields (K, BucketSize, ...) are ignored in favor of the snapshot's.
+// Snapshots written by Concurrent.Snapshot or ShardedClusterer.Snapshot
+// carry a sharded envelope and are rejected here — restore those with
+// NewConcurrentFromSnapshot or NewShardedFromSnapshot.
 func Load(r io.Reader, cfg Config) (Clusterer, error) {
 	// Validate only the fields Load actually uses; a zero Config is fine.
 	cfg.K = 1
@@ -255,3 +261,43 @@ func (s *ShardedClusterer) PointsStored() int { return s.inner.PointsStored() }
 
 // Name identifies the algorithm in reports.
 func (s *ShardedClusterer) Name() string { return s.inner.Name() }
+
+// Count returns the number of points observed across all shards.
+func (s *ShardedClusterer) Count() int64 { return s.inner.Count() }
+
+// Snapshot serializes the sharded clusterer's complete logical state to w
+// as one sharded envelope (all per-shard summaries plus the round-robin
+// cursor). The shards are quiesced for the duration, so the snapshot is a
+// consistent cut; safe to call while other goroutines ingest.
+func (s *ShardedClusterer) Snapshot(w io.Writer) error {
+	env, err := persist.SnapshotSharded(s.inner)
+	if err != nil {
+		return err
+	}
+	return persist.Save(w, env)
+}
+
+// NewShardedFromSnapshot reconstructs a ShardedClusterer previously
+// written by Snapshot (or by Concurrent.Snapshot — the cached-centers
+// metadata is simply unused). cfg supplies the non-serialized pieces as
+// for Load.
+func NewShardedFromSnapshot(r io.Reader, cfg Config) (*ShardedClusterer, error) {
+	cfg.K = 1
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	b, err := cfg.builder()
+	if err != nil {
+		return nil, err
+	}
+	env, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := persist.RestoreSharded(env, cfg.Seed, b, cfg.queryOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedClusterer{inner: inner}, nil
+}

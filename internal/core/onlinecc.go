@@ -44,6 +44,7 @@ type OnlineCC struct {
 	initBuf  []geom.Weighted
 	initSize int
 	ready    bool
+	count    int64 // points observed (serving layers report this)
 
 	stats OnlineCCStats
 }
@@ -78,6 +79,7 @@ func (o *OnlineCC) Add(p geom.Point) { o.AddWeighted(geom.Weighted{P: p, W: 1}) 
 // AddWeighted observes a point carrying weight w (equivalent to w unit
 // points at the same coordinates).
 func (o *OnlineCC) AddWeighted(wp geom.Weighted) {
+	o.count++
 	// Every point flows into the CC pipeline regardless of the fast path.
 	o.partial = append(o.partial, wp)
 	if len(o.partial) == o.m {
@@ -171,6 +173,9 @@ func (o *OnlineCC) PointsStored() int {
 
 // Name implements Clusterer.
 func (o *OnlineCC) Name() string { return "OnlineCC" }
+
+// Count returns the number of points observed so far.
+func (o *OnlineCC) Count() int64 { return o.count }
 
 // Stats returns a snapshot of the query counters.
 func (o *OnlineCC) Stats() OnlineCCStats { return o.stats }

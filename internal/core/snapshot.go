@@ -177,6 +177,7 @@ type OnlineCCSnapshot struct {
 	InitBuf  []geom.Weighted
 	InitSize int
 	Ready    bool
+	Count    int64
 	Stats    OnlineCCStats
 }
 
@@ -200,6 +201,7 @@ func (o *OnlineCC) Snapshot() OnlineCCSnapshot {
 		InitBuf:  geom.CloneWeighted(o.initBuf),
 		InitSize: o.initSize,
 		Ready:    o.ready,
+		Count:    o.count,
 		Stats:    o.stats,
 	}
 }
@@ -222,5 +224,6 @@ func (o *OnlineCC) Restore(s OnlineCCSnapshot) {
 	o.initBuf = geom.CloneWeighted(s.InitBuf)
 	o.initSize = s.InitSize
 	o.ready = s.Ready
+	o.count = s.Count
 	o.stats = s.Stats
 }

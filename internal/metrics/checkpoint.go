@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CheckpointStats tracks snapshot/checkpoint activity for a serving
+// process: how many checkpoints were written (by handler or ticker), how
+// many failed, and when/how large the last successful one was. All
+// methods are safe for concurrent use.
+type CheckpointStats struct {
+	written   atomic.Int64
+	failed    atomic.Int64
+	lastUnix  atomic.Int64
+	lastBytes atomic.Int64
+}
+
+// RecordSuccess accounts one checkpoint written at t with the given size.
+func (c *CheckpointStats) RecordSuccess(bytes int64, t time.Time) {
+	c.written.Add(1)
+	c.lastBytes.Store(bytes)
+	c.lastUnix.Store(t.Unix())
+}
+
+// RecordFailure accounts one failed checkpoint attempt.
+func (c *CheckpointStats) RecordFailure() { c.failed.Add(1) }
+
+// CheckpointSnapshot is a point-in-time copy of checkpoint counters,
+// shaped for direct JSON serialization in a stats response. LastUnix and
+// LastBytes are zero until the first success.
+type CheckpointSnapshot struct {
+	Written   int64 `json:"written"`
+	Failed    int64 `json:"failed"`
+	LastUnix  int64 `json:"last_unix,omitempty"`
+	LastBytes int64 `json:"last_bytes,omitempty"`
+}
+
+// Snapshot captures the current counter values. As with EndpointStats,
+// fields are individually — not jointly — consistent.
+func (c *CheckpointStats) Snapshot() CheckpointSnapshot {
+	return CheckpointSnapshot{
+		Written:   c.written.Load(),
+		Failed:    c.failed.Load(),
+		LastUnix:  c.lastUnix.Load(),
+		LastBytes: c.lastBytes.Load(),
+	}
+}

@@ -1,0 +1,24 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCheckpointStats(t *testing.T) {
+	var c CheckpointStats
+	if s := c.Snapshot(); s.Written != 0 || s.Failed != 0 || s.LastUnix != 0 || s.LastBytes != 0 {
+		t.Fatalf("zero value snapshot %+v", s)
+	}
+	at := time.Unix(1700000000, 0)
+	c.RecordSuccess(1234, at)
+	c.RecordFailure()
+	c.RecordSuccess(999, at.Add(time.Minute))
+	s := c.Snapshot()
+	if s.Written != 2 || s.Failed != 1 {
+		t.Fatalf("counters %+v", s)
+	}
+	if s.LastBytes != 999 || s.LastUnix != at.Add(time.Minute).Unix() {
+		t.Fatalf("last-checkpoint fields %+v", s)
+	}
+}

@@ -72,8 +72,71 @@ func NewSharded(p, k int, seed int64, queryOpt kmeans.Options,
 	return s, nil
 }
 
+// NewShardedFromState rebuilds a Sharded around already-restored per-shard
+// drivers — the persistence layer's entry point (internal/persist
+// deserializes the drivers, then reassembles the sharded structure here).
+// rr and count restore the round-robin cursor and the global point
+// counter, so routing and Count continue exactly where the snapshotted
+// instance stopped.
+func NewShardedFromState(k int, seed int64, queryOpt kmeans.Options,
+	drvs []*core.Driver, rr, count int64) (*Sharded, error) {
+	if len(drvs) < 1 {
+		return nil, fmt.Errorf("parallel: need at least 1 restored shard, got %d", len(drvs))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("parallel: k must be >= 1, got %d", k)
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("parallel: negative restored count %d", count)
+	}
+	if rr < 0 {
+		// NextShard would index a negative shard.
+		return nil, fmt.Errorf("parallel: negative restored round-robin cursor %d", rr)
+	}
+	s := &Sharded{
+		shards:   make([]*shard, len(drvs)),
+		k:        k,
+		queryOpt: queryOpt,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	for i, drv := range drvs {
+		if drv == nil {
+			return nil, fmt.Errorf("parallel: nil restored driver for shard %d", i)
+		}
+		s.shards[i] = &shard{drv: drv}
+	}
+	s.rr.Store(rr)
+	s.n.Store(count)
+	return s, nil
+}
+
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// K returns the number of centers answered by global queries.
+func (s *Sharded) K() int { return s.k }
+
+// Quiesce locks every shard in index order, then calls f with the
+// per-shard drivers and the current round-robin cursor and global count.
+// While f runs no ingest or shard-touching query can proceed, so f sees a
+// consistent cut of the entire structure: the count equals exactly the
+// points applied to the drivers. The drivers are passed by reference; f
+// must not retain them past its return.
+func (s *Sharded) Quiesce(f func(drvs []*core.Driver, rr, count int64) error) error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+	drvs := make([]*core.Driver, len(s.shards))
+	for i, sh := range s.shards {
+		drvs[i] = sh.drv
+	}
+	return f(drvs, s.rr.Load(), s.n.Load())
+}
 
 // AddTo feeds one point to a specific shard. Safe for concurrent use by
 // one goroutine per shard (or any routing discipline).
@@ -81,8 +144,8 @@ func (s *Sharded) AddTo(shardIdx int, p geom.Point) {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	sh.drv.Add(p)
-	sh.mu.Unlock()
 	s.n.Add(1)
+	sh.mu.Unlock()
 }
 
 // AddWeightedTo feeds one weighted point to a specific shard.
@@ -90,13 +153,17 @@ func (s *Sharded) AddWeightedTo(shardIdx int, wp geom.Weighted) {
 	sh := s.shards[shardIdx]
 	sh.mu.Lock()
 	sh.drv.AddWeighted(wp)
-	sh.mu.Unlock()
 	s.n.Add(1)
+	sh.mu.Unlock()
 }
 
 // AddBatchTo feeds a whole batch of weighted points to one shard under a
 // single lock acquisition — the ingest fast path for high-throughput
 // producers, amortizing the per-point lock cost over the batch.
+//
+// The global counter advances inside the shard critical section (here and
+// in the other add paths), so a Quiesce holding every shard lock observes
+// a count that exactly matches the points applied to the drivers.
 func (s *Sharded) AddBatchTo(shardIdx int, wps []geom.Weighted) {
 	if len(wps) == 0 {
 		return
@@ -106,8 +173,8 @@ func (s *Sharded) AddBatchTo(shardIdx int, wps []geom.Weighted) {
 	for _, wp := range wps {
 		sh.drv.AddWeighted(wp)
 	}
-	sh.mu.Unlock()
 	s.n.Add(int64(len(wps)))
+	sh.mu.Unlock()
 }
 
 // Add routes a point to a shard by round-robin on a running counter. For

@@ -161,3 +161,91 @@ func TestName(t *testing.T) {
 		t.Fatalf("Name = %q", s.Name())
 	}
 }
+
+// TestQuiesceConsistentCut: with producers hammering every shard, the
+// count Quiesce reports must equal exactly the points inside the drivers
+// at that instant (the counter advances inside the shard critical
+// sections). Run with -race.
+func TestQuiesceConsistentCut(t *testing.T) {
+	const producers, perProd = 4, 500
+	s, err := NewSharded(producers, 2, 3, kmeans.FastOptions(), newCCDriver(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(shard)))
+			for i := 0; i < perProd; i++ {
+				s.AddTo(shard, geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+			}
+		}(p)
+	}
+	for i := 0; i < 10; i++ {
+		err := s.Quiesce(func(drvs []*core.Driver, rr, count int64) error {
+			var inDrivers int64
+			for _, d := range drvs {
+				inDrivers += d.Count()
+			}
+			if inDrivers != count {
+				t.Errorf("quiesced count %d but drivers hold %d points", count, inDrivers)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if s.Count() != producers*perProd {
+		t.Fatalf("final count %d, want %d", s.Count(), producers*perProd)
+	}
+}
+
+// TestNewShardedFromState round-trips drivers through the restore
+// constructor and rejects invalid skeletons.
+func TestNewShardedFromState(t *testing.T) {
+	s, err := NewSharded(2, 2, 3, kmeans.FastOptions(), newCCDriver(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 300; i++ {
+		s.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	var drvs []*core.Driver
+	s.Quiesce(func(d []*core.Driver, rr, count int64) error {
+		drvs = append(drvs, d...)
+		return nil
+	})
+	r, err := NewShardedFromState(2, 9, kmeans.FastOptions(), drvs, 300, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 300 || r.NumShards() != 2 || r.K() != 2 {
+		t.Fatalf("restored count=%d shards=%d k=%d", r.Count(), r.NumShards(), r.K())
+	}
+	if r.PointsStored() != s.PointsStored() {
+		t.Fatalf("restored memory %d, want %d", r.PointsStored(), s.PointsStored())
+	}
+	// The restored cursor continues round-robin where the original stopped.
+	if got := r.NextShard(); got != 0 {
+		t.Fatalf("NextShard after rr=300 over 2 shards = %d, want 0", got)
+	}
+
+	opt := kmeans.FastOptions()
+	if _, err := NewShardedFromState(0, 1, opt, drvs, 0, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewShardedFromState(2, 1, opt, nil, 0, 0); err == nil {
+		t.Error("accepted zero shards")
+	}
+	if _, err := NewShardedFromState(2, 1, opt, []*core.Driver{nil}, 0, 0); err == nil {
+		t.Error("accepted nil driver")
+	}
+	if _, err := NewShardedFromState(2, 1, opt, drvs, 0, -5); err == nil {
+		t.Error("accepted negative count")
+	}
+}

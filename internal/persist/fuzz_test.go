@@ -35,9 +35,26 @@ func FuzzLoad(f *testing.F) {
 	f.Add(good[:len(good)/2])
 	f.Add([]byte{})
 	f.Add([]byte("SKMSNAP\x01garbage-body-without-checksum"))
+	f.Add([]byte("SKMSNAP\x07too-new-version"))
 	flipped := append([]byte{}, good...)
 	flipped[len(flipped)/2] ^= 0x55
 	f.Add(flipped)
+
+	// A version-2 sharded envelope, valid and corrupted.
+	shEnv, err := SnapshotSharded(goldenSharded(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var shBuf bytes.Buffer
+	if err := Save(&shBuf, shEnv); err != nil {
+		f.Fatal(err)
+	}
+	goodSharded := shBuf.Bytes()
+	f.Add(goodSharded)
+	f.Add(goodSharded[:len(goodSharded)-len(goodSharded)/4])
+	shFlipped := append([]byte{}, goodSharded...)
+	shFlipped[len(shFlipped)/3] ^= 0x55
+	f.Add(shFlipped)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Load(bytes.NewReader(data))
@@ -45,6 +62,16 @@ func FuzzLoad(f *testing.F) {
 			return // rejection is the expected outcome for noise
 		}
 		// Whatever decoded must restore cleanly or error — never panic.
+		if env.Kind == KindSharded {
+			sh, err := RestoreSharded(env, 1, coreset.KMeansPP{}, kmeans.FastOptions())
+			if err != nil {
+				return
+			}
+			_ = sh.Name()
+			_ = sh.PointsStored()
+			sh.Add(geom.Point{1, 2}) // exercises the restored routing cursor
+			return
+		}
 		restored, err := RestoreClusterer(env, 1, coreset.KMeansPP{}, kmeans.FastOptions())
 		if err != nil {
 			return

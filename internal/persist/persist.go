@@ -33,8 +33,27 @@ import (
 // magic identifies snapshot files; version gates format evolution.
 var magic = [7]byte{'S', 'K', 'M', 'S', 'N', 'A', 'P'}
 
-// Version is the current snapshot format version.
-const Version byte = 1
+// Version is the newest snapshot format version. Version 2 added the
+// sharded envelope (KindSharded); the envelope encoding is otherwise
+// unchanged. Load accepts every version back to MinVersion so old
+// checkpoints keep restoring, and Save stamps each snapshot with the
+// oldest version able to express it (see envelopeVersion), so snapshots
+// that don't use v2 features stay readable by pre-v2 binaries after a
+// rollback.
+const Version byte = 2
+
+// MinVersion is the oldest snapshot format Load still accepts.
+const MinVersion byte = 1
+
+// envelopeVersion returns the oldest format version that can express
+// env: single-clusterer envelopes are byte-compatible with version 1,
+// only sharded envelopes need version 2.
+func envelopeVersion(env Envelope) byte {
+	if env.Kind == KindSharded || env.Sharded != nil {
+		return 2
+	}
+	return 1
+}
 
 // Kind discriminates the clusterer type inside an Envelope.
 type Kind string
@@ -46,10 +65,15 @@ const (
 	KindRCC        Kind = "RCC"
 	KindOnlineCC   Kind = "OnlineCC"
 	KindSequential Kind = "Sequential"
+	// KindSharded (format version 2) is a whole parallel.Sharded: one
+	// sub-envelope per shard plus routing and cache metadata. See
+	// sharded.go.
+	KindSharded Kind = "Sharded"
 )
 
 // Envelope carries exactly one clusterer's state. Driver is set for the
-// driver-wrapped kinds (CT, CC, RCC).
+// driver-wrapped kinds (CT, CC, RCC); Sharded nests one envelope per
+// shard.
 type Envelope struct {
 	Kind       Kind
 	Driver     *core.DriverSnapshot
@@ -58,6 +82,7 @@ type Envelope struct {
 	RCC        *core.RCCSnapshot
 	OnlineCC   *core.OnlineCCSnapshot
 	Sequential *seqkm.Snapshot
+	Sharded    *ShardedSnapshot
 }
 
 // Save writes the envelope to w in the snapshot format.
@@ -68,7 +93,7 @@ func Save(w io.Writer, env Envelope) error {
 	}
 	header := make([]byte, 8)
 	copy(header, magic[:])
-	header[7] = Version
+	header[7] = envelopeVersion(env)
 	if _, err := w.Write(header); err != nil {
 		return fmt.Errorf("persist: write header: %w", err)
 	}
@@ -96,8 +121,9 @@ func Load(r io.Reader) (Envelope, error) {
 	if !bytes.Equal(raw[:7], magic[:]) {
 		return env, fmt.Errorf("persist: bad magic %q", raw[:7])
 	}
-	if raw[7] != Version {
-		return env, fmt.Errorf("persist: unsupported format version %d (want %d)", raw[7], Version)
+	if raw[7] < MinVersion || raw[7] > Version {
+		return env, fmt.Errorf("persist: unsupported format version %d (want %d..%d)",
+			raw[7], MinVersion, Version)
 	}
 	body := raw[8 : len(raw)-4]
 	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
@@ -169,6 +195,11 @@ func SnapshotClusterer(c core.Clusterer) (Envelope, error) {
 	}
 	return Envelope{}, fmt.Errorf("persist: unsupported clusterer %T", c)
 }
+
+// Note: sharded clusterers (parallel.Sharded) are captured and restored by
+// SnapshotSharded/RestoreSharded in sharded.go, not by the single-clusterer
+// functions above: a sharded envelope nests one clusterer envelope per
+// shard plus routing/cache metadata.
 
 // validateTree rejects snapshot parameters that would make the
 // constructors panic: snapshots arrive from disk and must be treated as
@@ -288,6 +319,8 @@ func RestoreClusterer(env Envelope, seed int64, b coreset.Builder, opt kmeans.Op
 		sq := seqkm.New(env.Sequential.K)
 		sq.Restore(*env.Sequential)
 		return sq, nil
+	case KindSharded:
+		return nil, fmt.Errorf("persist: sharded envelopes restore via RestoreSharded, not RestoreClusterer")
 	}
 	return nil, fmt.Errorf("persist: unknown kind %q", env.Kind)
 }

@@ -17,19 +17,40 @@
 //
 // Endpoints:
 //
-//	POST /ingest   ndjson stream of points; each value is either a JSON
-//	               array [x1,...,xd] (weight 1) or {"p":[...],"w":2.5}.
-//	               Points are applied in batches under one shard lock.
-//	               Responds {"ingested":n,"count":total}.
-//	GET  /centers  current k centers (cached fast path); ?refresh=1
-//	               forces recomputation when the backend supports it.
-//	GET  /stats    counts, memory, cache hit ratio, and per-endpoint
-//	               latency/throughput counters (internal/metrics).
-//	GET  /healthz  liveness probe.
+//	POST /ingest    ndjson stream of points; each value is either a JSON
+//	                array [x1,...,xd] (weight 1) or {"p":[...],"w":2.5}.
+//	                Points are applied in batches under one shard lock.
+//	                Responds {"ingested":n,"count":total}.
+//	GET  /centers   current k centers (cached fast path); ?refresh=1
+//	                forces recomputation when the backend supports it.
+//	GET  /stats     counts, memory, cache hit ratio, checkpoint counters,
+//	                and per-endpoint latency/throughput counters
+//	                (internal/metrics).
+//	GET  /snapshot  streams the backend's serialized state
+//	                (application/octet-stream) for off-box backup, when
+//	                the backend implements Snapshotter.
+//	POST /snapshot  checkpoints the state to the configured SnapshotPath
+//	                with an atomic temp-file + fsync + rename write;
+//	                responds {"path","bytes","count"}.
+//	GET  /healthz   liveness probe.
 //
 // The first ingested point fixes the stream dimension unless the server
 // was configured with one; subsequent mismatches are rejected with 400
 // before touching the clusterer, keeping the shards dimension-consistent.
+//
+// # Durability
+//
+// Checkpointing rides the same smallness argument that makes queries
+// fast: the coreset state is polylogarithmic in the stream, so
+// serializing it (internal/persist's versioned, checksummed envelope;
+// the sharded variant captures all P shard summaries, the round-robin
+// cursor and the cached-centers entry in one consistent cut) costs
+// milliseconds, and a restarted daemon resumes without replaying the
+// stream. WriteCheckpoint backs both POST /snapshot and the daemon's
+// periodic ticker, so every checkpoint shows up in the same /stats
+// counters. The crash-recovery integration suite (recovery_test.go)
+// asserts kill-and-restart equivalence end to end for CT, CC, RCC and
+// OnlineCC backends.
 //
 // Request accounting uses metrics.EndpointStats: a few atomic adds per
 // request, no locks on the hot path.

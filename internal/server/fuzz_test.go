@@ -1,0 +1,80 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// sinkClusterer is a minimal backend for fuzzing the HTTP parsing layer:
+// it just counts what reaches it, so fuzz throughput is bounded by the
+// parser, not by clustering.
+type sinkClusterer struct {
+	count atomic.Int64
+}
+
+func (s *sinkClusterer) AddBatch(pts [][]float64)           { s.count.Add(int64(len(pts))) }
+func (s *sinkClusterer) AddWeighted(p []float64, w float64) { s.count.Add(1) }
+func (s *sinkClusterer) Centers() [][]float64               { return [][]float64{} }
+func (s *sinkClusterer) Count() int64                       { return s.count.Load() }
+func (s *sinkClusterer) PointsStored() int                  { return 0 }
+func (s *sinkClusterer) Name() string                       { return "sink" }
+
+// FuzzIngest feeds arbitrary bytes to the ndjson ingest endpoint
+// (handleIngest + parsePoint): the handler must never panic, and anything
+// malformed must yield a clean 4xx — mirroring the persist package's
+// untrusted-input fuzz harness. Run as a plain test this exercises the
+// seed corpus; `go test -fuzz=FuzzIngest ./internal/server` explores
+// further.
+func FuzzIngest(f *testing.F) {
+	f.Add([]byte("[1,2]\n[3,4]\n"))
+	f.Add([]byte(`{"p":[1,2],"w":2.5}` + "\n[0.5,0.5]\n"))
+	f.Add([]byte(`{"p":[1,2],"w":0}`))
+	f.Add([]byte(`{"p":[],"w":1}`))
+	f.Add([]byte(`{"w":3}`))
+	f.Add([]byte("[]"))
+	f.Add([]byte("[1,2][3]"))
+	f.Add([]byte("[1e999]"))
+	f.Add([]byte(`"not a point"`))
+	f.Add([]byte("[1,2]\nnull\n"))
+	f.Add([]byte("{\"p\":[1,2"))
+	f.Add([]byte{0xff, 0xfe, 0x00, 0x7b})
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srv := New(&sinkClusterer{}, Config{K: 2, MaxBatch: 8})
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req) // must not panic
+		if c := rec.Code; c != http.StatusOK && (c < 400 || c > 499) {
+			t.Fatalf("status %d for body %q (want 200 or 4xx)", c, data)
+		}
+	})
+}
+
+// FuzzParsePoint fuzzes the single-value parser directly: no input may
+// panic, and accepted values must be well-formed (non-empty point,
+// positive weight).
+func FuzzParsePoint(f *testing.F) {
+	f.Add([]byte("[1,2,3]"))
+	f.Add([]byte(`{"p":[9],"w":0.25}`))
+	f.Add([]byte("  \t\n[4]"))
+	f.Add([]byte("{}"))
+	f.Add([]byte("true"))
+	f.Add([]byte("[null]"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, w, err := parsePoint(data)
+		if err != nil {
+			return // rejection is the expected outcome for noise
+		}
+		if len(p) == 0 {
+			t.Fatalf("accepted empty point from %q", data)
+		}
+		if !(w > 0) {
+			t.Fatalf("accepted non-positive weight %v from %q", w, data)
+		}
+	})
+}

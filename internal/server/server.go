@@ -1,12 +1,15 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +51,14 @@ type CacheStater interface {
 	CacheStats() (hits, misses int64)
 }
 
+// Snapshotter is optionally implemented by backends whose state can be
+// serialized (e.g. streamkm.Concurrent); it powers GET/POST /snapshot and
+// the daemon's periodic checkpoints. Snapshot must be safe to call while
+// other goroutines ingest and query.
+type Snapshotter interface {
+	Snapshot(w io.Writer) error
+}
+
 // Config configures a Server.
 type Config struct {
 	// K is the number of centers the backend answers with; reported in
@@ -59,6 +70,11 @@ type Config struct {
 	// MaxBatch caps how many points are applied to the backend per
 	// AddBatch call while streaming an ingest body. Default 512.
 	MaxBatch int
+	// SnapshotPath, when non-empty, is where POST /snapshot (and the
+	// daemon's checkpoint ticker, via WriteCheckpoint) persists the
+	// backend's state. Writes are atomic: temp file + fsync + rename, so
+	// a crash mid-checkpoint never corrupts the previous one.
+	SnapshotPath string
 }
 
 // Server serves a Clusterer over HTTP. Create with New, mount via
@@ -71,9 +87,13 @@ type Server struct {
 	start time.Time
 	mux   *http.ServeMux
 
-	ingestStats  metrics.EndpointStats
-	centersStats metrics.EndpointStats
-	statsStats   metrics.EndpointStats
+	ingestStats   metrics.EndpointStats
+	centersStats  metrics.EndpointStats
+	statsStats    metrics.EndpointStats
+	snapshotStats metrics.EndpointStats
+	checkpoint    metrics.CheckpointStats
+
+	checkpointMu sync.Mutex // serializes temp-file writes to SnapshotPath
 }
 
 // New builds a Server over c. cfg.K should match the backend's k.
@@ -88,6 +108,8 @@ func New(c Clusterer, cfg Config) *Server {
 	s.mux.Handle("POST /ingest", s.record(&s.ingestStats, s.handleIngest))
 	s.mux.Handle("GET /centers", s.record(&s.centersStats, s.handleCenters))
 	s.mux.Handle("GET /stats", s.record(&s.statsStats, s.handleStats))
+	s.mux.Handle("GET /snapshot", s.record(&s.snapshotStats, s.handleSnapshotGet))
+	s.mux.Handle("POST /snapshot", s.record(&s.snapshotStats, s.handleSnapshotPost))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -251,6 +273,128 @@ func (s *Server) handleCenters(w http.ResponseWriter, r *http.Request) (int64, b
 	return int64(len(centers)), false
 }
 
+// handleSnapshotGet streams the backend's serialized state to the client
+// — the off-box backup path. The snapshot is buffered first (coreset
+// state is small by construction — that is the paper's point) so an
+// encoding failure still yields a clean error status instead of a
+// truncated download.
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	sn, ok := s.c.(Snapshotter)
+	if !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]interface{}{
+			"error": fmt.Sprintf("backend %s does not support snapshots", s.c.Name()),
+		})
+		return 0, true
+	}
+	var buf bytes.Buffer
+	if err := sn.Snapshot(&buf); err != nil {
+		// Not a checkpoint failure: /stats "checkpoint" counters track
+		// only writes to SnapshotPath (WriteCheckpoint).
+		writeJSON(w, http.StatusInternalServerError, map[string]interface{}{
+			"error": fmt.Sprintf("snapshot: %v", err),
+		})
+		return 0, true
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	n, err := io.Copy(w, &buf)
+	return n, err != nil
+}
+
+// handleSnapshotPost checkpoints the backend's state to the configured
+// snapshot path (atomic write) and reports what was written.
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	if _, ok := s.c.(Snapshotter); !ok {
+		writeJSON(w, http.StatusNotImplemented, map[string]interface{}{
+			"error": fmt.Sprintf("backend %s does not support snapshots", s.c.Name()),
+		})
+		return 0, true
+	}
+	if s.cfg.SnapshotPath == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+			"error": "no snapshot path configured (start the daemon with -checkpoint)",
+		})
+		return 0, true
+	}
+	n, err := s.WriteCheckpoint()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]interface{}{
+			"error": fmt.Sprintf("checkpoint: %v", err),
+		})
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"path":  s.cfg.SnapshotPath,
+		"bytes": n,
+		"count": s.c.Count(),
+	})
+	return n, false
+}
+
+// WriteCheckpoint persists the backend's state to cfg.SnapshotPath with
+// write-to-temp + fsync + atomic rename, returning the snapshot size. It
+// backs both POST /snapshot and the daemon's checkpoint ticker, so all
+// checkpoints share the /stats counters. Concurrent calls are serialized;
+// the previous checkpoint file survives any failure.
+func (s *Server) WriteCheckpoint() (int64, error) {
+	sn, ok := s.c.(Snapshotter)
+	if !ok {
+		return 0, fmt.Errorf("backend %s does not support snapshots", s.c.Name())
+	}
+	if s.cfg.SnapshotPath == "" {
+		return 0, errors.New("no snapshot path configured")
+	}
+	s.checkpointMu.Lock()
+	defer s.checkpointMu.Unlock()
+	n, err := s.writeCheckpointLocked(sn)
+	if err != nil {
+		s.checkpoint.RecordFailure()
+		return 0, err
+	}
+	s.checkpoint.RecordSuccess(n, time.Now())
+	return n, nil
+}
+
+func (s *Server) writeCheckpointLocked(sn Snapshotter) (int64, error) {
+	tmp := s.cfg.SnapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	if err := sn.Snapshot(cw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// countingWriter counts bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // handleStats reports stream, memory, cache and per-endpoint counters.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) (int64, bool) {
 	stored := s.c.PointsStored()
@@ -265,10 +409,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) (int64, boo
 		"uptime_s":            time.Since(s.start).Seconds(),
 		"ingest_points_per_s": s.ingestStats.Throughput(s.start),
 		"endpoints": map[string]metrics.EndpointSnapshot{
-			"ingest":  s.ingestStats.Snapshot(),
-			"centers": s.centersStats.Snapshot(),
-			"stats":   s.statsStats.Snapshot(),
+			"ingest":   s.ingestStats.Snapshot(),
+			"centers":  s.centersStats.Snapshot(),
+			"stats":    s.statsStats.Snapshot(),
+			"snapshot": s.snapshotStats.Snapshot(),
 		},
+		"checkpoint": s.checkpoint.Snapshot(),
 	}
 	if cs, ok := s.c.(CacheStater); ok {
 		hits, misses := cs.CacheStats()

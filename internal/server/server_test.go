@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -235,6 +236,108 @@ func TestStatsCountsErrors(t *testing.T) {
 	ing := m["endpoints"].(map[string]interface{})["ingest"].(map[string]interface{})
 	if ing["errors"].(float64) != 1 {
 		t.Fatalf("ingest error counter %v", ing)
+	}
+}
+
+// TestSnapshotEndpoints exercises the checkpoint surface: POST writes the
+// configured file atomically and accounts it in /stats, GET streams the
+// same state, and both degrade cleanly when unsupported or unconfigured.
+func TestSnapshotEndpoints(t *testing.T) {
+	c, err := streamkm.NewConcurrent(streamkm.AlgoCC, 2, streamkm.Config{K: 2, BucketSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/state.snap"
+	ts := httptest.NewServer(New(c, Config{K: 2, SnapshotPath: path}).Handler())
+	defer ts.Close()
+	postIngest(t, ts, ndjson(120, 3, 9))
+
+	resp, err := http.Post(ts.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	json.NewDecoder(resp.Body).Decode(&m)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /snapshot status %d: %v", resp.StatusCode, m)
+	}
+	if m["path"].(string) != path || m["bytes"].(float64) <= 0 || m["count"].(float64) != 120 {
+		t.Fatalf("snapshot response %v", m)
+	}
+
+	// The written file and the GET stream both restore to the same state.
+	restored, err := streamkm.NewConcurrentFromSnapshot(mustOpen(t, path), streamkm.Config{})
+	if err != nil {
+		t.Fatalf("restore written checkpoint: %v", err)
+	}
+	if restored.Count() != 120 {
+		t.Fatalf("restored count %d", restored.Count())
+	}
+	get, err := http.Get(ts.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	if get.StatusCode != http.StatusOK || get.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("GET /snapshot status %d type %q", get.StatusCode, get.Header.Get("Content-Type"))
+	}
+	streamed, err := streamkm.NewConcurrentFromSnapshot(get.Body, streamkm.Config{})
+	if err != nil {
+		t.Fatalf("restore streamed snapshot: %v", err)
+	}
+	if streamed.Count() != 120 {
+		t.Fatalf("streamed count %d", streamed.Count())
+	}
+
+	// Checkpoint counters surface in /stats.
+	_, stats := getJSON(t, ts.URL+"/stats")
+	ck := stats["checkpoint"].(map[string]interface{})
+	if ck["written"].(float64) != 1 || ck["failed"].(float64) != 0 {
+		t.Fatalf("checkpoint counters %v", ck)
+	}
+	if _, ok := stats["endpoints"].(map[string]interface{})["snapshot"]; !ok {
+		t.Fatalf("no snapshot endpoint counters: %v", stats)
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestSnapshotWithoutPathIs400(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 0) // no SnapshotPath configured
+	resp, err := http.Post(ts.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSnapshotUnsupportedBackendIs501(t *testing.T) {
+	ts := httptest.NewServer(New(&sinkClusterer{}, Config{K: 2}).Handler())
+	defer ts.Close()
+	for _, do := range []func() (*http.Response, error){
+		func() (*http.Response, error) { return http.Get(ts.URL + "/snapshot") },
+		func() (*http.Response, error) { return http.Post(ts.URL+"/snapshot", "", nil) },
+	} {
+		resp, err := do()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotImplemented {
+			t.Fatalf("status %d, want 501", resp.StatusCode)
+		}
 	}
 }
 

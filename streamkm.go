@@ -275,6 +275,24 @@ func (w *wrapper) AddWeighted(p Point, weight float64) {
 func (w *wrapper) PointsStored() int { return w.inner.PointsStored() }
 func (w *wrapper) Name() string      { return w.inner.Name() }
 
+// counter is implemented by inner clusterers that track stream length.
+type counter interface{ Count() int64 }
+
+// Count returns the number of points observed so far, or -1 when the
+// underlying algorithm does not track it. Every algorithm created by New
+// tracks it; access via a type assertion on the returned Clusterer:
+//
+//	n := c.(interface{ Count() int64 }).Count()
+//
+// Serving layers use this to report stream length and to verify that a
+// restored snapshot lost no points.
+func (w *wrapper) Count() int64 {
+	if c, ok := w.inner.(counter); ok {
+		return c.Count()
+	}
+	return -1
+}
+
 func (w *wrapper) Centers() []Point {
 	cs := w.inner.Centers()
 	out := make([]Point, len(cs))

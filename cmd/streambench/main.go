@@ -25,6 +25,16 @@
 //
 //	streamkmd -algo CC -k 30 -shards 8 &
 //	streambench -replay http://localhost:7070 -datasets covtype -n 100000 -conc 8 -batch 500
+//
+// With -tenants N the dataset is split across N independent streams
+// (/streams/replay-NNN/ingest), driving the daemon's multi-tenant
+// registry — point it at a daemon started with -max-streams below N to
+// exercise hibernation/restore churn under load. With -json FILE the
+// run's throughput/latency results are also written as machine-readable
+// JSON (the BENCH_*.json trajectory format):
+//
+//	streamkmd -data-dir /tmp/skm -max-streams 8 &
+//	streambench -replay http://localhost:7070 -n 100000 -tenants 32 -json bench.json
 package main
 
 import (
@@ -74,12 +84,14 @@ func main() {
 		replay      = flag.String("replay", "", "replay a dataset over HTTP against a streamkmd daemon at this base URL instead of running experiments")
 		conc        = flag.Int("conc", 4, "concurrent producers in -replay mode")
 		batch       = flag.Int("batch", 500, "points per ingest request in -replay mode")
+		tenants     = flag.Int("tenants", 1, "drive this many independent streams (/streams/replay-NNN) in -replay mode")
+		jsonOut     = flag.String("json", "", "write the -replay result as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		if *conc < 1 || *batch < 1 {
-			fmt.Fprintf(os.Stderr, "streambench: -conc and -batch must be >= 1 (got %d, %d)\n", *conc, *batch)
+		if *conc < 1 || *batch < 1 || *tenants < 1 {
+			fmt.Fprintf(os.Stderr, "streambench: -conc, -batch and -tenants must be >= 1 (got %d, %d, %d)\n", *conc, *batch, *tenants)
 			os.Exit(2)
 		}
 		ds := "covtype"
@@ -92,8 +104,10 @@ func main() {
 			n:          *n,
 			conc:       *conc,
 			batch:      *batch,
+			tenants:    *tenants,
 			queryEvery: *q,
 			seed:       *seed,
+			jsonOut:    *jsonOut,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "streambench: replay: %v\n", err)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,15 +19,53 @@ import (
 // replayConfig parameterizes the HTTP load-replay client mode: it streams
 // a generated dataset to a running streamkmd daemon from conc concurrent
 // producers while a querier hits /centers at the configured interval —
-// the paper's ingest-while-querying workload, over the wire.
+// the paper's ingest-while-querying workload, over the wire. With
+// tenants > 1 the dataset is split across that many independent streams
+// (/streams/replay-NNN/...), exercising the daemon's multi-tenant
+// registry, including eviction/restore churn when the daemon runs with
+// -max-streams below the tenant count.
 type replayConfig struct {
 	url        string // daemon base URL, e.g. http://localhost:7070
 	dataset    string // datagen dataset name
-	n          int    // points to replay
+	n          int    // points to replay (total across tenants)
 	conc       int    // concurrent producers
 	batch      int    // points per ingest request
-	queryEvery int64  // issue a /centers query every this many points (0 = none)
+	tenants    int    // number of streams to drive (1 = legacy root endpoints)
+	queryEvery int64  // issue a centers query every this many points (0 = none)
 	seed       int64
+	jsonOut    string // write a machine-readable result to this file ("" = none)
+}
+
+// tenantResult is the per-stream slice of a replay result.
+type tenantResult struct {
+	Stream     string `json:"stream"`
+	Ingested   int64  `json:"ingested"`
+	Requests   int64  `json:"requests"`
+	FinalCount int64  `json:"final_count"`
+	FinalK     int    `json:"final_k"`
+}
+
+// replayResult is the machine-readable outcome of one replay run — the
+// repo's BENCH_*.json perf-trajectory format.
+type replayResult struct {
+	Dataset        string         `json:"dataset"`
+	N              int            `json:"n"`
+	Dim            int            `json:"dim"`
+	Tenants        int            `json:"tenants"`
+	Producers      int            `json:"producers"`
+	Batch          int            `json:"batch"`
+	WallSeconds    float64        `json:"wall_seconds"`
+	Ingested       int64          `json:"ingested"`
+	IngestRequests int64          `json:"ingest_requests"`
+	PointsPerSec   float64        `json:"points_per_sec"`
+	Queries        int64          `json:"queries"`
+	QueryP50Ms     float64        `json:"query_p50_ms"`
+	QueryP95Ms     float64        `json:"query_p95_ms"`
+	QueryMaxMs     float64        `json:"query_max_ms"`
+	Errors         int64          `json:"errors"`
+	FirstError     string         `json:"first_error,omitempty"`
+	PerTenant      []tenantResult `json:"per_tenant,omitempty"`
+	UnixTime       int64          `json:"unix_time"`
 }
 
 // replayStats aggregates what the producers and the querier observed.
@@ -36,19 +75,45 @@ type replayStats struct {
 	queries   atomic.Int64
 	mu        sync.Mutex
 	queryMs   []float64
-	lastK     atomic.Int64
 	firstErr  atomic.Pointer[error]
 	errorsHit atomic.Int64
+	abort     chan struct{} // closed on the first request error
+	abortOnce sync.Once
+
+	perTenant []tenantCounters
+}
+
+type tenantCounters struct {
+	ingested atomic.Int64
+	requests atomic.Int64
 }
 
 func (st *replayStats) fail(err error) {
 	st.errorsHit.Add(1)
 	st.firstErr.CompareAndSwap(nil, &err)
+	st.abortOnce.Do(func() { close(st.abort) })
+}
+
+// tenantName returns the stream id of tenant t, "" in single-tenant
+// (legacy endpoint) mode.
+func (rc replayConfig) tenantName(t int) string {
+	if rc.tenants <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("replay-%03d", t)
+}
+
+// tenantPath prefixes an endpoint with the tenant's stream route.
+func tenantPath(base, stream, endpoint string) string {
+	if stream == "" {
+		return base + endpoint
+	}
+	return base + "/streams/" + stream + endpoint
 }
 
 // runReplay generates the dataset, replays it over HTTP, and prints a
-// summary table. It returns an error if the daemon was unreachable or any
-// request failed.
+// summary table (plus a JSON result file when configured). It returns an
+// error if the daemon was unreachable or any request failed.
 func runReplay(rc replayConfig) error {
 	ds, err := datagen.ByName(rc.dataset, rc.n, rc.seed)
 	if err != nil {
@@ -59,18 +124,34 @@ func runReplay(rc replayConfig) error {
 		return fmt.Errorf("daemon not healthy at %s: %v", rc.url, err)
 	}
 
-	var st replayStats
+	// Multi-tenant runs create every stream up front (the explicit-create
+	// API), so the querier can rotate over all tenants from the first
+	// acknowledged batch without racing lazy creation.
+	if rc.tenants > 1 {
+		for tn := 0; tn < rc.tenants; tn++ {
+			if err := ensureStream(client, rc.url, rc.tenantName(tn)); err != nil {
+				return err
+			}
+		}
+	}
+
+	st := &replayStats{
+		perTenant: make([]tenantCounters, rc.tenants),
+		abort:     make(chan struct{}),
+	}
 	start := time.Now()
 
-	// Querier: polls the shared progress counter and issues a /centers
-	// query each time another queryEvery points have been acknowledged.
+	// Querier: polls the shared progress counter and issues a centers
+	// query — rotating across tenants — each time another queryEvery
+	// points have been acknowledged.
 	done := make(chan struct{})
 	var qwg sync.WaitGroup
 	if rc.queryEvery > 0 {
 		qwg.Add(1)
 		go func() {
 			defer qwg.Done()
-			var next = rc.queryEvery
+			next := rc.queryEvery
+			tenant := 0
 			for {
 				select {
 				case <-done:
@@ -79,7 +160,8 @@ func runReplay(rc replayConfig) error {
 				}
 				if st.ingested.Load() >= next {
 					next += rc.queryEvery
-					queryCenters(client, rc.url, &st, false)
+					queryCenters(client, tenantPath(rc.url, rc.tenantName(tenant), "/centers"), st, false)
+					tenant = (tenant + 1) % rc.tenants
 				} else {
 					time.Sleep(2 * time.Millisecond)
 				}
@@ -87,49 +169,150 @@ func runReplay(rc replayConfig) error {
 		}()
 	}
 
-	// Producers: disjoint slices of the stream, each posted in batches.
+	// Work queue: each job is one ingest request for one tenant's slice
+	// of the stream; conc workers drain it, so producer concurrency and
+	// tenant count vary independently.
+	type job struct {
+		tenant int
+		pts    []geom.Point
+	}
+	jobs := make(chan job, rc.conc*2)
 	var pwg sync.WaitGroup
 	for w := 0; w < rc.conc; w++ {
-		lo := w * len(ds.Points) / rc.conc
-		hi := (w + 1) * len(ds.Points) / rc.conc
 		pwg.Add(1)
-		go func(pts []geom.Point) {
+		go func() {
 			defer pwg.Done()
-			for off := 0; off < len(pts); off += rc.batch {
-				end := off + rc.batch
-				if end > len(pts) {
-					end = len(pts)
+			for j := range jobs {
+				select {
+				case <-st.abort:
+					continue // a request already failed; drain without posting
+				default:
 				}
-				if err := postBatch(client, rc.url, pts[off:end], &st); err != nil {
+				url := tenantPath(rc.url, rc.tenantName(j.tenant), "/ingest")
+				if err := postBatch(client, url, j.pts, st, j.tenant); err != nil {
 					st.fail(err)
-					return
 				}
 			}
-		}(ds.Points[lo:hi])
+		}()
 	}
+	for tn := 0; tn < rc.tenants; tn++ {
+		lo := tn * len(ds.Points) / rc.tenants
+		hi := (tn + 1) * len(ds.Points) / rc.tenants
+		for off := lo; off < hi; off += rc.batch {
+			end := off + rc.batch
+			if end > hi {
+				end = hi
+			}
+			jobs <- job{tenant: tn, pts: ds.Points[off:end]}
+		}
+	}
+	close(jobs)
 	pwg.Wait()
 	close(done)
 	qwg.Wait()
 	wall := time.Since(start)
 
-	// Final authoritative query + server-side stats.
-	queryCenters(client, rc.url, &st, true)
+	// Final authoritative per-tenant query (forced recomputation).
+	res := replayResult{
+		Dataset:        ds.Name,
+		N:              ds.N(),
+		Dim:            ds.Dim,
+		Tenants:        rc.tenants,
+		Producers:      rc.conc,
+		Batch:          rc.batch,
+		WallSeconds:    wall.Seconds(),
+		Ingested:       st.ingested.Load(),
+		IngestRequests: st.requests.Load(),
+		PointsPerSec:   float64(st.ingested.Load()) / wall.Seconds(),
+		UnixTime:       time.Now().Unix(),
+	}
+	aborted := false
+	select {
+	case <-st.abort:
+		aborted = true // daemon already failing; skip the final query sweep
+	default:
+	}
+	for tn := 0; tn < rc.tenants; tn++ {
+		var count int64
+		var k int
+		if !aborted {
+			count, k = queryCenters(client, tenantPath(rc.url, rc.tenantName(tn), "/centers"), st, true)
+		}
+		name := rc.tenantName(tn)
+		if name == "" {
+			name = "(default)"
+		}
+		res.PerTenant = append(res.PerTenant, tenantResult{
+			Stream:     name,
+			Ingested:   st.perTenant[tn].ingested.Load(),
+			Requests:   st.perTenant[tn].requests.Load(),
+			FinalCount: count,
+			FinalK:     k,
+		})
+	}
+	st.mu.Lock()
+	res.Queries = st.queries.Load()
+	res.QueryP50Ms = metrics.Percentile(st.queryMs, 0.5)
+	res.QueryP95Ms = metrics.Percentile(st.queryMs, 0.95)
+	res.QueryMaxMs = metrics.Percentile(st.queryMs, 1)
+	st.mu.Unlock()
+	res.Errors = st.errorsHit.Load()
 	if ep := st.firstErr.Load(); ep != nil {
-		return fmt.Errorf("replay hit %d request errors; first: %v", st.errorsHit.Load(), *ep)
+		res.FirstError = (*ep).Error()
 	}
 
 	t := metrics.NewTable(
 		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d) against %s", ds.Name, ds.N(), ds.Dim, rc.url),
-		"producers", "batch", "points", "ingest reqs", "wall", "points/s", "queries", "median query ms", "final k")
-	st.mu.Lock()
-	medQ := metrics.Median(st.queryMs)
-	st.mu.Unlock()
-	t.AddRow(rc.conc, rc.batch, st.ingested.Load(), st.requests.Load(),
-		wall.Round(time.Millisecond).String(),
-		float64(st.ingested.Load())/wall.Seconds(),
-		st.queries.Load(), medQ, st.lastK.Load())
+		"tenants", "producers", "batch", "points", "ingest reqs", "wall", "points/s",
+		"queries", "q p50 ms", "q p95 ms")
+	t.AddRow(rc.tenants, rc.conc, rc.batch, res.Ingested, res.IngestRequests,
+		wall.Round(time.Millisecond).String(), res.PointsPerSec,
+		res.Queries, res.QueryP50Ms, res.QueryP95Ms)
 	fmt.Println(t.String())
+
+	if rc.tenants > 1 {
+		tt := metrics.NewTable("per-tenant", "stream", "ingested", "reqs", "final count", "final k")
+		for _, tr := range res.PerTenant {
+			tt.AddRow(tr.Stream, tr.Ingested, tr.Requests, tr.FinalCount, tr.FinalK)
+		}
+		fmt.Println(tt.String())
+	}
+
+	if rc.jsonOut != "" {
+		raw, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(rc.jsonOut, append(raw, '\n'), 0o644); err != nil {
+			return fmt.Errorf("write %s: %w", rc.jsonOut, err)
+		}
+		fmt.Printf("wrote %s\n", rc.jsonOut)
+	}
+	// The JSON result (with errors/first_error populated) is written even
+	// for a failed run, so CI keeps the artifact; the run still fails.
+	if ep := st.firstErr.Load(); ep != nil {
+		return fmt.Errorf("replay hit %d request errors; first: %v", res.Errors, *ep)
+	}
 	return printServerStats(client, rc.url)
+}
+
+// ensureStream creates a tenant stream with the daemon's default
+// configuration; an already-existing stream (409) is fine.
+func ensureStream(client *http.Client, base, stream string) error {
+	req, err := http.NewRequest(http.MethodPut, base+"/streams/"+stream, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("create stream %s: status %d (multi-tenant replay needs a registry-enabled daemon)", stream, resp.StatusCode)
+	}
+	return nil
 }
 
 // checkHealth probes /healthz.
@@ -145,9 +328,9 @@ func checkHealth(client *http.Client, base string) error {
 	return nil
 }
 
-// postBatch streams one ndjson batch to /ingest and accounts the
-// daemon-acknowledged point count.
-func postBatch(client *http.Client, base string, pts []geom.Point, st *replayStats) error {
+// postBatch streams one ndjson batch to an ingest endpoint and accounts
+// the daemon-acknowledged point count.
+func postBatch(client *http.Client, url string, pts []geom.Point, st *replayStats, tenant int) error {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for _, p := range pts {
@@ -155,7 +338,7 @@ func postBatch(client *http.Client, base string, pts []geom.Point, st *replaySta
 			return err
 		}
 	}
-	resp, err := client.Post(base+"/ingest", "application/x-ndjson", &buf)
+	resp, err := client.Post(url, "application/x-ndjson", &buf)
 	if err != nil {
 		return err
 	}
@@ -172,13 +355,15 @@ func postBatch(client *http.Client, base string, pts []geom.Point, st *replaySta
 	}
 	st.ingested.Add(body.Ingested)
 	st.requests.Add(1)
+	st.perTenant[tenant].ingested.Add(body.Ingested)
+	st.perTenant[tenant].requests.Add(1)
 	return nil
 }
 
-// queryCenters hits /centers (optionally forcing a cache refresh) and
-// records latency and the returned center count.
-func queryCenters(client *http.Client, base string, st *replayStats, refresh bool) {
-	url := base + "/centers"
+// queryCenters hits a centers endpoint (optionally forcing a cache
+// refresh) and records latency; it returns the reported count and center
+// count for final per-tenant accounting.
+func queryCenters(client *http.Client, url string, st *replayStats, refresh bool) (int64, int) {
 	if refresh {
 		url += "?refresh=1"
 	}
@@ -186,27 +371,28 @@ func queryCenters(client *http.Client, base string, st *replayStats, refresh boo
 	resp, err := client.Get(url)
 	if err != nil {
 		st.fail(err)
-		return
+		return 0, 0
 	}
 	defer resp.Body.Close()
 	var body struct {
+		Count   int64       `json:"count"`
 		Centers [][]float64 `json:"centers"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || resp.StatusCode != http.StatusOK {
 		st.fail(fmt.Errorf("centers status %d, err %v", resp.StatusCode, err))
-		return
+		return 0, 0
 	}
 	ms := float64(time.Since(t0).Microseconds()) / 1e3
-	st.lastK.Store(int64(len(body.Centers)))
 	if refresh {
 		// The final forced recomputation is not a serving-path query;
 		// keep it out of the cached-query latency statistics.
-		return
+		return body.Count, len(body.Centers)
 	}
 	st.queries.Add(1)
 	st.mu.Lock()
 	st.queryMs = append(st.queryMs, ms)
 	st.mu.Unlock()
+	return body.Count, len(body.Centers)
 }
 
 // printServerStats dumps the daemon's /stats JSON, indented.

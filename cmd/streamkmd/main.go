@@ -1,31 +1,42 @@
-// Command streamkmd is the streaming k-means daemon: it serves concurrent
-// ingest and clustering-query traffic over HTTP, backed by
-// streamkm.Concurrent (P-way sharded ingest, cached-centers fast-path
-// queries — see the paper's CC/RCC algorithms for why queries are cheap
-// enough to serve inline).
+// Command streamkmd is the streaming k-means daemon: one process serving
+// concurrent ingest and clustering-query traffic for many independent
+// streams over HTTP. Per-stream state is a coreset — polylogarithmic in
+// the stream, the paper's central smallness result — so tenant density
+// is the point: thousands of streams fit one daemon, and the ones that
+// do not fit in RAM hibernate to disk at zero cost to their data.
 //
 // Usage:
 //
 //	streamkmd -addr :7070 -algo CC -k 10 -shards 8 \
-//	          -checkpoint /var/lib/streamkmd/state.snap -checkpoint-interval 30s
+//	          -data-dir /var/lib/streamkmd -max-streams 256 -stream-ttl 10m
 //
-// Then:
+// Multi-tenant API (streams are created lazily on first ingest):
 //
-//	printf '[1,2]\n[1.1,2.2]\n[9,9]\n' | curl -sS --data-binary @- localhost:7070/ingest
-//	curl -sS localhost:7070/centers
-//	curl -sS localhost:7070/stats
-//	curl -sS localhost:7070/healthz
-//	curl -sS -X POST localhost:7070/snapshot          # checkpoint now
-//	curl -sS localhost:7070/snapshot -o backup.snap   # off-box backup
+//	printf '[1,2]\n[9,9]\n' | curl -sS --data-binary @- localhost:7070/streams/alice/ingest
+//	curl -sS localhost:7070/streams/alice/centers
+//	curl -sS localhost:7070/streams/alice/stats
+//	curl -sS localhost:7070/streams                     # list all tenants
+//	curl -sS -X PUT localhost:7070/streams/bob -d '{"algo":"RCC","k":20}'
+//	curl -sS -X DELETE localhost:7070/streams/bob
+//	curl -sS localhost:7070/stats                       # registry-wide stats
 //
-// With -checkpoint set, the daemon restores its clustering state from the
-// file at boot (validating -algo, -k and -dim against the snapshot),
-// checkpoints it on the -checkpoint-interval ticker, and writes a final
-// checkpoint during graceful shutdown on SIGINT/SIGTERM — so a restart
-// loses no ingested weight, only the handful of points that arrived after
-// the last checkpoint on a hard kill. Checkpoint writes are atomic (temp
-// file + fsync + rename); a crash mid-write never corrupts the previous
-// checkpoint.
+// The pre-registry single-stream endpoints (POST /ingest, GET /centers,
+// GET/POST /snapshot) keep working as aliases for the default stream
+// (-default-stream, "default" by default), so existing clients and the
+// legacy -checkpoint flag are unaffected. With -checkpoint but no
+// -data-dir, only the default stream persists: other streams still
+// serve, but are memory-only and do not survive a restart.
+//
+// With -data-dir set, every stream checkpoints to <dir>/<id>.snap: the
+// whole directory is re-registered on boot (cold — streams restore
+// lazily on first access), the -checkpoint-interval ticker persists
+// dirty streams and hibernates ones idle past -stream-ttl, and a final
+// checkpoint runs during graceful shutdown. -max-streams bounds how many
+// backends are resident at once; the least-recently-used stream beyond
+// the bound is checkpointed to its file and dropped from RAM, then
+// restored transparently on its next request. Checkpoint writes are
+// atomic (temp file + fsync + rename); a crash mid-write never corrupts
+// the previous checkpoint.
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -42,114 +54,133 @@ import (
 	"time"
 
 	"streamkm"
+	"streamkm/internal/persist"
+	"streamkm/internal/registry"
 	"streamkm/internal/server"
 )
 
 // options carries the flag values; split from main for testability.
 type options struct {
-	addr         string
-	algo         string
-	k            int
-	shards       int
-	dim          int
-	bucket       int
-	alpha        float64
-	seed         int64
-	runs         int
-	lloyd        int
-	maxBatch     int
-	checkpoint   string
-	ckptInterval time.Duration
+	addr          string
+	algo          string
+	k             int
+	shards        int
+	dim           int
+	bucket        int
+	alpha         float64
+	seed          int64
+	runs          int
+	lloyd         int
+	maxBatch      int
+	maxBody       int64
+	maxPoints     int64
+	checkpoint    string
+	ckptInterval  time.Duration
+	dataDir       string
+	maxStreams    int
+	streamTTL     time.Duration
+	defaultStream string
 }
 
-// build wires options into a running-ready clusterer + server pair. When a
-// checkpoint file exists at o.checkpoint, the clusterer is restored from
-// it instead of starting empty; the restored state must agree with the
-// -algo, -k and -dim flags, so a misconfigured restart fails loudly
-// instead of silently serving the wrong model.
-func build(o options) (*streamkm.Concurrent, *server.Server, error) {
+// persistent reports whether any state reaches disk.
+func (o options) persistent() bool { return o.checkpoint != "" || o.dataDir != "" }
+
+// build wires options into a running-ready registry + server pair. The
+// default stream is materialized eagerly — restored from its checkpoint
+// when one exists — so configuration errors and flag/checkpoint
+// mismatches are boot errors, never a silently wrong model.
+func build(o options) (*registry.Registry, *server.Multi, error) {
 	if o.shards < 1 {
 		o.shards = runtime.GOMAXPROCS(0)
 	}
-	cfg := streamkm.Config{
-		K:               o.k,
+	if o.defaultStream == "" {
+		o.defaultStream = "default"
+	}
+	if err := registry.ValidateID(o.defaultStream); err != nil {
+		return nil, nil, err
+	}
+	base := streamkm.Config{
 		BucketSize:      o.bucket,
 		Alpha:           o.alpha,
 		Seed:            o.seed,
 		QueryRuns:       o.runs,
 		QueryLloydIters: o.lloyd,
 	}
-	c, restored, err := openOrCreate(o, cfg)
+	var files map[string]string
+	if o.checkpoint != "" {
+		// Legacy single-file checkpoint: it is simply the default
+		// stream's per-stream snapshot path.
+		files = map[string]string{o.defaultStream: o.checkpoint}
+	}
+	reg, err := registry.New(registry.Config{
+		MaxResident: o.maxStreams,
+		TTL:         o.streamTTL,
+		DataDir:     o.dataDir,
+		Files:       files,
+		Default:     registry.StreamConfig{Algo: o.algo, K: o.k, Dim: o.dim},
+		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
+			cfg := base
+			cfg.K = sc.K
+			return streamkm.NewConcurrent(streamkm.Algo(sc.Algo), o.shards, cfg)
+		},
+		Restore: func(_ string, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+			c, err := streamkm.NewConcurrentFromSnapshot(r, streamkm.Config{
+				Seed:            base.Seed,
+				Alpha:           base.Alpha,
+				QueryRuns:       base.QueryRuns,
+				QueryLloydIters: base.QueryLloydIters,
+			})
+			if err != nil {
+				return nil, registry.StreamConfig{}, err
+			}
+			return c, registry.StreamConfig{Algo: string(c.Algo()), K: c.K(), Dim: c.Dim()}, nil
+		},
+		Peek: func(r io.Reader) (registry.StreamConfig, int64, error) {
+			algo, k, dim, count, err := persist.PeekSharded(r)
+			return registry.StreamConfig{Algo: algo, K: k, Dim: dim}, count, err
+		},
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	dim := o.dim
-	if dim == 0 && restored {
-		dim = c.Dim() // keep the restored stream's dimension authoritative
+	if err := reg.With(o.defaultStream, true, func(s *registry.Stream, _ registry.Backend) error {
+		return validateDefault(o, s)
+	}); err != nil {
+		return nil, nil, err
 	}
-	srv := server.New(c, server.Config{
-		K:            c.K(),
-		Dim:          dim,
-		MaxBatch:     o.maxBatch,
-		SnapshotPath: o.checkpoint,
-	})
-	if o.checkpoint != "" {
-		// Write a checkpoint immediately: an unwritable path must be a
-		// boot error, not a string of ignored ticker failures that void
+	if o.persistent() {
+		// Write a checkpoint immediately: an unwritable location must be
+		// a boot error, not a string of ignored ticker failures that void
 		// the durability promise on the first kill.
-		if _, err := srv.WriteCheckpoint(); err != nil {
-			return nil, nil, fmt.Errorf("checkpoint %s not writable: %w", o.checkpoint, err)
+		if _, err := reg.Checkpoint(o.defaultStream); err != nil {
+			return nil, nil, fmt.Errorf("checkpoint not writable: %w", err)
 		}
 	}
-	return c, srv, nil
+	srv := server.NewMulti(reg, server.MultiConfig{
+		DefaultStream: o.defaultStream,
+		MaxBatch:      o.maxBatch,
+		MaxBodyBytes:  o.maxBody,
+		MaxPoints:     o.maxPoints,
+	})
+	return reg, srv, nil
 }
 
-// openOrCreate restores the clusterer from o.checkpoint when the file
-// exists, and builds a fresh one otherwise. The second return reports
-// whether a restore happened.
-func openOrCreate(o options, cfg streamkm.Config) (*streamkm.Concurrent, bool, error) {
-	if o.checkpoint != "" {
-		f, err := os.Open(o.checkpoint)
-		switch {
-		case err == nil:
-			defer f.Close()
-			c, err := streamkm.NewConcurrentFromSnapshot(f, streamkm.Config{
-				Seed:            cfg.Seed,
-				Alpha:           cfg.Alpha,
-				QueryRuns:       cfg.QueryRuns,
-				QueryLloydIters: cfg.QueryLloydIters,
-			})
-			if err != nil {
-				return nil, false, fmt.Errorf("restore %s: %w", o.checkpoint, err)
-			}
-			if err := validateRestored(c, o); err != nil {
-				return nil, false, fmt.Errorf("restore %s: %w", o.checkpoint, err)
-			}
-			return c, true, nil
-		case !errors.Is(err, os.ErrNotExist):
-			return nil, false, fmt.Errorf("checkpoint %s: %w", o.checkpoint, err)
-		}
+// validateDefault cross-checks the materialized default stream against
+// the flags: resuming a CC/k=10 checkpoint into a daemon configured for
+// RCC/k=20 would silently answer wrong queries, so mismatches are boot
+// errors. Fresh streams inherit the flags and pass trivially.
+func validateDefault(o options, s *registry.Stream) error {
+	cfg := s.Config()
+	if cfg.Algo != o.algo {
+		return fmt.Errorf("checkpoint algo %s does not match -algo %s", cfg.Algo, o.algo)
 	}
-	c, err := streamkm.NewConcurrent(streamkm.Algo(o.algo), o.shards, cfg)
-	if err != nil {
-		return nil, false, err
+	if cfg.K != o.k {
+		return fmt.Errorf("checkpoint k=%d does not match -k %d", cfg.K, o.k)
 	}
-	return c, false, nil
-}
-
-// validateRestored cross-checks a restored clusterer against the flags:
-// resuming a CC/k=10 checkpoint into a daemon configured for RCC/k=20
-// would silently answer wrong queries, so mismatches are boot errors.
-func validateRestored(c *streamkm.Concurrent, o options) error {
-	if string(c.Algo()) != o.algo {
-		return fmt.Errorf("checkpoint algo %s does not match -algo %s", c.Algo(), o.algo)
+	if o.dim > 0 && s.Dim() > 0 && s.Dim() != o.dim {
+		return fmt.Errorf("checkpoint dimension %d does not match -dim %d", s.Dim(), o.dim)
 	}
-	if c.K() != o.k {
-		return fmt.Errorf("checkpoint k=%d does not match -k %d", c.K(), o.k)
-	}
-	if o.dim > 0 && c.Dim() > 0 && c.Dim() != o.dim {
-		return fmt.Errorf("checkpoint dimension %d does not match -dim %d", c.Dim(), o.dim)
-	}
+	s.AdoptDim(o.dim)
 	return nil
 }
 
@@ -158,53 +189,65 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":7070", "listen address")
 	flag.StringVar(&o.algo, "algo", "CC", "summary structure per shard (CT, CC, RCC)")
 	flag.IntVar(&o.k, "k", 10, "number of cluster centers")
-	flag.IntVar(&o.shards, "shards", 0, "ingest shards (0 = GOMAXPROCS)")
-	flag.IntVar(&o.dim, "dim", 0, "point dimension (0 = adopt from first point)")
+	flag.IntVar(&o.shards, "shards", 0, "ingest shards per stream (0 = GOMAXPROCS)")
+	flag.IntVar(&o.dim, "dim", 0, "point dimension (0 = adopt from first point, per stream)")
 	flag.IntVar(&o.bucket, "bucket", 0, "coreset bucket size m (0 = 20*k)")
 	flag.Float64Var(&o.alpha, "alpha", 0, "centers-cache staleness threshold (>1; 0 = default 1.2)")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.runs, "queryruns", 1, "k-means++ restarts per query recomputation")
 	flag.IntVar(&o.lloyd, "lloyd", 0, "Lloyd refinement iterations per query recomputation")
 	flag.IntVar(&o.maxBatch, "maxbatch", 0, "points applied per shard-lock acquisition during ingest (0 = 512)")
-	flag.StringVar(&o.checkpoint, "checkpoint", "", "checkpoint file: restore on boot, write on ticker and shutdown")
-	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", time.Minute, "interval between periodic checkpoints (needs -checkpoint; 0 disables the ticker)")
+	flag.Int64Var(&o.maxBody, "max-body", 0, "max ingest request body bytes, 413 beyond (0 = 64MiB, -1 = unlimited)")
+	flag.Int64Var(&o.maxPoints, "max-points", 0, "max points per ingest request, 413 beyond (0 = ~1M, -1 = unlimited)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "default stream's checkpoint file: restore on boot, write on ticker and shutdown")
+	flag.DurationVar(&o.ckptInterval, "checkpoint-interval", time.Minute, "interval between periodic checkpoints and TTL sweeps (needs -checkpoint or -data-dir; 0 disables the ticker)")
+	flag.StringVar(&o.dataDir, "data-dir", "", "per-stream checkpoint directory (<id>.snap): restore all on boot, hibernate cold streams into it")
+	flag.IntVar(&o.maxStreams, "max-streams", 0, "max streams resident in RAM; LRU beyond this hibernates to -data-dir (0 = unbounded)")
+	flag.DurationVar(&o.streamTTL, "stream-ttl", 0, "hibernate streams idle longer than this to -data-dir (0 = never)")
+	flag.StringVar(&o.defaultStream, "default-stream", "default", "stream served by the legacy single-stream endpoints")
 	flag.Parse()
+	if o.shards < 1 {
+		o.shards = runtime.GOMAXPROCS(0) // mirror build's default for accurate logs
+	}
 
-	c, srv, err := build(o)
+	reg, srv, err := build(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "streamkmd: %v\n", err)
 		os.Exit(2)
 	}
-	if o.checkpoint != "" && c.Count() > 0 {
-		log.Printf("streamkmd: restored %d points from %s", c.Count(), o.checkpoint)
+	st := reg.Stats()
+	if o.persistent() && st.Streams > 0 {
+		if in, err := reg.Stat(o.defaultStream); err == nil && in.Count > 0 {
+			log.Printf("streamkmd: restored %d points into stream %q", in.Count, o.defaultStream)
+		}
+		if st.Streams > 1 {
+			log.Printf("streamkmd: registered %d streams from disk (%d resident)", st.Streams, st.Resident)
+		}
 	}
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("streamkmd: serving %s (k=%d, %d shards) on %s", c.Name(), c.K(), c.NumShards(), o.addr)
+		log.Printf("streamkmd: serving %s/k=%d x %d shards per stream on %s (default stream %q, max resident %d)",
+			o.algo, o.k, o.shards, o.addr, o.defaultStream, o.maxStreams)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("streamkmd: %v", err)
 		}
 	}()
 
 	done := make(chan struct{})
-	if o.checkpoint != "" && o.ckptInterval > 0 {
+	if o.persistent() && o.ckptInterval > 0 {
 		go func() {
 			ticker := time.NewTicker(o.ckptInterval)
 			defer ticker.Stop()
-			lastCount := c.Count() // build already checkpointed this state
 			for {
 				select {
 				case <-ticker.C:
-					count := c.Count()
-					if count == lastCount {
-						continue // idle: the file already holds this state
+					if n := reg.Sweep(); n > 0 {
+						log.Printf("streamkmd: hibernated %d idle streams", n)
 					}
-					if n, err := srv.WriteCheckpoint(); err != nil {
+					// Dirty resident streams only; idle ones cost nothing.
+					if err := reg.CheckpointAll(); err != nil {
 						log.Printf("streamkmd: checkpoint: %v", err)
-					} else {
-						lastCount = count
-						log.Printf("streamkmd: checkpointed %d points (%d bytes) to %s", count, n, o.checkpoint)
 					}
 				case <-done:
 					return
@@ -217,19 +260,20 @@ func main() {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
 	close(done)
-	log.Printf("streamkmd: shutting down (%d points observed)", c.Count())
+	st = reg.Stats()
+	log.Printf("streamkmd: shutting down (%d streams, %d resident)", st.Streams, st.Resident)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("streamkmd: shutdown: %v", err)
 	}
-	// Final checkpoint after the listener has drained, so the file holds
+	// Final checkpoint after the listener has drained, so the files hold
 	// every point any client got an ack for.
-	if o.checkpoint != "" {
-		if n, err := srv.WriteCheckpoint(); err != nil {
+	if o.persistent() {
+		if err := reg.CheckpointAll(); err != nil {
 			log.Printf("streamkmd: final checkpoint: %v", err)
 		} else {
-			log.Printf("streamkmd: final checkpoint: %d points (%d bytes) to %s", c.Count(), n, o.checkpoint)
+			log.Printf("streamkmd: final checkpoint complete")
 		}
 	}
 }

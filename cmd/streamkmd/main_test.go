@@ -6,50 +6,74 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"streamkm"
+	"streamkm/internal/registry"
 )
 
-func TestBuildWiresConfigToServer(t *testing.T) {
-	c, srv, err := build(options{algo: "CC", k: 4, shards: 3, dim: 2})
+func ingestBody(t *testing.T, ts *httptest.Server, path, body string) int {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/x-ndjson", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.NumShards() != 3 || c.K() != 4 {
-		t.Fatalf("clusterer shards=%d k=%d", c.NumShards(), c.K())
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func defaultCount(t *testing.T, reg *registry.Registry, id string) int64 {
+	t.Helper()
+	in, err := reg.Stat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in.Count
+}
+
+func TestBuildWiresConfigToServer(t *testing.T) {
+	reg, srv, err := build(options{algo: "CC", k: 4, shards: 3, dim: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The per-stream backend honors -shards and -k.
+	if err := reg.With("default", false, func(_ *registry.Stream, b registry.Backend) error {
+		c := b.(*streamkm.Concurrent)
+		if c.NumShards() != 3 || c.K() != 4 {
+			t.Fatalf("clusterer shards=%d k=%d", c.NumShards(), c.K())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
-		strings.NewReader("[1,2]\n[3,4]\n"))
-	if err != nil {
-		t.Fatal(err)
+	if code := ingestBody(t, ts, "/ingest", "[1,2]\n[3,4]\n"); code != 200 {
+		t.Fatalf("ingest status %d", code)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("ingest status %d", resp.StatusCode)
+	if got := defaultCount(t, reg, "default"); got != 2 {
+		t.Fatalf("count %d, want 2", got)
 	}
-	if c.Count() != 2 {
-		t.Fatalf("count %d, want 2", c.Count())
+	// The configured -dim must be enforced by the HTTP layer, on the
+	// alias and on the explicit route alike.
+	if code := ingestBody(t, ts, "/ingest", "[1,2,3]\n"); code != 400 {
+		t.Fatalf("dim-mismatch status %d, want 400", code)
 	}
-	// The configured -dim must be enforced by the HTTP layer.
-	resp, err = ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
-		strings.NewReader("[1,2,3]\n"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 400 {
-		t.Fatalf("dim-mismatch status %d, want 400", resp.StatusCode)
+	if code := ingestBody(t, ts, "/streams/default/ingest", "[1,2,3]\n"); code != 400 {
+		t.Fatalf("dim-mismatch status %d, want 400", code)
 	}
 }
 
 func TestBuildDefaultsShardsToGOMAXPROCS(t *testing.T) {
-	c, _, err := build(options{algo: "RCC", k: 2})
+	reg, _, err := build(options{algo: "RCC", k: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.NumShards() < 1 {
-		t.Fatalf("shards %d", c.NumShards())
-	}
+	reg.With("default", false, func(_ *registry.Stream, b registry.Backend) error {
+		if b.(*streamkm.Concurrent).NumShards() < 1 {
+			t.Fatalf("shards %d", b.(*streamkm.Concurrent).NumShards())
+		}
+		return nil
+	})
 }
 
 func TestBuildRejectsBadOptions(t *testing.T) {
@@ -58,6 +82,8 @@ func TestBuildRejectsBadOptions(t *testing.T) {
 		{algo: "Sequential", k: 3},
 		{algo: "CC", k: 0},
 		{algo: "CC", k: 3, alpha: 0.5},
+		{algo: "CC", k: 3, defaultStream: "../escape"},
+		{algo: "CC", k: 3, maxStreams: 4}, // eviction needs -data-dir
 	} {
 		if _, _, err := build(o); err == nil {
 			t.Errorf("options %+v: expected error", o)
@@ -65,26 +91,24 @@ func TestBuildRejectsBadOptions(t *testing.T) {
 	}
 }
 
-// TestBuildCheckpointRoundTrip is the daemon-level restart path: build
-// with -checkpoint (no file yet → fresh), ingest, checkpoint via POST
-// /snapshot, then build again with the same flags and observe the state
-// back, including flag cross-validation against the restored snapshot.
+// TestBuildCheckpointRoundTrip is the daemon-level restart path with the
+// legacy single-file flag: build with -checkpoint (no file yet → fresh),
+// ingest, checkpoint via POST /snapshot, then build again with the same
+// flags and observe the state back, including flag cross-validation
+// against the restored snapshot.
 func TestBuildCheckpointRoundTrip(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "state.snap")
 	o := options{algo: "CC", k: 3, shards: 2, checkpoint: ckpt}
 
-	c1, srv1, err := build(o)
+	reg1, srv1, err := build(o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv1.Handler())
-	resp, err := ts.Client().Post(ts.URL+"/ingest", "application/x-ndjson",
-		strings.NewReader("[1,2]\n[3,4]\n[5,6]\n[7,8]\n"))
-	if err != nil {
-		t.Fatal(err)
+	if code := ingestBody(t, ts, "/ingest", "[1,2]\n[3,4]\n[5,6]\n[7,8]\n"); code != 200 {
+		t.Fatalf("ingest status %d", code)
 	}
-	resp.Body.Close()
-	resp, err = ts.Client().Post(ts.URL+"/snapshot", "", nil)
+	resp, err := ts.Client().Post(ts.URL+"/snapshot", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,16 +117,21 @@ func TestBuildCheckpointRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot status %d", resp.StatusCode)
 	}
 	ts.Close()
+	want := defaultCount(t, reg1, "default")
 
-	c2, _, err := build(o)
+	reg2, _, err := build(o)
 	if err != nil {
 		t.Fatalf("rebuild with checkpoint: %v", err)
 	}
-	if c2.Count() != c1.Count() {
-		t.Fatalf("restored count %d, want %d", c2.Count(), c1.Count())
+	in, err := reg2.Stat("default")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if c2.Dim() != 2 {
-		t.Fatalf("restored dim %d, want 2", c2.Dim())
+	if in.Count != want {
+		t.Fatalf("restored count %d, want %d", in.Count, want)
+	}
+	if in.Dim != 2 {
+		t.Fatalf("restored dim %d, want 2", in.Dim)
 	}
 
 	// Flag mismatches against the checkpoint must refuse to boot.
@@ -113,6 +142,56 @@ func TestBuildCheckpointRoundTrip(t *testing.T) {
 	} {
 		if _, _, err := build(bad); err == nil {
 			t.Errorf("options %+v: expected restore validation error", bad)
+		}
+	}
+}
+
+// TestBuildDataDirMultiStream is the multi-tenant restart path: several
+// tenants ingested into a -data-dir daemon come back — cold, with
+// counts intact — after a rebuild from the directory alone.
+func TestBuildDataDirMultiStream(t *testing.T) {
+	dir := t.TempDir()
+	o := options{algo: "CC", k: 3, shards: 2, dataDir: dir, maxStreams: 2}
+
+	reg1, srv1, err := build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv1.Handler())
+	for _, tc := range []struct {
+		path string
+		n    int
+	}{
+		{"/ingest", 2},
+		{"/streams/alice/ingest", 3},
+		{"/streams/bob/ingest", 4},
+	} {
+		body := strings.Repeat("[1,2]\n", tc.n)
+		if code := ingestBody(t, ts, tc.path, body); code != 200 {
+			t.Fatalf("%s status %d", tc.path, code)
+		}
+	}
+	ts.Close()
+	if st := reg1.Stats(); st.Resident > 2 {
+		t.Fatalf("resident %d exceeds -max-streams 2", st.Resident)
+	}
+	if err := reg1.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, srv2, err := build(o)
+	if err != nil {
+		t.Fatalf("rebuild from data dir: %v", err)
+	}
+	st := reg2.Stats()
+	if st.Streams != 3 {
+		t.Fatalf("rebooted with %d streams, want 3", st.Streams)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	for id, want := range map[string]int64{"default": 2, "alice": 3, "bob": 4} {
+		if got := defaultCount(t, reg2, id); got != want {
+			t.Errorf("stream %s restored count %d, want %d", id, got, want)
 		}
 	}
 }
@@ -138,11 +217,11 @@ func TestBuildWritesInitialCheckpoint(t *testing.T) {
 	if _, err := os.Stat(ckpt); err != nil {
 		t.Fatalf("no initial checkpoint written: %v", err)
 	}
-	c, _, err := build(options{algo: "CC", k: 2, shards: 1, checkpoint: ckpt})
+	reg, _, err := build(options{algo: "CC", k: 2, shards: 1, checkpoint: ckpt})
 	if err != nil {
 		t.Fatalf("restart from initial checkpoint: %v", err)
 	}
-	if c.Count() != 0 {
-		t.Fatalf("restored count %d, want 0", c.Count())
+	if got := defaultCount(t, reg, "default"); got != 0 {
+		t.Fatalf("restored count %d, want 0", got)
 	}
 }

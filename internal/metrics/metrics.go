@@ -8,6 +8,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -31,6 +32,28 @@ func Median(xs []float64) float64 {
 		return s[mid]
 	}
 	return (s[mid-1] + s[mid]) / 2
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of xs by the
+// nearest-rank method, 0 for empty input. Used for the load-replay
+// latency summaries (p50/p95).
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
 }
 
 // Mean returns the arithmetic mean of xs, 0 for empty input.

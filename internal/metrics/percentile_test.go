@@ -1,0 +1,25 @@
+package metrics
+
+import "testing"
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.5, 3}, {0.95, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %v, want 0", got)
+	}
+	// Input must not be mutated (Percentile sorts a copy).
+	if xs[0] != 5 {
+		t.Errorf("Percentile mutated its input: %v", xs)
+	}
+}

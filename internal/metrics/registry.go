@@ -1,0 +1,54 @@
+package metrics
+
+import "sync/atomic"
+
+// RegistryStats accumulates lifecycle counters for a multi-tenant stream
+// registry: how many streams were created and deleted, how many times a
+// cold stream was hibernated to disk (eviction) or lazily restored from
+// it, and how many hibernation attempts failed. All methods are safe for
+// concurrent use; each is a single atomic add.
+type RegistryStats struct {
+	creates       atomic.Int64
+	deletes       atomic.Int64
+	evictions     atomic.Int64
+	evictFailures atomic.Int64
+	restores      atomic.Int64
+}
+
+// RecordCreate accounts one stream registered (explicitly or lazily).
+func (r *RegistryStats) RecordCreate() { r.creates.Add(1) }
+
+// RecordDelete accounts one stream deleted.
+func (r *RegistryStats) RecordDelete() { r.deletes.Add(1) }
+
+// RecordEviction accounts one resident stream hibernated to disk.
+func (r *RegistryStats) RecordEviction() { r.evictions.Add(1) }
+
+// RecordEvictFailure accounts one hibernation attempt that failed (the
+// stream stays resident; no data is lost).
+func (r *RegistryStats) RecordEvictFailure() { r.evictFailures.Add(1) }
+
+// RecordRestore accounts one hibernated stream lazily restored from disk.
+func (r *RegistryStats) RecordRestore() { r.restores.Add(1) }
+
+// RegistrySnapshot is a point-in-time copy of registry counters, shaped
+// for direct JSON serialization in a stats response.
+type RegistrySnapshot struct {
+	Creates       int64 `json:"creates"`
+	Deletes       int64 `json:"deletes"`
+	Evictions     int64 `json:"evictions"`
+	EvictFailures int64 `json:"evict_failures"`
+	Restores      int64 `json:"restores"`
+}
+
+// Snapshot captures the current counter values. As with EndpointStats,
+// fields are individually — not jointly — consistent.
+func (r *RegistryStats) Snapshot() RegistrySnapshot {
+	return RegistrySnapshot{
+		Creates:       r.creates.Load(),
+		Deletes:       r.deletes.Load(),
+		Evictions:     r.evictions.Load(),
+		EvictFailures: r.evictFailures.Load(),
+		Restores:      r.restores.Load(),
+	}
+}

@@ -1,0 +1,56 @@
+package persist
+
+import (
+	"io"
+	"os"
+)
+
+// WriteFileAtomic writes whatever fill produces to path with the
+// crash-safe discipline every checkpoint in this repo uses: write to a
+// temp file in the same directory, fsync, close, then rename over the
+// destination. A crash (or a fill/IO error) at any point leaves the
+// previous file intact; the temp file is removed on failure. Returns the
+// number of bytes written.
+//
+// Callers that need mutual exclusion between writers to the same path
+// must provide their own (concurrent calls would race on the shared temp
+// name).
+func WriteFileAtomic(path string, fill func(io.Writer) error) (int64, error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	if err := fill(cw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// countingWriter counts bytes passed through to w.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

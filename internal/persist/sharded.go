@@ -2,6 +2,7 @@ package persist
 
 import (
 	"fmt"
+	"io"
 
 	"streamkm/internal/core"
 	"streamkm/internal/coreset"
@@ -122,6 +123,26 @@ func validateSharded(s *ShardedSnapshot) error {
 		}
 	}
 	return nil
+}
+
+// PeekSharded decodes just the metadata of a sharded snapshot — the
+// per-shard algorithm, k, point dimension and total count — without
+// rebuilding any clustering structure. The stream registry's boot scan
+// uses it to register hibernated tenants with accurate metadata while
+// keeping them cold.
+func PeekSharded(r io.Reader) (algo string, k, dim int, count int64, err error) {
+	env, err := Load(r)
+	if err != nil {
+		return "", 0, 0, 0, err
+	}
+	if env.Kind != KindSharded {
+		return "", 0, 0, 0, fmt.Errorf("persist: expected a Sharded envelope, got kind %q", env.Kind)
+	}
+	s := env.Sharded
+	if err := validateSharded(s); err != nil {
+		return "", 0, 0, 0, err
+	}
+	return string(s.Shards[0].Kind), s.K, s.Dim, s.Count, nil
 }
 
 // RestoreSharded reconstructs a live parallel.Sharded from a KindSharded

@@ -1,0 +1,758 @@
+// Package registry hosts many independent named streams inside one
+// serving process — the tenant-density layer the paper's smallness
+// results make possible: per-stream coreset state is polylogarithmic in
+// the stream, so a single daemon can hold thousands of tenants, and the
+// ones it cannot hold in RAM cost nothing while cold.
+//
+// Each stream owns one clustering backend (in the shipped daemon a
+// streamkm.Concurrent). The registry bounds how many are resident at
+// once: past MaxResident — or past an idle TTL — the least-recently-used
+// stream is hibernated, i.e. checkpointed to its per-stream snapshot
+// file (the same versioned envelope internal/persist writes for daemon
+// checkpoints) and its backend released. The next access restores it
+// lazily, with every ingested point's weight intact, so eviction is a
+// pure RAM/latency trade, never data loss.
+//
+// Concurrency model: a registry-level mutex guards only the id → stream
+// map and residency accounting; each stream has its own RWMutex held in
+// read mode for the duration of every ingest/query and in write mode
+// across the hibernate and restore transitions. A stream is therefore
+// never hibernated mid-request, and at most one goroutine restores it.
+// To keep the pair deadlock-free, a goroutine holds at most one stream
+// lock at a time: capacity enforcement runs after the triggering request
+// releases its stream, and picks victims from lock-free last-access
+// timestamps.
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamkm/internal/metrics"
+	"streamkm/internal/persist"
+)
+
+// Backend is the per-stream clustering surface the registry manages. It
+// is the same shape as the HTTP layer's Clusterer interface, so any
+// servable backend slots in. Implementations must be safe for concurrent
+// use.
+type Backend interface {
+	AddBatch(pts [][]float64)
+	Centers() [][]float64
+	Count() int64
+	PointsStored() int
+	Name() string
+}
+
+// Snapshotter is the additional capability hibernation needs: backends
+// that cannot serialize themselves can be hosted but never evicted.
+type Snapshotter interface {
+	Snapshot(w io.Writer) error
+}
+
+// StreamConfig is the per-stream clustering configuration: which
+// algorithm backs the stream, how many centers queries answer, and the
+// expected point dimension (0 = adopt from the first ingested point).
+type StreamConfig struct {
+	Algo string `json:"algo"`
+	K    int    `json:"k"`
+	Dim  int    `json:"dim"`
+}
+
+// Config configures a Registry.
+type Config struct {
+	// MaxResident bounds how many streams hold a live backend at once;
+	// exceeding it hibernates the least-recently-used stream. 0 means
+	// unbounded. Requires DataDir.
+	MaxResident int
+	// TTL hibernates streams idle for longer than this on each Sweep.
+	// 0 disables idle hibernation. Requires DataDir.
+	TTL time.Duration
+	// DataDir is where per-stream snapshots live (<id>.snap). Existing
+	// snapshots are registered — hibernated, costing no RAM — when the
+	// registry is created. Empty disables persistence (and therefore
+	// hibernation) except for streams with an explicit Files entry.
+	DataDir string
+	// Files maps stream ids to explicit snapshot paths, overriding the
+	// DataDir naming scheme. Used by the daemon to keep the legacy
+	// single-file -checkpoint flag meaning "the default stream's file".
+	Files map[string]string
+	// Default is the configuration for streams created lazily on first
+	// ingest.
+	Default StreamConfig
+	// New builds a fresh backend for a stream. Required.
+	New func(id string, cfg StreamConfig) (Backend, error)
+	// Restore rebuilds a backend from a snapshot previously written by
+	// its Snapshotter, returning the configuration recorded in the
+	// snapshot. Required.
+	Restore func(id string, r io.Reader) (Backend, StreamConfig, error)
+	// Peek cheaply reads a snapshot's configuration and point count
+	// without building a backend; it lets the boot scan register
+	// hibernated streams with accurate metadata while keeping them cold.
+	// Optional: when nil, metadata of never-accessed streams reads as
+	// zero until first restore.
+	Peek func(r io.Reader) (StreamConfig, int64, error)
+
+	// now is a test hook; nil means time.Now.
+	now func() time.Time
+}
+
+// Registry is a concurrency-safe, capacity-bounded collection of named
+// streams. Create with New.
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	streams  map[string]*Stream
+	resident map[string]*Stream
+
+	stats      metrics.RegistryStats
+	checkpoint metrics.CheckpointStats
+}
+
+// Registry errors distinguished by the HTTP layer.
+var (
+	ErrNotFound  = errors.New("registry: no such stream")
+	ErrExists    = errors.New("registry: stream already exists")
+	ErrInvalidID = errors.New("registry: invalid stream id")
+)
+
+var idRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ValidateID reports whether id is acceptable as a stream name: 1-64
+// characters, starting with a letter or digit, then letters, digits,
+// dot, underscore or dash. The first-character rule keeps ids safe as
+// file names (no dotfiles, no traversal, no separators).
+func ValidateID(id string) error {
+	if !idRE.MatchString(id) {
+		return fmt.Errorf("%w %q (want [A-Za-z0-9][A-Za-z0-9._-]{0,63})", ErrInvalidID, id)
+	}
+	return nil
+}
+
+// New builds a registry and registers — without restoring — every
+// snapshot already present in cfg.DataDir and cfg.Files, so a restarted
+// daemon sees all its tenants immediately while they stay cold.
+func New(cfg Config) (*Registry, error) {
+	if cfg.New == nil || cfg.Restore == nil {
+		return nil, errors.New("registry: Config.New and Config.Restore are required")
+	}
+	if (cfg.MaxResident > 0 || cfg.TTL > 0) && cfg.DataDir == "" {
+		return nil, errors.New("registry: MaxResident/TTL eviction requires DataDir (evicting without persistence would lose data)")
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	for id := range cfg.Files {
+		if err := ValidateID(id); err != nil {
+			return nil, err
+		}
+	}
+	r := &Registry{
+		cfg:      cfg,
+		streams:  make(map[string]*Stream),
+		resident: make(map[string]*Stream),
+	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("registry: data dir: %w", err)
+		}
+	}
+	if err := r.bootScan(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bootScan registers hibernated entries for every snapshot file found in
+// Files and DataDir. O(#files) with Peek; no backend is built.
+func (r *Registry) bootScan() error {
+	seen := make(map[string]bool) // cleaned paths claimed by Files
+	for id, path := range r.cfg.Files {
+		seen[filepath.Clean(path)] = true
+		if _, err := os.Stat(path); err != nil {
+			if os.IsNotExist(err) {
+				continue // no state yet; the stream materializes on demand
+			}
+			return fmt.Errorf("registry: %s: %w", path, err)
+		}
+		r.registerHibernated(id, path)
+	}
+	if r.cfg.DataDir == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(r.cfg.DataDir, "*.snap"))
+	if err != nil {
+		return fmt.Errorf("registry: scan %s: %w", r.cfg.DataDir, err)
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		if seen[filepath.Clean(path)] {
+			continue
+		}
+		id := strings.TrimSuffix(filepath.Base(path), ".snap")
+		if ValidateID(id) != nil {
+			continue // not one of ours; leave foreign files alone
+		}
+		if _, ok := r.streams[id]; ok {
+			continue
+		}
+		r.registerHibernated(id, path)
+	}
+	return nil
+}
+
+// registerHibernated adds a cold entry for an on-disk snapshot, using
+// Peek (when available) to fill metadata. A snapshot Peek cannot read is
+// registered anyway, with zero metadata: one damaged tenant file must
+// not keep the daemon from serving every other tenant, and the damage
+// still surfaces — as a restore error on that stream's next access
+// rather than a boot failure.
+func (r *Registry) registerHibernated(id, path string) {
+	e := &Stream{id: id, path: path, cfg: r.cfg.Default}
+	if r.cfg.Peek != nil {
+		if f, err := os.Open(path); err == nil {
+			cfg, count, err := r.cfg.Peek(f)
+			f.Close()
+			if err == nil {
+				e.cfg = cfg
+				e.count = count
+				e.lastCkptCount = count
+				if cfg.Dim > 0 {
+					e.dim.Store(int64(cfg.Dim))
+				}
+			}
+		}
+	}
+	e.lastAccess.Store(r.cfg.now().UnixNano())
+	r.streams[id] = e
+	r.stats.RecordCreate()
+}
+
+// pathFor returns the snapshot path for id, "" when the stream has no
+// persistence.
+func (r *Registry) pathFor(id string) string {
+	if p, ok := r.cfg.Files[id]; ok {
+		return p
+	}
+	if r.cfg.DataDir != "" {
+		return filepath.Join(r.cfg.DataDir, id+".snap")
+	}
+	return ""
+}
+
+// lookup finds the entry for id, registering a fresh one when create is
+// set.
+func (r *Registry) lookup(id string, create bool) (*Stream, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.streams[id]; ok {
+		return e, nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	e := &Stream{id: id, path: r.pathFor(id), cfg: r.cfg.Default}
+	if e.cfg.Dim > 0 {
+		e.dim.Store(int64(e.cfg.Dim))
+	}
+	e.lastAccess.Store(r.cfg.now().UnixNano())
+	r.streams[id] = e
+	r.stats.RecordCreate()
+	return e, nil
+}
+
+// With runs fn against the stream's backend, materializing the stream
+// first if it is cold: restored from its snapshot file when one exists,
+// created fresh (with the registry's default configuration) when create
+// is set, ErrNotFound otherwise. The backend cannot be hibernated or
+// deleted while fn runs. After fn returns, the resident-capacity bound
+// is enforced, which may hibernate some other least-recently-used
+// stream.
+func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) error) error {
+	for {
+		e, err := r.lookup(id, create)
+		if err != nil {
+			return err
+		}
+		touch := func() { e.lastAccess.Store(r.cfg.now().UnixNano()) }
+		touch()
+
+		// Fast path: already resident, shared lock only.
+		e.mu.RLock()
+		if e.deleted {
+			e.mu.RUnlock()
+			continue // entry was deleted under us; re-resolve the id
+		}
+		if b := e.backend; b != nil {
+			err := fn(e, b)
+			e.mu.RUnlock()
+			touch()
+			return err
+		}
+		e.mu.RUnlock()
+
+		// Slow path: materialize under the exclusive lock.
+		e.mu.Lock()
+		if e.deleted {
+			e.mu.Unlock()
+			continue
+		}
+		b := e.backend
+		if b == nil {
+			if b, err = r.materialize(e); err != nil {
+				e.mu.Unlock()
+				return err
+			}
+		}
+		err = fn(e, b)
+		e.mu.Unlock()
+		touch()
+		r.enforceCap()
+		return err
+	}
+}
+
+// materialize gives e a live backend; the caller holds e.mu. A snapshot
+// file on disk wins over a fresh build, so a lazily re-accessed
+// hibernated stream resumes rather than restarts. An already-live
+// backend always wins over both: it may hold acknowledged points newer
+// than any checkpoint (e.g. a lazy ingest racing an explicit Create),
+// so it is never rebuilt over.
+func (r *Registry) materialize(e *Stream) (Backend, error) {
+	if e.backend != nil {
+		return e.backend, nil
+	}
+	var b Backend
+	if e.path != "" {
+		f, err := os.Open(e.path)
+		switch {
+		case err == nil:
+			var cfg StreamConfig
+			b, cfg, err = r.cfg.Restore(e.id, f)
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("registry: restore %s: %w", e.path, err)
+			}
+			e.cfg = cfg
+			if cfg.Dim > 0 {
+				e.dim.Store(int64(cfg.Dim))
+			}
+			e.lastCkptCount = b.Count() // the file already holds this state
+			r.stats.RecordRestore()
+		case os.IsNotExist(err):
+		default:
+			return nil, fmt.Errorf("registry: %s: %w", e.path, err)
+		}
+	}
+	if b == nil {
+		var err error
+		b, err = r.cfg.New(e.id, e.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("registry: create %q: %w", e.id, err)
+		}
+		e.lastCkptCount = -1 // never checkpointed
+	}
+	e.backend = b
+	r.mu.Lock()
+	r.resident[e.id] = e
+	r.mu.Unlock()
+	return b, nil
+}
+
+// enforceCap hibernates least-recently-used resident streams until the
+// resident count is back under MaxResident. Called with no stream lock
+// held. Victims that fail to hibernate (or turn out to be busy growing)
+// are skipped this round and retried on the next access.
+func (r *Registry) enforceCap() {
+	max := r.cfg.MaxResident
+	if max <= 0 {
+		return
+	}
+	for {
+		r.mu.Lock()
+		over := len(r.resident) - max
+		if over <= 0 {
+			r.mu.Unlock()
+			return
+		}
+		victims := make([]*Stream, 0, len(r.resident))
+		for _, e := range r.resident {
+			victims = append(victims, e)
+		}
+		r.mu.Unlock()
+		sort.Slice(victims, func(i, j int) bool {
+			return victims[i].lastAccess.Load() < victims[j].lastAccess.Load()
+		})
+
+		evicted := 0
+		for _, v := range victims {
+			if evicted >= over {
+				break
+			}
+			if err := r.hibernate(v); err == nil {
+				evicted++
+			}
+		}
+		if evicted == 0 {
+			return // nothing evictable; give up rather than spin
+		}
+	}
+}
+
+// hibernate checkpoints e to its snapshot file and releases its backend.
+// Holding no other locks, it takes e.mu exclusively, so it waits out any
+// in-flight requests and can never race an ingest.
+func (r *Registry) hibernate(e *Stream) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.backend
+	if b == nil || e.deleted {
+		return nil // already cold (or gone); not a failure
+	}
+	sn, ok := b.(Snapshotter)
+	if !ok {
+		r.stats.RecordEvictFailure()
+		return fmt.Errorf("registry: backend %s cannot snapshot; stream %q stays resident", b.Name(), e.id)
+	}
+	if e.path == "" {
+		r.stats.RecordEvictFailure()
+		return fmt.Errorf("registry: stream %q has no snapshot path; stays resident", e.id)
+	}
+	n, err := persist.WriteFileAtomic(e.path, sn.Snapshot)
+	if err != nil {
+		r.stats.RecordEvictFailure()
+		r.checkpoint.RecordFailure()
+		return fmt.Errorf("registry: hibernate %q: %w", e.id, err)
+	}
+	r.checkpoint.RecordSuccess(n, r.cfg.now())
+	e.count = b.Count()
+	e.stored = b.PointsStored()
+	e.lastCkptCount = e.count
+	e.backend = nil
+	r.mu.Lock()
+	delete(r.resident, e.id)
+	r.mu.Unlock()
+	r.stats.RecordEviction()
+	return nil
+}
+
+// Sweep hibernates every resident stream idle for longer than the
+// configured TTL, returning how many went cold. The daemon calls it on
+// its checkpoint ticker. No-op when TTL is 0.
+func (r *Registry) Sweep() int {
+	if r.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := r.cfg.now().Add(-r.cfg.TTL).UnixNano()
+	r.mu.Lock()
+	victims := make([]*Stream, 0, len(r.resident))
+	for _, e := range r.resident {
+		if e.lastAccess.Load() < cutoff {
+			victims = append(victims, e)
+		}
+	}
+	r.mu.Unlock()
+	n := 0
+	for _, v := range victims {
+		// Recheck idleness under no lock-order constraints; a request may
+		// have landed since the scan.
+		if v.lastAccess.Load() >= cutoff {
+			continue
+		}
+		if err := r.hibernate(v); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// fillDefaults completes a partial stream configuration from the
+// registry default: PUT bodies may specify only the fields they care
+// about.
+func (r *Registry) fillDefaults(cfg StreamConfig) StreamConfig {
+	if cfg.Algo == "" {
+		cfg.Algo = r.cfg.Default.Algo
+	}
+	if cfg.K == 0 {
+		cfg.K = r.cfg.Default.K
+	}
+	if cfg.Dim == 0 {
+		cfg.Dim = r.cfg.Default.Dim
+	}
+	return cfg
+}
+
+// Create registers a stream with an explicit configuration (zero-valued
+// fields fall back to the registry default) and materializes it eagerly,
+// so configuration errors surface here rather than on first ingest.
+// ErrExists if the id is taken.
+func (r *Registry) Create(id string, cfg StreamConfig) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	cfg = r.fillDefaults(cfg)
+	for {
+		r.mu.Lock()
+		if _, ok := r.streams[id]; ok {
+			r.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrExists, id)
+		}
+		e := &Stream{id: id, path: r.pathFor(id), cfg: cfg}
+		if cfg.Dim > 0 {
+			e.dim.Store(int64(cfg.Dim))
+		}
+		e.lastAccess.Store(r.cfg.now().UnixNano())
+		r.streams[id] = e
+		r.mu.Unlock()
+
+		e.mu.Lock()
+		if e.deleted {
+			// A concurrent Delete removed our entry before we could
+			// materialize it; materializing now would resurrect a stream
+			// the delete already acknowledged. Start over.
+			e.mu.Unlock()
+			continue
+		}
+		_, err := r.materialize(e)
+		if err != nil {
+			// Mark the entry dead under the same lock hold, so a waiter
+			// that grabbed it from the map before we unmap it re-resolves
+			// the id instead of materializing our rejected configuration.
+			e.deleted = true
+		}
+		e.mu.Unlock()
+		if err != nil {
+			r.mu.Lock()
+			if r.streams[id] == e {
+				delete(r.streams, id)
+			}
+			r.mu.Unlock()
+			return err
+		}
+		r.stats.RecordCreate()
+		r.enforceCap()
+		return nil
+	}
+}
+
+// Delete removes a stream and its on-disk snapshot. In-flight requests
+// against it finish first; late requests re-resolve the id and get
+// ErrNotFound (or a fresh stream, for lazy ingest).
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.mu.Lock()
+	if e.deleted {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	// Unlink the snapshot before unmapping the id and while holding e.mu:
+	// racing requests still resolve to this entry and block here, so none
+	// can register a fresh entry that would restore the dying stream's
+	// state from the file. An unlink failure aborts with the stream fully
+	// intact — the delete can simply be retried.
+	if e.path != "" {
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			e.mu.Unlock()
+			return fmt.Errorf("registry: delete %q: %w", id, err)
+		}
+	}
+	e.deleted = true
+	wasResident := e.backend != nil
+	e.backend = nil
+	e.mu.Unlock()
+
+	r.mu.Lock()
+	if r.streams[id] == e {
+		delete(r.streams, id)
+	}
+	if wasResident {
+		delete(r.resident, id)
+	}
+	r.mu.Unlock()
+	r.stats.RecordDelete()
+	return nil
+}
+
+// Checkpoint persists a stream's current state to its snapshot file
+// without hibernating it, returning the bytes written. Hibernated
+// streams are a no-op (their file already holds the state).
+func (r *Registry) Checkpoint(id string) (int64, error) {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return r.checkpointStream(e, false)
+}
+
+// checkpointStream writes e's state to its file; force writes even when
+// the count is unchanged since the last checkpoint.
+func (r *Registry) checkpointStream(e *Stream, onlyDirty bool) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := e.backend
+	if b == nil || e.deleted {
+		return 0, nil // cold: the file is already authoritative
+	}
+	if onlyDirty {
+		if b.Count() == e.lastCkptCount {
+			return 0, nil
+		}
+		if e.path == "" {
+			// Memory-only stream (daemon run with -checkpoint but no
+			// -data-dir): it has nowhere to persist by construction, so the
+			// periodic sweep must not report it as a failure every tick.
+			return 0, nil
+		}
+	}
+	sn, ok := b.(Snapshotter)
+	if !ok {
+		return 0, fmt.Errorf("registry: backend %s cannot snapshot", b.Name())
+	}
+	if e.path == "" {
+		return 0, fmt.Errorf("registry: stream %q has no snapshot path", e.id)
+	}
+	n, err := persist.WriteFileAtomic(e.path, sn.Snapshot)
+	if err != nil {
+		r.checkpoint.RecordFailure()
+		return 0, fmt.Errorf("registry: checkpoint %q: %w", e.id, err)
+	}
+	r.checkpoint.RecordSuccess(n, r.cfg.now())
+	e.lastCkptCount = b.Count()
+	return n, nil
+}
+
+// CheckpointAll persists every resident stream whose count advanced
+// since its last checkpoint — the daemon's periodic ticker and graceful
+// shutdown path. All streams are attempted; the first error is returned.
+func (r *Registry) CheckpointAll() error {
+	r.mu.Lock()
+	entries := make([]*Stream, 0, len(r.resident))
+	for _, e := range r.resident {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	var firstErr error
+	for _, e := range entries {
+		if _, err := r.checkpointStream(e, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Snapshot streams a stream's serialized state to w — from the live
+// backend when resident, straight from the snapshot file when
+// hibernated (no restore needed to take a backup of a cold tenant).
+func (r *Registry) Snapshot(id string, w io.Writer) error {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.deleted {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if b := e.backend; b != nil {
+		sn, ok := b.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("registry: backend %s cannot snapshot", b.Name())
+		}
+		return sn.Snapshot(w)
+	}
+	if e.path == "" {
+		return fmt.Errorf("registry: stream %q has no snapshot path", e.id)
+	}
+	f, err := os.Open(e.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = io.Copy(w, f)
+	return err
+}
+
+// Info is a point-in-time description of one stream.
+type Info struct {
+	ID           string `json:"id"`
+	Resident     bool   `json:"resident"`
+	Algo         string `json:"algo,omitempty"`
+	K            int    `json:"k,omitempty"`
+	Dim          int    `json:"dim,omitempty"`
+	Count        int64  `json:"count"`
+	PointsStored int    `json:"points_stored"`
+	LastAccess   int64  `json:"last_access_unix"`
+}
+
+// Stat describes one stream without changing its residency; statting a
+// cold stream keeps it cold.
+func (r *Registry) Stat(id string) (Info, error) {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return Info{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return e.info(), nil
+}
+
+// List describes every stream, sorted by id. Cold streams report the
+// metadata captured at hibernation (or boot Peek) time.
+func (r *Registry) List() []Info {
+	r.mu.Lock()
+	entries := make([]*Stream, 0, len(r.streams))
+	for _, e := range r.streams {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]Info, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats summarizes the registry for the /stats endpoint.
+type Stats struct {
+	Streams    int                        `json:"streams"`
+	Resident   int                        `json:"resident"`
+	Hibernated int                        `json:"hibernated"`
+	Registry   metrics.RegistrySnapshot   `json:"lifecycle"`
+	Checkpoint metrics.CheckpointSnapshot `json:"checkpoint"`
+}
+
+// Stats captures current gauge values and lifecycle counters.
+func (r *Registry) Stats() Stats {
+	r.mu.Lock()
+	total, res := len(r.streams), len(r.resident)
+	r.mu.Unlock()
+	return Stats{
+		Streams:    total,
+		Resident:   res,
+		Hibernated: total - res,
+		Registry:   r.stats.Snapshot(),
+		Checkpoint: r.checkpoint.Snapshot(),
+	}
+}

@@ -1,4 +1,4 @@
-// Package server exposes a streaming clusterer over HTTP — the
+// Package server exposes streaming clusterers over HTTP — the
 // query-serving layer the paper's fast-query algorithms exist for: a
 // stream can be ingested continuously while clients query current
 // centers, because CC/RCC/OnlineCC (and the cached-centers fast path in
@@ -6,51 +6,72 @@
 //
 // # Architecture
 //
-// The server is algorithm-agnostic: it serves anything satisfying the
-// small Clusterer interface ([][]float64 in, [][]float64 out), so
-// windowed or decayed variants (e.g. sliding-window clustering à la
-// Braverman et al.) can slot in without touching the HTTP layer. In the
-// shipped daemon (cmd/streamkmd) the implementation is
+// Two servers share one handler toolkit. Server hosts a single backend
+// behind the original endpoint set. Multi hosts many independent named
+// streams behind /streams/{id}/..., routing every request through an
+// internal/registry.Registry: streams are created lazily on first
+// ingest (or explicitly via PUT), at most MaxResident of them hold a
+// live backend at once, and the least-recently-used beyond that bound —
+// or idle past a TTL — is hibernated: checkpointed to its per-stream
+// snapshot file and dropped from RAM, then restored transparently on
+// its next request. Per-stream state is a coreset, polylogarithmic in
+// the stream, so tenant density is the point: thousands of streams fit
+// one daemon, and cold ones cost nothing.
+//
+// Both servers are algorithm-agnostic: they serve anything satisfying
+// the small Clusterer interface ([][]float64 in, [][]float64 out), so
+// windowed or decayed variants can slot in without touching the HTTP
+// layer. In the shipped daemon (cmd/streamkmd) the backend is
 // streamkm.Concurrent: P-way sharded ingest with per-shard locks and a
-// read-mostly centers cache, so ingest handlers running on different
-// shards do not contend and query handlers rarely leave the cache.
+// read-mostly centers cache.
 //
-// Endpoints:
+// Multi endpoints:
 //
-//	POST /ingest    ndjson stream of points; each value is either a JSON
-//	                array [x1,...,xd] (weight 1) or {"p":[...],"w":2.5}.
-//	                Points are applied in batches under one shard lock.
-//	                Responds {"ingested":n,"count":total}.
-//	GET  /centers   current k centers (cached fast path); ?refresh=1
-//	                forces recomputation when the backend supports it.
-//	GET  /stats     counts, memory, cache hit ratio, checkpoint counters,
-//	                and per-endpoint latency/throughput counters
-//	                (internal/metrics).
-//	GET  /snapshot  streams the backend's serialized state
-//	                (application/octet-stream) for off-box backup, when
-//	                the backend implements Snapshotter.
-//	POST /snapshot  checkpoints the state to the configured SnapshotPath
-//	                with an atomic temp-file + fsync + rename write;
-//	                responds {"path","bytes","count"}.
-//	GET  /healthz   liveness probe.
+//	POST   /streams/{id}/ingest    ndjson points into the named stream,
+//	                               created lazily on first ingest; each
+//	                               value is a JSON array [x1,...,xd]
+//	                               (weight 1) or {"p":[...],"w":2.5}.
+//	GET    /streams/{id}/centers   current k centers (cached fast path);
+//	                               ?refresh=1 forces recomputation;
+//	                               restores a hibernated stream lazily.
+//	GET    /streams/{id}/stats     per-stream facts (count, residency,
+//	                               memory); never warms a cold stream.
+//	GET    /streams/{id}/snapshot  the stream's serialized state; served
+//	                               from its file when hibernated.
+//	POST   /streams/{id}/snapshot  checkpoint the stream to its file.
+//	PUT    /streams/{id}           explicit create with JSON config
+//	                               {"algo","k","dim"} (409 if taken).
+//	DELETE /streams/{id}           remove the stream and its snapshot.
+//	GET    /streams                list all streams, resident or cold.
+//	GET    /stats                  registry-wide: stream counts (total /
+//	                               resident / hibernated), lifecycle
+//	                               counters (evictions, restores, ...),
+//	                               checkpoint and per-endpoint counters.
+//	GET    /healthz                liveness probe.
 //
-// The first ingested point fixes the stream dimension unless the server
-// was configured with one; subsequent mismatches are rejected with 400
-// before touching the clusterer, keeping the shards dimension-consistent.
+// The pre-registry single-stream endpoints (POST /ingest, GET /centers,
+// GET/POST /snapshot) remain mounted as aliases for a configurable
+// default stream, so existing clients work unchanged.
+//
+// Each stream adopts the dimension of its first ingested point (unless
+// configured); subsequent mismatches are rejected with 400 before
+// touching the clusterer. Ingest requests are bounded: bodies beyond
+// MaxBodyBytes and requests carrying more than MaxPoints points are cut
+// off with 413 instead of read unboundedly.
 //
 // # Durability
 //
 // Checkpointing rides the same smallness argument that makes queries
-// fast: the coreset state is polylogarithmic in the stream, so
-// serializing it (internal/persist's versioned, checksummed envelope;
-// the sharded variant captures all P shard summaries, the round-robin
-// cursor and the cached-centers entry in one consistent cut) costs
-// milliseconds, and a restarted daemon resumes without replaying the
-// stream. WriteCheckpoint backs both POST /snapshot and the daemon's
-// periodic ticker, so every checkpoint shows up in the same /stats
-// counters. The crash-recovery integration suite (recovery_test.go)
-// asserts kill-and-restart equivalence end to end for CT, CC, RCC and
-// OnlineCC backends.
+// fast: serializing a coreset (internal/persist's versioned, checksummed
+// envelope) costs milliseconds, so hibernation, periodic checkpoints and
+// crash recovery all reuse one mechanism. Every write is atomic (temp
+// file + fsync + rename via persist.WriteFileAtomic); a crash mid-write
+// never corrupts the previous snapshot. A restarted daemon re-registers
+// every snapshot in its data directory without loading any of them
+// (persist.PeekSharded reads just the metadata), so boot cost is O(#
+// streams), not O(points). The crash-recovery suites (recovery_test.go,
+// tenant_e2e_test.go) assert kill-and-restart equivalence end to end,
+// including 50+ tenants churning through eviction and lazy restore.
 //
 // Request accounting uses metrics.EndpointStats: a few atomic adds per
 // request, no locks on the hot path.

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Ingest hardening defaults. A request is refused with 413 once its body
+// exceeds the byte cap or carries more points than the point cap —
+// before the excess is buffered or applied — so a single client cannot
+// make the daemon read unboundedly. Both caps are configurable;
+// a negative configured value disables the cap.
+const (
+	defaultMaxBodyBytes = 64 << 20 // 64 MiB per ingest request
+	defaultMaxPoints    = 1 << 20  // ~1M points per ingest request
+)
+
+// resolveLimit maps a configured cap to its effective value: 0 selects
+// the default, negative disables (0 means "no limit" internally).
+func resolveLimit(v, def int64) int64 {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// limitBody wraps an ingest request body with http.MaxBytesReader when a
+// byte cap applies; exceeding it surfaces as *http.MaxBytesError from
+// the decoder and closes the connection after the 413.
+func limitBody(w http.ResponseWriter, r *http.Request, max int64) io.Reader {
+	if max <= 0 {
+		return r.Body
+	}
+	return http.MaxBytesReader(w, r.Body, max)
+}
+
+// runIngest streams ndjson points out of body and applies them to c in
+// batches of maxBatch points (one AddBatch — one shard-lock acquisition
+// — per batch). checkDim vets every point's dimension. On any failure it
+// stops, keeps what was already applied, and returns the HTTP status and
+// message to report alongside the applied count; status 0 means the
+// whole body was ingested. Shared by the single-stream server and the
+// multi-tenant per-stream handlers.
+func runIngest(body io.Reader, maxBatch int, maxPoints int64, c Clusterer, checkDim func([]float64) error) (ingested int64, status int, msg string) {
+	dec := json.NewDecoder(body)
+	batch := make([][]float64, 0, maxBatch)
+	flush := func() {
+		if len(batch) > 0 {
+			c.AddBatch(batch)
+			ingested += int64(len(batch))
+			batch = batch[:0]
+		}
+	}
+	fail := func(st int, format string, args ...interface{}) (int64, int, string) {
+		flush()
+		return ingested, st, fmt.Sprintf(format, args...)
+	}
+	for {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				return fail(http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", mbe.Limit)
+			}
+			// Note: the applied count lives in the response's "ingested"
+			// field; don't embed it in the message, it predates the flush.
+			return fail(http.StatusBadRequest, "malformed ingest body: %v", err)
+		}
+		if maxPoints > 0 && ingested+int64(len(batch)) >= maxPoints {
+			return fail(http.StatusRequestEntityTooLarge,
+				"request exceeds %d points per request", maxPoints)
+		}
+		p, weight, err := parsePoint(raw)
+		if err != nil {
+			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
+		}
+		if err := checkDim(p); err != nil {
+			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
+		}
+		if weight != 1 {
+			wa, ok := c.(WeightedAdder)
+			if !ok {
+				return fail(http.StatusBadRequest, "backend %s does not accept weighted points", c.Name())
+			}
+			flush()
+			wa.AddWeighted(p, weight)
+			ingested++
+			continue
+		}
+		batch = append(batch, p)
+		if len(batch) == maxBatch {
+			flush()
+		}
+	}
+	flush()
+	return ingested, 0, ""
+}

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"streamkm"
+)
+
+// The single-stream server enforces the same ingest request caps as the
+// multi-tenant one (they share runIngest); these tests pin the 413
+// behavior on the legacy surface.
+
+func newLimitedServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	c, err := streamkm.NewConcurrent(streamkm.AlgoCC, 2, streamkm.Config{K: 3, BucketSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.K = 3
+	ts := httptest.NewServer(New(c, cfg).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestIngestBodyLimit413(t *testing.T) {
+	ts := newLimitedServer(t, Config{MaxBodyBytes: 64})
+	resp, m := postIngest(t, ts, ndjson(100, 2, 1))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413 (%v)", resp.StatusCode, m)
+	}
+	if _, ok := m["ingested"]; !ok {
+		t.Fatalf("413 response lacks the applied count: %v", m)
+	}
+}
+
+func TestIngestPointLimit413(t *testing.T) {
+	ts := newLimitedServer(t, Config{MaxPoints: 8, MaxBatch: 4})
+	resp, m := postIngest(t, ts, ndjson(40, 2, 1))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("too-many-points status %d, want 413 (%v)", resp.StatusCode, m)
+	}
+	if n := m["ingested"].(float64); n > 8 {
+		t.Fatalf("applied %v points past the cap of 8", n)
+	}
+}
+
+func TestIngestLimitsDisabled(t *testing.T) {
+	// Negative caps disable the guards entirely.
+	ts := newLimitedServer(t, Config{MaxBodyBytes: -1, MaxPoints: -1})
+	resp, m := postIngest(t, ts, ndjson(2000, 2, 1))
+	if resp.StatusCode != http.StatusOK || m["ingested"].(float64) != 2000 {
+		t.Fatalf("uncapped ingest: %d %v", resp.StatusCode, m)
+	}
+}
+
+func TestIngestUnderDefaultLimitsUnaffected(t *testing.T) {
+	ts := newLimitedServer(t, Config{})
+	resp, m := postIngest(t, ts, ndjson(500, 2, 1))
+	if resp.StatusCode != http.StatusOK || m["ingested"].(float64) != 500 {
+		t.Fatalf("default-capped ingest: %d %v", resp.StatusCode, m)
+	}
+}

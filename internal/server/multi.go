@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"streamkm/internal/metrics"
+	"streamkm/internal/registry"
+)
+
+// MultiConfig configures a Multi server.
+type MultiConfig struct {
+	// DefaultStream is the stream the legacy single-stream endpoints
+	// (POST /ingest, GET /centers, GET/POST /snapshot) alias, so
+	// pre-multi-tenant clients keep working unchanged. Default "default".
+	DefaultStream string
+	// MaxBatch caps how many points are applied to a backend per
+	// AddBatch call while streaming an ingest body. Default 512.
+	MaxBatch int
+	// MaxBodyBytes / MaxPoints are the per-request ingest caps, as in
+	// Config (413 beyond; 0 = defaults, negative = uncapped).
+	MaxBodyBytes int64
+	MaxPoints    int64
+}
+
+// Multi serves many independent streams from one process, routing
+// /streams/{id}/... requests through a registry.Registry: streams are
+// created lazily on first ingest (or explicitly via PUT), hibernated to
+// disk when cold, and restored transparently on access. Create with
+// NewMulti, mount via Handler. All handlers are safe for concurrent use.
+type Multi struct {
+	reg   *registry.Registry
+	cfg   MultiConfig
+	start time.Time
+	mux   *http.ServeMux
+
+	ingestStats   metrics.EndpointStats
+	centersStats  metrics.EndpointStats
+	statsStats    metrics.EndpointStats
+	snapshotStats metrics.EndpointStats
+	adminStats    metrics.EndpointStats
+}
+
+// NewMulti builds a multi-stream server over reg.
+func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
+	if cfg.DefaultStream == "" {
+		cfg.DefaultStream = "default"
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	cfg.MaxBodyBytes = resolveLimit(cfg.MaxBodyBytes, defaultMaxBodyBytes)
+	cfg.MaxPoints = resolveLimit(cfg.MaxPoints, defaultMaxPoints)
+	m := &Multi{reg: reg, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
+
+	m.mux.Handle("POST /streams/{id}/ingest", record(&m.ingestStats, m.byID(m.handleIngest)))
+	m.mux.Handle("GET /streams/{id}/centers", record(&m.centersStats, m.byID(m.handleCenters)))
+	m.mux.Handle("GET /streams/{id}/stats", record(&m.statsStats, m.byID(m.handleStreamStats)))
+	m.mux.Handle("GET /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotGet)))
+	m.mux.Handle("POST /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotPost)))
+	m.mux.Handle("PUT /streams/{id}", record(&m.adminStats, m.byID(m.handleCreate)))
+	m.mux.Handle("DELETE /streams/{id}", record(&m.adminStats, m.byID(m.handleDelete)))
+	m.mux.Handle("GET /streams", record(&m.adminStats, m.handleList))
+	m.mux.Handle("GET /stats", record(&m.statsStats, m.handleRegistryStats))
+
+	// Single-stream aliases: the pre-registry API, routed at the default
+	// stream.
+	alias := func(h func(string, http.ResponseWriter, *http.Request) (int64, bool)) handled {
+		return func(w http.ResponseWriter, r *http.Request) (int64, bool) {
+			return h(m.cfg.DefaultStream, w, r)
+		}
+	}
+	m.mux.Handle("POST /ingest", record(&m.ingestStats, alias(m.handleIngest)))
+	m.mux.Handle("GET /centers", record(&m.centersStats, alias(m.handleCenters)))
+	m.mux.Handle("GET /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotGet)))
+	m.mux.Handle("POST /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotPost)))
+	m.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return m
+}
+
+// Handler returns the routing handler for the server's endpoints.
+func (m *Multi) Handler() http.Handler { return m.mux }
+
+// Registry returns the underlying stream registry (for daemon lifecycle
+// hooks: checkpoint tickers, TTL sweeps, shutdown flushes).
+func (m *Multi) Registry() *registry.Registry { return m.reg }
+
+// byID adapts a per-stream handler to the mux, extracting {id}.
+func (m *Multi) byID(h func(string, http.ResponseWriter, *http.Request) (int64, bool)) handled {
+	return func(w http.ResponseWriter, r *http.Request) (int64, bool) {
+		return h(r.PathValue("id"), w, r)
+	}
+}
+
+// statusFor maps registry errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, registry.ErrExists):
+		return http.StatusConflict
+	case errors.Is(err, registry.ErrInvalidID):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), map[string]interface{}{"error": err.Error()})
+}
+
+// handleIngest streams points into the named stream, creating it lazily
+// (with the registry's default configuration) on first ingest — the
+// zero-ceremony tenant onboarding path.
+func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	// Buffer the (byte-capped) body before entering the registry: decoding
+	// straight off the socket would hold the stream's read lock for the
+	// lifetime of a slow upload, stalling hibernation, checkpoints and —
+	// through the RWMutex's writer preference — every other request to the
+	// same stream.
+	raw, err := io.ReadAll(limitBody(w, r, m.cfg.MaxBodyBytes))
+	if err != nil {
+		status, msg := http.StatusBadRequest, fmt.Sprintf("read ingest body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			status = http.StatusRequestEntityTooLarge
+			msg = fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)
+		}
+		writeJSON(w, status, map[string]interface{}{
+			"error":    msg,
+			"stream":   id,
+			"ingested": 0,
+		})
+		return 0, true
+	}
+	// Vet the first record before touching the registry: lazy creation
+	// must not register (and later checkpoint) a tenant for a body that
+	// cannot ingest anything — a typo'd id or a malformed-body spray
+	// would otherwise pollute the stream map and the data dir forever.
+	probe := json.NewDecoder(bytes.NewReader(raw))
+	var first json.RawMessage
+	create := true
+	if err := probe.Decode(&first); err != nil {
+		if !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+				"error":    fmt.Sprintf("malformed ingest body: %v", err),
+				"stream":   id,
+				"ingested": 0,
+			})
+			return 0, true
+		}
+		create = false // empty body never creates a stream
+	} else if _, _, err := parsePoint(first); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+			"error":    fmt.Sprintf("point 0: %v", err),
+			"stream":   id,
+			"ingested": 0,
+		})
+		return 0, true
+	}
+
+	body := bytes.NewReader(raw)
+	var (
+		ingested int64
+		status   int
+		msg      string
+		count    int64
+	)
+	err = m.reg.With(id, create, func(s *registry.Stream, b registry.Backend) error {
+		ingested, status, msg = runIngest(body, m.cfg.MaxBatch, m.cfg.MaxPoints, b, s.CheckDim)
+		count = b.Count()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	if status != 0 {
+		writeJSON(w, status, map[string]interface{}{
+			"error":    msg,
+			"stream":   id,
+			"ingested": ingested,
+		})
+		return ingested, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":   id,
+		"ingested": ingested,
+		"count":    count,
+	})
+	return ingested, false
+}
+
+// handleCenters answers a clustering query against the named stream,
+// restoring it from disk first when hibernated. Unknown streams are 404
+// — a query never creates a tenant.
+func (m *Multi) handleCenters(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	refresh, _ := strconv.ParseBool(r.URL.Query().Get("refresh"))
+	var (
+		centers [][]float64
+		count   int64
+		k       int
+		algo    string
+	)
+	err := m.reg.With(id, false, func(s *registry.Stream, b registry.Backend) error {
+		if rf, ok := b.(Refresher); ok && refresh {
+			centers = rf.Refresh()
+		} else {
+			centers = b.Centers()
+		}
+		count = b.Count()
+		k = s.Config().K
+		algo = b.Name()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	if centers == nil {
+		centers = [][]float64{}
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":  id,
+		"algo":    algo,
+		"k":       k,
+		"count":   count,
+		"centers": centers,
+	})
+	return int64(len(centers)), false
+}
+
+// handleStreamStats describes one stream without changing its residency:
+// statting a hibernated tenant keeps it hibernated.
+func (m *Multi) handleStreamStats(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	in, err := m.reg.Stat(id)
+	if err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":           in.ID,
+		"resident":         in.Resident,
+		"algo":             in.Algo,
+		"k":                in.K,
+		"dim":              in.Dim,
+		"count":            in.Count,
+		"points_stored":    in.PointsStored,
+		"memory_mb":        metrics.MemoryMB(in.PointsStored, in.Dim),
+		"last_access_unix": in.LastAccess,
+	})
+	return 0, false
+}
+
+// handleSnapshotGet streams the named stream's serialized state —
+// straight from its snapshot file when hibernated, so backing up a cold
+// tenant does not warm it.
+func (m *Multi) handleSnapshotGet(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	var buf bytes.Buffer
+	if err := m.reg.Snapshot(id, &buf); err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	n, err := io.Copy(w, &buf)
+	return n, err != nil
+}
+
+// handleSnapshotPost checkpoints the named stream to its per-stream
+// snapshot file. For a hibernated stream this is a no-op success: its
+// file already holds the state.
+func (m *Multi) handleSnapshotPost(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	n, err := m.reg.Checkpoint(id)
+	if err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	in, _ := m.reg.Stat(id)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream": id,
+		"bytes":  n,
+		"count":  in.Count,
+	})
+	return n, false
+}
+
+// handleCreate registers a stream with an explicit configuration:
+// {"algo":"CC","k":10,"dim":0}, every field optional (zero values fall
+// back to the registry default). 409 if the id is taken.
+func (m *Multi) handleCreate(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	var cfg registry.StreamConfig
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&cfg); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+				"error": fmt.Sprintf("malformed stream config: %v", err),
+			})
+			return 0, true
+		}
+	}
+	if err := m.reg.Create(id, cfg); err != nil {
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			// A failed factory build means the submitted config was bad
+			// (unknown algorithm, invalid k, ...): the client's fault.
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]interface{}{"error": err.Error()})
+		return 0, true
+	}
+	in, _ := m.reg.Stat(id)
+	writeJSON(w, http.StatusCreated, in)
+	return 1, false
+}
+
+// handleDelete removes a stream and its on-disk snapshot.
+func (m *Multi) handleDelete(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	if err := m.reg.Delete(id); err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": id})
+	return 1, false
+}
+
+// handleList enumerates every registered stream, resident or not.
+func (m *Multi) handleList(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	infos := m.reg.List()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"streams": infos,
+		"total":   len(infos),
+	})
+	return int64(len(infos)), false
+}
+
+// handleRegistryStats reports the registry-wide picture: how many
+// streams exist, how many are resident versus hibernated, lifecycle
+// counters (evictions, restores, ...), checkpoint counters, and
+// per-endpoint request accounting.
+func (m *Multi) handleRegistryStats(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	st := m.reg.Stats()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"streams": map[string]int{
+			"total":      st.Streams,
+			"resident":   st.Resident,
+			"hibernated": st.Hibernated,
+		},
+		"lifecycle":           st.Registry,
+		"checkpoint":          st.Checkpoint,
+		"uptime_s":            time.Since(m.start).Seconds(),
+		"ingest_points_per_s": m.ingestStats.Throughput(m.start),
+		"endpoints": map[string]metrics.EndpointSnapshot{
+			"ingest":   m.ingestStats.Snapshot(),
+			"centers":  m.centersStats.Snapshot(),
+			"stats":    m.statsStats.Snapshot(),
+			"snapshot": m.snapshotStats.Snapshot(),
+			"admin":    m.adminStats.Snapshot(),
+		},
+	})
+	return 0, false
+}

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"streamkm"
+	"streamkm/internal/persist"
+	"streamkm/internal/registry"
+)
+
+// streamkmRegistry wires a registry to real streamkm.Concurrent backends
+// — the production pairing the daemon uses.
+func streamkmRegistry(t testing.TB, cfg registry.Config) *registry.Registry {
+	t.Helper()
+	if cfg.Default == (registry.StreamConfig{}) {
+		cfg.Default = registry.StreamConfig{Algo: "CC", K: 3}
+	}
+	base := streamkm.Config{BucketSize: 20, Seed: 7}
+	cfg.New = func(id string, sc registry.StreamConfig) (registry.Backend, error) {
+		c := base
+		c.K = sc.K
+		return streamkm.NewConcurrent(streamkm.Algo(sc.Algo), 2, c)
+	}
+	cfg.Restore = func(id string, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+		c, err := streamkm.NewConcurrentFromSnapshot(r, streamkm.Config{Seed: base.Seed})
+		if err != nil {
+			return nil, registry.StreamConfig{}, err
+		}
+		return c, registry.StreamConfig{Algo: string(c.Algo()), K: c.K(), Dim: c.Dim()}, nil
+	}
+	cfg.Peek = func(r io.Reader) (registry.StreamConfig, int64, error) {
+		algo, k, dim, count, err := persist.PeekSharded(r)
+		return registry.StreamConfig{Algo: algo, K: k, Dim: dim}, count, err
+	}
+	reg, err := registry.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func newMultiServer(t testing.TB, regCfg registry.Config, cfg MultiConfig) (*httptest.Server, *Multi) {
+	t.Helper()
+	m := NewMulti(streamkmRegistry(t, regCfg), cfg)
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+func pointsNDJSON(pts [][]float64) string {
+	var b strings.Builder
+	for _, p := range pts {
+		b.WriteByte('[')
+		for j, x := range p {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%v", x)
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+func TestMultiLazyIngestAndCenters(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{}, MultiConfig{})
+
+	resp, err := http.Post(ts.URL+"/streams/t1/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(600, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]interface{}
+	decodeJSON(t, resp, &body)
+	if resp.StatusCode != 200 || body["ingested"].(float64) != 600 || body["stream"] != "t1" {
+		t.Fatalf("lazy ingest: status %d body %v", resp.StatusCode, body)
+	}
+
+	resp, m := getJSON(t, ts.URL+"/streams/t1/centers")
+	if resp.StatusCode != 200 {
+		t.Fatalf("centers status %d: %v", resp.StatusCode, m)
+	}
+	if cs := m["centers"].([]interface{}); len(cs) != 3 {
+		t.Fatalf("%d centers, want 3", len(cs))
+	}
+	if m["count"].(float64) != 600 || m["stream"] != "t1" {
+		t.Fatalf("centers response %v", m)
+	}
+
+	// Queries never create tenants; bad ids are rejected up front.
+	resp, _ = getJSON(t, ts.URL+"/streams/nope/centers")
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown stream centers status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/streams/..%2Fetc/ingest", "application/x-ndjson",
+		strings.NewReader("[1,2]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 && resp.StatusCode != 404 {
+		t.Fatalf("traversal id status %d, want 400/404", resp.StatusCode)
+	}
+}
+
+func decodeJSON(t *testing.T, resp *http.Response, v interface{}) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+}
+
+func TestMultiRootAliasesDefaultStream(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{}, MultiConfig{})
+	resp, m := postIngest(t, ts, ndjson(100, 2, 3))
+	if resp.StatusCode != 200 || m["ingested"].(float64) != 100 {
+		t.Fatalf("alias ingest %d %v", resp.StatusCode, m)
+	}
+	// The same points are visible through the explicit default route.
+	resp, m = getJSON(t, ts.URL+"/streams/default/centers")
+	if resp.StatusCode != 200 || m["count"].(float64) != 100 {
+		t.Fatalf("default stream centers %d %v", resp.StatusCode, m)
+	}
+	resp, m = getJSON(t, ts.URL+"/centers")
+	if resp.StatusCode != 200 || m["count"].(float64) != 100 {
+		t.Fatalf("alias centers %d %v", resp.StatusCode, m)
+	}
+}
+
+func TestMultiExplicitCreateAndDelete(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{DataDir: t.TempDir()}, MultiConfig{})
+	put := func(id, body string) *http.Response {
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/streams/"+id, strings.NewReader(body))
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := put("custom", `{"algo":"RCC","k":5}`)
+	var in registry.Info
+	decodeJSON(t, resp, &in)
+	if resp.StatusCode != 201 || in.Algo != "RCC" || in.K != 5 || !in.Resident {
+		t.Fatalf("create: %d %+v", resp.StatusCode, in)
+	}
+	resp = put("custom", `{"algo":"CC","k":2}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 409 {
+		t.Fatalf("duplicate create status %d, want 409", resp.StatusCode)
+	}
+	resp = put("bogus", `{"algo":"NoSuchAlgo","k":2}`)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad algo create status %d, want 400", resp.StatusCode)
+	}
+
+	// The created stream answers with its own k.
+	resp, err := http.Post(ts.URL+"/streams/custom/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(400, 2, 5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	_, m := getJSON(t, ts.URL+"/streams/custom/centers")
+	if cs := m["centers"].([]interface{}); len(cs) != 5 {
+		t.Fatalf("custom stream answered %d centers, want 5", len(cs))
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/streams/custom", nil)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp, _ = getJSON(t, ts.URL+"/streams/custom/centers")
+	if resp.StatusCode != 404 {
+		t.Fatalf("deleted stream centers status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestMultiListAndStats(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{DataDir: t.TempDir(), MaxResident: 2}, MultiConfig{})
+	for _, id := range []string{"a", "b", "c"} {
+		resp, err := http.Post(ts.URL+"/streams/"+id+"/ingest", "application/x-ndjson",
+			strings.NewReader(ndjson(50, 2, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(2 * time.Millisecond) // distinct LRU timestamps
+	}
+
+	resp, m := getJSON(t, ts.URL+"/streams")
+	if resp.StatusCode != 200 || m["total"].(float64) != 3 {
+		t.Fatalf("list %d %v", resp.StatusCode, m)
+	}
+
+	resp, m = getJSON(t, ts.URL+"/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stats status %d", resp.StatusCode)
+	}
+	streams := m["streams"].(map[string]interface{})
+	if streams["total"].(float64) != 3 || streams["resident"].(float64) != 2 || streams["hibernated"].(float64) != 1 {
+		t.Fatalf("registry stats %v", streams)
+	}
+	life := m["lifecycle"].(map[string]interface{})
+	if life["evictions"].(float64) < 1 {
+		t.Fatalf("no evictions recorded: %v", life)
+	}
+
+	// Per-stream stat of the hibernated tenant must not warm it.
+	resp, m = getJSON(t, ts.URL+"/streams/a/stats")
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream stats status %d", resp.StatusCode)
+	}
+	if m["resident"].(bool) {
+		t.Fatalf("expected a hibernated after LRU eviction: %v", m)
+	}
+	if m["count"].(float64) != 50 {
+		t.Fatalf("hibernated stat count %v, want 50", m["count"])
+	}
+	resp, m = getJSON(t, ts.URL+"/streams/a/stats")
+	if m["resident"].(bool) {
+		t.Fatal("statting a cold stream warmed it")
+	}
+
+	// Querying it restores it — and the count survived the round trip.
+	resp, m = getJSON(t, ts.URL+"/streams/a/centers")
+	if resp.StatusCode != 200 || m["count"].(float64) != 50 {
+		t.Fatalf("restored centers %d %v", resp.StatusCode, m)
+	}
+}
+
+func TestMultiSnapshotEndpoints(t *testing.T) {
+	dir := t.TempDir()
+	ts, m := newMultiServer(t, registry.Config{DataDir: dir}, MultiConfig{})
+	resp, err := http.Post(ts.URL+"/streams/s1/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(120, 2, 9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Post(ts.URL+"/streams/s1/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]interface{}
+	decodeJSON(t, resp, &body)
+	if resp.StatusCode != 200 || body["bytes"].(float64) <= 0 {
+		t.Fatalf("snapshot post %d %v", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(ts.URL + "/streams/s1/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(raw) == 0 {
+		t.Fatalf("snapshot get %d (%d bytes)", resp.StatusCode, len(raw))
+	}
+	// The download restores into an equivalent clusterer.
+	c, err := streamkm.NewConcurrentFromSnapshot(bytes.NewReader(raw), streamkm.Config{Seed: 3})
+	if err != nil {
+		t.Fatalf("downloaded snapshot does not restore: %v", err)
+	}
+	if c.Count() != 120 {
+		t.Fatalf("downloaded snapshot count %d, want 120", c.Count())
+	}
+	_ = m
+}
+
+func TestMultiBadIngestDoesNotCreateStream(t *testing.T) {
+	ts, m := newMultiServer(t, registry.Config{}, MultiConfig{})
+	for _, body := range []string{"not json\n", `{"p":"nope"}`, ""} {
+		resp, err := http.Post(ts.URL+"/streams/junk/ingest", "application/x-ndjson",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("body %q: status 200, want an error", body)
+		}
+	}
+	// None of the rejected bodies may have registered a tenant.
+	if infos := m.Registry().List(); len(infos) != 0 {
+		t.Fatalf("rejected ingests created streams: %+v", infos)
+	}
+	// An empty body against an existing stream is still a harmless no-op.
+	seed, err := http.Post(ts.URL+"/streams/real/ingest", "application/x-ndjson",
+		strings.NewReader(pointsNDJSON([][]float64{{1, 2}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, seed.Body)
+	seed.Body.Close()
+	if seed.StatusCode != http.StatusOK {
+		t.Fatalf("seeding stream: status %d", seed.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+"/streams/real/ingest", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]interface{}
+	decodeJSON(t, resp, &out)
+	if resp.StatusCode != http.StatusOK || out["ingested"].(float64) != 0 {
+		t.Fatalf("empty body on existing stream: status %d body %v", resp.StatusCode, out)
+	}
+}
+
+func TestMultiIngestBodyLimit413(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{}, MultiConfig{MaxBodyBytes: 64})
+	resp, err := http.Post(ts.URL+"/streams/t/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(100, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]interface{}
+	decodeJSON(t, resp, &body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status %d, want 413 (%v)", resp.StatusCode, body)
+	}
+}
+
+func TestMultiIngestPointLimit413(t *testing.T) {
+	ts, _ := newMultiServer(t, registry.Config{}, MultiConfig{MaxPoints: 10, MaxBatch: 4})
+	resp, err := http.Post(ts.URL+"/streams/t/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(50, 2, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]interface{}
+	decodeJSON(t, resp, &body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("too-many-points status %d, want 413 (%v)", resp.StatusCode, body)
+	}
+	if n := body["ingested"].(float64); n > 10 {
+		t.Fatalf("applied %v points past the cap of 10", n)
+	}
+	// What was applied before the cap is kept, not rolled back.
+	_, m := getJSON(t, ts.URL+"/streams/t/centers")
+	if m["count"].(float64) != body["ingested"].(float64) {
+		t.Fatalf("stream count %v != acknowledged %v", m["count"], body["ingested"])
+	}
+}

@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"streamkm/internal/metrics"
+	"streamkm/internal/persist"
 )
 
 // Clusterer is the minimal surface the HTTP layer needs from a streaming
@@ -75,6 +75,13 @@ type Config struct {
 	// backend's state. Writes are atomic: temp file + fsync + rename, so
 	// a crash mid-checkpoint never corrupts the previous one.
 	SnapshotPath string
+	// MaxBodyBytes caps the size of one ingest request body; beyond it
+	// the request is refused with 413 instead of read unboundedly.
+	// 0 selects the 64 MiB default, negative disables the cap.
+	MaxBodyBytes int64
+	// MaxPoints caps how many points one ingest request may carry (413
+	// beyond). 0 selects the default (~1M), negative disables the cap.
+	MaxPoints int64
 }
 
 // Server serves a Clusterer over HTTP. Create with New, mount via
@@ -101,15 +108,17 @@ func New(c Clusterer, cfg Config) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 512
 	}
+	cfg.MaxBodyBytes = resolveLimit(cfg.MaxBodyBytes, defaultMaxBodyBytes)
+	cfg.MaxPoints = resolveLimit(cfg.MaxPoints, defaultMaxPoints)
 	s := &Server{c: c, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
 	if cfg.Dim > 0 {
 		s.dim.Store(int64(cfg.Dim))
 	}
-	s.mux.Handle("POST /ingest", s.record(&s.ingestStats, s.handleIngest))
-	s.mux.Handle("GET /centers", s.record(&s.centersStats, s.handleCenters))
-	s.mux.Handle("GET /stats", s.record(&s.statsStats, s.handleStats))
-	s.mux.Handle("GET /snapshot", s.record(&s.snapshotStats, s.handleSnapshotGet))
-	s.mux.Handle("POST /snapshot", s.record(&s.snapshotStats, s.handleSnapshotPost))
+	s.mux.Handle("POST /ingest", record(&s.ingestStats, s.handleIngest))
+	s.mux.Handle("GET /centers", record(&s.centersStats, s.handleCenters))
+	s.mux.Handle("GET /stats", record(&s.statsStats, s.handleStats))
+	s.mux.Handle("GET /snapshot", record(&s.snapshotStats, s.handleSnapshotGet))
+	s.mux.Handle("POST /snapshot", record(&s.snapshotStats, s.handleSnapshotPost))
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -125,7 +134,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 type handled func(w http.ResponseWriter, r *http.Request) (items int64, failed bool)
 
 // record wraps a handler with latency/throughput accounting.
-func (s *Server) record(st *metrics.EndpointStats, h handled) http.Handler {
+func record(st *metrics.EndpointStats, h handled) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
 		items, failed := h(w, r)
@@ -143,61 +152,19 @@ type ingestValue struct {
 }
 
 // handleIngest streams points out of the request body and applies them in
-// batches. On a malformed value or dimension mismatch it stops, keeps
-// what was already applied, and reports both the error and the applied
-// count.
+// batches. On a malformed value, dimension mismatch or exceeded request
+// cap it stops, keeps what was already applied, and reports both the
+// error and the applied count.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	dec := json.NewDecoder(r.Body)
-	var ingested int64
-	batch := make([][]float64, 0, s.cfg.MaxBatch)
-	flush := func() {
-		if len(batch) > 0 {
-			s.c.AddBatch(batch)
-			ingested += int64(len(batch))
-			batch = batch[:0]
-		}
-	}
-	fail := func(status int, format string, args ...interface{}) (int64, bool) {
-		flush()
+	body := limitBody(w, r, s.cfg.MaxBodyBytes)
+	ingested, status, msg := runIngest(body, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim)
+	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
-			"error":    fmt.Sprintf(format, args...),
+			"error":    msg,
 			"ingested": ingested,
 		})
 		return ingested, true
 	}
-	for {
-		var raw json.RawMessage
-		if err := dec.Decode(&raw); err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			// Note: the applied count lives in the response's "ingested"
-			// field; don't embed it in the message, it predates the flush.
-			return fail(http.StatusBadRequest, "malformed ingest body: %v", err)
-		}
-		p, weight, err := parsePoint(raw)
-		if err != nil {
-			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
-		}
-		if err := s.checkDim(p); err != nil {
-			return fail(http.StatusBadRequest, "point %d: %v", ingested+int64(len(batch)), err)
-		}
-		if weight != 1 {
-			wa, ok := s.c.(WeightedAdder)
-			if !ok {
-				return fail(http.StatusBadRequest, "backend %s does not accept weighted points", s.c.Name())
-			}
-			flush()
-			wa.AddWeighted(p, weight)
-			ingested++
-			continue
-		}
-		batch = append(batch, p)
-		if len(batch) == s.cfg.MaxBatch {
-			flush()
-		}
-	}
-	flush()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"ingested": ingested,
 		"count":    s.c.Count(),
@@ -356,43 +323,7 @@ func (s *Server) WriteCheckpoint() (int64, error) {
 }
 
 func (s *Server) writeCheckpointLocked(sn Snapshotter) (int64, error) {
-	tmp := s.cfg.SnapshotPath + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return 0, err
-	}
-	cw := &countingWriter{w: f}
-	if err := sn.Snapshot(cw); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, s.cfg.SnapshotPath); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	return cw.n, nil
-}
-
-// countingWriter counts bytes passed through to w.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (c *countingWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+	return persist.WriteFileAtomic(s.cfg.SnapshotPath, sn.Snapshot)
 }
 
 // handleStats reports stream, memory, cache and per-endpoint counters.

@@ -1,0 +1,159 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamkm/internal/registry"
+)
+
+// TestE2EManyTenantsEvictRestoreRestart is the headline multi-tenant
+// scenario: one daemon-equivalent server with room for only 8 resident
+// backends serves 56 concurrent streams. Cold tenants are hibernated to
+// per-stream snapshot files, queries lazily restore them, and after a
+// kill-and-restart from the data directory every tenant reports the same
+// count and an equivalent clustering cost. Run with -race.
+func TestE2EManyTenantsEvictRestoreRestart(t *testing.T) {
+	const (
+		tenants     = 56
+		maxResident = 8
+		perTenant   = 240
+		chunk       = 60
+		workers     = 8
+	)
+	dir := t.TempDir()
+	regCfg := registry.Config{DataDir: dir, MaxResident: maxResident}
+	reg := streamkmRegistry(t, regCfg)
+	ts := httptest.NewServer(NewMulti(reg, MultiConfig{MaxBatch: chunk}).Handler())
+
+	// Each tenant gets its own well-separated mixture, offset so tenants
+	// are distinguishable: cross-tenant state leakage would show up as a
+	// wildly wrong cost.
+	tenantID := func(i int) string { return fmt.Sprintf("tenant-%02d", i) }
+	tenantPoints := func(i int) [][]float64 {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		base := float64(i * 10)
+		centers := [][]float64{{base, 0}, {base + 500, 0}, {base, 500}}
+		out := make([][]float64, perTenant)
+		for j := range out {
+			c := centers[rng.Intn(len(centers))]
+			out[j] = []float64{c[0] + rng.NormFloat64(), c[1] + rng.NormFloat64()}
+		}
+		return out
+	}
+
+	// Concurrent ingest across all tenants, far more tenants than may be
+	// resident, so eviction churns while traffic flows.
+	var wg sync.WaitGroup
+	errs := make(chan error, tenants)
+	sem := make(chan struct{}, workers)
+	for i := 0; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pts := tenantPoints(i)
+			for off := 0; off < len(pts); off += chunk {
+				body := pointsNDJSON(pts[off : off+chunk])
+				resp, err := ts.Client().Post(ts.URL+"/streams/"+tenantID(i)+"/ingest",
+					"application/x-ndjson", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("tenant %d ingest status %d", i, resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := reg.Stats()
+	if st.Streams != tenants {
+		t.Fatalf("registered %d streams, want %d", st.Streams, tenants)
+	}
+	if st.Resident > maxResident {
+		t.Fatalf("%d resident streams, cap is %d", st.Resident, maxResident)
+	}
+	if st.Hibernated < tenants-maxResident {
+		t.Fatalf("only %d hibernated, want >= %d", st.Hibernated, tenants-maxResident)
+	}
+	if st.Registry.Evictions == 0 {
+		t.Fatal("no evictions under tenant pressure")
+	}
+
+	// Query every tenant: cold ones restore lazily; counts and costs are
+	// recorded as the pre-restart reference.
+	preCost := make([]float64, tenants)
+	queryTenant := func(srvURL string, i int) (int64, float64) {
+		resp, m := getJSON(t, srvURL+"/streams/"+tenantID(i)+"/centers")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tenant %d centers status %d", i, resp.StatusCode)
+		}
+		raw := m["centers"].([]interface{})
+		centers := make([][]float64, len(raw))
+		for ci, rc := range raw {
+			cs := rc.([]interface{})
+			centers[ci] = make([]float64, len(cs))
+			for j, x := range cs {
+				centers[ci][j] = x.(float64)
+			}
+		}
+		return int64(m["count"].(float64)), kmeansCost(tenantPoints(i), centers)
+	}
+	restoresBefore := reg.Stats().Registry.Restores
+	for i := 0; i < tenants; i++ {
+		count, cost := queryTenant(ts.URL, i)
+		if count != perTenant {
+			t.Fatalf("tenant %d count %d, want %d (eviction lost points)", i, count, perTenant)
+		}
+		preCost[i] = cost
+	}
+	if reg.Stats().Registry.Restores == restoresBefore {
+		t.Fatal("querying every tenant triggered no lazy restores")
+	}
+
+	// Kill and restart: flush resident state (the daemon's shutdown
+	// path), discard the whole process state, and boot a fresh registry
+	// from the data directory alone.
+	if err := reg.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	reg2 := streamkmRegistry(t, regCfg)
+	ts2 := httptest.NewServer(NewMulti(reg2, MultiConfig{MaxBatch: chunk}).Handler())
+	defer ts2.Close()
+
+	st2 := reg2.Stats()
+	if st2.Streams != tenants || st2.Resident != 0 {
+		t.Fatalf("restart: %d streams / %d resident, want %d / 0 (boot must stay cold)", st2.Streams, st2.Resident, tenants)
+	}
+	for i := 0; i < tenants; i++ {
+		count, cost := queryTenant(ts2.URL, i)
+		if count != perTenant {
+			t.Errorf("tenant %d count after restart %d, want %d", i, count, perTenant)
+		}
+		// Equivalent clustering quality within re-seeded query randomness.
+		if cost > 2*preCost[i] || preCost[i] > 2*cost {
+			t.Errorf("tenant %d cost after restart %v vs %v", i, cost, preCost[i])
+		}
+	}
+	if res := reg2.Stats().Resident; res > maxResident {
+		t.Fatalf("restart serving exceeded cap: %d resident > %d", res, maxResident)
+	}
+}

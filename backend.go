@@ -1,0 +1,487 @@
+package streamkm
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"streamkm/internal/decay"
+	"streamkm/internal/geom"
+	"streamkm/internal/persist"
+	"streamkm/internal/registry"
+	"streamkm/internal/window"
+)
+
+// This file is the serving layer's backend factory: every layer above the
+// library (registry, HTTP server, daemon, bench tooling) creates and
+// restores clustering backends through a BackendSpec instead of
+// hardcoding a concrete constructor, so a multi-tenant daemon can run
+// infinite-stream, forward-decay and sliding-window tenants side by side
+// — and every variant survives a restart through the same snapshot
+// machinery.
+
+// BackendType selects a serving-backend variant.
+type BackendType string
+
+// Available backend variants.
+const (
+	// BackendConcurrent is the infinite-stream default: sharded ingest
+	// with the cached-centers query fast path (Concurrent).
+	BackendConcurrent BackendType = "concurrent"
+	// BackendDecayed weights points with forward exponential decay —
+	// influence halves every HalfLife arrivals (internal/decay), the
+	// smooth answer to concept drift.
+	BackendDecayed BackendType = "decayed"
+	// BackendWindowed clusters only the last WindowN arrivals via a
+	// Braverman-style exponential histogram of coresets
+	// (internal/window), the hard-horizon answer to recency.
+	BackendWindowed BackendType = "windowed"
+)
+
+// BackendTypes lists every backend variant.
+func BackendTypes() []BackendType {
+	return []BackendType{BackendConcurrent, BackendDecayed, BackendWindowed}
+}
+
+// BackendSpec identifies one serving backend: the variant, the summary
+// structure, and the variant-specific knobs. Zero-valued fields select
+// defaults (Type concurrent, Algo CC, Shards GOMAXPROCS); HalfLife is
+// required for decayed backends and WindowN for windowed ones. The JSON
+// field names are the wire format PUT /streams/{id} accepts.
+type BackendSpec struct {
+	// Type selects the variant; empty means BackendConcurrent.
+	Type BackendType `json:"backend,omitempty"`
+	// Algo is the summary structure (CT, CC or RCC) for concurrent and
+	// decayed backends; ignored by windowed ones (their histogram is not
+	// built on the coreset tree). Empty means AlgoCC.
+	Algo Algo `json:"algo,omitempty"`
+	// K is the number of centers queries answer. Required (>= 1).
+	K int `json:"k,omitempty"`
+	// Dim is the expected point dimension; 0 adopts the first point's.
+	Dim int `json:"dim,omitempty"`
+	// Shards is the ingest parallelism (concurrent only; decayed and
+	// windowed backends serialize ingest behind one lock). 0 means
+	// GOMAXPROCS.
+	Shards int `json:"shards,omitempty"`
+	// HalfLife is the decay half-life in points (decayed only; > 0).
+	HalfLife float64 `json:"half_life,omitempty"`
+	// WindowN is the sliding-window length in points (windowed only;
+	// >= the coreset bucket size).
+	WindowN int64 `json:"window_n,omitempty"`
+}
+
+// Backend is a servable streaming clusterer: the registry/HTTP surface
+// (batch ingest, centers, counters) plus snapshot/restore and spec
+// introspection. Implementations are safe for concurrent use.
+type Backend interface {
+	// AddBatch observes a batch of unit-weight points.
+	AddBatch(pts [][]float64)
+	// AddWeighted observes one point carrying weight w > 0.
+	AddWeighted(p []float64, w float64)
+	// Centers returns the current cluster centers (copies).
+	Centers() [][]float64
+	// Count returns the number of points observed so far.
+	Count() int64
+	// PointsStored reports memory use in stored points.
+	PointsStored() int
+	// Name identifies the algorithm in reports.
+	Name() string
+	// Snapshot serializes the backend's complete logical state to w; the
+	// result restores via Restore with a matching (or zero) spec.
+	Snapshot(w io.Writer) error
+	// Spec reports the spec this backend was opened or restored with.
+	Spec() BackendSpec
+}
+
+// withDefaults materializes the spec's defaults and validates the
+// variant-specific knobs.
+func (s BackendSpec) withDefaults() (BackendSpec, error) {
+	if s.Type == "" {
+		s.Type = BackendConcurrent
+	}
+	if s.Algo == "" {
+		s.Algo = AlgoCC
+	}
+	if s.Shards < 1 {
+		s.Shards = runtime.GOMAXPROCS(0)
+	}
+	// Irrelevant knobs are rejected, not ignored: a stray half_life on a
+	// windowed spec would otherwise be recorded in the stream config,
+	// fail the PUT-vs-restore match on the next rehydration, and brick
+	// the tenant long after the PUT was acknowledged.
+	switch s.Type {
+	case BackendConcurrent:
+		if s.HalfLife != 0 || s.WindowN != 0 {
+			return s, fmt.Errorf("streamkm: concurrent backend takes neither half_life (%v) nor window_n (%d)", s.HalfLife, s.WindowN)
+		}
+	case BackendDecayed:
+		if s.HalfLife <= 0 {
+			return s, fmt.Errorf("streamkm: decayed backend requires half_life > 0, got %v", s.HalfLife)
+		}
+		if s.WindowN != 0 {
+			return s, fmt.Errorf("streamkm: decayed backend takes no window_n, got %d", s.WindowN)
+		}
+	case BackendWindowed:
+		if s.WindowN < 1 {
+			return s, fmt.Errorf("streamkm: windowed backend requires window_n >= 1, got %d", s.WindowN)
+		}
+		if s.HalfLife != 0 {
+			return s, fmt.Errorf("streamkm: windowed backend takes no half_life, got %v", s.HalfLife)
+		}
+	default:
+		return s, fmt.Errorf("streamkm: unknown backend type %q (want concurrent, decayed or windowed)", s.Type)
+	}
+	if s.Dim < 0 {
+		return s, fmt.Errorf("streamkm: backend dim must be >= 0, got %d", s.Dim)
+	}
+	return s, nil
+}
+
+// check compares a requested spec against the spec recovered from a
+// snapshot: every nonzero requested field must match, so a PUT that
+// declares "decayed, half-life 1000" can never silently resume a
+// concurrent (or differently tuned) snapshot. Shards is exempt — a
+// restored concurrent backend keeps the snapshot's shard count by design.
+func (s BackendSpec) check(got BackendSpec) error {
+	if s.Type != "" && s.Type != got.Type {
+		return fmt.Errorf("streamkm: snapshot holds a %s backend, spec wants %s", got.Type, s.Type)
+	}
+	if s.Algo != "" && got.Algo != "" && s.Algo != got.Algo {
+		return fmt.Errorf("streamkm: snapshot algo %s does not match spec algo %s", got.Algo, s.Algo)
+	}
+	if s.K != 0 && s.K != got.K {
+		return fmt.Errorf("streamkm: snapshot k=%d does not match spec k=%d", got.K, s.K)
+	}
+	if s.Dim > 0 && got.Dim > 0 && s.Dim != got.Dim {
+		return fmt.Errorf("streamkm: snapshot dimension %d does not match spec dim %d", got.Dim, s.Dim)
+	}
+	if s.HalfLife != 0 && s.HalfLife != got.HalfLife {
+		return fmt.Errorf("streamkm: snapshot half-life %v does not match spec half_life %v", got.HalfLife, s.HalfLife)
+	}
+	if s.WindowN != 0 && s.WindowN != got.WindowN {
+		return fmt.Errorf("streamkm: snapshot window %d does not match spec window_n %d", got.WindowN, s.WindowN)
+	}
+	return nil
+}
+
+// SpecFromStreamConfig maps the registry's wire-form stream
+// configuration onto a backend spec. shards is the serving layer's
+// per-stream ingest parallelism (0 keeps the default, or — on restore —
+// the snapshot's). The single definition here keeps the daemon, tests
+// and examples from each hand-maintaining the field mapping.
+func SpecFromStreamConfig(sc registry.StreamConfig, shards int) BackendSpec {
+	return BackendSpec{
+		Type:     BackendType(sc.Backend),
+		Algo:     Algo(sc.Algo),
+		K:        sc.K,
+		Dim:      sc.Dim,
+		Shards:   shards,
+		HalfLife: sc.HalfLife,
+		WindowN:  sc.WindowN,
+	}
+}
+
+// StreamConfig is the inverse mapping, for reporting a backend's actual
+// spec back to a registry.
+func (s BackendSpec) StreamConfig() registry.StreamConfig {
+	return registry.StreamConfig{
+		Backend:  string(s.Type),
+		Algo:     string(s.Algo),
+		K:        s.K,
+		Dim:      s.Dim,
+		HalfLife: s.HalfLife,
+		WindowN:  s.WindowN,
+	}
+}
+
+// Open creates a fresh serving backend from a spec. cfg supplies the
+// shared tuning (BucketSize, MergeDegree, Seed, Builder, query options,
+// Alpha for the concurrent cache); cfg.K is overridden by spec.K.
+func Open(spec BackendSpec, cfg Config) (Backend, error) {
+	spec, err := spec.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.K = spec.K
+	switch spec.Type {
+	case BackendConcurrent:
+		c, err := NewConcurrent(spec.Algo, spec.Shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.dim = spec.Dim
+		return c, nil
+	case BackendDecayed:
+		c, err := NewDecayed(spec.Algo, cfg, spec.HalfLife)
+		if err != nil {
+			return nil, err
+		}
+		spec.Shards = 0
+		return &decayedBackend{spec: spec, d: c.(*wrapper).inner.(*decay.Clusterer)}, nil
+	case BackendWindowed:
+		cfg, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		b, err := cfg.builder()
+		if err != nil {
+			return nil, err
+		}
+		wc, err := window.New(cfg.K, cfg.BucketSize, cfg.MergeDegree, spec.WindowN,
+			b, rand.New(rand.NewSource(cfg.Seed)), cfg.queryOptions())
+		if err != nil {
+			return nil, err
+		}
+		spec.Algo, spec.Shards = "", 0
+		return &windowedBackend{spec: spec, w: wc}, nil
+	}
+	return nil, fmt.Errorf("streamkm: unknown backend type %q", spec.Type)
+}
+
+// Restore reconstructs a serving backend previously written by a
+// Backend's Snapshot (any variant, any format generation: bare v2
+// sharded envelopes restore as concurrent backends, v3 typed envelopes
+// as whatever they declare). spec's nonzero fields are validated against
+// the snapshot — a mismatch is an error, never a silently wrong model;
+// pass a zero spec to adopt whatever the file holds. cfg supplies the
+// non-serialized pieces (Seed, Builder, query options), as for Load.
+func Restore(spec BackendSpec, r io.Reader, cfg Config) (Backend, error) {
+	env, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	var b Backend
+	switch env.Kind {
+	case persist.KindSharded:
+		b, err = concurrentFromSharded(env, cfg)
+	case persist.KindBackend:
+		b, err = backendFromEnvelope(env.Backend, cfg)
+	default:
+		return nil, fmt.Errorf("streamkm: snapshot holds a single %q clusterer, not a serving backend (use Load)", env.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.check(b.Spec()); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// backendFromEnvelope dispatches a validated v3 backend envelope to the
+// variant's restore path.
+func backendFromEnvelope(bs *persist.BackendSnapshot, cfg Config) (Backend, error) {
+	if err := persist.ValidateBackend(bs); err != nil {
+		return nil, err
+	}
+	switch bs.Type {
+	case persist.BackendConcurrent:
+		return concurrentFromSharded(persist.Envelope{Kind: persist.KindSharded, Sharded: bs.Sharded}, cfg)
+	case persist.BackendDecayed:
+		cfg.K = 1
+		cfg, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		builder, err := cfg.builder()
+		if err != nil {
+			return nil, err
+		}
+		dc, err := persist.RestoreDecayed(bs.Decayed, cfg.Seed, builder, cfg.queryOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &decayedBackend{spec: specFromSnapshot(bs), d: dc}, nil
+	case persist.BackendWindowed:
+		cfg.K = 1
+		cfg, err := cfg.withDefaults()
+		if err != nil {
+			return nil, err
+		}
+		builder, err := cfg.builder()
+		if err != nil {
+			return nil, err
+		}
+		wc, err := persist.RestoreWindowed(bs.Window, cfg.Seed, builder, cfg.queryOptions())
+		if err != nil {
+			return nil, err
+		}
+		return &windowedBackend{spec: specFromSnapshot(bs), w: wc}, nil
+	}
+	return nil, fmt.Errorf("streamkm: unknown backend type %q in snapshot", bs.Type)
+}
+
+// specFromSnapshot recovers the spec recorded in a backend envelope.
+func specFromSnapshot(bs *persist.BackendSnapshot) BackendSpec {
+	return BackendSpec{
+		Type:     BackendType(bs.Type),
+		Algo:     Algo(bs.Algo),
+		K:        bs.K,
+		Dim:      bs.Dim,
+		Shards:   bs.Shards,
+		HalfLife: bs.HalfLife,
+		WindowN:  bs.WindowN,
+	}
+}
+
+// Spec reports the backend spec of a Concurrent, making it a Backend.
+// Dim is the dimension recorded in the snapshot it was restored from (or
+// passed to Open), 0 otherwise.
+func (c *Concurrent) Spec() BackendSpec {
+	return BackendSpec{
+		Type:   BackendConcurrent,
+		Algo:   c.algo,
+		K:      c.k,
+		Dim:    c.dim,
+		Shards: c.NumShards(),
+	}
+}
+
+// decayedBackend makes the single-goroutine forward-decay clusterer a
+// servable Backend by serializing every operation behind one mutex. The
+// decay wrapper's insertion weight is a strictly ordered logical clock,
+// so sharding it the way Concurrent shards the stationary structures
+// would reorder time; one lock is the honest concurrency model, and
+// snapshots taken under it are trivially consistent cuts.
+type decayedBackend struct {
+	spec BackendSpec
+
+	mu sync.Mutex
+	d  *decay.Clusterer
+}
+
+func (b *decayedBackend) AddBatch(pts [][]float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range pts {
+		b.d.Add(geom.Point(p))
+	}
+}
+
+func (b *decayedBackend) AddWeighted(p []float64, w float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.d.AddWeighted(geom.Weighted{P: geom.Point(p), W: w})
+}
+
+func (b *decayedBackend) Centers() [][]float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return pointsOut(b.d.Centers())
+}
+
+func (b *decayedBackend) Count() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.d.Count()
+}
+
+func (b *decayedBackend) PointsStored() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.d.PointsStored()
+}
+
+func (b *decayedBackend) Name() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.d.Name()
+}
+
+func (b *decayedBackend) Spec() BackendSpec { return b.spec }
+
+func (b *decayedBackend) Snapshot(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ds, dim, err := persist.SnapshotDecayed(b.d)
+	if err != nil {
+		return err
+	}
+	if dim == 0 {
+		dim = b.spec.Dim
+	}
+	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
+		Type:     persist.BackendDecayed,
+		Algo:     string(b.spec.Algo),
+		K:        b.spec.K,
+		Dim:      dim,
+		HalfLife: b.spec.HalfLife,
+		Count:    b.d.Count(),
+		Decayed:  ds,
+	}})
+}
+
+// windowedBackend makes the single-goroutine sliding-window clusterer a
+// servable Backend behind one mutex; window expiry is keyed to arrival
+// order, so the same logical-clock argument as for decay applies.
+type windowedBackend struct {
+	spec BackendSpec
+
+	mu sync.Mutex
+	w  *window.Clusterer
+}
+
+func (b *windowedBackend) AddBatch(pts [][]float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, p := range pts {
+		b.w.Add(geom.Point(p))
+	}
+}
+
+func (b *windowedBackend) AddWeighted(p []float64, w float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.w.AddWeighted(geom.Weighted{P: geom.Point(p), W: w})
+}
+
+func (b *windowedBackend) Centers() [][]float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return pointsOut(b.w.Centers())
+}
+
+func (b *windowedBackend) Count() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.w.Count()
+}
+
+func (b *windowedBackend) PointsStored() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.w.PointsStored()
+}
+
+func (b *windowedBackend) Name() string { return b.w.Name() }
+
+func (b *windowedBackend) Spec() BackendSpec { return b.spec }
+
+func (b *windowedBackend) Snapshot(w io.Writer) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.w.Snapshot()
+	dim := b.w.Dim()
+	if dim == 0 {
+		dim = b.spec.Dim
+	}
+	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
+		Type:    persist.BackendWindowed,
+		K:       b.spec.K,
+		Dim:     dim,
+		WindowN: b.spec.WindowN,
+		Count:   b.w.Count(),
+		Window:  &s,
+	}})
+}
+
+// pointsOut converts internal points to caller-owned [][]float64 copies.
+func pointsOut(cs []geom.Point) [][]float64 {
+	out := make([][]float64, len(cs))
+	for i, c := range cs {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}

@@ -85,6 +85,9 @@ func main() {
 		conc        = flag.Int("conc", 4, "concurrent producers in -replay mode")
 		batch       = flag.Int("batch", 500, "points per ingest request in -replay mode")
 		tenants     = flag.Int("tenants", 1, "drive this many independent streams (/streams/replay-NNN) in -replay mode")
+		backend     = flag.String("backend", "", "create replay streams with this backend (concurrent, decayed, windowed) in -replay mode; empty = daemon default")
+		halfLife    = flag.Float64("half-life", 5000, "decay half-life in points for -backend decayed")
+		windowN     = flag.Int64("window", 50000, "sliding-window length in points for -backend windowed")
 		jsonOut     = flag.String("json", "", "write the -replay result as machine-readable JSON to this file")
 	)
 	flag.Parse()
@@ -105,6 +108,9 @@ func main() {
 			conc:       *conc,
 			batch:      *batch,
 			tenants:    *tenants,
+			backend:    *backend,
+			halfLife:   *halfLife,
+			windowN:    *windowN,
 			queryEvery: *q,
 			seed:       *seed,
 			jsonOut:    *jsonOut,

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,16 +26,24 @@ import (
 // registry, including eviction/restore churn when the daemon runs with
 // -max-streams below the tenant count.
 type replayConfig struct {
-	url        string // daemon base URL, e.g. http://localhost:7070
-	dataset    string // datagen dataset name
-	n          int    // points to replay (total across tenants)
-	conc       int    // concurrent producers
-	batch      int    // points per ingest request
-	tenants    int    // number of streams to drive (1 = legacy root endpoints)
-	queryEvery int64  // issue a centers query every this many points (0 = none)
+	url        string  // daemon base URL, e.g. http://localhost:7070
+	dataset    string  // datagen dataset name
+	n          int     // points to replay (total across tenants)
+	conc       int     // concurrent producers
+	batch      int     // points per ingest request
+	tenants    int     // number of streams to drive (1 = legacy root endpoints)
+	backend    string  // backend spec for created streams ("" = daemon default)
+	halfLife   float64 // decay half-life for -backend decayed
+	windowN    int64   // window length for -backend windowed
+	queryEvery int64   // issue a centers query every this many points (0 = none)
 	seed       int64
 	jsonOut    string // write a machine-readable result to this file ("" = none)
 }
+
+// useStreams reports whether the replay drives named /streams/... routes
+// (multi-tenant, or any explicit backend selection — the legacy root
+// endpoints cannot carry a spec) rather than the legacy root endpoints.
+func (rc replayConfig) useStreams() bool { return rc.tenants > 1 || rc.backend != "" }
 
 // tenantResult is the per-stream slice of a replay result.
 type tenantResult struct {
@@ -51,6 +60,7 @@ type replayResult struct {
 	Dataset        string         `json:"dataset"`
 	N              int            `json:"n"`
 	Dim            int            `json:"dim"`
+	Backend        string         `json:"backend,omitempty"`
 	Tenants        int            `json:"tenants"`
 	Producers      int            `json:"producers"`
 	Batch          int            `json:"batch"`
@@ -95,10 +105,15 @@ func (st *replayStats) fail(err error) {
 }
 
 // tenantName returns the stream id of tenant t, "" in single-tenant
-// (legacy endpoint) mode.
+// (legacy endpoint) mode. Explicit-backend runs embed the variant in the
+// id, so replay comparisons across -backend values against one daemon
+// never collide on stream names.
 func (rc replayConfig) tenantName(t int) string {
-	if rc.tenants <= 1 {
+	if !rc.useStreams() {
 		return ""
+	}
+	if rc.backend != "" {
+		return fmt.Sprintf("replay-%s-%03d", rc.backend, t)
 	}
 	return fmt.Sprintf("replay-%03d", t)
 }
@@ -124,12 +139,13 @@ func runReplay(rc replayConfig) error {
 		return fmt.Errorf("daemon not healthy at %s: %v", rc.url, err)
 	}
 
-	// Multi-tenant runs create every stream up front (the explicit-create
-	// API), so the querier can rotate over all tenants from the first
-	// acknowledged batch without racing lazy creation.
-	if rc.tenants > 1 {
+	// Stream-routed runs create every stream up front (the explicit-create
+	// API, carrying the backend spec when one was selected), so the
+	// querier can rotate over all tenants from the first acknowledged
+	// batch without racing lazy creation.
+	if rc.useStreams() {
 		for tn := 0; tn < rc.tenants; tn++ {
-			if err := ensureStream(client, rc.url, rc.tenantName(tn)); err != nil {
+			if err := ensureStream(client, rc.url, rc.tenantName(tn), rc.specBody()); err != nil {
 				return err
 			}
 		}
@@ -217,6 +233,7 @@ func runReplay(rc replayConfig) error {
 		Dataset:        ds.Name,
 		N:              ds.N(),
 		Dim:            ds.Dim,
+		Backend:        rc.backend,
 		Tenants:        rc.tenants,
 		Producers:      rc.conc,
 		Batch:          rc.batch,
@@ -296,12 +313,39 @@ func runReplay(rc replayConfig) error {
 	return printServerStats(client, rc.url)
 }
 
-// ensureStream creates a tenant stream with the daemon's default
-// configuration; an already-existing stream (409) is fine.
-func ensureStream(client *http.Client, base, stream string) error {
-	req, err := http.NewRequest(http.MethodPut, base+"/streams/"+stream, nil)
+// specBody renders the PUT body selecting the replay's backend spec;
+// empty when the daemon default should apply.
+func (rc replayConfig) specBody() string {
+	if rc.backend == "" {
+		return ""
+	}
+	spec := map[string]interface{}{"backend": rc.backend}
+	switch rc.backend {
+	case "decayed":
+		spec["half_life"] = rc.halfLife
+	case "windowed":
+		spec["window_n"] = rc.windowN
+	}
+	raw, _ := json.Marshal(spec)
+	return string(raw)
+}
+
+// ensureStream creates a tenant stream (with the given spec body, or the
+// daemon's default configuration when empty); an already-existing stream
+// (409) is fine — the daemon's PUT-vs-restore validation guarantees an
+// existing stream with a conflicting spec fails on access rather than
+// silently serving the wrong variant.
+func ensureStream(client *http.Client, base, stream, body string) error {
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(http.MethodPut, base+"/streams/"+stream, rd)
 	if err != nil {
 		return err
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := client.Do(req)
 	if err != nil {

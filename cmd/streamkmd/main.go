@@ -20,6 +20,21 @@
 //	curl -sS -X DELETE localhost:7070/streams/bob
 //	curl -sS localhost:7070/stats                       # registry-wide stats
 //
+// Each tenant picks its clustering backend in the PUT body: "concurrent"
+// (infinite stream, sharded ingest — the default), "decayed" (forward
+// exponential decay with the given half_life in points) or "windowed"
+// (a hard sliding window over the last window_n points):
+//
+//	curl -sS -X PUT localhost:7070/streams/ads \
+//	     -d '{"backend":"decayed","k":20,"half_life":10000}'
+//	curl -sS -X PUT localhost:7070/streams/fraud \
+//	     -d '{"backend":"windowed","k":10,"window_n":100000}'
+//
+// -backend (with -half-life / -window) selects the default-stream spec
+// for lazily created tenants. All variants checkpoint and restore
+// through the same snapshot machinery; a snapshot that disagrees with
+// the declared spec refuses to restore.
+//
 // The pre-registry single-stream endpoints (POST /ingest, GET /centers,
 // GET/POST /snapshot) keep working as aliases for the default stream
 // (-default-stream, "default" by default), so existing clients and the
@@ -62,12 +77,15 @@ import (
 // options carries the flag values; split from main for testability.
 type options struct {
 	addr          string
+	backend       string
 	algo          string
 	k             int
 	shards        int
 	dim           int
 	bucket        int
 	alpha         float64
+	halfLife      float64
+	windowN       int64
 	seed          int64
 	runs          int
 	lloyd         int
@@ -93,6 +111,9 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 	if o.shards < 1 {
 		o.shards = runtime.GOMAXPROCS(0)
 	}
+	if o.backend == "" {
+		o.backend = string(streamkm.BackendConcurrent)
+	}
 	if o.defaultStream == "" {
 		o.defaultStream = "default"
 	}
@@ -117,14 +138,15 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 		TTL:         o.streamTTL,
 		DataDir:     o.dataDir,
 		Files:       files,
-		Default:     registry.StreamConfig{Algo: o.algo, K: o.k, Dim: o.dim},
-		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
-			cfg := base
-			cfg.K = sc.K
-			return streamkm.NewConcurrent(streamkm.Algo(sc.Algo), o.shards, cfg)
+		Default: registry.StreamConfig{
+			Backend: o.backend, Algo: o.algo, K: o.k, Dim: o.dim,
+			HalfLife: o.halfLife, WindowN: o.windowN,
 		},
-		Restore: func(_ string, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
-			c, err := streamkm.NewConcurrentFromSnapshot(r, streamkm.Config{
+		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
+			return streamkm.Open(streamkm.SpecFromStreamConfig(sc, o.shards), base)
+		},
+		Restore: func(_ string, want registry.StreamConfig, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+			b, err := streamkm.Restore(streamkm.SpecFromStreamConfig(want, 0), r, streamkm.Config{
 				Seed:            base.Seed,
 				Alpha:           base.Alpha,
 				QueryRuns:       base.QueryRuns,
@@ -133,11 +155,17 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 			if err != nil {
 				return nil, registry.StreamConfig{}, err
 			}
-			return c, registry.StreamConfig{Algo: string(c.Algo()), K: c.K(), Dim: c.Dim()}, nil
+			return b, b.Spec().StreamConfig(), nil
 		},
 		Peek: func(r io.Reader) (registry.StreamConfig, int64, error) {
-			algo, k, dim, count, err := persist.PeekSharded(r)
-			return registry.StreamConfig{Algo: algo, K: k, Dim: dim}, count, err
+			meta, err := persist.PeekBackend(r)
+			if err != nil {
+				return registry.StreamConfig{}, 0, err
+			}
+			return registry.StreamConfig{
+				Backend: meta.Type, Algo: meta.Algo, K: meta.K, Dim: meta.Dim,
+				HalfLife: meta.HalfLife, WindowN: meta.WindowN,
+			}, meta.Count, nil
 		},
 	})
 	if err != nil {
@@ -167,15 +195,25 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 
 // validateDefault cross-checks the materialized default stream against
 // the flags: resuming a CC/k=10 checkpoint into a daemon configured for
-// RCC/k=20 would silently answer wrong queries, so mismatches are boot
-// errors. Fresh streams inherit the flags and pass trivially.
+// RCC/k=20 — or a concurrent checkpoint into a daemon configured for a
+// windowed default — would silently answer wrong queries, so mismatches
+// are boot errors. Fresh streams inherit the flags and pass trivially.
 func validateDefault(o options, s *registry.Stream) error {
 	cfg := s.Config()
-	if cfg.Algo != o.algo {
+	if cfg.Backend != o.backend {
+		return fmt.Errorf("checkpoint backend %s does not match -backend %s", cfg.Backend, o.backend)
+	}
+	if cfg.Algo != o.algo && cfg.Backend != string(streamkm.BackendWindowed) {
 		return fmt.Errorf("checkpoint algo %s does not match -algo %s", cfg.Algo, o.algo)
 	}
 	if cfg.K != o.k {
 		return fmt.Errorf("checkpoint k=%d does not match -k %d", cfg.K, o.k)
+	}
+	if cfg.HalfLife != o.halfLife && cfg.Backend == string(streamkm.BackendDecayed) {
+		return fmt.Errorf("checkpoint half-life %v does not match -half-life %v", cfg.HalfLife, o.halfLife)
+	}
+	if cfg.WindowN != o.windowN && cfg.Backend == string(streamkm.BackendWindowed) {
+		return fmt.Errorf("checkpoint window %d does not match -window %d", cfg.WindowN, o.windowN)
 	}
 	if o.dim > 0 && s.Dim() > 0 && s.Dim() != o.dim {
 		return fmt.Errorf("checkpoint dimension %d does not match -dim %d", s.Dim(), o.dim)
@@ -187,12 +225,15 @@ func validateDefault(o options, s *registry.Stream) error {
 func main() {
 	var o options
 	flag.StringVar(&o.addr, "addr", ":7070", "listen address")
+	flag.StringVar(&o.backend, "backend", "concurrent", "default-stream backend variant (concurrent, decayed, windowed); tenants override per stream via PUT")
 	flag.StringVar(&o.algo, "algo", "CC", "summary structure per shard (CT, CC, RCC)")
 	flag.IntVar(&o.k, "k", 10, "number of cluster centers")
 	flag.IntVar(&o.shards, "shards", 0, "ingest shards per stream (0 = GOMAXPROCS)")
 	flag.IntVar(&o.dim, "dim", 0, "point dimension (0 = adopt from first point, per stream)")
 	flag.IntVar(&o.bucket, "bucket", 0, "coreset bucket size m (0 = 20*k)")
 	flag.Float64Var(&o.alpha, "alpha", 0, "centers-cache staleness threshold (>1; 0 = default 1.2)")
+	flag.Float64Var(&o.halfLife, "half-life", 0, "decay half-life in points for -backend decayed")
+	flag.Int64Var(&o.windowN, "window", 0, "sliding-window length in points for -backend windowed")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.runs, "queryruns", 1, "k-means++ restarts per query recomputation")
 	flag.IntVar(&o.lloyd, "lloyd", 0, "Lloyd refinement iterations per query recomputation")
@@ -227,8 +268,8 @@ func main() {
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
 	go func() {
-		log.Printf("streamkmd: serving %s/k=%d x %d shards per stream on %s (default stream %q, max resident %d)",
-			o.algo, o.k, o.shards, o.addr, o.defaultStream, o.maxStreams)
+		log.Printf("streamkmd: serving %s %s/k=%d x %d shards per stream on %s (default stream %q, max resident %d)",
+			o.backend, o.algo, o.k, o.shards, o.addr, o.defaultStream, o.maxStreams)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatalf("streamkmd: %v", err)
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -192,6 +193,83 @@ func TestBuildDataDirMultiStream(t *testing.T) {
 	for id, want := range map[string]int64{"default": 2, "alice": 3, "bob": 4} {
 		if got := defaultCount(t, reg2, id); got != want {
 			t.Errorf("stream %s restored count %d, want %d", id, got, want)
+		}
+	}
+}
+
+// TestBuildBackendFlagRoundTrip: -backend selects the default stream's
+// variant, the spec survives a daemon rebuild from disk, and restarting
+// with conflicting backend flags refuses to boot.
+func TestBuildBackendFlagRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	o := options{backend: "decayed", algo: "CC", k: 3, shards: 2, halfLife: 500, dataDir: dir}
+
+	reg1, srv1, err := build(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv1.Handler())
+	if code := ingestBody(t, ts, "/ingest", strings.Repeat("[1,2]\n", 5)); code != 200 {
+		t.Fatalf("ingest status %d", code)
+	}
+	// A windowed tenant rides alongside the decayed default.
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/streams/win",
+		strings.NewReader(`{"backend":"windowed","window_n":5000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("create windowed tenant: status %d", resp.StatusCode)
+	}
+	if code := ingestBody(t, ts, "/streams/win/ingest", strings.Repeat("[9,9]\n", 7)); code != 200 {
+		t.Fatalf("windowed ingest status %d", code)
+	}
+	ts.Close()
+	if err := reg1.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2, _, err := build(o)
+	if err != nil {
+		t.Fatalf("rebuild with -backend decayed: %v", err)
+	}
+	in, err := reg2.Stat("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Backend != "decayed" || in.HalfLife != 500 || in.Count != 5 {
+		t.Fatalf("restored default %+v, want decayed/500/5", in)
+	}
+	if in, err = reg2.Stat("win"); err != nil || in.Backend != "windowed" || in.WindowN != 5000 || in.Count != 7 {
+		t.Fatalf("restored windowed tenant %+v (%v)", in, err)
+	}
+
+	// Conflicting flags must refuse to boot over the decayed checkpoint.
+	for _, bad := range []options{
+		{backend: "concurrent", algo: "CC", k: 3, dataDir: dir},
+		{backend: "windowed", algo: "CC", k: 3, windowN: 100, dataDir: dir},
+		{backend: "decayed", algo: "CC", k: 3, halfLife: 9999, dataDir: dir},
+	} {
+		if _, _, err := build(bad); err == nil {
+			t.Errorf("options %+v: expected backend validation error", bad)
+		}
+	}
+}
+
+// TestBuildRejectsBadBackendOptions: variant flags are vetted at boot.
+func TestBuildRejectsBadBackendOptions(t *testing.T) {
+	for _, o := range []options{
+		{backend: "bogus", algo: "CC", k: 3},
+		{backend: "decayed", algo: "CC", k: 3},  // missing -half-life
+		{backend: "windowed", algo: "CC", k: 3}, // missing -window
+	} {
+		if _, _, err := build(o); err == nil {
+			t.Errorf("options %+v: expected error", o)
 		}
 	}
 }

@@ -258,6 +258,21 @@ func (c *Concurrent) Snapshot(w io.Writer) error {
 // the snapshot. Randomness is not captured: queries after a restore are
 // statistically equivalent but not bit-identical to an uninterrupted run.
 func NewConcurrentFromSnapshot(r io.Reader, cfg Config) (*Concurrent, error) {
+	env, err := persist.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if env.Kind != persist.KindSharded {
+		return nil, fmt.Errorf("streamkm: snapshot holds a single %q clusterer, not a sharded one (use Load)", env.Kind)
+	}
+	return concurrentFromSharded(env, cfg)
+}
+
+// concurrentFromSharded rebuilds a Concurrent from an already-loaded
+// KindSharded envelope — shared by NewConcurrentFromSnapshot and the
+// spec-driven Restore factory (which also accepts the envelope wrapped in
+// a v3 backend envelope).
+func concurrentFromSharded(env persist.Envelope, cfg Config) (*Concurrent, error) {
 	userAlpha := cfg.Alpha
 	// Validate only the fields actually used; a zero Config is fine.
 	cfg.K = 1
@@ -268,13 +283,6 @@ func NewConcurrentFromSnapshot(r io.Reader, cfg Config) (*Concurrent, error) {
 	b, err := cfg.builder()
 	if err != nil {
 		return nil, err
-	}
-	env, err := persist.Load(r)
-	if err != nil {
-		return nil, err
-	}
-	if env.Kind != persist.KindSharded {
-		return nil, fmt.Errorf("streamkm: snapshot holds a single %q clusterer, not a sharded one (use Load)", env.Kind)
 	}
 	inner, err := persist.RestoreSharded(env, cfg.Seed, b, cfg.queryOptions())
 	if err != nil {

@@ -31,26 +31,34 @@ import (
 	"streamkm/internal/server"
 )
 
-// newRegistry wires a registry to streamkm.Concurrent backends — the
-// same pairing cmd/streamkmd uses.
+// newRegistry wires a registry to the spec-driven backend factory — the
+// same pairing cmd/streamkmd uses. Any tenant can select a concurrent,
+// decayed or windowed backend in its PUT body; everything below the
+// factory (hibernation, restore, restart) is variant-agnostic.
 func newRegistry(dir string, maxResident int) *registry.Registry {
 	reg, err := registry.New(registry.Config{
 		DataDir:     dir,
 		MaxResident: maxResident,
-		Default:     registry.StreamConfig{Algo: "CC", K: 3},
+		Default:     registry.StreamConfig{Backend: "concurrent", Algo: "CC", K: 3},
 		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
-			return streamkm.NewConcurrent(streamkm.Algo(sc.Algo), 2, streamkm.Config{K: sc.K, Seed: 1})
+			return streamkm.Open(streamkm.SpecFromStreamConfig(sc, 2), streamkm.Config{Seed: 1})
 		},
-		Restore: func(_ string, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
-			c, err := streamkm.NewConcurrentFromSnapshot(r, streamkm.Config{Seed: 1})
+		Restore: func(_ string, want registry.StreamConfig, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+			b, err := streamkm.Restore(streamkm.SpecFromStreamConfig(want, 0), r, streamkm.Config{Seed: 1})
 			if err != nil {
 				return nil, registry.StreamConfig{}, err
 			}
-			return c, registry.StreamConfig{Algo: string(c.Algo()), K: c.K(), Dim: c.Dim()}, nil
+			return b, b.Spec().StreamConfig(), nil
 		},
 		Peek: func(r io.Reader) (registry.StreamConfig, int64, error) {
-			algo, k, dim, count, err := persist.PeekSharded(r)
-			return registry.StreamConfig{Algo: algo, K: k, Dim: dim}, count, err
+			m, err := persist.PeekBackend(r)
+			if err != nil {
+				return registry.StreamConfig{}, 0, err
+			}
+			return registry.StreamConfig{
+				Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
+				HalfLife: m.HalfLife, WindowN: m.WindowN,
+			}, m.Count, nil
 		},
 	})
 	if err != nil {
@@ -70,8 +78,32 @@ func main() {
 	reg := newRegistry(dir, 4)
 	ts := httptest.NewServer(server.NewMulti(reg, server.MultiConfig{}).Handler())
 
+	// Two tenants opt out of the infinite-stream default up front: one
+	// fades history with a 300-point half-life, one clusters only its
+	// last 600 points. Every lifecycle step below (hibernate, restore,
+	// restart) treats them exactly like the concurrent tenants.
+	for id, body := range map[string]string{
+		"tenant-00": `{"backend":"decayed","half_life":300}`,
+		"tenant-01": `{"backend":"windowed","window_n":600}`,
+	} {
+		req, err := http.NewRequest(http.MethodPut, ts.URL+"/streams/"+id, strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			panic(fmt.Sprintf("create %s: status %d", id, resp.StatusCode))
+		}
+	}
+
 	// 12 tenants, each with its own 3-cluster mixture, ingested over the
-	// multi-tenant API. Streams are created lazily on first ingest.
+	// multi-tenant API. The remaining streams are created lazily on first
+	// ingest with the registry default (concurrent/CC).
 	rng := rand.New(rand.NewSource(7))
 	for t := 0; t < tenants; t++ {
 		var b strings.Builder
@@ -105,7 +137,7 @@ func main() {
 	}
 	json.NewDecoder(resp.Body).Decode(&centers)
 	resp.Body.Close()
-	fmt.Printf("tenant-00 after lazy restore: count=%d, %d centers, %d total restores\n",
+	fmt.Printf("tenant-00 (decayed) after lazy restore: count=%d, %d centers, %d total restores\n",
 		centers.Count, len(centers.Centers), reg.Stats().Registry.Restores)
 
 	// "Kill" the process: flush resident streams and drop everything,

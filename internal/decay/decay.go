@@ -19,6 +19,7 @@
 package decay
 
 import (
+	"fmt"
 	"math"
 
 	"streamkm/internal/core"
@@ -93,6 +94,10 @@ func (c *Clusterer) AddWeighted(wp geom.Weighted) {
 // Centers returns k cluster centers for the decayed stream.
 func (c *Clusterer) Centers() []geom.Point { return c.driver.Centers() }
 
+// Count returns the number of points observed so far (the wrapped
+// driver's arrival counter; decay weights fade influence, not counts).
+func (c *Clusterer) Count() int64 { return c.driver.Count() }
+
 // PointsStored reports the wrapped driver's memory in points.
 func (c *Clusterer) PointsStored() int { return c.driver.PointsStored() }
 
@@ -102,5 +107,40 @@ func (c *Clusterer) Name() string { return "Decay(" + c.driver.Name() + ")" }
 // HalfLife returns the decay half-life in points.
 func (c *Clusterer) HalfLife() float64 { return math.Ln2 / c.lambda }
 
-// Driver exposes the wrapped driver (tests).
+// Driver exposes the wrapped driver (tests and persistence).
 func (c *Clusterer) Driver() *core.Driver { return c.driver }
+
+// State is the decay wrapper's own serializable state: the rate and the
+// logical clock (the insertion weight of the next arriving point, which
+// encodes the position inside the current renormalize epoch). The wrapped
+// driver snapshots separately through internal/persist; together the two
+// restore the decayed stream exactly.
+type State struct {
+	Lambda float64
+	CurW   float64
+}
+
+// State captures the wrapper's serializable state.
+func (c *Clusterer) State() State { return State{Lambda: c.lambda, CurW: c.curW} }
+
+// RestoreState replaces the wrapper's rate and logical clock with the
+// snapshot's. The state must satisfy ValidateState; disk input should be
+// validated before calling.
+func (c *Clusterer) RestoreState(s State) {
+	c.lambda = s.Lambda
+	c.growth = math.Exp(s.Lambda)
+	c.curW = s.CurW
+}
+
+// ValidateState rejects wrapper state that could not have been produced
+// by State: snapshots are untrusted disk input.
+func ValidateState(s State) error {
+	if s.Lambda <= 0 || math.IsInf(s.Lambda, 0) || math.IsNaN(s.Lambda) {
+		return fmt.Errorf("decay: invalid lambda %v in snapshot", s.Lambda)
+	}
+	if s.CurW < 1 || math.IsInf(s.CurW, 0) || math.IsNaN(s.CurW) {
+		// curW starts at 1 and is divided back to 1 on every epoch.
+		return fmt.Errorf("decay: invalid epoch weight %v in snapshot", s.CurW)
+	}
+	return nil
+}

@@ -1,18 +1,26 @@
 package metrics
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // RegistryStats accumulates lifecycle counters for a multi-tenant stream
 // registry: how many streams were created and deleted, how many times a
 // cold stream was hibernated to disk (eviction) or lazily restored from
-// it, and how many hibernation attempts failed. All methods are safe for
-// concurrent use; each is a single atomic add.
+// it, how many hibernation attempts failed, and TTL-sweep latency. All
+// methods are safe for concurrent use; each is a handful of atomic adds.
 type RegistryStats struct {
 	creates       atomic.Int64
 	deletes       atomic.Int64
 	evictions     atomic.Int64
 	evictFailures atomic.Int64
 	restores      atomic.Int64
+
+	sweeps          atomic.Int64
+	sweepHibernated atomic.Int64
+	sweepNanosTotal atomic.Int64
+	sweepNanosLast  atomic.Int64
 }
 
 // RecordCreate accounts one stream registered (explicitly or lazily).
@@ -31,24 +39,42 @@ func (r *RegistryStats) RecordEvictFailure() { r.evictFailures.Add(1) }
 // RecordRestore accounts one hibernated stream lazily restored from disk.
 func (r *RegistryStats) RecordRestore() { r.restores.Add(1) }
 
+// RecordSweep accounts one TTL sweep: how many streams it hibernated and
+// how long the whole batch (checkpoint writes + single directory sync)
+// took.
+func (r *RegistryStats) RecordSweep(hibernated int, d time.Duration) {
+	r.sweeps.Add(1)
+	r.sweepHibernated.Add(int64(hibernated))
+	r.sweepNanosTotal.Add(int64(d))
+	r.sweepNanosLast.Store(int64(d))
+}
+
 // RegistrySnapshot is a point-in-time copy of registry counters, shaped
 // for direct JSON serialization in a stats response.
 type RegistrySnapshot struct {
-	Creates       int64 `json:"creates"`
-	Deletes       int64 `json:"deletes"`
-	Evictions     int64 `json:"evictions"`
-	EvictFailures int64 `json:"evict_failures"`
-	Restores      int64 `json:"restores"`
+	Creates         int64   `json:"creates"`
+	Deletes         int64   `json:"deletes"`
+	Evictions       int64   `json:"evictions"`
+	EvictFailures   int64   `json:"evict_failures"`
+	Restores        int64   `json:"restores"`
+	Sweeps          int64   `json:"sweeps"`
+	SweepHibernated int64   `json:"sweep_hibernated"`
+	SweepLastMs     float64 `json:"sweep_last_ms"`
+	SweepTotalMs    float64 `json:"sweep_total_ms"`
 }
 
 // Snapshot captures the current counter values. As with EndpointStats,
 // fields are individually — not jointly — consistent.
 func (r *RegistryStats) Snapshot() RegistrySnapshot {
 	return RegistrySnapshot{
-		Creates:       r.creates.Load(),
-		Deletes:       r.deletes.Load(),
-		Evictions:     r.evictions.Load(),
-		EvictFailures: r.evictFailures.Load(),
-		Restores:      r.restores.Load(),
+		Creates:         r.creates.Load(),
+		Deletes:         r.deletes.Load(),
+		Evictions:       r.evictions.Load(),
+		EvictFailures:   r.evictFailures.Load(),
+		Restores:        r.restores.Load(),
+		Sweeps:          r.sweeps.Load(),
+		SweepHibernated: r.sweepHibernated.Load(),
+		SweepLastMs:     float64(r.sweepNanosLast.Load()) / 1e6,
+		SweepTotalMs:    float64(r.sweepNanosTotal.Load()) / 1e6,
 	}
 }

@@ -43,6 +43,20 @@ func WriteFileAtomic(path string, fill func(io.Writer) error) (int64, error) {
 	return cw.n, nil
 }
 
+// SyncDir fsyncs a directory, making previously performed renames inside
+// it durable. Callers batching many WriteFileAtomic calls into one
+// logical operation (e.g. a TTL sweep hibernating hundreds of streams)
+// issue a single SyncDir after the batch instead of paying one directory
+// sync per file.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
 // countingWriter counts bytes passed through to w.
 type countingWriter struct {
 	w io.Writer

@@ -1,0 +1,281 @@
+package persist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/decay"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/window"
+)
+
+// Backend type discriminators inside a BackendSnapshot. They mirror the
+// public streamkm.BackendType values; persist keeps its own copies so the
+// format is defined entirely in this package.
+const (
+	BackendConcurrent = "concurrent"
+	BackendDecayed    = "decayed"
+	BackendWindowed   = "windowed"
+)
+
+// BackendSnapshot (format version 3) is a typed serving backend: which
+// variant it is, the spec it was opened with, and the variant's payload.
+// Exactly one of Sharded/Decayed/Window is set, matching Type. The spec
+// metadata is stored denormalized so a Peek never has to descend into
+// payloads.
+type BackendSnapshot struct {
+	// Type discriminates the payload: BackendConcurrent, BackendDecayed
+	// or BackendWindowed.
+	Type string
+	// Algo is the summary structure (CT/CC/RCC) for concurrent and
+	// decayed backends; empty for windowed (its histogram is not built on
+	// the coreset tree).
+	Algo string
+	// K is the number of centers answered by queries.
+	K int
+	// Dim is the point dimension probed from stored points (0 when no
+	// point had been ingested yet).
+	Dim int
+	// Shards is the ingest parallelism (concurrent only; 0 otherwise).
+	Shards int
+	// HalfLife is the decay half-life in points (decayed only).
+	HalfLife float64
+	// WindowN is the sliding-window length in points (windowed only).
+	WindowN int64
+	// Count is the number of points observed across the stream.
+	Count int64
+
+	// Sharded is the concurrent payload — the same v2 ShardedSnapshot,
+	// wrapped instead of top-level.
+	Sharded *ShardedSnapshot
+	// Decayed is the forward-decay payload.
+	Decayed *DecayedSnapshot
+	// Window is the sliding-window payload.
+	Window *window.Snapshot
+}
+
+// DecayedSnapshot is the forward-decay wrapper's payload: the decay state
+// (rate + logical clock) around a v1 single-clusterer envelope holding
+// the wrapped driver.
+type DecayedSnapshot struct {
+	State decay.State
+	Inner Envelope
+}
+
+// ValidateBackend rejects backend envelopes whose discriminator, spec and
+// payload disagree; snapshots are untrusted disk input. The spec fields
+// are cross-checked against the payload, not just bounds-checked: the
+// spec is what PUT-vs-restore validation and boot peeks trust, while the
+// payload is what the restored backend actually does — letting them
+// diverge would restore exactly the silently wrong model the spec guard
+// exists to prevent.
+func ValidateBackend(bs *BackendSnapshot) error {
+	if bs == nil {
+		return fmt.Errorf("persist: Backend envelope missing state")
+	}
+	if bs.K < 1 {
+		return fmt.Errorf("persist: invalid k %d in backend snapshot", bs.K)
+	}
+	if bs.Count < 0 {
+		return fmt.Errorf("persist: negative count %d in backend snapshot", bs.Count)
+	}
+	if bs.Dim < 0 {
+		return fmt.Errorf("persist: negative dimension %d in backend snapshot", bs.Dim)
+	}
+	switch bs.Type {
+	case BackendConcurrent:
+		if bs.Sharded == nil {
+			return fmt.Errorf("persist: concurrent backend snapshot missing sharded payload")
+		}
+		if err := validateSharded(bs.Sharded); err != nil {
+			return err
+		}
+		if bs.K != bs.Sharded.K {
+			return fmt.Errorf("persist: backend k=%d disagrees with sharded payload k=%d", bs.K, bs.Sharded.K)
+		}
+		if bs.Count != bs.Sharded.Count {
+			return fmt.Errorf("persist: backend count %d disagrees with sharded payload count %d", bs.Count, bs.Sharded.Count)
+		}
+		if bs.Shards != 0 && bs.Shards != len(bs.Sharded.Shards) {
+			return fmt.Errorf("persist: backend shards=%d disagrees with %d payload shards", bs.Shards, len(bs.Sharded.Shards))
+		}
+		if bs.Algo != "" && bs.Algo != string(bs.Sharded.Shards[0].Kind) {
+			return fmt.Errorf("persist: backend algo %s disagrees with payload kind %s", bs.Algo, bs.Sharded.Shards[0].Kind)
+		}
+		return nil
+	case BackendDecayed:
+		if bs.Decayed == nil {
+			return fmt.Errorf("persist: decayed backend snapshot missing payload")
+		}
+		if bs.HalfLife <= 0 {
+			return fmt.Errorf("persist: invalid half-life %v in decayed backend snapshot", bs.HalfLife)
+		}
+		if err := decay.ValidateState(bs.Decayed.State); err != nil {
+			return err
+		}
+		// half-life and lambda are two encodings of the same rate
+		// (lambda = ln2/halfLife); tolerate only float rounding between
+		// them.
+		if impliedHalfLife := math.Ln2 / bs.Decayed.State.Lambda; relDiff(bs.HalfLife, impliedHalfLife) > 1e-9 {
+			return fmt.Errorf("persist: backend half-life %v disagrees with payload rate (implies %v)",
+				bs.HalfLife, impliedHalfLife)
+		}
+		switch bs.Decayed.Inner.Kind {
+		case KindCT, KindCC, KindRCC:
+		default:
+			return fmt.Errorf("persist: decayed backend wraps kind %q (want a driver-wrapped CT, CC or RCC)",
+				bs.Decayed.Inner.Kind)
+		}
+		if d := bs.Decayed.Inner.Driver; d != nil {
+			if bs.K != d.K {
+				return fmt.Errorf("persist: backend k=%d disagrees with decayed payload k=%d", bs.K, d.K)
+			}
+			if bs.Count != d.Count {
+				return fmt.Errorf("persist: backend count %d disagrees with decayed payload count %d", bs.Count, d.Count)
+			}
+		}
+		if bs.Algo != "" && bs.Algo != string(bs.Decayed.Inner.Kind) {
+			return fmt.Errorf("persist: backend algo %s disagrees with payload kind %s", bs.Algo, bs.Decayed.Inner.Kind)
+		}
+		return nil
+	case BackendWindowed:
+		if bs.Window == nil {
+			return fmt.Errorf("persist: windowed backend snapshot missing payload")
+		}
+		if bs.WindowN < 1 {
+			return fmt.Errorf("persist: invalid window length %d in windowed backend snapshot", bs.WindowN)
+		}
+		if err := bs.Window.Validate(); err != nil {
+			return err
+		}
+		if bs.K != bs.Window.K {
+			return fmt.Errorf("persist: backend k=%d disagrees with window payload k=%d", bs.K, bs.Window.K)
+		}
+		if bs.WindowN != bs.Window.WindowN {
+			return fmt.Errorf("persist: backend window %d disagrees with payload window %d", bs.WindowN, bs.Window.WindowN)
+		}
+		if bs.Count != bs.Window.Count {
+			return fmt.Errorf("persist: backend count %d disagrees with window payload count %d", bs.Count, bs.Window.Count)
+		}
+		return nil
+	}
+	return fmt.Errorf("persist: unknown backend type %q in snapshot", bs.Type)
+}
+
+// relDiff returns |a-b| relative to the larger magnitude (0 when both
+// are 0).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d == 0 {
+		return 0
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d / m
+}
+
+// SnapshotDecayed captures a decay.Clusterer into a DecayedSnapshot plus
+// the probed point dimension. The caller (the public backend layer) wraps
+// it into a BackendSnapshot together with its spec metadata.
+func SnapshotDecayed(dc *decay.Clusterer) (*DecayedSnapshot, int, error) {
+	inner, err := SnapshotClusterer(dc.Driver())
+	if err != nil {
+		return nil, 0, err
+	}
+	return &DecayedSnapshot{State: dc.State(), Inner: inner}, driverDim(dc.Driver()), nil
+}
+
+// RestoreDecayed reconstructs a live decay.Clusterer from its payload.
+// The caller supplies the non-serialized pieces, as for RestoreClusterer.
+func RestoreDecayed(ds *DecayedSnapshot, seed int64, b coreset.Builder, opt kmeans.Options) (*decay.Clusterer, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("persist: decayed backend snapshot missing payload")
+	}
+	if err := decay.ValidateState(ds.State); err != nil {
+		return nil, err
+	}
+	inner, err := RestoreClusterer(ds.Inner, seed, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	drv, ok := inner.(*core.Driver)
+	if !ok {
+		return nil, fmt.Errorf("persist: decayed backend wraps %T, want *core.Driver", inner)
+	}
+	dc := decay.New(drv, ds.State.Lambda)
+	dc.RestoreState(ds.State)
+	return dc, nil
+}
+
+// RestoreWindowed reconstructs a live window.Clusterer from its payload.
+func RestoreWindowed(ws *window.Snapshot, seed int64, b coreset.Builder, opt kmeans.Options) (*window.Clusterer, error) {
+	if ws == nil {
+		return nil, fmt.Errorf("persist: windowed backend snapshot missing payload")
+	}
+	if err := ws.Validate(); err != nil {
+		return nil, err
+	}
+	wc, err := window.New(ws.K, ws.M, ws.R, ws.WindowN, b, rand.New(rand.NewSource(seed)), opt)
+	if err != nil {
+		return nil, err
+	}
+	wc.Restore(*ws)
+	return wc, nil
+}
+
+// BackendMeta is the cheap-to-read description of any serving-backend
+// snapshot — the spec fields plus the stream count — without rebuilding
+// clustering structures. It covers both format generations: a bare v2
+// sharded envelope reads as a concurrent backend.
+type BackendMeta struct {
+	Type     string
+	Algo     string
+	K        int
+	Dim      int
+	Shards   int
+	HalfLife float64
+	WindowN  int64
+	Count    int64
+}
+
+// PeekBackend decodes just the metadata of a serving-backend snapshot.
+// The stream registry's boot scan uses it to register hibernated tenants
+// of every backend variant with accurate metadata while keeping them
+// cold.
+func PeekBackend(r io.Reader) (BackendMeta, error) {
+	env, err := Load(r)
+	if err != nil {
+		return BackendMeta{}, err
+	}
+	switch env.Kind {
+	case KindSharded:
+		// Legacy (v2) concurrent checkpoint: the spec lives in the sharded
+		// payload.
+		s := env.Sharded
+		if err := validateSharded(s); err != nil {
+			return BackendMeta{}, err
+		}
+		return BackendMeta{
+			Type:   BackendConcurrent,
+			Algo:   string(s.Shards[0].Kind),
+			K:      s.K,
+			Dim:    s.Dim,
+			Shards: len(s.Shards),
+			Count:  s.Count,
+		}, nil
+	case KindBackend:
+		bs := env.Backend
+		if err := ValidateBackend(bs); err != nil {
+			return BackendMeta{}, err
+		}
+		return BackendMeta{
+			Type: bs.Type, Algo: bs.Algo, K: bs.K, Dim: bs.Dim,
+			Shards: bs.Shards, HalfLife: bs.HalfLife, WindowN: bs.WindowN,
+			Count: bs.Count,
+		}, nil
+	}
+	return BackendMeta{}, fmt.Errorf("persist: expected a serving-backend envelope, got kind %q", env.Kind)
+}

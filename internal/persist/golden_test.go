@@ -10,9 +10,11 @@ import (
 
 	"streamkm/internal/core"
 	"streamkm/internal/coreset"
+	"streamkm/internal/decay"
 	"streamkm/internal/geom"
 	"streamkm/internal/kmeans"
 	"streamkm/internal/parallel"
+	"streamkm/internal/window"
 )
 
 // Golden snapshot compatibility: the fixtures under testdata/ are
@@ -64,6 +66,53 @@ func goldenSharded(t testing.TB) *parallel.Sharded {
 	return s
 }
 
+func goldenDecayed(t testing.TB) *decay.Clusterer {
+	rng := rand.New(rand.NewSource(13))
+	cc := core.NewCC(2, 30, coreset.KMeansPP{}, rng)
+	drv := core.NewDriver(cc, 3, 30, rng, kmeans.FastOptions())
+	dc := decay.New(drv, 0.001)
+	for _, wp := range goldenStream(700) {
+		dc.AddWeighted(wp)
+	}
+	return dc
+}
+
+// goldenDecayedEnvelope assembles the v3 backend envelope the public
+// streamkm decayed backend writes.
+func goldenDecayedEnvelope(t testing.TB) Envelope {
+	dc := goldenDecayed(t)
+	ds, dim, err := SnapshotDecayed(dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Envelope{Kind: KindBackend, Backend: &BackendSnapshot{
+		Type: BackendDecayed, Algo: "CC", K: 3, Dim: dim,
+		HalfLife: 693.1471805599453, // ln2 / 0.001
+		Count:    dc.Count(),
+		Decayed:  ds,
+	}}
+}
+
+func goldenWindowed(t testing.TB) *window.Clusterer {
+	wc, err := window.New(3, 30, 2, 400, coreset.KMeansPP{}, rand.New(rand.NewSource(17)), kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wp := range goldenStream(900) {
+		wc.AddWeighted(wp)
+	}
+	return wc
+}
+
+func goldenWindowedEnvelope(t testing.TB) Envelope {
+	wc := goldenWindowed(t)
+	s := wc.Snapshot()
+	return Envelope{Kind: KindBackend, Backend: &BackendSnapshot{
+		Type: BackendWindowed, K: 3, Dim: wc.Dim(),
+		WindowN: 400, Count: wc.Count(), Window: &s,
+	}}
+}
+
 func writeGolden(t *testing.T, path string, env Envelope, version byte) {
 	t.Helper()
 	if err := SaveFile(path, env); err != nil {
@@ -109,11 +158,20 @@ func TestSaveStampsOldestCompatibleVersion(t *testing.T) {
 	if v := sharded.Bytes()[7]; v != 2 {
 		t.Errorf("sharded snapshot stamped version %d, want 2", v)
 	}
+	var backend bytes.Buffer
+	if err := Save(&backend, goldenDecayedEnvelope(t)); err != nil {
+		t.Fatal(err)
+	}
+	if v := backend.Bytes()[7]; v != 3 {
+		t.Errorf("backend snapshot stamped version %d, want 3", v)
+	}
 }
 
 func TestGoldenSnapshots(t *testing.T) {
 	v1Path := filepath.Join("testdata", "v1-onlinecc.snap")
 	v2Path := filepath.Join("testdata", "v2-sharded.snap")
+	v3DecayedPath := filepath.Join("testdata", "v3-decayed.snap")
+	v3WindowedPath := filepath.Join("testdata", "v3-windowed.snap")
 
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -137,6 +195,8 @@ func TestGoldenSnapshots(t *testing.T) {
 		}
 		env.Sharded.Alpha = 1.2
 		writeGolden(t, v2Path, env, 2)
+		writeGolden(t, v3DecayedPath, goldenDecayedEnvelope(t), 3)
+		writeGolden(t, v3WindowedPath, goldenWindowedEnvelope(t), 3)
 	}
 
 	t.Run("v1-onlinecc", func(t *testing.T) {
@@ -193,5 +253,97 @@ func TestGoldenSnapshots(t *testing.T) {
 			t.Errorf("%d centers, want 3", got)
 		}
 		s.Add(geom.Point{1, 2})
+	})
+
+	t.Run("v3-decayed", func(t *testing.T) {
+		env, err := LoadFile(v3DecayedPath)
+		if err != nil {
+			t.Fatalf("v3 decayed fixture no longer loads: %v", err)
+		}
+		if env.Kind != KindBackend || env.Backend == nil || env.Backend.Type != BackendDecayed {
+			t.Fatalf("kind %q / backend %+v", env.Kind, env.Backend)
+		}
+		if err := ValidateBackend(env.Backend); err != nil {
+			t.Fatalf("v3 decayed fixture no longer validates: %v", err)
+		}
+		dc, err := RestoreDecayed(env.Backend.Decayed, 1, coreset.KMeansPP{}, kmeans.FastOptions())
+		if err != nil {
+			t.Fatalf("v3 decayed fixture no longer restores: %v", err)
+		}
+		if dc.Count() != 700 || env.Backend.Count != 700 {
+			t.Errorf("restored count %d / meta %d, want 700", dc.Count(), env.Backend.Count)
+		}
+		want := goldenDecayed(t)
+		if dc.PointsStored() != want.PointsStored() {
+			t.Errorf("restored memory %d, want %d", dc.PointsStored(), want.PointsStored())
+		}
+		if got := len(dc.Centers()); got != 3 {
+			t.Errorf("%d centers, want 3", got)
+		}
+		dc.Add(geom.Point{1, 2})
+	})
+
+	t.Run("v3-windowed", func(t *testing.T) {
+		env, err := LoadFile(v3WindowedPath)
+		if err != nil {
+			t.Fatalf("v3 windowed fixture no longer loads: %v", err)
+		}
+		if env.Kind != KindBackend || env.Backend == nil || env.Backend.Type != BackendWindowed {
+			t.Fatalf("kind %q / backend %+v", env.Kind, env.Backend)
+		}
+		if err := ValidateBackend(env.Backend); err != nil {
+			t.Fatalf("v3 windowed fixture no longer validates: %v", err)
+		}
+		wc, err := RestoreWindowed(env.Backend.Window, 1, coreset.KMeansPP{}, kmeans.FastOptions())
+		if err != nil {
+			t.Fatalf("v3 windowed fixture no longer restores: %v", err)
+		}
+		if wc.Count() != 900 || env.Backend.Count != 900 {
+			t.Errorf("restored count %d / meta %d, want 900", wc.Count(), env.Backend.Count)
+		}
+		want := goldenWindowed(t)
+		if wc.PointsStored() != want.PointsStored() {
+			t.Errorf("restored memory %d, want %d", wc.PointsStored(), want.PointsStored())
+		}
+		if wc.WindowN() != 400 {
+			t.Errorf("restored window %d, want 400", wc.WindowN())
+		}
+		if got := len(wc.Centers()); got != 3 {
+			t.Errorf("%d centers, want 3", got)
+		}
+		wc.Add(geom.Point{1, 2})
+	})
+
+	// Cross-load: every fixture generation also reads through the
+	// metadata peek the registry boot scan uses (v1 single-clusterer
+	// snapshots are not serving backends and are rejected).
+	t.Run("peek-cross-load", func(t *testing.T) {
+		for path, wantType := range map[string]string{
+			v2Path:         BackendConcurrent,
+			v3DecayedPath:  BackendDecayed,
+			v3WindowedPath: BackendWindowed,
+		} {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta, err := PeekBackend(f)
+			f.Close()
+			if err != nil {
+				t.Errorf("PeekBackend(%s): %v", path, err)
+				continue
+			}
+			if meta.Type != wantType || meta.K != 3 || meta.Count == 0 {
+				t.Errorf("PeekBackend(%s) = %+v, want type %s k=3 count>0", path, meta, wantType)
+			}
+		}
+		f, err := os.Open(v1Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if _, err := PeekBackend(f); err == nil {
+			t.Error("PeekBackend accepted a v1 single-clusterer snapshot")
+		}
 	})
 }

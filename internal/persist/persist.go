@@ -34,21 +34,26 @@ import (
 var magic = [7]byte{'S', 'K', 'M', 'S', 'N', 'A', 'P'}
 
 // Version is the newest snapshot format version. Version 2 added the
-// sharded envelope (KindSharded); the envelope encoding is otherwise
+// sharded envelope (KindSharded); version 3 added the typed backend
+// envelope (KindBackend) that wraps the decayed and windowed variants
+// around the v1/v2 payloads. The envelope encoding is otherwise
 // unchanged. Load accepts every version back to MinVersion so old
 // checkpoints keep restoring, and Save stamps each snapshot with the
 // oldest version able to express it (see envelopeVersion), so snapshots
-// that don't use v2 features stay readable by pre-v2 binaries after a
+// that don't use newer features stay readable by older binaries after a
 // rollback.
-const Version byte = 2
+const Version byte = 3
 
 // MinVersion is the oldest snapshot format Load still accepts.
 const MinVersion byte = 1
 
 // envelopeVersion returns the oldest format version that can express
 // env: single-clusterer envelopes are byte-compatible with version 1,
-// only sharded envelopes need version 2.
+// sharded envelopes need version 2, typed backend envelopes version 3.
 func envelopeVersion(env Envelope) byte {
+	if env.Kind == KindBackend || env.Backend != nil {
+		return 3
+	}
 	if env.Kind == KindSharded || env.Sharded != nil {
 		return 2
 	}
@@ -69,11 +74,17 @@ const (
 	// sub-envelope per shard plus routing and cache metadata. See
 	// sharded.go.
 	KindSharded Kind = "Sharded"
+	// KindBackend (format version 3) is a typed serving backend: a
+	// discriminator (concurrent/decayed/windowed) plus spec metadata,
+	// wrapping the variant's payload — a sharded envelope, a decay state
+	// around a v1 single-clusterer envelope, or a sliding-window
+	// histogram. See backend.go.
+	KindBackend Kind = "Backend"
 )
 
 // Envelope carries exactly one clusterer's state. Driver is set for the
 // driver-wrapped kinds (CT, CC, RCC); Sharded nests one envelope per
-// shard.
+// shard; Backend wraps any serving-backend variant.
 type Envelope struct {
 	Kind       Kind
 	Driver     *core.DriverSnapshot
@@ -83,6 +94,7 @@ type Envelope struct {
 	OnlineCC   *core.OnlineCCSnapshot
 	Sequential *seqkm.Snapshot
 	Sharded    *ShardedSnapshot
+	Backend    *BackendSnapshot
 }
 
 // Save writes the envelope to w in the snapshot format.
@@ -321,6 +333,8 @@ func RestoreClusterer(env Envelope, seed int64, b coreset.Builder, opt kmeans.Op
 		return sq, nil
 	case KindSharded:
 		return nil, fmt.Errorf("persist: sharded envelopes restore via RestoreSharded, not RestoreClusterer")
+	case KindBackend:
+		return nil, fmt.Errorf("persist: backend envelopes restore via the streamkm backend factory, not RestoreClusterer")
 	}
 	return nil, fmt.Errorf("persist: unknown kind %q", env.Kind)
 }

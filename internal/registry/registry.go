@@ -58,13 +58,56 @@ type Snapshotter interface {
 	Snapshot(w io.Writer) error
 }
 
-// StreamConfig is the per-stream clustering configuration: which
-// algorithm backs the stream, how many centers queries answer, and the
-// expected point dimension (0 = adopt from the first ingested point).
+// StreamConfig is the per-stream clustering configuration — the wire
+// form of a backend spec: which backend variant and algorithm back the
+// stream, how many centers queries answer, the expected point dimension
+// (0 = adopt from the first ingested point), and the variant-specific
+// knobs (decay half-life, sliding-window length). The registry treats
+// the spec as opaque beyond basic bounds: the New/Restore factories own
+// variant semantics.
 type StreamConfig struct {
-	Algo string `json:"algo"`
-	K    int    `json:"k"`
-	Dim  int    `json:"dim"`
+	Backend  string  `json:"backend,omitempty"`
+	Algo     string  `json:"algo"`
+	K        int     `json:"k"`
+	Dim      int     `json:"dim"`
+	HalfLife float64 `json:"half_life,omitempty"`
+	WindowN  int64   `json:"window_n,omitempty"`
+}
+
+// Bounds beyond which a stream configuration is rejected as absurd
+// rather than handed to a backend constructor: a dim of a million would
+// make every ingested point allocate megabytes before any dimension
+// check fires.
+const (
+	MaxK   = 1 << 20
+	MaxDim = 1 << 20
+)
+
+// Validate rejects stream configurations no backend constructor should
+// ever see: non-positive k, negative or absurd dimensions, negative
+// variant knobs. Variant-specific requirements (e.g. a decayed backend
+// needing a half-life) stay with the factory — its error also surfaces
+// as a client error.
+func (c StreamConfig) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("%w: k must be >= 1, got %d", ErrInvalidConfig, c.K)
+	}
+	if c.K > MaxK {
+		return fmt.Errorf("%w: k %d exceeds the maximum %d", ErrInvalidConfig, c.K, MaxK)
+	}
+	if c.Dim < 0 {
+		return fmt.Errorf("%w: dim must be >= 0, got %d", ErrInvalidConfig, c.Dim)
+	}
+	if c.Dim > MaxDim {
+		return fmt.Errorf("%w: dim %d exceeds the maximum %d", ErrInvalidConfig, c.Dim, MaxDim)
+	}
+	if c.HalfLife < 0 {
+		return fmt.Errorf("%w: half_life must be >= 0, got %v", ErrInvalidConfig, c.HalfLife)
+	}
+	if c.WindowN < 0 {
+		return fmt.Errorf("%w: window_n must be >= 0, got %d", ErrInvalidConfig, c.WindowN)
+	}
+	return nil
 }
 
 // Config configures a Registry.
@@ -92,8 +135,11 @@ type Config struct {
 	New func(id string, cfg StreamConfig) (Backend, error)
 	// Restore rebuilds a backend from a snapshot previously written by
 	// its Snapshotter, returning the configuration recorded in the
-	// snapshot. Required.
-	Restore func(id string, r io.Reader) (Backend, StreamConfig, error)
+	// snapshot. want carries the configuration the stream was explicitly
+	// created with (zero-valued for lazily or boot-registered streams);
+	// implementations must fail on a mismatch rather than resume a
+	// differently-specced snapshot under a tenant's name. Required.
+	Restore func(id string, want StreamConfig, r io.Reader) (Backend, StreamConfig, error)
 	// Peek cheaply reads a snapshot's configuration and point count
 	// without building a backend; it lets the boot scan register
 	// hibernated streams with accurate metadata while keeping them cold.
@@ -120,9 +166,10 @@ type Registry struct {
 
 // Registry errors distinguished by the HTTP layer.
 var (
-	ErrNotFound  = errors.New("registry: no such stream")
-	ErrExists    = errors.New("registry: stream already exists")
-	ErrInvalidID = errors.New("registry: invalid stream id")
+	ErrNotFound      = errors.New("registry: no such stream")
+	ErrExists        = errors.New("registry: stream already exists")
+	ErrInvalidID     = errors.New("registry: invalid stream id")
+	ErrInvalidConfig = errors.New("registry: invalid stream config")
 )
 
 var idRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
@@ -263,6 +310,12 @@ func (r *Registry) lookup(id string, create bool) (*Stream, error) {
 	if err := ValidateID(id); err != nil {
 		return nil, err
 	}
+	// Lazy creation adopts the registry default; vet it exactly like an
+	// explicit PUT body so a misconfigured default surfaces as a client
+	// error on first ingest, not a backend-constructor failure.
+	if err := r.cfg.Default.Validate(); err != nil {
+		return nil, err
+	}
 	e := &Stream{id: id, path: r.pathFor(id), cfg: r.cfg.Default}
 	if e.cfg.Dim > 0 {
 		e.dim.Store(int64(e.cfg.Dim))
@@ -339,8 +392,15 @@ func (r *Registry) materialize(e *Stream) (Backend, error) {
 		f, err := os.Open(e.path)
 		switch {
 		case err == nil:
+			// Streams created explicitly (PUT) pass their declared spec down
+			// so the restore can refuse a mismatched file; lazily or
+			// boot-registered streams adopt whatever the snapshot holds.
+			var want StreamConfig
+			if e.explicit {
+				want = e.cfg
+			}
 			var cfg StreamConfig
-			b, cfg, err = r.cfg.Restore(e.id, f)
+			b, cfg, err = r.cfg.Restore(e.id, want, f)
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("registry: restore %s: %w", e.path, err)
@@ -451,11 +511,20 @@ func (r *Registry) hibernate(e *Stream) error {
 // Sweep hibernates every resident stream idle for longer than the
 // configured TTL, returning how many went cold. The daemon calls it on
 // its checkpoint ticker. No-op when TTL is 0.
+//
+// Durability is batched: each hibernation fsyncs its own file contents
+// (via WriteFileAtomic) but the directory entries from the atomic
+// renames are flushed with one fsync per distinct snapshot directory
+// after the whole batch — hibernating hundreds of idle streams costs
+// one directory sync (per directory actually written, covering Files
+// overrides outside DataDir), not one per stream. Sweep latency is
+// recorded in RegistryStats and surfaces in /stats.
 func (r *Registry) Sweep() int {
 	if r.cfg.TTL <= 0 {
 		return 0
 	}
-	cutoff := r.cfg.now().Add(-r.cfg.TTL).UnixNano()
+	start := r.cfg.now()
+	cutoff := start.Add(-r.cfg.TTL).UnixNano()
 	r.mu.Lock()
 	victims := make([]*Stream, 0, len(r.resident))
 	for _, e := range r.resident {
@@ -465,6 +534,7 @@ func (r *Registry) Sweep() int {
 	}
 	r.mu.Unlock()
 	n := 0
+	dirs := make(map[string]bool)
 	for _, v := range victims {
 		// Recheck idleness under no lock-order constraints; a request may
 		// have landed since the scan.
@@ -473,8 +543,16 @@ func (r *Registry) Sweep() int {
 		}
 		if err := r.hibernate(v); err == nil {
 			n++
+			dirs[filepath.Dir(v.path)] = true
 		}
 	}
+	for dir := range dirs {
+		// Best-effort: the snapshot contents are already fsynced, only
+		// the rename's directory entry rides on this, and the next
+		// checkpoint retries it.
+		persist.SyncDir(dir)
+	}
+	r.stats.RecordSweep(n, r.cfg.now().Sub(start))
 	return n
 }
 
@@ -482,6 +560,9 @@ func (r *Registry) Sweep() int {
 // registry default: PUT bodies may specify only the fields they care
 // about.
 func (r *Registry) fillDefaults(cfg StreamConfig) StreamConfig {
+	if cfg.Backend == "" {
+		cfg.Backend = r.cfg.Default.Backend
+	}
 	if cfg.Algo == "" {
 		cfg.Algo = r.cfg.Default.Algo
 	}
@@ -490,6 +571,17 @@ func (r *Registry) fillDefaults(cfg StreamConfig) StreamConfig {
 	}
 	if cfg.Dim == 0 {
 		cfg.Dim = r.cfg.Default.Dim
+	}
+	// Variant knobs only inherit when the variant itself matches the
+	// default's: a windowed tenant under a decayed-default daemon must
+	// not silently pick up the daemon's half-life.
+	if cfg.Backend == r.cfg.Default.Backend {
+		if cfg.HalfLife == 0 {
+			cfg.HalfLife = r.cfg.Default.HalfLife
+		}
+		if cfg.WindowN == 0 {
+			cfg.WindowN = r.cfg.Default.WindowN
+		}
 	}
 	return cfg
 }
@@ -503,13 +595,16 @@ func (r *Registry) Create(id string, cfg StreamConfig) error {
 		return err
 	}
 	cfg = r.fillDefaults(cfg)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
 	for {
 		r.mu.Lock()
 		if _, ok := r.streams[id]; ok {
 			r.mu.Unlock()
 			return fmt.Errorf("%w: %q", ErrExists, id)
 		}
-		e := &Stream{id: id, path: r.pathFor(id), cfg: cfg}
+		e := &Stream{id: id, path: r.pathFor(id), cfg: cfg, explicit: true}
 		if cfg.Dim > 0 {
 			e.dim.Store(int64(cfg.Dim))
 		}
@@ -695,14 +790,17 @@ func (r *Registry) Snapshot(id string, w io.Writer) error {
 
 // Info is a point-in-time description of one stream.
 type Info struct {
-	ID           string `json:"id"`
-	Resident     bool   `json:"resident"`
-	Algo         string `json:"algo,omitempty"`
-	K            int    `json:"k,omitempty"`
-	Dim          int    `json:"dim,omitempty"`
-	Count        int64  `json:"count"`
-	PointsStored int    `json:"points_stored"`
-	LastAccess   int64  `json:"last_access_unix"`
+	ID           string  `json:"id"`
+	Resident     bool    `json:"resident"`
+	Backend      string  `json:"backend,omitempty"`
+	Algo         string  `json:"algo,omitempty"`
+	K            int     `json:"k,omitempty"`
+	Dim          int     `json:"dim,omitempty"`
+	HalfLife     float64 `json:"half_life,omitempty"`
+	WindowN      int64   `json:"window_n,omitempty"`
+	Count        int64   `json:"count"`
+	PointsStored int     `json:"points_stored"`
+	LastAccess   int64   `json:"last_access_unix"`
 }
 
 // Stat describes one stream without changing its residency; statting a

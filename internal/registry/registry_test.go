@@ -61,10 +61,13 @@ func fakeHooks(cfg Config) Config {
 		}
 		return &fakeBackend{algo: sc.Algo, k: sc.K, dim: sc.Dim}, nil
 	}
-	cfg.Restore = func(id string, r io.Reader) (Backend, StreamConfig, error) {
+	cfg.Restore = func(id string, want StreamConfig, r io.Reader) (Backend, StreamConfig, error) {
 		var st fakeState
 		if err := json.NewDecoder(r).Decode(&st); err != nil {
 			return nil, StreamConfig{}, err
+		}
+		if want.Algo != "" && want.Algo != st.Algo {
+			return nil, StreamConfig{}, fmt.Errorf("snapshot algo %s does not match requested %s", st.Algo, want.Algo)
 		}
 		b := &fakeBackend{algo: st.Algo, k: st.K, dim: st.Dim}
 		b.count.Store(st.Count)
@@ -266,6 +269,92 @@ func TestTTLSweep(t *testing.T) {
 	}
 	if got := streamCount(t, r, "cold"); got != 2 {
 		t.Fatalf("swept stream count %d, want 2", got)
+	}
+	// Sweep latency accounting: both sweeps (the premature no-op and the
+	// real one) are recorded, with the hibernation tally matching.
+	st := r.Stats().Registry
+	if st.Sweeps != 2 {
+		t.Fatalf("recorded %d sweeps, want 2", st.Sweeps)
+	}
+	if st.SweepHibernated != 1 {
+		t.Fatalf("recorded %d sweep hibernations, want 1", st.SweepHibernated)
+	}
+	if st.SweepLastMs < 0 || st.SweepTotalMs < st.SweepLastMs {
+		t.Fatalf("inconsistent sweep latency: last %v total %v", st.SweepLastMs, st.SweepTotalMs)
+	}
+}
+
+func TestStreamConfigValidate(t *testing.T) {
+	good := []StreamConfig{
+		{K: 1},
+		{K: 10, Dim: 128, Backend: "windowed", WindowN: 1000},
+		{K: MaxK, Dim: MaxDim},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []StreamConfig{
+		{K: 0},
+		{K: -1},
+		{K: MaxK + 1},
+		{K: 1, Dim: -1},
+		{K: 1, Dim: MaxDim + 1},
+		{K: 1, HalfLife: -0.5},
+		{K: 1, WindowN: -10},
+	}
+	for _, c := range bad {
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("Validate(%+v) error %v not ErrInvalidConfig", c, err)
+		}
+	}
+}
+
+// TestCreateRejectsInvalidConfig: absurd configurations fail before the
+// backend factory ever runs, as ErrInvalidConfig.
+func TestCreateRejectsInvalidConfig(t *testing.T) {
+	r := mustNew(t, Config{})
+	if err := r.Create("t1", StreamConfig{K: -5}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Create(k=-5) = %v, want ErrInvalidConfig", err)
+	}
+	if err := r.Create("t2", StreamConfig{Dim: MaxDim + 1}); !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("Create(dim=2^20+1) = %v, want ErrInvalidConfig", err)
+	}
+	if len(r.List()) != 0 {
+		t.Fatalf("rejected creates left streams registered: %+v", r.List())
+	}
+}
+
+// TestRestoreMismatchSurfaces: an explicitly created stream whose
+// snapshot file holds a different configuration fails on access instead
+// of silently adopting the file.
+func TestRestoreMismatchSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	r1 := mustNew(t, Config{DataDir: dir})
+	ingest(t, r1, "s", 5) // default algo CC
+	if err := r1.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// New registry over an empty dir; the old CC snapshot "appears" after
+	// boot, then the stream is explicitly created as RCC.
+	dir2 := t.TempDir()
+	r2 := mustNew(t, Config{DataDir: dir2})
+	raw, err := os.ReadFile(filepath.Join(dir, "s.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "s.snap"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Create("s", StreamConfig{Algo: "RCC", K: 3}); err == nil {
+		t.Fatal("Create adopted a snapshot with a mismatched config")
 	}
 }
 

@@ -15,10 +15,11 @@ type Stream struct {
 	id   string
 	path string
 
-	mu      sync.RWMutex
-	backend Backend // nil while hibernated
-	cfg     StreamConfig
-	deleted bool
+	mu       sync.RWMutex
+	backend  Backend // nil while hibernated
+	cfg      StreamConfig
+	explicit bool // created via Create (PUT): cfg is a promise, not a default
+	deleted  bool
 	// Metadata captured at hibernation (or boot Peek) time, served while
 	// the stream is cold.
 	count         int64
@@ -68,9 +69,12 @@ func (e *Stream) info() Info {
 	defer e.mu.RUnlock()
 	in := Info{
 		ID:           e.id,
+		Backend:      e.cfg.Backend,
 		Algo:         e.cfg.Algo,
 		K:            e.cfg.K,
 		Dim:          int(e.dim.Load()),
+		HalfLife:     e.cfg.HalfLife,
+		WindowN:      e.cfg.WindowN,
 		Count:        e.count,
 		PointsStored: e.stored,
 		LastAccess:   e.lastAccess.Load() / 1e9,

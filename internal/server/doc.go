@@ -19,11 +19,15 @@
 // one daemon, and cold ones cost nothing.
 //
 // Both servers are algorithm-agnostic: they serve anything satisfying
-// the small Clusterer interface ([][]float64 in, [][]float64 out), so
-// windowed or decayed variants can slot in without touching the HTTP
-// layer. In the shipped daemon (cmd/streamkmd) the backend is
-// streamkm.Concurrent: P-way sharded ingest with per-shard locks and a
-// read-mostly centers cache.
+// the small Clusterer interface ([][]float64 in, [][]float64 out). The
+// shipped daemon (cmd/streamkmd) wires the registry to the
+// streamkm.Open/Restore backend factory, so each tenant picks its own
+// variant in the PUT body: "concurrent" (P-way sharded ingest with
+// per-shard locks and a read-mostly centers cache — the default),
+// "decayed" (forward exponential decay, influence halving every
+// half_life arrivals) or "windowed" (hard sliding window over the last
+// window_n arrivals). All three hibernate and restore through the same
+// snapshot envelope.
 //
 // Multi endpoints:
 //
@@ -35,12 +39,22 @@
 //	                               ?refresh=1 forces recomputation;
 //	                               restores a hibernated stream lazily.
 //	GET    /streams/{id}/stats     per-stream facts (count, residency,
-//	                               memory); never warms a cold stream.
+//	                               memory, backend spec incl. half_life /
+//	                               window_n); never warms a cold stream.
 //	GET    /streams/{id}/snapshot  the stream's serialized state; served
 //	                               from its file when hibernated.
 //	POST   /streams/{id}/snapshot  checkpoint the stream to its file.
-//	PUT    /streams/{id}           explicit create with JSON config
-//	                               {"algo","k","dim"} (409 if taken).
+//	PUT    /streams/{id}           explicit create with a JSON backend
+//	                               spec {"backend","algo","k","dim",
+//	                               "half_life","window_n"} — backend is
+//	                               "concurrent" (default), "decayed"
+//	                               (requires half_life > 0) or "windowed"
+//	                               (requires window_n >= bucket size);
+//	                               every field optional, zero values fall
+//	                               back to the registry default. Invalid
+//	                               specs (k <= 0, absurd dim, missing or
+//	                               stray variant knobs) are 400; a taken
+//	                               id is 409.
 //	DELETE /streams/{id}           remove the stream and its snapshot.
 //	GET    /streams                list all streams, resident or cold.
 //	GET    /stats                  registry-wide: stream counts (total /
@@ -68,10 +82,13 @@
 // file + fsync + rename via persist.WriteFileAtomic); a crash mid-write
 // never corrupts the previous snapshot. A restarted daemon re-registers
 // every snapshot in its data directory without loading any of them
-// (persist.PeekSharded reads just the metadata), so boot cost is O(#
-// streams), not O(points). The crash-recovery suites (recovery_test.go,
-// tenant_e2e_test.go) assert kill-and-restart equivalence end to end,
-// including 50+ tenants churning through eviction and lazy restore.
+// (persist.PeekBackend reads just the metadata, for every backend
+// variant and format generation), so boot cost is O(# streams), not
+// O(points). The crash-recovery suites (recovery_test.go,
+// tenant_e2e_test.go, backend_e2e_test.go) assert kill-and-restart
+// equivalence end to end, including 50+ tenants churning through
+// eviction and lazy restore and decayed/windowed tenants resuming with
+// their recency semantics intact.
 //
 // Request accounting uses metrics.EndpointStats: a few atomic adds per
 // request, no locks on the hot path.

@@ -110,6 +110,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, registry.ErrInvalidID):
 		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrInvalidConfig):
+		return http.StatusBadRequest
 	}
 	return http.StatusInternalServerError
 }
@@ -247,9 +249,10 @@ func (m *Multi) handleStreamStats(id string, w http.ResponseWriter, _ *http.Requ
 		writeErr(w, err)
 		return 0, true
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	resp := map[string]interface{}{
 		"stream":           in.ID,
 		"resident":         in.Resident,
+		"backend":          in.Backend,
 		"algo":             in.Algo,
 		"k":                in.K,
 		"dim":              in.Dim,
@@ -257,7 +260,14 @@ func (m *Multi) handleStreamStats(id string, w http.ResponseWriter, _ *http.Requ
 		"points_stored":    in.PointsStored,
 		"memory_mb":        metrics.MemoryMB(in.PointsStored, in.Dim),
 		"last_access_unix": in.LastAccess,
-	})
+	}
+	if in.HalfLife > 0 {
+		resp["half_life"] = in.HalfLife
+	}
+	if in.WindowN > 0 {
+		resp["window_n"] = in.WindowN
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return 0, false
 }
 
@@ -294,9 +304,11 @@ func (m *Multi) handleSnapshotPost(id string, w http.ResponseWriter, _ *http.Req
 	return n, false
 }
 
-// handleCreate registers a stream with an explicit configuration:
-// {"algo":"CC","k":10,"dim":0}, every field optional (zero values fall
-// back to the registry default). 409 if the id is taken.
+// handleCreate registers a stream with an explicit configuration — a
+// backend spec like {"backend":"windowed","algo":"CC","k":10,"dim":0,
+// "window_n":100000} (or "backend":"decayed" with "half_life") — every
+// field optional (zero values fall back to the registry default).
+// Invalid specs are 400, a taken id is 409.
 func (m *Multi) handleCreate(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
 	var cfg registry.StreamConfig
 	if r.ContentLength != 0 {

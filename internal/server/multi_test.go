@@ -16,8 +16,9 @@ import (
 	"streamkm/internal/registry"
 )
 
-// streamkmRegistry wires a registry to real streamkm.Concurrent backends
-// — the production pairing the daemon uses.
+// streamkmRegistry wires a registry to real streamkm backends through the
+// spec-driven factory — the production pairing the daemon uses. Tenants
+// can select any backend variant via their stream configuration.
 func streamkmRegistry(t testing.TB, cfg registry.Config) *registry.Registry {
 	t.Helper()
 	if cfg.Default == (registry.StreamConfig{}) {
@@ -25,20 +26,24 @@ func streamkmRegistry(t testing.TB, cfg registry.Config) *registry.Registry {
 	}
 	base := streamkm.Config{BucketSize: 20, Seed: 7}
 	cfg.New = func(id string, sc registry.StreamConfig) (registry.Backend, error) {
-		c := base
-		c.K = sc.K
-		return streamkm.NewConcurrent(streamkm.Algo(sc.Algo), 2, c)
+		return streamkm.Open(streamkm.SpecFromStreamConfig(sc, 2), base)
 	}
-	cfg.Restore = func(id string, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
-		c, err := streamkm.NewConcurrentFromSnapshot(r, streamkm.Config{Seed: base.Seed})
+	cfg.Restore = func(id string, want registry.StreamConfig, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+		b, err := streamkm.Restore(streamkm.SpecFromStreamConfig(want, 0), r, streamkm.Config{Seed: base.Seed})
 		if err != nil {
 			return nil, registry.StreamConfig{}, err
 		}
-		return c, registry.StreamConfig{Algo: string(c.Algo()), K: c.K(), Dim: c.Dim()}, nil
+		return b, b.Spec().StreamConfig(), nil
 	}
 	cfg.Peek = func(r io.Reader) (registry.StreamConfig, int64, error) {
-		algo, k, dim, count, err := persist.PeekSharded(r)
-		return registry.StreamConfig{Algo: algo, K: k, Dim: dim}, count, err
+		m, err := persist.PeekBackend(r)
+		if err != nil {
+			return registry.StreamConfig{}, 0, err
+		}
+		return registry.StreamConfig{
+			Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
+			HalfLife: m.HalfLife, WindowN: m.WindowN,
+		}, m.Count, nil
 	}
 	reg, err := registry.New(cfg)
 	if err != nil {

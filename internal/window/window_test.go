@@ -1,0 +1,171 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func newTest(t *testing.T, k, m, r int, windowN int64) *Clusterer {
+	t.Helper()
+	c, err := New(k, m, r, windowN, coreset.KMeansPP{}, rand.New(rand.NewSource(1)), kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		k, m, r int
+		w       int64
+	}{
+		{0, 10, 2, 100}, {3, 0, 2, 100}, {3, 10, 1, 100}, {3, 10, 2, 5},
+	}
+	for _, c := range cases {
+		if _, err := New(c.k, c.m, c.r, c.w, coreset.KMeansPP{}, rng, kmeans.FastOptions()); err == nil {
+			t.Errorf("New(%d,%d,%d,%d) accepted invalid params", c.k, c.m, c.r, c.w)
+		}
+	}
+	if _, err := New(3, 10, 2, 100, nil, rng, kmeans.FastOptions()); err == nil {
+		t.Error("New accepted a nil builder")
+	}
+}
+
+// TestExpiryForgetsOldCluster is the window's defining behavior: a cluster
+// seen only before the window slides past it must vanish from queries.
+func TestExpiryForgetsOldCluster(t *testing.T) {
+	const windowN = 2000
+	c := newTest(t, 2, 50, 2, windowN)
+	rng := rand.New(rand.NewSource(7))
+
+	// Phase 1: two clusters around (0,0) and (100,100).
+	for i := 0; i < 3000; i++ {
+		base := float64(100 * (i % 2))
+		c.Add(geom.Point{base + rng.NormFloat64(), base + rng.NormFloat64()})
+	}
+	// Phase 2: only clusters around (1000,1000) and (2000,2000) — more
+	// than a full window, so phase 1 fully expires.
+	for i := 0; i < 3*windowN; i++ {
+		base := 1000 * float64(1+i%2)
+		c.Add(geom.Point{base + rng.NormFloat64(), base + rng.NormFloat64()})
+	}
+
+	for _, ctr := range c.Centers() {
+		if ctr[0] < 500 {
+			t.Fatalf("center %v still reflects an expired cluster", ctr)
+		}
+	}
+	if oc := c.OldestCovered(); oc <= 3000 {
+		t.Errorf("oldest covered arrival %d; phase-1 buckets not expired", oc)
+	}
+	if c.Count() != 3000+3*windowN {
+		t.Errorf("count %d, want %d", c.Count(), 3000+3*windowN)
+	}
+	if occ := c.WindowOccupancy(); occ != windowN {
+		t.Errorf("occupancy %d, want %d", occ, windowN)
+	}
+}
+
+// TestMemoryPolylog: storage stays O(r·m·log(W/m)), far below the window.
+func TestMemoryPolylog(t *testing.T) {
+	const windowN = 10000
+	m, r := 40, 2
+	c := newTest(t, 3, m, r, windowN)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5*windowN; i++ {
+		c.Add(geom.Point{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	// Levels: ~log2(W/m) ≈ 8, r+1 buckets of ≤m each plus slack.
+	bound := (r + 2) * m * (2 + int(math.Log2(float64(windowN)/float64(m))))
+	if got := c.PointsStored(); got > bound {
+		t.Errorf("stored %d points for a %d window, want <= %d", got, windowN, bound)
+	}
+}
+
+// TestBoundaryStraddle: the window never over-forgets — everything inside
+// the last W arrivals is covered, and the overshoot beyond W is bounded
+// by the oldest bucket's span.
+func TestBoundaryStraddle(t *testing.T) {
+	const windowN = 1000
+	c := newTest(t, 2, 20, 2, windowN)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10*windowN; i++ {
+		c.Add(geom.Point{rng.NormFloat64()})
+		if c.count <= windowN {
+			continue
+		}
+		oldest := c.OldestCovered()
+		if oldest > c.count-windowN+1 {
+			t.Fatalf("arrival %d: oldest covered %d; window under-covers (cutoff %d)",
+				c.count, oldest, c.count-windowN+1)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := newTest(t, 3, 30, 2, 500)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 1234; i++ {
+		base := float64(50 * (i % 3))
+		c.AddWeighted(geom.Weighted{P: geom.Point{base + rng.NormFloat64(), base}, W: 1 + float64(i%2)})
+	}
+	s := c.Snapshot()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("live snapshot fails validation: %v", err)
+	}
+
+	c2 := newTest(t, 3, 30, 2, 500)
+	c2.Restore(s)
+	if c2.Count() != c.Count() {
+		t.Fatalf("restored count %d, want %d", c2.Count(), c.Count())
+	}
+	if c2.PointsStored() != c.PointsStored() {
+		t.Fatalf("restored memory %d, want %d", c2.PointsStored(), c.PointsStored())
+	}
+	if c2.Dim() != 2 {
+		t.Fatalf("restored dim %d, want 2", c2.Dim())
+	}
+
+	// Both continue consuming the stream identically in shape: counts and
+	// memory track, and queries answer k centers.
+	for i := 0; i < 777; i++ {
+		p := geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+		c.Add(p)
+		c2.Add(p)
+	}
+	if c2.Count() != c.Count() || c2.PointsStored() != c.PointsStored() {
+		t.Fatalf("divergence after restore: count %d/%d stored %d/%d",
+			c2.Count(), c.Count(), c2.PointsStored(), c.PointsStored())
+	}
+	if got := len(c2.Centers()); got != 3 {
+		t.Fatalf("%d centers, want 3", got)
+	}
+}
+
+func TestSnapshotValidateRejects(t *testing.T) {
+	good := newTest(t, 2, 10, 2, 100).Snapshot()
+	mut := []func(*Snapshot){
+		func(s *Snapshot) { s.K = 0 },
+		func(s *Snapshot) { s.M = 0 },
+		func(s *Snapshot) { s.R = 1 },
+		func(s *Snapshot) { s.WindowN = 3 },
+		func(s *Snapshot) { s.Count = -1 },
+		func(s *Snapshot) { s.Partial = make([]geom.Weighted, 10) },
+		func(s *Snapshot) {
+			s.Levels = [][]BucketSnapshot{{{Start: 5, End: 2}}}
+		},
+	}
+	for i, f := range mut {
+		s := good
+		f(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}

@@ -33,8 +33,13 @@
 // Clusterers returned by New are single-goroutine objects. For concurrent
 // workloads — many producer goroutines ingesting while queries are served
 // — use Concurrent (sharded ingest plus a cached-centers query fast path)
-// or NewSharded for explicit per-shard routing; cmd/streamkmd serves a
-// Concurrent over HTTP.
+// or NewSharded for explicit per-shard routing.
+//
+// Serving layers create backends through the spec factory instead of a
+// concrete constructor: Open(BackendSpec{...}, cfg) builds a concurrent,
+// forward-decayed or sliding-window Backend behind one interface, and
+// Restore resumes any of them from a snapshot; cmd/streamkmd serves them
+// over HTTP with per-tenant backend selection.
 package streamkm
 
 import (

@@ -82,6 +82,7 @@ func main() {
 		datasets    = flag.String("datasets", "", "comma-separated subset of: covtype,power,intrusion,drift")
 		fastQueries = flag.Bool("fastqueries", false, "downgrade query-time k-means++ to one seeding pass (fast smoke runs; distorts timing shapes)")
 		replay      = flag.String("replay", "", "replay a dataset over HTTP against a streamkmd daemon at this base URL instead of running experiments")
+		routers     = flag.String("routers", "", "replay through streamkm-router instead: comma-separated router base URLs; requests round-robin across them and handoff refusals (503) are retried")
 		conc        = flag.Int("conc", 4, "concurrent producers in -replay mode")
 		batch       = flag.Int("batch", 500, "points per ingest request in -replay mode")
 		tenants     = flag.Int("tenants", 1, "drive this many independent streams (/streams/replay-NNN) in -replay mode")
@@ -92,10 +93,16 @@ func main() {
 	)
 	flag.Parse()
 
-	if *replay != "" {
+	if *replay != "" || *routers != "" {
 		if *conc < 1 || *batch < 1 || *tenants < 1 {
 			fmt.Fprintf(os.Stderr, "streambench: -conc, -batch and -tenants must be >= 1 (got %d, %d, %d)\n", *conc, *batch, *tenants)
 			os.Exit(2)
+		}
+		var routerURLs []string
+		for _, r := range strings.Split(*routers, ",") {
+			if r = strings.TrimSpace(r); r != "" {
+				routerURLs = append(routerURLs, strings.TrimRight(r, "/"))
+			}
 		}
 		ds := "covtype"
 		if *datasets != "" {
@@ -103,6 +110,7 @@ func main() {
 		}
 		err := runReplay(replayConfig{
 			url:        strings.TrimRight(*replay, "/"),
+			routers:    routerURLs,
 			dataset:    ds,
 			n:          *n,
 			conc:       *conc,

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -26,24 +27,44 @@ import (
 // registry, including eviction/restore churn when the daemon runs with
 // -max-streams below the tenant count.
 type replayConfig struct {
-	url        string  // daemon base URL, e.g. http://localhost:7070
-	dataset    string  // datagen dataset name
-	n          int     // points to replay (total across tenants)
-	conc       int     // concurrent producers
-	batch      int     // points per ingest request
-	tenants    int     // number of streams to drive (1 = legacy root endpoints)
-	backend    string  // backend spec for created streams ("" = daemon default)
-	halfLife   float64 // decay half-life for -backend decayed
-	windowN    int64   // window length for -backend windowed
-	queryEvery int64   // issue a centers query every this many points (0 = none)
+	url        string   // daemon base URL, e.g. http://localhost:7070
+	routers    []string // streamkm-router base URLs: requests round-robin across them and transient handoff refusals (503/502/409) are retried
+	dataset    string   // datagen dataset name
+	n          int      // points to replay (total across tenants)
+	conc       int      // concurrent producers
+	batch      int      // points per ingest request
+	tenants    int      // number of streams to drive (1 = legacy root endpoints)
+	backend    string   // backend spec for created streams ("" = daemon default)
+	halfLife   float64  // decay half-life for -backend decayed
+	windowN    int64    // window length for -backend windowed
+	queryEvery int64    // issue a centers query every this many points (0 = none)
 	seed       int64
 	jsonOut    string // write a machine-readable result to this file ("" = none)
 }
 
+// routerMode reports whether the replay targets streamkm-router
+// instances rather than one daemon directly: tenants must then ride the
+// /streams routes (the router has no single default stream), and
+// transient refusals during tenant handoffs are retried instead of
+// failing the run.
+func (rc replayConfig) routerMode() bool { return len(rc.routers) > 0 }
+
+// base picks the base URL for the i-th request: round-robin over the
+// routers, or the single daemon URL.
+func (rc replayConfig) base(i int) string {
+	if rc.routerMode() {
+		return rc.routers[i%len(rc.routers)]
+	}
+	return rc.url
+}
+
 // useStreams reports whether the replay drives named /streams/... routes
-// (multi-tenant, or any explicit backend selection — the legacy root
-// endpoints cannot carry a spec) rather than the legacy root endpoints.
-func (rc replayConfig) useStreams() bool { return rc.tenants > 1 || rc.backend != "" }
+// (multi-tenant, any explicit backend selection — the legacy root
+// endpoints cannot carry a spec — or router mode) rather than the legacy
+// root endpoints.
+func (rc replayConfig) useStreams() bool {
+	return rc.tenants > 1 || rc.backend != "" || rc.routerMode()
+}
 
 // tenantResult is the per-stream slice of a replay result.
 type tenantResult struct {
@@ -61,6 +82,7 @@ type replayResult struct {
 	N              int            `json:"n"`
 	Dim            int            `json:"dim"`
 	Backend        string         `json:"backend,omitempty"`
+	Routers        int            `json:"routers,omitempty"`
 	Tenants        int            `json:"tenants"`
 	Producers      int            `json:"producers"`
 	Batch          int            `json:"batch"`
@@ -135,8 +157,14 @@ func runReplay(rc replayConfig) error {
 		return err
 	}
 	client := &http.Client{Timeout: 60 * time.Second}
-	if err := checkHealth(client, rc.url); err != nil {
-		return fmt.Errorf("daemon not healthy at %s: %v", rc.url, err)
+	bases := []string{rc.url}
+	if rc.routerMode() {
+		bases = rc.routers
+	}
+	for _, base := range bases {
+		if err := checkHealth(client, base); err != nil {
+			return fmt.Errorf("target not healthy at %s: %v", base, err)
+		}
 	}
 
 	// Stream-routed runs create every stream up front (the explicit-create
@@ -145,7 +173,7 @@ func runReplay(rc replayConfig) error {
 	// batch without racing lazy creation.
 	if rc.useStreams() {
 		for tn := 0; tn < rc.tenants; tn++ {
-			if err := ensureStream(client, rc.url, rc.tenantName(tn), rc.specBody()); err != nil {
+			if err := ensureStream(client, rc.base(tn), rc.tenantName(tn), rc.specBody()); err != nil {
 				return err
 			}
 		}
@@ -176,7 +204,7 @@ func runReplay(rc replayConfig) error {
 				}
 				if st.ingested.Load() >= next {
 					next += rc.queryEvery
-					queryCenters(client, tenantPath(rc.url, rc.tenantName(tenant), "/centers"), st, false)
+					queryCenters(client, rc, tenantPath(rc.base(tenant), rc.tenantName(tenant), "/centers"), st, false)
 					tenant = (tenant + 1) % rc.tenants
 				} else {
 					time.Sleep(2 * time.Millisecond)
@@ -194,6 +222,7 @@ func runReplay(rc replayConfig) error {
 	}
 	jobs := make(chan job, rc.conc*2)
 	var pwg sync.WaitGroup
+	var reqSeq atomic.Int64
 	for w := 0; w < rc.conc; w++ {
 		pwg.Add(1)
 		go func() {
@@ -204,8 +233,21 @@ func runReplay(rc replayConfig) error {
 					continue // a request already failed; drain without posting
 				default:
 				}
-				url := tenantPath(rc.url, rc.tenantName(j.tenant), "/ingest")
-				if err := postBatch(client, url, j.pts, st, j.tenant); err != nil {
+				// Round-robin over routers per request; in router mode a
+				// transient refusal (a tenant mid-handoff answers 503 with
+				// Retry-After, a daemon mid-restart 502) is retried on the
+				// next router rather than failing the run — exactly the
+				// client contract the handoff window defines.
+				var err error
+				for attempt := 0; attempt < rc.maxAttempts(); attempt++ {
+					url := tenantPath(rc.base(int(reqSeq.Add(1))), rc.tenantName(j.tenant), "/ingest")
+					err = postBatch(client, url, j.pts, st, j.tenant)
+					if err == nil || !rc.routerMode() || !errors.Is(err, errTransient) {
+						break
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+				if err != nil {
 					st.fail(err)
 				}
 			}
@@ -234,6 +276,7 @@ func runReplay(rc replayConfig) error {
 		N:              ds.N(),
 		Dim:            ds.Dim,
 		Backend:        rc.backend,
+		Routers:        len(rc.routers),
 		Tenants:        rc.tenants,
 		Producers:      rc.conc,
 		Batch:          rc.batch,
@@ -253,7 +296,7 @@ func runReplay(rc replayConfig) error {
 		var count int64
 		var k int
 		if !aborted {
-			count, k = queryCenters(client, tenantPath(rc.url, rc.tenantName(tn), "/centers"), st, true)
+			count, k = queryCenters(client, rc, tenantPath(rc.base(tn), rc.tenantName(tn), "/centers"), st, true)
 		}
 		name := rc.tenantName(tn)
 		if name == "" {
@@ -278,8 +321,12 @@ func runReplay(rc replayConfig) error {
 		res.FirstError = (*ep).Error()
 	}
 
+	target := rc.url
+	if rc.routerMode() {
+		target = fmt.Sprintf("%d router(s) at %s", len(rc.routers), strings.Join(rc.routers, " "))
+	}
 	t := metrics.NewTable(
-		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d) against %s", ds.Name, ds.N(), ds.Dim, rc.url),
+		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d) against %s", ds.Name, ds.N(), ds.Dim, target),
 		"tenants", "producers", "batch", "points", "ingest reqs", "wall", "points/s",
 		"queries", "q p50 ms", "q p95 ms")
 	t.AddRow(rc.tenants, rc.conc, rc.batch, res.Ingested, res.IngestRequests,
@@ -310,7 +357,7 @@ func runReplay(rc replayConfig) error {
 	if ep := st.firstErr.Load(); ep != nil {
 		return fmt.Errorf("replay hit %d request errors; first: %v", res.Errors, *ep)
 	}
-	return printServerStats(client, rc.url)
+	return printServerStats(client, rc.base(0))
 }
 
 // specBody renders the PUT body selecting the replay's backend spec;
@@ -372,6 +419,30 @@ func checkHealth(client *http.Client, base string) error {
 	return nil
 }
 
+// errTransient marks replay request failures that router mode retries:
+// a tenant mid-handoff (503/409) or a daemon briefly unreachable behind
+// the router (502/504).
+var errTransient = errors.New("transient")
+
+// transientStatus classifies router-mode retriable statuses.
+func transientStatus(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusBadGateway,
+		http.StatusGatewayTimeout, http.StatusConflict:
+		return true
+	}
+	return false
+}
+
+// maxAttempts bounds router-mode retries per batch; direct daemon replays
+// never retry (a failure there is the benchmark's signal).
+func (rc replayConfig) maxAttempts() int {
+	if rc.routerMode() {
+		return 100
+	}
+	return 1
+}
+
 // postBatch streams one ndjson batch to an ingest endpoint and accounts
 // the daemon-acknowledged point count.
 func postBatch(client *http.Client, url string, pts []geom.Point, st *replayStats, tenant int) error {
@@ -395,7 +466,11 @@ func postBatch(client *http.Client, url string, pts []geom.Point, st *replayStat
 		return fmt.Errorf("ingest response: %v", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
+		err := fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
+		if transientStatus(resp.StatusCode) {
+			err = fmt.Errorf("%w: %v", errTransient, err)
+		}
+		return err
 	}
 	st.ingested.Add(body.Ingested)
 	st.requests.Add(1)
@@ -406,8 +481,9 @@ func postBatch(client *http.Client, url string, pts []geom.Point, st *replayStat
 
 // queryCenters hits a centers endpoint (optionally forcing a cache
 // refresh) and records latency; it returns the reported count and center
-// count for final per-tenant accounting.
-func queryCenters(client *http.Client, url string, st *replayStats, refresh bool) (int64, int) {
+// count for final per-tenant accounting. In router mode a transiently
+// refused query (tenant mid-handoff) is skipped, not fatal.
+func queryCenters(client *http.Client, rc replayConfig, url string, st *replayStats, refresh bool) (int64, int) {
 	if refresh {
 		url += "?refresh=1"
 	}
@@ -418,6 +494,10 @@ func queryCenters(client *http.Client, url string, st *replayStats, refresh bool
 		return 0, 0
 	}
 	defer resp.Body.Close()
+	if rc.routerMode() && transientStatus(resp.StatusCode) {
+		io.Copy(io.Discard, resp.Body)
+		return 0, 0
+	}
 	var body struct {
 		Count   int64       `json:"count"`
 		Centers [][]float64 `json:"centers"`

@@ -1,0 +1,72 @@
+// Command streamkm-router is the horizontal-scaling front for a fleet of
+// streamkmd daemons: a consistent-hash router that maps every stream id
+// onto one daemon, so the fleet serves the union of all tenants while
+// each tenant's coreset state — small by the paper's construction —
+// lives whole on exactly one daemon.
+//
+//	                   ┌──────────────┐
+//	clients ─────────► │ streamkm-    │    tenant id ──hash──► daemon
+//	/streams/{id}/...  │   router     │
+//	                   └──┬────┬────┬─┘
+//	              ┌───────┘    │    └────────┐
+//	              ▼            ▼             ▼
+//	        ┌──────────┐ ┌──────────┐ ┌──────────┐
+//	        │streamkmd │ │streamkmd │ │streamkmd │   each with its own
+//	        │  "a"     │ │  "b"     │ │  "c"     │   -data-dir
+//	        └──────────┘ └──────────┘ └──────────┘
+//
+// Usage:
+//
+//	streamkm-router -addr :7080 \
+//	    -members a=http://10.0.0.1:7070,b=http://10.0.0.2:7070,c=http://10.0.0.3:7070
+//
+// Per-stream requests (/streams/{id}/..., PUT/DELETE /streams/{id}) are
+// forwarded to the owning daemon; the response carries an
+// X-Streamkm-Owner header naming it. GET /streams and GET /stats fan out
+// to every daemon and return merged fleet-wide views. GET /ring serves
+// the serializable ring state (version, replicas, members), which is a
+// pure function of the member-name set: any router given the same
+// members maps every tenant identically, so routers can be replicated
+// without coordination.
+//
+// # Membership and rebalancing
+//
+//	curl -X POST localhost:7080/cluster/members -d '{"name":"d","url":"http://10.0.0.4:7070"}'
+//	curl -X DELETE localhost:7080/cluster/members/c        # drain c out
+//	curl -X PUT  localhost:7080/cluster/members -d '{"name":"c","url":"http://10.0.0.9:7070"}'
+//	curl -X POST localhost:7080/cluster/rebalance          # retry pending handoffs
+//
+// Membership changes rebalance synchronously: for every tenant whose
+// ring owner changed, the router drives the daemons' handoff protocol —
+// POST /streams/{id}/detach on the source (which checkpoints the tenant
+// and freezes it), GET its /snapshot, PUT the snapshot onto the new
+// owner, DELETE the source copy. The ring hashes stable member *names*,
+// not addresses, so consistent hashing guarantees only the joining or
+// leaving member's tenants move (~tenants/members of them), and a daemon
+// restarting at a new address moves nothing.
+//
+// # The handoff write-refusal window
+//
+// While one tenant's snapshot is in flight, writes to that tenant — and
+// only that tenant — are refused with 503 + Retry-After: 1; every other
+// tenant is untouched. The window is one small-snapshot copy long.
+// Clients retry on 503 exactly as they would for any overloaded service;
+// nothing refused is ever half-applied. If a migration fails mid-way
+// (e.g. the source daemon dies), the tenant stays frozen rather than
+// being lazily re-created empty on the new owner — correctness over
+// availability: a refused write is retriable, a forked history is not.
+// Restart the daemon (its -data-dir holds every acknowledged point),
+// report its address with PUT /cluster/members, and POST
+// /cluster/rebalance to complete the move.
+//
+// # Caveat: legacy default streams
+//
+// Every streamkmd serves a legacy default stream (-default-stream,
+// "default" by default) for the pre-multi-tenant root endpoints. Behind
+// a router those per-daemon defaults collide into one merged id, and a
+// rebalance will collapse them onto the ring owner, keeping the copy
+// with the highest count. Router-fronted clients should use the
+// /streams/{id} routes; if the legacy root endpoints are exercised
+// directly against daemons, give each daemon a distinct -default-stream
+// name.
+package main

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"streamkm/internal/ring"
+)
+
+// options carries the flag values; split from main for testability.
+type options struct {
+	addr        string
+	members     string
+	replicas    int
+	timeout     time.Duration
+	rebalance   time.Duration
+	bootSync    bool
+	bootRetries int
+}
+
+// parseMembers turns "a=http://h1:7070,b=http://h2:7070" into members.
+func parseMembers(s string) ([]ring.Member, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, errors.New("at least one -members entry (name=url) is required")
+	}
+	var out []ring.Member
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -members entry %q (want name=url)", part)
+		}
+		out = append(out, ring.Member{Name: name, URL: url})
+	}
+	if len(out) == 0 {
+		return nil, errors.New("at least one -members entry (name=url) is required")
+	}
+	return out, nil
+}
+
+// build wires options into a serving-ready proxy.
+func build(o options) (*ring.Proxy, error) {
+	members, err := parseMembers(o.members)
+	if err != nil {
+		return nil, err
+	}
+	if o.timeout <= 0 {
+		o.timeout = 30 * time.Second
+	}
+	return ring.NewProxy(ring.ProxyConfig{
+		Members:  members,
+		Replicas: o.replicas,
+		Client:   &http.Client{Timeout: o.timeout},
+	})
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7080", "listen address")
+	flag.StringVar(&o.members, "members", "", "comma-separated fleet members, name=url each (e.g. a=http://10.0.0.1:7070,b=http://10.0.0.2:7070); names are the stable ring identities")
+	flag.IntVar(&o.replicas, "replicas", 0, "virtual nodes per member (0 = 128)")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "per-request upstream timeout")
+	flag.DurationVar(&o.rebalance, "rebalance-interval", 0, "periodically retry pending handoffs and clean stale copies (0 = only on membership changes and POST /cluster/rebalance)")
+	flag.BoolVar(&o.bootSync, "sync-on-boot", true, "reconcile tenant placement with the fleet before serving (retries until the daemons answer; refuses to start if they never do)")
+	flag.IntVar(&o.bootRetries, "sync-retries", 30, "boot reconciliation attempts, 2s apart, before refusing to start")
+	flag.Parse()
+
+	p, err := build(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "streamkm-router: %v\n", err)
+		os.Exit(2)
+	}
+	st := p.Ring().State()
+	log.Printf("streamkm-router: ring v%d over %d members (%d vnodes each) on %s",
+		st.Version, len(st.Members), p.Ring().Replicas(), o.addr)
+
+	if o.bootSync {
+		// Placement is learned, not assumed: reconcile with what the
+		// daemons actually hold BEFORE serving, so a router restart (or a
+		// boot against a populated fleet) can never route a write to a
+		// ring owner that would lazily re-create a tenant whose state
+		// sits on a non-owner from before — a fork the next rebalance
+		// would resolve by deleting acknowledged points. Serving is gated
+		// on this; if the fleet never answers, refusing to start is the
+		// safe failure (disable with -sync-on-boot=false to accept the
+		// risk).
+		synced := false
+		for i := 0; i < o.bootRetries; i++ {
+			rep, err := p.Rebalance(context.Background())
+			if err == nil && len(rep.ListFailed) == 0 {
+				log.Printf("streamkm-router: boot sync: %d tenants, %d moved, %d pending",
+					rep.Tenants, len(rep.Moved), len(rep.Pending))
+				synced = true
+				break
+			}
+			if err != nil {
+				log.Printf("streamkm-router: boot sync attempt %d/%d: %v", i+1, o.bootRetries, err)
+			} else {
+				log.Printf("streamkm-router: boot sync attempt %d/%d: daemons unreachable: %v",
+					i+1, o.bootRetries, rep.ListFailed)
+			}
+			time.Sleep(2 * time.Second)
+		}
+		if !synced {
+			fmt.Fprintf(os.Stderr, "streamkm-router: fleet unreachable after %d boot-sync attempts; refusing to serve with unknown tenant placement (use -sync-on-boot=false to override)\n", o.bootRetries)
+			os.Exit(2)
+		}
+	}
+
+	done := make(chan struct{})
+	if o.rebalance > 0 {
+		go func() {
+			ticker := time.NewTicker(o.rebalance)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if rep, err := p.Rebalance(context.Background()); err == nil &&
+						(len(rep.Moved) > 0 || len(rep.Pending) > 0) {
+						log.Printf("streamkm-router: rebalance: moved %d, pending %d", len(rep.Moved), len(rep.Pending))
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	hs := &http.Server{Addr: o.addr, Handler: p.Handler()}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("streamkm-router: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	<-stop
+	close(done)
+	log.Printf("streamkm-router: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("streamkm-router: shutdown: %v", err)
+	}
+}

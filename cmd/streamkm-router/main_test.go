@@ -1,0 +1,201 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"streamkm"
+	"streamkm/internal/persist"
+	"streamkm/internal/registry"
+	"streamkm/internal/server"
+)
+
+func TestParseMembers(t *testing.T) {
+	ms, err := parseMembers("a=http://h1:7070, b=http://h2:7070")
+	if err != nil || len(ms) != 2 || ms[0].Name != "a" || ms[1].URL != "http://h2:7070" {
+		t.Fatalf("parse: %+v, %v", ms, err)
+	}
+	for _, bad := range []string{"", "nourl", "=http://x", "a=", "a=http://x,,=y"} {
+		if _, err := parseMembers(bad); err == nil {
+			t.Errorf("parseMembers(%q): expected error", bad)
+		}
+	}
+	if _, err := build(options{members: "a=http://h:1,a=http://h:2"}); err == nil {
+		t.Error("duplicate member names accepted")
+	}
+	if _, err := build(options{}); err == nil {
+		t.Error("empty members accepted")
+	}
+}
+
+// daemon is one in-process streamkmd-equivalent stack (registry + multi
+// server), the same pairing cmd/streamkmd's build wires.
+type daemon struct {
+	name string
+	reg  *registry.Registry
+	ts   *httptest.Server
+}
+
+func startDaemon(t *testing.T, name string) *daemon {
+	t.Helper()
+	base := streamkm.Config{BucketSize: 20, Seed: 5}
+	reg, err := registry.New(registry.Config{
+		DataDir: t.TempDir(),
+		Default: registry.StreamConfig{Backend: "concurrent", Algo: "CC", K: 3},
+		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
+			return streamkm.Open(streamkm.SpecFromStreamConfig(sc, 2), base)
+		},
+		Restore: func(_ string, want registry.StreamConfig, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+			b, err := streamkm.Restore(streamkm.SpecFromStreamConfig(want, 0), r, streamkm.Config{Seed: base.Seed})
+			if err != nil {
+				return nil, registry.StreamConfig{}, err
+			}
+			return b, b.Spec().StreamConfig(), nil
+		},
+		Peek: func(r io.Reader) (registry.StreamConfig, int64, error) {
+			m, err := persist.PeekBackend(r)
+			if err != nil {
+				return registry.StreamConfig{}, 0, err
+			}
+			return registry.StreamConfig{Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim}, m.Count, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.NewMulti(reg, server.MultiConfig{MaxBatch: 64}).Handler())
+	t.Cleanup(ts.Close)
+	return &daemon{name: name, reg: reg, ts: ts}
+}
+
+// TestRouterDaemonLevel drives the built router (flag parsing and all)
+// against live daemon stacks: multi-tenant replay through the router,
+// live drain of one daemon over the admin API, and a graceful kill of
+// the drained daemon — totals and per-tenant service must survive.
+func TestRouterDaemonLevel(t *testing.T) {
+	d1 := startDaemon(t, "d1")
+	d2 := startDaemon(t, "d2")
+	d3 := startDaemon(t, "d3")
+
+	p, err := build(options{
+		members: fmt.Sprintf("d1=%s,d2=%s,d3=%s", d1.ts.URL, d2.ts.URL, d3.ts.URL),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	router := httptest.NewServer(p.Handler())
+	defer router.Close()
+	client := router.Client()
+
+	const tenants, per = 8, 150
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("dl-%d", i)
+		var body strings.Builder
+		for j := 0; j < per; j++ {
+			fmt.Fprintf(&body, "[%d,%d]\n", j%7, (i+j)%5)
+		}
+		resp, err := client.Post(router.URL+"/streams/"+id+"/ingest",
+			"application/x-ndjson", strings.NewReader(body.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	countAll := func() (map[string]int64, int) {
+		t.Helper()
+		resp, err := client.Get(router.URL + "/streams")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Streams []struct {
+				ID     string `json:"id"`
+				Count  int64  `json:"count"`
+				Daemon string `json:"daemon"`
+			} `json:"streams"`
+			Total int `json:"total"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int64{}
+		for _, s := range body.Streams {
+			counts[s.ID] = s.Count
+		}
+		return counts, body.Total
+	}
+	counts, total := countAll()
+	if total != tenants {
+		t.Fatalf("merged total %d, want %d", total, tenants)
+	}
+	for id, n := range counts {
+		if n != per {
+			t.Fatalf("tenant %s count %d, want %d", id, n, per)
+		}
+	}
+
+	// Drain d3 over the admin API (live handoff), then kill it.
+	req, _ := http.NewRequest(http.MethodDelete, router.URL+"/cluster/members/d3", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Moved   []string          `json:"moved"`
+		Pending map[string]string `json:"pending"`
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status %d: %s", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 0 {
+		t.Fatalf("live drain left pending handoffs: %+v", rep.Pending)
+	}
+	if got := len(d3.reg.List()); got != 0 {
+		t.Fatalf("drained daemon still holds %d tenants", got)
+	}
+	d3.ts.Close() // the daemon is now disposable
+
+	counts, total = countAll()
+	if total != tenants {
+		t.Fatalf("merged total after drain %d, want %d", total, tenants)
+	}
+	for id, n := range counts {
+		if n != per {
+			t.Fatalf("tenant %s count after drain %d, want %d", id, n, per)
+		}
+	}
+	// Every tenant still answers queries through the router.
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("dl-%d", i)
+		resp, err := client.Get(router.URL + "/streams/" + id + "/centers")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("centers %s after drain: status %d", id, resp.StatusCode)
+		}
+	}
+	// A rebalance after the fact is a no-op, not an error.
+	if rep, err := p.Rebalance(context.Background()); err != nil || len(rep.Moved) != 0 {
+		t.Fatalf("idle rebalance: %+v, %v", rep, err)
+	}
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import "sync/atomic"
+
+// RouterStats accumulates counters for the consistent-hash router: how
+// much traffic it forwarded (and how much of that failed upstream), how
+// many fleet-wide fan-out queries it served, how many writes it refused
+// because the tenant was mid-handoff, and how the rebalancer fared. All
+// methods are safe for concurrent use.
+type RouterStats struct {
+	proxied       atomic.Int64
+	proxyErrors   atomic.Int64
+	fanouts       atomic.Int64
+	refusals      atomic.Int64
+	rebalances    atomic.Int64
+	migrations    atomic.Int64
+	migrationErrs atomic.Int64
+	staleDeletes  atomic.Int64
+}
+
+// RecordProxied accounts one forwarded per-stream request; failed marks
+// the upstream as unreachable or erroring at transport level.
+func (r *RouterStats) RecordProxied(failed bool) {
+	r.proxied.Add(1)
+	if failed {
+		r.proxyErrors.Add(1)
+	}
+}
+
+// RecordFanout accounts one fleet-wide merged query (/streams, /stats).
+func (r *RouterStats) RecordFanout() { r.fanouts.Add(1) }
+
+// RecordRefusal accounts one write refused during a tenant's handoff
+// window (the 503 + Retry-After path).
+func (r *RouterStats) RecordRefusal() { r.refusals.Add(1) }
+
+// RecordRebalance accounts one rebalance pass.
+func (r *RouterStats) RecordRebalance() { r.rebalances.Add(1) }
+
+// RecordMigration accounts one tenant handoff attempt; failed marks it
+// as pending (to be retried by a later rebalance).
+func (r *RouterStats) RecordMigration(failed bool) {
+	r.migrations.Add(1)
+	if failed {
+		r.migrationErrs.Add(1)
+	}
+}
+
+// RecordStaleDelete accounts one duplicate tenant copy removed during
+// reconciliation.
+func (r *RouterStats) RecordStaleDelete() { r.staleDeletes.Add(1) }
+
+// RouterSnapshot is a point-in-time copy of router counters, shaped for
+// direct JSON serialization in a stats response.
+type RouterSnapshot struct {
+	Proxied          int64 `json:"proxied"`
+	ProxyErrors      int64 `json:"proxy_errors"`
+	Fanouts          int64 `json:"fanouts"`
+	HandoffRefusals  int64 `json:"handoff_refusals"`
+	Rebalances       int64 `json:"rebalances"`
+	Migrations       int64 `json:"migrations"`
+	MigrationErrors  int64 `json:"migration_errors"`
+	StaleCopyDeletes int64 `json:"stale_copy_deletes"`
+}
+
+// Snapshot captures current counter values.
+func (r *RouterStats) Snapshot() RouterSnapshot {
+	return RouterSnapshot{
+		Proxied:          r.proxied.Load(),
+		ProxyErrors:      r.proxyErrors.Load(),
+		Fanouts:          r.fanouts.Load(),
+		HandoffRefusals:  r.refusals.Load(),
+		Rebalances:       r.rebalances.Load(),
+		Migrations:       r.migrations.Load(),
+		MigrationErrors:  r.migrationErrs.Load(),
+		StaleCopyDeletes: r.staleDeletes.Load(),
+	}
+}

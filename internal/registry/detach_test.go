@@ -1,0 +1,272 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDetachLifecycle walks the full handoff protocol a router drives on
+// the source daemon: detach hibernates and freezes the stream, the
+// snapshot stays downloadable, every other surface answers 409, and the
+// handoff ends in either Reattach (abort, stream serves again with
+// nothing lost) or Delete (completion).
+func TestDetachLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	r := mustNew(t, Config{DataDir: dir})
+	ingest(t, r, "s1", 40)
+
+	path, err := r.Detach("s1", "http://next:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("detach returned no snapshot path")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("detach left no snapshot file: %v", err)
+	}
+
+	// Frozen: access is refused with the owner hint, not served and not
+	// lazily re-created.
+	err = r.With("s1", true, func(_ *Stream, _ Backend) error { return nil })
+	if !errors.Is(err, ErrDetached) {
+		t.Fatalf("With on detached stream: %v, want ErrDetached", err)
+	}
+	var de *DetachedError
+	if !errors.As(err, &de) || de.Owner != "http://next:7070" {
+		t.Fatalf("detached error carries no owner hint: %v", err)
+	}
+	// Idempotent re-detach updates the hint.
+	if _, err := r.Detach("s1", "http://other:7070"); err != nil {
+		t.Fatal(err)
+	}
+	err = r.With("s1", false, func(_ *Stream, _ Backend) error { return nil })
+	if !errors.As(err, &de) || de.Owner != "http://other:7070" {
+		t.Fatalf("re-detach did not update hint: %v", err)
+	}
+
+	// Stat still describes it (and flags the state); the snapshot is
+	// still downloadable — that is what the router ships to the new
+	// owner.
+	in, err := r.Stat("s1")
+	if err != nil || !in.Detached || in.Count != 40 {
+		t.Fatalf("detached stat: %+v, %v", in, err)
+	}
+	var buf bytes.Buffer
+	if err := r.Snapshot("s1", &buf); err != nil {
+		t.Fatalf("snapshot of detached stream: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty snapshot for detached stream")
+	}
+
+	// Abort path: reattach, and the stream serves again with every
+	// acknowledged point.
+	if err := r.Reattach("s1"); err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	if err := r.With("s1", false, func(_ *Stream, b Backend) error {
+		count = b.Count()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 40 {
+		t.Fatalf("count after reattach %d, want 40", count)
+	}
+
+	// Completion path: detach again, delete, and the id is free.
+	if _, err := r.Detach("s1", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("s1"); err != nil {
+		t.Fatalf("delete of detached stream: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("delete left the snapshot file: %v", err)
+	}
+	if _, err := r.Stat("s1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted stream still registered: %v", err)
+	}
+}
+
+// TestDetachColdAndEmptyStreams: detaching a hibernated stream is a pure
+// mark (the file is already authoritative), and detaching a registered
+// but never-checkpointed stream first materializes it so the new owner
+// receives a restorable snapshot.
+func TestDetachColdAndEmptyStreams(t *testing.T) {
+	dir := t.TempDir()
+	r := mustNew(t, Config{DataDir: dir, TTL: 1})
+	ingest(t, r, "cold", 7)
+	if n := r.Sweep(); n != 1 {
+		t.Fatalf("sweep hibernated %d, want 1", n)
+	}
+	evictions := r.Stats().Registry.Evictions
+	if _, err := r.Detach("cold", ""); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Registry.Evictions; got != evictions {
+		t.Fatalf("detaching a cold stream re-hibernated it (%d -> %d evictions)", evictions, got)
+	}
+
+	// An explicitly created stream that was never checkpointed still
+	// detaches into a valid (empty) snapshot.
+	if err := r.Create("empty", StreamConfig{Algo: "CT", K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path, err := r.Detach("empty", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("empty-stream detach snapshot: %v (size %v)", err, fi)
+	}
+
+	if _, err := r.Detach("ghost", ""); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("detach of unknown stream: %v", err)
+	}
+	if err := r.Reattach("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reattach of unknown stream: %v", err)
+	}
+}
+
+// TestDetachConcurrentIngest is the -race handoff-safety test: ingest
+// workers hammer one stream while it is detached and later reattached.
+// Every batch is either fully acknowledged or refused with ErrDetached —
+// never half-applied, never silently dropped — so the acknowledged total
+// always equals the backend count, before, during and after the handoff
+// window.
+func TestDetachConcurrentIngest(t *testing.T) {
+	dir := t.TempDir()
+	r := mustNew(t, Config{DataDir: dir})
+	ingest(t, r, "hot", 1) // materialize
+
+	const (
+		workers   = 8
+		batches   = 60
+		batchSize = 5
+	)
+	var (
+		acked   atomic.Int64
+		refused atomic.Int64
+		wg      sync.WaitGroup
+	)
+	pts := make([][]float64, batchSize)
+	for i := range pts {
+		pts[i] = []float64{float64(i), 1}
+	}
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < batches; i++ {
+				err := r.With("hot", false, func(_ *Stream, b Backend) error {
+					b.AddBatch(pts)
+					return nil
+				})
+				switch {
+				case err == nil:
+					acked.Add(batchSize)
+				case errors.Is(err, ErrDetached):
+					refused.Add(1)
+				default:
+					t.Errorf("ingest: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	// Detach mid-traffic, hold the handoff window open briefly, abort it.
+	if _, err := r.Detach("hot", "elsewhere"); err != nil {
+		t.Fatal(err)
+	}
+	// While detached, the snapshot on disk must already cover every
+	// acknowledged point: nothing acked can exist only in RAM once the
+	// detach returned. (A batch can be applied under the stream lock but
+	// counted into acked a beat later, so the snapshot may run ahead of
+	// the acked tally — never behind it.)
+	ackedAtFreeze := acked.Load()
+	var st fakeState
+	raw, err := os.ReadFile(dir + "/hot.snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Count < ackedAtFreeze+1 { // +1 from the materializing ingest
+		t.Fatalf("snapshot count %d < acknowledged %d at freeze: detach dropped acked points",
+			st.Count, ackedAtFreeze+1)
+	}
+	if err := r.Reattach("hot"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	var final int64
+	if err := r.With("hot", false, func(_ *Stream, b Backend) error {
+		final = b.Count()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := acked.Load() + 1; final != want {
+		t.Fatalf("final count %d != acknowledged %d (refused %d batches): the 409/retry path dropped points",
+			final, want, refused.Load())
+	}
+}
+
+// TestInstall: the receiving half of a migration. A snapshot produced by
+// one registry installs into another with state and spec intact; taken
+// ids and garbage envelopes are refused with nothing registered.
+func TestInstall(t *testing.T) {
+	src := mustNew(t, Config{DataDir: t.TempDir()})
+	ingest(t, src, "mover", 25)
+	var snap bytes.Buffer
+	if err := src.Snapshot("mover", &snap); err != nil {
+		t.Fatal(err)
+	}
+
+	dstDir := t.TempDir()
+	dst := mustNew(t, Config{DataDir: dstDir})
+	if err := dst.Install("mover", bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	in, err := dst.Stat("mover")
+	if err != nil || in.Count != 25 || !in.Resident {
+		t.Fatalf("installed stream: %+v, %v", in, err)
+	}
+	if _, err := os.Stat(dstDir + "/mover.snap"); err != nil {
+		t.Fatalf("install left no snapshot file: %v", err)
+	}
+
+	// Taken id: refused, original state untouched.
+	if err := dst.Install("mover", strings.NewReader("whatever")); !errors.Is(err, ErrExists) {
+		t.Fatalf("install over live stream: %v, want ErrExists", err)
+	}
+	// Garbage envelope: refused, nothing registered, no file left.
+	if err := dst.Install("junk", strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage install accepted")
+	}
+	if _, err := dst.Stat("junk"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed install left a registered stream: %v", err)
+	}
+	if _, err := os.Stat(dstDir + "/junk.snap"); !os.IsNotExist(err) {
+		t.Fatalf("failed install left a file: %v", err)
+	}
+	// No persistence, no install.
+	mem := mustNew(t, Config{})
+	if err := mem.Install("mover", bytes.NewReader(snap.Bytes())); err == nil {
+		t.Fatal("install into a memory-only registry succeeded")
+	}
+}

@@ -170,7 +170,28 @@ var (
 	ErrExists        = errors.New("registry: stream already exists")
 	ErrInvalidID     = errors.New("registry: invalid stream id")
 	ErrInvalidConfig = errors.New("registry: invalid stream config")
+	ErrDetached      = errors.New("registry: stream detached for migration")
 )
+
+// DetachedError reports a request against a stream frozen for migration
+// to another daemon. Owner, when non-empty, is the forwarding hint the
+// detacher supplied (where the tenant is moving); the HTTP layer
+// surfaces it as an X-Streamkm-Owner header on the 409 so a retrying
+// client can follow the move. errors.Is(err, ErrDetached) matches.
+type DetachedError struct {
+	ID    string
+	Owner string
+}
+
+func (e *DetachedError) Error() string {
+	if e.Owner == "" {
+		return fmt.Sprintf("registry: stream %q detached for migration", e.ID)
+	}
+	return fmt.Sprintf("registry: stream %q detached for migration to %s", e.ID, e.Owner)
+}
+
+// Unwrap lets errors.Is(err, ErrDetached) match.
+func (e *DetachedError) Unwrap() error { return ErrDetached }
 
 var idRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
@@ -348,6 +369,11 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 			e.mu.RUnlock()
 			continue // entry was deleted under us; re-resolve the id
 		}
+		if e.detached {
+			err := &DetachedError{ID: e.id, Owner: e.newOwner}
+			e.mu.RUnlock()
+			return err
+		}
 		if b := e.backend; b != nil {
 			err := fn(e, b)
 			e.mu.RUnlock()
@@ -361,6 +387,11 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 		if e.deleted {
 			e.mu.Unlock()
 			continue
+		}
+		if e.detached {
+			err := &DetachedError{ID: e.id, Owner: e.newOwner}
+			e.mu.Unlock()
+			return err
 		}
 		b := e.backend
 		if b == nil {
@@ -477,6 +508,11 @@ func (r *Registry) enforceCap() {
 func (r *Registry) hibernate(e *Stream) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return r.hibernateLocked(e)
+}
+
+// hibernateLocked is hibernate's body; the caller holds e.mu exclusively.
+func (r *Registry) hibernateLocked(e *Stream) error {
 	b := e.backend
 	if b == nil || e.deleted {
 		return nil // already cold (or gone); not a failure
@@ -501,6 +537,21 @@ func (r *Registry) hibernate(e *Stream) error {
 	e.stored = b.PointsStored()
 	e.lastCkptCount = e.count
 	e.backend = nil
+	// While the stream is cold, listings serve e.cfg — which so far holds
+	// the *requested* configuration, not necessarily the spec the backend
+	// actually ran with (a lazily created stream under a spec-less
+	// default has no backend recorded at all; a windowed stream carries a
+	// phantom inherited algo). Peek the snapshot just written, exactly as
+	// the boot scan does, so a hibernated stream's listing always shows
+	// the authoritative backend spec.
+	if r.cfg.Peek != nil {
+		if f, err := os.Open(e.path); err == nil {
+			if cfg, _, err := r.cfg.Peek(f); err == nil {
+				e.cfg = cfg
+			}
+			f.Close()
+		}
+	}
 	r.mu.Lock()
 	delete(r.resident, e.id)
 	r.mu.Unlock()
@@ -685,6 +736,146 @@ func (r *Registry) Delete(id string) error {
 	return nil
 }
 
+// Detach freezes a stream for migration off this daemon: it is
+// hibernated to its snapshot file (waiting out in-flight requests under
+// the stream's exclusive lock, so no acknowledged point can land after
+// the snapshot that travels) and every later request is refused with a
+// DetachedError carrying the newOwner forwarding hint, until Reattach
+// (aborted handoff) or Delete (completed handoff). Idempotent: detaching
+// a detached stream just updates the hint. Returns the authoritative
+// snapshot path.
+func (r *Registry) Detach(id, newOwner string) (string, error) {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	if e.detached {
+		e.newOwner = newOwner
+		return e.path, nil
+	}
+	if e.path == "" {
+		return "", fmt.Errorf("registry: stream %q has no snapshot path; cannot detach", id)
+	}
+	if e.backend == nil {
+		if _, err := os.Stat(e.path); err != nil {
+			if !os.IsNotExist(err) {
+				return "", fmt.Errorf("registry: detach %q: %w", id, err)
+			}
+			// Registered but never materialized and never checkpointed:
+			// build the (empty or default) backend so the hibernation below
+			// leaves a valid snapshot for the new owner to restore.
+			if _, err := r.materialize(e); err != nil {
+				return "", err
+			}
+		}
+	}
+	if err := r.hibernateLocked(e); err != nil {
+		return "", err
+	}
+	e.detached = true
+	e.newOwner = newOwner
+	return e.path, nil
+}
+
+// Reattach lifts a Detach — the abort path of a failed migration. The
+// stream stays hibernated and serves again, restored lazily on its next
+// access from the snapshot the detach wrote; nothing was lost in the
+// round trip because every request since the detach was refused, not
+// half-applied.
+func (r *Registry) Reattach(id string) error {
+	r.mu.Lock()
+	e, ok := r.streams[id]
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.deleted {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.detached = false
+	e.newOwner = ""
+	return nil
+}
+
+// Install registers a stream from a serialized snapshot envelope — the
+// receiving half of a tenant migration: the bytes are written to the
+// stream's snapshot file and restored immediately, so a malformed or
+// truncated envelope is refused here, with nothing registered and no
+// file left behind, rather than surfacing on the tenant's next access.
+// ErrExists if the id is taken (an install never overwrites a live
+// tenant) or if an unregistered snapshot file is already on disk.
+func (r *Registry) Install(id string, src io.Reader) error {
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	path := r.pathFor(id)
+	if path == "" {
+		return errors.New("registry: snapshot install requires persistence (DataDir or a Files entry)")
+	}
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return fmt.Errorf("registry: install %q: %w", id, err)
+	}
+	r.mu.Lock()
+	if _, ok := r.streams[id]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, id)
+	}
+	e := &Stream{id: id, path: path, cfg: r.cfg.Default}
+	e.lastAccess.Store(r.cfg.now().UnixNano())
+	r.streams[id] = e
+	r.mu.Unlock()
+
+	e.mu.Lock()
+	err = func() error {
+		if e.deleted {
+			// A concurrent Delete removed our entry before the state
+			// landed; installing now would resurrect an acknowledged
+			// delete.
+			return fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("%w: snapshot file %s already on disk", ErrExists, path)
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("registry: install %q: %w", id, err)
+		}
+		if _, err := persist.WriteFileAtomic(path, func(w io.Writer) error {
+			_, werr := w.Write(raw)
+			return werr
+		}); err != nil {
+			return fmt.Errorf("registry: install %q: %w", id, err)
+		}
+		if _, err := r.materialize(e); err != nil {
+			os.Remove(path) // refused envelope; leave no trace
+			return err
+		}
+		return nil
+	}()
+	if err != nil {
+		e.deleted = true
+		e.mu.Unlock()
+		r.mu.Lock()
+		if r.streams[id] == e {
+			delete(r.streams, id)
+		}
+		r.mu.Unlock()
+		return err
+	}
+	e.mu.Unlock()
+	r.stats.RecordCreate()
+	r.enforceCap()
+	return nil
+}
+
 // Checkpoint persists a stream's current state to its snapshot file
 // without hibernating it, returning the bytes written. Hibernated
 // streams are a no-op (their file already holds the state).
@@ -792,6 +983,7 @@ func (r *Registry) Snapshot(id string, w io.Writer) error {
 type Info struct {
 	ID           string  `json:"id"`
 	Resident     bool    `json:"resident"`
+	Detached     bool    `json:"detached,omitempty"`
 	Backend      string  `json:"backend,omitempty"`
 	Algo         string  `json:"algo,omitempty"`
 	K            int     `json:"k,omitempty"`

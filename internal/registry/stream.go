@@ -20,6 +20,12 @@ type Stream struct {
 	cfg      StreamConfig
 	explicit bool // created via Create (PUT): cfg is a promise, not a default
 	deleted  bool
+	// detached marks a stream frozen for migration to another daemon:
+	// hibernated, file authoritative, every request refused with
+	// ErrDetached until Reattach or Delete. newOwner is the forwarding
+	// hint handed to refused clients.
+	detached bool
+	newOwner string
 	// Metadata captured at hibernation (or boot Peek) time, served while
 	// the stream is cold.
 	count         int64
@@ -69,6 +75,7 @@ func (e *Stream) info() Info {
 	defer e.mu.RUnlock()
 	in := Info{
 		ID:           e.id,
+		Detached:     e.detached,
 		Backend:      e.cfg.Backend,
 		Algo:         e.cfg.Algo,
 		K:            e.cfg.K,

@@ -1,0 +1,113 @@
+package ring
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzRing checks the three invariants the router fleet depends on, over
+// adversarial member/tenant names:
+//
+//	(a) ownership is a pure function of the member set — rebuilding the
+//	    ring (in any member order) maps every tenant identically;
+//	(b) adding a member only moves tenants to the added member, and moves
+//	    at most ~tenants/members of them (plus concentration slack);
+//	(c) the serialized ring state round-trips into identical ownership.
+func FuzzRing(f *testing.F) {
+	f.Add(uint8(3), uint16(64), "seed")
+	f.Add(uint8(1), uint16(1), "")
+	f.Add(uint8(7), uint16(300), "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaa")
+	f.Add(uint8(250), uint16(65535), "x#y\x00z")
+	f.Fuzz(func(t *testing.T, nm uint8, nt uint16, salt string) {
+		nMembers := int(nm)%8 + 2
+		nTenants := int(nt)%400 + 1
+		salt = strings.ToValidUTF8(salt, "")
+		if len(salt) > 32 {
+			salt = salt[:32]
+		}
+		members := make([]string, nMembers)
+		for i := range members {
+			members[i] = fmt.Sprintf("m%d-%s", i, salt)
+		}
+		tenants := make([]string, nTenants)
+		for i := range tenants {
+			tenants[i] = fmt.Sprintf("t%d-%s", i, salt)
+		}
+
+		r1, err := New(64, members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// (a) determinism across rebuilds, member order irrelevant.
+		reversed := make([]string, nMembers)
+		for i, m := range members {
+			reversed[nMembers-1-i] = m
+		}
+		r1b, err := New(64, reversed...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		owners := make(map[string]string, nTenants)
+		for _, id := range tenants {
+			o1, ok := r1.Owner(id)
+			if !ok {
+				t.Fatalf("no owner for %q", id)
+			}
+			if o2, _ := r1b.Owner(id); o2 != o1 {
+				t.Fatalf("rebuild changed owner of %q: %q vs %q", id, o2, o1)
+			}
+			owners[id] = o1
+		}
+
+		// (c) serialized state round-trips into identical ownership.
+		r2, err := FromState(r1.State())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Version() != r1.Version() || r2.Replicas() != r1.Replicas() {
+			t.Fatalf("state round trip: %+v vs %+v", r2.State(), r1.State())
+		}
+		for _, id := range tenants {
+			if o, _ := r2.Owner(id); o != owners[id] {
+				t.Fatalf("state round trip changed owner of %q: %q vs %q", id, o, owners[id])
+			}
+		}
+
+		// (b) adding one member moves tenants only onto it, and not more
+		// than ~1/len(new) of them. The slack covers hash concentration:
+		// with 64 vnodes the new member's share has ~12% relative sd, so
+		// twice the fair share is far outside reachable territory.
+		added := "added-" + salt
+		r3, err := r1.WithMember(added)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, id := range tenants {
+			o, _ := r3.Owner(id)
+			if o != owners[id] {
+				if o != added {
+					t.Fatalf("tenant %q moved %q -> %q, not to the added member", id, owners[id], o)
+				}
+				moved++
+			}
+		}
+		if bound := 2*nTenants/r3.Len() + 8; moved > bound {
+			t.Fatalf("add moved %d of %d tenants across %d members (bound %d)",
+				moved, nTenants, r3.Len(), bound)
+		}
+
+		// Removing it restores the original assignment exactly.
+		r4, err := r3.WithoutMember(added)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range tenants {
+			if o, _ := r4.Owner(id); o != owners[id] {
+				t.Fatalf("remove did not restore owner of %q: %q vs %q", id, o, owners[id])
+			}
+		}
+	})
+}

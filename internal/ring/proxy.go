@@ -1,0 +1,515 @@
+package ring
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"streamkm/internal/metrics"
+	"streamkm/internal/registry"
+	"streamkm/internal/server"
+)
+
+// Member is one daemon in the fleet: a stable name (what the ring
+// hashes, so a restart at a new address never remaps tenants) and the
+// base URL the router currently reaches it at.
+type Member struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// ProxyConfig configures a Proxy.
+type ProxyConfig struct {
+	// Members is the initial fleet. Names must be unique; URLs are base
+	// addresses like http://10.0.0.5:7070 (no trailing slash needed).
+	Members []Member
+	// Replicas is the virtual-node count per member (0 = DefaultReplicas).
+	Replicas int
+	// Client performs upstream requests; nil gets a 30s-timeout client.
+	Client *http.Client
+}
+
+// migration is one tenant handoff, in flight or pending retry.
+type migration struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Err  string `json:"error,omitempty"` // last failure; empty while in flight
+}
+
+// Proxy is the consistent-hash router: a thin HTTP front that maps
+// /streams/{id}/... requests onto the owning daemon, merges fleet-wide
+// views (GET /streams, GET /stats), and — on membership change — drives
+// tenant migration through the daemons' detach/snapshot/install
+// endpoints. During a tenant's handoff window the proxy refuses writes
+// to that tenant (503 + Retry-After) and only that tenant; reads and
+// every other tenant keep flowing.
+//
+// Routing is placement-first: the ring names the goal state, but a
+// request follows the last observed holder until a rebalance completes
+// the move, so a pending migration can never fork a tenant by lazily
+// creating it on the new owner while the state sits on the old one.
+type Proxy struct {
+	client *http.Client
+	mux    *http.ServeMux
+	start  time.Time
+	stats  metrics.RouterStats
+
+	mu        sync.RWMutex
+	ring      *Ring
+	urls      map[string]string    // member name -> base URL (incl. draining members)
+	placement map[string]string    // tenant -> member name last observed holding it
+	handoff   map[string]migration // tenant -> in-flight or pending migration
+
+	rebalanceMu sync.Mutex // one rebalance pass at a time
+
+	// Test hook: runs after a migration's detach step succeeds, before
+	// the snapshot download — the window fault-injection tests target.
+	afterDetach func(tenant, from string)
+}
+
+// NewProxy builds a router over the given fleet. It performs no network
+// traffic; call Rebalance (or let membership changes trigger it) to
+// reconcile placement with what the daemons actually hold.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	names := make([]string, 0, len(cfg.Members))
+	urls := make(map[string]string, len(cfg.Members))
+	for _, m := range cfg.Members {
+		if m.Name == "" || m.URL == "" {
+			return nil, fmt.Errorf("ring: member needs both name and url, got %+v", m)
+		}
+		if _, ok := urls[m.Name]; ok {
+			return nil, fmt.Errorf("ring: duplicate member name %q", m.Name)
+		}
+		names = append(names, m.Name)
+		urls[m.Name] = strings.TrimRight(m.URL, "/")
+	}
+	r, err := New(cfg.Replicas, names...)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	p := &Proxy{
+		client:    client,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+		ring:      r,
+		urls:      urls,
+		placement: make(map[string]string),
+		handoff:   make(map[string]migration),
+	}
+	p.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	p.mux.HandleFunc("GET /ring", p.handleRing)
+	p.mux.HandleFunc("GET /stats", p.handleStats)
+	p.mux.HandleFunc("GET /streams", p.handleList)
+	p.mux.HandleFunc("/streams/{id}", p.handleStream)
+	p.mux.HandleFunc("/streams/{id}/{endpoint...}", p.handleStream)
+	p.mux.HandleFunc("POST /cluster/members", p.handleAddMember)
+	p.mux.HandleFunc("PUT /cluster/members", p.handleUpdateMember)
+	p.mux.HandleFunc("DELETE /cluster/members/{name}", p.handleRemoveMember)
+	p.mux.HandleFunc("POST /cluster/rebalance", p.handleRebalance)
+	return p, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (p *Proxy) Handler() http.Handler { return p.mux }
+
+// Ring returns the current ring (immutable; safe to share).
+func (p *Proxy) Ring() *Ring {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ring
+}
+
+// Stats returns a snapshot of the router's counters.
+func (p *Proxy) Stats() metrics.RouterSnapshot { return p.stats.Snapshot() }
+
+// memberURL resolves a member name, "" if unknown.
+func (p *Proxy) memberURL(name string) string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.urls[name]
+}
+
+// route decides which member serves tenant id right now, and whether the
+// tenant is mid-handoff (writes must be refused).
+func (p *Proxy) route(id string) (member string, inHandoff bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if mg, ok := p.handoff[id]; ok {
+		// Until the move completes the state lives (frozen) on the source.
+		return mg.From, true
+	}
+	if m, ok := p.placement[id]; ok {
+		return m, false
+	}
+	owner, _ := p.ring.Owner(id)
+	return owner, false
+}
+
+// isWrite classifies request methods for the handoff refusal window.
+func isWrite(method string) bool {
+	return method != http.MethodGet && method != http.MethodHead
+}
+
+// handleStream forwards one per-stream request to the member serving the
+// tenant, refusing writes while the tenant is mid-handoff.
+func (p *Proxy) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	member, inHandoff := p.route(id)
+	if inHandoff && isWrite(r.Method) {
+		p.stats.RecordRefusal()
+		p.refuse(w, id)
+		return
+	}
+	if member == "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"error": "router has no members",
+		})
+		return
+	}
+	url := p.memberURL(member)
+	if url == "" {
+		writeJSON(w, http.StatusBadGateway, map[string]interface{}{
+			"error": fmt.Sprintf("no address for member %q", member),
+		})
+		return
+	}
+	p.forward(w, r, id, member, url)
+}
+
+// refuse answers a write against a mid-handoff tenant: 503 with a short
+// Retry-After, since handoff windows are one small snapshot copy long.
+func (p *Proxy) refuse(w http.ResponseWriter, id string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+		"error":  fmt.Sprintf("stream %q is migrating; retry", id),
+		"stream": id,
+	})
+}
+
+// forward proxies r to base (the member's URL), streaming the response
+// back. A daemon-side 409 that carries the migration owner header means
+// the proxy's view lagged a detach; it is surfaced as the same 503 +
+// Retry-After a refused write gets, so clients need one retry loop, not
+// two.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, member, base string) {
+	out, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		p.stats.RecordProxied(true)
+		writeJSON(w, http.StatusBadGateway, map[string]interface{}{"error": err.Error()})
+		return
+	}
+	out.Header = r.Header.Clone()
+	out.ContentLength = r.ContentLength
+	resp, err := p.client.Do(out)
+	if err != nil {
+		p.stats.RecordProxied(true)
+		writeJSON(w, http.StatusBadGateway, map[string]interface{}{
+			"error":  fmt.Sprintf("daemon %q unreachable: %v", member, err),
+			"daemon": member,
+		})
+		return
+	}
+	defer resp.Body.Close()
+	p.stats.RecordProxied(false)
+
+	if resp.StatusCode == http.StatusConflict && resp.Header.Get(server.OwnerHeader) != "" {
+		io.Copy(io.Discard, resp.Body)
+		p.stats.RecordRefusal()
+		p.refuse(w, id)
+		return
+	}
+	// Keep the placement table warm from live traffic: a success against
+	// a tenant pins it to the member that served it; a successful DELETE
+	// unpins it. A pin never overrides a placement pointing elsewhere:
+	// only migrations move tenants, so a conflicting entry means a
+	// handoff completed while this response was in flight, and re-pinning
+	// to the old source would fork the tenant on its next write.
+	if resp.StatusCode < 300 && id != "" {
+		p.mu.Lock()
+		if _, mid := p.handoff[id]; !mid {
+			cur, pinned := p.placement[id]
+			if !pinned || cur == member {
+				if r.Method == http.MethodDelete && r.URL.Path == "/streams/"+id {
+					delete(p.placement, id)
+				} else {
+					p.placement[id] = member
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+	h := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			h.Add(k, v)
+		}
+	}
+	h.Set(server.OwnerHeader, member)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// memberEntry pairs a member with its fetch result during fan-outs.
+type memberEntry struct {
+	name string
+	raw  []byte
+	err  error
+}
+
+// fanGet issues GET {url}+path on every known member concurrently.
+func (p *Proxy) fanGet(path string) []memberEntry {
+	p.mu.RLock()
+	members := make([]Member, 0, len(p.urls))
+	for n, u := range p.urls {
+		members = append(members, Member{Name: n, URL: u})
+	}
+	p.mu.RUnlock()
+	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+
+	out := make([]memberEntry, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			out[i] = memberEntry{name: m.Name}
+			resp, err := p.client.Get(m.URL + path)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			defer resp.Body.Close()
+			raw, err := io.ReadAll(resp.Body)
+			if err == nil && resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+			out[i].raw, out[i].err = raw, err
+		}(i, m)
+	}
+	wg.Wait()
+	return out
+}
+
+// listedStream is one merged listing entry: the daemon's Info plus which
+// daemon reported it.
+type listedStream struct {
+	registry.Info
+	Daemon string `json:"daemon"`
+}
+
+// handleList merges GET /streams across the fleet. Duplicate ids (a
+// mid-reconciliation state: source copy not yet deleted) collapse to the
+// authoritative copy — the one on the member the router routes to.
+func (p *Proxy) handleList(w http.ResponseWriter, _ *http.Request) {
+	p.stats.RecordFanout()
+	entries := p.fanGet("/streams")
+	merged := make(map[string]listedStream)
+	var failed []string
+	for _, e := range entries {
+		if e.err != nil {
+			failed = append(failed, e.name)
+			continue
+		}
+		var body struct {
+			Streams []registry.Info `json:"streams"`
+		}
+		if err := json.Unmarshal(e.raw, &body); err != nil {
+			failed = append(failed, e.name)
+			continue
+		}
+		for _, in := range body.Streams {
+			cand := listedStream{Info: in, Daemon: e.name}
+			prev, dup := merged[in.ID]
+			if !dup {
+				merged[in.ID] = cand
+				continue
+			}
+			route, _ := p.route(in.ID)
+			switch {
+			case cand.Daemon == route:
+				merged[in.ID] = cand
+			case prev.Daemon == route:
+			case cand.Count > prev.Count:
+				merged[in.ID] = cand
+			}
+		}
+	}
+	list := make([]listedStream, 0, len(merged))
+	for _, v := range merged {
+		list = append(list, v)
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"streams":        list,
+		"total":          len(list),
+		"daemons":        len(entries),
+		"daemons_failed": failed,
+	})
+}
+
+// handleStats merges GET /stats across the fleet: per-daemon raw stats,
+// summed stream totals, and the router's own counters and ring state.
+func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
+	p.stats.RecordFanout()
+	entries := p.fanGet("/stats")
+	daemons := make(map[string]interface{}, len(entries))
+	var totStreams, totResident, totHibernated int64
+	for _, e := range entries {
+		if e.err != nil {
+			daemons[e.name] = map[string]string{"error": e.err.Error()}
+			continue
+		}
+		daemons[e.name] = json.RawMessage(e.raw)
+		var body struct {
+			Streams struct {
+				Total      int64 `json:"total"`
+				Resident   int64 `json:"resident"`
+				Hibernated int64 `json:"hibernated"`
+			} `json:"streams"`
+		}
+		if json.Unmarshal(e.raw, &body) == nil {
+			totStreams += body.Streams.Total
+			totResident += body.Streams.Resident
+			totHibernated += body.Streams.Hibernated
+		}
+	}
+	p.mu.RLock()
+	ringState := p.ring.State()
+	members := make(map[string]string, len(p.urls))
+	for n, u := range p.urls {
+		members[n] = u
+	}
+	handoffs := make(map[string]migration, len(p.handoff))
+	for id, mg := range p.handoff {
+		handoffs[id] = mg
+	}
+	p.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"router": map[string]interface{}{
+			"ring":     ringState,
+			"members":  members,
+			"handoffs": handoffs,
+			"stats":    p.stats.Snapshot(),
+			"uptime_s": time.Since(p.start).Seconds(),
+		},
+		"totals": map[string]int64{
+			"streams":    totStreams,
+			"resident":   totResident,
+			"hibernated": totHibernated,
+		},
+		"daemons": daemons,
+	})
+}
+
+// handleRing reports the serializable ring state plus member addresses
+// and in-flight handoffs — everything another router needs to agree on
+// placement.
+func (p *Proxy) handleRing(w http.ResponseWriter, _ *http.Request) {
+	p.mu.RLock()
+	st := p.ring.State()
+	members := make(map[string]string, len(p.urls))
+	for n, u := range p.urls {
+		members[n] = u
+	}
+	handoffs := make(map[string]migration, len(p.handoff))
+	for id, mg := range p.handoff {
+		handoffs[id] = mg
+	}
+	p.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"ring":     st,
+		"members":  members,
+		"handoffs": handoffs,
+	})
+}
+
+// handleAddMember joins a daemon to the fleet (or refreshes the address
+// of a known one, e.g. after a restart) and synchronously rebalances.
+func (p *Proxy) handleAddMember(w http.ResponseWriter, r *http.Request) {
+	var m Member
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&m); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+			"error": fmt.Sprintf("malformed member body: %v", err),
+		})
+		return
+	}
+	rep, err := p.AddMember(r.Context(), m.Name, m.URL)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleUpdateMember refreshes a known daemon's address (a restart at a
+// new endpoint) without changing ring membership or triggering a
+// rebalance; follow with POST /cluster/rebalance to retry its handoffs.
+func (p *Proxy) handleUpdateMember(w http.ResponseWriter, r *http.Request) {
+	var m Member
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&m); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+			"error": fmt.Sprintf("malformed member body: %v", err),
+		})
+		return
+	}
+	if err := p.UpdateMemberURL(m.Name, m.URL); err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errNotMember) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, map[string]interface{}{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+// handleRemoveMember drains a daemon out of the fleet: its tenants
+// migrate to the surviving members before the response returns (tenants
+// that cannot move — e.g. their daemon is unreachable — stay pending and
+// are listed in the report).
+func (p *Proxy) handleRemoveMember(w http.ResponseWriter, r *http.Request) {
+	rep, err := p.RemoveMember(r.Context(), r.PathValue("name"))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errNotMember) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, map[string]interface{}{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleRebalance re-runs reconciliation: retries pending migrations and
+// cleans up stale copies. Operators hit it after restarting a crashed
+// daemon.
+func (p *Proxy) handleRebalance(w http.ResponseWriter, r *http.Request) {
+	rep, err := p.Rebalance(r.Context())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]interface{}{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errNotMember distinguishes membership errors for the HTTP layer.
+var errNotMember = errors.New("ring: not a member")

@@ -1,0 +1,254 @@
+package ring
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestProxyRoutingAndMergedViews: per-stream requests land on one
+// consistent daemon (reported via X-Streamkm-Owner), the merged listing
+// sees every tenant exactly once, and the merged stats sum the fleet.
+func TestProxyRoutingAndMergedViews(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	p, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	const tenants = 10
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t-%02d", i)
+		ingestRetry(t, client, ts.URL+"/streams/"+id+"/ingest", tenantPoints(i, 120), testDeadline)
+	}
+
+	// Every tenant resolves through the router; the serving daemon is
+	// reported and stable across requests, and matches ring ownership.
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("t-%02d", i)
+		resp, err := client.Get(ts.URL + "/streams/" + id + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		owner := resp.Header.Get("X-Streamkm-Owner")
+		want, _ := p.Ring().Owner(id)
+		if resp.StatusCode != http.StatusOK || owner != want {
+			t.Fatalf("%s: status %d served by %q, ring owner %q", id, resp.StatusCode, owner, want)
+		}
+	}
+
+	// Merged listing: every tenant once, counts intact, daemon annotated.
+	list := mergedListing(t, client, ts.URL)
+	if len(list) != tenants {
+		t.Fatalf("merged listing has %d tenants, want %d", len(list), tenants)
+	}
+	byDaemon := map[string]int{}
+	for id, e := range list {
+		if e["count"].(float64) != 120 {
+			t.Fatalf("%s merged count %v, want 120", id, e["count"])
+		}
+		byDaemon[e["daemon"].(string)]++
+	}
+	if byDaemon["a"] == 0 || byDaemon["b"] == 0 {
+		t.Fatalf("tenants did not spread across daemons: %v", byDaemon)
+	}
+	if byDaemon["a"]+byDaemon["b"] != tenants {
+		t.Fatalf("listing names unknown daemons: %v", byDaemon)
+	}
+
+	// Merged stats: totals sum the fleet; the router section carries ring
+	// state and counters.
+	status, st := getJSON(t, client, ts.URL+"/stats")
+	if status != http.StatusOK {
+		t.Fatalf("merged stats status %d", status)
+	}
+	totals := st["totals"].(map[string]interface{})
+	if totals["streams"].(float64) != tenants {
+		t.Fatalf("merged stats totals %v, want %d streams", totals, tenants)
+	}
+	router := st["router"].(map[string]interface{})
+	if router["ring"].(map[string]interface{})["members"] == nil {
+		t.Fatalf("router stats carry no ring state: %v", router)
+	}
+	if st["daemons"].(map[string]interface{})["a"] == nil {
+		t.Fatalf("merged stats carry no per-daemon section")
+	}
+
+	// Ring state endpoint round-trips into an equivalent ring.
+	status, rs := getJSON(t, client, ts.URL+"/ring")
+	if status != http.StatusOK {
+		t.Fatalf("ring status %d", status)
+	}
+	members := rs["ring"].(map[string]interface{})["members"].([]interface{})
+	if len(members) != 2 {
+		t.Fatalf("ring members %v", members)
+	}
+}
+
+// TestProxyLaggedDetachConversion: when a daemon answers 409 with the
+// migration owner header (the router's view lagged a detach), the proxy
+// converts it to the same retriable 503 a refused write gets.
+func TestProxyLaggedDetachConversion(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	_, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	ingestRetry(t, client, ts.URL+"/streams/lag/ingest", tenantPoints(0, 50), testDeadline)
+
+	// Detach directly on whichever daemon holds it, bypassing the router.
+	holder := a
+	if len(directStreamIDs(t, a)) == 0 {
+		holder = b
+	}
+	if _, err := holder.reg.Detach("lag", "http://elsewhere:1"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(ts.URL+"/streams/lag/ingest", "application/x-ndjson",
+		strings.NewReader("[1,2]\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("lagged detach: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 carries no Retry-After")
+	}
+}
+
+// TestRebalanceReattachesStrandedDetach: a tenant left daemon-side
+// detached on its own ring owner (a router died between detach and
+// install, and the new ring points back at the source) must be
+// reattached by the next rebalance, not frozen forever.
+func TestRebalanceReattachesStrandedDetach(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	p, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	ingestRetry(t, client, ts.URL+"/streams/strand/ingest", tenantPoints(0, 60), testDeadline)
+	owner, _ := p.Ring().Owner("strand")
+	holder := a
+	if owner == "b" {
+		holder = b
+	}
+	// Simulate the dead router's half-done handoff: the daemon-side
+	// freeze exists, but this router has no memory of it.
+	if _, err := holder.reg.Detach("strand", "http://gone:1"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Rebalance(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 0 {
+		t.Fatalf("rebalance left the stranded tenant pending: %+v", rep.Pending)
+	}
+	count, _ := queryCenters(t, client, ts.URL, "strand")
+	if count != 60 {
+		t.Fatalf("stranded tenant count %d after rebalance, want 60", count)
+	}
+	ingestRetry(t, client, ts.URL+"/streams/strand/ingest", tenantPoints(0, 10), testDeadline)
+}
+
+// TestProxyMembershipRebalance: joining a daemon migrates only the
+// tenants the ring reassigns (to the new member, counts intact, exactly
+// one copy fleet-wide), and draining it hands them all back.
+func TestProxyMembershipRebalance(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	p, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	const tenants = 16
+	counts := map[string]int64{}
+	for i := 0; i < tenants; i++ {
+		id := fmt.Sprintf("mv-%02d", i)
+		n := 60 + 10*i
+		ingestRetry(t, client, ts.URL+"/streams/"+id+"/ingest", tenantPoints(i, n), testDeadline)
+		counts[id] = int64(n)
+	}
+
+	// Join c: the report moves a nonzero, bounded set of tenants.
+	c := newTestDaemon(t, "c", 0)
+	rep, err := p.AddMember(context.Background(), "c", c.ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 0 || len(rep.ListFailed) != 0 {
+		t.Fatalf("join left pending/failed work: %+v", rep)
+	}
+	if len(rep.Moved) == 0 {
+		t.Fatal("join moved no tenants")
+	}
+	for _, id := range rep.Moved {
+		owner, _ := p.Ring().Owner(id)
+		if owner != "c" {
+			t.Fatalf("moved tenant %s is owned by %q, not the joined member", id, owner)
+		}
+	}
+
+	verifyFleet := func(daemons []*testDaemon) {
+		t.Helper()
+		seen := map[string]string{}
+		for _, d := range daemons {
+			for _, id := range directStreamIDs(t, d) {
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("tenant %s present on both %s and %s", id, prev, d.name)
+				}
+				seen[id] = d.name
+			}
+		}
+		if len(seen) != tenants {
+			t.Fatalf("fleet holds %d tenants, want %d (%v)", len(seen), tenants, seen)
+		}
+		list := mergedListing(t, ts.Client(), ts.URL)
+		for id, want := range counts {
+			if got := int64(list[id]["count"].(float64)); got != want {
+				t.Fatalf("tenant %s count %d after rebalance, want %d", id, got, want)
+			}
+		}
+	}
+	verifyFleet([]*testDaemon{a, b, c})
+
+	// Tenants on c keep serving through the router after the move.
+	for _, id := range rep.Moved {
+		count, _ := queryCenters(t, client, ts.URL, id)
+		if count != counts[id] {
+			t.Fatalf("moved tenant %s serves count %d, want %d", id, count, counts[id])
+		}
+	}
+
+	// Drain c back out; its tenants return to a/b with nothing lost.
+	rep, err = p.RemoveMember(context.Background(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Pending) != 0 {
+		t.Fatalf("drain left pending migrations: %+v", rep.Pending)
+	}
+	if got := len(directStreamIDs(t, c)); got != 0 {
+		t.Fatalf("drained daemon still holds %d tenants", got)
+	}
+	verifyFleet([]*testDaemon{a, b})
+
+	// The drained member's address is forgotten once nothing references it.
+	_, rs := getJSON(t, client, ts.URL+"/ring")
+	memberMap := rs["members"].(map[string]interface{})
+	keys := make([]string, 0, len(memberMap))
+	for k := range memberMap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("member addresses after drain: %v", keys)
+	}
+}

@@ -1,0 +1,364 @@
+package ring
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+
+	"streamkm/internal/registry"
+)
+
+// RebalanceReport summarizes one reconciliation pass.
+type RebalanceReport struct {
+	RingVersion uint64 `json:"ring_version"`
+	Tenants     int    `json:"tenants_seen"`
+	// Moved lists tenants whose state was handed to their ring owner.
+	Moved []string `json:"moved,omitempty"`
+	// StaleDeleted lists tenant copies removed from non-owners after the
+	// owner's copy was confirmed (crash-interrupted handoffs leave them).
+	StaleDeleted []string `json:"stale_copies_deleted,omitempty"`
+	// Pending maps tenants whose migration failed (source unreachable,
+	// install refused, ...) to the error. Writes to them stay refused
+	// until a later rebalance succeeds, so the failure can not fork the
+	// tenant's history.
+	Pending map[string]string `json:"pending,omitempty"`
+	// ListFailed names daemons whose stream listing was unreachable; their
+	// tenants keep their previous placement.
+	ListFailed []string `json:"list_failed,omitempty"`
+}
+
+// AddMember joins a daemon to the fleet and rebalances, moving the
+// tenants the ring now assigns to it. Re-adding a known name just
+// refreshes its URL (a restarted daemon at a new address) — ownership
+// does not move, because the ring hashes names, not addresses.
+func (p *Proxy) AddMember(ctx context.Context, name, url string) (RebalanceReport, error) {
+	if name == "" || url == "" {
+		return RebalanceReport{}, fmt.Errorf("ring: member needs both name and url")
+	}
+	p.mu.Lock()
+	if !p.ring.Has(name) {
+		nr, err := p.ring.WithMember(name)
+		if err != nil {
+			p.mu.Unlock()
+			return RebalanceReport{}, err
+		}
+		p.ring = nr
+	}
+	p.urls[name] = strings.TrimRight(url, "/")
+	p.mu.Unlock()
+	return p.Rebalance(ctx)
+}
+
+// UpdateMemberURL refreshes the address of a known daemon — joined or
+// draining — without touching ring membership: the endpoint a restarted
+// daemon (same stable name, possibly a new address) reports in at before
+// a rebalance retries its pending handoffs.
+func (p *Proxy) UpdateMemberURL(name, url string) error {
+	if name == "" || url == "" {
+		return fmt.Errorf("ring: member needs both name and url")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.urls[name]; !ok {
+		return fmt.Errorf("%w: %q", errNotMember, name)
+	}
+	p.urls[name] = strings.TrimRight(url, "/")
+	return nil
+}
+
+// RemoveMember drains a daemon out of the fleet: the ring drops it and
+// the rebalance below hands every tenant it holds to the new owners. Its
+// address is kept (it is the migration source) until it holds nothing.
+func (p *Proxy) RemoveMember(ctx context.Context, name string) (RebalanceReport, error) {
+	p.mu.Lock()
+	if !p.ring.Has(name) {
+		p.mu.Unlock()
+		return RebalanceReport{}, fmt.Errorf("%w: %q", errNotMember, name)
+	}
+	nr, err := p.ring.WithoutMember(name)
+	if err != nil {
+		p.mu.Unlock()
+		return RebalanceReport{}, err
+	}
+	p.ring = nr
+	p.mu.Unlock()
+	return p.Rebalance(ctx)
+}
+
+// holder is one daemon's copy of a tenant, as seen in a listing.
+type holder struct {
+	member   string
+	count    int64
+	detached bool
+}
+
+// Rebalance reconciles actual tenant placement with ring ownership: it
+// lists every known daemon, and for each tenant whose authoritative copy
+// (highest count; ties prefer the ring owner) is not on its ring owner,
+// runs the handoff protocol — detach on the source (freezing writes to
+// that tenant only), snapshot download, install on the owner, delete the
+// source copy. Duplicate copies left by earlier crashes are deleted once
+// the owner's copy is confirmed. Failed migrations stay pending: the
+// tenant keeps refusing writes rather than forking, and the next
+// rebalance retries. One pass runs at a time.
+func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
+	p.rebalanceMu.Lock()
+	defer p.rebalanceMu.Unlock()
+	p.stats.RecordRebalance()
+
+	p.mu.RLock()
+	ringNow := p.ring
+	p.mu.RUnlock()
+	rep := RebalanceReport{RingVersion: ringNow.Version(), Pending: map[string]string{}}
+
+	holders := make(map[string][]holder)
+	for _, e := range p.fanGet("/streams") {
+		if e.err != nil {
+			rep.ListFailed = append(rep.ListFailed, e.name)
+			continue
+		}
+		var body struct {
+			Streams []registry.Info `json:"streams"`
+		}
+		if err := json.Unmarshal(e.raw, &body); err != nil {
+			rep.ListFailed = append(rep.ListFailed, e.name)
+			continue
+		}
+		for _, in := range body.Streams {
+			holders[in.ID] = append(holders[in.ID], holder{member: e.name, count: in.Count, detached: in.Detached})
+		}
+	}
+	// Tenants with a pending migration whose source daemon could not be
+	// listed still need a retry attempt, so they surface even when absent
+	// from every listing.
+	p.mu.RLock()
+	for id, mg := range p.handoff {
+		if _, ok := holders[id]; !ok {
+			holders[id] = append(holders[id], holder{member: mg.From, count: -1})
+		}
+	}
+	p.mu.RUnlock()
+
+	tenants := make([]string, 0, len(holders))
+	for id := range holders {
+		tenants = append(tenants, id)
+	}
+	sort.Strings(tenants)
+	rep.Tenants = len(tenants)
+
+	for _, id := range tenants {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		desired, ok := ringNow.Owner(id)
+		if !ok {
+			continue // empty ring: nowhere to place anything
+		}
+		hs := holders[id]
+		sort.Slice(hs, func(i, j int) bool {
+			if hs[i].count != hs[j].count {
+				return hs[i].count > hs[j].count
+			}
+			if (hs[i].member == desired) != (hs[j].member == desired) {
+				return hs[i].member == desired
+			}
+			return hs[i].member < hs[j].member
+		})
+		auth := hs[0]
+
+		if auth.member != desired {
+			if err := p.migrate(ctx, id, auth.member, desired, hs); err != nil {
+				rep.Pending[id] = err.Error()
+				continue // keep every copy; retry next pass
+			}
+			rep.Moved = append(rep.Moved, id)
+		} else {
+			// Already on its ring owner. A copy stranded in the detached
+			// state (a router died between detach and install, and a later
+			// pass — or a fresh router — now finds the ring pointing back
+			// at it) must be reattached, or it refuses traffic forever.
+			if auth.detached {
+				url := p.memberURL(desired)
+				if _, _, err := p.do(ctx, http.MethodPost, url+"/streams/"+id+"/reattach", nil); err != nil {
+					rep.Pending[id] = fmt.Sprintf("reattach on %s: %v", desired, err)
+					continue
+				}
+			}
+			p.mu.Lock()
+			p.placement[id] = desired
+			delete(p.handoff, id)
+			p.mu.Unlock()
+		}
+		// The owner's copy is confirmed; stale duplicates elsewhere go.
+		for _, h := range hs {
+			if h.member == desired || h.member == auth.member {
+				continue
+			}
+			if err := p.deleteCopy(ctx, id, h.member); err == nil {
+				p.stats.RecordStaleDelete()
+				rep.StaleDeleted = append(rep.StaleDeleted, id+"@"+h.member)
+			}
+		}
+	}
+	if len(rep.Pending) == 0 {
+		rep.Pending = nil
+	}
+	p.pruneDeparted()
+	return rep, nil
+}
+
+// pruneDeparted forgets the addresses of drained members: not in the
+// ring, holding no tenant placement, no pending handoff from them.
+func (p *Proxy) pruneDeparted() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inUse := make(map[string]bool)
+	for _, m := range p.placement {
+		inUse[m] = true
+	}
+	for _, mg := range p.handoff {
+		inUse[mg.From] = true
+		inUse[mg.To] = true
+	}
+	for name := range p.urls {
+		if !p.ring.Has(name) && !inUse[name] {
+			delete(p.urls, name)
+		}
+	}
+}
+
+// migrate runs one tenant handoff from -> to. On any failure it tries to
+// reattach the source (lifting the freeze); if even that fails the
+// tenant stays frozen and pending — correctness over availability: a
+// refused write is retriable, a forked tenant is not.
+func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) error {
+	fromURL, toURL := p.memberURL(from), p.memberURL(to)
+	if fromURL == "" || toURL == "" {
+		return fmt.Errorf("no address for %q or %q", from, to)
+	}
+	p.mu.Lock()
+	p.handoff[id] = migration{From: from, To: to}
+	p.mu.Unlock()
+	p.stats.RecordMigration(false)
+
+	fail := func(err error) error {
+		p.stats.RecordMigration(true)
+		// Abort: lift the freeze so the tenant serves from the source
+		// again. If the source is gone too, the handoff entry stays and
+		// writes keep being refused until a later rebalance succeeds.
+		// The reattach must not ride the request context: when the
+		// migration failed precisely because that context was cancelled
+		// (operator's rebalance call timed out), the unfreeze still has
+		// to go out.
+		abortCtx := context.WithoutCancel(ctx)
+		if _, _, rerr := p.do(abortCtx, http.MethodPost, fromURL+"/streams/"+id+"/reattach", nil); rerr == nil {
+			p.mu.Lock()
+			delete(p.handoff, id)
+			p.placement[id] = from
+			p.mu.Unlock()
+		} else {
+			p.mu.Lock()
+			p.handoff[id] = migration{From: from, To: to, Err: err.Error()}
+			p.mu.Unlock()
+		}
+		return err
+	}
+
+	body, _ := json.Marshal(map[string]string{"owner": toURL})
+	_, status, err := p.do(ctx, http.MethodPost, fromURL+"/streams/"+id+"/detach", body)
+	if status == http.StatusNotFound {
+		// The tenant left the source between the listing and now (a racing
+		// delete, or an earlier pass finished the move). Nothing to carry;
+		// route by ring again and let the next listing settle it.
+		p.mu.Lock()
+		delete(p.handoff, id)
+		delete(p.placement, id)
+		p.mu.Unlock()
+		return fmt.Errorf("tenant vanished from %s before handoff", from)
+	}
+	if err != nil {
+		return fail(fmt.Errorf("detach on %s: %w", from, err))
+	}
+	if p.afterDetach != nil {
+		p.afterDetach(id, from)
+	}
+	snap, _, err := p.do(ctx, http.MethodGet, fromURL+"/streams/"+id+"/snapshot", nil)
+	if err != nil {
+		return fail(fmt.Errorf("snapshot from %s: %w", from, err))
+	}
+	// A stale copy on the destination (count-dominated by the source's,
+	// or a crashed earlier install) blocks the install; clear it first.
+	for _, h := range hs {
+		if h.member == to {
+			if err := p.deleteCopy(ctx, id, to); err != nil {
+				return fail(fmt.Errorf("clear stale copy on %s: %w", to, err))
+			}
+			p.stats.RecordStaleDelete()
+		}
+	}
+	if _, _, err := p.do(ctx, http.MethodPut, toURL+"/streams/"+id+"/snapshot", snap); err != nil {
+		return fail(fmt.Errorf("install on %s: %w", to, err))
+	}
+	// The destination owns the state now; route there and unfreeze.
+	p.mu.Lock()
+	p.placement[id] = to
+	delete(p.handoff, id)
+	p.mu.Unlock()
+	// Best-effort cleanup of the source copy: if it fails, the detach
+	// tombstone keeps the copy refusing traffic and the next rebalance
+	// deletes it as a stale duplicate.
+	if err := p.deleteCopy(ctx, id, from); err == nil {
+		p.stats.RecordStaleDelete()
+	}
+	return nil
+}
+
+// deleteCopy removes one member's copy of a tenant.
+func (p *Proxy) deleteCopy(ctx context.Context, id, member string) error {
+	url := p.memberURL(member)
+	if url == "" {
+		return fmt.Errorf("no address for member %q", member)
+	}
+	_, status, err := p.do(ctx, http.MethodDelete, url+"/streams/"+id, nil)
+	if status == http.StatusNotFound {
+		return nil // already gone: the goal state
+	}
+	return err
+}
+
+// do issues one upstream request and returns the response body and
+// status. err is non-nil for transport failures and non-2xx statuses
+// alike (status 0 means the daemon was unreachable), so callers that
+// don't care about the specific status can just check err.
+func (p *Proxy) do(ctx context.Context, method, url string, body []byte) ([]byte, int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg := strings.TrimSpace(string(raw))
+		if len(msg) > 200 {
+			msg = msg[:200]
+		}
+		return raw, resp.StatusCode, fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, msg)
+	}
+	return raw, resp.StatusCode, nil
+}

@@ -1,0 +1,223 @@
+// Package ring implements the tenant-placement layer for a fleet of
+// streamkm daemons: a consistent-hash ring that maps stream ids onto
+// stable daemon names, and an HTTP proxy (Proxy) that routes per-stream
+// requests to the owning daemon, merges fleet-wide views, and drives
+// tenant migration over the daemons' per-stream snapshot endpoints when
+// membership changes.
+//
+// The paper's smallness results are what make tenant-granular sharding
+// the right unit: per-stream coreset state is polylogarithmic in the
+// stream, so a whole tenant travels in one small snapshot, and related
+// sliding-window results (Braverman et al.) show the per-tenant state
+// cannot be split finer — window buckets only make sense whole. The ring
+// therefore maps tenant → daemon, never point → daemon.
+//
+// Rings are immutable: membership changes build a new ring (WithMember /
+// WithoutMember), so concurrent readers never observe a half-updated
+// table and ownership is a pure function of (replicas, member set).
+// State serializes exactly that pair plus a version counter; rebuilding
+// a ring from its State yields identical ownership for every key — the
+// property routers rely on to agree without coordination.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the default number of virtual nodes per member.
+// 128 vnodes keep the expected per-member load imbalance within a few
+// percent (relative standard deviation ~1/sqrt(replicas)) while ring
+// rebuilds stay trivially cheap at fleet sizes of thousands.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over stable member names.
+// Build with New or FromState; derive changed rings with WithMember and
+// WithoutMember. Safe for concurrent use (it never mutates).
+type Ring struct {
+	replicas int
+	members  []string // sorted, unique
+	version  uint64
+
+	hashes []uint64 // sorted vnode positions
+	owner  []int    // member index per vnode, parallel to hashes
+}
+
+// New builds a ring with the given virtual-node count per member.
+// replicas <= 0 selects DefaultReplicas. Member names must be non-empty
+// and unique.
+func New(replicas int, members ...string) (*Ring, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("ring: duplicate member %q", m)
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{replicas: replicas, members: uniq, version: 1}
+	r.build()
+	return r, nil
+}
+
+// build populates the vnode table from the member list. Deterministic:
+// the table is a pure function of (replicas, members), so two rings with
+// the same inputs agree on every key.
+func (r *Ring) build() {
+	n := len(r.members) * r.replicas
+	r.hashes = make([]uint64, 0, n)
+	r.owner = make([]int, 0, n)
+	type vnode struct {
+		h uint64
+		m int
+	}
+	vns := make([]vnode, 0, n)
+	for mi, m := range r.members {
+		for i := 0; i < r.replicas; i++ {
+			vns = append(vns, vnode{h: hashKey(fmt.Sprintf("%s#%d", m, i)), m: mi})
+		}
+	}
+	sort.Slice(vns, func(i, j int) bool {
+		if vns[i].h != vns[j].h {
+			return vns[i].h < vns[j].h
+		}
+		// Hash collisions between vnodes are broken by member order so the
+		// table stays deterministic regardless of input order.
+		return vns[i].m < vns[j].m
+	})
+	for _, v := range vns {
+		r.hashes = append(r.hashes, v.h)
+		r.owner = append(r.owner, v.m)
+	}
+}
+
+// hashKey positions a key (or vnode label) on the 64-bit ring circle:
+// FNV-1a followed by a murmur-style avalanche finalizer. Raw FNV-1a has
+// weak bit diffusion on short, structured keys (sequential tenant ids,
+// "name#i" vnode labels), which skews arc lengths badly enough to move
+// several times the fair share of tenants on a membership change; the
+// finalizer restores uniformity.
+func hashKey(key string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// Owner returns the member owning key, or "" and false on an empty ring.
+func (r *Ring) Owner(key string) (string, bool) {
+	if len(r.hashes) == 0 {
+		return "", false
+	}
+	h := hashKey(key)
+	// First vnode clockwise from h, wrapping past the top.
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.members[r.owner[i]], true
+}
+
+// Members returns the sorted member names (a copy).
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Has reports whether name is a member.
+func (r *Ring) Has(name string) bool {
+	i := sort.SearchStrings(r.members, name)
+	return i < len(r.members) && r.members[i] == name
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Replicas returns the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Version returns the ring's monotonically increasing membership
+// version; every WithMember/WithoutMember increments it.
+func (r *Ring) Version() uint64 { return r.version }
+
+// WithMember returns a new ring with name added and the version bumped.
+// Adding is minimally disruptive: a key's owner either stays unchanged
+// or becomes the new member — never a third party.
+func (r *Ring) WithMember(name string) (*Ring, error) {
+	if name == "" {
+		return nil, fmt.Errorf("ring: empty member name")
+	}
+	if r.Has(name) {
+		return nil, fmt.Errorf("ring: member %q already present", name)
+	}
+	nr, err := New(r.replicas, append(r.Members(), name)...)
+	if err != nil {
+		return nil, err
+	}
+	nr.version = r.version + 1
+	return nr, nil
+}
+
+// WithoutMember returns a new ring with name removed and the version
+// bumped. Removal only moves the departed member's keys; everyone
+// else's stay put.
+func (r *Ring) WithoutMember(name string) (*Ring, error) {
+	if !r.Has(name) {
+		return nil, fmt.Errorf("ring: no member %q", name)
+	}
+	rest := make([]string, 0, len(r.members)-1)
+	for _, m := range r.members {
+		if m != name {
+			rest = append(rest, m)
+		}
+	}
+	nr, err := New(r.replicas, rest...)
+	if err != nil {
+		return nil, err
+	}
+	nr.version = r.version + 1
+	return nr, nil
+}
+
+// State is the serializable description of a ring. FromState rebuilds a
+// ring with identical ownership for every key, so routers can exchange
+// and persist placement as this small JSON object.
+type State struct {
+	Version  uint64   `json:"version"`
+	Replicas int      `json:"replicas"`
+	Members  []string `json:"members"`
+}
+
+// State captures the ring's serializable state.
+func (r *Ring) State() State {
+	return State{Version: r.version, Replicas: r.replicas, Members: r.Members()}
+}
+
+// FromState rebuilds a ring from a serialized State. The rebuilt ring
+// owns every key identically to the ring that produced the State.
+func FromState(s State) (*Ring, error) {
+	if s.Replicas < 0 {
+		return nil, fmt.Errorf("ring: negative replicas %d", s.Replicas)
+	}
+	r, err := New(s.Replicas, s.Members...)
+	if err != nil {
+		return nil, err
+	}
+	if s.Version > 0 {
+		r.version = s.Version
+	}
+	return r, nil
+}

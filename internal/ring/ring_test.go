@@ -1,0 +1,160 @@
+package ring
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+func tenantIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAcrossRebuilds(t *testing.T) {
+	r1, err := New(64, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same members in a different order: identical ownership.
+	r2, err := New(64, "c", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tenantIDs(500) {
+		o1, ok1 := r1.Owner(id)
+		o2, ok2 := r2.Owner(id)
+		if !ok1 || !ok2 || o1 != o2 {
+			t.Fatalf("owner(%s): %q/%v vs %q/%v", id, o1, ok1, o2, ok2)
+		}
+	}
+}
+
+func TestRingEmptyAndErrors(t *testing.T) {
+	r, err := New(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Replicas() != DefaultReplicas {
+		t.Fatalf("replicas %d, want default %d", r.Replicas(), DefaultReplicas)
+	}
+	if _, ok := r.Owner("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if _, err := New(8, "a", "a"); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := New(8, ""); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+	if _, err := r.WithoutMember("ghost"); err == nil {
+		t.Fatal("removing a non-member succeeded")
+	}
+	r2, err := r.WithMember("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.WithMember("a"); err == nil {
+		t.Fatal("double add succeeded")
+	}
+}
+
+func TestRingAddOnlyStealsForNewMember(t *testing.T) {
+	r1, err := New(128, "a", "b", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r1.WithMember("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := tenantIDs(2000)
+	moved := 0
+	for _, id := range tenants {
+		o1, _ := r1.Owner(id)
+		o2, _ := r2.Owner(id)
+		if o1 != o2 {
+			moved++
+			if o2 != "d" {
+				t.Fatalf("tenant %s moved %s -> %s, not to the new member", id, o1, o2)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new member took nothing")
+	}
+	// Expected share is tenants/4; allow generous concentration slack.
+	if bound := 2*len(tenants)/r2.Len() + 8; moved > bound {
+		t.Fatalf("adding one member moved %d of %d tenants (> %d)", moved, len(tenants), bound)
+	}
+	// Removing it again restores the original assignment exactly.
+	r3, err := r2.WithoutMember("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range tenants {
+		o1, _ := r1.Owner(id)
+		o3, _ := r3.Owner(id)
+		if o1 != o3 {
+			t.Fatalf("tenant %s: remove did not restore owner (%s vs %s)", id, o3, o1)
+		}
+	}
+	if r3.Version() != r1.Version()+2 {
+		t.Fatalf("version %d, want %d", r3.Version(), r1.Version()+2)
+	}
+}
+
+func TestRingStateRoundTrip(t *testing.T) {
+	r1, err := New(32, "alpha", "beta", "gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err = r1.WithMember("delta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(r1.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Version() != r1.Version() || r2.Replicas() != r1.Replicas() || r2.Len() != r1.Len() {
+		t.Fatalf("state round trip: %+v vs %+v", r2.State(), r1.State())
+	}
+	for _, id := range tenantIDs(500) {
+		o1, _ := r1.Owner(id)
+		o2, _ := r2.Owner(id)
+		if o1 != o2 {
+			t.Fatalf("owner(%s) diverged after round trip: %s vs %s", id, o2, o1)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"d0", "d1", "d2", "d3", "d4"}
+	r, err := New(0, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]int{}
+	n := 10000
+	for _, id := range tenantIDs(n) {
+		o, _ := r.Owner(id)
+		load[o]++
+	}
+	for _, m := range members {
+		if share := float64(load[m]) * float64(len(members)) / float64(n); share < 0.5 || share > 1.6 {
+			t.Fatalf("member %s load share %.2fx of fair (%d of %d)", m, share, load[m], n)
+		}
+	}
+}

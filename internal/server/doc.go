@@ -44,6 +44,21 @@
 //	GET    /streams/{id}/snapshot  the stream's serialized state; served
 //	                               from its file when hibernated.
 //	POST   /streams/{id}/snapshot  checkpoint the stream to its file.
+//	PUT    /streams/{id}/snapshot  install the stream from the snapshot
+//	                               envelope in the body and restore it
+//	                               immediately — the receiving half of a
+//	                               router-driven tenant migration. A
+//	                               malformed envelope is 400 with nothing
+//	                               registered; a taken id is 409.
+//	POST   /streams/{id}/detach    freeze the stream for migration: it is
+//	                               checkpointed, then every request
+//	                               answers 409 until reattach or DELETE.
+//	                               The optional body {"owner":"url"} is
+//	                               echoed as an X-Streamkm-Owner header on
+//	                               those 409s so clients can follow the
+//	                               move.
+//	POST   /streams/{id}/reattach  lift a detach (aborted migration); the
+//	                               stream serves again from its snapshot.
 //	PUT    /streams/{id}           explicit create with a JSON backend
 //	                               spec {"backend","algo","k","dim",
 //	                               "half_life","window_n"} — backend is
@@ -66,6 +81,12 @@
 // The pre-registry single-stream endpoints (POST /ingest, GET /centers,
 // GET/POST /snapshot) remain mounted as aliases for a configurable
 // default stream, so existing clients work unchanged.
+//
+// The detach/install/reattach trio is the daemon half of horizontal
+// sharding: cmd/streamkm-router (internal/ring) consistent-hashes
+// tenants across a fleet of these servers and migrates them with
+// detach → GET snapshot → PUT snapshot → DELETE, refusing writes to a
+// tenant only during its own handoff window.
 //
 // Each stream adopts the dimension of its first ingested point (unless
 // configured); subsequent mismatches are rejected with 400 before

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"streamkm/internal/registry"
+)
+
+func doReq(t *testing.T, c *http.Client, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, raw
+}
+
+// TestHandoffEndpoints drives the migration protocol over HTTP between
+// two daemon-equivalent servers, exactly as the router does: detach on
+// the source (with the owner hint), download the snapshot, install it on
+// the destination, delete the source copy — and verify the moved tenant
+// serves identically on the other side.
+func TestHandoffEndpoints(t *testing.T) {
+	src, _ := newMultiServer(t, registry.Config{DataDir: t.TempDir()}, MultiConfig{})
+	dst, _ := newMultiServer(t, registry.Config{DataDir: t.TempDir()}, MultiConfig{})
+
+	resp, err := http.Post(src.URL+"/streams/mv/ingest", "application/x-ndjson",
+		strings.NewReader(ndjson(300, 2, 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Detach with an owner hint.
+	resp, _ = doReq(t, src.Client(), http.MethodPost, src.URL+"/streams/mv/detach",
+		`{"owner":"`+dst.URL+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detach status %d", resp.StatusCode)
+	}
+
+	// Writes and reads against the frozen tenant answer 409 with the hint.
+	resp, _ = doReq(t, src.Client(), http.MethodPost, src.URL+"/streams/mv/ingest", "[1,2]\n")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("ingest on detached stream: status %d, want 409", resp.StatusCode)
+	}
+	if got := resp.Header.Get(OwnerHeader); got != dst.URL {
+		t.Fatalf("409 owner header %q, want %q", got, dst.URL)
+	}
+	resp, _ = doReq(t, src.Client(), http.MethodGet, src.URL+"/streams/mv/centers", "")
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get(OwnerHeader) != dst.URL {
+		t.Fatalf("centers on detached stream: status %d owner %q", resp.StatusCode, resp.Header.Get(OwnerHeader))
+	}
+
+	// Snapshot still downloads (that is the state that travels).
+	resp, snap := doReq(t, src.Client(), http.MethodGet, src.URL+"/streams/mv/snapshot", "")
+	if resp.StatusCode != http.StatusOK || len(snap) == 0 {
+		t.Fatalf("snapshot of detached stream: status %d (%d bytes)", resp.StatusCode, len(snap))
+	}
+
+	// Install on the destination.
+	req, err := http.NewRequest(http.MethodPut, dst.URL+"/streams/mv/snapshot", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := dst.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("install status %d", resp2.StatusCode)
+	}
+
+	// Complete: delete the source copy; the destination serves the tenant.
+	resp, _ = doReq(t, src.Client(), http.MethodDelete, src.URL+"/streams/mv", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete of detached source copy: status %d", resp.StatusCode)
+	}
+	resp, m := getJSON(t, dst.URL+"/streams/mv/centers")
+	if resp.StatusCode != http.StatusOK || m["count"].(float64) != 300 {
+		t.Fatalf("migrated tenant on destination: status %d %v", resp.StatusCode, m)
+	}
+
+	// Install over a live tenant is refused.
+	req, _ = http.NewRequest(http.MethodPut, dst.URL+"/streams/mv/snapshot", bytes.NewReader(snap))
+	resp2, err = dst.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("re-install over live tenant: status %d, want 409", resp2.StatusCode)
+	}
+
+	// Garbage install: 400, nothing registered.
+	req, _ = http.NewRequest(http.MethodPut, dst.URL+"/streams/junk/snapshot",
+		strings.NewReader("not a snapshot"))
+	resp2, err = dst.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage install: status %d, want 400", resp2.StatusCode)
+	}
+	if resp, _ := getJSON(t, dst.URL+"/streams/junk/stats"); resp.StatusCode != http.StatusNotFound {
+		t.Fatal("failed install left a registered stream")
+	}
+
+	// Reattach aborts a handoff: detach the migrated tenant on dst, then
+	// bring it back to service with the count intact.
+	resp, _ = doReq(t, dst.Client(), http.MethodPost, dst.URL+"/streams/mv/detach", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detach status %d", resp.StatusCode)
+	}
+	resp, _ = doReq(t, dst.Client(), http.MethodPost, dst.URL+"/streams/mv/reattach", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reattach status %d", resp.StatusCode)
+	}
+	resp, m = getJSON(t, dst.URL+"/streams/mv/centers")
+	if resp.StatusCode != http.StatusOK || m["count"].(float64) != 300 {
+		t.Fatalf("tenant after aborted handoff: status %d %v", resp.StatusCode, m)
+	}
+}
+
+// TestListHibernatedBackendSpec is the listing-bugfix regression: a
+// hibernated stream's GET /streams entry must carry the authoritative
+// backend spec — peeked from its snapshot — not the requested-config
+// residue. Before the fix, a stream created lazily under a spec-less
+// default listed with no backend field at all while hibernated, and a
+// hibernated windowed tenant listed a phantom inherited algo.
+func TestListHibernatedBackendSpec(t *testing.T) {
+	// The default stream config deliberately names no backend variant —
+	// the registry API allows it, and Open resolves it to "concurrent".
+	ts, m := newMultiServer(t, registry.Config{
+		DataDir: t.TempDir(),
+		Default: registry.StreamConfig{Algo: "CC", K: 3},
+	}, MultiConfig{})
+
+	resp, err := http.Post(ts.URL+"/streams/plain/ingest", "application/x-ndjson",
+		strings.NewReader(pointsNDJSON([][]float64{{1, 2}, {3, 4}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	resp, _ = doReq(t, ts.Client(), http.MethodPut, ts.URL+"/streams/win",
+		`{"backend":"windowed","window_n":500}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create windowed: status %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/streams/win/ingest", "application/x-ndjson",
+		strings.NewReader(pointsNDJSON([][]float64{{5, 6}, {7, 8}})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Hibernate everything.
+	for _, id := range []string{"plain", "win"} {
+		resp, _ = doReq(t, ts.Client(), http.MethodPost, ts.URL+"/streams/"+id+"/detach", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("detach %s: status %d", id, resp.StatusCode)
+		}
+		resp, _ = doReq(t, ts.Client(), http.MethodPost, ts.URL+"/streams/"+id+"/reattach", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reattach %s: status %d", id, resp.StatusCode)
+		}
+	}
+	for _, in := range m.Registry().List() {
+		if in.Resident {
+			t.Fatalf("stream %s still resident after hibernation", in.ID)
+		}
+	}
+
+	resp, lst := getJSON(t, ts.URL+"/streams")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list status %d", resp.StatusCode)
+	}
+	byID := map[string]map[string]interface{}{}
+	for _, raw := range lst["streams"].([]interface{}) {
+		e := raw.(map[string]interface{})
+		byID[e["id"].(string)] = e
+	}
+	if got, _ := byID["plain"]["backend"].(string); got != "concurrent" {
+		t.Errorf("hibernated lazily-created stream lists backend %q, want %q (entry %v)",
+			got, "concurrent", byID["plain"])
+	}
+	if got, _ := byID["win"]["backend"].(string); got != "windowed" {
+		t.Errorf("hibernated windowed stream lists backend %q, want %q", got, "windowed")
+	}
+	if algo, ok := byID["win"]["algo"]; ok && algo != "" {
+		t.Errorf("hibernated windowed stream lists phantom algo %v", algo)
+	}
+	if byID["win"]["window_n"].(float64) != 500 {
+		t.Errorf("hibernated windowed stream lost window_n: %v", byID["win"])
+	}
+	// Counts captured at hibernation survive in the listing too.
+	if byID["plain"]["count"].(float64) != 2 || byID["win"]["count"].(float64) != 2 {
+		t.Errorf("hibernated counts wrong: %v / %v", byID["plain"], byID["win"])
+	}
+}

@@ -64,6 +64,9 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	m.mux.Handle("GET /streams/{id}/stats", record(&m.statsStats, m.byID(m.handleStreamStats)))
 	m.mux.Handle("GET /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotGet)))
 	m.mux.Handle("POST /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotPost)))
+	m.mux.Handle("PUT /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotInstall)))
+	m.mux.Handle("POST /streams/{id}/detach", record(&m.adminStats, m.byID(m.handleDetach)))
+	m.mux.Handle("POST /streams/{id}/reattach", record(&m.adminStats, m.byID(m.handleReattach)))
 	m.mux.Handle("PUT /streams/{id}", record(&m.adminStats, m.byID(m.handleCreate)))
 	m.mux.Handle("DELETE /streams/{id}", record(&m.adminStats, m.byID(m.handleDelete)))
 	m.mux.Handle("GET /streams", record(&m.adminStats, m.handleList))
@@ -108,6 +111,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, registry.ErrExists):
 		return http.StatusConflict
+	case errors.Is(err, registry.ErrDetached):
+		return http.StatusConflict
 	case errors.Is(err, registry.ErrInvalidID):
 		return http.StatusBadRequest
 	case errors.Is(err, registry.ErrInvalidConfig):
@@ -116,7 +121,17 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// OwnerHeader is the response header naming where a stream lives: set on
+// 409s for detached (migrating) streams so a client that contacted the
+// wrong daemon learns where to retry, and by the router on every proxied
+// response to report which daemon served it.
+const OwnerHeader = "X-Streamkm-Owner"
+
 func writeErr(w http.ResponseWriter, err error) {
+	var de *registry.DetachedError
+	if errors.As(err, &de) && de.Owner != "" {
+		w.Header().Set(OwnerHeader, de.Owner)
+	}
 	writeJSON(w, statusFor(err), map[string]interface{}{"error": err.Error()})
 }
 
@@ -302,6 +317,80 @@ func (m *Multi) handleSnapshotPost(id string, w http.ResponseWriter, _ *http.Req
 		"count":  in.Count,
 	})
 	return n, false
+}
+
+// handleDetach freezes a stream for migration: it is checkpointed to its
+// snapshot file (waiting out in-flight requests) and every later request
+// answers 409 — with an X-Streamkm-Owner hint when the optional body
+// {"owner":"..."} named the destination — until POST reattach, or DELETE
+// once the new owner has the state. This is the source half of the
+// router's rebalance protocol.
+func (m *Multi) handleDetach(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	var body struct {
+		Owner string `json:"owner"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+			writeJSON(w, http.StatusBadRequest, map[string]interface{}{
+				"error": fmt.Sprintf("malformed detach body: %v", err),
+			})
+			return 0, true
+		}
+	}
+	if _, err := m.reg.Detach(id, body.Owner); err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	in, _ := m.reg.Stat(id)
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":   id,
+		"detached": true,
+		"count":    in.Count,
+	})
+	return 1, false
+}
+
+// handleReattach lifts a detach — the abort path of a failed migration;
+// the stream serves again from the snapshot the detach wrote.
+func (m *Multi) handleReattach(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+	if err := m.reg.Reattach(id); err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":   id,
+		"detached": false,
+	})
+	return 1, false
+}
+
+// handleSnapshotInstall registers a stream from a serialized snapshot
+// envelope in the request body — the destination half of a migration:
+// the envelope is persisted and restored immediately, so a malformed or
+// truncated body is a 400 with nothing registered, and a taken id a 409
+// (an install never overwrites a live tenant).
+func (m *Multi) handleSnapshotInstall(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	body := limitBody(w, r, m.cfg.MaxBodyBytes)
+	if err := m.reg.Install(id, body); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]interface{}{
+				"error": fmt.Sprintf("snapshot exceeds %d bytes", mbe.Limit),
+			})
+			return 0, true
+		}
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			// A snapshot that fails validation or restore is the sender's
+			// fault, like a bad PUT config.
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]interface{}{"error": err.Error()})
+		return 0, true
+	}
+	in, _ := m.reg.Stat(id)
+	writeJSON(w, http.StatusCreated, in)
+	return 1, false
 }
 
 // handleCreate registers a stream with an explicit configuration — a

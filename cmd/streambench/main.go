@@ -26,6 +26,10 @@
 //	streamkmd -algo CC -k 30 -shards 8 &
 //	streambench -replay http://localhost:7070 -datasets covtype -n 100000 -conc 8 -batch 500
 //
+// -wire selects the ingest wire format: ndjson (default) or binary, the
+// length-prefixed columnar application/x-streamkm-batch format — replay
+// both against one daemon to measure the codec's share of ingest cost.
+//
 // With -tenants N the dataset is split across N independent streams
 // (/streams/replay-NNN/ingest), driving the daemon's multi-tenant
 // registry — point it at a daemon started with -max-streams below N to
@@ -90,12 +94,17 @@ func main() {
 		halfLife    = flag.Float64("half-life", 5000, "decay half-life in points for -backend decayed")
 		windowN     = flag.Int64("window", 50000, "sliding-window length in points for -backend windowed")
 		jsonOut     = flag.String("json", "", "write the -replay result as machine-readable JSON to this file")
+		wireFmt     = flag.String("wire", "ndjson", "ingest wire format in -replay mode: ndjson or binary (application/x-streamkm-batch)")
 	)
 	flag.Parse()
 
 	if *replay != "" || *routers != "" {
 		if *conc < 1 || *batch < 1 || *tenants < 1 {
 			fmt.Fprintf(os.Stderr, "streambench: -conc, -batch and -tenants must be >= 1 (got %d, %d, %d)\n", *conc, *batch, *tenants)
+			os.Exit(2)
+		}
+		if *wireFmt != "ndjson" && *wireFmt != "binary" {
+			fmt.Fprintf(os.Stderr, "streambench: -wire must be ndjson or binary, got %q\n", *wireFmt)
 			os.Exit(2)
 		}
 		var routerURLs []string
@@ -122,6 +131,7 @@ func main() {
 			queryEvery: *q,
 			seed:       *seed,
 			jsonOut:    *jsonOut,
+			wire:       *wireFmt,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "streambench: replay: %v\n", err)

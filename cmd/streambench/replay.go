@@ -16,6 +16,7 @@ import (
 	"streamkm/internal/datagen"
 	"streamkm/internal/geom"
 	"streamkm/internal/metrics"
+	"streamkm/internal/wire"
 )
 
 // replayConfig parameterizes the HTTP load-replay client mode: it streams
@@ -40,6 +41,20 @@ type replayConfig struct {
 	queryEvery int64    // issue a centers query every this many points (0 = none)
 	seed       int64
 	jsonOut    string // write a machine-readable result to this file ("" = none)
+	wire       string // ingest wire format: "ndjson" (default) or "binary"
+}
+
+// binaryWire reports whether ingest batches travel as
+// application/x-streamkm-batch bodies instead of ndjson.
+func (rc replayConfig) binaryWire() bool { return rc.wire == "binary" }
+
+// wireName normalizes the wire format for reporting: an unset value is
+// the ndjson default.
+func (rc replayConfig) wireName() string {
+	if rc.binaryWire() {
+		return "binary"
+	}
+	return "ndjson"
 }
 
 // routerMode reports whether the replay targets streamkm-router
@@ -83,6 +98,7 @@ type replayResult struct {
 	Dim            int            `json:"dim"`
 	Backend        string         `json:"backend,omitempty"`
 	Routers        int            `json:"routers,omitempty"`
+	Wire           string         `json:"wire"`
 	Tenants        int            `json:"tenants"`
 	Producers      int            `json:"producers"`
 	Batch          int            `json:"batch"`
@@ -241,7 +257,7 @@ func runReplay(rc replayConfig) error {
 				var err error
 				for attempt := 0; attempt < rc.maxAttempts(); attempt++ {
 					url := tenantPath(rc.base(int(reqSeq.Add(1))), rc.tenantName(j.tenant), "/ingest")
-					err = postBatch(client, url, j.pts, st, j.tenant)
+					err = postBatch(client, url, rc.binaryWire(), j.pts, st, j.tenant)
 					if err == nil || !rc.routerMode() || !errors.Is(err, errTransient) {
 						break
 					}
@@ -276,6 +292,7 @@ func runReplay(rc replayConfig) error {
 		N:              ds.N(),
 		Dim:            ds.Dim,
 		Backend:        rc.backend,
+		Wire:           rc.wireName(),
 		Routers:        len(rc.routers),
 		Tenants:        rc.tenants,
 		Producers:      rc.conc,
@@ -326,7 +343,7 @@ func runReplay(rc replayConfig) error {
 		target = fmt.Sprintf("%d router(s) at %s", len(rc.routers), strings.Join(rc.routers, " "))
 	}
 	t := metrics.NewTable(
-		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d) against %s", ds.Name, ds.N(), ds.Dim, target),
+		fmt.Sprintf("HTTP replay of %s (%d pts, dim %d, %s wire) against %s", ds.Name, ds.N(), ds.Dim, rc.wireName(), target),
 		"tenants", "producers", "batch", "points", "ingest reqs", "wall", "points/s",
 		"queries", "q p50 ms", "q p95 ms")
 	t.AddRow(rc.tenants, rc.conc, rc.batch, res.Ingested, res.IngestRequests,
@@ -443,17 +460,33 @@ func (rc replayConfig) maxAttempts() int {
 	return 1
 }
 
-// postBatch streams one ndjson batch to an ingest endpoint and accounts
-// the daemon-acknowledged point count.
-func postBatch(client *http.Client, url string, pts []geom.Point, st *replayStats, tenant int) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, p := range pts {
-		if err := enc.Encode([]float64(p)); err != nil {
+// postBatch posts one ingest batch — ndjson or binary columnar — to an
+// ingest endpoint and accounts the daemon-acknowledged point count.
+func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Point, st *replayStats, tenant int) error {
+	var reqBody io.Reader
+	contentType := "application/x-ndjson"
+	if binaryWire {
+		raws := make([][]float64, len(pts))
+		for i, p := range pts {
+			raws[i] = []float64(p)
+		}
+		raw, err := wire.EncodeBatch(raws, nil)
+		if err != nil {
 			return err
 		}
+		reqBody = bytes.NewReader(raw)
+		contentType = wire.ContentType
+	} else {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		for _, p := range pts {
+			if err := enc.Encode([]float64(p)); err != nil {
+				return err
+			}
+		}
+		reqBody = &buf
 	}
-	resp, err := client.Post(url, "application/x-ndjson", &buf)
+	resp, err := client.Post(url, contentType, reqBody)
 	if err != nil {
 		return err
 	}

@@ -61,8 +61,11 @@ func (KMeansPP) Build(rng *rand.Rand, pts []geom.Weighted, m int) []geom.Weighte
 	for i, c := range centers {
 		out[i] = geom.Weighted{P: c, W: 0}
 	}
+	// The assignment pass is the construction's hot loop (n points × m
+	// centers); scan the centers through the flat-array kernel.
+	fc := geom.FlattenCenters(centers)
 	for _, wp := range pts {
-		_, idx := geom.MinSqDist(wp.P, centers)
+		_, idx := fc.Nearest(wp.P)
 		out[idx].W += wp.W
 	}
 	return compactZeroWeight(out)

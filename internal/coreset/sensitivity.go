@@ -45,13 +45,15 @@ func (s Sensitivity) Build(rng *rand.Rand, pts []geom.Weighted, m int) []geom.We
 	}
 	centers := kmeans.SeedPP(rng, pts, k)
 
-	// Per-point nearest center and residual cost.
+	// Per-point nearest center and residual cost, scanned through the
+	// flat-array kernel (n points × k centers — this pass dominates).
+	fc := geom.FlattenCenters(centers)
 	assign := make([]int, len(pts))
 	resid := make([]float64, len(pts))
 	var totalCost float64
 	clusterW := make([]float64, len(centers))
 	for i, wp := range pts {
-		d, idx := geom.MinSqDist(wp.P, centers)
+		d, idx := fc.Nearest(wp.P)
 		assign[i] = idx
 		resid[i] = d
 		totalCost += wp.W * d

@@ -1,0 +1,132 @@
+package geom
+
+import "math"
+
+// This file holds the flat-array distance kernels behind every
+// nearest-center and cost-accumulation hot loop in the repository. Two
+// ideas, both about keeping the inner loop memory-bandwidth-bound rather
+// than pointer-chasing-bound:
+//
+//   - Squared distances run 4-wide: four independent difference/multiply
+//     accumulator chains per iteration, so the loop is not serialized on
+//     one floating-point add dependency and the compiler can keep four
+//     FMA-shaped chains in flight.
+//   - Center sets are scanned through FlatCenters, a center-major flat
+//     []float64 block (center i occupies Data[i*Dim : (i+1)*Dim]), so a
+//     nearest-center scan walks one contiguous allocation instead of k
+//     scattered slices.
+//
+// The unrolled kernels sum in a different association order than a naive
+// sequential loop, so results may differ from the textbook formula in the
+// last few ulps; they are exact for inputs whose partial sums are exactly
+// representable (e.g. small integers), which the equivalence tests rely
+// on.
+
+// sqDist4 is the unrolled squared-distance kernel. Callers guarantee
+// len(a) == len(b).
+func sqDist4(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n] // one bounds check, then the loop body elides them
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s0 += d * d
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// FlatCenters is a center set packed into one contiguous center-major
+// block: center i is Data[i*Dim : (i+1)*Dim]. It is the scan-side layout
+// for the repository's nearest-center loops — building it costs one
+// allocation and one copy, after which every per-point scan touches a
+// single cache-friendly array.
+//
+// The zero value is an empty center set.
+type FlatCenters struct {
+	Data []float64
+	Dim  int
+}
+
+// FlattenCenters packs set into a FlatCenters block. It panics if the
+// centers do not share one dimension — mixing dimensions is always a
+// programming error in this codebase (same convention as SqDist). An
+// empty set flattens to the zero FlatCenters.
+func FlattenCenters(set []Point) FlatCenters {
+	if len(set) == 0 {
+		return FlatCenters{}
+	}
+	d := len(set[0])
+	data := make([]float64, len(set)*d)
+	for i, c := range set {
+		if len(c) != d {
+			panic("geom: FlattenCenters over mixed dimensions")
+		}
+		copy(data[i*d:(i+1)*d], c)
+	}
+	return FlatCenters{Data: data, Dim: d}
+}
+
+// Len returns the number of centers in the block.
+func (f FlatCenters) Len() int {
+	if f.Dim == 0 {
+		return 0
+	}
+	return len(f.Data) / f.Dim
+}
+
+// Center returns center i, aliased into the block (do not modify).
+func (f FlatCenters) Center(i int) Point {
+	return Point(f.Data[i*f.Dim : (i+1)*f.Dim])
+}
+
+// Nearest returns the squared distance from p to the nearest center in
+// the block and that center's index — the flat-array equivalent of
+// MinSqDist. If the block is empty it returns (+Inf, -1). It panics when
+// p's dimension differs from the block's.
+func (f FlatCenters) Nearest(p Point) (float64, int) {
+	if len(f.Data) == 0 {
+		return math.Inf(1), -1
+	}
+	if len(p) != f.Dim {
+		panic("geom: dimension mismatch in FlatCenters.Nearest")
+	}
+	best := math.Inf(1)
+	idx := -1
+	d := f.Dim
+	for i, off := 0, 0; off < len(f.Data); i, off = i+1, off+d {
+		if sq := sqDist4(p, f.Data[off:off+d]); sq < best {
+			best = sq
+			idx = i
+		}
+	}
+	return best, idx
+}
+
+// Cost accumulates the weighted nearest-center cost of pts against the
+// block: sum_i w_i * min_c ||p_i - c||^2. It returns +Inf when the block
+// is empty and pts is not — matching kmeans.Cost — and 0 for empty pts.
+func (f FlatCenters) Cost(pts []Weighted) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	if len(f.Data) == 0 {
+		return math.Inf(1)
+	}
+	var s float64
+	for _, wp := range pts {
+		sq, _ := f.Nearest(wp.P)
+		s += wp.W * sq
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveSqDist is the textbook sequential-accumulation reference the
+// unrolled kernel is validated against.
+func naiveSqDist(a, b Point) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kernelDims covers every unroll-tail residue densely at small
+// dimensions and spot-checks larger ones up to 777 (odd, so the 4-wide
+// main loop leaves a 1-element tail).
+func kernelDims() []int {
+	var dims []int
+	for d := 1; d <= 64; d++ {
+		dims = append(dims, d)
+	}
+	dims = append(dims, 65, 100, 127, 128, 129, 255, 256, 257, 511, 512, 513, 640, 776, 777)
+	return dims
+}
+
+func randPoint(rng *rand.Rand, d int) Point {
+	p := make(Point, d)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 100
+	}
+	return p
+}
+
+func TestSqDistMatchesNaiveAcrossDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range kernelDims() {
+		t.Run(fmt.Sprintf("dim=%d", d), func(t *testing.T) {
+			for trial := 0; trial < 8; trial++ {
+				a, b := randPoint(rng, d), randPoint(rng, d)
+				got := SqDist(a, b)
+				want := naiveSqDist(a, b)
+				if want == 0 {
+					if got != 0 {
+						t.Fatalf("SqDist = %v, want 0", got)
+					}
+					continue
+				}
+				if rel := math.Abs(got-want) / want; rel > 1e-12 {
+					t.Fatalf("SqDist = %v, naive = %v, rel err %v", got, want, rel)
+				}
+			}
+			// Identical points: exactly zero regardless of summation order.
+			p := randPoint(rng, d)
+			if got := SqDist(p, p.Clone()); got != 0 {
+				t.Fatalf("SqDist(p, p) = %v, want exactly 0", got)
+			}
+			// Small integer coordinates: partial sums exactly representable,
+			// so the unrolled kernel must match the naive one bit-for-bit.
+			ia, ib := make(Point, d), make(Point, d)
+			for i := 0; i < d; i++ {
+				ia[i] = float64(rng.Intn(64))
+				ib[i] = float64(rng.Intn(64))
+			}
+			if got, want := SqDist(ia, ib), naiveSqDist(ia, ib); got != want {
+				t.Fatalf("integer SqDist = %v, naive = %v (must be exact)", got, want)
+			}
+		})
+	}
+}
+
+func TestFlatCentersNearestMatchesMinSqDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, d := range []int{1, 2, 3, 4, 5, 7, 13, 54, 129, 777} {
+		for _, k := range []int{1, 2, 7, 32} {
+			centers := make([]Point, k)
+			for i := range centers {
+				centers[i] = randPoint(rng, d)
+			}
+			fc := FlattenCenters(centers)
+			if fc.Len() != k || fc.Dim != d {
+				t.Fatalf("dim=%d k=%d: flattened to Len=%d Dim=%d", d, k, fc.Len(), fc.Dim)
+			}
+			for i := range centers {
+				if !fc.Center(i).Equal(centers[i]) {
+					t.Fatalf("dim=%d k=%d: Center(%d) does not round-trip", d, k, i)
+				}
+			}
+			for trial := 0; trial < 16; trial++ {
+				p := randPoint(rng, d)
+				gotSq, gotIdx := fc.Nearest(p)
+				wantSq, wantIdx := MinSqDist(p, centers)
+				if rel := math.Abs(gotSq-wantSq) / math.Max(wantSq, 1); rel > 1e-12 {
+					t.Fatalf("dim=%d k=%d: Nearest sq %v, MinSqDist %v", d, k, gotSq, wantSq)
+				}
+				if gotIdx != wantIdx {
+					// A near-tie may resolve differently across summation
+					// orders; the two candidates must then be equidistant to
+					// within rounding.
+					alt := SqDist(p, centers[gotIdx])
+					if rel := math.Abs(alt-wantSq) / math.Max(wantSq, 1); rel > 1e-12 {
+						t.Fatalf("dim=%d k=%d: Nearest idx %d (sq %v), MinSqDist idx %d (sq %v)",
+							d, k, gotIdx, alt, wantIdx, wantSq)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFlatCentersEmptyAndCost(t *testing.T) {
+	var empty FlatCenters
+	if sq, idx := empty.Nearest(Point{1, 2}); !math.IsInf(sq, 1) || idx != -1 {
+		t.Fatalf("empty Nearest = (%v, %d), want (+Inf, -1)", sq, idx)
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty Len = %d", empty.Len())
+	}
+	if got := empty.Cost(nil); got != 0 {
+		t.Fatalf("empty Cost of no points = %v, want 0", got)
+	}
+	if got := empty.Cost([]Weighted{{P: Point{1}, W: 1}}); !math.IsInf(got, 1) {
+		t.Fatalf("empty Cost of points = %v, want +Inf", got)
+	}
+
+	centers := []Point{{0, 0}, {10, 0}}
+	fc := FlattenCenters(centers)
+	pts := []Weighted{
+		{P: Point{1, 0}, W: 2},  // nearest (0,0), sq 1, contributes 2
+		{P: Point{9, 0}, W: 3},  // nearest (10,0), sq 1, contributes 3
+		{P: Point{10, 4}, W: 1}, // nearest (10,0), sq 16, contributes 16
+	}
+	if got := fc.Cost(pts); got != 21 {
+		t.Fatalf("Cost = %v, want 21", got)
+	}
+}
+
+func TestFlattenCentersMixedDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FlattenCenters over mixed dimensions did not panic")
+		}
+	}()
+	FlattenCenters([]Point{{1, 2}, {1, 2, 3}})
+}
+
+// BenchmarkNearestCenter pits the flat-array scan against the
+// slice-of-slices layout it replaced, at a covtype-shaped workload
+// (dim 54) and an embedding-shaped one (dim 768).
+func BenchmarkNearestCenter(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, cfg := range []struct{ dim, k int }{{54, 30}, {768, 30}} {
+		centers := make([]Point, cfg.k)
+		for i := range centers {
+			centers[i] = randPoint(rng, cfg.dim)
+		}
+		fc := FlattenCenters(centers)
+		p := randPoint(rng, cfg.dim)
+		b.Run(fmt.Sprintf("flat/dim=%d/k=%d", cfg.dim, cfg.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSq, benchIdx = fc.Nearest(p)
+			}
+		})
+		b.Run(fmt.Sprintf("slices/dim=%d/k=%d", cfg.dim, cfg.k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSq, benchIdx = MinSqDist(p, centers)
+			}
+		})
+	}
+}
+
+var (
+	benchSq  float64
+	benchIdx int
+)

@@ -69,19 +69,15 @@ func (p Point) IsFinite() bool {
 	return true
 }
 
-// SqDist returns the squared Euclidean distance ||a-b||^2.
-// It panics if the dimensions differ, since mixing dimensions is always a
-// programming error in this codebase.
+// SqDist returns the squared Euclidean distance ||a-b||^2, computed by
+// the 4-wide unrolled kernel (see kernel.go for the summation-order
+// caveat). It panics if the dimensions differ, since mixing dimensions is
+// always a programming error in this codebase.
 func SqDist(a, b Point) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("geom: dimension mismatch %d vs %d", len(a), len(b)))
 	}
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return sqDist4(a, b)
 }
 
 // Dist returns the Euclidean distance ||a-b||.

@@ -25,19 +25,16 @@ func Cost(pts []geom.Weighted, centers []geom.Point) float64 {
 	if len(centers) == 0 {
 		return math.Inf(1)
 	}
-	var s float64
-	for _, wp := range pts {
-		d, _ := geom.MinSqDist(wp.P, centers)
-		s += wp.W * d
-	}
-	return s
+	// Flatten once, then every per-point scan walks one contiguous block.
+	return geom.FlattenCenters(centers).Cost(pts)
 }
 
 // Assign returns, for each point, the index of its nearest center.
 func Assign(pts []geom.Weighted, centers []geom.Point) []int {
+	fc := geom.FlattenCenters(centers)
 	out := make([]int, len(pts))
 	for i, wp := range pts {
-		_, idx := geom.MinSqDist(wp.P, centers)
+		_, idx := fc.Nearest(wp.P)
 		out[i] = idx
 	}
 	return out

@@ -38,6 +38,7 @@ import (
 
 	"streamkm/internal/metrics"
 	"streamkm/internal/persist"
+	"streamkm/internal/wire"
 )
 
 // Backend is the per-stream clustering surface the registry manages. It
@@ -162,6 +163,8 @@ type Registry struct {
 
 	stats      metrics.RegistryStats
 	checkpoint metrics.CheckpointStats
+
+	buffers wire.BufferPool
 }
 
 // Registry errors distinguished by the HTTP layer.
@@ -239,6 +242,12 @@ func New(cfg Config) (*Registry, error) {
 	}
 	return r, nil
 }
+
+// Buffers returns the registry-wide ingest buffer pool: every stream's
+// binary-ingest request recycles its body and point-header buffers here,
+// so a daemon hosting thousands of tenants shares one set of warm
+// buffers instead of allocating per stream.
+func (r *Registry) Buffers() *wire.BufferPool { return &r.buffers }
 
 // bootScan registers hibernated entries for every snapshot file found in
 // Files and DataDir. O(#files) with Peek; no backend is built.

@@ -31,10 +31,14 @@
 //
 // Multi endpoints:
 //
-//	POST   /streams/{id}/ingest    ndjson points into the named stream,
-//	                               created lazily on first ingest; each
-//	                               value is a JSON array [x1,...,xd]
-//	                               (weight 1) or {"p":[...],"w":2.5}.
+//	POST   /streams/{id}/ingest    points into the named stream, created
+//	                               lazily on first ingest. Two wire
+//	                               formats, negotiated by Content-Type
+//	                               (see "Ingest wire formats" below):
+//	                               ndjson — each value a JSON array
+//	                               [x1,...,xd] (weight 1) or
+//	                               {"p":[...],"w":2.5} — or one binary
+//	                               application/x-streamkm-batch body.
 //	GET    /streams/{id}/centers   current k centers (cached fast path);
 //	                               ?refresh=1 forces recomputation;
 //	                               restores a hibernated stream lazily.
@@ -93,6 +97,34 @@
 // touching the clusterer. Ingest requests are bounded: bodies beyond
 // MaxBodyBytes and requests carrying more than MaxPoints points are cut
 // off with 413 instead of read unboundedly.
+//
+// # Ingest wire formats
+//
+// Both ingest endpoints negotiate on Content-Type.
+// application/x-streamkm-batch selects the binary columnar format
+// (internal/wire): a 16-byte versioned header — magic "SKMB", version,
+// a weights flag, uint32 little-endian dim and count — followed by a
+// flat point-major float32 coordinate block and an optional float32
+// weights block. Any other content type is treated as ndjson, the
+// compatibility path.
+//
+// The two paths differ in their partial-failure contract. The ndjson
+// path streams: on the first malformed value it stops, keeps what was
+// already applied, and reports both the error and the applied count.
+// The binary path is all-or-nothing: the entire body (header sanity,
+// exact length, finite coordinates, positive weights) is validated
+// before the first point is applied, so a 400 always means zero points
+// ingested — FuzzBinaryBatch asserts exactly this, and the differential
+// suite (wire_e2e_test.go) asserts both wires leave a backend in the
+// identical state for identical input. Malformed bodies are 400,
+// over-cap bodies (bytes or points) 413.
+//
+// The binary path is also the fast one: one decode pass, one coordinate
+// allocation per request however many points, with the request body and
+// per-point slice headers recycled through a wire.BufferPool (the Multi
+// server shares one pool registry-wide via Registry.Buffers, and decodes
+// before taking the stream's lock). BenchmarkIngestWire measures the
+// difference against the same backend.
 //
 // # Durability
 //

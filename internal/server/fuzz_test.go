@@ -2,10 +2,14 @@ package server
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+
+	"streamkm/internal/wire"
 )
 
 // sinkClusterer is a minimal backend for fuzzing the HTTP parsing layer:
@@ -49,6 +53,61 @@ func FuzzIngest(f *testing.F) {
 		rec := httptest.NewRecorder()
 		srv.Handler().ServeHTTP(rec, req) // must not panic
 		if c := rec.Code; c != http.StatusOK && (c < 400 || c > 499) {
+			t.Fatalf("status %d for body %q (want 200 or 4xx)", c, data)
+		}
+	})
+}
+
+// FuzzBinaryBatch feeds arbitrary bytes to the binary ingest path
+// (application/x-streamkm-batch → wire.Decode → applyBinary). Three
+// invariants, whatever the bytes: the handler never panics, a non-200
+// answer is a clean 4xx, and — the binary format's stronger contract —
+// a rejected body ingests NOTHING (the ndjson path may legitimately
+// report partial progress; the binary path validates everything before
+// applying anything). Truncated headers, hostile count*dim products,
+// NaN/Inf coordinates and dimension mismatches all ride this harness;
+// testdata/fuzz/FuzzBinaryBatch holds the committed seed corpus.
+func FuzzBinaryBatch(f *testing.F) {
+	valid, err := wire.EncodeBatch([][]float64{{1, 2}, {3, 4}}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	weighted, err := wire.EncodeBatch([][]float64{{1, 2}}, []float64{2.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(weighted)
+	f.Add(valid[:len(valid)-3])               // truncated coordinates
+	f.Add(valid[:12])                         // truncated header
+	f.Add([]byte{})                           // empty body
+	f.Add([]byte("SKMB"))                     // magic only
+	f.Add(append([]byte(nil), valid[:16]...)) // header with no payload
+	nan := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(nan[16:], math.Float32bits(float32(math.NaN())))
+	f.Add(nan)
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(huge[8:12], math.MaxUint32)  // dim
+	binary.LittleEndian.PutUint32(huge[12:16], math.MaxUint32) // count
+	f.Add(huge)
+	badmagic := append([]byte(nil), valid...)
+	badmagic[0] = 'X'
+	f.Add(badmagic)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sink := &sinkClusterer{}
+		srv := New(sink, Config{K: 2, Dim: 2, MaxBatch: 8})
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader(data))
+		req.Header.Set("Content-Type", wire.ContentType)
+		rec := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(rec, req) // must not panic
+		switch c := rec.Code; {
+		case c == http.StatusOK:
+		case c >= 400 && c <= 499:
+			if n := sink.count.Load(); n != 0 {
+				t.Fatalf("status %d but %d points ingested from %q (binary ingest must be all-or-nothing)", c, n, data)
+			}
+		default:
 			t.Fatalf("status %d for body %q (want 200 or 4xx)", c, data)
 		}
 	})

@@ -137,27 +137,30 @@ func writeErr(w http.ResponseWriter, err error) {
 
 // handleIngest streams points into the named stream, creating it lazily
 // (with the registry's default configuration) on first ingest — the
-// zero-ceremony tenant onboarding path.
+// zero-ceremony tenant onboarding path. Content-Type
+// application/x-streamkm-batch selects the binary columnar path;
+// anything else is ndjson.
 func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
 	// Buffer the (byte-capped) body before entering the registry: decoding
 	// straight off the socket would hold the stream's read lock for the
 	// lifetime of a slow upload, stalling hibernation, checkpoints and —
 	// through the RWMutex's writer preference — every other request to the
-	// same stream.
-	raw, err := io.ReadAll(limitBody(w, r, m.cfg.MaxBodyBytes))
-	if err != nil {
-		status, msg := http.StatusBadRequest, fmt.Sprintf("read ingest body: %v", err)
-		var mbe *http.MaxBytesError
-		if errors.As(err, &mbe) {
-			status = http.StatusRequestEntityTooLarge
-			msg = fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)
-		}
-		writeJSON(w, status, map[string]interface{}{
-			"error":    msg,
+	// same stream. The buffer comes from the registry-wide pool; With is
+	// synchronous and both decode paths copy out of it, so it can be
+	// returned as soon as the handler is done.
+	pool := m.reg.Buffers()
+	raw, rstatus, rmsg := readBody(w, r, m.cfg.MaxBodyBytes, pool)
+	defer pool.PutBytes(raw)
+	if rstatus != 0 {
+		writeJSON(w, rstatus, map[string]interface{}{
+			"error":    rmsg,
 			"stream":   id,
 			"ingested": 0,
 		})
 		return 0, true
+	}
+	if isBinaryBatch(r) {
+		return m.ingestBinary(id, w, raw)
 	}
 	// Vet the first record before touching the registry: lazy creation
 	// must not register (and later checkpoint) a tenant for a body that
@@ -192,8 +195,55 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 		msg      string
 		count    int64
 	)
-	err = m.reg.With(id, create, func(s *registry.Stream, b registry.Backend) error {
+	err := m.reg.With(id, create, func(s *registry.Stream, b registry.Backend) error {
 		ingested, status, msg = runIngest(body, m.cfg.MaxBatch, m.cfg.MaxPoints, b, s.CheckDim)
+		count = b.Count()
+		return nil
+	})
+	if err != nil {
+		writeErr(w, err)
+		return 0, true
+	}
+	if status != 0 {
+		writeJSON(w, status, map[string]interface{}{
+			"error":    msg,
+			"stream":   id,
+			"ingested": ingested,
+		})
+		return ingested, true
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"stream":   id,
+		"ingested": ingested,
+		"count":    count,
+	})
+	return ingested, false
+}
+
+// ingestBinary applies one already-buffered binary batch body to the
+// named stream. The decode — the expensive half — runs here, before the
+// registry is entered, so the stream's read lock is held only for the
+// AddBatch calls themselves; the ndjson path cannot split the two
+// because its decoding is interleaved with application. An empty batch
+// never creates a stream, mirroring the ndjson empty-body rule.
+func (m *Multi) ingestBinary(id string, w http.ResponseWriter, raw []byte) (int64, bool) {
+	pool := m.reg.Buffers()
+	batch, status, msg := decodeBinary(raw, m.cfg.MaxPoints, pool)
+	if status != 0 {
+		writeJSON(w, status, map[string]interface{}{
+			"error":    msg,
+			"stream":   id,
+			"ingested": 0,
+		})
+		return 0, true
+	}
+	defer pool.PutBatch(batch)
+	var (
+		ingested int64
+		count    int64
+	)
+	err := m.reg.With(id, batch.Len() > 0, func(s *registry.Stream, b registry.Backend) error {
+		ingested, status, msg = applyBinary(batch, m.cfg.MaxBatch, b, s.CheckDim)
 		count = b.Count()
 		return nil
 	})

@@ -14,6 +14,7 @@ import (
 
 	"streamkm/internal/metrics"
 	"streamkm/internal/persist"
+	"streamkm/internal/wire"
 )
 
 // Clusterer is the minimal surface the HTTP layer needs from a streaming
@@ -101,6 +102,8 @@ type Server struct {
 	checkpoint    metrics.CheckpointStats
 
 	checkpointMu sync.Mutex // serializes temp-file writes to SnapshotPath
+
+	pool wire.BufferPool // recycles binary-ingest body/header buffers
 }
 
 // New builds a Server over c. cfg.K should match the backend's k.
@@ -151,13 +154,32 @@ type ingestValue struct {
 	W *float64  `json:"w"`
 }
 
-// handleIngest streams points out of the request body and applies them in
-// batches. On a malformed value, dimension mismatch or exceeded request
-// cap it stops, keeps what was already applied, and reports both the
-// error and the applied count.
+// handleIngest applies the request body's points to the backend. An
+// application/x-streamkm-batch body takes the binary columnar path (one
+// decode pass, one coordinate allocation, pooled buffers; all-or-nothing
+// by construction); anything else streams through the ndjson
+// compatibility path, which on a malformed value, dimension mismatch or
+// exceeded request cap stops, keeps what was already applied, and
+// reports both the error and the applied count.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (int64, bool) {
-	body := limitBody(w, r, s.cfg.MaxBodyBytes)
-	ingested, status, msg := runIngest(body, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim)
+	var (
+		ingested int64
+		status   int
+		msg      string
+	)
+	if isBinaryBatch(r) {
+		raw, st, m := readBody(w, r, s.cfg.MaxBodyBytes, &s.pool)
+		if st != 0 {
+			writeJSON(w, st, map[string]interface{}{"error": m, "ingested": 0})
+			s.pool.PutBytes(raw)
+			return 0, true
+		}
+		ingested, status, msg = runIngestBinary(raw, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim, &s.pool)
+		s.pool.PutBytes(raw)
+	} else {
+		body := limitBody(w, r, s.cfg.MaxBodyBytes)
+		ingested, status, msg = runIngest(body, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim)
+	}
 	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
 			"error":    msg,

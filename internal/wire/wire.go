@@ -1,0 +1,234 @@
+// Package wire implements the binary columnar ingest format
+// (application/x-streamkm-batch): a length-prefixed header followed by a
+// flat float32 coordinate block, decoded into one float64 allocation per
+// request.
+//
+// The ndjson ingest path spends its time in the codec — per-point JSON
+// tokenization and one []float64 allocation per point — which inverts the
+// paper's pitch that ingest should be memory-bandwidth-bound (queries are
+// already O(1) via coreset caching). This format removes both costs: the
+// whole batch is one contiguous read, the header is validated before a
+// single point is applied (so a malformed body can never partially
+// ingest), and the decoded coordinates live in one flat block that
+// per-point slice headers alias.
+//
+// # Byte layout (version 1, all integers little-endian)
+//
+//	offset  size         field
+//	0       4            magic "SKMB"
+//	4       1            version, must be 1
+//	5       1            flags: bit 0 = per-point weights follow the
+//	                     coordinate block; bits 1-7 must be 0
+//	6       2            reserved, must be 0
+//	8       4            dim   (uint32, >= 1)
+//	12      4            count (uint32, may be 0)
+//	16      count*dim*4  coordinates, float32, point-major
+//	        (count*4     weights, float32, iff flags bit 0)
+//
+// The body must end exactly at the declared payload: truncated and
+// oversized bodies are both rejected. Every coordinate must be finite
+// (NaN/Inf are rejected — same contract as the registry's dimension
+// checks assume) and every weight finite and > 0.
+//
+// Coordinates travel as float32. Clients that need their float64 values
+// preserved exactly should quantize to float32 before comparing results
+// across wire formats; the differential equivalence tests do exactly
+// that.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ContentType is the media type negotiating the binary batch format on
+// POST /ingest and POST /streams/{id}/ingest.
+const ContentType = "application/x-streamkm-batch"
+
+// Version is the current format generation, stamped into the header.
+const Version = 1
+
+// headerSize is the fixed prefix before the coordinate block.
+const headerSize = 16
+
+// magic identifies a streamkm batch; the trailing byte is the version.
+var magic = [4]byte{'S', 'K', 'M', 'B'}
+
+// flagWeights marks a batch carrying a per-point float32 weight block
+// after the coordinates.
+const flagWeights = 0x01
+
+// ErrFormat is wrapped by every malformed-batch decode failure — the
+// HTTP layer maps it to 400.
+var ErrFormat = errors.New("malformed binary batch")
+
+// ErrTooLarge is wrapped when a structurally valid batch exceeds the
+// caller's point limit — the HTTP layer maps it to 413.
+var ErrTooLarge = errors.New("binary batch exceeds limits")
+
+// Limits bounds what Decode will accept. Zero values disable the
+// corresponding bound.
+type Limits struct {
+	// MaxPoints caps the declared point count.
+	MaxPoints int64
+	// MaxDim caps the declared dimension.
+	MaxDim int
+}
+
+// Batch is one decoded ingest batch. Points are slice headers into a
+// single flat coordinate block, so decoding costs one coordinate
+// allocation regardless of count. Weights is nil for unit-weight batches,
+// else parallel to Points with every entry > 0.
+type Batch struct {
+	Dim     int
+	Points  [][]float64
+	Weights []float64
+}
+
+// Len returns the number of points in the batch.
+func (b *Batch) Len() int { return len(b.Points) }
+
+// Decode parses one binary batch. The entire body is validated before
+// anything is returned, so a caller can apply the result knowing no
+// later point will turn out malformed — the no-partial-ingest contract.
+// pool, when non-nil, supplies the recyclable point-header slice (return
+// it with pool.PutBatch after the batch has been handed off); the flat
+// coordinate block is always freshly allocated because clustering
+// backends retain the point storage they are handed.
+func Decode(data []byte, lim Limits, pool *BufferPool) (*Batch, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("%w: %d-byte body, want at least the %d-byte header", ErrFormat, len(data), headerSize)
+	}
+	if data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] || data[3] != magic[3] {
+		return nil, fmt.Errorf("%w: bad magic %q (want %q)", ErrFormat, data[:4], magic[:])
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrFormat, v, Version)
+	}
+	flags := data[5]
+	if flags&^byte(flagWeights) != 0 {
+		return nil, fmt.Errorf("%w: unknown flags 0x%02x", ErrFormat, flags)
+	}
+	if data[6] != 0 || data[7] != 0 {
+		return nil, fmt.Errorf("%w: nonzero reserved bytes", ErrFormat)
+	}
+	dim := binary.LittleEndian.Uint32(data[8:12])
+	count := binary.LittleEndian.Uint32(data[12:16])
+	if dim == 0 {
+		return nil, fmt.Errorf("%w: dim must be >= 1", ErrFormat)
+	}
+	if lim.MaxDim > 0 && dim > uint32(lim.MaxDim) {
+		return nil, fmt.Errorf("%w: dim %d exceeds the maximum %d", ErrFormat, dim, lim.MaxDim)
+	}
+	if lim.MaxPoints > 0 && int64(count) > lim.MaxPoints {
+		return nil, fmt.Errorf("%w: %d points exceeds %d points per request", ErrTooLarge, count, lim.MaxPoints)
+	}
+	// Payload arithmetic in uint64: count*dim*4 cannot overflow there
+	// (both operands are 32-bit), so a hostile header can never wrap the
+	// size check into accepting a short body.
+	cells := uint64(count) * uint64(dim)
+	payload := cells * 4
+	if flags&flagWeights != 0 {
+		payload += uint64(count) * 4
+	}
+	if got := uint64(len(data) - headerSize); got != payload {
+		if got < payload {
+			return nil, fmt.Errorf("%w: truncated body: %d payload bytes, header declares %d", ErrFormat, got, payload)
+		}
+		return nil, fmt.Errorf("%w: %d trailing bytes after the declared payload", ErrFormat, got-payload)
+	}
+
+	b := &Batch{Dim: int(dim)}
+	if count == 0 {
+		return b, nil
+	}
+	// One flat block for every coordinate; the per-point slices below are
+	// views into it. This block is intentionally NOT pooled: backends
+	// buffer ingested points (partial coreset buckets) for an unbounded
+	// number of requests, so recycling it would alias live tenant state.
+	flat := make([]float64, cells)
+	coords := data[headerSize : headerSize+cells*4]
+	for i := range flat {
+		v := float64(math.Float32frombits(binary.LittleEndian.Uint32(coords[i*4:])))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite coordinate at cell %d", ErrFormat, i)
+		}
+		flat[i] = v
+	}
+	b.Points = pool.getHeaders(int(count))
+	for i := uint64(0); i < uint64(count); i++ {
+		b.Points = append(b.Points, flat[i*uint64(dim):(i+1)*uint64(dim)])
+	}
+	if flags&flagWeights != 0 {
+		wraw := data[headerSize+cells*4:]
+		b.Weights = make([]float64, count)
+		for i := range b.Weights {
+			w := float64(math.Float32frombits(binary.LittleEndian.Uint32(wraw[i*4:])))
+			if math.IsNaN(w) || math.IsInf(w, 0) || w <= 0 {
+				return nil, fmt.Errorf("%w: weight %d is %v, want finite and > 0", ErrFormat, i, w)
+			}
+			b.Weights[i] = w
+		}
+	}
+	return b, nil
+}
+
+// EncodeBatch serializes pts (and optional per-point weights — nil means
+// unit weight) into a version-1 binary batch. Every point must share one
+// dimension >= 1, survive float32 conversion finite, and every weight be
+// finite and > 0 — i.e. the encoder refuses to produce a body the
+// decoder would reject.
+func EncodeBatch(pts [][]float64, weights []float64) ([]byte, error) {
+	if len(pts) == 0 {
+		return nil, errors.New("wire: empty batch (need at least one point to fix the dimension)")
+	}
+	dim := len(pts[0])
+	if dim == 0 {
+		return nil, errors.New("wire: zero-dimensional point")
+	}
+	if weights != nil && len(weights) != len(pts) {
+		return nil, fmt.Errorf("wire: %d weights for %d points", len(weights), len(pts))
+	}
+	size := headerSize + len(pts)*dim*4
+	if weights != nil {
+		size += len(pts) * 4
+	}
+	out := make([]byte, headerSize, size)
+	copy(out, magic[:])
+	out[4] = Version
+	if weights != nil {
+		out[5] = flagWeights
+	}
+	binary.LittleEndian.PutUint32(out[8:12], uint32(dim))
+	binary.LittleEndian.PutUint32(out[12:16], uint32(len(pts)))
+	var scratch [4]byte
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("wire: point %d has dimension %d, want %d", i, len(p), dim)
+		}
+		for _, v := range p {
+			f := float32(v)
+			if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+				return nil, fmt.Errorf("wire: point %d has a coordinate (%v) that is not finite in float32", i, v)
+			}
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(f))
+			out = append(out, scratch[:]...)
+		}
+	}
+	for i, w := range weights {
+		f := float32(w)
+		if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) || f <= 0 {
+			return nil, fmt.Errorf("wire: weight %d (%v) must be finite and > 0 in float32", i, w)
+		}
+		binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(f))
+		out = append(out, scratch[:]...)
+	}
+	return out, nil
+}
+
+// Quantize rounds v through float32 — the precision a coordinate has
+// after a binary round trip. Differential tests quantize their inputs so
+// both wire formats deliver bit-identical float64s to the backend.
+func Quantize(v float64) float64 { return float64(float32(v)) }

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func mustEncode(t *testing.T, pts [][]float64, weights []float64) []byte {
+	t.Helper()
+	raw, err := EncodeBatch(pts, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	pts := [][]float64{{1, 2, 3}, {-4.5, 0, 2.25}, {1e10, -1e-10, 0.5}}
+	raw := mustEncode(t, pts, nil)
+	b, err := Decode(raw, Limits{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Dim != 3 || b.Len() != 3 || b.Weights != nil {
+		t.Fatalf("decoded dim=%d len=%d weights=%v", b.Dim, b.Len(), b.Weights)
+	}
+	for i, p := range pts {
+		for j, v := range p {
+			if got, want := b.Points[i][j], Quantize(v); got != want {
+				t.Fatalf("point %d coord %d: %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeWeighted(t *testing.T) {
+	pts := [][]float64{{1, 1}, {2, 2}}
+	raw := mustEncode(t, pts, []float64{0.5, 3})
+	b, err := Decode(raw, Limits{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Weights) != 2 || b.Weights[0] != 0.5 || b.Weights[1] != 3 {
+		t.Fatalf("weights %v", b.Weights)
+	}
+}
+
+func TestDecodeZeroCount(t *testing.T) {
+	// A zero-count batch is legal (an empty flush); hand-build it since
+	// the encoder requires a point to fix the dimension.
+	raw := make([]byte, headerSize)
+	copy(raw, magic[:])
+	raw[4] = Version
+	binary.LittleEndian.PutUint32(raw[8:12], 7)
+	b, err := Decode(raw, Limits{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 || b.Dim != 7 {
+		t.Fatalf("zero-count batch: len=%d dim=%d", b.Len(), b.Dim)
+	}
+}
+
+// corrupt applies f to a copy of raw and asserts Decode rejects it with
+// ErrFormat and a message containing wantMsg.
+func corrupt(t *testing.T, raw []byte, wantMsg string, f func([]byte) []byte) {
+	t.Helper()
+	mod := f(append([]byte(nil), raw...))
+	_, err := Decode(mod, Limits{}, nil)
+	if !errors.Is(err, ErrFormat) {
+		t.Fatalf("corrupted (%s): err = %v, want ErrFormat", wantMsg, err)
+	}
+	if !strings.Contains(err.Error(), wantMsg) {
+		t.Fatalf("corrupted (%s): message %q", wantMsg, err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	raw := mustEncode(t, [][]float64{{1, 2}, {3, 4}}, nil)
+
+	corrupt(t, raw, "header", func(b []byte) []byte { return b[:headerSize-1] })
+	corrupt(t, raw, "header", func(b []byte) []byte { return nil })
+	corrupt(t, raw, "magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt(t, raw, "version", func(b []byte) []byte { b[4] = 9; return b })
+	corrupt(t, raw, "flags", func(b []byte) []byte { b[5] = 0x80; return b })
+	corrupt(t, raw, "reserved", func(b []byte) []byte { b[6] = 1; return b })
+	corrupt(t, raw, "dim must be", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:12], 0)
+		return b
+	})
+	corrupt(t, raw, "truncated", func(b []byte) []byte { return b[:len(b)-3] })
+	corrupt(t, raw, "trailing", func(b []byte) []byte { return append(b, 0xaa) })
+	// Hostile count*dim: both maxed out must not wrap into a short-body
+	// acceptance.
+	corrupt(t, raw, "truncated", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[8:12], math.MaxUint32)
+		binary.LittleEndian.PutUint32(b[12:16], math.MaxUint32)
+		return b
+	})
+	// Non-finite coordinate.
+	corrupt(t, raw, "non-finite", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[headerSize:], math.Float32bits(float32(math.NaN())))
+		return b
+	})
+	corrupt(t, raw, "non-finite", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[headerSize+4:], math.Float32bits(float32(math.Inf(1))))
+		return b
+	})
+
+	wraw := mustEncode(t, [][]float64{{1, 2}}, []float64{2})
+	corrupt(t, wraw, "weight", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], math.Float32bits(-1))
+		return b
+	})
+	corrupt(t, wraw, "weight", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[len(b)-4:], math.Float32bits(float32(math.NaN())))
+		return b
+	})
+}
+
+func TestDecodeLimits(t *testing.T) {
+	raw := mustEncode(t, [][]float64{{1, 2}, {3, 4}, {5, 6}}, nil)
+	if _, err := Decode(raw, Limits{MaxPoints: 2}, nil); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over MaxPoints: err = %v, want ErrTooLarge", err)
+	}
+	if _, err := Decode(raw, Limits{MaxDim: 1}, nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("over MaxDim: err = %v, want ErrFormat", err)
+	}
+	if _, err := Decode(raw, Limits{MaxPoints: 3, MaxDim: 2}, nil); err != nil {
+		t.Fatalf("at the limits: %v", err)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	for name, f := range map[string]func() ([]byte, error){
+		"empty":         func() ([]byte, error) { return EncodeBatch(nil, nil) },
+		"zero-dim":      func() ([]byte, error) { return EncodeBatch([][]float64{{}}, nil) },
+		"ragged":        func() ([]byte, error) { return EncodeBatch([][]float64{{1}, {1, 2}}, nil) },
+		"nan":           func() ([]byte, error) { return EncodeBatch([][]float64{{math.NaN()}}, nil) },
+		"f32-overflow":  func() ([]byte, error) { return EncodeBatch([][]float64{{1e300}}, nil) },
+		"weight-count":  func() ([]byte, error) { return EncodeBatch([][]float64{{1}}, []float64{1, 2}) },
+		"weight-zero":   func() ([]byte, error) { return EncodeBatch([][]float64{{1}}, []float64{0}) },
+		"weight-tiny":   func() ([]byte, error) { return EncodeBatch([][]float64{{1}}, []float64{1e-300}) }, // underflows to 0 in float32
+		"weight-inf":    func() ([]byte, error) { return EncodeBatch([][]float64{{1}}, []float64{math.Inf(1)}) },
+		"weight-signed": func() ([]byte, error) { return EncodeBatch([][]float64{{1}}, []float64{-2}) },
+	} {
+		if _, err := f(); err == nil {
+			t.Errorf("%s: encode accepted", name)
+		}
+	}
+}
+
+func TestBufferPoolRecycles(t *testing.T) {
+	var p BufferPool
+	b := p.GetBytes(1000)
+	if len(b) != 0 || cap(b) < 1000 {
+		t.Fatalf("GetBytes: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, bytes.Repeat([]byte{1}, 700)...)
+	p.PutBytes(b)
+	b2 := p.GetBytes(900)
+	if len(b2) != 0 || cap(b2) < 900 {
+		t.Fatalf("recycled GetBytes: len=%d cap=%d", len(b2), cap(b2))
+	}
+
+	raw := mustEncode(t, [][]float64{{1, 2}, {3, 4}}, nil)
+	batch, err := Decode(raw, Limits{}, &p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := batch.Points
+	p.PutBatch(batch)
+	if batch.Points != nil {
+		t.Fatal("PutBatch left the batch holding its headers")
+	}
+	// The recycled header array must not pin the coordinate block.
+	for _, h := range pts[:cap(pts)] {
+		if h != nil {
+			t.Fatal("PutBatch left a live point header in the pooled array")
+		}
+	}
+	// nil pool: everything still works.
+	if _, err := Decode(raw, Limits{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	(*BufferPool)(nil).PutBytes(b)
+	(*BufferPool)(nil).PutBatch(&Batch{})
+}
+
+func TestReadAll(t *testing.T) {
+	var p BufferPool
+	payload := bytes.Repeat([]byte("abc"), 4000)
+	got, err := ReadAll(bytes.NewReader(payload), p.GetBytes(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAll mismatch: %d bytes, want %d", len(got), len(payload))
+	}
+	// Undersized seed buffer grows.
+	got, err = ReadAll(bytes.NewReader(payload), make([]byte, 0, 8))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("ReadAll with small seed: err=%v len=%d", err, len(got))
+	}
+	got, err = ReadAll(bytes.NewReader(nil), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("ReadAll empty: err=%v len=%d", err, len(got))
+	}
+}

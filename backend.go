@@ -70,6 +70,20 @@ type BackendSpec struct {
 	// WindowN is the sliding-window length in points (windowed only;
 	// >= the coreset bucket size).
 	WindowN int64 `json:"window_n,omitempty"`
+
+	// Per-tenant quota knobs (0 = unlimited), valid on every variant.
+	// The backends themselves never enforce them — enforcement lives at
+	// the registry boundary — but the spec carries them so they persist
+	// through snapshots and travel with migrated tenants.
+	PointsPerSec     float64 `json:"points_per_sec,omitempty"`
+	BytesPerSec      float64 `json:"bytes_per_sec,omitempty"`
+	MaxResidentBytes int64   `json:"max_resident_bytes,omitempty"`
+}
+
+// hasQuota reports whether any quota knob is set, i.e. whether the spec
+// needs the quota-carrying v3 envelope even for a concurrent backend.
+func (s BackendSpec) hasQuota() bool {
+	return s.PointsPerSec != 0 || s.BytesPerSec != 0 || s.MaxResidentBytes != 0
 }
 
 // Backend is a servable streaming clusterer: the registry/HTTP surface
@@ -136,6 +150,15 @@ func (s BackendSpec) withDefaults() (BackendSpec, error) {
 	if s.Dim < 0 {
 		return s, fmt.Errorf("streamkm: backend dim must be >= 0, got %d", s.Dim)
 	}
+	if s.PointsPerSec < 0 {
+		return s, fmt.Errorf("streamkm: points_per_sec must be >= 0, got %v", s.PointsPerSec)
+	}
+	if s.BytesPerSec < 0 {
+		return s, fmt.Errorf("streamkm: bytes_per_sec must be >= 0, got %v", s.BytesPerSec)
+	}
+	if s.MaxResidentBytes < 0 {
+		return s, fmt.Errorf("streamkm: max_resident_bytes must be >= 0, got %d", s.MaxResidentBytes)
+	}
 	return s, nil
 }
 
@@ -143,7 +166,10 @@ func (s BackendSpec) withDefaults() (BackendSpec, error) {
 // snapshot: every nonzero requested field must match, so a PUT that
 // declares "decayed, half-life 1000" can never silently resume a
 // concurrent (or differently tuned) snapshot. Shards is exempt — a
-// restored concurrent backend keeps the snapshot's shard count by design.
+// restored concurrent backend keeps the snapshot's shard count by
+// design. Quotas are exempt too: they are operator policy, not model
+// identity, and must be adjustable without bricking a tenant whose
+// snapshot recorded the old limit.
 func (s BackendSpec) check(got BackendSpec) error {
 	if s.Type != "" && s.Type != got.Type {
 		return fmt.Errorf("streamkm: snapshot holds a %s backend, spec wants %s", got.Type, s.Type)
@@ -173,13 +199,16 @@ func (s BackendSpec) check(got BackendSpec) error {
 // and examples from each hand-maintaining the field mapping.
 func SpecFromStreamConfig(sc registry.StreamConfig, shards int) BackendSpec {
 	return BackendSpec{
-		Type:     BackendType(sc.Backend),
-		Algo:     Algo(sc.Algo),
-		K:        sc.K,
-		Dim:      sc.Dim,
-		Shards:   shards,
-		HalfLife: sc.HalfLife,
-		WindowN:  sc.WindowN,
+		Type:             BackendType(sc.Backend),
+		Algo:             Algo(sc.Algo),
+		K:                sc.K,
+		Dim:              sc.Dim,
+		Shards:           shards,
+		HalfLife:         sc.HalfLife,
+		WindowN:          sc.WindowN,
+		PointsPerSec:     sc.PointsPerSec,
+		BytesPerSec:      sc.BytesPerSec,
+		MaxResidentBytes: sc.MaxResidentBytes,
 	}
 }
 
@@ -187,12 +216,15 @@ func SpecFromStreamConfig(sc registry.StreamConfig, shards int) BackendSpec {
 // spec back to a registry.
 func (s BackendSpec) StreamConfig() registry.StreamConfig {
 	return registry.StreamConfig{
-		Backend:  string(s.Type),
-		Algo:     string(s.Algo),
-		K:        s.K,
-		Dim:      s.Dim,
-		HalfLife: s.HalfLife,
-		WindowN:  s.WindowN,
+		Backend:          string(s.Type),
+		Algo:             string(s.Algo),
+		K:                s.K,
+		Dim:              s.Dim,
+		HalfLife:         s.HalfLife,
+		WindowN:          s.WindowN,
+		PointsPerSec:     s.PointsPerSec,
+		BytesPerSec:      s.BytesPerSec,
+		MaxResidentBytes: s.MaxResidentBytes,
 	}
 }
 
@@ -212,6 +244,9 @@ func Open(spec BackendSpec, cfg Config) (Backend, error) {
 			return nil, err
 		}
 		c.dim = spec.Dim
+		if spec.hasQuota() {
+			return &concurrentBackend{Concurrent: c, spec: spec}, nil
+		}
 		return c, nil
 	case BackendDecayed:
 		c, err := NewDecayed(spec.Algo, cfg, spec.HalfLife)
@@ -278,7 +313,14 @@ func backendFromEnvelope(bs *persist.BackendSnapshot, cfg Config) (Backend, erro
 	}
 	switch bs.Type {
 	case persist.BackendConcurrent:
-		return concurrentFromSharded(persist.Envelope{Kind: persist.KindSharded, Sharded: bs.Sharded}, cfg)
+		c, err := concurrentFromSharded(persist.Envelope{Kind: persist.KindSharded, Sharded: bs.Sharded}, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if spec := specFromSnapshot(bs); spec.hasQuota() {
+			return &concurrentBackend{Concurrent: c, spec: spec}, nil
+		}
+		return c, nil
 	case persist.BackendDecayed:
 		cfg.K = 1
 		cfg, err := cfg.withDefaults()
@@ -316,13 +358,16 @@ func backendFromEnvelope(bs *persist.BackendSnapshot, cfg Config) (Backend, erro
 // specFromSnapshot recovers the spec recorded in a backend envelope.
 func specFromSnapshot(bs *persist.BackendSnapshot) BackendSpec {
 	return BackendSpec{
-		Type:     BackendType(bs.Type),
-		Algo:     Algo(bs.Algo),
-		K:        bs.K,
-		Dim:      bs.Dim,
-		Shards:   bs.Shards,
-		HalfLife: bs.HalfLife,
-		WindowN:  bs.WindowN,
+		Type:             BackendType(bs.Type),
+		Algo:             Algo(bs.Algo),
+		K:                bs.K,
+		Dim:              bs.Dim,
+		Shards:           bs.Shards,
+		HalfLife:         bs.HalfLife,
+		WindowN:          bs.WindowN,
+		PointsPerSec:     bs.PointsPerSec,
+		BytesPerSec:      bs.BytesPerSec,
+		MaxResidentBytes: bs.MaxResidentBytes,
 	}
 }
 
@@ -337,6 +382,45 @@ func (c *Concurrent) Spec() BackendSpec {
 		Dim:    c.dim,
 		Shards: c.NumShards(),
 	}
+}
+
+// concurrentBackend wraps a Concurrent whose spec carries per-tenant
+// quota knobs. The quotas are serving-layer policy the core clusterer
+// knows nothing about, so the wrapper overrides only Spec (reporting
+// them) and Snapshot (recording them in a v3 typed envelope around the
+// usual sharded payload; a bare Concurrent keeps writing the v2 sharded
+// envelope unchanged, so pre-quota golden snapshots stay valid).
+type concurrentBackend struct {
+	*Concurrent
+	spec BackendSpec
+}
+
+func (b *concurrentBackend) Spec() BackendSpec {
+	s := b.Concurrent.Spec()
+	s.PointsPerSec = b.spec.PointsPerSec
+	s.BytesPerSec = b.spec.BytesPerSec
+	s.MaxResidentBytes = b.spec.MaxResidentBytes
+	return s
+}
+
+func (b *concurrentBackend) Snapshot(w io.Writer) error {
+	env, err := b.Concurrent.snapshotEnvelope()
+	if err != nil {
+		return err
+	}
+	s := env.Sharded
+	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
+		Type:             persist.BackendConcurrent,
+		Algo:             string(b.Concurrent.Algo()),
+		K:                s.K,
+		Dim:              s.Dim,
+		Shards:           len(s.Shards),
+		Count:            s.Count,
+		PointsPerSec:     b.spec.PointsPerSec,
+		BytesPerSec:      b.spec.BytesPerSec,
+		MaxResidentBytes: b.spec.MaxResidentBytes,
+		Sharded:          s,
+	}})
 }
 
 // decayedBackend makes the single-goroutine forward-decay clusterer a
@@ -403,13 +487,16 @@ func (b *decayedBackend) Snapshot(w io.Writer) error {
 		dim = b.spec.Dim
 	}
 	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
-		Type:     persist.BackendDecayed,
-		Algo:     string(b.spec.Algo),
-		K:        b.spec.K,
-		Dim:      dim,
-		HalfLife: b.spec.HalfLife,
-		Count:    b.d.Count(),
-		Decayed:  ds,
+		Type:             persist.BackendDecayed,
+		Algo:             string(b.spec.Algo),
+		K:                b.spec.K,
+		Dim:              dim,
+		HalfLife:         b.spec.HalfLife,
+		Count:            b.d.Count(),
+		PointsPerSec:     b.spec.PointsPerSec,
+		BytesPerSec:      b.spec.BytesPerSec,
+		MaxResidentBytes: b.spec.MaxResidentBytes,
+		Decayed:          ds,
 	}})
 }
 
@@ -468,12 +555,15 @@ func (b *windowedBackend) Snapshot(w io.Writer) error {
 		dim = b.spec.Dim
 	}
 	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
-		Type:    persist.BackendWindowed,
-		K:       b.spec.K,
-		Dim:     dim,
-		WindowN: b.spec.WindowN,
-		Count:   b.w.Count(),
-		Window:  &s,
+		Type:             persist.BackendWindowed,
+		K:                b.spec.K,
+		Dim:              dim,
+		WindowN:          b.spec.WindowN,
+		Count:            b.w.Count(),
+		PointsPerSec:     b.spec.PointsPerSec,
+		BytesPerSec:      b.spec.BytesPerSec,
+		MaxResidentBytes: b.spec.MaxResidentBytes,
+		Window:           &s,
 	}})
 }
 

@@ -1,0 +1,137 @@
+// Command promcheck is the CI gate for the /metrics expositions: it
+// scrapes one or more streamkm /metrics endpoints, fails if any of them
+// does not parse as Prometheus text format 0.0.4, and — given a
+// streambench JSON artifact — cross-checks the per-tenant
+// streamkm_tenant_ingest_points_total series against the point counts
+// the bench client had acknowledged. A disagreement means the daemon's
+// tenant accounting and the wire-visible ingest responses have drifted
+// apart, which is exactly the regression the gate exists to catch.
+//
+// Usage:
+//
+//	promcheck -metrics http://localhost:7070/metrics[,http://localhost:7090/metrics] [-bench streambench.json]
+//
+// With several -metrics targets (e.g. every daemon behind a router) the
+// tenant totals are summed across targets before comparison, since each
+// stream is resident on exactly one daemon.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"streamkm/internal/metrics"
+)
+
+func main() {
+	var urls, bench string
+	flag.StringVar(&urls, "metrics", "", "comma-separated /metrics URLs to scrape and validate (required)")
+	flag.StringVar(&bench, "bench", "", "streambench JSON result to cross-check per-tenant ingest totals against (optional)")
+	flag.Parse()
+	if urls == "" {
+		fmt.Fprintln(os.Stderr, "promcheck: -metrics is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(strings.Split(urls, ","), bench); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(urls []string, benchPath string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Samples summed across targets: a tenant lives on one daemon, so
+	// summing its series over every scrape yields the fleet-wide total.
+	total := make(map[string]float64)
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		samples, err := scrape(client, u)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("promcheck: %s: %d samples parsed\n", u, len(samples))
+		for k, v := range samples {
+			total[k] += v
+		}
+	}
+	if len(total) == 0 {
+		return fmt.Errorf("no samples scraped from %v", urls)
+	}
+	if benchPath == "" {
+		return nil
+	}
+	return crossCheck(total, benchPath)
+}
+
+// scrape fetches one exposition and validates it line-by-line via the
+// shared parser.
+func scrape(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	samples, err := metrics.ParseProm(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", url, err)
+	}
+	return samples, nil
+}
+
+// benchResult is the slice of the streambench JSON artifact the gate
+// reads.
+type benchResult struct {
+	Ingested  int64 `json:"ingested"`
+	PerTenant []struct {
+		Stream   string `json:"stream"`
+		Ingested int64  `json:"ingested"`
+	} `json:"per_tenant"`
+}
+
+// crossCheck compares the scraped streamkm_tenant_ingest_points_total
+// series against the bench client's acknowledged per-tenant counts.
+func crossCheck(samples map[string]float64, benchPath string) error {
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		return err
+	}
+	var b benchResult
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("parse %s: %v", benchPath, err)
+	}
+	checked := 0
+	for _, t := range b.PerTenant {
+		if t.Stream == "(default)" {
+			// Legacy single-stream replay: the daemon records those
+			// requests under its own default stream id, which the bench
+			// artifact does not know; nothing to match on.
+			continue
+		}
+		key := fmt.Sprintf("streamkm_tenant_ingest_points_total{stream=%q}", t.Stream)
+		got, ok := samples[key]
+		if !ok {
+			return fmt.Errorf("%s: no sample %s in any scraped exposition", benchPath, key)
+		}
+		if int64(got) != t.Ingested {
+			return fmt.Errorf("%s disagrees with bench: metrics say %d points, client acknowledged %d", key, int64(got), t.Ingested)
+		}
+		checked++
+	}
+	if checked == 0 {
+		return fmt.Errorf("%s: no per-tenant entries to cross-check", benchPath)
+	}
+	fmt.Printf("promcheck: %d tenant ingest totals agree with %s\n", checked, benchPath)
+	return nil
+}

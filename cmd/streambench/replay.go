@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,7 @@ type replayResult struct {
 	Ingested       int64          `json:"ingested"`
 	IngestRequests int64          `json:"ingest_requests"`
 	PointsPerSec   float64        `json:"points_per_sec"`
+	Throttled      int64          `json:"throttled"`
 	Queries        int64          `json:"queries"`
 	QueryP50Ms     float64        `json:"query_p50_ms"`
 	QueryP95Ms     float64        `json:"query_p95_ms"`
@@ -120,6 +122,7 @@ type replayResult struct {
 type replayStats struct {
 	ingested  atomic.Int64
 	requests  atomic.Int64
+	throttled atomic.Int64
 	queries   atomic.Int64
 	mu        sync.Mutex
 	queryMs   []float64
@@ -251,17 +254,21 @@ func runReplay(rc replayConfig) error {
 				}
 				// Round-robin over routers per request; in router mode a
 				// transient refusal (a tenant mid-handoff answers 503 with
-				// Retry-After, a daemon mid-restart 502) is retried on the
-				// next router rather than failing the run — exactly the
-				// client contract the handoff window defines.
+				// Retry-After, a daemon mid-restart 502, a quota-throttled
+				// 429) is retried on the next router rather than failing the
+				// run — exactly the client contract the handoff window and
+				// the quota layer define. When the server sent a Retry-After
+				// hint the sleep honors it (capped); otherwise the historical
+				// 50ms backoff applies.
 				var err error
+				var retryAfter time.Duration
 				for attempt := 0; attempt < rc.maxAttempts(); attempt++ {
 					url := tenantPath(rc.base(int(reqSeq.Add(1))), rc.tenantName(j.tenant), "/ingest")
-					err = postBatch(client, url, rc.binaryWire(), j.pts, st, j.tenant)
+					retryAfter, err = postBatch(client, url, rc.binaryWire(), j.pts, st, j.tenant)
 					if err == nil || !rc.routerMode() || !errors.Is(err, errTransient) {
 						break
 					}
-					time.Sleep(50 * time.Millisecond)
+					time.Sleep(retryBackoff(retryAfter))
 				}
 				if err != nil {
 					st.fail(err)
@@ -300,6 +307,7 @@ func runReplay(rc replayConfig) error {
 		WallSeconds:    wall.Seconds(),
 		Ingested:       st.ingested.Load(),
 		IngestRequests: st.requests.Load(),
+		Throttled:      st.throttled.Load(),
 		PointsPerSec:   float64(st.ingested.Load()) / wall.Seconds(),
 		UnixTime:       time.Now().Unix(),
 	}
@@ -437,18 +445,46 @@ func checkHealth(client *http.Client, base string) error {
 }
 
 // errTransient marks replay request failures that router mode retries:
-// a tenant mid-handoff (503/409) or a daemon briefly unreachable behind
-// the router (502/504).
+// a tenant mid-handoff (503/409), a daemon briefly unreachable behind
+// the router (502/504), or a quota-throttled request (429).
 var errTransient = errors.New("transient")
 
 // transientStatus classifies router-mode retriable statuses.
 func transientStatus(code int) bool {
 	switch code {
 	case http.StatusServiceUnavailable, http.StatusBadGateway,
-		http.StatusGatewayTimeout, http.StatusConflict:
+		http.StatusGatewayTimeout, http.StatusConflict,
+		http.StatusTooManyRequests:
 		return true
 	}
 	return false
+}
+
+// maxRetryAfter caps how long the replay honors a server Retry-After
+// hint, so a misconfigured quota cannot stall the benchmark.
+const maxRetryAfter = 2 * time.Second
+
+// retryBackoff picks the sleep before a router-mode retry: the server's
+// Retry-After when one was sent (capped at maxRetryAfter), the
+// historical 50ms backoff otherwise.
+func retryBackoff(retryAfter time.Duration) time.Duration {
+	if retryAfter <= 0 {
+		return 50 * time.Millisecond
+	}
+	if retryAfter > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return retryAfter
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (the only
+// form streamkm servers emit); absent or unparseable yields zero.
+func parseRetryAfter(h http.Header) time.Duration {
+	secs, err := strconv.Atoi(h.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // maxAttempts bounds router-mode retries per batch; direct daemon replays
@@ -461,8 +497,10 @@ func (rc replayConfig) maxAttempts() int {
 }
 
 // postBatch posts one ingest batch — ndjson or binary columnar — to an
-// ingest endpoint and accounts the daemon-acknowledged point count.
-func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Point, st *replayStats, tenant int) error {
+// ingest endpoint and accounts the daemon-acknowledged point count. On a
+// refusal it also returns the server's Retry-After hint (zero if none)
+// so the caller's backoff can honor it.
+func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Point, st *replayStats, tenant int) (time.Duration, error) {
 	var reqBody io.Reader
 	contentType := "application/x-ndjson"
 	if binaryWire {
@@ -472,7 +510,7 @@ func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Poin
 		}
 		raw, err := wire.EncodeBatch(raws, nil)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		reqBody = bytes.NewReader(raw)
 		contentType = wire.ContentType
@@ -481,14 +519,14 @@ func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Poin
 		enc := json.NewEncoder(&buf)
 		for _, p := range pts {
 			if err := enc.Encode([]float64(p)); err != nil {
-				return err
+				return 0, err
 			}
 		}
 		reqBody = &buf
 	}
 	resp, err := client.Post(url, contentType, reqBody)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
 	var body struct {
@@ -496,20 +534,28 @@ func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Poin
 		Error    string `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
-		return fmt.Errorf("ingest response: %v", err)
+		return 0, fmt.Errorf("ingest response: %v", err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusTooManyRequests {
+			st.throttled.Add(1)
+		}
+		// Partial batches exist: the daemon reports how many points of a
+		// refused request it had already applied, and the accounting must
+		// include them or per-tenant totals drift from the server's.
+		st.ingested.Add(body.Ingested)
+		st.perTenant[tenant].ingested.Add(body.Ingested)
 		err := fmt.Errorf("ingest status %d: %s", resp.StatusCode, body.Error)
 		if transientStatus(resp.StatusCode) {
 			err = fmt.Errorf("%w: %v", errTransient, err)
 		}
-		return err
+		return parseRetryAfter(resp.Header), err
 	}
 	st.ingested.Add(body.Ingested)
 	st.requests.Add(1)
 	st.perTenant[tenant].ingested.Add(body.Ingested)
 	st.perTenant[tenant].requests.Add(1)
-	return nil
+	return 0, nil
 }
 
 // queryCenters hits a centers endpoint (optionally forcing a cache

@@ -98,6 +98,12 @@ type options struct {
 	maxStreams    int
 	streamTTL     time.Duration
 	defaultStream string
+
+	pointsPerSec   float64
+	bytesPerSec    float64
+	maxResBytes    int64
+	thrashRestores int
+	thrashWindow   time.Duration
 }
 
 // persistent reports whether any state reaches disk.
@@ -141,7 +147,11 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 		Default: registry.StreamConfig{
 			Backend: o.backend, Algo: o.algo, K: o.k, Dim: o.dim,
 			HalfLife: o.halfLife, WindowN: o.windowN,
+			PointsPerSec: o.pointsPerSec, BytesPerSec: o.bytesPerSec,
+			MaxResidentBytes: o.maxResBytes,
 		},
+		ThrashRestores: o.thrashRestores,
+		ThrashWindow:   o.thrashWindow,
 		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
 			return streamkm.Open(streamkm.SpecFromStreamConfig(sc, o.shards), base)
 		},
@@ -165,6 +175,8 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 			return registry.StreamConfig{
 				Backend: meta.Type, Algo: meta.Algo, K: meta.K, Dim: meta.Dim,
 				HalfLife: meta.HalfLife, WindowN: meta.WindowN,
+				PointsPerSec: meta.PointsPerSec, BytesPerSec: meta.BytesPerSec,
+				MaxResidentBytes: meta.MaxResidentBytes,
 			}, meta.Count, nil
 		},
 	})
@@ -246,6 +258,11 @@ func main() {
 	flag.IntVar(&o.maxStreams, "max-streams", 0, "max streams resident in RAM; LRU beyond this hibernates to -data-dir (0 = unbounded)")
 	flag.DurationVar(&o.streamTTL, "stream-ttl", 0, "hibernate streams idle longer than this to -data-dir (0 = never)")
 	flag.StringVar(&o.defaultStream, "default-stream", "default", "stream served by the legacy single-stream endpoints")
+	flag.Float64Var(&o.pointsPerSec, "points-per-sec", 0, "default per-stream ingest quota in points/sec, 429 beyond (0 = unlimited; tenants override per stream via PUT)")
+	flag.Float64Var(&o.bytesPerSec, "bytes-per-sec", 0, "default per-stream ingest quota in body bytes/sec, 429 beyond (0 = unlimited)")
+	flag.Int64Var(&o.maxResBytes, "max-resident-bytes", 0, "default per-stream cap on resident stored-point bytes, 429 beyond (0 = unlimited)")
+	flag.IntVar(&o.thrashRestores, "thrash-restores", 0, "shed accesses with 429 once a stream restores this many times within -thrash-window (0 = never shed)")
+	flag.DurationVar(&o.thrashWindow, "thrash-window", time.Minute, "window for -thrash-restores churn detection")
 	flag.Parse()
 	if o.shards < 1 {
 		o.shards = runtime.GOMAXPROCS(0) // mirror build's default for accurate logs

@@ -228,6 +228,17 @@ func (c *Concurrent) Dim() int { return c.dim }
 // on the cached fast path keep being served — making the snapshot an
 // exactly consistent cut of the stream. Safe for concurrent use.
 func (c *Concurrent) Snapshot(w io.Writer) error {
+	env, err := c.snapshotEnvelope()
+	if err != nil {
+		return err
+	}
+	return persist.Save(w, env)
+}
+
+// snapshotEnvelope builds the quiesced KindSharded envelope Snapshot
+// writes. The quota-carrying backend wrapper reuses it as the payload
+// of a v3 typed envelope.
+func (c *Concurrent) snapshotEnvelope() (persist.Envelope, error) {
 	// refreshMu orders the snapshot against cache refreshes: both take
 	// refreshMu before any shard lock, so the cache entry written below
 	// can never be newer than the quiesced shard state.
@@ -235,7 +246,7 @@ func (c *Concurrent) Snapshot(w io.Writer) error {
 	defer c.refreshMu.Unlock()
 	env, err := persist.SnapshotSharded(c.inner)
 	if err != nil {
-		return err
+		return persist.Envelope{}, err
 	}
 	s := env.Sharded
 	s.Alpha = c.alpha
@@ -247,7 +258,7 @@ func (c *Concurrent) Snapshot(w io.Writer) error {
 			s.CachedCenters[i] = append([]float64(nil), p...)
 		}
 	}
-	return persist.Save(w, env)
+	return env, nil
 }
 
 // NewConcurrentFromSnapshot reconstructs a Concurrent previously written

@@ -58,6 +58,8 @@ func newRegistry(dir string, maxResident int) *registry.Registry {
 			return registry.StreamConfig{
 				Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
 				HalfLife: m.HalfLife, WindowN: m.WindowN,
+				PointsPerSec: m.PointsPerSec, BytesPerSec: m.BytesPerSec,
+				MaxResidentBytes: m.MaxResidentBytes,
 			}, m.Count, nil
 		},
 	})

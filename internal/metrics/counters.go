@@ -15,6 +15,7 @@ type EndpointStats struct {
 	items    atomic.Int64
 	totalNs  atomic.Int64
 	maxNs    atomic.Int64
+	latency  Histogram
 }
 
 // Record accounts one finished request: its latency, the number of items
@@ -27,6 +28,7 @@ func (e *EndpointStats) Record(d time.Duration, items int64, failed bool) {
 	if items > 0 {
 		e.items.Add(items)
 	}
+	e.latency.Observe(d)
 	ns := d.Nanoseconds()
 	e.totalNs.Add(ns)
 	for {
@@ -44,7 +46,14 @@ type EndpointSnapshot struct {
 	Errors       int64   `json:"errors"`
 	Items        int64   `json:"items,omitempty"`
 	AvgLatencyMs float64 `json:"avg_latency_ms"`
+	P50LatencyMs float64 `json:"p50_latency_ms,omitempty"`
+	P95LatencyMs float64 `json:"p95_latency_ms,omitempty"`
 	MaxLatencyMs float64 `json:"max_latency_ms"`
+
+	// Latency is the full bucket distribution, for the Prometheus
+	// exposition; the JSON stats surface serves the percentile summary
+	// above instead.
+	Latency HistogramSnapshot `json:"-"`
 }
 
 // Snapshot captures the current counter values. Counters advance
@@ -56,9 +65,12 @@ func (e *EndpointStats) Snapshot() EndpointSnapshot {
 		Errors:       e.errors.Load(),
 		Items:        e.items.Load(),
 		MaxLatencyMs: float64(e.maxNs.Load()) / 1e6,
+		Latency:      e.latency.Snapshot(),
 	}
 	if s.Requests > 0 {
 		s.AvgLatencyMs = float64(e.totalNs.Load()) / float64(s.Requests) / 1e6
+		s.P50LatencyMs = s.Latency.Quantile(0.5) * 1e3
+		s.P95LatencyMs = s.Latency.Quantile(0.95) * 1e3
 	}
 	return s
 }

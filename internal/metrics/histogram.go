@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsNs are the fixed histogram bucket upper bounds, in
+// nanoseconds: 0.5ms to 10s in a 1-2.5-5 decade ladder, chosen so both
+// the cached-centers fast path (sub-millisecond) and a restore-stalled
+// p99 (seconds) land in distinguishable buckets. One more implicit
+// +Inf bucket catches everything beyond.
+var latencyBucketsNs = [...]int64{
+	500_000,        // 0.5ms
+	1_000_000,      // 1ms
+	2_500_000,      // 2.5ms
+	5_000_000,      // 5ms
+	10_000_000,     // 10ms
+	25_000_000,     // 25ms
+	50_000_000,     // 50ms
+	100_000_000,    // 100ms
+	250_000_000,    // 250ms
+	500_000_000,    // 500ms
+	1_000_000_000,  // 1s
+	2_500_000_000,  // 2.5s
+	5_000_000_000,  // 5s
+	10_000_000_000, // 10s
+}
+
+// numBuckets counts the finite buckets plus the +Inf overflow bucket.
+const numBuckets = len(latencyBucketsNs) + 1
+
+// BucketBoundsSeconds returns the finite bucket upper bounds in seconds
+// (the Prometheus "le" values; +Inf is implicit).
+func BucketBoundsSeconds() []float64 {
+	out := make([]float64, len(latencyBucketsNs))
+	for i, ns := range latencyBucketsNs {
+		out[i] = float64(ns) / 1e9
+	}
+	return out
+}
+
+// Histogram is a fixed-bucket latency histogram: lock-free, a bucket
+// index scan plus three atomic adds per observation — cheap enough for
+// every request, and the latency signal maxNs alone cannot give
+// (percentiles that forget old outliers instead of high-watermarking
+// forever). The zero value is ready to use.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	sumNs   atomic.Int64
+	count   atomic.Int64
+}
+
+// Observe accounts one measured duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	i := 0
+	for i < len(latencyBucketsNs) && ns > latencyBucketsNs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sumNs.Add(ns)
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: per-bucket
+// (non-cumulative) counts aligned with BucketBoundsSeconds plus the
+// +Inf bucket last, and the total sum/count.
+type HistogramSnapshot struct {
+	Buckets [numBuckets]int64
+	SumNs   int64
+	Count   int64
+}
+
+// Snapshot captures the current histogram values. As with the other
+// counters, fields are individually — not jointly — consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.SumNs = h.sumNs.Load()
+	s.Count = h.count.Load()
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
+// interpolation within the containing bucket; observations in the +Inf
+// bucket report the largest finite bound. Returns 0 for an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(s.Count)
+	var cum, lower float64
+	for i, n := range s.Buckets {
+		upper := float64(latencyBucketsNs[len(latencyBucketsNs)-1]) / 1e9
+		if i < len(latencyBucketsNs) {
+			upper = float64(latencyBucketsNs[i]) / 1e9
+		}
+		next := cum + float64(n)
+		if next >= target {
+			if n == 0 || i == len(latencyBucketsNs) {
+				return upper
+			}
+			frac := (target - cum) / float64(n)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+		lower = upper
+	}
+	return float64(latencyBucketsNs[len(latencyBucketsNs)-1]) / 1e9
+}

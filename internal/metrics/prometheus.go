@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Dependency-free Prometheus text-format (version 0.0.4) exposition:
+// enough of the format for the daemon's and router's GET /metrics —
+// counters, gauges and fixed-bucket histograms with labels — without
+// pulling a client library into the module. ParseProm is the matching
+// reader, shared by the scrape tests and the CI metrics checker, so the
+// writer can never drift from what the tests accept.
+
+// Exposition accumulates one /metrics response. Families must be
+// written one at a time: create a family, Add all its samples, then
+// create the next (the text format requires a family's samples to be
+// contiguous under its # TYPE header).
+type Exposition struct {
+	b strings.Builder
+}
+
+// Family is one metric family being written: the header has been
+// emitted; Add appends samples.
+type Family struct {
+	e    *Exposition
+	name string
+}
+
+// HistogramFamily is a histogram metric family; Add expands each
+// snapshot into the _bucket/_sum/_count series.
+type HistogramFamily struct {
+	e    *Exposition
+	name string
+}
+
+func (e *Exposition) header(name, typ, help string) {
+	fmt.Fprintf(&e.b, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Counter starts a counter family.
+func (e *Exposition) Counter(name, help string) *Family {
+	e.header(name, "counter", help)
+	return &Family{e: e, name: name}
+}
+
+// Gauge starts a gauge family.
+func (e *Exposition) Gauge(name, help string) *Family {
+	e.header(name, "gauge", help)
+	return &Family{e: e, name: name}
+}
+
+// Histogram starts a histogram family.
+func (e *Exposition) Histogram(name, help string) *HistogramFamily {
+	e.header(name, "histogram", help)
+	return &HistogramFamily{e: e, name: name}
+}
+
+// Add appends one sample; kv are label key/value pairs.
+func (f *Family) Add(v float64, kv ...string) {
+	f.e.sample(f.name, kv, v)
+}
+
+// Add appends one histogram: cumulative le buckets (in seconds),
+// then _sum and _count. kv are label key/value pairs shared by every
+// series.
+func (hf *HistogramFamily) Add(s HistogramSnapshot, kv ...string) {
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(latencyBucketsNs) {
+			le = formatFloatProm(float64(latencyBucketsNs[i]) / 1e9)
+		}
+		hf.e.sample(hf.name+"_bucket", append(append([]string(nil), kv...), "le", le), float64(cum))
+	}
+	hf.e.sample(hf.name+"_sum", kv, float64(s.SumNs)/1e9)
+	hf.e.sample(hf.name+"_count", kv, float64(s.Count))
+}
+
+func (e *Exposition) sample(name string, kv []string, v float64) {
+	e.b.WriteString(name)
+	if len(kv) > 0 {
+		e.b.WriteByte('{')
+		for i := 0; i+1 < len(kv); i += 2 {
+			if i > 0 {
+				e.b.WriteByte(',')
+			}
+			fmt.Fprintf(&e.b, "%s=%q", kv[i], escapeLabel(kv[i+1]))
+		}
+		e.b.WriteByte('}')
+	}
+	e.b.WriteByte(' ')
+	e.b.WriteString(formatFloatProm(v))
+	e.b.WriteByte('\n')
+}
+
+// WriteTo writes the accumulated exposition to w.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, e.b.String())
+	return int64(n), err
+}
+
+// String returns the accumulated exposition text.
+func (e *Exposition) String() string { return e.b.String() }
+
+// formatFloatProm renders a sample value: integral values print as
+// integers (counter readability), everything else in shortest-float
+// form.
+func formatFloatProm(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel prepares a label value for %q-quoting: the format's
+// escapes (\\, \", \n) coincide with Go's for these characters, so
+// escaping anything else is unnecessary; %q handles the quoting.
+func escapeLabel(v string) string { return v }
+
+// escapeHelp escapes a HELP line per the text format.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+var (
+	promNameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// ParseProm reads a text-format exposition and returns every sample
+// keyed by metric name plus its sorted label set rendered canonically,
+// e.g. `streamkm_tenant_latency_seconds_count{op="ingest",stream="a"}`
+// (bare `name` for label-less samples). Any line it cannot parse is an
+// error — this is the validation the CI scrape gate relies on.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !strings.HasPrefix(line, "# HELP ") && !strings.HasPrefix(line, "# TYPE ") {
+				return nil, fmt.Errorf("metrics line %d: unrecognized comment %q", lineNo, line)
+			}
+			continue
+		}
+		key, val, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %v", lineNo, err)
+		}
+		out[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parsePromSample parses one sample line into its canonical key and
+// value.
+func parsePromSample(line string) (string, float64, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return "", 0, fmt.Errorf("no value in %q", line)
+	}
+	name := line[:nameEnd]
+	if !promNameRE.MatchString(name) {
+		return "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest := line[nameEnd:]
+	var labels []string
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parsePromLabels(rest[1:])
+		if err != nil {
+			return "", 0, fmt.Errorf("%v in %q", err, line)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", 0, fmt.Errorf("expected value [timestamp] after %q", name)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	key := name
+	if len(labels) > 0 {
+		sort.Strings(labels)
+		key += "{" + strings.Join(labels, ",") + "}"
+	}
+	return key, v, nil
+}
+
+// parsePromLabels consumes `name="value",...}` and returns each pair
+// rendered `name="value"` plus the remainder of the line.
+func parsePromLabels(s string) ([]string, string, error) {
+	var labels []string
+	for {
+		s = strings.TrimLeft(s, " ,")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		lname := strings.TrimSpace(s[:eq])
+		if !promLabelRE.MatchString(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[eq+1:]
+		if s == "" || s[0] != '"' {
+			return nil, "", fmt.Errorf("label %s value not quoted", lname)
+		}
+		val, rest, err := parseQuoted(s)
+		if err != nil {
+			return nil, "", fmt.Errorf("label %s: %v", lname, err)
+		}
+		labels = append(labels, fmt.Sprintf("%s=%q", lname, val))
+		s = rest
+	}
+}
+
+// parseQuoted consumes a leading double-quoted string with \\, \" and
+// \n escapes, returning the unescaped value and the remainder.
+func parseQuoted(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("dangling escape")
+			}
+			switch s[i] {
+			case '\\', '"':
+				b.WriteByte(s[i])
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string")
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveBucketsAndQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(300 * time.Microsecond) // bucket 0 (<=0.5ms)
+	h.Observe(2 * time.Millisecond)   // bucket 2 (<=2.5ms)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(time.Minute) // +Inf overflow
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	wantSum := (300*time.Microsecond + 2*2*time.Millisecond + time.Minute).Nanoseconds()
+	if s.SumNs != wantSum {
+		t.Fatalf("SumNs = %d, want %d", s.SumNs, wantSum)
+	}
+	if s.Buckets[0] != 1 || s.Buckets[2] != 2 || s.Buckets[numBuckets-1] != 1 {
+		t.Fatalf("bucket layout wrong: %v", s.Buckets)
+	}
+	var total int64
+	for _, n := range s.Buckets {
+		total += n
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+	// Median lands in the 2.5ms bucket; the +Inf observation caps at the
+	// largest finite bound instead of fabricating a value.
+	if q := s.Quantile(0.5); q < 0.001 || q > 0.0025 {
+		t.Fatalf("p50 = %v, want within (1ms, 2.5ms]", q)
+	}
+	if q := s.Quantile(1); q != 10 {
+		t.Fatalf("p100 = %v, want 10 (largest finite bound)", q)
+	}
+	if q := (HistogramSnapshot{}).Quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 5; i++ {
+		h.Observe(3 * time.Millisecond)
+	}
+
+	var e Exposition
+	c := e.Counter("test_requests_total", "Requests, by tenant.")
+	c.Add(7, "stream", "a")
+	c.Add(2, "stream", `we"ird\name`) // exercises label escaping
+	e.Gauge("test_uptime_seconds", "Uptime.").Add(12.5)
+	e.Histogram("test_latency_seconds", "Latency.").Add(h.Snapshot(), "stream", "a")
+
+	samples, err := ParseProm(strings.NewReader(e.String()))
+	if err != nil {
+		t.Fatalf("own exposition does not parse: %v", err)
+	}
+	if got := samples[`test_requests_total{stream="a"}`]; got != 7 {
+		t.Fatalf("counter a = %v, want 7", got)
+	}
+	if got := samples[`test_requests_total{stream="we\"ird\\name"}`]; got != 2 {
+		t.Fatalf("escaped-label counter = %v, want 2 (keys: %v)", got, samples)
+	}
+	if got := samples["test_uptime_seconds"]; got != 12.5 {
+		t.Fatalf("gauge = %v, want 12.5", got)
+	}
+	if got := samples[`test_latency_seconds_count{stream="a"}`]; got != 5 {
+		t.Fatalf("histogram count = %v, want 5", got)
+	}
+	if got := samples[`test_latency_seconds_bucket{le="+Inf",stream="a"}`]; got != 5 {
+		t.Fatalf("+Inf bucket = %v, want 5 (cumulative)", got)
+	}
+	// 3ms observations land in the 5ms bucket: everything below is 0,
+	// everything at or above is the full count.
+	if got := samples[`test_latency_seconds_bucket{le="0.0025",stream="a"}`]; got != 0 {
+		t.Fatalf("2.5ms bucket = %v, want 0", got)
+	}
+	if got := samples[`test_latency_seconds_bucket{le="0.005",stream="a"}`]; got != 5 {
+		t.Fatalf("5ms bucket = %v, want 5", got)
+	}
+	if got := samples[`test_latency_seconds_sum{stream="a"}`]; got != 0.015 {
+		t.Fatalf("sum = %v, want 0.015", got)
+	}
+	// One _bucket series per bound plus +Inf must be present.
+	buckets := 0
+	for k := range samples {
+		if strings.HasPrefix(k, "test_latency_seconds_bucket{") {
+			buckets++
+		}
+	}
+	if buckets != numBuckets {
+		t.Fatalf("%d bucket series, want %d", buckets, numBuckets)
+	}
+}
+
+func TestParsePromRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"foo bar\n",                     // non-numeric value
+		"1foo 2\n",                      // invalid metric name
+		"# BOGUS comment\n",             // unknown comment form
+		`foo{l="unterminated} 1` + "\n", // unterminated quote
+		`foo{l=unquoted} 1` + "\n",      // unquoted label value
+		`foo{9l="x"} 1` + "\n",          // invalid label name
+		"foo{} 1 2 3\n",                 // trailing junk
+		`foo{l="x\q"} 1` + "\n",         // unknown escape
+	}
+	for _, in := range bad {
+		if _, err := ParseProm(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseProm accepted %q", in)
+		}
+	}
+	// Tolerated forms: blank lines, HELP/TYPE comments, a trailing
+	// timestamp.
+	ok := "# HELP foo Help text.\n# TYPE foo counter\n\nfoo{l=\"x\"} 3 1712345678\n"
+	samples, err := ParseProm(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("ParseProm rejected valid input: %v", err)
+	}
+	if samples[`foo{l="x"}`] != 3 {
+		t.Fatalf("samples = %v", samples)
+	}
+}

@@ -16,6 +16,8 @@ type RegistryStats struct {
 	evictions     atomic.Int64
 	evictFailures atomic.Int64
 	restores      atomic.Int64
+	throttled     atomic.Int64
+	shed          atomic.Int64
 
 	sweeps          atomic.Int64
 	sweepHibernated atomic.Int64
@@ -39,6 +41,15 @@ func (r *RegistryStats) RecordEvictFailure() { r.evictFailures.Add(1) }
 // RecordRestore accounts one hibernated stream lazily restored from disk.
 func (r *RegistryStats) RecordRestore() { r.restores.Add(1) }
 
+// RecordThrottle accounts one request refused by a per-tenant quota
+// (the 429 + Retry-After path).
+func (r *RegistryStats) RecordThrottle() { r.throttled.Add(1) }
+
+// RecordShed accounts one request shed by restore-thrash admission
+// control: the access would have triggered yet another restore of a
+// stream churning through hibernation.
+func (r *RegistryStats) RecordShed() { r.shed.Add(1) }
+
 // RecordSweep accounts one TTL sweep: how many streams it hibernated and
 // how long the whole batch (checkpoint writes + single directory sync)
 // took.
@@ -57,6 +68,8 @@ type RegistrySnapshot struct {
 	Evictions       int64   `json:"evictions"`
 	EvictFailures   int64   `json:"evict_failures"`
 	Restores        int64   `json:"restores"`
+	Throttled       int64   `json:"throttled"`
+	Shed            int64   `json:"shed"`
 	Sweeps          int64   `json:"sweeps"`
 	SweepHibernated int64   `json:"sweep_hibernated"`
 	SweepLastMs     float64 `json:"sweep_last_ms"`
@@ -72,6 +85,8 @@ func (r *RegistryStats) Snapshot() RegistrySnapshot {
 		Evictions:       r.evictions.Load(),
 		EvictFailures:   r.evictFailures.Load(),
 		Restores:        r.restores.Load(),
+		Throttled:       r.throttled.Load(),
+		Shed:            r.shed.Load(),
 		Sweeps:          r.sweeps.Load(),
 		SweepHibernated: r.sweepHibernated.Load(),
 		SweepLastMs:     float64(r.sweepNanosLast.Load()) / 1e6,

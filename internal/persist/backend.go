@@ -49,6 +49,13 @@ type BackendSnapshot struct {
 	// Count is the number of points observed across the stream.
 	Count int64
 
+	// Per-tenant quota knobs (0 = unlimited), carried so a hibernated or
+	// migrated tenant keeps its limits. Older snapshots decode them as
+	// zero — unlimited, the pre-quota behavior.
+	PointsPerSec     float64
+	BytesPerSec      float64
+	MaxResidentBytes int64
+
 	// Sharded is the concurrent payload — the same v2 ShardedSnapshot,
 	// wrapped instead of top-level.
 	Sharded *ShardedSnapshot
@@ -85,6 +92,17 @@ func ValidateBackend(bs *BackendSnapshot) error {
 	}
 	if bs.Dim < 0 {
 		return fmt.Errorf("persist: negative dimension %d in backend snapshot", bs.Dim)
+	}
+	// Quotas are bounds-checked only: they are operator policy, not
+	// payload-derived state, so there is nothing to cross-check against.
+	if bs.PointsPerSec < 0 {
+		return fmt.Errorf("persist: negative points_per_sec %v in backend snapshot", bs.PointsPerSec)
+	}
+	if bs.BytesPerSec < 0 {
+		return fmt.Errorf("persist: negative bytes_per_sec %v in backend snapshot", bs.BytesPerSec)
+	}
+	if bs.MaxResidentBytes < 0 {
+		return fmt.Errorf("persist: negative max_resident_bytes %d in backend snapshot", bs.MaxResidentBytes)
 	}
 	switch bs.Type {
 	case BackendConcurrent:
@@ -239,6 +257,11 @@ type BackendMeta struct {
 	HalfLife float64
 	WindowN  int64
 	Count    int64
+
+	// Quota knobs; zero on v2 sharded envelopes, which predate quotas.
+	PointsPerSec     float64
+	BytesPerSec      float64
+	MaxResidentBytes int64
 }
 
 // PeekBackend decodes just the metadata of a serving-backend snapshot.
@@ -274,7 +297,8 @@ func PeekBackend(r io.Reader) (BackendMeta, error) {
 		return BackendMeta{
 			Type: bs.Type, Algo: bs.Algo, K: bs.K, Dim: bs.Dim,
 			Shards: bs.Shards, HalfLife: bs.HalfLife, WindowN: bs.WindowN,
-			Count: bs.Count,
+			Count: bs.Count, PointsPerSec: bs.PointsPerSec,
+			BytesPerSec: bs.BytesPerSec, MaxResidentBytes: bs.MaxResidentBytes,
 		}, nil
 	}
 	return BackendMeta{}, fmt.Errorf("persist: expected a serving-backend envelope, got kind %q", env.Kind)

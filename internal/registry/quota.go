@@ -1,0 +1,205 @@
+package registry
+
+import (
+	"fmt"
+	"time"
+)
+
+// Per-tenant admission control: token-bucket ingest quotas and
+// restore-thrash shedding. Both refuse work with a ThrottleError — the
+// HTTP layer's 429 + Retry-After — rather than queueing it: under
+// overload, a bounded refusal the client can pace against beats an
+// unbounded latency collapse every neighbor tenant pays for.
+
+// ThrottleError reports a request refused by a per-tenant quota or by
+// restore-thrash admission control. RetryAfter is the pacing hint the
+// HTTP layer surfaces as a Retry-After header.
+// errors.Is(err, ErrThrottled) matches.
+type ThrottleError struct {
+	ID         string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ThrottleError) Error() string {
+	return fmt.Sprintf("registry: stream %q throttled (%s), retry after %v", e.ID, e.Reason, e.RetryAfter)
+}
+
+// Unwrap lets errors.Is(err, ErrThrottled) match.
+func (e *ThrottleError) Unwrap() error { return ErrThrottled }
+
+// burstFor sizes a bucket: one second of sustained rate, at least one
+// token, so a tenant idling briefly can absorb a normal batch without
+// tripping on the first request after the pause.
+func burstFor(rate float64) float64 {
+	if rate < 1 {
+		return 1
+	}
+	return rate
+}
+
+// refillLocked advances both buckets to now; the caller holds e.qmu.
+// Rates are read from e.cfg, which only mutates under e.mu held
+// exclusively while every quota call site holds it shared.
+func (e *Stream) refillLocked(now time.Time) {
+	nowNs := now.UnixNano()
+	if !e.qInit {
+		e.qInit = true
+		e.qLast = nowNs
+		e.ptsTokens = burstFor(e.cfg.PointsPerSec)
+		e.bytesTokens = burstFor(e.cfg.BytesPerSec)
+		return
+	}
+	el := float64(nowNs-e.qLast) / 1e9
+	if el <= 0 {
+		return
+	}
+	e.qLast = nowNs
+	if r := e.cfg.PointsPerSec; r > 0 {
+		if e.ptsTokens += el * r; e.ptsTokens > burstFor(r) {
+			e.ptsTokens = burstFor(r)
+		}
+	}
+	if r := e.cfg.BytesPerSec; r > 0 {
+		if e.bytesTokens += el * r; e.bytesTokens > burstFor(r) {
+			e.bytesTokens = burstFor(r)
+		}
+	}
+}
+
+// retryAfter converts a token deficit at a given rate into a pacing
+// hint, clamped to at least 100ms so rounding never yields Retry-After
+// 0 on a real refusal.
+func retryAfter(deficit, rate float64) time.Duration {
+	d := time.Duration(deficit / rate * float64(time.Second))
+	if d < 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// admitIngest decides whether an ingest of bodyBytes may proceed. Bytes
+// are debited up front (the body size is known before parsing); points
+// are charged after the fact by chargePoints, because an ndjson body's
+// record count is unknown until parsed — so the points bucket admits
+// whenever it is out of debt and may go negative afterwards. The caller
+// holds e.mu shared (a With callback).
+func (e *Stream) admitIngest(now time.Time, b Backend, bodyBytes int64) error {
+	if max := e.cfg.MaxResidentBytes; max > 0 {
+		if dim := e.dim.Load(); dim > 0 {
+			if res := int64(b.PointsStored()) * dim * 8; res >= max {
+				return &ThrottleError{
+					ID:     e.id,
+					Reason: fmt.Sprintf("resident footprint %dB at max_resident_bytes %d", res, max),
+					// Not a rate limit: the footprint only shrinks as the
+					// coreset re-compacts (or a window slides), so just pace
+					// the client's retries.
+					RetryAfter: time.Second,
+				}
+			}
+		}
+	}
+	if e.cfg.PointsPerSec <= 0 && e.cfg.BytesPerSec <= 0 {
+		return nil
+	}
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.refillLocked(now)
+	if r := e.cfg.BytesPerSec; r > 0 && e.bytesTokens < float64(bodyBytes) {
+		return &ThrottleError{
+			ID:         e.id,
+			Reason:     fmt.Sprintf("bytes_per_sec %v exceeded", r),
+			RetryAfter: retryAfter(float64(bodyBytes)-e.bytesTokens, r),
+		}
+	}
+	if r := e.cfg.PointsPerSec; r > 0 && e.ptsTokens < 1 {
+		return &ThrottleError{
+			ID:         e.id,
+			Reason:     fmt.Sprintf("points_per_sec %v exceeded", r),
+			RetryAfter: retryAfter(1-e.ptsTokens, r),
+		}
+	}
+	if e.cfg.BytesPerSec > 0 {
+		e.bytesTokens -= float64(bodyBytes)
+	}
+	return nil
+}
+
+// chargePoints debits the points bucket for an ingest that already
+// ran. Debt is allowed (the batch was admitted before its record count
+// was known) but clamped to one burst, so a single oversized batch
+// costs at most ~two seconds of lockout rather than an unbounded one.
+func (e *Stream) chargePoints(now time.Time, n int64) {
+	r := e.cfg.PointsPerSec
+	if r <= 0 || n <= 0 {
+		return
+	}
+	e.qmu.Lock()
+	defer e.qmu.Unlock()
+	e.refillLocked(now)
+	if e.ptsTokens -= float64(n); e.ptsTokens < -burstFor(r) {
+		e.ptsTokens = -burstFor(r)
+	}
+}
+
+// recordRestore notes one snapshot restore for the thrash detector; the
+// caller holds e.mu exclusively. The ring keeps only what detection can
+// ever need.
+func (e *Stream) recordRestore(now time.Time, thrashRestores int) {
+	keep := thrashRestores
+	if keep < 8 {
+		keep = 8
+	}
+	e.restoreTimes = append(e.restoreTimes, now.UnixNano())
+	if len(e.restoreTimes) > keep {
+		e.restoreTimes = e.restoreTimes[len(e.restoreTimes)-keep:]
+	}
+}
+
+// AdmitIngest checks s's per-tenant quotas against an ingest request
+// carrying bodyBytes of payload, returning a ThrottleError (and
+// accounting it) when the request must be refused with 429. Call from
+// inside a With callback, before parsing or applying the body.
+func (r *Registry) AdmitIngest(s *Stream, b Backend, bodyBytes int64) error {
+	err := s.admitIngest(r.cfg.now(), b, bodyBytes)
+	if err != nil {
+		r.stats.RecordThrottle()
+	}
+	return err
+}
+
+// ChargeIngest debits s's points budget for n points just applied.
+// Call from inside the same With callback, after the batch lands.
+func (r *Registry) ChargeIngest(s *Stream, n int64) {
+	s.chargePoints(r.cfg.now(), n)
+}
+
+// admitRestore is the restore-thrash gate: called with e.mu held
+// exclusively just before a cold stream would materialize. When the
+// stream has already been restored ThrashRestores times within
+// ThrashWindow, the access is shed instead, with a Retry-After that
+// expires as the oldest counted restore leaves the window.
+func (r *Registry) admitRestore(e *Stream) error {
+	n, window := r.cfg.ThrashRestores, r.cfg.ThrashWindow
+	if n <= 0 || window <= 0 || len(e.restoreTimes) == 0 {
+		return nil
+	}
+	now := r.cfg.now().UnixNano()
+	cutoff := now - int64(window)
+	recent := e.restoreTimes[:0]
+	for _, t := range e.restoreTimes {
+		if t >= cutoff {
+			recent = append(recent, t)
+		}
+	}
+	e.restoreTimes = recent
+	if len(recent) < n {
+		return nil
+	}
+	r.stats.RecordShed()
+	retry := time.Duration(recent[len(recent)-n] + int64(window) - now)
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return &ThrottleError{ID: e.id, Reason: "restore-thrash", RetryAfter: retry}
+}

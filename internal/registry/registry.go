@@ -73,6 +73,17 @@ type StreamConfig struct {
 	Dim      int     `json:"dim"`
 	HalfLife float64 `json:"half_life,omitempty"`
 	WindowN  int64   `json:"window_n,omitempty"`
+
+	// Per-tenant quotas, all 0 = unlimited. PointsPerSec and BytesPerSec
+	// are sustained ingest rates enforced by a token bucket at the
+	// registry boundary (burst of roughly one second of rate);
+	// MaxResidentBytes caps the estimated resident footprint of the
+	// stream's stored points. Exceeding any of them refuses the request
+	// with a ThrottleError (HTTP 429 + Retry-After), never partial
+	// application.
+	PointsPerSec     float64 `json:"points_per_sec,omitempty"`
+	BytesPerSec      float64 `json:"bytes_per_sec,omitempty"`
+	MaxResidentBytes int64   `json:"max_resident_bytes,omitempty"`
 }
 
 // Bounds beyond which a stream configuration is rejected as absurd
@@ -107,6 +118,15 @@ func (c StreamConfig) Validate() error {
 	}
 	if c.WindowN < 0 {
 		return fmt.Errorf("%w: window_n must be >= 0, got %d", ErrInvalidConfig, c.WindowN)
+	}
+	if c.PointsPerSec < 0 {
+		return fmt.Errorf("%w: points_per_sec must be >= 0, got %v", ErrInvalidConfig, c.PointsPerSec)
+	}
+	if c.BytesPerSec < 0 {
+		return fmt.Errorf("%w: bytes_per_sec must be >= 0, got %v", ErrInvalidConfig, c.BytesPerSec)
+	}
+	if c.MaxResidentBytes < 0 {
+		return fmt.Errorf("%w: max_resident_bytes must be >= 0, got %d", ErrInvalidConfig, c.MaxResidentBytes)
 	}
 	return nil
 }
@@ -148,6 +168,16 @@ type Config struct {
 	// zero until first restore.
 	Peek func(r io.Reader) (StreamConfig, int64, error)
 
+	// ThrashRestores and ThrashWindow configure restore-thrash admission
+	// control: when an access to a cold stream would trigger its
+	// ThrashRestores'th restore within ThrashWindow, the access is shed
+	// with a ThrottleError (HTTP 429 + Retry-After) instead of restoring
+	// — a stream churning through hibernation is cheaper refused for a
+	// moment than allowed to collapse the daemon's p95 with restore
+	// stalls. Either value <= 0 disables shedding.
+	ThrashRestores int
+	ThrashWindow   time.Duration
+
 	// now is a test hook; nil means time.Now.
 	now func() time.Time
 }
@@ -174,6 +204,7 @@ var (
 	ErrInvalidID     = errors.New("registry: invalid stream id")
 	ErrInvalidConfig = errors.New("registry: invalid stream config")
 	ErrDetached      = errors.New("registry: stream detached for migration")
+	ErrThrottled     = errors.New("registry: request throttled")
 )
 
 // DetachedError reports a request against a stream frozen for migration
@@ -404,6 +435,10 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 		}
 		b := e.backend
 		if b == nil {
+			if err = r.admitRestore(e); err != nil {
+				e.mu.Unlock()
+				return err
+			}
 			if b, err = r.materialize(e); err != nil {
 				e.mu.Unlock()
 				return err
@@ -451,6 +486,7 @@ func (r *Registry) materialize(e *Stream) (Backend, error) {
 			}
 			e.lastCkptCount = b.Count() // the file already holds this state
 			r.stats.RecordRestore()
+			e.recordRestore(r.cfg.now(), r.cfg.ThrashRestores)
 		case os.IsNotExist(err):
 		default:
 			return nil, fmt.Errorf("registry: %s: %w", e.path, err)
@@ -642,6 +678,18 @@ func (r *Registry) fillDefaults(cfg StreamConfig) StreamConfig {
 		if cfg.WindowN == 0 {
 			cfg.WindowN = r.cfg.Default.WindowN
 		}
+	}
+	// Quotas inherit unconditionally: a daemon-wide default quota is the
+	// whole point of the knob, and a tenant wanting a different limit
+	// states it explicitly.
+	if cfg.PointsPerSec == 0 {
+		cfg.PointsPerSec = r.cfg.Default.PointsPerSec
+	}
+	if cfg.BytesPerSec == 0 {
+		cfg.BytesPerSec = r.cfg.Default.BytesPerSec
+	}
+	if cfg.MaxResidentBytes == 0 {
+		cfg.MaxResidentBytes = r.cfg.Default.MaxResidentBytes
 	}
 	return cfg
 }
@@ -999,6 +1047,9 @@ type Info struct {
 	Dim          int     `json:"dim,omitempty"`
 	HalfLife     float64 `json:"half_life,omitempty"`
 	WindowN      int64   `json:"window_n,omitempty"`
+	PointsPerSec float64 `json:"points_per_sec,omitempty"`
+	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
+	MaxResBytes  int64   `json:"max_resident_bytes,omitempty"`
 	Count        int64   `json:"count"`
 	PointsStored int     `json:"points_stored"`
 	LastAccess   int64   `json:"last_access_unix"`

@@ -32,6 +32,23 @@ type Stream struct {
 	stored        int
 	lastCkptCount int64
 
+	// restoreTimes holds the instants (unix nanos) of the most recent
+	// snapshot restores, newest last — the churn signal restore-thrash
+	// admission control sheds on. Guarded by mu held exclusively (only
+	// materialize and admitRestore touch it).
+	restoreTimes []int64
+
+	// Token-bucket state for the per-tenant ingest quotas, guarded by its
+	// own mutex: quota checks run inside With callbacks, which hold mu
+	// only in read mode (shared across concurrent requests). Rates come
+	// from cfg at check time; tokens start full (one second of burst) on
+	// first use.
+	qmu         sync.Mutex
+	qInit       bool
+	ptsTokens   float64
+	bytesTokens float64
+	qLast       int64 // unix nanos of the last refill
+
 	dim        atomic.Int64 // adopted point dimension; 0 until known
 	lastAccess atomic.Int64 // unix nanos of the most recent access
 }
@@ -82,6 +99,9 @@ func (e *Stream) info() Info {
 		Dim:          int(e.dim.Load()),
 		HalfLife:     e.cfg.HalfLife,
 		WindowN:      e.cfg.WindowN,
+		PointsPerSec: e.cfg.PointsPerSec,
+		BytesPerSec:  e.cfg.BytesPerSec,
+		MaxResBytes:  e.cfg.MaxResidentBytes,
 		Count:        e.count,
 		PointsStored: e.stored,
 		LastAccess:   e.lastAccess.Load() / 1e9,

@@ -59,6 +59,9 @@ type Proxy struct {
 	mux    *http.ServeMux
 	start  time.Time
 	stats  metrics.RouterStats
+	// proxyLatency distributes end-to-end per-stream forwarding time
+	// (routing decision + upstream round trip), served on /metrics.
+	proxyLatency metrics.Histogram
 
 	mu        sync.RWMutex
 	ring      *Ring
@@ -112,6 +115,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	})
 	p.mux.HandleFunc("GET /ring", p.handleRing)
 	p.mux.HandleFunc("GET /stats", p.handleStats)
+	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
 	p.mux.HandleFunc("GET /streams", p.handleList)
 	p.mux.HandleFunc("/streams/{id}", p.handleStream)
 	p.mux.HandleFunc("/streams/{id}/{endpoint...}", p.handleStream)
@@ -166,6 +170,8 @@ func isWrite(method string) bool {
 // handleStream forwards one per-stream request to the member serving the
 // tenant, refusing writes while the tenant is mid-handoff.
 func (p *Proxy) handleStream(w http.ResponseWriter, r *http.Request) {
+	t0 := time.Now()
+	defer func() { p.proxyLatency.Observe(time.Since(t0)) }()
 	id := r.PathValue("id")
 	member, inHandoff := p.route(id)
 	if inHandoff && isWrite(r.Method) {
@@ -312,7 +318,14 @@ type listedStream struct {
 
 // handleList merges GET /streams across the fleet. Duplicate ids (a
 // mid-reconciliation state: source copy not yet deleted) collapse to the
-// authoritative copy — the one on the member the router routes to.
+// authoritative copy — the one on the member the router routes to. Each
+// daemon's legacy default stream (the one its single-stream endpoints
+// alias, reported as default_stream in its listing) is namespaced as
+// <member>/<id>: default streams are per-daemon state the ring never
+// placed, so two daemons started with the same -default-stream would
+// otherwise alias one merged entry and hide each other's counts. Stream
+// ids cannot contain '/', so the namespaced form never collides with a
+// routed tenant.
 func (p *Proxy) handleList(w http.ResponseWriter, _ *http.Request) {
 	p.stats.RecordFanout()
 	entries := p.fanGet("/streams")
@@ -324,13 +337,19 @@ func (p *Proxy) handleList(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		var body struct {
-			Streams []registry.Info `json:"streams"`
+			Streams       []registry.Info `json:"streams"`
+			DefaultStream string          `json:"default_stream"`
 		}
 		if err := json.Unmarshal(e.raw, &body); err != nil {
 			failed = append(failed, e.name)
 			continue
 		}
 		for _, in := range body.Streams {
+			if in.ID == body.DefaultStream {
+				in.ID = e.name + "/" + in.ID
+				merged[in.ID] = listedStream{Info: in, Daemon: e.name}
+				continue
+			}
 			cand := listedStream{Info: in, Daemon: e.name}
 			prev, dup := merged[in.ID]
 			if !dup {
@@ -389,14 +408,17 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 	p.mu.RLock()
 	ringState := p.ring.State()
 	members := make(map[string]string, len(p.urls))
+	targets := make([]string, 0, len(p.urls))
 	for n, u := range p.urls {
 		members[n] = u
+		targets = append(targets, u+"/metrics")
 	}
 	handoffs := make(map[string]migration, len(p.handoff))
 	for id, mg := range p.handoff {
 		handoffs[id] = mg
 	}
 	p.mu.RUnlock()
+	sort.Strings(targets)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"router": map[string]interface{}{
 			"ring":     ringState,
@@ -404,6 +426,10 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"handoffs": handoffs,
 			"stats":    p.stats.Snapshot(),
 			"uptime_s": time.Since(p.start).Seconds(),
+			// metrics_targets is the scrape inventory: every member's
+			// Prometheus endpoint (the router's own is this host's
+			// /metrics), so service discovery can be "curl the router".
+			"metrics_targets": targets,
 		},
 		"totals": map[string]int64{
 			"streams":    totStreams,
@@ -412,6 +438,31 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 		},
 		"daemons": daemons,
 	})
+}
+
+// handleMetrics serves the router's own Prometheus exposition: the
+// routing/migration counters plus the end-to-end proxy latency
+// histogram. Member expositions are not merged in — each daemon serves
+// its own /metrics (listed as metrics_targets in /stats), and
+// re-aggregating histograms here would double-count every scrape.
+func (p *Proxy) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var e metrics.Exposition
+	s := p.stats.Snapshot()
+	ev := e.Counter("streamkm_router_events_total", "Router events, by type.")
+	ev.Add(float64(s.Proxied), "event", "proxied")
+	ev.Add(float64(s.ProxyErrors), "event", "proxy_error")
+	ev.Add(float64(s.Fanouts), "event", "fanout")
+	ev.Add(float64(s.HandoffRefusals), "event", "handoff_refusal")
+	ev.Add(float64(s.Rebalances), "event", "rebalance")
+	ev.Add(float64(s.Migrations), "event", "migration")
+	ev.Add(float64(s.MigrationErrors), "event", "migration_error")
+	ev.Add(float64(s.StaleCopyDeletes), "event", "stale_copy_delete")
+	e.Histogram("streamkm_router_proxy_latency_seconds",
+		"End-to-end per-stream forwarding latency in seconds (routing + upstream).").
+		Add(p.proxyLatency.Snapshot())
+	e.Gauge("streamkm_uptime_seconds", "Seconds since process start.").Add(time.Since(p.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	e.WriteTo(w)
 }
 
 // handleRing reports the serializable ring state plus member addresses

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"streamkm/internal/metrics"
 )
 
 // TestProxyRoutingAndMergedViews: per-stream requests land on one
@@ -87,6 +89,117 @@ func TestProxyRoutingAndMergedViews(t *testing.T) {
 	members := rs["ring"].(map[string]interface{})["members"].([]interface{})
 	if len(members) != 2 {
 		t.Fatalf("ring members %v", members)
+	}
+}
+
+// TestMergedListingNamespacesDefaultStreams: each daemon's legacy
+// default stream must appear in the router's merged listing as
+// <member>/<id>, never as a bare id — two daemons sharing the stock
+// -default-stream name would otherwise collapse into one merged entry
+// and hide each other's counts (the multi-tenant listing bug this
+// pins).
+func TestMergedListingNamespacesDefaultStreams(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	_, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	// Drive each daemon's legacy root endpoint directly (that is how a
+	// pre-router client creates the default stream), with distinct counts
+	// so aliasing would be visible.
+	for d, n := range map[*testDaemon]int{a: 5, b: 7} {
+		resp, err := http.Post(d.ts.URL+"/ingest", "application/x-ndjson",
+			strings.NewReader(ndjsonBody(tenantPoints(0, n))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("legacy ingest on %s: status %d", d.name, resp.StatusCode)
+		}
+	}
+	// Plus one routed tenant, which must list under its own bare id.
+	ingestRetry(t, client, ts.URL+"/streams/routed/ingest", tenantPoints(1, 30), testDeadline)
+
+	list := mergedListing(t, client, ts.URL)
+	if _, ok := list["default"]; ok {
+		t.Fatalf("merged listing still aliases a bare %q entry: %v", "default", list)
+	}
+	for member, want := range map[string]float64{"a": 5, "b": 7} {
+		e, ok := list[member+"/default"]
+		if !ok {
+			t.Fatalf("merged listing lacks %s/default: %v", member, list)
+		}
+		if e["count"].(float64) != want || e["daemon"].(string) != member {
+			t.Fatalf("%s/default = count %v on %v, want %v on %s", member, e["count"], e["daemon"], want, member)
+		}
+	}
+	if e, ok := list["routed"]; !ok || e["count"].(float64) != 30 {
+		t.Fatalf("routed tenant entry wrong: %v", list["routed"])
+	}
+	if len(list) != 3 {
+		t.Fatalf("merged listing has %d entries, want 3: %v", len(list), list)
+	}
+}
+
+// TestRouterMetricsScrape: the router's /metrics parses as valid
+// Prometheus text format and its counters agree with the traffic that
+// actually flowed through it.
+func TestRouterMetricsScrape(t *testing.T) {
+	a := newTestDaemon(t, "a", 0)
+	b := newTestDaemon(t, "b", 0)
+	_, ts := newTestProxy(t, a, b)
+	client := ts.Client()
+
+	// 3 per-stream forwards (no handoffs in flight, so all proxied) and
+	// 2 fan-outs.
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("m-%d", i)
+		resp, err := client.Post(ts.URL+"/streams/"+id+"/ingest", "application/x-ndjson",
+			strings.NewReader(ndjsonBody(tenantPoints(i, 10))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", id, resp.StatusCode)
+		}
+	}
+	mergedListing(t, client, ts.URL)
+	status, st := getJSON(t, client, ts.URL+"/stats")
+	if status != http.StatusOK {
+		t.Fatalf("stats status %d", status)
+	}
+	targets := st["router"].(map[string]interface{})["metrics_targets"].([]interface{})
+	if len(targets) != 2 {
+		t.Fatalf("metrics_targets = %v, want the 2 member endpoints", targets)
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	s, err := metrics.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("router exposition does not parse: %v", err)
+	}
+	if got := s[`streamkm_router_events_total{event="proxied"}`]; got != 3 {
+		t.Fatalf("proxied = %v, want 3", got)
+	}
+	if got := s[`streamkm_router_events_total{event="fanout"}`]; got != 2 {
+		t.Fatalf("fanouts = %v, want 2", got)
+	}
+	if got := s["streamkm_router_proxy_latency_seconds_count"]; got != 3 {
+		t.Fatalf("proxy latency count = %v, want 3 (one per forwarded request)", got)
+	}
+	if s["streamkm_uptime_seconds"] < 0 {
+		t.Fatal("no uptime gauge")
 	}
 }
 

@@ -52,6 +52,8 @@ func streamkmRegistryAt(t testing.TB, dir string, maxResident int) *registry.Reg
 			return registry.StreamConfig{
 				Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
 				HalfLife: m.HalfLife, WindowN: m.WindowN,
+				PointsPerSec: m.PointsPerSec, BytesPerSec: m.BytesPerSec,
+				MaxResidentBytes: m.MaxResidentBytes,
 			}, m.Count, nil
 		},
 	}

@@ -80,6 +80,25 @@
 //	                               resident / hibernated), lifecycle
 //	                               counters (evictions, restores, ...),
 //	                               checkpoint and per-endpoint counters.
+//	GET    /metrics                Prometheus text-format (0.0.4)
+//	                               exposition of the same counters plus
+//	                               fixed-bucket latency histograms:
+//	                               per-endpoint families
+//	                               (streamkm_endpoint_*), per-tenant
+//	                               ingest/query series keyed by stream
+//	                               (streamkm_tenant_*, capped at 1024
+//	                               series with overflow folded into
+//	                               stream="_other"), residency gauges
+//	                               (streamkm_streams) and registry
+//	                               lifecycle events
+//	                               (streamkm_registry_events_total,
+//	                               including throttle and shed).
+//	                               Dependency-free: written and parsed by
+//	                               internal/metrics. The single-stream
+//	                               Server and the router serve the same
+//	                               route (the router with
+//	                               streamkm_router_* families instead of
+//	                               tenant series).
 //	GET    /healthz                liveness probe.
 //
 // The pre-registry single-stream endpoints (POST /ingest, GET /centers,
@@ -97,6 +116,24 @@
 // touching the clusterer. Ingest requests are bounded: bodies beyond
 // MaxBodyBytes and requests carrying more than MaxPoints points are cut
 // off with 413 instead of read unboundedly.
+//
+// # Quotas and admission control
+//
+// Each stream's spec may carry per-tenant quotas: points_per_sec and
+// bytes_per_sec (sustained ingest rates, token bucket with roughly one
+// second of burst) and max_resident_bytes (a cap on the estimated
+// resident footprint of the stream's stored points). A request beyond
+// its quota — or an access that would restore a hibernation-thrashing
+// stream yet again (the daemon's -thrash-restores / -thrash-window
+// knobs) — is refused whole with 429 Too Many Requests, a Retry-After
+// header (integer seconds, rounded up) and a JSON body naming the
+// stream and carrying "ingested": 0; nothing is partially applied.
+// Every ndjson ingest error body, whatever the status, includes the
+// applied-point count under "ingested" so clients resume without
+// double-counting. Quotas are operator policy, not model identity: they
+// persist through the snapshot envelope but never participate in
+// restore-spec matching, and a PUT with zero-valued quota fields
+// inherits the daemon defaults.
 //
 // # Ingest wire formats
 //

@@ -46,6 +46,25 @@ func TestIngestPointLimit413(t *testing.T) {
 	}
 }
 
+func TestIngestErrorBodiesIncludeIngested(t *testing.T) {
+	// The client contract for every ndjson ingest error: the body always
+	// carries how many points were applied before the failure, so a
+	// client can resume without double-counting. A malformed line
+	// mid-stream is the canonical partial-application case.
+	ts := newLimitedServer(t, Config{})
+	resp, m := postIngest(t, ts, "[1,2]\nnot-json\n[3,4]\n")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed line status %d, want 400 (%v)", resp.StatusCode, m)
+	}
+	n, ok := m["ingested"].(float64)
+	if !ok {
+		t.Fatalf("400 response lacks the applied count: %v", m)
+	}
+	if n != 1 {
+		t.Fatalf("ingested = %v, want 1 (only the point before the bad line)", n)
+	}
+}
+
 func TestIngestLimitsDisabled(t *testing.T) {
 	// Negative caps disable the guards entirely.
 	ts := newLimitedServer(t, Config{MaxBodyBytes: -1, MaxPoints: -1})

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"streamkm/internal/metrics"
@@ -45,6 +47,54 @@ type Multi struct {
 	statsStats    metrics.EndpointStats
 	snapshotStats metrics.EndpointStats
 	adminStats    metrics.EndpointStats
+
+	// Per-tenant ingest/query accounting behind the /metrics per-stream
+	// series. The map is capped at maxTenantSeries streams; beyond that,
+	// new streams account under the "_other" overflow bucket so a tenant
+	// spray cannot turn the exposition into a cardinality bomb.
+	tenants     sync.Map // stream id -> *tenantStats
+	tenantCount atomic.Int64
+	tenantOther tenantStats
+}
+
+// tenantStats is one stream's slice of the request accounting.
+type tenantStats struct {
+	ingest metrics.EndpointStats
+	query  metrics.EndpointStats
+}
+
+// maxTenantSeries caps how many distinct streams get their own labelled
+// series in /metrics; the rest aggregate under tenantOverflow.
+const maxTenantSeries = 1024
+
+// tenantOverflow is the catch-all stream label once maxTenantSeries is
+// reached.
+const tenantOverflow = "_other"
+
+// tenantFor resolves the accounting slot for a stream id.
+func (m *Multi) tenantFor(id string) *tenantStats {
+	if v, ok := m.tenants.Load(id); ok {
+		return v.(*tenantStats)
+	}
+	if m.tenantCount.Load() >= maxTenantSeries {
+		return &m.tenantOther
+	}
+	v, loaded := m.tenants.LoadOrStore(id, &tenantStats{})
+	if !loaded {
+		m.tenantCount.Add(1)
+	}
+	return v.(*tenantStats)
+}
+
+// tenantRecord wraps a per-stream handler with per-tenant accounting in
+// the slot the selector picks (ingest or query).
+func (m *Multi) tenantRecord(slot func(*tenantStats) *metrics.EndpointStats, h func(string, http.ResponseWriter, *http.Request) (int64, bool)) func(string, http.ResponseWriter, *http.Request) (int64, bool) {
+	return func(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+		t0 := time.Now()
+		items, failed := h(id, w, r)
+		slot(m.tenantFor(id)).Record(time.Since(t0), items, failed)
+		return items, failed
+	}
 }
 
 // NewMulti builds a multi-stream server over reg.
@@ -59,8 +109,14 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	cfg.MaxPoints = resolveLimit(cfg.MaxPoints, defaultMaxPoints)
 	m := &Multi{reg: reg, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
 
-	m.mux.Handle("POST /streams/{id}/ingest", record(&m.ingestStats, m.byID(m.handleIngest)))
-	m.mux.Handle("GET /streams/{id}/centers", record(&m.centersStats, m.byID(m.handleCenters)))
+	// Ingest and query are wrapped once with per-tenant accounting and
+	// the wrapper reused by the legacy aliases, so a default-stream
+	// ingest through POST /ingest lands in the same per-stream series.
+	ingest := m.tenantRecord(func(t *tenantStats) *metrics.EndpointStats { return &t.ingest }, m.handleIngest)
+	query := m.tenantRecord(func(t *tenantStats) *metrics.EndpointStats { return &t.query }, m.handleCenters)
+
+	m.mux.Handle("POST /streams/{id}/ingest", record(&m.ingestStats, m.byID(ingest)))
+	m.mux.Handle("GET /streams/{id}/centers", record(&m.centersStats, m.byID(query)))
 	m.mux.Handle("GET /streams/{id}/stats", record(&m.statsStats, m.byID(m.handleStreamStats)))
 	m.mux.Handle("GET /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotGet)))
 	m.mux.Handle("POST /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotPost)))
@@ -71,6 +127,9 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	m.mux.Handle("DELETE /streams/{id}", record(&m.adminStats, m.byID(m.handleDelete)))
 	m.mux.Handle("GET /streams", record(&m.adminStats, m.handleList))
 	m.mux.Handle("GET /stats", record(&m.statsStats, m.handleRegistryStats))
+	// /metrics is deliberately outside the record() accounting: a scrape
+	// every few seconds must not pollute the request counters it reports.
+	m.mux.HandleFunc("GET /metrics", m.handleMetrics)
 
 	// Single-stream aliases: the pre-registry API, routed at the default
 	// stream.
@@ -79,8 +138,8 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 			return h(m.cfg.DefaultStream, w, r)
 		}
 	}
-	m.mux.Handle("POST /ingest", record(&m.ingestStats, alias(m.handleIngest)))
-	m.mux.Handle("GET /centers", record(&m.centersStats, alias(m.handleCenters)))
+	m.mux.Handle("POST /ingest", record(&m.ingestStats, alias(ingest)))
+	m.mux.Handle("GET /centers", record(&m.centersStats, alias(query)))
 	m.mux.Handle("GET /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotGet)))
 	m.mux.Handle("POST /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotPost)))
 	m.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -117,6 +176,8 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, registry.ErrInvalidConfig):
 		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrThrottled):
+		return http.StatusTooManyRequests
 	}
 	return http.StatusInternalServerError
 }
@@ -128,11 +189,38 @@ func statusFor(err error) int {
 const OwnerHeader = "X-Streamkm-Owner"
 
 func writeErr(w http.ResponseWriter, err error) {
+	writeErrExtra(w, err, nil)
+}
+
+// writeErrExtra is writeErr with extra body fields merged in. The
+// ingest handlers use it to report "stream" and "ingested" even on
+// registry-level failures (throttled, detached, not found): an ndjson
+// client reconciling partial acks must be able to read the applied
+// count off every error body, not just the mid-stream ones.
+func writeErrExtra(w http.ResponseWriter, err error, extra map[string]interface{}) {
 	var de *registry.DetachedError
 	if errors.As(err, &de) && de.Owner != "" {
 		w.Header().Set(OwnerHeader, de.Owner)
 	}
-	writeJSON(w, statusFor(err), map[string]interface{}{"error": err.Error()})
+	var te *registry.ThrottleError
+	if errors.As(err, &te) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(te.RetryAfter)))
+	}
+	body := map[string]interface{}{"error": err.Error()}
+	for k, v := range extra {
+		body[k] = v
+	}
+	writeJSON(w, statusFor(err), body)
+}
+
+// retryAfterSeconds rounds a pacing hint up to whole seconds (minimum
+// 1), the only granularity the Retry-After header carries.
+func retryAfterSeconds(d time.Duration) int {
+	s := int((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
 }
 
 // handleIngest streams points into the named stream, creating it lazily
@@ -196,13 +284,17 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 		count    int64
 	)
 	err := m.reg.With(id, create, func(s *registry.Stream, b registry.Backend) error {
+		if err := m.reg.AdmitIngest(s, b, int64(len(raw))); err != nil {
+			return err
+		}
 		ingested, status, msg = runIngest(body, m.cfg.MaxBatch, m.cfg.MaxPoints, b, s.CheckDim)
+		m.reg.ChargeIngest(s, ingested)
 		count = b.Count()
 		return nil
 	})
 	if err != nil {
-		writeErr(w, err)
-		return 0, true
+		writeErrExtra(w, err, map[string]interface{}{"stream": id, "ingested": ingested})
+		return ingested, true
 	}
 	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
@@ -243,13 +335,17 @@ func (m *Multi) ingestBinary(id string, w http.ResponseWriter, raw []byte) (int6
 		count    int64
 	)
 	err := m.reg.With(id, batch.Len() > 0, func(s *registry.Stream, b registry.Backend) error {
+		if err := m.reg.AdmitIngest(s, b, int64(len(raw))); err != nil {
+			return err
+		}
 		ingested, status, msg = applyBinary(batch, m.cfg.MaxBatch, b, s.CheckDim)
+		m.reg.ChargeIngest(s, ingested)
 		count = b.Count()
 		return nil
 	})
 	if err != nil {
-		writeErr(w, err)
-		return 0, true
+		writeErrExtra(w, err, map[string]interface{}{"stream": id, "ingested": ingested})
+		return ingested, true
 	}
 	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
@@ -331,6 +427,15 @@ func (m *Multi) handleStreamStats(id string, w http.ResponseWriter, _ *http.Requ
 	}
 	if in.WindowN > 0 {
 		resp["window_n"] = in.WindowN
+	}
+	if in.PointsPerSec > 0 {
+		resp["points_per_sec"] = in.PointsPerSec
+	}
+	if in.BytesPerSec > 0 {
+		resp["bytes_per_sec"] = in.BytesPerSec
+	}
+	if in.MaxResBytes > 0 {
+		resp["max_resident_bytes"] = in.MaxResBytes
 	}
 	writeJSON(w, http.StatusOK, resp)
 	return 0, false
@@ -484,11 +589,15 @@ func (m *Multi) handleDelete(id string, w http.ResponseWriter, _ *http.Request) 
 }
 
 // handleList enumerates every registered stream, resident or not.
+// default_stream names the stream the legacy single-stream endpoints
+// alias, so a router merging listings from several daemons can
+// disambiguate per-daemon default streams instead of aliasing them.
 func (m *Multi) handleList(w http.ResponseWriter, _ *http.Request) (int64, bool) {
 	infos := m.reg.List()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"streams": infos,
-		"total":   len(infos),
+		"streams":        infos,
+		"total":          len(infos),
+		"default_stream": m.cfg.DefaultStream,
 	})
 	return int64(len(infos)), false
 }

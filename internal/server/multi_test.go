@@ -42,6 +42,8 @@ func streamkmRegistry(t testing.TB, cfg registry.Config) *registry.Registry {
 		return registry.StreamConfig{
 			Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
 			HalfLife: m.HalfLife, WindowN: m.WindowN,
+			PointsPerSec: m.PointsPerSec, BytesPerSec: m.BytesPerSec,
+			MaxResidentBytes: m.MaxResidentBytes,
 		}, m.Count, nil
 	}
 	reg, err := registry.New(cfg)

@@ -122,6 +122,8 @@ func New(c Clusterer, cfg Config) *Server {
 	s.mux.Handle("GET /stats", record(&s.statsStats, s.handleStats))
 	s.mux.Handle("GET /snapshot", record(&s.snapshotStats, s.handleSnapshotGet))
 	s.mux.Handle("POST /snapshot", record(&s.snapshotStats, s.handleSnapshotPost))
+	// Outside record(): scrapes must not pollute the counters they read.
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"streamkm/internal/datagen"
 	"streamkm/internal/geom"
 	"streamkm/internal/metrics"
+	"streamkm/internal/trace"
 	"streamkm/internal/wire"
 )
 
@@ -91,31 +93,85 @@ type tenantResult struct {
 	FinalK     int    `json:"final_k"`
 }
 
+// slowEntry names one of the slowest requests of a replay run: its wall
+// latency and the trace id streambench stamped into the request's
+// traceparent header, so the matching server-side span can be pulled
+// from /debug/traces on the daemon (and, in router mode, the router).
+type slowEntry struct {
+	TraceID string  `json:"trace_id"`
+	Stream  string  `json:"stream"`
+	Ms      float64 `json:"ms"`
+}
+
 // replayResult is the machine-readable outcome of one replay run — the
-// repo's BENCH_*.json perf-trajectory format.
+// repo's BENCH_*.json perf-trajectory format. The query_p* fields are
+// FIRST-ATTEMPT latencies (what one daemon round trip cost); the
+// query_total_p* fields include router-mode retries and their backoff
+// sleeps (what the client actually waited). Against a single daemon the
+// two families coincide.
 type replayResult struct {
-	Dataset        string         `json:"dataset"`
-	N              int            `json:"n"`
-	Dim            int            `json:"dim"`
-	Backend        string         `json:"backend,omitempty"`
-	Routers        int            `json:"routers,omitempty"`
-	Wire           string         `json:"wire"`
-	Tenants        int            `json:"tenants"`
-	Producers      int            `json:"producers"`
-	Batch          int            `json:"batch"`
-	WallSeconds    float64        `json:"wall_seconds"`
-	Ingested       int64          `json:"ingested"`
-	IngestRequests int64          `json:"ingest_requests"`
-	PointsPerSec   float64        `json:"points_per_sec"`
-	Throttled      int64          `json:"throttled"`
-	Queries        int64          `json:"queries"`
-	QueryP50Ms     float64        `json:"query_p50_ms"`
-	QueryP95Ms     float64        `json:"query_p95_ms"`
-	QueryMaxMs     float64        `json:"query_max_ms"`
-	Errors         int64          `json:"errors"`
-	FirstError     string         `json:"first_error,omitempty"`
-	PerTenant      []tenantResult `json:"per_tenant,omitempty"`
-	UnixTime       int64          `json:"unix_time"`
+	Dataset         string         `json:"dataset"`
+	N               int            `json:"n"`
+	Dim             int            `json:"dim"`
+	Backend         string         `json:"backend,omitempty"`
+	Routers         int            `json:"routers,omitempty"`
+	Wire            string         `json:"wire"`
+	Tenants         int            `json:"tenants"`
+	Producers       int            `json:"producers"`
+	Batch           int            `json:"batch"`
+	WallSeconds     float64        `json:"wall_seconds"`
+	Ingested        int64          `json:"ingested"`
+	IngestRequests  int64          `json:"ingest_requests"`
+	PointsPerSec    float64        `json:"points_per_sec"`
+	Throttled       int64          `json:"throttled"`
+	Queries         int64          `json:"queries"`
+	QueryP50Ms      float64        `json:"query_p50_ms"`
+	QueryP95Ms      float64        `json:"query_p95_ms"`
+	QueryMaxMs      float64        `json:"query_max_ms"`
+	QueryTotalP50Ms float64        `json:"query_total_p50_ms"`
+	QueryTotalP95Ms float64        `json:"query_total_p95_ms"`
+	QueryTotalMaxMs float64        `json:"query_total_max_ms"`
+	SlowestQueries  []slowEntry    `json:"slowest_queries,omitempty"`
+	SlowestIngests  []slowEntry    `json:"slowest_ingests,omitempty"`
+	Errors          int64          `json:"errors"`
+	FirstError      string         `json:"first_error,omitempty"`
+	PerTenant       []tenantResult `json:"per_tenant,omitempty"`
+	UnixTime        int64          `json:"unix_time"`
+}
+
+// slowCap is how many slowest queries/ingests the artifact names.
+const slowCap = 5
+
+// topSlow keeps the slowCap slowest requests seen so far, slowest
+// first. Producers hit it once per request, so it stays a small sorted
+// slice under one mutex rather than a heap.
+type topSlow struct {
+	mu      sync.Mutex
+	entries []slowEntry
+}
+
+func (t *topSlow) add(traceID, stream string, ms float64) {
+	if stream == "" {
+		stream = "(default)"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].Ms < ms })
+	if i >= slowCap {
+		return
+	}
+	t.entries = append(t.entries, slowEntry{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = slowEntry{TraceID: traceID, Stream: stream, Ms: ms}
+	if len(t.entries) > slowCap {
+		t.entries = t.entries[:slowCap]
+	}
+}
+
+func (t *topSlow) list() []slowEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]slowEntry(nil), t.entries...)
 }
 
 // replayStats aggregates what the producers and the querier observed.
@@ -125,13 +181,16 @@ type replayStats struct {
 	throttled atomic.Int64
 	queries   atomic.Int64
 	mu        sync.Mutex
-	queryMs   []float64
+	queryMs   []float64 // first-attempt latency per successful query
+	queryTot  []float64 // total latency incl. router-mode retries/backoff
 	firstErr  atomic.Pointer[error]
 	errorsHit atomic.Int64
 	abort     chan struct{} // closed on the first request error
 	abortOnce sync.Once
 
-	perTenant []tenantCounters
+	slowQueries topSlow
+	slowIngests topSlow
+	perTenant   []tenantCounters
 }
 
 type tenantCounters struct {
@@ -223,7 +282,7 @@ func runReplay(rc replayConfig) error {
 				}
 				if st.ingested.Load() >= next {
 					next += rc.queryEvery
-					queryCenters(client, rc, tenantPath(rc.base(tenant), rc.tenantName(tenant), "/centers"), st, false)
+					queryCenters(client, rc, tenantPath(rc.base(tenant), rc.tenantName(tenant), "/centers"), rc.tenantName(tenant), st, false)
 					tenant = (tenant + 1) % rc.tenants
 				} else {
 					time.Sleep(2 * time.Millisecond)
@@ -264,7 +323,7 @@ func runReplay(rc replayConfig) error {
 				var retryAfter time.Duration
 				for attempt := 0; attempt < rc.maxAttempts(); attempt++ {
 					url := tenantPath(rc.base(int(reqSeq.Add(1))), rc.tenantName(j.tenant), "/ingest")
-					retryAfter, err = postBatch(client, url, rc.binaryWire(), j.pts, st, j.tenant)
+					retryAfter, err = postBatch(client, url, rc.tenantName(j.tenant), rc.binaryWire(), j.pts, st, j.tenant)
 					if err == nil || !rc.routerMode() || !errors.Is(err, errTransient) {
 						break
 					}
@@ -321,7 +380,7 @@ func runReplay(rc replayConfig) error {
 		var count int64
 		var k int
 		if !aborted {
-			count, k = queryCenters(client, rc, tenantPath(rc.base(tn), rc.tenantName(tn), "/centers"), st, true)
+			count, k = queryCenters(client, rc, tenantPath(rc.base(tn), rc.tenantName(tn), "/centers"), rc.tenantName(tn), st, true)
 		}
 		name := rc.tenantName(tn)
 		if name == "" {
@@ -340,7 +399,12 @@ func runReplay(rc replayConfig) error {
 	res.QueryP50Ms = metrics.Percentile(st.queryMs, 0.5)
 	res.QueryP95Ms = metrics.Percentile(st.queryMs, 0.95)
 	res.QueryMaxMs = metrics.Percentile(st.queryMs, 1)
+	res.QueryTotalP50Ms = metrics.Percentile(st.queryTot, 0.5)
+	res.QueryTotalP95Ms = metrics.Percentile(st.queryTot, 0.95)
+	res.QueryTotalMaxMs = metrics.Percentile(st.queryTot, 1)
 	st.mu.Unlock()
+	res.SlowestQueries = st.slowQueries.list()
+	res.SlowestIngests = st.slowIngests.list()
 	res.Errors = st.errorsHit.Load()
 	if ep := st.firstErr.Load(); ep != nil {
 		res.FirstError = (*ep).Error()
@@ -499,8 +563,10 @@ func (rc replayConfig) maxAttempts() int {
 // postBatch posts one ingest batch — ndjson or binary columnar — to an
 // ingest endpoint and accounts the daemon-acknowledged point count. On a
 // refusal it also returns the server's Retry-After hint (zero if none)
-// so the caller's backoff can honor it.
-func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Point, st *replayStats, tenant int) (time.Duration, error) {
+// so the caller's backoff can honor it. Every request carries a fresh
+// traceparent, so its server-side span is addressable in /debug/traces;
+// the slowest acknowledged batches land in the slowest_ingests artifact.
+func postBatch(client *http.Client, url, stream string, binaryWire bool, pts []geom.Point, st *replayStats, tenant int) (time.Duration, error) {
 	var reqBody io.Reader
 	contentType := "application/x-ndjson"
 	if binaryWire {
@@ -524,7 +590,15 @@ func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Poin
 		}
 		reqBody = &buf
 	}
-	resp, err := client.Post(url, contentType, reqBody)
+	req, err := http.NewRequest(http.MethodPost, url, reqBody)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	tid := trace.NewTraceID()
+	req.Header.Set(trace.Header, trace.Format(tid, trace.NewSpanID(), 1))
+	t0 := time.Now()
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}
@@ -555,47 +629,75 @@ func postBatch(client *http.Client, url string, binaryWire bool, pts []geom.Poin
 	st.requests.Add(1)
 	st.perTenant[tenant].ingested.Add(body.Ingested)
 	st.perTenant[tenant].requests.Add(1)
+	st.slowIngests.add(tid.String(), stream, float64(time.Since(t0).Microseconds())/1e3)
 	return 0, nil
 }
 
 // queryCenters hits a centers endpoint (optionally forcing a cache
 // refresh) and records latency; it returns the reported count and center
 // count for final per-tenant accounting. In router mode a transiently
-// refused query (tenant mid-handoff) is skipped, not fatal.
-func queryCenters(client *http.Client, rc replayConfig, url string, st *replayStats, refresh bool) (int64, int) {
+// refused query (tenant mid-handoff, daemon mid-restart, quota throttle)
+// is retried with the same backoff contract as ingest; the first
+// attempt's latency and the total wall time including retries are
+// recorded separately. Each attempt carries a fresh traceparent; the
+// successful attempt's trace id feeds the slowest_queries artifact.
+func queryCenters(client *http.Client, rc replayConfig, url, stream string, st *replayStats, refresh bool) (int64, int) {
 	if refresh {
 		url += "?refresh=1"
 	}
 	t0 := time.Now()
-	resp, err := client.Get(url)
-	if err != nil {
-		st.fail(err)
-		return 0, 0
-	}
-	defer resp.Body.Close()
-	if rc.routerMode() && transientStatus(resp.StatusCode) {
-		io.Copy(io.Discard, resp.Body)
-		return 0, 0
-	}
-	var body struct {
-		Count   int64       `json:"count"`
-		Centers [][]float64 `json:"centers"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || resp.StatusCode != http.StatusOK {
-		st.fail(fmt.Errorf("centers status %d, err %v", resp.StatusCode, err))
-		return 0, 0
-	}
-	ms := float64(time.Since(t0).Microseconds()) / 1e3
-	if refresh {
-		// The final forced recomputation is not a serving-path query;
-		// keep it out of the cached-query latency statistics.
+	var firstMs float64
+	for attempt := 0; ; attempt++ {
+		tid := trace.NewTraceID()
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			st.fail(err)
+			return 0, 0
+		}
+		req.Header.Set(trace.Header, trace.Format(tid, trace.NewSpanID(), 1))
+		ta := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			st.fail(err)
+			return 0, 0
+		}
+		if attempt == 0 {
+			firstMs = float64(time.Since(ta).Microseconds()) / 1e3
+		}
+		if rc.routerMode() && transientStatus(resp.StatusCode) {
+			retryAfter := parseRetryAfter(resp.Header)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if attempt+1 >= rc.maxAttempts() {
+				return 0, 0 // tenant stuck mid-handoff; skip, not fatal
+			}
+			time.Sleep(retryBackoff(retryAfter))
+			continue
+		}
+		var body struct {
+			Count   int64       `json:"count"`
+			Centers [][]float64 `json:"centers"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			st.fail(fmt.Errorf("centers status %d, err %v", resp.StatusCode, decErr))
+			return 0, 0
+		}
+		if refresh {
+			// The final forced recomputation is not a serving-path query;
+			// keep it out of the cached-query latency statistics.
+			return body.Count, len(body.Centers)
+		}
+		totalMs := float64(time.Since(t0).Microseconds()) / 1e3
+		st.queries.Add(1)
+		st.mu.Lock()
+		st.queryMs = append(st.queryMs, firstMs)
+		st.queryTot = append(st.queryTot, totalMs)
+		st.mu.Unlock()
+		st.slowQueries.add(tid.String(), stream, totalMs)
 		return body.Count, len(body.Centers)
 	}
-	st.queries.Add(1)
-	st.mu.Lock()
-	st.queryMs = append(st.queryMs, ms)
-	st.mu.Unlock()
-	return body.Count, len(body.Centers)
 }
 
 // printServerStats dumps the daemon's /stats JSON, indented.

@@ -1,3 +1,15 @@
+// Command streamkm-router fronts a fleet of streamkmd daemons with a
+// consistent-hash ring: per-stream requests proxy to the owning daemon,
+// fleet-wide views merge, and membership changes migrate tenants over
+// the daemons' snapshot endpoints (see internal/ring).
+//
+// Observability mirrors the daemon: structured JSON logs (log/slog) on
+// stderr; every proxied request runs in a span whose traceparent is
+// forwarded upstream (the router span becomes the daemon span's
+// parent, so one trace id covers both hops); GET /debug/traces serves
+// the recent/slowest span ring; -slow-request D logs requests at or
+// over D with their dominant stage (typically proxy-hop); -debug-addr
+// serves net/http/pprof on its own listener, never on the proxy mux.
 package main
 
 import (
@@ -5,8 +17,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -25,6 +38,8 @@ type options struct {
 	rebalance   time.Duration
 	bootSync    bool
 	bootRetries int
+	slowRequest time.Duration
+	debugAddr   string
 }
 
 // parseMembers turns "a=http://h1:7070,b=http://h2:7070" into members.
@@ -60,10 +75,23 @@ func build(o options) (*ring.Proxy, error) {
 		o.timeout = 30 * time.Second
 	}
 	return ring.NewProxy(ring.ProxyConfig{
-		Members:  members,
-		Replicas: o.replicas,
-		Client:   &http.Client{Timeout: o.timeout},
+		Members:     members,
+		Replicas:    o.replicas,
+		Client:      &http.Client{Timeout: o.timeout},
+		SlowRequest: o.slowRequest,
 	})
+}
+
+// debugMux builds the pprof-only mux served on -debug-addr, kept off the
+// proxy mux so profiling is never reachable through the data port.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func main() {
@@ -75,7 +103,12 @@ func main() {
 	flag.DurationVar(&o.rebalance, "rebalance-interval", 0, "periodically retry pending handoffs and clean stale copies (0 = only on membership changes and POST /cluster/rebalance)")
 	flag.BoolVar(&o.bootSync, "sync-on-boot", true, "reconcile tenant placement with the fleet before serving (retries until the daemons answer; refuses to start if they never do)")
 	flag.IntVar(&o.bootRetries, "sync-retries", 30, "boot reconciliation attempts, 2s apart, before refusing to start")
+	flag.DurationVar(&o.slowRequest, "slow-request", 0, "log one structured record per proxied request slower than this, with its dominant stage (0 = disabled)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (never on the proxy mux; empty = disabled)")
 	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	p, err := build(o)
 	if err != nil {
@@ -83,8 +116,18 @@ func main() {
 		os.Exit(2)
 	}
 	st := p.Ring().State()
-	log.Printf("streamkm-router: ring v%d over %d members (%d vnodes each) on %s",
-		st.Version, len(st.Members), p.Ring().Replicas(), o.addr)
+	logger.Info("ring ready",
+		"version", st.Version, "members", len(st.Members),
+		"replicas", p.Ring().Replicas(), "addr", o.addr)
+
+	if o.debugAddr != "" {
+		go func() {
+			logger.Info("serving pprof", "debug_addr", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, debugMux()); err != nil {
+				logger.Error("debug listener failed", "debug_addr", o.debugAddr, "error", err)
+			}
+		}()
+	}
 
 	if o.bootSync {
 		// Placement is learned, not assumed: reconcile with what the
@@ -100,16 +143,17 @@ func main() {
 		for i := 0; i < o.bootRetries; i++ {
 			rep, err := p.Rebalance(context.Background())
 			if err == nil && len(rep.ListFailed) == 0 {
-				log.Printf("streamkm-router: boot sync: %d tenants, %d moved, %d pending",
-					rep.Tenants, len(rep.Moved), len(rep.Pending))
+				logger.Info("boot sync complete",
+					"tenants", rep.Tenants, "moved", len(rep.Moved), "pending", len(rep.Pending))
 				synced = true
 				break
 			}
 			if err != nil {
-				log.Printf("streamkm-router: boot sync attempt %d/%d: %v", i+1, o.bootRetries, err)
+				logger.Warn("boot sync attempt failed",
+					"attempt", i+1, "attempts", o.bootRetries, "error", err)
 			} else {
-				log.Printf("streamkm-router: boot sync attempt %d/%d: daemons unreachable: %v",
-					i+1, o.bootRetries, rep.ListFailed)
+				logger.Warn("boot sync attempt failed: daemons unreachable",
+					"attempt", i+1, "attempts", o.bootRetries, "unreachable", rep.ListFailed)
 			}
 			time.Sleep(2 * time.Second)
 		}
@@ -129,7 +173,7 @@ func main() {
 				case <-ticker.C:
 					if rep, err := p.Rebalance(context.Background()); err == nil &&
 						(len(rep.Moved) > 0 || len(rep.Pending) > 0) {
-						log.Printf("streamkm-router: rebalance: moved %d, pending %d", len(rep.Moved), len(rep.Pending))
+						logger.Info("rebalance tick", "moved", len(rep.Moved), "pending", len(rep.Pending))
 					}
 				case <-done:
 					return
@@ -141,7 +185,8 @@ func main() {
 	hs := &http.Server{Addr: o.addr, Handler: p.Handler()}
 	go func() {
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("streamkm-router: %v", err)
+			logger.Error("listen failed", "addr", o.addr, "error", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -149,10 +194,10 @@ func main() {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
 	close(done)
-	log.Printf("streamkm-router: shutting down")
+	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("streamkm-router: shutdown: %v", err)
+		logger.Error("shutdown failed", "error", err)
 	}
 }

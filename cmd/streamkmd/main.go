@@ -52,6 +52,15 @@
 // restored transparently on its next request. Checkpoint writes are
 // atomic (temp file + fsync + rename); a crash mid-write never corrupts
 // the previous checkpoint.
+//
+// Observability: logs are structured JSON (log/slog) on stderr. Every
+// request runs in a span (W3C traceparent joined when the header is
+// present and valid, minted otherwise) with per-stage latency timers;
+// GET /debug/traces serves the bounded in-memory ring of recent and
+// slowest spans. -slow-request D emits one WARN record per request at
+// or over D, naming the dominant stage. -debug-addr serves
+// net/http/pprof on its own listener, never on the serving mux. See
+// the internal/server package documentation for the full contract.
 package main
 
 import (
@@ -60,8 +69,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -98,6 +108,8 @@ type options struct {
 	maxStreams    int
 	streamTTL     time.Duration
 	defaultStream string
+	slowRequest   time.Duration
+	debugAddr     string
 
 	pointsPerSec   float64
 	bytesPerSec    float64
@@ -201,8 +213,22 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 		MaxBatch:      o.maxBatch,
 		MaxBodyBytes:  o.maxBody,
 		MaxPoints:     o.maxPoints,
+		SlowRequest:   o.slowRequest,
 	})
 	return reg, srv, nil
+}
+
+// debugMux builds the pprof-only mux served on -debug-addr. The profiles
+// are deliberately kept off the serving mux: exposing them on the data
+// port would let any tenant trigger CPU profiling of the daemon.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // validateDefault cross-checks the materialized default stream against
@@ -263,10 +289,15 @@ func main() {
 	flag.Int64Var(&o.maxResBytes, "max-resident-bytes", 0, "default per-stream cap on resident stored-point bytes, 429 beyond (0 = unlimited)")
 	flag.IntVar(&o.thrashRestores, "thrash-restores", 0, "shed accesses with 429 once a stream restores this many times within -thrash-window (0 = never shed)")
 	flag.DurationVar(&o.thrashWindow, "thrash-window", time.Minute, "window for -thrash-restores churn detection")
+	flag.DurationVar(&o.slowRequest, "slow-request", 0, "log one structured record per request slower than this, with its dominant stage (0 = disabled)")
+	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (never on the serving mux; empty = disabled)")
 	flag.Parse()
 	if o.shards < 1 {
 		o.shards = runtime.GOMAXPROCS(0) // mirror build's default for accurate logs
 	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	slog.SetDefault(logger)
 
 	reg, srv, err := build(o)
 	if err != nil {
@@ -276,19 +307,30 @@ func main() {
 	st := reg.Stats()
 	if o.persistent() && st.Streams > 0 {
 		if in, err := reg.Stat(o.defaultStream); err == nil && in.Count > 0 {
-			log.Printf("streamkmd: restored %d points into stream %q", in.Count, o.defaultStream)
+			logger.Info("restored default stream", "stream", o.defaultStream, "points", in.Count)
 		}
 		if st.Streams > 1 {
-			log.Printf("streamkmd: registered %d streams from disk (%d resident)", st.Streams, st.Resident)
+			logger.Info("registered streams from disk", "streams", st.Streams, "resident", st.Resident)
 		}
 	}
 	hs := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 
+	if o.debugAddr != "" {
+		go func() {
+			logger.Info("serving pprof", "debug_addr", o.debugAddr)
+			if err := http.ListenAndServe(o.debugAddr, debugMux()); err != nil {
+				logger.Error("debug listener failed", "debug_addr", o.debugAddr, "error", err)
+			}
+		}()
+	}
+
 	go func() {
-		log.Printf("streamkmd: serving %s %s/k=%d x %d shards per stream on %s (default stream %q, max resident %d)",
-			o.backend, o.algo, o.k, o.shards, o.addr, o.defaultStream, o.maxStreams)
+		logger.Info("serving",
+			"backend", o.backend, "algo", o.algo, "k", o.k, "shards", o.shards,
+			"addr", o.addr, "default_stream", o.defaultStream, "max_resident", o.maxStreams)
 		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("streamkmd: %v", err)
+			logger.Error("listen failed", "addr", o.addr, "error", err)
+			os.Exit(1)
 		}
 	}()
 
@@ -301,11 +343,11 @@ func main() {
 				select {
 				case <-ticker.C:
 					if n := reg.Sweep(); n > 0 {
-						log.Printf("streamkmd: hibernated %d idle streams", n)
+						logger.Info("hibernated idle streams", "streams", n)
 					}
 					// Dirty resident streams only; idle ones cost nothing.
 					if err := reg.CheckpointAll(); err != nil {
-						log.Printf("streamkmd: checkpoint: %v", err)
+						logger.Error("periodic checkpoint failed", "error", err)
 					}
 				case <-done:
 					return
@@ -319,19 +361,19 @@ func main() {
 	<-stop
 	close(done)
 	st = reg.Stats()
-	log.Printf("streamkmd: shutting down (%d streams, %d resident)", st.Streams, st.Resident)
+	logger.Info("shutting down", "streams", st.Streams, "resident", st.Resident)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
-		log.Printf("streamkmd: shutdown: %v", err)
+		logger.Error("shutdown failed", "error", err)
 	}
 	// Final checkpoint after the listener has drained, so the files hold
 	// every point any client got an ack for.
 	if o.persistent() {
 		if err := reg.CheckpointAll(); err != nil {
-			log.Printf("streamkmd: final checkpoint: %v", err)
+			logger.Error("final checkpoint failed", "error", err)
 		} else {
-			log.Printf("streamkmd: final checkpoint complete")
+			logger.Info("final checkpoint complete")
 		}
 	}
 }

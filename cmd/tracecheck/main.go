@@ -1,0 +1,189 @@
+// Command tracecheck is the CI gate for the /debug/traces rings: it
+// fetches the recent-span dump from one or more streamkm daemons or
+// routers after a load run and fails on span-shape invariant
+// violations —
+//
+//   - unterminated spans (the ring's started counter outruns completed),
+//   - non-positive span durations or stage durations (a stage is only
+//     recorded when its code path ran, and every recording is floored at
+//     a strictly positive value — zero or negative means the clock math
+//     regressed),
+//   - malformed trace/span ids.
+//
+// Given a streambench JSON artifact it also cross-checks liveness of the
+// trace plumbing end to end: every slowest_queries trace id the bench
+// client stamped into a traceparent header must appear in the union of
+// the scraped rings. A miss means requests stopped carrying or recording
+// trace context — exactly the silent regression this gate exists to
+// catch. (Ingest trace ids are not cross-checked: high-volume replays
+// can legitimately evict old ingest spans from the bounded ring, while
+// the slowest queries are pinned in the recorders' slowest lists.)
+//
+// Usage:
+//
+//	tracecheck -traces http://localhost:7070/debug/traces[,http://localhost:7090/debug/traces] [-bench streambench.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"time"
+)
+
+func main() {
+	var urls, bench string
+	flag.StringVar(&urls, "traces", "", "comma-separated /debug/traces URLs to fetch and validate (required)")
+	flag.StringVar(&bench, "bench", "", "streambench JSON result whose slowest_queries trace ids must appear in the scraped rings (optional)")
+	flag.Parse()
+	if urls == "" {
+		fmt.Fprintln(os.Stderr, "tracecheck: -traces is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(strings.Split(urls, ","), bench); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+// span mirrors trace.SpanData's JSON shape.
+type span struct {
+	TraceID string  `json:"trace_id"`
+	SpanID  string  `json:"span_id"`
+	Name    string  `json:"endpoint"`
+	DurMs   float64 `json:"duration_ms"`
+	Stages  []struct {
+		Name string  `json:"name"`
+		Ms   float64 `json:"ms"`
+	} `json:"stages"`
+}
+
+// dump mirrors the /debug/traces response envelope.
+type dump struct {
+	Started   int64  `json:"started"`
+	Completed int64  `json:"completed"`
+	Spans     []span `json:"spans"`
+}
+
+var (
+	traceIDRe = regexp.MustCompile(`^[0-9a-f]{32}$`)
+	spanIDRe  = regexp.MustCompile(`^[0-9a-f]{16}$`)
+)
+
+func run(urls []string, benchPath string) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	seen := make(map[string]bool) // trace ids across every scraped ring
+	for _, u := range urls {
+		u = strings.TrimSpace(u)
+		if u == "" {
+			continue
+		}
+		d, err := fetch(client, u)
+		if err != nil {
+			return err
+		}
+		if err := validate(u, d); err != nil {
+			return err
+		}
+		for _, s := range d.Spans {
+			seen[s.TraceID] = true
+		}
+		fmt.Printf("tracecheck: %s: %d spans ok (%d started, %d completed)\n",
+			u, len(d.Spans), d.Started, d.Completed)
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("no spans fetched from %v", urls)
+	}
+	if benchPath == "" {
+		return nil
+	}
+	return crossCheck(seen, benchPath)
+}
+
+// fetch pulls one ring dump; limit=0 asks the handler for every span it
+// holds, so the cross-check sees the full recent window plus the pinned
+// slowest list.
+func fetch(client *http.Client, url string) (dump, error) {
+	sep := "?"
+	if strings.Contains(url, "?") {
+		sep = "&"
+	}
+	resp, err := client.Get(url + sep + "limit=0")
+	if err != nil {
+		return dump{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return dump{}, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	var d dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return dump{}, fmt.Errorf("%s: decode: %v", url, err)
+	}
+	return d, nil
+}
+
+// validate enforces the span-shape invariants on one ring dump.
+func validate(url string, d dump) error {
+	if d.Started != d.Completed {
+		return fmt.Errorf("%s: %d unterminated spans (%d started, %d completed) — a handler is not ending its span",
+			url, d.Started-d.Completed, d.Started, d.Completed)
+	}
+	for _, s := range d.Spans {
+		if !traceIDRe.MatchString(s.TraceID) {
+			return fmt.Errorf("%s: span %q has malformed trace id %q", url, s.Name, s.TraceID)
+		}
+		if !spanIDRe.MatchString(s.SpanID) {
+			return fmt.Errorf("%s: trace %s has malformed span id %q", url, s.TraceID, s.SpanID)
+		}
+		if s.DurMs <= 0 {
+			return fmt.Errorf("%s: trace %s span %q has non-positive duration %vms", url, s.TraceID, s.Name, s.DurMs)
+		}
+		for _, st := range s.Stages {
+			if st.Ms <= 0 {
+				return fmt.Errorf("%s: trace %s span %q stage %q has non-positive duration %vms",
+					url, s.TraceID, s.Name, st.Name, st.Ms)
+			}
+		}
+	}
+	return nil
+}
+
+// benchResult is the slice of the streambench JSON artifact the gate
+// reads.
+type benchResult struct {
+	SlowestQueries []struct {
+		TraceID string  `json:"trace_id"`
+		Stream  string  `json:"stream"`
+		Ms      float64 `json:"ms"`
+	} `json:"slowest_queries"`
+}
+
+// crossCheck requires every slowest-query trace id from the bench
+// artifact to appear in the union of the scraped rings.
+func crossCheck(seen map[string]bool, benchPath string) error {
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		return err
+	}
+	var b benchResult
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return fmt.Errorf("parse %s: %v", benchPath, err)
+	}
+	if len(b.SlowestQueries) == 0 {
+		return fmt.Errorf("%s: no slowest_queries entries to cross-check", benchPath)
+	}
+	for _, q := range b.SlowestQueries {
+		if !seen[q.TraceID] {
+			return fmt.Errorf("%s: slowest query trace %s (stream %s, %.1fms) missing from every scraped ring — trace context is not reaching the servers",
+				benchPath, q.TraceID, q.Stream, q.Ms)
+		}
+	}
+	fmt.Printf("tracecheck: all %d slowest-query trace ids found in the rings\n", len(b.SlowestQueries))
+	return nil
+}

@@ -84,10 +84,24 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// topFiniteBoundSeconds is the largest finite bucket bound in seconds —
+// the documented ceiling for every Quantile estimate.
+func topFiniteBoundSeconds() float64 {
+	return float64(latencyBucketsNs[len(latencyBucketsNs)-1]) / 1e9
+}
+
 // Quantile estimates the q-quantile (0 <= q <= 1) in seconds by linear
-// interpolation within the containing bucket; observations in the +Inf
-// bucket report the largest finite bound. Returns 0 for an empty
+// interpolation within the containing bucket. Returns 0 for an empty
 // histogram.
+//
+// The +Inf overflow bucket has no finite upper edge to interpolate
+// toward, so a quantile landing there reports the largest finite bound
+// (10s with the default ladder) rather than inventing a value —
+// Quantile deliberately saturates, and callers comparing against an SLO
+// above the top bound must use the raw +Inf bucket count instead. The
+// same cap applies when a torn Snapshot (fields are individually, not
+// jointly, consistent) carries a Count exceeding its bucket sum: the
+// scan runs off the end and saturates instead of extrapolating.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 {
 		return 0
@@ -101,7 +115,7 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	target := q * float64(s.Count)
 	var cum, lower float64
 	for i, n := range s.Buckets {
-		upper := float64(latencyBucketsNs[len(latencyBucketsNs)-1]) / 1e9
+		upper := topFiniteBoundSeconds()
 		if i < len(latencyBucketsNs) {
 			upper = float64(latencyBucketsNs[i]) / 1e9
 		}
@@ -116,5 +130,5 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 		cum = next
 		lower = upper
 	}
-	return float64(latencyBucketsNs[len(latencyBucketsNs)-1]) / 1e9
+	return topFiniteBoundSeconds()
 }

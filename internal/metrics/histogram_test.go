@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the documented saturation contract of Quantile: a
+// quantile landing in the +Inf overflow bucket — or chasing a torn
+// snapshot whose Count exceeds its bucket sum — reports the largest
+// finite bucket bound (10s), never an extrapolated value.
+
+func TestQuantileInfBucketReturnsTopFiniteBound(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(30 * time.Second) // beyond the 10s top bound
+	}
+	s := h.Snapshot()
+	if got := s.Buckets[len(s.Buckets)-1]; got != 100 {
+		t.Fatalf("+Inf bucket = %d, want 100", got)
+	}
+	top := topFiniteBoundSeconds()
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != top {
+			t.Errorf("Quantile(%v) = %v, want top finite bound %v", q, got, top)
+		}
+	}
+}
+
+func TestQuantileInfTailSaturatesMixedHistogram(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(800 * time.Microsecond) // (0.5ms, 1ms] bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Minute) // +Inf bucket
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 <= 0.0005 || p50 > 0.001 {
+		t.Errorf("p50 = %v, want interpolated within (0.0005, 0.001]", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 != topFiniteBoundSeconds() {
+		t.Errorf("p99 = %v, want saturation at %v", p99, topFiniteBoundSeconds())
+	}
+}
+
+func TestQuantileTornSnapshotCountSaturates(t *testing.T) {
+	// Snapshot fields are individually, not jointly, consistent: a racing
+	// Observe can leave Count larger than the bucket sum. The quantile
+	// target then overruns the cumulative scan; the contract is to
+	// saturate at the top finite bound, not extrapolate or panic.
+	var s HistogramSnapshot
+	s.Buckets[0] = 5
+	s.Count = 1000 // vastly exceeds the bucket sum
+	if got := s.Quantile(0.99); got != topFiniteBoundSeconds() {
+		t.Errorf("torn-snapshot Quantile(0.99) = %v, want %v", got, topFiniteBoundSeconds())
+	}
+}
+
+func TestQuantileEmptyHistogramIsZero(t *testing.T) {
+	var s HistogramSnapshot
+	if got := s.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}

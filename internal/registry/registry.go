@@ -25,6 +25,7 @@
 package registry
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -38,6 +39,7 @@ import (
 
 	"streamkm/internal/metrics"
 	"streamkm/internal/persist"
+	"streamkm/internal/trace"
 	"streamkm/internal/wire"
 )
 
@@ -395,6 +397,16 @@ func (r *Registry) lookup(id string, create bool) (*Stream, error) {
 // is enforced, which may hibernate some other least-recently-used
 // stream.
 func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) error) error {
+	return r.WithContext(context.Background(), id, create, fn)
+}
+
+// WithContext is With joining the request's trace: when ctx carries a
+// span (internal/trace), time spent acquiring the stream's lock is
+// recorded as its lock-wait stage and a cold restore from the snapshot
+// file as its restore stage — the two costs a caller cannot see from
+// the outside.
+func (r *Registry) WithContext(ctx context.Context, id string, create bool, fn func(s *Stream, b Backend) error) error {
+	sp := trace.FromContext(ctx)
 	for {
 		e, err := r.lookup(id, create)
 		if err != nil {
@@ -404,7 +416,9 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 		touch()
 
 		// Fast path: already resident, shared lock only.
+		t0 := r.cfg.now()
 		e.mu.RLock()
+		sp.RecordStage("lock-wait", r.cfg.now().Sub(t0))
 		if e.deleted {
 			e.mu.RUnlock()
 			continue // entry was deleted under us; re-resolve the id
@@ -423,7 +437,9 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 		e.mu.RUnlock()
 
 		// Slow path: materialize under the exclusive lock.
+		t0 = r.cfg.now()
 		e.mu.Lock()
+		sp.RecordStage("lock-wait", r.cfg.now().Sub(t0))
 		if e.deleted {
 			e.mu.Unlock()
 			continue
@@ -439,7 +455,7 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 				e.mu.Unlock()
 				return err
 			}
-			if b, err = r.materialize(e); err != nil {
+			if b, err = r.materialize(e, sp); err != nil {
 				e.mu.Unlock()
 				return err
 			}
@@ -458,7 +474,7 @@ func (r *Registry) With(id string, create bool, fn func(s *Stream, b Backend) er
 // backend always wins over both: it may hold acknowledged points newer
 // than any checkpoint (e.g. a lazy ingest racing an explicit Create),
 // so it is never rebuilt over.
-func (r *Registry) materialize(e *Stream) (Backend, error) {
+func (r *Registry) materialize(e *Stream, sp *trace.Span) (Backend, error) {
 	if e.backend != nil {
 		return e.backend, nil
 	}
@@ -475,7 +491,9 @@ func (r *Registry) materialize(e *Stream) (Backend, error) {
 				want = e.cfg
 			}
 			var cfg StreamConfig
+			endRestore := sp.StartStage("restore")
 			b, cfg, err = r.cfg.Restore(e.id, want, f)
+			endRestore()
 			f.Close()
 			if err != nil {
 				return nil, fmt.Errorf("registry: restore %s: %w", e.path, err)
@@ -728,7 +746,7 @@ func (r *Registry) Create(id string, cfg StreamConfig) error {
 			e.mu.Unlock()
 			continue
 		}
-		_, err := r.materialize(e)
+		_, err := r.materialize(e, nil)
 		if err != nil {
 			// Mark the entry dead under the same lock hold, so a waiter
 			// that grabbed it from the map before we unmap it re-resolves
@@ -828,7 +846,7 @@ func (r *Registry) Detach(id, newOwner string) (string, error) {
 			// Registered but never materialized and never checkpointed:
 			// build the (empty or default) backend so the hibernation below
 			// leaves a valid snapshot for the new owner to restore.
-			if _, err := r.materialize(e); err != nil {
+			if _, err := r.materialize(e, nil); err != nil {
 				return "", err
 			}
 		}
@@ -911,7 +929,7 @@ func (r *Registry) Install(id string, src io.Reader) error {
 		}); err != nil {
 			return fmt.Errorf("registry: install %q: %w", id, err)
 		}
-		if _, err := r.materialize(e); err != nil {
+		if _, err := r.materialize(e, nil); err != nil {
 			os.Remove(path) // refused envelope; leave no trace
 			return err
 		}

@@ -442,7 +442,7 @@ func TestCreateDoesNotClobberRacedLazyBackend(t *testing.T) {
 	e := r.streams["s"]
 	r.mu.Unlock()
 	e.mu.Lock()
-	if _, err := r.materialize(e); err != nil { // the call Create makes
+	if _, err := r.materialize(e, nil); err != nil { // the call Create makes
 		e.mu.Unlock()
 		t.Fatal(err)
 	}

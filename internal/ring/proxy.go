@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -14,6 +15,7 @@ import (
 	"streamkm/internal/metrics"
 	"streamkm/internal/registry"
 	"streamkm/internal/server"
+	"streamkm/internal/trace"
 )
 
 // Member is one daemon in the fleet: a stable name (what the ring
@@ -33,6 +35,15 @@ type ProxyConfig struct {
 	Replicas int
 	// Client performs upstream requests; nil gets a 30s-timeout client.
 	Client *http.Client
+	// Trace receives one span per proxied request (plus migration spans)
+	// and serves GET /debug/traces. Nil allocates a private recorder.
+	Trace *trace.Recorder
+	// SlowRequest, when positive, emits one structured log record per
+	// proxied request slower than it.
+	SlowRequest time.Duration
+	// Logger receives slow-request and migration-failure records; nil
+	// uses slog.Default().
+	Logger *slog.Logger
 }
 
 // migration is one tenant handoff, in flight or pending retry.
@@ -62,6 +73,10 @@ type Proxy struct {
 	// proxyLatency distributes end-to-end per-stream forwarding time
 	// (routing decision + upstream round trip), served on /metrics.
 	proxyLatency metrics.Histogram
+
+	tr     *trace.Recorder
+	slow   time.Duration
+	logger *slog.Logger
 
 	mu        sync.RWMutex
 	ring      *Ring
@@ -100,6 +115,14 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	tr := cfg.Trace
+	if tr == nil {
+		tr = trace.NewRecorder(0, 0)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	p := &Proxy{
 		client:    client,
 		mux:       http.NewServeMux(),
@@ -108,6 +131,9 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		urls:      urls,
 		placement: make(map[string]string),
 		handoff:   make(map[string]migration),
+		tr:        tr,
+		slow:      cfg.SlowRequest,
+		logger:    logger,
 	}
 	p.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -116,6 +142,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	p.mux.HandleFunc("GET /ring", p.handleRing)
 	p.mux.HandleFunc("GET /stats", p.handleStats)
 	p.mux.HandleFunc("GET /metrics", p.handleMetrics)
+	p.mux.Handle("GET /debug/traces", p.tr.Handler())
 	p.mux.HandleFunc("GET /streams", p.handleList)
 	p.mux.HandleFunc("/streams/{id}", p.handleStream)
 	p.mux.HandleFunc("/streams/{id}/{endpoint...}", p.handleStream)
@@ -138,6 +165,9 @@ func (p *Proxy) Ring() *Ring {
 
 // Stats returns a snapshot of the router's counters.
 func (p *Proxy) Stats() metrics.RouterSnapshot { return p.stats.Snapshot() }
+
+// Traces returns the recorder behind GET /debug/traces.
+func (p *Proxy) Traces() *trace.Recorder { return p.tr }
 
 // memberURL resolves a member name, "" if unknown.
 func (p *Proxy) memberURL(name string) string {
@@ -171,15 +201,35 @@ func isWrite(method string) bool {
 // tenant, refusing writes while the tenant is mid-handoff.
 func (p *Proxy) handleStream(w http.ResponseWriter, r *http.Request) {
 	t0 := time.Now()
-	defer func() { p.proxyLatency.Observe(time.Since(t0)) }()
 	id := r.PathValue("id")
+	// The router either joins the client's trace (a valid traceparent
+	// header) or originates one; either way the daemon hop below joins
+	// the same trace, so one id follows the request end to end.
+	name := r.PathValue("endpoint")
+	if name == "" {
+		name = "stream"
+	}
+	tid, parent, _, _ := trace.Parse(r.Header.Get(trace.Header))
+	sp := p.tr.StartSpan(name, tid, parent)
+	sp.SetStream(id)
+	r = r.WithContext(trace.NewContext(r.Context(), sp))
+	defer func() {
+		d := time.Since(t0)
+		p.proxyLatency.Observe(d)
+		data := sp.End()
+		if p.slow > 0 && d >= p.slow {
+			trace.LogSlow(p.logger, data)
+		}
+	}()
 	member, inHandoff := p.route(id)
 	if inHandoff && isWrite(r.Method) {
 		p.stats.RecordRefusal()
+		sp.SetStatus(http.StatusServiceUnavailable)
 		p.refuse(w, id)
 		return
 	}
 	if member == "" {
+		sp.SetStatus(http.StatusServiceUnavailable)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
 			"error": "router has no members",
 		})
@@ -187,6 +237,7 @@ func (p *Proxy) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	url := p.memberURL(member)
 	if url == "" {
+		sp.SetStatus(http.StatusBadGateway)
 		writeJSON(w, http.StatusBadGateway, map[string]interface{}{
 			"error": fmt.Sprintf("no address for member %q", member),
 		})
@@ -211,17 +262,27 @@ func (p *Proxy) refuse(w http.ResponseWriter, id string) {
 // Retry-After a refused write gets, so clients need one retry loop, not
 // two.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, member, base string) {
+	sp := trace.FromContext(r.Context())
 	out, err := http.NewRequestWithContext(r.Context(), r.Method, base+r.URL.RequestURI(), r.Body)
 	if err != nil {
 		p.stats.RecordProxied(true)
+		sp.SetError(err)
 		writeJSON(w, http.StatusBadGateway, map[string]interface{}{"error": err.Error()})
 		return
 	}
 	out.Header = r.Header.Clone()
 	out.ContentLength = r.ContentLength
+	// Replace (not merely pass through) any client traceparent: same
+	// trace id, but the router's span becomes the daemon span's parent.
+	if tp := sp.Traceparent(); tp != "" {
+		out.Header.Set(trace.Header, tp)
+	}
+	endHop := sp.StartStage("proxy-hop")
 	resp, err := p.client.Do(out)
+	endHop()
 	if err != nil {
 		p.stats.RecordProxied(true)
+		sp.SetError(err)
 		writeJSON(w, http.StatusBadGateway, map[string]interface{}{
 			"error":  fmt.Sprintf("daemon %q unreachable: %v", member, err),
 			"daemon": member,
@@ -230,6 +291,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, member, base
 	}
 	defer resp.Body.Close()
 	p.stats.RecordProxied(false)
+	sp.SetStatus(resp.StatusCode)
 
 	if resp.StatusCode == http.StatusConflict && resp.Header.Get(server.OwnerHeader) != "" {
 		io.Copy(io.Discard, resp.Body)

@@ -6,11 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
+	"time"
 
 	"streamkm/internal/registry"
+	"streamkm/internal/trace"
 )
 
 // RebalanceReport summarizes one reconciliation pass.
@@ -184,7 +187,17 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			// at it) must be reattached, or it refuses traffic forever.
 			if auth.detached {
 				url := p.memberURL(desired)
-				if _, _, err := p.do(ctx, http.MethodPost, url+"/streams/"+id+"/reattach", nil); err != nil {
+				cs := p.tr.StartSpan("migrate:reattach-stranded", trace.TraceID{}, trace.SpanID{})
+				cs.SetStream(id)
+				_, _, err := p.do(trace.NewContext(ctx, cs), http.MethodPost, url+"/streams/"+id+"/reattach", nil)
+				cs.SetError(err)
+				data := cs.End()
+				if err != nil {
+					p.logger.LogAttrs(context.Background(), slog.LevelError, "stranded detach reattach failed",
+						slog.String("tenant", id),
+						slog.String("member", desired),
+						slog.String("trace_id", data.TraceID),
+						slog.String("error", err.Error()))
 					rep.Pending[id] = fmt.Sprintf("reattach on %s: %v", desired, err)
 					continue
 				}
@@ -246,6 +259,24 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 	p.mu.Unlock()
 	p.stats.RecordMigration(false)
 
+	// The whole handoff is one trace: a root "migrate" span plus one
+	// child span per protocol step, each carrying the trace id on its
+	// upstream request — a stuck handoff is inspectable from the
+	// router's /debug/traces and correlatable with the daemons'.
+	root := p.tr.StartSpan("migrate", trace.TraceID{}, trace.SpanID{})
+	root.SetStream(id)
+	rootTID, rootSID := root.IDs()
+	step := func(ctx context.Context, name string, run func(ctx context.Context) error) error {
+		cs := p.tr.StartSpan("migrate:"+name, rootTID, rootSID)
+		cs.SetStream(id)
+		t0 := time.Now()
+		err := run(trace.NewContext(ctx, cs))
+		cs.SetError(err)
+		cs.End()
+		root.RecordStage(name, time.Since(t0))
+		return err
+	}
+
 	fail := func(err error) error {
 		p.stats.RecordMigration(true)
 		// Abort: lift the freeze so the tenant serves from the source
@@ -256,7 +287,12 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 		// (operator's rebalance call timed out), the unfreeze still has
 		// to go out.
 		abortCtx := context.WithoutCancel(ctx)
-		if _, _, rerr := p.do(abortCtx, http.MethodPost, fromURL+"/streams/"+id+"/reattach", nil); rerr == nil {
+		rerr := step(abortCtx, "reattach", func(ctx context.Context) error {
+			_, _, err := p.do(ctx, http.MethodPost, fromURL+"/streams/"+id+"/reattach", nil)
+			return err
+		})
+		frozen := rerr != nil
+		if !frozen {
 			p.mu.Lock()
 			delete(p.handoff, id)
 			p.placement[id] = from
@@ -266,11 +302,29 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 			p.handoff[id] = migration{From: from, To: to, Err: err.Error()}
 			p.mu.Unlock()
 		}
+		root.SetError(err)
+		root.End()
+		// Partial-migration failures are the hardest incidents to
+		// reconstruct; log every coordinate of the abort as structured
+		// attrs. frozen_pending means even the reattach failed: the
+		// tenant stays refusing writes until a later rebalance.
+		p.logger.LogAttrs(context.Background(), slog.LevelError, "tenant migration failed",
+			slog.String("tenant", id),
+			slog.String("from", from),
+			slog.String("to", to),
+			slog.String("trace_id", rootTID.String()),
+			slog.Bool("frozen_pending", frozen),
+			slog.String("error", err.Error()))
 		return err
 	}
 
 	body, _ := json.Marshal(map[string]string{"owner": toURL})
-	_, status, err := p.do(ctx, http.MethodPost, fromURL+"/streams/"+id+"/detach", body)
+	var status int
+	err := step(ctx, "detach", func(ctx context.Context) error {
+		var err error
+		_, status, err = p.do(ctx, http.MethodPost, fromURL+"/streams/"+id+"/detach", body)
+		return err
+	})
 	if status == http.StatusNotFound {
 		// The tenant left the source between the listing and now (a racing
 		// delete, or an earlier pass finished the move). Nothing to carry;
@@ -279,7 +333,10 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 		delete(p.handoff, id)
 		delete(p.placement, id)
 		p.mu.Unlock()
-		return fmt.Errorf("tenant vanished from %s before handoff", from)
+		err := fmt.Errorf("tenant vanished from %s before handoff", from)
+		root.SetError(err)
+		root.End()
+		return err
 	}
 	if err != nil {
 		return fail(fmt.Errorf("detach on %s: %w", from, err))
@@ -287,7 +344,12 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 	if p.afterDetach != nil {
 		p.afterDetach(id, from)
 	}
-	snap, _, err := p.do(ctx, http.MethodGet, fromURL+"/streams/"+id+"/snapshot", nil)
+	var snap []byte
+	err = step(ctx, "snapshot-fetch", func(ctx context.Context) error {
+		var err error
+		snap, _, err = p.do(ctx, http.MethodGet, fromURL+"/streams/"+id+"/snapshot", nil)
+		return err
+	})
 	if err != nil {
 		return fail(fmt.Errorf("snapshot from %s: %w", from, err))
 	}
@@ -295,13 +357,20 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 	// or a crashed earlier install) blocks the install; clear it first.
 	for _, h := range hs {
 		if h.member == to {
-			if err := p.deleteCopy(ctx, id, to); err != nil {
+			err := step(ctx, "clear-stale", func(ctx context.Context) error {
+				return p.deleteCopy(ctx, id, to)
+			})
+			if err != nil {
 				return fail(fmt.Errorf("clear stale copy on %s: %w", to, err))
 			}
 			p.stats.RecordStaleDelete()
 		}
 	}
-	if _, _, err := p.do(ctx, http.MethodPut, toURL+"/streams/"+id+"/snapshot", snap); err != nil {
+	err = step(ctx, "install", func(ctx context.Context) error {
+		_, _, err := p.do(ctx, http.MethodPut, toURL+"/streams/"+id+"/snapshot", snap)
+		return err
+	})
+	if err != nil {
 		return fail(fmt.Errorf("install on %s: %w", to, err))
 	}
 	// The destination owns the state now; route there and unfreeze.
@@ -312,9 +381,18 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 	// Best-effort cleanup of the source copy: if it fails, the detach
 	// tombstone keeps the copy refusing traffic and the next rebalance
 	// deletes it as a stale duplicate.
-	if err := p.deleteCopy(ctx, id, from); err == nil {
+	err = step(ctx, "delete-source", func(ctx context.Context) error {
+		return p.deleteCopy(ctx, id, from)
+	})
+	if err == nil {
 		p.stats.RecordStaleDelete()
 	}
+	root.End()
+	p.logger.LogAttrs(context.Background(), slog.LevelInfo, "tenant migrated",
+		slog.String("tenant", id),
+		slog.String("from", from),
+		slog.String("to", to),
+		slog.String("trace_id", rootTID.String()))
 	return nil
 }
 
@@ -343,6 +421,9 @@ func (p *Proxy) do(ctx context.Context, method, url string, body []byte) ([]byte
 	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return nil, 0, err
+	}
+	if tp := trace.FromContext(ctx).Traceparent(); tp != "" {
+		req.Header.Set(trace.Header, tp)
 	}
 	resp, err := p.client.Do(req)
 	if err != nil {

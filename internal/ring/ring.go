@@ -18,6 +18,21 @@
 // State serializes exactly that pair plus a version counter; rebuilding
 // a ring from its State yields identical ownership for every key — the
 // property routers rely on to agree without coordination.
+//
+// The proxy participates in W3C trace-context propagation
+// (internal/trace): every proxied request runs in a router span — named
+// after the daemon endpoint it targets, with a proxy-hop stage timing
+// the upstream round trip — and the outbound request's traceparent
+// header is rewritten so the router span becomes the daemon span's
+// parent. A client-supplied traceparent is joined, an absent one minted,
+// so one trace id links the router's /debug/traces ring, the owning
+// daemon's ring, and both slow-request logs. Tenant migrations get the
+// same treatment: one root "migrate" span per moved tenant with child
+// spans (and root stages) for each step — detach, snapshot-fetch,
+// install, delete-source — whose trace id is logged with every
+// migration outcome, so a failed handoff names the exact step and trace
+// to pull. ProxyConfig.SlowRequest (the router's -slow-request flag)
+// enables the structured slow-request log.
 package ring
 
 import (

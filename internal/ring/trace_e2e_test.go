@@ -1,0 +1,188 @@
+package ring
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"streamkm"
+	"streamkm/internal/persist"
+	"streamkm/internal/registry"
+	"streamkm/internal/server"
+	"streamkm/internal/trace"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slow-request slog
+// record is emitted by the handler goroutine after the response is
+// already on the wire, so the test must not read the log concurrently
+// with a late write.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTracePropagationRouterToDaemon drives the acceptance scenario of
+// the tracing work end to end: one forced-slow restore-from-hibernation
+// request through the router must surface ONE trace id in (1) the
+// router's /debug/traces ring, (2) the daemon's /debug/traces ring, and
+// (3) the daemon's slow-request slog line — with the daemon span's
+// dominant stage being the restore.
+func TestTracePropagationRouterToDaemon(t *testing.T) {
+	const restoreDelay = 30 * time.Millisecond
+	base := streamkm.Config{BucketSize: 20, Seed: 7}
+	reg, err := registry.New(registry.Config{
+		DataDir: t.TempDir(),
+		TTL:     time.Nanosecond, // everything is idle; Sweep hibernates at will
+		Default: registry.StreamConfig{Backend: "concurrent", Algo: "CC", K: 3},
+		New: func(_ string, sc registry.StreamConfig) (registry.Backend, error) {
+			return streamkm.Open(streamkm.SpecFromStreamConfig(sc, 2), base)
+		},
+		Restore: func(_ string, want registry.StreamConfig, r io.Reader) (registry.Backend, registry.StreamConfig, error) {
+			time.Sleep(restoreDelay) // force the restore stage to dominate
+			b, err := streamkm.Restore(streamkm.SpecFromStreamConfig(want, 0), r, streamkm.Config{Seed: base.Seed})
+			if err != nil {
+				return nil, registry.StreamConfig{}, err
+			}
+			return b, b.Spec().StreamConfig(), nil
+		},
+		Peek: func(r io.Reader) (registry.StreamConfig, int64, error) {
+			m, err := persist.PeekBackend(r)
+			if err != nil {
+				return registry.StreamConfig{}, 0, err
+			}
+			return registry.StreamConfig{Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim}, m.Count, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf syncBuffer
+	dtr := trace.NewRecorder(0, 0)
+	multi := server.NewMulti(reg, server.MultiConfig{
+		MaxBatch:    100,
+		Trace:       dtr,
+		SlowRequest: restoreDelay / 2, // only the restore-stalled request qualifies
+		Logger:      slog.New(slog.NewJSONHandler(&logBuf, nil)),
+	})
+	dts := httptest.NewServer(multi.Handler())
+	defer dts.Close()
+
+	p, err := NewProxy(ProxyConfig{
+		Members: []Member{{Name: "a", URL: dts.URL}},
+		Client:  &http.Client{Timeout: 10 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(p.Handler())
+	defer rts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Populate a tenant through the router, then hibernate it so the next
+	// access restores from disk.
+	ingestRetry(t, client, rts.URL+"/streams/t1/ingest", tenantPoints(1, 60), testDeadline)
+	if n := reg.Sweep(); n == 0 {
+		t.Fatal("Sweep hibernated nothing; tenant still resident")
+	}
+
+	queryCenters(t, client, rts.URL, "t1")
+
+	// (1) + dominant stage: the daemon span for the centers request.
+	var daemonSpan trace.SpanData
+	for _, d := range dtr.Spans(trace.Filter{Endpoint: "centers"}) {
+		daemonSpan = d
+		break
+	}
+	if daemonSpan.TraceID == "" {
+		t.Fatalf("no daemon span for centers; recorder holds %+v", dtr.Spans(trace.Filter{}))
+	}
+	tid := daemonSpan.TraceID
+	if stage, _ := daemonSpan.Dominant(); stage != "restore" {
+		t.Errorf("daemon span dominant stage = %q, want restore (stages %+v)", stage, daemonSpan.Stages)
+	}
+	if daemonSpan.ParentID == "" {
+		t.Error("daemon span has no parent; router traceparent did not propagate")
+	}
+
+	// (2) the router ring holds a span with the SAME trace id.
+	routerSpans := p.Traces().Spans(trace.Filter{TraceID: tid})
+	if len(routerSpans) == 0 {
+		t.Fatalf("router ring has no span for trace %s", tid)
+	}
+	rs := routerSpans[0]
+	if rs.Name != "centers" || rs.Stream != "t1" {
+		t.Errorf("router span = endpoint %q stream %q, want centers/t1", rs.Name, rs.Stream)
+	}
+	if _, ok := stageMs(rs, "proxy-hop"); !ok {
+		t.Errorf("router span missing proxy-hop stage: %+v", rs.Stages)
+	}
+
+	// (3) the daemon's slow-request log line carries the same trace id and
+	// names restore as the dominant stage. The record is written after the
+	// response completes, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if line, ok := slowLogLine(t, logBuf.String(), tid); ok {
+			if line["dominant_stage"] != "restore" {
+				t.Errorf("slow log dominant_stage = %v, want restore (line %v)", line["dominant_stage"], line)
+			}
+			if line["endpoint"] != "centers" || line["stream"] != "t1" {
+				t.Errorf("slow log endpoint/stream = %v/%v, want centers/t1", line["endpoint"], line["stream"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no slow-request log line for trace %s; log:\n%s", tid, logBuf.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// stageMs finds a named stage in a span.
+func stageMs(d trace.SpanData, name string) (float64, bool) {
+	for _, s := range d.Stages {
+		if s.Name == name {
+			return s.Ms, true
+		}
+	}
+	return 0, false
+}
+
+// slowLogLine scans slog JSON output for the "slow request" record
+// matching the given trace id.
+func slowLogLine(t *testing.T, logs, tid string) (map[string]interface{}, bool) {
+	t.Helper()
+	for _, line := range strings.Split(logs, "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if m["msg"] == "slow request" && m["trace_id"] == tid {
+			return m, true
+		}
+	}
+	return nil, false
+}

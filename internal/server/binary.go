@@ -110,15 +110,3 @@ func applyBinary(batch *wire.Batch, maxBatch int, c Clusterer, checkDim func([]f
 	}
 	return ingested, 0, ""
 }
-
-// runIngestBinary is the single-stream binary ingest path: decode, then
-// apply. The multi-tenant handler splits the two so decoding happens
-// outside the stream's lock.
-func runIngestBinary(raw []byte, maxBatch int, maxPoints int64, c Clusterer, checkDim func([]float64) error, pool *wire.BufferPool) (ingested int64, status int, msg string) {
-	batch, status, msg := decodeBinary(raw, maxPoints, pool)
-	if status != 0 {
-		return 0, status, msg
-	}
-	defer pool.PutBatch(batch)
-	return applyBinary(batch, maxBatch, c, checkDim)
-}

@@ -182,4 +182,42 @@
 //
 // Request accounting uses metrics.EndpointStats: a few atomic adds per
 // request, no locks on the hot path.
+//
+// # Tracing and slow-request logging
+//
+// Every request to either server runs inside an internal/trace span.
+// The traceparent contract is W3C trace context: a request carrying a
+// valid traceparent header (00-<32 hex trace id>-<16 hex parent span
+// id>-<2 hex flags>, lowercase) joins that trace as a child span; a
+// request without one starts a fresh trace. cmd/streamkm-router always
+// sends one — the router's own span becomes the daemon span's parent,
+// so one trace id follows a request across the hop — and plain curl
+// works too: the daemon just mints a new trace.
+//
+// Spans carry named stage timers attributing latency to the code path
+// that spent it: body-read, wire-decode, lock-wait (stream lock
+// acquisition inside the registry), quota (admission check),
+// cluster-apply, coreset-recompute (query-time k-means++), restore
+// (rehydrating a hibernated stream — the stage that explains a
+// multi-second outlier on an otherwise sub-millisecond endpoint) and
+// checkpoint-fsync. Stages only appear when their code path ran, and
+// every recorded stage duration is strictly positive.
+//
+//	GET /debug/traces             recent + slowest completed spans as
+//	                              JSON, with started/completed counters.
+//	                              Filters: ?stream=, ?endpoint=, ?trace=,
+//	                              ?min_ms=, ?limit= (default 250;
+//	                              limit=0 returns everything held).
+//
+// The ring is bounded and in-memory (trace.Recorder: 2048 recent spans
+// plus the 64 slowest pinned separately), costs a few hundred
+// nanoseconds per request, and is mounted outside the request
+// accounting so scrapes never pollute what they read.
+//
+// With MultiConfig.SlowRequest (the daemon's -slow-request flag) set,
+// any request at or over the threshold additionally emits one
+// structured slog record — trace id, endpoint, stream, status,
+// duration, the full stage breakdown and the dominant stage — so the
+// slow log alone answers "what was slow and why" without a trace
+// lookup. cmd/tracecheck is the CI gate over these invariants.
 package server

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"streamkm/internal/metrics"
 	"streamkm/internal/registry"
+	"streamkm/internal/trace"
 )
 
 // MultiConfig configures a Multi server.
@@ -29,6 +31,14 @@ type MultiConfig struct {
 	// Config (413 beyond; 0 = defaults, negative = uncapped).
 	MaxBodyBytes int64
 	MaxPoints    int64
+	// Trace receives one span per request and serves GET /debug/traces.
+	// Nil allocates a private recorder with default capacities.
+	Trace *trace.Recorder
+	// SlowRequest, when positive, emits one structured log record (trace
+	// id, stream, endpoint, dominant stage) per request slower than it.
+	SlowRequest time.Duration
+	// Logger receives slow-request records; nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Multi serves many independent streams from one process, routing
@@ -55,6 +65,9 @@ type Multi struct {
 	tenants     sync.Map // stream id -> *tenantStats
 	tenantCount atomic.Int64
 	tenantOther tenantStats
+
+	tr     *trace.Recorder
+	logger *slog.Logger
 }
 
 // tenantStats is one stream's slice of the request accounting.
@@ -107,7 +120,13 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	}
 	cfg.MaxBodyBytes = resolveLimit(cfg.MaxBodyBytes, defaultMaxBodyBytes)
 	cfg.MaxPoints = resolveLimit(cfg.MaxPoints, defaultMaxPoints)
-	m := &Multi{reg: reg, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder(0, 0)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	m := &Multi{reg: reg, cfg: cfg, start: time.Now(), mux: http.NewServeMux(), tr: cfg.Trace, logger: cfg.Logger}
 
 	// Ingest and query are wrapped once with per-tenant accounting and
 	// the wrapper reused by the legacy aliases, so a default-stream
@@ -115,33 +134,36 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	ingest := m.tenantRecord(func(t *tenantStats) *metrics.EndpointStats { return &t.ingest }, m.handleIngest)
 	query := m.tenantRecord(func(t *tenantStats) *metrics.EndpointStats { return &t.query }, m.handleCenters)
 
-	m.mux.Handle("POST /streams/{id}/ingest", record(&m.ingestStats, m.byID(ingest)))
-	m.mux.Handle("GET /streams/{id}/centers", record(&m.centersStats, m.byID(query)))
-	m.mux.Handle("GET /streams/{id}/stats", record(&m.statsStats, m.byID(m.handleStreamStats)))
-	m.mux.Handle("GET /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotGet)))
-	m.mux.Handle("POST /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotPost)))
-	m.mux.Handle("PUT /streams/{id}/snapshot", record(&m.snapshotStats, m.byID(m.handleSnapshotInstall)))
-	m.mux.Handle("POST /streams/{id}/detach", record(&m.adminStats, m.byID(m.handleDetach)))
-	m.mux.Handle("POST /streams/{id}/reattach", record(&m.adminStats, m.byID(m.handleReattach)))
-	m.mux.Handle("PUT /streams/{id}", record(&m.adminStats, m.byID(m.handleCreate)))
-	m.mux.Handle("DELETE /streams/{id}", record(&m.adminStats, m.byID(m.handleDelete)))
-	m.mux.Handle("GET /streams", record(&m.adminStats, m.handleList))
-	m.mux.Handle("GET /stats", record(&m.statsStats, m.handleRegistryStats))
-	// /metrics is deliberately outside the record() accounting: a scrape
-	// every few seconds must not pollute the request counters it reports.
+	m.mux.Handle("POST /streams/{id}/ingest", m.observe("ingest", &m.ingestStats, m.byID(ingest)))
+	m.mux.Handle("GET /streams/{id}/centers", m.observe("centers", &m.centersStats, m.byID(query)))
+	m.mux.Handle("GET /streams/{id}/stats", m.observe("stats", &m.statsStats, m.byID(m.handleStreamStats)))
+	m.mux.Handle("GET /streams/{id}/snapshot", m.observe("snapshot", &m.snapshotStats, m.byID(m.handleSnapshotGet)))
+	m.mux.Handle("POST /streams/{id}/snapshot", m.observe("snapshot", &m.snapshotStats, m.byID(m.handleSnapshotPost)))
+	m.mux.Handle("PUT /streams/{id}/snapshot", m.observe("install", &m.snapshotStats, m.byID(m.handleSnapshotInstall)))
+	m.mux.Handle("POST /streams/{id}/detach", m.observe("detach", &m.adminStats, m.byID(m.handleDetach)))
+	m.mux.Handle("POST /streams/{id}/reattach", m.observe("reattach", &m.adminStats, m.byID(m.handleReattach)))
+	m.mux.Handle("PUT /streams/{id}", m.observe("create", &m.adminStats, m.byID(m.handleCreate)))
+	m.mux.Handle("DELETE /streams/{id}", m.observe("delete", &m.adminStats, m.byID(m.handleDelete)))
+	m.mux.Handle("GET /streams", m.observe("list", &m.adminStats, m.handleList))
+	m.mux.Handle("GET /stats", m.observe("stats", &m.statsStats, m.handleRegistryStats))
+	// /metrics and /debug/traces are deliberately outside the observe()
+	// accounting: a scrape every few seconds must not pollute the request
+	// counters or the trace window it reports.
 	m.mux.HandleFunc("GET /metrics", m.handleMetrics)
+	m.mux.Handle("GET /debug/traces", m.tr.Handler())
 
 	// Single-stream aliases: the pre-registry API, routed at the default
 	// stream.
 	alias := func(h func(string, http.ResponseWriter, *http.Request) (int64, bool)) handled {
 		return func(w http.ResponseWriter, r *http.Request) (int64, bool) {
+			trace.FromContext(r.Context()).SetStream(m.cfg.DefaultStream)
 			return h(m.cfg.DefaultStream, w, r)
 		}
 	}
-	m.mux.Handle("POST /ingest", record(&m.ingestStats, alias(ingest)))
-	m.mux.Handle("GET /centers", record(&m.centersStats, alias(query)))
-	m.mux.Handle("GET /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotGet)))
-	m.mux.Handle("POST /snapshot", record(&m.snapshotStats, alias(m.handleSnapshotPost)))
+	m.mux.Handle("POST /ingest", m.observe("ingest", &m.ingestStats, alias(ingest)))
+	m.mux.Handle("GET /centers", m.observe("centers", &m.centersStats, alias(query)))
+	m.mux.Handle("GET /snapshot", m.observe("snapshot", &m.snapshotStats, alias(m.handleSnapshotGet)))
+	m.mux.Handle("POST /snapshot", m.observe("snapshot", &m.snapshotStats, alias(m.handleSnapshotPost)))
 	m.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -156,10 +178,20 @@ func (m *Multi) Handler() http.Handler { return m.mux }
 // hooks: checkpoint tickers, TTL sweeps, shutdown flushes).
 func (m *Multi) Registry() *registry.Registry { return m.reg }
 
-// byID adapts a per-stream handler to the mux, extracting {id}.
+// Traces returns the recorder behind GET /debug/traces.
+func (m *Multi) Traces() *trace.Recorder { return m.tr }
+
+func (m *Multi) observe(name string, st *metrics.EndpointStats, h handled) http.Handler {
+	return observe(m.tr, m.cfg.SlowRequest, m.logger, name, st, h)
+}
+
+// byID adapts a per-stream handler to the mux, extracting {id} and
+// tagging the request's span with it.
 func (m *Multi) byID(h func(string, http.ResponseWriter, *http.Request) (int64, bool)) handled {
 	return func(w http.ResponseWriter, r *http.Request) (int64, bool) {
-		return h(r.PathValue("id"), w, r)
+		id := r.PathValue("id")
+		trace.FromContext(r.Context()).SetStream(id)
+		return h(id, w, r)
 	}
 }
 
@@ -237,7 +269,10 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 	// synchronous and both decode paths copy out of it, so it can be
 	// returned as soon as the handler is done.
 	pool := m.reg.Buffers()
+	sp := trace.FromContext(r.Context())
+	endRead := sp.StartStage("body-read")
 	raw, rstatus, rmsg := readBody(w, r, m.cfg.MaxBodyBytes, pool)
+	endRead()
 	defer pool.PutBytes(raw)
 	if rstatus != 0 {
 		writeJSON(w, rstatus, map[string]interface{}{
@@ -248,7 +283,7 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 		return 0, true
 	}
 	if isBinaryBatch(r) {
-		return m.ingestBinary(id, w, raw)
+		return m.ingestBinary(id, w, r, raw)
 	}
 	// Vet the first record before touching the registry: lazy creation
 	// must not register (and later checkpoint) a tenant for a body that
@@ -283,11 +318,18 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 		msg      string
 		count    int64
 	)
-	err := m.reg.With(id, create, func(s *registry.Stream, b registry.Backend) error {
-		if err := m.reg.AdmitIngest(s, b, int64(len(raw))); err != nil {
+	err := m.reg.WithContext(r.Context(), id, create, func(s *registry.Stream, b registry.Backend) error {
+		endQuota := sp.StartStage("quota")
+		err := m.reg.AdmitIngest(s, b, int64(len(raw)))
+		endQuota()
+		if err != nil {
 			return err
 		}
+		// ndjson decoding is interleaved with application, so the two
+		// report as one cluster-apply stage.
+		endApply := sp.StartStage("cluster-apply")
 		ingested, status, msg = runIngest(body, m.cfg.MaxBatch, m.cfg.MaxPoints, b, s.CheckDim)
+		endApply()
 		m.reg.ChargeIngest(s, ingested)
 		count = b.Count()
 		return nil
@@ -318,9 +360,12 @@ func (m *Multi) handleIngest(id string, w http.ResponseWriter, r *http.Request) 
 // AddBatch calls themselves; the ndjson path cannot split the two
 // because its decoding is interleaved with application. An empty batch
 // never creates a stream, mirroring the ndjson empty-body rule.
-func (m *Multi) ingestBinary(id string, w http.ResponseWriter, raw []byte) (int64, bool) {
+func (m *Multi) ingestBinary(id string, w http.ResponseWriter, r *http.Request, raw []byte) (int64, bool) {
 	pool := m.reg.Buffers()
+	sp := trace.FromContext(r.Context())
+	endDecode := sp.StartStage("wire-decode")
 	batch, status, msg := decodeBinary(raw, m.cfg.MaxPoints, pool)
+	endDecode()
 	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
 			"error":    msg,
@@ -334,11 +379,16 @@ func (m *Multi) ingestBinary(id string, w http.ResponseWriter, raw []byte) (int6
 		ingested int64
 		count    int64
 	)
-	err := m.reg.With(id, batch.Len() > 0, func(s *registry.Stream, b registry.Backend) error {
-		if err := m.reg.AdmitIngest(s, b, int64(len(raw))); err != nil {
+	err := m.reg.WithContext(r.Context(), id, batch.Len() > 0, func(s *registry.Stream, b registry.Backend) error {
+		endQuota := sp.StartStage("quota")
+		err := m.reg.AdmitIngest(s, b, int64(len(raw)))
+		endQuota()
+		if err != nil {
 			return err
 		}
+		endApply := sp.StartStage("cluster-apply")
 		ingested, status, msg = applyBinary(batch, m.cfg.MaxBatch, b, s.CheckDim)
+		endApply()
 		m.reg.ChargeIngest(s, ingested)
 		count = b.Count()
 		return nil
@@ -374,12 +424,14 @@ func (m *Multi) handleCenters(id string, w http.ResponseWriter, r *http.Request)
 		k       int
 		algo    string
 	)
-	err := m.reg.With(id, false, func(s *registry.Stream, b registry.Backend) error {
+	err := m.reg.WithContext(r.Context(), id, false, func(s *registry.Stream, b registry.Backend) error {
+		endStage := trace.FromContext(r.Context()).StartStage("coreset-recompute")
 		if rf, ok := b.(Refresher); ok && refresh {
 			centers = rf.Refresh()
 		} else {
 			centers = b.Centers()
 		}
+		endStage()
 		count = b.Count()
 		k = s.Config().K
 		algo = b.Name()
@@ -459,8 +511,10 @@ func (m *Multi) handleSnapshotGet(id string, w http.ResponseWriter, _ *http.Requ
 // handleSnapshotPost checkpoints the named stream to its per-stream
 // snapshot file. For a hibernated stream this is a no-op success: its
 // file already holds the state.
-func (m *Multi) handleSnapshotPost(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
+func (m *Multi) handleSnapshotPost(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	endStage := trace.FromContext(r.Context()).StartStage("checkpoint-fsync")
 	n, err := m.reg.Checkpoint(id)
+	endStage()
 	if err != nil {
 		writeErr(w, err)
 		return 0, true
@@ -492,7 +546,10 @@ func (m *Multi) handleDetach(id string, w http.ResponseWriter, r *http.Request) 
 			return 0, true
 		}
 	}
-	if _, err := m.reg.Detach(id, body.Owner); err != nil {
+	endStage := trace.FromContext(r.Context()).StartStage("checkpoint-fsync")
+	_, err := m.reg.Detach(id, body.Owner)
+	endStage()
+	if err != nil {
 		writeErr(w, err)
 		return 0, true
 	}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -14,6 +15,7 @@ import (
 
 	"streamkm/internal/metrics"
 	"streamkm/internal/persist"
+	"streamkm/internal/trace"
 	"streamkm/internal/wire"
 )
 
@@ -83,6 +85,14 @@ type Config struct {
 	// MaxPoints caps how many points one ingest request may carry (413
 	// beyond). 0 selects the default (~1M), negative disables the cap.
 	MaxPoints int64
+	// Trace receives one span per request and serves GET /debug/traces.
+	// Nil allocates a private recorder with default capacities.
+	Trace *trace.Recorder
+	// SlowRequest, when positive, emits one structured log record (trace
+	// id, stream, endpoint, dominant stage) per request slower than it.
+	SlowRequest time.Duration
+	// Logger receives slow-request records; nil uses slog.Default().
+	Logger *slog.Logger
 }
 
 // Server serves a Clusterer over HTTP. Create with New, mount via
@@ -104,6 +114,9 @@ type Server struct {
 	checkpointMu sync.Mutex // serializes temp-file writes to SnapshotPath
 
 	pool wire.BufferPool // recycles binary-ingest body/header buffers
+
+	tr     *trace.Recorder
+	logger *slog.Logger
 }
 
 // New builds a Server over c. cfg.K should match the backend's k.
@@ -113,17 +126,25 @@ func New(c Clusterer, cfg Config) *Server {
 	}
 	cfg.MaxBodyBytes = resolveLimit(cfg.MaxBodyBytes, defaultMaxBodyBytes)
 	cfg.MaxPoints = resolveLimit(cfg.MaxPoints, defaultMaxPoints)
-	s := &Server{c: c, cfg: cfg, start: time.Now(), mux: http.NewServeMux()}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.NewRecorder(0, 0)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{c: c, cfg: cfg, start: time.Now(), mux: http.NewServeMux(), tr: cfg.Trace, logger: cfg.Logger}
 	if cfg.Dim > 0 {
 		s.dim.Store(int64(cfg.Dim))
 	}
-	s.mux.Handle("POST /ingest", record(&s.ingestStats, s.handleIngest))
-	s.mux.Handle("GET /centers", record(&s.centersStats, s.handleCenters))
-	s.mux.Handle("GET /stats", record(&s.statsStats, s.handleStats))
-	s.mux.Handle("GET /snapshot", record(&s.snapshotStats, s.handleSnapshotGet))
-	s.mux.Handle("POST /snapshot", record(&s.snapshotStats, s.handleSnapshotPost))
-	// Outside record(): scrapes must not pollute the counters they read.
+	s.mux.Handle("POST /ingest", s.observe("ingest", &s.ingestStats, s.handleIngest))
+	s.mux.Handle("GET /centers", s.observe("centers", &s.centersStats, s.handleCenters))
+	s.mux.Handle("GET /stats", s.observe("stats", &s.statsStats, s.handleStats))
+	s.mux.Handle("GET /snapshot", s.observe("snapshot", &s.snapshotStats, s.handleSnapshotGet))
+	s.mux.Handle("POST /snapshot", s.observe("snapshot", &s.snapshotStats, s.handleSnapshotPost))
+	// Outside observe(): scrapes must not pollute the counters or the
+	// trace window they read.
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/traces", s.tr.Handler())
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")
@@ -138,14 +159,62 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // processed and whether it failed, for endpoint accounting.
 type handled func(w http.ResponseWriter, r *http.Request) (items int64, failed bool)
 
-// record wraps a handler with latency/throughput accounting.
-func record(st *metrics.EndpointStats, h handled) http.Handler {
+// observe wraps a handler with latency/throughput accounting and the
+// per-request span lifecycle: an incoming traceparent joins its trace,
+// anything else starts a fresh one; the span rides the request context
+// so deeper layers (registry lock-wait, restore) can add stages; and a
+// request over the slow threshold emits one structured log record.
+func observe(tr *trace.Recorder, slow time.Duration, logger *slog.Logger, name string, st *metrics.EndpointStats, h handled) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
-		items, failed := h(w, r)
-		st.Record(time.Since(t0), items, failed)
+		tid, parent, _, _ := trace.Parse(r.Header.Get(trace.Header))
+		sp := tr.StartSpan(name, tid, parent)
+		r = r.WithContext(trace.NewContext(r.Context(), sp))
+		sw := &statusWriter{ResponseWriter: w}
+		items, failed := h(sw, r)
+		d := time.Since(t0)
+		st.Record(d, items, failed)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http's implicit 200
+		}
+		sp.SetStatus(status)
+		sp.SetFailed(failed)
+		data := sp.End()
+		if slow > 0 && d >= slow {
+			trace.LogSlow(logger, data)
+		}
 	})
 }
+
+// statusWriter captures the status code a handler resolved to, for the
+// request's span; a Write without an explicit WriteHeader is the
+// implicit 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (s *Server) observe(name string, st *metrics.EndpointStats, h handled) http.Handler {
+	return observe(s.tr, s.cfg.SlowRequest, s.logger, name, st, h)
+}
+
+// Traces returns the recorder behind GET /debug/traces.
+func (s *Server) Traces() *trace.Recorder { return s.tr }
 
 // ingestValue is one ndjson value in an ingest body: either a bare JSON
 // array (a unit-weight point) or an object {"p":[...],"w":2.5}. W is a
@@ -169,18 +238,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) (int64, bo
 		status   int
 		msg      string
 	)
+	sp := trace.FromContext(r.Context())
 	if isBinaryBatch(r) {
+		endRead := sp.StartStage("body-read")
 		raw, st, m := readBody(w, r, s.cfg.MaxBodyBytes, &s.pool)
+		endRead()
 		if st != 0 {
 			writeJSON(w, st, map[string]interface{}{"error": m, "ingested": 0})
 			s.pool.PutBytes(raw)
 			return 0, true
 		}
-		ingested, status, msg = runIngestBinary(raw, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim, &s.pool)
+		endDecode := sp.StartStage("wire-decode")
+		batch, dst, dmsg := decodeBinary(raw, s.cfg.MaxPoints, &s.pool)
+		endDecode()
+		if dst != 0 {
+			writeJSON(w, dst, map[string]interface{}{"error": dmsg, "ingested": 0})
+			s.pool.PutBytes(raw)
+			return 0, true
+		}
+		endApply := sp.StartStage("cluster-apply")
+		ingested, status, msg = applyBinary(batch, s.cfg.MaxBatch, s.c, s.checkDim)
+		endApply()
+		s.pool.PutBatch(batch)
 		s.pool.PutBytes(raw)
 	} else {
 		body := limitBody(w, r, s.cfg.MaxBodyBytes)
+		// ndjson decoding is interleaved with application, so the two
+		// report as one cluster-apply stage.
+		endApply := sp.StartStage("cluster-apply")
 		ingested, status, msg = runIngest(body, s.cfg.MaxBatch, s.cfg.MaxPoints, s.c, s.checkDim)
+		endApply()
 	}
 	if status != 0 {
 		writeJSON(w, status, map[string]interface{}{
@@ -247,11 +334,13 @@ func (s *Server) checkDim(p []float64) error {
 func (s *Server) handleCenters(w http.ResponseWriter, r *http.Request) (int64, bool) {
 	var centers [][]float64
 	refresh, _ := strconv.ParseBool(r.URL.Query().Get("refresh"))
+	endStage := trace.FromContext(r.Context()).StartStage("coreset-recompute")
 	if rf, ok := s.c.(Refresher); ok && refresh {
 		centers = rf.Refresh()
 	} else {
 		centers = s.c.Centers()
 	}
+	endStage()
 	if centers == nil {
 		centers = [][]float64{}
 	}
@@ -294,7 +383,7 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request) (int6
 
 // handleSnapshotPost checkpoints the backend's state to the configured
 // snapshot path (atomic write) and reports what was written.
-func (s *Server) handleSnapshotPost(w http.ResponseWriter, _ *http.Request) (int64, bool) {
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) (int64, bool) {
 	if _, ok := s.c.(Snapshotter); !ok {
 		writeJSON(w, http.StatusNotImplemented, map[string]interface{}{
 			"error": fmt.Sprintf("backend %s does not support snapshots", s.c.Name()),
@@ -307,7 +396,9 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, _ *http.Request) (int
 		})
 		return 0, true
 	}
+	endStage := trace.FromContext(r.Context()).StartStage("checkpoint-fsync")
 	n, err := s.WriteCheckpoint()
+	endStage()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]interface{}{
 			"error": fmt.Sprintf("checkpoint: %v", err),

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// DefaultRecentSpans is the ring capacity when NewRecorder is given
+	// zero: large enough that a CI bench run's slowest requests are
+	// still resident when the trace gate scrapes /debug/traces.
+	DefaultRecentSpans = 2048
+	// DefaultSlowestSpans is the capacity of the slowest-span list.
+	DefaultSlowestSpans = 64
+)
+
+// Recorder keeps a bounded in-memory window over completed spans: a
+// ring of the most recent plus a list of the slowest ever seen, and
+// started/completed counters so an unterminated span is detectable
+// from outside. A nil Recorder is valid and records nothing.
+type Recorder struct {
+	started   atomic.Int64
+	completed atomic.Int64
+
+	mu      sync.Mutex
+	recent  []SpanData // ring, next is the insertion cursor
+	next    int
+	count   int        // filled entries in recent
+	slowest []SpanData // ascending by DurMs, at most slowCap
+	slowCap int
+}
+
+// NewRecorder returns a Recorder holding up to recentCap recent spans
+// and slowestCap slowest spans; zero or negative picks the defaults.
+func NewRecorder(recentCap, slowestCap int) *Recorder {
+	if recentCap <= 0 {
+		recentCap = DefaultRecentSpans
+	}
+	if slowestCap <= 0 {
+		slowestCap = DefaultSlowestSpans
+	}
+	return &Recorder{
+		recent:  make([]SpanData, recentCap),
+		slowCap: slowestCap,
+	}
+}
+
+// StartSpan begins a span under the given trace id (a zero id mints a
+// fresh trace) with parent as the remote parent span (zero for a root
+// span). Safe on a nil Recorder: the span still works, it just records
+// nowhere.
+func (r *Recorder) StartSpan(name string, tid TraceID, parent SpanID) *Span {
+	if tid.IsZero() {
+		tid = NewTraceID()
+	}
+	if r != nil {
+		r.started.Add(1)
+	}
+	return &Span{
+		rec:     r,
+		traceID: tid,
+		spanID:  NewSpanID(),
+		parent:  parent,
+		name:    name,
+		start:   time.Now(),
+	}
+}
+
+// Started returns how many spans were started.
+func (r *Recorder) Started() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.started.Load()
+}
+
+// Completed returns how many spans reached End.
+func (r *Recorder) Completed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.completed.Load()
+}
+
+func (r *Recorder) record(d SpanData) {
+	if r == nil {
+		return
+	}
+	r.completed.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recent[r.next] = d
+	r.next = (r.next + 1) % len(r.recent)
+	if r.count < len(r.recent) {
+		r.count++
+	}
+	// Slowest list: kept small and sorted ascending, so the head is
+	// the eviction candidate.
+	if len(r.slowest) < r.slowCap {
+		r.slowest = append(r.slowest, d)
+		sort.Slice(r.slowest, func(i, j int) bool { return r.slowest[i].DurMs < r.slowest[j].DurMs })
+		return
+	}
+	if d.DurMs <= r.slowest[0].DurMs {
+		return
+	}
+	r.slowest[0] = d
+	sort.Slice(r.slowest, func(i, j int) bool { return r.slowest[i].DurMs < r.slowest[j].DurMs })
+}
+
+// Filter selects spans out of the recorder window.
+type Filter struct {
+	Stream   string  // exact stream id, "" matches all
+	Endpoint string  // exact endpoint/span name, "" matches all
+	TraceID  string  // exact 32-hex trace id, "" matches all
+	MinMs    float64 // minimum total duration
+	Limit    int     // max spans returned, <=0 means no cap
+}
+
+func (f Filter) match(d SpanData) bool {
+	if f.Stream != "" && d.Stream != f.Stream {
+		return false
+	}
+	if f.Endpoint != "" && d.Name != f.Endpoint {
+		return false
+	}
+	if f.TraceID != "" && d.TraceID != f.TraceID {
+		return false
+	}
+	return d.DurMs >= f.MinMs
+}
+
+// Spans returns the union of recent and slowest spans (deduplicated by
+// span id) matching f, newest first.
+func (r *Recorder) Spans(f Filter) []SpanData {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	seen := make(map[string]struct{}, r.count+len(r.slowest))
+	out := make([]SpanData, 0, r.count+len(r.slowest))
+	add := func(d SpanData) {
+		if _, dup := seen[d.SpanID]; dup || !f.match(d) {
+			return
+		}
+		seen[d.SpanID] = struct{}{}
+		out = append(out, d)
+	}
+	for i := 0; i < r.count; i++ {
+		add(r.recent[i])
+	}
+	for _, d := range r.slowest {
+		add(d)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].StartUnixNs > out[j].StartUnixNs })
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[:f.Limit]
+	}
+	return out
+}
+
+// tracesResponse is the GET /debug/traces JSON body.
+type tracesResponse struct {
+	Started   int64      `json:"started"`
+	Completed int64      `json:"completed"`
+	Returned  int        `json:"returned"`
+	Spans     []SpanData `json:"spans"`
+}
+
+// Handler serves the recorder window as JSON. Query parameters:
+// stream, endpoint, trace (exact matches), min_ms (float), limit
+// (default 250, 0 for everything in the window).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		f := Filter{
+			Stream:   req.URL.Query().Get("stream"),
+			Endpoint: req.URL.Query().Get("endpoint"),
+			TraceID:  req.URL.Query().Get("trace"),
+			Limit:    250,
+		}
+		if v := req.URL.Query().Get("min_ms"); v != "" {
+			ms, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			f.MinMs = ms
+		}
+		if v := req.URL.Query().Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		spans := r.Spans(f)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tracesResponse{
+			Started:   r.Started(),
+			Completed: r.Completed(),
+			Returned:  len(spans),
+			Spans:     spans,
+		})
+	})
+}

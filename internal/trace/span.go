@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Stage is one named timer inside a completed span. Durations are
+// floored at 1ns when recorded, so a stage that is present is always
+// strictly positive — the CI trace gate relies on that.
+type Stage struct {
+	Name string  `json:"name"`
+	Ms   float64 `json:"ms"`
+}
+
+// SpanData is the immutable JSON shape of a completed span, as served
+// by GET /debug/traces and logged for slow requests.
+type SpanData struct {
+	TraceID     string  `json:"trace_id"`
+	SpanID      string  `json:"span_id"`
+	ParentID    string  `json:"parent_id,omitempty"`
+	Name        string  `json:"endpoint"`
+	Stream      string  `json:"stream,omitempty"`
+	Status      int     `json:"status,omitempty"`
+	Failed      bool    `json:"failed,omitempty"`
+	Err         string  `json:"error,omitempty"`
+	StartUnixNs int64   `json:"start_unix_ns"`
+	DurMs       float64 `json:"duration_ms"`
+	Stages      []Stage `json:"stages,omitempty"`
+}
+
+// Dominant returns the stage with the largest share of the span's
+// duration, or ("", 0) when no stages were recorded.
+func (d SpanData) Dominant() (string, float64) {
+	name, ms := "", 0.0
+	for _, st := range d.Stages {
+		if st.Ms > ms {
+			name, ms = st.Name, st.Ms
+		}
+	}
+	return name, ms
+}
+
+// Span is one in-flight request (or migration step). All methods are
+// safe on a nil receiver and safe for concurrent use, so deep layers
+// can record stages without knowing whether tracing is wired up above
+// them.
+type Span struct {
+	rec *Recorder
+
+	mu      sync.Mutex
+	traceID TraceID
+	spanID  SpanID
+	parent  SpanID
+	name    string
+	stream  string
+	status  int
+	failed  bool
+	err     string
+	start   time.Time
+	stages  []stageAcc
+	ended   bool
+	data    SpanData
+}
+
+type stageAcc struct {
+	name string
+	ns   int64
+}
+
+// IDs returns the span's trace and span identifiers.
+func (s *Span) IDs() (TraceID, SpanID) {
+	if s == nil {
+		return TraceID{}, SpanID{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceID, s.spanID
+}
+
+// Traceparent renders the header value an outbound hop should carry:
+// same trace id, this span as the parent. Empty on a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Format(s.traceID, s.spanID, 0x01)
+}
+
+// SetStream tags the span with the tenant stream id it served.
+func (s *Span) SetStream(id string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stream = id
+	s.mu.Unlock()
+}
+
+// SetStatus records the HTTP status the request resolved to.
+func (s *Span) SetStatus(code int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = code
+	if code >= 400 {
+		s.failed = true
+	}
+	s.mu.Unlock()
+}
+
+// SetFailed marks the span as failed without an HTTP status.
+func (s *Span) SetFailed(failed bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.failed = s.failed || failed
+	s.mu.Unlock()
+}
+
+// SetError attaches an error message and marks the span failed.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.mu.Lock()
+	s.err = err.Error()
+	s.failed = true
+	s.mu.Unlock()
+}
+
+// RecordStage adds d to the named stage timer, creating it on first
+// use. Same-name stages merge by summing; each contribution is floored
+// at 1ns so recorded stages are always strictly positive.
+func (s *Span) RecordStage(name string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 1 {
+		ns = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.stages {
+		if s.stages[i].name == name {
+			s.stages[i].ns += ns
+			return
+		}
+	}
+	s.stages = append(s.stages, stageAcc{name: name, ns: ns})
+}
+
+// StartStage starts the named timer and returns the function that
+// stops it. Usable as `defer sp.StartStage("restore")()` or held and
+// called explicitly.
+func (s *Span) StartStage(name string) func() {
+	if s == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { s.RecordStage(name, time.Since(t0)) }
+}
+
+// End completes the span, hands it to the Recorder it was started
+// from, and returns the frozen SpanData. Subsequent calls are no-ops
+// returning the same data.
+func (s *Span) End() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.mu.Lock()
+	if s.ended {
+		d := s.data
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	dur := time.Since(s.start)
+	if dur < 1 {
+		dur = 1
+	}
+	d := SpanData{
+		TraceID:     s.traceID.String(),
+		SpanID:      s.spanID.String(),
+		Name:        s.name,
+		Stream:      s.stream,
+		Status:      s.status,
+		Failed:      s.failed,
+		Err:         s.err,
+		StartUnixNs: s.start.UnixNano(),
+		DurMs:       float64(dur) / 1e6,
+	}
+	if !s.parent.IsZero() {
+		d.ParentID = s.parent.String()
+	}
+	if len(s.stages) > 0 {
+		d.Stages = make([]Stage, len(s.stages))
+		for i, st := range s.stages {
+			d.Stages[i] = Stage{Name: st.name, Ms: float64(st.ns) / 1e6}
+		}
+	}
+	s.data = d
+	rec := s.rec
+	s.mu.Unlock()
+	rec.record(d)
+	return d
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sp.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil — which every
+// Span method accepts.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// LogSlow emits the one structured record a -slow-request threshold
+// produces: trace id, endpoint, stream, total duration, and the
+// dominant stage so the log line alone says where the time went.
+func LogSlow(l *slog.Logger, d SpanData) {
+	if l == nil {
+		l = slog.Default()
+	}
+	dom, domMs := d.Dominant()
+	l.LogAttrs(context.Background(), slog.LevelWarn, "slow request",
+		slog.String("trace_id", d.TraceID),
+		slog.String("span_id", d.SpanID),
+		slog.String("endpoint", d.Name),
+		slog.String("stream", d.Stream),
+		slog.Int("status", d.Status),
+		slog.Bool("failed", d.Failed),
+		slog.Float64("duration_ms", d.DurMs),
+		slog.String("dominant_stage", dom),
+		slog.Float64("dominant_ms", domMs),
+		slog.Any("stages", d.Stages),
+	)
+}

@@ -1,0 +1,142 @@
+// Package trace is the dependency-free request-tracing layer shared by
+// every streamkm serving process (daemon, router, bench client).
+//
+// It implements just enough of the W3C Trace Context spec to carry one
+// trace id across process boundaries: the router parses an incoming
+// `traceparent` header (or mints a fresh trace when the client sent
+// none), records its own span, and forwards the header to the owning
+// daemon, which joins the same trace. Within a process each request is
+// one Span with named stage timers (body-read, wire-decode, lock-wait,
+// quota, cluster-apply, coreset-recompute, restore, checkpoint-fsync,
+// proxy-hop); stages with the same name within a span are merged by
+// summing so a loop of lock acquisitions shows up as one line.
+//
+// Completed spans land in a Recorder: a bounded ring of recent spans
+// plus a bounded list of the slowest spans seen, served as JSON from
+// GET /debug/traces with stream / endpoint / min_ms / trace filters.
+// The Recorder also counts started vs. completed spans so an external
+// gate (cmd/tracecheck) can detect spans that were never terminated.
+//
+// The package has no third-party dependencies and is safe to call with
+// nil receivers throughout: code that was handed no span or no recorder
+// records into the void instead of branching at every call site.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// Header is the W3C trace-context request header carrying
+// "version-traceid-parentid-flags".
+const Header = "traceparent"
+
+// TraceID is the 16-byte trace identifier shared by every span in one
+// request's journey across processes.
+type TraceID [16]byte
+
+// SpanID is the 8-byte identifier of a single span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the id is all zeroes, which the spec forbids
+// on the wire.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// IsZero reports whether the id is all zeroes.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the id as 16 lowercase hex characters.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	fillRand(t[:])
+	return t
+}
+
+// NewSpanID returns a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	fillRand(s[:])
+	return s
+}
+
+func fillRand(b []byte) {
+	// crypto/rand.Read never fails on the platforms we target (Go 1.24
+	// aborts the process if the kernel source is broken), but telemetry
+	// must never be the thing that takes serving down, so keep the
+	// result non-zero even in the impossible error path.
+	if _, err := rand.Read(b); err != nil || allZero(b) {
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Parse decodes a traceparent header value. It accepts any version
+// except the reserved "ff", requires the fixed 55-byte layout of
+// version 00, and rejects all-zero trace or span ids as the spec
+// demands. ok is false for anything malformed; callers then start a
+// fresh trace.
+func Parse(h string) (tid TraceID, parent SpanID, flags byte, ok bool) {
+	if len(h) != 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if h[0] == 'f' && h[1] == 'f' {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	// The spec requires lowercase hex; hex.Decode would also accept
+	// uppercase, so gate every segment explicitly.
+	if !hexOK(h[0:2]) || !hexOK(h[3:35]) || !hexOK(h[36:52]) || !hexOK(h[53:55]) {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if _, err := hex.Decode(tid[:], []byte(h[3:35])); err != nil {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(h[36:52])); err != nil {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(h[53:55])); err != nil {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	if tid.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, 0, false
+	}
+	return tid, parent, fb[0], true
+}
+
+func hexOK(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('0' <= c && c <= '9' || 'a' <= c && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders a version-00 traceparent header value.
+func Format(t TraceID, s SpanID, flags byte) string {
+	b := make([]byte, 0, 55)
+	b = append(b, '0', '0', '-')
+	b = hex.AppendEncode(b, t[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, s[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, []byte{flags})
+	return string(b)
+}

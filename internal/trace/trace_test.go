@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	h := Format(tid, sid, 0x01)
+	if len(h) != 55 {
+		t.Fatalf("header length %d, want 55: %q", len(h), h)
+	}
+	gotT, gotS, flags, ok := Parse(h)
+	if !ok {
+		t.Fatalf("Parse(%q) not ok", h)
+	}
+	if gotT != tid || gotS != sid || flags != 0x01 {
+		t.Fatalf("round trip mismatch: %v %v %x", gotT, gotS, flags)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	valid := Format(NewTraceID(), NewSpanID(), 1)
+	bad := []string{
+		"",
+		"00",
+		valid[:54],             // truncated
+		valid + "0",            // too long
+		"ff" + valid[2:],       // reserved version
+		"0g" + valid[2:],       // non-hex version
+		strings.ToUpper(valid), // uppercase hex is invalid per spec
+		valid[:3] + strings.Repeat("0", 32) + valid[35:],  // zero trace id
+		valid[:36] + strings.Repeat("0", 16) + valid[52:], // zero span id
+		strings.ReplaceAll(valid, "-", "_"),
+	}
+	for _, h := range bad {
+		if _, _, _, ok := Parse(h); ok {
+			t.Errorf("Parse(%q) accepted malformed header", h)
+		}
+	}
+	// A different version with the 00 layout is accepted (spec: parse
+	// forward-compatibly).
+	if _, _, _, ok := Parse("01" + valid[2:]); !ok {
+		t.Errorf("Parse rejected future version with v00 layout")
+	}
+}
+
+func TestSpanStageMerging(t *testing.T) {
+	r := NewRecorder(8, 4)
+	sp := r.StartSpan("ingest", TraceID{}, SpanID{})
+	sp.SetStream("t0")
+	sp.RecordStage("lock-wait", 2*time.Millisecond)
+	sp.RecordStage("cluster-apply", 5*time.Millisecond)
+	sp.RecordStage("lock-wait", 3*time.Millisecond)
+	sp.RecordStage("quota", 0) // floored at 1ns, never zero
+	d := sp.End()
+	if len(d.Stages) != 3 {
+		t.Fatalf("stages = %+v, want 3 merged entries", d.Stages)
+	}
+	byName := map[string]float64{}
+	for _, st := range d.Stages {
+		if st.Ms <= 0 {
+			t.Errorf("stage %s has non-positive ms %v", st.Name, st.Ms)
+		}
+		byName[st.Name] = st.Ms
+	}
+	if ms := byName["lock-wait"]; ms < 4.9 || ms > 5.1 {
+		t.Errorf("lock-wait merged to %vms, want ~5", ms)
+	}
+	if dom, _ := d.Dominant(); dom != "cluster-apply" && dom != "lock-wait" {
+		t.Errorf("dominant stage %q", dom)
+	}
+	if d.DurMs <= 0 {
+		t.Errorf("duration %v not positive", d.DurMs)
+	}
+	// End is idempotent.
+	if d2 := sp.End(); d2.SpanID != d.SpanID || r.Completed() != 1 {
+		t.Errorf("second End changed data or recount: %+v completed=%d", d2, r.Completed())
+	}
+}
+
+func TestNilSpanAndRecorderAreSafe(t *testing.T) {
+	var sp *Span
+	sp.SetStream("x")
+	sp.SetStatus(500)
+	sp.SetError(fmt.Errorf("boom"))
+	sp.RecordStage("restore", time.Second)
+	sp.StartStage("restore")()
+	if got := sp.End(); got.TraceID != "" {
+		t.Errorf("nil span End = %+v", got)
+	}
+	if sp.Traceparent() != "" {
+		t.Errorf("nil span Traceparent non-empty")
+	}
+	var r *Recorder
+	sp2 := r.StartSpan("ingest", TraceID{}, SpanID{})
+	sp2.RecordStage("quota", time.Millisecond)
+	if d := sp2.End(); d.Name != "ingest" {
+		t.Errorf("span from nil recorder unusable: %+v", d)
+	}
+	if r.Spans(Filter{}) != nil || r.Started() != 0 {
+		t.Errorf("nil recorder leaked state")
+	}
+}
+
+func TestRecorderSlowestSurvivesRingEviction(t *testing.T) {
+	r := NewRecorder(4, 2)
+	slow := r.StartSpan("centers", TraceID{}, SpanID{})
+	time.Sleep(2 * time.Millisecond)
+	slowData := slow.End()
+	for i := 0; i < 20; i++ {
+		r.StartSpan("ingest", TraceID{}, SpanID{}).End()
+	}
+	got := r.Spans(Filter{Endpoint: "centers"})
+	if len(got) != 1 || got[0].TraceID != slowData.TraceID {
+		t.Fatalf("slow span evicted from window: %+v", got)
+	}
+	// min_ms filter keeps it, a high bar drops it.
+	if len(r.Spans(Filter{MinMs: 1})) == 0 {
+		t.Errorf("min_ms=1 dropped the slow span")
+	}
+	if len(r.Spans(Filter{MinMs: 1e9})) != 0 {
+		t.Errorf("min_ms=1e9 returned spans")
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	r := NewRecorder(16, 4)
+	a := r.StartSpan("ingest", TraceID{}, SpanID{})
+	a.SetStream("alpha")
+	a.End()
+	b := r.StartSpan("centers", TraceID{}, SpanID{})
+	b.SetStream("beta")
+	b.End()
+
+	get := func(q string) tracesResponse {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces"+q, nil))
+		if rec.Code != 200 {
+			t.Fatalf("GET /debug/traces%s: %d %s", q, rec.Code, rec.Body)
+		}
+		var resp tracesResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return resp
+	}
+	all := get("")
+	if all.Started != 2 || all.Completed != 2 || all.Returned != 2 {
+		t.Fatalf("counters: %+v", all)
+	}
+	if got := get("?stream=alpha"); got.Returned != 1 || got.Spans[0].Name != "ingest" {
+		t.Fatalf("stream filter: %+v", got)
+	}
+	if got := get("?endpoint=centers"); got.Returned != 1 || got.Spans[0].Stream != "beta" {
+		t.Fatalf("endpoint filter: %+v", got)
+	}
+	tid, _ := a.IDs()
+	if got := get("?trace=" + tid.String()); got.Returned != 1 || got.Spans[0].Stream != "alpha" {
+		t.Fatalf("trace filter: %+v", got)
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces?min_ms=abc", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad min_ms accepted: %d", rec.Code)
+	}
+}
+
+// TestRecorderConcurrentRecording drives many goroutines through span
+// creation, stage recording and End concurrently; under -race this
+// pins that the ring never drops or tears an entry: every completed
+// span is internally consistent and the counters balance exactly.
+func TestRecorderConcurrentRecording(t *testing.T) {
+	r := NewRecorder(128, 16)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sp := r.StartSpan("ingest", TraceID{}, SpanID{})
+				sp.SetStream(fmt.Sprintf("t%d", g))
+				sp.RecordStage("lock-wait", time.Duration(i+1))
+				sp.RecordStage("cluster-apply", time.Duration(g+1)*time.Microsecond)
+				sp.SetStatus(200)
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := int64(goroutines * perG)
+	if r.Started() != total || r.Completed() != total {
+		t.Fatalf("started=%d completed=%d, want both %d", r.Started(), r.Completed(), total)
+	}
+	spans := r.Spans(Filter{})
+	if len(spans) != 128+16 && len(spans) != 128 {
+		// Ring is full; slowest entries may or may not still be in it.
+		if len(spans) < 128 {
+			t.Fatalf("window lost entries: %d < ring size 128", len(spans))
+		}
+	}
+	for _, d := range spans {
+		if len(d.TraceID) != 32 || len(d.SpanID) != 16 {
+			t.Fatalf("torn ids: %+v", d)
+		}
+		if d.Name != "ingest" || d.Status != 200 || d.DurMs <= 0 {
+			t.Fatalf("torn span: %+v", d)
+		}
+		if len(d.Stages) != 2 {
+			t.Fatalf("torn stages: %+v", d)
+		}
+		for _, st := range d.Stages {
+			if st.Ms <= 0 {
+				t.Fatalf("non-positive stage: %+v", d)
+			}
+		}
+	}
+}
+
+func TestLogSlowEmitsTraceAttrs(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRecorder(8, 4)
+	sp := r.StartSpan("centers", TraceID{}, SpanID{})
+	sp.SetStream("t3")
+	sp.RecordStage("restore", 40*time.Millisecond)
+	sp.RecordStage("coreset-recompute", time.Millisecond)
+	d := sp.End()
+	LogSlow(logger, d)
+	line := buf.String()
+	for _, want := range []string{d.TraceID, `"stream":"t3"`, `"endpoint":"centers"`, `"dominant_stage":"restore"`, `"msg":"slow request"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow log missing %s in %s", want, line)
+		}
+	}
+}

@@ -1,16 +1,22 @@
 package streamkm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
 	"streamkm/internal/decay"
 	"streamkm/internal/geom"
 	"streamkm/internal/persist"
 	"streamkm/internal/registry"
+	"streamkm/internal/trace"
 	"streamkm/internal/window"
 )
 
@@ -61,12 +67,20 @@ type BackendSpec struct {
 	K int `json:"k,omitempty"`
 	// Dim is the expected point dimension; 0 adopts the first point's.
 	Dim int `json:"dim,omitempty"`
-	// Shards is the ingest parallelism (concurrent only; decayed and
-	// windowed backends serialize ingest behind one lock). 0 means
-	// GOMAXPROCS.
+	// Shards is the ingest parallelism, for every variant: concurrent
+	// backends shard their stationary structures, decayed and windowed
+	// ones run the sharded sequencing pipeline (per-lane sub-structures
+	// merged at query time). 0 means GOMAXPROCS.
 	Shards int `json:"shards,omitempty"`
-	// HalfLife is the decay half-life in points (decayed only; > 0).
+	// HalfLife is the decay half-life in arrival counts (decayed only;
+	// exactly one of HalfLife and HalfLifeSeconds must be > 0).
 	HalfLife float64 `json:"half_life,omitempty"`
+	// HalfLifeSeconds is the decay half-life in wall-clock seconds
+	// (decayed only; mutually exclusive with HalfLife). A point's
+	// influence halves every HalfLifeSeconds of elapsed time regardless
+	// of arrival rate, with timestamps taken from a monotonic clock at
+	// sequencing time.
+	HalfLifeSeconds float64 `json:"half_life_seconds,omitempty"`
 	// WindowN is the sliding-window length in points (windowed only;
 	// >= the coreset bucket size).
 	WindowN int64 `json:"window_n,omitempty"`
@@ -127,12 +141,15 @@ func (s BackendSpec) withDefaults() (BackendSpec, error) {
 	// the tenant long after the PUT was acknowledged.
 	switch s.Type {
 	case BackendConcurrent:
-		if s.HalfLife != 0 || s.WindowN != 0 {
-			return s, fmt.Errorf("streamkm: concurrent backend takes neither half_life (%v) nor window_n (%d)", s.HalfLife, s.WindowN)
+		if s.HalfLife != 0 || s.HalfLifeSeconds != 0 || s.WindowN != 0 {
+			return s, fmt.Errorf("streamkm: concurrent backend takes neither half_life (%v/%vs) nor window_n (%d)", s.HalfLife, s.HalfLifeSeconds, s.WindowN)
 		}
 	case BackendDecayed:
-		if s.HalfLife <= 0 {
-			return s, fmt.Errorf("streamkm: decayed backend requires half_life > 0, got %v", s.HalfLife)
+		if s.HalfLife < 0 || s.HalfLifeSeconds < 0 {
+			return s, fmt.Errorf("streamkm: decayed backend half-lives must be positive, got half_life %v, half_life_seconds %v", s.HalfLife, s.HalfLifeSeconds)
+		}
+		if (s.HalfLife > 0) == (s.HalfLifeSeconds > 0) {
+			return s, fmt.Errorf("streamkm: decayed backend requires exactly one of half_life (%v) and half_life_seconds (%v)", s.HalfLife, s.HalfLifeSeconds)
 		}
 		if s.WindowN != 0 {
 			return s, fmt.Errorf("streamkm: decayed backend takes no window_n, got %d", s.WindowN)
@@ -141,8 +158,8 @@ func (s BackendSpec) withDefaults() (BackendSpec, error) {
 		if s.WindowN < 1 {
 			return s, fmt.Errorf("streamkm: windowed backend requires window_n >= 1, got %d", s.WindowN)
 		}
-		if s.HalfLife != 0 {
-			return s, fmt.Errorf("streamkm: windowed backend takes no half_life, got %v", s.HalfLife)
+		if s.HalfLife != 0 || s.HalfLifeSeconds != 0 {
+			return s, fmt.Errorf("streamkm: windowed backend takes no half_life, got %v/%vs", s.HalfLife, s.HalfLifeSeconds)
 		}
 	default:
 		return s, fmt.Errorf("streamkm: unknown backend type %q (want concurrent, decayed or windowed)", s.Type)
@@ -186,6 +203,9 @@ func (s BackendSpec) check(got BackendSpec) error {
 	if s.HalfLife != 0 && s.HalfLife != got.HalfLife {
 		return fmt.Errorf("streamkm: snapshot half-life %v does not match spec half_life %v", got.HalfLife, s.HalfLife)
 	}
+	if s.HalfLifeSeconds != 0 && s.HalfLifeSeconds != got.HalfLifeSeconds {
+		return fmt.Errorf("streamkm: snapshot wall-clock half-life %v does not match spec half_life_seconds %v", got.HalfLifeSeconds, s.HalfLifeSeconds)
+	}
 	if s.WindowN != 0 && s.WindowN != got.WindowN {
 		return fmt.Errorf("streamkm: snapshot window %d does not match spec window_n %d", got.WindowN, s.WindowN)
 	}
@@ -194,10 +214,15 @@ func (s BackendSpec) check(got BackendSpec) error {
 
 // SpecFromStreamConfig maps the registry's wire-form stream
 // configuration onto a backend spec. shards is the serving layer's
-// per-stream ingest parallelism (0 keeps the default, or — on restore —
-// the snapshot's). The single definition here keeps the daemon, tests
-// and examples from each hand-maintaining the field mapping.
+// default per-stream ingest parallelism, overridden by the stream's
+// own "shards" knob when set (0 keeps the package default, or — on
+// restore — the snapshot's recorded layout). The single definition
+// here keeps the daemon, tests and examples from each hand-maintaining
+// the field mapping.
 func SpecFromStreamConfig(sc registry.StreamConfig, shards int) BackendSpec {
+	if sc.Shards > 0 {
+		shards = sc.Shards
+	}
 	return BackendSpec{
 		Type:             BackendType(sc.Backend),
 		Algo:             Algo(sc.Algo),
@@ -205,6 +230,7 @@ func SpecFromStreamConfig(sc registry.StreamConfig, shards int) BackendSpec {
 		Dim:              sc.Dim,
 		Shards:           shards,
 		HalfLife:         sc.HalfLife,
+		HalfLifeSeconds:  sc.HalfLifeSeconds,
 		WindowN:          sc.WindowN,
 		PointsPerSec:     sc.PointsPerSec,
 		BytesPerSec:      sc.BytesPerSec,
@@ -220,7 +246,9 @@ func (s BackendSpec) StreamConfig() registry.StreamConfig {
 		Algo:             string(s.Algo),
 		K:                s.K,
 		Dim:              s.Dim,
+		Shards:           s.Shards,
 		HalfLife:         s.HalfLife,
+		HalfLifeSeconds:  s.HalfLifeSeconds,
 		WindowN:          s.WindowN,
 		PointsPerSec:     s.PointsPerSec,
 		BytesPerSec:      s.BytesPerSec,
@@ -249,12 +277,29 @@ func Open(spec BackendSpec, cfg Config) (Backend, error) {
 		}
 		return c, nil
 	case BackendDecayed:
-		c, err := NewDecayed(spec.Algo, cfg, spec.HalfLife)
+		switch spec.Algo {
+		case AlgoCT, AlgoCC, AlgoRCC:
+		default:
+			return nil, fmt.Errorf("streamkm: decayed backend supports CT, CC and RCC, not %q", spec.Algo)
+		}
+		cfg, err := cfg.withDefaults()
 		if err != nil {
 			return nil, err
 		}
-		spec.Shards = 0
-		return &decayedBackend{spec: spec, d: c.(*wrapper).inner.(*decay.Clusterer)}, nil
+		b, err := cfg.builder()
+		if err != nil {
+			return nil, err
+		}
+		lambda, wall := ln2/spec.HalfLife, false
+		if spec.HalfLifeSeconds > 0 {
+			lambda, wall = ln2/spec.HalfLifeSeconds, true
+		}
+		sh, err := decay.NewSharded(spec.Shards, cfg.K, lambda, cfg.Seed, cfg.queryOptions(),
+			decayDriverFactory(spec.Algo, cfg, b))
+		if err != nil {
+			return nil, err
+		}
+		return &decayedBackend{spec: spec, sh: sh, alpha: cfg.Alpha, wall: wall, epoch: time.Now()}, nil
 	case BackendWindowed:
 		cfg, err := cfg.withDefaults()
 		if err != nil {
@@ -264,15 +309,35 @@ func Open(spec BackendSpec, cfg Config) (Backend, error) {
 		if err != nil {
 			return nil, err
 		}
-		wc, err := window.New(cfg.K, cfg.BucketSize, cfg.MergeDegree, spec.WindowN,
-			b, rand.New(rand.NewSource(cfg.Seed)), cfg.queryOptions())
+		sh, err := window.NewSharded(spec.Shards, cfg.K, cfg.BucketSize, cfg.MergeDegree,
+			spec.WindowN, b, cfg.Seed, cfg.queryOptions())
 		if err != nil {
 			return nil, err
 		}
-		spec.Algo, spec.Shards = "", 0
-		return &windowedBackend{spec: spec, w: wc}, nil
+		spec.Algo = ""
+		return &windowedBackend{spec: spec, sh: sh, alpha: cfg.Alpha}, nil
 	}
 	return nil, fmt.Errorf("streamkm: unknown backend type %q", spec.Type)
+}
+
+// decayDriverFactory builds the per-lane driver constructor for the
+// sharded decay pipeline — the same structure wiring as newShardedInner,
+// but returning the raw *core.Driver the decay shard wraps. cfg must
+// already carry defaults.
+func decayDriverFactory(algo Algo, cfg Config, b coreset.Builder) func(lane int, seed int64) *core.Driver {
+	return func(_ int, seed int64) *core.Driver {
+		rng := rand.New(rand.NewSource(seed))
+		var s core.Structure
+		switch algo {
+		case AlgoCT:
+			s = core.NewCT(cfg.MergeDegree, cfg.BucketSize, b, rng)
+		case AlgoCC:
+			s = core.NewCC(cfg.MergeDegree, cfg.BucketSize, b, rng)
+		default:
+			s = core.NewRCC(cfg.RCCOrder, cfg.BucketSize, b, rng)
+		}
+		return core.NewDriver(s, cfg.K, cfg.BucketSize, rng, cfg.queryOptions())
+	}
 }
 
 // Restore reconstructs a serving backend previously written by a
@@ -331,11 +396,48 @@ func backendFromEnvelope(bs *persist.BackendSnapshot, cfg Config) (Backend, erro
 		if err != nil {
 			return nil, err
 		}
-		dc, err := persist.RestoreDecayed(bs.Decayed, cfg.Seed, builder, cfg.queryOptions())
-		if err != nil {
-			return nil, err
+		var (
+			sh   *decay.Sharded
+			wall bool
+		)
+		if len(bs.DecayedShards) > 0 {
+			// v4 sharded snapshot: per-lane sub-envelopes plus sequencer
+			// cursors restore the pipeline exactly as quiesced.
+			lambda := ln2 / bs.HalfLife
+			if bs.HalfLifeSeconds > 0 {
+				lambda, wall = ln2/bs.HalfLifeSeconds, true
+			}
+			shards, err := persist.RestoreDecayedShards(bs.DecayedShards, lambda, cfg.Seed, builder, cfg.queryOptions())
+			if err != nil {
+				return nil, err
+			}
+			sh, err = decay.NewShardedFromShards(bs.K, lambda, cfg.Seed, cfg.queryOptions(),
+				shards, bs.Clock, bs.RR, bs.Count)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Legacy single-lock snapshot: the restored clusterer becomes
+			// lane 0 of a one-lane pipeline, continuing the identical
+			// arrival-count weight timeline.
+			dc, err := persist.RestoreDecayed(bs.Decayed, cfg.Seed, builder, cfg.queryOptions())
+			if err != nil {
+				return nil, err
+			}
+			lane0, err := dc.Shard(float64(bs.Count) + 1)
+			if err != nil {
+				return nil, err
+			}
+			sh, err = decay.NewShardedFromShards(bs.K, lane0.Lambda(), cfg.Seed, cfg.queryOptions(),
+				[]*decay.Shard{lane0}, bs.Count, 0, bs.Count)
+			if err != nil {
+				return nil, err
+			}
 		}
-		return &decayedBackend{spec: specFromSnapshot(bs), d: dc}, nil
+		spec := specFromSnapshot(bs)
+		spec.Shards = sh.NumLanes()
+		return &decayedBackend{spec: spec, sh: sh, alpha: cfg.Alpha,
+			wall: wall, epoch: time.Now(), base: bs.ElapsedSeconds}, nil
 	case persist.BackendWindowed:
 		cfg.K = 1
 		cfg, err := cfg.withDefaults()
@@ -346,11 +448,32 @@ func backendFromEnvelope(bs *persist.BackendSnapshot, cfg Config) (Backend, erro
 		if err != nil {
 			return nil, err
 		}
-		wc, err := persist.RestoreWindowed(bs.Window, cfg.Seed, builder, cfg.queryOptions())
-		if err != nil {
-			return nil, err
+		var sh *window.Sharded
+		if len(bs.WindowShards) > 0 {
+			subs, err := persist.RestoreWindowShards(bs.WindowShards, cfg.Seed, builder, cfg.queryOptions())
+			if err != nil {
+				return nil, err
+			}
+			sh, err = window.NewShardedFromLanes(bs.K, bs.WindowN, cfg.Seed, cfg.queryOptions(),
+				subs, bs.Clock, bs.RR, bs.Count)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Legacy single-lock snapshot: lane 0 of a one-lane pipeline.
+			wc, err := persist.RestoreWindowed(bs.Window, cfg.Seed, builder, cfg.queryOptions())
+			if err != nil {
+				return nil, err
+			}
+			sh, err = window.NewShardedFromLanes(bs.K, bs.WindowN, cfg.Seed, cfg.queryOptions(),
+				[]*window.Clusterer{wc}, bs.Count, 0, bs.Count)
+			if err != nil {
+				return nil, err
+			}
 		}
-		return &windowedBackend{spec: specFromSnapshot(bs), w: wc}, nil
+		spec := specFromSnapshot(bs)
+		spec.Shards = sh.NumLanes()
+		return &windowedBackend{spec: spec, sh: sh, alpha: cfg.Alpha}, nil
 	}
 	return nil, fmt.Errorf("streamkm: unknown backend type %q in snapshot", bs.Type)
 }
@@ -364,6 +487,7 @@ func specFromSnapshot(bs *persist.BackendSnapshot) BackendSpec {
 		Dim:              bs.Dim,
 		Shards:           bs.Shards,
 		HalfLife:         bs.HalfLife,
+		HalfLifeSeconds:  bs.HalfLifeSeconds,
 		WindowN:          bs.WindowN,
 		PointsPerSec:     bs.PointsPerSec,
 		BytesPerSec:      bs.BytesPerSec,
@@ -423,148 +547,293 @@ func (b *concurrentBackend) Snapshot(w io.Writer) error {
 	}})
 }
 
-// decayedBackend makes the single-goroutine forward-decay clusterer a
-// servable Backend by serializing every operation behind one mutex. The
-// decay wrapper's insertion weight is a strictly ordered logical clock,
-// so sharding it the way Concurrent shards the stationary structures
-// would reorder time; one lock is the honest concurrency model, and
-// snapshots taken under it are trivially consistent cuts.
+// decayedBackend serves the sharded forward-decay pipeline: the tiny
+// sequencing step stamps every batch's global decay times (arrival
+// indices, or monotonic wall-clock seconds in HalfLifeSeconds mode),
+// coreset insertion proceeds under per-lane locks, and queries merge the
+// lane coresets — rescaled to a common reference time — behind the same
+// cached-centers single-flight fast path as Concurrent. The cache
+// freshness test keys on arrival count only: with no new arrivals, decay
+// scales every weight by the same factor, and k-means centers are
+// invariant under uniform weight scaling, so a count-fresh entry stays
+// correct even as wall-clock time passes.
 type decayedBackend struct {
-	spec BackendSpec
+	spec  BackendSpec
+	sh    *decay.Sharded
+	alpha float64
 
-	mu sync.Mutex
-	d  *decay.Clusterer
+	// Wall-clock mode (HalfLifeSeconds): decay times are seconds since
+	// the stream epoch, read from Go's monotonic clock. base carries the
+	// seconds accumulated before the last restore, so a restarted stream
+	// continues the same timeline rather than rejuvenating its points.
+	wall  bool
+	epoch time.Time
+	base  float64
+
+	cache        atomic.Pointer[centersSnapshot]
+	refreshMu    sync.Mutex // single-flight guard for recomputation
+	hits, misses atomic.Int64
+}
+
+// now returns the stream-relative timestamp for wall-clock decay,
+// captured at sequencing time.
+func (b *decayedBackend) now() float64 {
+	return b.base + time.Since(b.epoch).Seconds()
+}
+
+func (b *decayedBackend) addBatch(wps []geom.Weighted) {
+	if b.wall {
+		b.sh.AddBatchWall(b.now(), wps)
+	} else {
+		b.sh.AddBatch(wps)
+	}
 }
 
 func (b *decayedBackend) AddBatch(pts [][]float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, p := range pts {
-		b.d.Add(geom.Point(p))
+	if len(pts) == 0 {
+		return
 	}
+	wps := make([]geom.Weighted, len(pts))
+	for i, p := range pts {
+		wps[i] = geom.Weighted{P: geom.Point(p), W: 1}
+	}
+	b.addBatch(wps)
 }
 
 func (b *decayedBackend) AddWeighted(p []float64, w float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.d.AddWeighted(geom.Weighted{P: geom.Point(p), W: w})
+	b.addBatch([]geom.Weighted{{P: geom.Point(p), W: w}})
 }
 
 func (b *decayedBackend) Centers() [][]float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return pointsOut(b.d.Centers())
+	return b.CentersContext(context.Background())
 }
 
-func (b *decayedBackend) Count() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.d.Count()
+// CentersContext is Centers carrying the request context, so the
+// shard-merge stage of a cache-miss recomputation lands in the request's
+// trace span.
+func (b *decayedBackend) CentersContext(ctx context.Context) [][]float64 {
+	n := b.sh.Count()
+	if snap := b.cache.Load(); snap != nil && fresh(n, snap.count, b.alpha) {
+		b.hits.Add(1)
+		return clonePoints(snap.centers)
+	}
+	b.misses.Add(1)
+	b.refreshMu.Lock()
+	defer b.refreshMu.Unlock()
+	if snap := b.cache.Load(); snap != nil && fresh(n, snap.count, b.alpha) {
+		return clonePoints(snap.centers)
+	}
+	return clonePoints(b.refreshLocked(ctx))
 }
 
-func (b *decayedBackend) PointsStored() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.d.PointsStored()
+func (b *decayedBackend) Refresh() [][]float64 {
+	return b.RefreshContext(context.Background())
 }
 
-func (b *decayedBackend) Name() string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.d.Name()
+// RefreshContext recomputes the centers unconditionally, replacing the
+// cache; the merge is staged into ctx's trace span.
+func (b *decayedBackend) RefreshContext(ctx context.Context) [][]float64 {
+	b.refreshMu.Lock()
+	defer b.refreshMu.Unlock()
+	return clonePoints(b.refreshLocked(ctx))
 }
+
+// refreshLocked gathers and rescales the lane coresets (the shard-merge
+// trace stage), runs the query k-means over the union, and installs the
+// new cache entry. Caller holds refreshMu.
+func (b *decayedBackend) refreshLocked(ctx context.Context) []Point {
+	count := b.sh.Count()
+	done := trace.FromContext(ctx).StartStage("shard-merge")
+	union := b.sh.Coreset()
+	done()
+	cs := b.sh.CoresetCenters(union)
+	centers := make([]Point, len(cs))
+	for i, p := range cs {
+		centers[i] = []float64(p)
+	}
+	b.cache.Store(&centersSnapshot{centers: centers, count: count})
+	return centers
+}
+
+func (b *decayedBackend) CacheStats() (hits, misses int64) {
+	return b.hits.Load(), b.misses.Load()
+}
+
+func (b *decayedBackend) Count() int64 { return b.sh.Count() }
+
+func (b *decayedBackend) PointsStored() int { return b.sh.PointsStored() }
+
+func (b *decayedBackend) Name() string { return b.sh.Name() }
+
+func (b *decayedBackend) NumShards() int { return b.sh.NumLanes() }
 
 func (b *decayedBackend) Spec() BackendSpec { return b.spec }
 
+// Snapshot quiesces every lane — the sequencer cursors and all per-lane
+// summaries captured under one global lock ladder, so acked == stored —
+// and writes a v4 typed envelope of per-lane sub-envelopes.
 func (b *decayedBackend) Snapshot(w io.Writer) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	ds, dim, err := persist.SnapshotDecayed(b.d)
-	if err != nil {
-		return err
-	}
-	if dim == 0 {
-		dim = b.spec.Dim
-	}
-	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
-		Type:             persist.BackendDecayed,
-		Algo:             string(b.spec.Algo),
-		K:                b.spec.K,
-		Dim:              dim,
-		HalfLife:         b.spec.HalfLife,
-		Count:            b.d.Count(),
-		PointsPerSec:     b.spec.PointsPerSec,
-		BytesPerSec:      b.spec.BytesPerSec,
-		MaxResidentBytes: b.spec.MaxResidentBytes,
-		Decayed:          ds,
-	}})
+	return b.sh.Quiesce(func(shards []*decay.Shard, clock, rr, count int64) error {
+		var elapsed float64
+		if b.wall {
+			// Read inside the quiesce: every applied batch's timestamp
+			// precedes it, so the restored clock can never run behind a
+			// stored point.
+			elapsed = b.now()
+		}
+		sss, dim, err := persist.SnapshotDecayedShards(shards)
+		if err != nil {
+			return err
+		}
+		if dim == 0 {
+			dim = b.spec.Dim
+		}
+		return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
+			Type:             persist.BackendDecayed,
+			Algo:             string(b.spec.Algo),
+			K:                b.spec.K,
+			Dim:              dim,
+			Shards:           len(shards),
+			HalfLife:         b.spec.HalfLife,
+			HalfLifeSeconds:  b.spec.HalfLifeSeconds,
+			Count:            count,
+			Clock:            clock,
+			RR:               rr,
+			ElapsedSeconds:   elapsed,
+			PointsPerSec:     b.spec.PointsPerSec,
+			BytesPerSec:      b.spec.BytesPerSec,
+			MaxResidentBytes: b.spec.MaxResidentBytes,
+			DecayedShards:    sss,
+		}})
+	})
 }
 
-// windowedBackend makes the single-goroutine sliding-window clusterer a
-// servable Backend behind one mutex; window expiry is keyed to arrival
-// order, so the same logical-clock argument as for decay applies.
+// windowedBackend serves the sharded sliding-window pipeline: sequencing
+// assigns global arrival indices, per-lane exponential histograms absorb
+// the batches in parallel, and queries expire every lane against the
+// global clock before unioning the lane coresets — behind the same
+// cached-centers single-flight fast path as Concurrent. Expiry is keyed
+// to arrival order, not wall-clock time, so count-based cache freshness
+// is exact here too.
 type windowedBackend struct {
-	spec BackendSpec
+	spec  BackendSpec
+	sh    *window.Sharded
+	alpha float64
 
-	mu sync.Mutex
-	w  *window.Clusterer
+	cache        atomic.Pointer[centersSnapshot]
+	refreshMu    sync.Mutex // single-flight guard for recomputation
+	hits, misses atomic.Int64
 }
 
 func (b *windowedBackend) AddBatch(pts [][]float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for _, p := range pts {
-		b.w.Add(geom.Point(p))
+	if len(pts) == 0 {
+		return
 	}
+	wps := make([]geom.Weighted, len(pts))
+	for i, p := range pts {
+		wps[i] = geom.Weighted{P: geom.Point(p), W: 1}
+	}
+	b.sh.AddBatch(wps)
 }
 
 func (b *windowedBackend) AddWeighted(p []float64, w float64) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.w.AddWeighted(geom.Weighted{P: geom.Point(p), W: w})
+	b.sh.AddBatch([]geom.Weighted{{P: geom.Point(p), W: w}})
 }
 
 func (b *windowedBackend) Centers() [][]float64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return pointsOut(b.w.Centers())
+	return b.CentersContext(context.Background())
 }
 
-func (b *windowedBackend) Count() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.w.Count()
+// CentersContext is Centers carrying the request context for trace
+// staging, as for decayedBackend.
+func (b *windowedBackend) CentersContext(ctx context.Context) [][]float64 {
+	n := b.sh.Count()
+	if snap := b.cache.Load(); snap != nil && fresh(n, snap.count, b.alpha) {
+		b.hits.Add(1)
+		return clonePoints(snap.centers)
+	}
+	b.misses.Add(1)
+	b.refreshMu.Lock()
+	defer b.refreshMu.Unlock()
+	if snap := b.cache.Load(); snap != nil && fresh(n, snap.count, b.alpha) {
+		return clonePoints(snap.centers)
+	}
+	return clonePoints(b.refreshLocked(ctx))
 }
 
-func (b *windowedBackend) PointsStored() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.w.PointsStored()
+func (b *windowedBackend) Refresh() [][]float64 {
+	return b.RefreshContext(context.Background())
 }
 
-func (b *windowedBackend) Name() string { return b.w.Name() }
+// RefreshContext recomputes the centers unconditionally, replacing the
+// cache; the merge is staged into ctx's trace span.
+func (b *windowedBackend) RefreshContext(ctx context.Context) [][]float64 {
+	b.refreshMu.Lock()
+	defer b.refreshMu.Unlock()
+	return clonePoints(b.refreshLocked(ctx))
+}
+
+// refreshLocked expires and unions the lane coresets (the shard-merge
+// trace stage), runs the query k-means, and installs the new cache
+// entry. Caller holds refreshMu.
+func (b *windowedBackend) refreshLocked(ctx context.Context) []Point {
+	count := b.sh.Count()
+	done := trace.FromContext(ctx).StartStage("shard-merge")
+	union := b.sh.Coreset()
+	done()
+	cs := b.sh.CoresetCenters(union)
+	centers := make([]Point, len(cs))
+	for i, p := range cs {
+		centers[i] = []float64(p)
+	}
+	b.cache.Store(&centersSnapshot{centers: centers, count: count})
+	return centers
+}
+
+func (b *windowedBackend) CacheStats() (hits, misses int64) {
+	return b.hits.Load(), b.misses.Load()
+}
+
+func (b *windowedBackend) Count() int64 { return b.sh.Count() }
+
+func (b *windowedBackend) PointsStored() int { return b.sh.PointsStored() }
+
+func (b *windowedBackend) Name() string { return b.sh.Name() }
+
+func (b *windowedBackend) NumShards() int { return b.sh.NumLanes() }
 
 func (b *windowedBackend) Spec() BackendSpec { return b.spec }
 
+// Snapshot quiesces every lane and writes a v4 typed envelope of
+// per-lane window snapshots plus the sequencer cursors.
 func (b *windowedBackend) Snapshot(w io.Writer) error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.w.Snapshot()
-	dim := b.w.Dim()
-	if dim == 0 {
-		dim = b.spec.Dim
-	}
-	return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
-		Type:             persist.BackendWindowed,
-		K:                b.spec.K,
-		Dim:              dim,
-		WindowN:          b.spec.WindowN,
-		Count:            b.w.Count(),
-		PointsPerSec:     b.spec.PointsPerSec,
-		BytesPerSec:      b.spec.BytesPerSec,
-		MaxResidentBytes: b.spec.MaxResidentBytes,
-		Window:           &s,
-	}})
+	return b.sh.Quiesce(func(subs []*window.Clusterer, clock, rr, count int64) error {
+		wss := make([]window.Snapshot, len(subs))
+		dim := 0
+		for i, wc := range subs {
+			wss[i] = wc.Snapshot()
+			if dim == 0 {
+				dim = wc.Dim()
+			}
+		}
+		if dim == 0 {
+			dim = b.spec.Dim
+		}
+		return persist.Save(w, persist.Envelope{Kind: persist.KindBackend, Backend: &persist.BackendSnapshot{
+			Type:             persist.BackendWindowed,
+			K:                b.spec.K,
+			Dim:              dim,
+			Shards:           len(subs),
+			WindowN:          b.spec.WindowN,
+			Count:            count,
+			Clock:            clock,
+			RR:               rr,
+			PointsPerSec:     b.spec.PointsPerSec,
+			BytesPerSec:      b.spec.BytesPerSec,
+			MaxResidentBytes: b.spec.MaxResidentBytes,
+			WindowShards:     wss,
+		}})
+	})
 }
 
 // pointsOut converts internal points to caller-owned [][]float64 copies.

@@ -1,0 +1,194 @@
+package streamkm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"streamkm/internal/registry"
+)
+
+// Sharded-pipeline coverage at the public backend layer: explicit lane
+// counts (the package tests otherwise inherit GOMAXPROCS, which is 1 on
+// small CI machines), the wall-clock half-life spec, and the upgrade
+// path from the committed pre-sharding golden snapshots.
+
+func shardedSpecs() map[string]BackendSpec {
+	return map[string]BackendSpec{
+		"decayed":      {Type: BackendDecayed, Algo: AlgoCC, K: 3, Shards: 4, HalfLife: 800},
+		"decayed-wall": {Type: BackendDecayed, Algo: AlgoCC, K: 3, Shards: 4, HalfLifeSeconds: 3600},
+		"windowed":     {Type: BackendWindowed, K: 3, Shards: 4, WindowN: 5000},
+	}
+}
+
+func numShards(t *testing.T, b Backend) int {
+	t.Helper()
+	s, ok := b.(interface{ NumShards() int })
+	if !ok {
+		t.Fatalf("%T does not report a lane count", b)
+	}
+	return s.NumShards()
+}
+
+// TestShardedBackendSnapshotRoundTrip: explicit 4-lane decayed (both
+// half-life encodings) and windowed backends snapshot through the v4
+// sub-envelopes and restore with lanes, counts, spec and clustering
+// cost intact.
+func TestShardedBackendSnapshotRoundTrip(t *testing.T) {
+	pts := backendStream(2000, 42)
+	for name, spec := range shardedSpecs() {
+		t.Run(name, func(t *testing.T) {
+			cfg := Config{BucketSize: 60, Seed: 5}
+			b, err := Open(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.AddBatch(pts[:1500])
+			b.AddWeighted(pts[1500], 2.5)
+			b.AddBatch(pts[1501:])
+			if b.Count() != 2000 {
+				t.Fatalf("count %d, want 2000", b.Count())
+			}
+			if got := numShards(t, b); got != 4 {
+				t.Fatalf("%d lanes, want 4", got)
+			}
+			preCost := Cost(pts, b.Centers())
+
+			var buf bytes.Buffer
+			if err := b.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Restore(spec, bytes.NewReader(buf.Bytes()), Config{Seed: 6})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Count() != 2000 {
+				t.Fatalf("restored count %d, want 2000", r.Count())
+			}
+			if got := numShards(t, r); got != 4 {
+				t.Fatalf("restored with %d lanes, want 4", got)
+			}
+			got := r.Spec()
+			if got.HalfLife != spec.HalfLife || got.HalfLifeSeconds != spec.HalfLifeSeconds {
+				t.Fatalf("restored spec half-lives %+v, want %+v", got, spec)
+			}
+			postCost := Cost(pts, r.Centers())
+			if postCost > 2*preCost || preCost > 2*postCost {
+				t.Fatalf("cost after restore %v vs %v", postCost, preCost)
+			}
+			r.AddBatch(pts[:10])
+			if r.Count() != 2010 {
+				t.Fatalf("count after resume %d, want 2010", r.Count())
+			}
+		})
+	}
+}
+
+// TestSpecFromStreamConfigShards pins the per-tenant shards knob: a
+// stream's own "shards" overrides the serving layer's default, zero
+// inherits it, and the inverse mapping reports the actual lane count.
+func TestSpecFromStreamConfigShards(t *testing.T) {
+	sc := registry.StreamConfig{Backend: "decayed", Algo: "CC", K: 3, HalfLife: 100}
+	if got := SpecFromStreamConfig(sc, 4).Shards; got != 4 {
+		t.Fatalf("unset knob: shards %d, want the default 4", got)
+	}
+	sc.Shards = 3
+	if got := SpecFromStreamConfig(sc, 4).Shards; got != 3 {
+		t.Fatalf("shards knob ignored: %d, want 3", got)
+	}
+	spec := SpecFromStreamConfig(sc, 4)
+	if got := spec.StreamConfig().Shards; got != 3 {
+		t.Fatalf("inverse mapping dropped shards: %d, want 3", got)
+	}
+	b, err := Open(spec, Config{BucketSize: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := numShards(t, b); got != 3 {
+		t.Fatalf("opened with %d lanes, want 3", got)
+	}
+	if err := (registry.StreamConfig{Algo: "CC", K: 3, Shards: -1}).Validate(); err == nil {
+		t.Error("negative shards accepted")
+	}
+	if err := (registry.StreamConfig{Algo: "CC", K: 3, Shards: registry.MaxShards + 1}).Validate(); err == nil {
+		t.Error("absurd shards accepted")
+	}
+}
+
+// TestHalfLifeSpecValidation pins the exactly-one rule for the two
+// half-life encodings and confines them to the decayed variant.
+func TestHalfLifeSpecValidation(t *testing.T) {
+	cfg := Config{BucketSize: 60, Seed: 5}
+	bad := []BackendSpec{
+		{Type: BackendDecayed, K: 3},                                       // neither
+		{Type: BackendDecayed, K: 3, HalfLife: 100, HalfLifeSeconds: 60},   // both
+		{Type: BackendDecayed, K: 3, HalfLifeSeconds: -1},                  // negative
+		{Type: BackendWindowed, K: 3, WindowN: 100, HalfLifeSeconds: 60},   // wrong variant
+		{Type: BackendConcurrent, Algo: AlgoCC, K: 3, HalfLifeSeconds: 60}, // wrong variant
+		{Type: BackendConcurrent, Algo: AlgoCC, K: 3, HalfLife: 100},       // wrong variant
+	}
+	for i, spec := range bad {
+		if _, err := Open(spec, cfg); err == nil {
+			t.Errorf("case %d (%+v): accepted", i, spec)
+		}
+	}
+	// The two valid encodings both open.
+	for _, spec := range []BackendSpec{
+		{Type: BackendDecayed, Algo: AlgoCC, K: 3, HalfLife: 100},
+		{Type: BackendDecayed, Algo: AlgoCC, K: 3, HalfLifeSeconds: 60},
+	} {
+		if _, err := Open(spec, cfg); err != nil {
+			t.Errorf("%+v: %v", spec, err)
+		}
+	}
+}
+
+// TestRestoreGoldenLegacyBackends loads the committed pre-sharding (v3)
+// golden snapshots through the public Restore: they come back as
+// single-lane pipelines that keep serving and, once re-snapshotted,
+// write the current sharded format and restore again.
+func TestRestoreGoldenLegacyBackends(t *testing.T) {
+	cases := []struct {
+		fixture string
+		count   int64
+	}{
+		{"v3-decayed.snap", 700},
+		{"v3-windowed.snap", 900},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("internal", "persist", "testdata", tc.fixture))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Restore(BackendSpec{}, bytes.NewReader(raw), Config{BucketSize: 30, Seed: 1})
+			if err != nil {
+				t.Fatalf("golden %s no longer restores through the backend layer: %v", tc.fixture, err)
+			}
+			if b.Count() != tc.count {
+				t.Fatalf("count %d, want %d", b.Count(), tc.count)
+			}
+			if got := numShards(t, b); got != 1 {
+				t.Fatalf("legacy snapshot restored with %d lanes, want 1", got)
+			}
+			if len(b.Centers()) == 0 {
+				t.Fatal("no centers from restored legacy backend")
+			}
+			// It keeps ingesting, and its next snapshot is the sharded
+			// format, which restores again.
+			b.AddBatch([][]float64{{1, 2}, {3, 4}})
+			var buf bytes.Buffer
+			if err := b.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			r, err := Restore(BackendSpec{}, bytes.NewReader(buf.Bytes()), Config{BucketSize: 30, Seed: 1})
+			if err != nil {
+				t.Fatalf("re-snapshotted legacy backend no longer restores: %v", err)
+			}
+			if r.Count() != tc.count+2 {
+				t.Fatalf("re-restored count %d, want %d", r.Count(), tc.count+2)
+			}
+		})
+	}
+}

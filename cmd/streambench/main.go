@@ -92,6 +92,7 @@ func main() {
 		tenants     = flag.Int("tenants", 1, "drive this many independent streams (/streams/replay-NNN) in -replay mode")
 		backend     = flag.String("backend", "", "create replay streams with this backend (concurrent, decayed, windowed) in -replay mode; empty = daemon default")
 		halfLife    = flag.Float64("half-life", 5000, "decay half-life in points for -backend decayed")
+		halfLifeS   = flag.Float64("half-life-seconds", 0, "wall-clock decay half-life for -backend decayed; overrides -half-life when set")
 		windowN     = flag.Int64("window", 50000, "sliding-window length in points for -backend windowed")
 		jsonOut     = flag.String("json", "", "write the -replay result as machine-readable JSON to this file")
 		wireFmt     = flag.String("wire", "ndjson", "ingest wire format in -replay mode: ndjson or binary (application/x-streamkm-batch)")
@@ -118,20 +119,21 @@ func main() {
 			ds = strings.Split(*datasets, ",")[0]
 		}
 		err := runReplay(replayConfig{
-			url:        strings.TrimRight(*replay, "/"),
-			routers:    routerURLs,
-			dataset:    ds,
-			n:          *n,
-			conc:       *conc,
-			batch:      *batch,
-			tenants:    *tenants,
-			backend:    *backend,
-			halfLife:   *halfLife,
-			windowN:    *windowN,
-			queryEvery: *q,
-			seed:       *seed,
-			jsonOut:    *jsonOut,
-			wire:       *wireFmt,
+			url:          strings.TrimRight(*replay, "/"),
+			routers:      routerURLs,
+			dataset:      ds,
+			n:            *n,
+			conc:         *conc,
+			batch:        *batch,
+			tenants:      *tenants,
+			backend:      *backend,
+			halfLife:     *halfLife,
+			halfLifeSecs: *halfLifeS,
+			windowN:      *windowN,
+			queryEvery:   *q,
+			seed:         *seed,
+			jsonOut:      *jsonOut,
+			wire:         *wireFmt,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "streambench: replay: %v\n", err)

@@ -31,20 +31,21 @@ import (
 // registry, including eviction/restore churn when the daemon runs with
 // -max-streams below the tenant count.
 type replayConfig struct {
-	url        string   // daemon base URL, e.g. http://localhost:7070
-	routers    []string // streamkm-router base URLs: requests round-robin across them and transient handoff refusals (503/502/409) are retried
-	dataset    string   // datagen dataset name
-	n          int      // points to replay (total across tenants)
-	conc       int      // concurrent producers
-	batch      int      // points per ingest request
-	tenants    int      // number of streams to drive (1 = legacy root endpoints)
-	backend    string   // backend spec for created streams ("" = daemon default)
-	halfLife   float64  // decay half-life for -backend decayed
-	windowN    int64    // window length for -backend windowed
-	queryEvery int64    // issue a centers query every this many points (0 = none)
-	seed       int64
-	jsonOut    string // write a machine-readable result to this file ("" = none)
-	wire       string // ingest wire format: "ndjson" (default) or "binary"
+	url          string   // daemon base URL, e.g. http://localhost:7070
+	routers      []string // streamkm-router base URLs: requests round-robin across them and transient handoff refusals (503/502/409) are retried
+	dataset      string   // datagen dataset name
+	n            int      // points to replay (total across tenants)
+	conc         int      // concurrent producers
+	batch        int      // points per ingest request
+	tenants      int      // number of streams to drive (1 = legacy root endpoints)
+	backend      string   // backend spec for created streams ("" = daemon default)
+	halfLife     float64  // decay half-life in points for -backend decayed
+	halfLifeSecs float64  // wall-clock decay half-life for -backend decayed (overrides halfLife when set)
+	windowN      int64    // window length for -backend windowed
+	queryEvery   int64    // issue a centers query every this many points (0 = none)
+	seed         int64
+	jsonOut      string // write a machine-readable result to this file ("" = none)
+	wire         string // ingest wire format: "ndjson" (default) or "binary"
 }
 
 // binaryWire reports whether ingest batches travel as
@@ -114,6 +115,7 @@ type replayResult struct {
 	N               int            `json:"n"`
 	Dim             int            `json:"dim"`
 	Backend         string         `json:"backend,omitempty"`
+	Shards          int            `json:"shards,omitempty"`
 	Routers         int            `json:"routers,omitempty"`
 	Wire            string         `json:"wire"`
 	Tenants         int            `json:"tenants"`
@@ -216,6 +218,27 @@ func (rc replayConfig) tenantName(t int) string {
 		return fmt.Sprintf("replay-%s-%03d", rc.backend, t)
 	}
 	return fmt.Sprintf("replay-%03d", t)
+}
+
+// fetchShards reads the ingest lane count from a stream's /stats
+// endpoint. Best effort: 0 (omitted from JSON output) on any error or
+// when the backend is unsharded.
+func fetchShards(client *http.Client, url string) int {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0
+	}
+	var body struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return 0
+	}
+	return body.Shards
 }
 
 // tenantPath prefixes an endpoint with the tenant's stream route.
@@ -394,6 +417,9 @@ func runReplay(rc replayConfig) error {
 			FinalK:     k,
 		})
 	}
+	if rc.useStreams() && !aborted {
+		res.Shards = fetchShards(client, tenantPath(rc.base(0), rc.tenantName(0), "/stats"))
+	}
 	st.mu.Lock()
 	res.Queries = st.queries.Load()
 	res.QueryP50Ms = metrics.Percentile(st.queryMs, 0.5)
@@ -458,7 +484,11 @@ func (rc replayConfig) specBody() string {
 	spec := map[string]interface{}{"backend": rc.backend}
 	switch rc.backend {
 	case "decayed":
-		spec["half_life"] = rc.halfLife
+		if rc.halfLifeSecs > 0 {
+			spec["half_life_seconds"] = rc.halfLifeSecs
+		} else {
+			spec["half_life"] = rc.halfLife
+		}
 	case "windowed":
 		spec["window_n"] = rc.windowN
 	}

@@ -21,19 +21,22 @@
 //	curl -sS localhost:7070/stats                       # registry-wide stats
 //
 // Each tenant picks its clustering backend in the PUT body: "concurrent"
-// (infinite stream, sharded ingest — the default), "decayed" (forward
-// exponential decay with the given half_life in points) or "windowed"
-// (a hard sliding window over the last window_n points):
+// (infinite stream — the default), "decayed" (forward exponential decay
+// with the given half_life in points, or half_life_seconds of wall-clock
+// time) or "windowed" (a hard sliding window over the last window_n
+// points). Every variant ingests through -shards parallel lanes:
 //
 //	curl -sS -X PUT localhost:7070/streams/ads \
 //	     -d '{"backend":"decayed","k":20,"half_life":10000}'
+//	curl -sS -X PUT localhost:7070/streams/iot \
+//	     -d '{"backend":"decayed","k":20,"half_life_seconds":3600}'
 //	curl -sS -X PUT localhost:7070/streams/fraud \
 //	     -d '{"backend":"windowed","k":10,"window_n":100000}'
 //
-// -backend (with -half-life / -window) selects the default-stream spec
-// for lazily created tenants. All variants checkpoint and restore
-// through the same snapshot machinery; a snapshot that disagrees with
-// the declared spec refuses to restore.
+// -backend (with -half-life / -half-life-seconds / -window) selects the
+// default-stream spec for lazily created tenants. All variants
+// checkpoint and restore through the same snapshot machinery; a
+// snapshot that disagrees with the declared spec refuses to restore.
 //
 // The pre-registry single-stream endpoints (POST /ingest, GET /centers,
 // GET/POST /snapshot) keep working as aliases for the default stream
@@ -95,6 +98,7 @@ type options struct {
 	bucket        int
 	alpha         float64
 	halfLife      float64
+	halfLifeSecs  float64
 	windowN       int64
 	seed          int64
 	runs          int
@@ -158,7 +162,7 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 		Files:       files,
 		Default: registry.StreamConfig{
 			Backend: o.backend, Algo: o.algo, K: o.k, Dim: o.dim,
-			HalfLife: o.halfLife, WindowN: o.windowN,
+			HalfLife: o.halfLife, HalfLifeSeconds: o.halfLifeSecs, WindowN: o.windowN,
 			PointsPerSec: o.pointsPerSec, BytesPerSec: o.bytesPerSec,
 			MaxResidentBytes: o.maxResBytes,
 		},
@@ -186,7 +190,7 @@ func build(o options) (*registry.Registry, *server.Multi, error) {
 			}
 			return registry.StreamConfig{
 				Backend: meta.Type, Algo: meta.Algo, K: meta.K, Dim: meta.Dim,
-				HalfLife: meta.HalfLife, WindowN: meta.WindowN,
+				HalfLife: meta.HalfLife, HalfLifeSeconds: meta.HalfLifeSeconds, WindowN: meta.WindowN,
 				PointsPerSec: meta.PointsPerSec, BytesPerSec: meta.BytesPerSec,
 				MaxResidentBytes: meta.MaxResidentBytes,
 			}, meta.Count, nil
@@ -250,6 +254,9 @@ func validateDefault(o options, s *registry.Stream) error {
 	if cfg.HalfLife != o.halfLife && cfg.Backend == string(streamkm.BackendDecayed) {
 		return fmt.Errorf("checkpoint half-life %v does not match -half-life %v", cfg.HalfLife, o.halfLife)
 	}
+	if cfg.HalfLifeSeconds != o.halfLifeSecs && cfg.Backend == string(streamkm.BackendDecayed) {
+		return fmt.Errorf("checkpoint wall-clock half-life %v does not match -half-life-seconds %v", cfg.HalfLifeSeconds, o.halfLifeSecs)
+	}
 	if cfg.WindowN != o.windowN && cfg.Backend == string(streamkm.BackendWindowed) {
 		return fmt.Errorf("checkpoint window %d does not match -window %d", cfg.WindowN, o.windowN)
 	}
@@ -270,7 +277,8 @@ func main() {
 	flag.IntVar(&o.dim, "dim", 0, "point dimension (0 = adopt from first point, per stream)")
 	flag.IntVar(&o.bucket, "bucket", 0, "coreset bucket size m (0 = 20*k)")
 	flag.Float64Var(&o.alpha, "alpha", 0, "centers-cache staleness threshold (>1; 0 = default 1.2)")
-	flag.Float64Var(&o.halfLife, "half-life", 0, "decay half-life in points for -backend decayed")
+	flag.Float64Var(&o.halfLife, "half-life", 0, "decay half-life in points for -backend decayed (mutually exclusive with -half-life-seconds)")
+	flag.Float64Var(&o.halfLifeSecs, "half-life-seconds", 0, "decay half-life in wall-clock seconds for -backend decayed (mutually exclusive with -half-life)")
 	flag.Int64Var(&o.windowN, "window", 0, "sliding-window length in points for -backend windowed")
 	flag.Int64Var(&o.seed, "seed", 1, "random seed")
 	flag.IntVar(&o.runs, "queryruns", 1, "k-means++ restarts per query recomputation")

@@ -10,6 +10,13 @@
 //     regressed),
 //   - malformed trace/span ids.
 //
+// With -require-stage, the union of scraped spans must also contain
+// every named stage at least once. CI uses this to prove the sharded
+// query pipelines are live: a replay against a sharded decayed or
+// windowed backend must produce query spans carrying a `shard-merge`
+// stage, and its absence means queries silently stopped going through
+// the lane-merge path.
+//
 // Given a streambench JSON artifact it also cross-checks liveness of the
 // trace plumbing end to end: every slowest_queries trace id the bench
 // client stamped into a traceparent header must appear in the union of
@@ -21,7 +28,7 @@
 //
 // Usage:
 //
-//	tracecheck -traces http://localhost:7070/debug/traces[,http://localhost:7090/debug/traces] [-bench streambench.json]
+//	tracecheck -traces http://localhost:7070/debug/traces[,http://localhost:7090/debug/traces] [-bench streambench.json] [-require-stage shard-merge]
 package main
 
 import (
@@ -36,16 +43,17 @@ import (
 )
 
 func main() {
-	var urls, bench string
+	var urls, bench, stages string
 	flag.StringVar(&urls, "traces", "", "comma-separated /debug/traces URLs to fetch and validate (required)")
 	flag.StringVar(&bench, "bench", "", "streambench JSON result whose slowest_queries trace ids must appear in the scraped rings (optional)")
+	flag.StringVar(&stages, "require-stage", "", "comma-separated stage names that must each appear in at least one scraped span (optional)")
 	flag.Parse()
 	if urls == "" {
 		fmt.Fprintln(os.Stderr, "tracecheck: -traces is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(strings.Split(urls, ","), bench); err != nil {
+	if err := run(strings.Split(urls, ","), bench, splitStages(stages)); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
@@ -75,9 +83,21 @@ var (
 	spanIDRe  = regexp.MustCompile(`^[0-9a-f]{16}$`)
 )
 
-func run(urls []string, benchPath string) error {
+// splitStages parses the -require-stage list, dropping empty entries.
+func splitStages(s string) []string {
+	var out []string
+	for _, st := range strings.Split(s, ",") {
+		if st = strings.TrimSpace(st); st != "" {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func run(urls []string, benchPath string, requiredStages []string) error {
 	client := &http.Client{Timeout: 30 * time.Second}
-	seen := make(map[string]bool) // trace ids across every scraped ring
+	seen := make(map[string]bool)       // trace ids across every scraped ring
+	seenStages := make(map[string]bool) // stage names across every scraped span
 	for _, u := range urls {
 		u = strings.TrimSpace(u)
 		if u == "" {
@@ -92,12 +112,21 @@ func run(urls []string, benchPath string) error {
 		}
 		for _, s := range d.Spans {
 			seen[s.TraceID] = true
+			for _, st := range s.Stages {
+				seenStages[st.Name] = true
+			}
 		}
 		fmt.Printf("tracecheck: %s: %d spans ok (%d started, %d completed)\n",
 			u, len(d.Spans), d.Started, d.Completed)
 	}
 	if len(seen) == 0 {
 		return fmt.Errorf("no spans fetched from %v", urls)
+	}
+	for _, st := range requiredStages {
+		if !seenStages[st] {
+			return fmt.Errorf("required stage %q missing from every scraped span — the code path that records it did not run", st)
+		}
+		fmt.Printf("tracecheck: required stage %q present\n", st)
 	}
 	if benchPath == "" {
 		return nil

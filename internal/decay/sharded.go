@@ -1,0 +1,216 @@
+package decay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"streamkm/internal/core"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/parallel"
+)
+
+// Sharded is a forward-decay streaming clusterer over P parallel ingest
+// lanes. The sequencing step (parallel.Lanes.Reserve) assigns each batch
+// its global arrival span lock-free; the coreset insertion — the
+// expensive part — then runs under a per-lane lock, so P producers
+// proceed in parallel exactly as in the stationary sharded clusterer.
+//
+// Decay semantics are preserved exactly: the point with global arrival
+// index i carries insertion weight exp(lambda*i) no matter which lane
+// stores it (wall-clock mode substitutes seconds for indices). Lanes
+// renormalize their stored scales independently; a query rescales every
+// lane's coreset to the newest reference time before unioning — uniform
+// per-lane scalings, under which the k-means objective is invariant — so
+// the merged union is a coreset of the decayed stream by the same
+// Observation 1 argument as the stationary case.
+type Sharded struct {
+	lanes  *parallel.Lanes[*Shard]
+	k      int
+	lambda float64
+
+	qmu      sync.Mutex // guards rng at query time
+	rng      *rand.Rand
+	queryOpt kmeans.Options
+}
+
+// NewSharded builds a P-lane forward-decay clusterer with rate lambda.
+// newDriver is called once per lane with the lane index and a
+// lane-specific seed, as for parallel.NewSharded.
+func NewSharded(p, k int, lambda float64, seed int64, queryOpt kmeans.Options,
+	newDriver func(lane int, seed int64) *core.Driver) (*Sharded, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("decay: need at least 1 lane, got %d", p)
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("decay: k must be >= 1, got %d", k)
+	}
+	shards := make([]*Shard, p)
+	for i := range shards {
+		drv := newDriver(i, seed+int64(i)*7919)
+		if drv == nil {
+			return nil, fmt.Errorf("decay: newDriver returned nil for lane %d", i)
+		}
+		sh, err := NewShard(drv, lambda, 0)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+	}
+	lanes, err := parallel.NewLanes(shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{lanes: lanes, k: k, lambda: lambda,
+		rng: rand.New(rand.NewSource(seed)), queryOpt: queryOpt}, nil
+}
+
+// NewShardedFromShards reassembles a Sharded around already-restored
+// lanes — the persistence layer's entry point. clock, rr and count
+// restore the sequencer cursors.
+func NewShardedFromShards(k int, lambda float64, seed int64, queryOpt kmeans.Options,
+	shards []*Shard, clock, rr, count int64) (*Sharded, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("decay: k must be >= 1, got %d", k)
+	}
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("decay: nil restored shard for lane %d", i)
+		}
+		if sh.lambda != lambda {
+			return nil, fmt.Errorf("decay: lane %d rate %v disagrees with stream rate %v", i, sh.lambda, lambda)
+		}
+	}
+	lanes, err := parallel.NewLanes(shards)
+	if err != nil {
+		return nil, err
+	}
+	if err := lanes.RestoreCursors(clock, rr, count); err != nil {
+		return nil, err
+	}
+	return &Sharded{lanes: lanes, k: k, lambda: lambda,
+		rng: rand.New(rand.NewSource(seed)), queryOpt: queryOpt}, nil
+}
+
+// AddBatch observes a batch under arrival-count decay: the batch's
+// points take the next len(wps) global arrival indices as their decay
+// times.
+func (s *Sharded) AddBatch(wps []geom.Weighted) {
+	if len(wps) == 0 {
+		return
+	}
+	first, lane := s.lanes.Reserve(len(wps))
+	s.lanes.Apply(lane, len(wps), func(sh *Shard) {
+		sh.AddBatchAt(float64(first), 1, wps)
+	})
+}
+
+// AddBatchWall observes a batch under wall-clock decay: every point in
+// the batch shares the timestamp sec (seconds since the stream epoch,
+// captured by the caller at sequencing time). Arrival indices are still
+// consumed so Count keeps meaning total arrivals.
+func (s *Sharded) AddBatchWall(sec float64, wps []geom.Weighted) {
+	if len(wps) == 0 {
+		return
+	}
+	_, lane := s.lanes.Reserve(len(wps))
+	s.lanes.Apply(lane, len(wps), func(sh *Shard) {
+		sh.AddBatchAt(sec, 0, wps)
+	})
+}
+
+// Coreset gathers every lane's coreset — each lane locked only while its
+// own summary is copied out — rescales them to the newest lane reference
+// time, and returns the union: a coreset of the decayed stream.
+func (s *Sharded) Coreset() []geom.Weighted {
+	type cut struct {
+		refT float64
+		cs   []geom.Weighted
+	}
+	cuts := make([]cut, s.lanes.NumLanes())
+	s.lanes.Each(func(i int, sh *Shard) {
+		// Copy under the lane lock at the shard's own reference; the
+		// cross-lane rescale happens outside any lock once the global
+		// reference is known.
+		cuts[i] = cut{refT: sh.RefT(), cs: sh.ScaledCoreset(sh.RefT())}
+	})
+	globalRef := math.Inf(-1)
+	for _, c := range cuts {
+		if c.refT > globalRef {
+			globalRef = c.refT
+		}
+	}
+	var union []geom.Weighted
+	for _, c := range cuts {
+		union = geom.AppendScaled(union, c.cs, math.Exp(s.lambda*(c.refT-globalRef)))
+	}
+	return union
+}
+
+// CoresetCenters runs the query-time k-means++ over an already-merged
+// coreset (as returned by Coreset) — split out so the serving layer can
+// time the merge and the solve as separate trace stages.
+func (s *Sharded) CoresetCenters(union []geom.Weighted) []geom.Point {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	centers, _ := kmeans.Run(s.rng, union, s.k, s.queryOpt)
+	return centers
+}
+
+// Centers answers a global k-means query over the decayed stream.
+func (s *Sharded) Centers() []geom.Point {
+	return s.CoresetCenters(s.Coreset())
+}
+
+// Quiesce locks every lane for a consistent cut; see
+// parallel.Lanes.Quiesce.
+func (s *Sharded) Quiesce(f func(shards []*Shard, clock, rr, count int64) error) error {
+	return s.lanes.Quiesce(f)
+}
+
+// Count returns total arrivals applied across lanes.
+func (s *Sharded) Count() int64 { return s.lanes.Count() }
+
+// Clock returns the arrival indices issued so far (>= Count while
+// batches are in flight).
+func (s *Sharded) Clock() int64 { return s.lanes.Clock() }
+
+// NumLanes returns the ingest parallelism.
+func (s *Sharded) NumLanes() int { return s.lanes.NumLanes() }
+
+// K returns the number of centers answered by queries.
+func (s *Sharded) K() int { return s.k }
+
+// Lambda returns the decay rate.
+func (s *Sharded) Lambda() float64 { return s.lambda }
+
+// PointsStored sums lane memory in points.
+func (s *Sharded) PointsStored() int {
+	total := 0
+	s.lanes.Each(func(_ int, sh *Shard) { total += sh.Driver().PointsStored() })
+	return total
+}
+
+// Name identifies the algorithm in reports.
+func (s *Sharded) Name() string {
+	var inner string
+	s.lanes.View(0, func(sh *Shard) { inner = sh.Driver().Name() })
+	return fmt.Sprintf("Decay[%dx%s]", s.lanes.NumLanes(), inner)
+}
+
+// Dim probes the point dimension from stored points (0 when empty).
+func (s *Sharded) Dim() int {
+	dim := 0
+	s.lanes.Each(func(_ int, sh *Shard) {
+		if dim != 0 {
+			return
+		}
+		for _, wp := range sh.Driver().CoresetUnion() {
+			dim = len(wp.P)
+			return
+		}
+	})
+	return dim
+}

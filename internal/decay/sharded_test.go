@@ -1,0 +1,257 @@
+package decay
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamkm/internal/core"
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func ccFactory(k, m int) func(lane int, seed int64) *core.Driver {
+	return func(_ int, seed int64) *core.Driver {
+		rng := rand.New(rand.NewSource(seed))
+		cc := core.NewCC(2, m, coreset.KMeansPP{}, rng)
+		return core.NewDriver(cc, k, m, rng, kmeans.FastOptions())
+	}
+}
+
+func newShardedT(t testing.TB, p int, lambda float64) *Sharded {
+	t.Helper()
+	sh, err := NewSharded(p, 2, lambda, 1, kmeans.FastOptions(), ccFactory(2, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func unitBatch(pts []geom.Point) []geom.Weighted {
+	out := make([]geom.Weighted, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(0, 2, 0.01, 1, kmeans.FastOptions(), ccFactory(2, 25)); err == nil {
+		t.Error("accepted zero lanes")
+	}
+	if _, err := NewSharded(2, 0, 0.01, 1, kmeans.FastOptions(), ccFactory(2, 25)); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewSharded(2, 2, 0.01, 1, kmeans.FastOptions(),
+		func(int, int64) *core.Driver { return nil }); err == nil {
+		t.Error("accepted nil lane driver")
+	}
+}
+
+// TestShardedWeightMatchesSingleLane: the sharded pipeline's merged
+// coreset carries the same total decayed weight as a single-lane replay
+// of the identical arrival sequence — the union-of-coresets invariant,
+// measured on the quantity decay actually controls.
+func TestShardedWeightMatchesSingleLane(t *testing.T) {
+	lambda := math.Ln2 / 300
+	multi := newShardedT(t, 3, lambda)
+	single := newShardedT(t, 1, lambda)
+	rng := rand.New(rand.NewSource(5))
+	for b := 0; b < 30; b++ {
+		pts := make([]geom.Point, 40)
+		for i := range pts {
+			pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64() + float64(10*(b%2))}
+		}
+		wps := unitBatch(pts)
+		multi.AddBatch(wps)
+		single.AddBatch(wps)
+	}
+	if multi.Count() != single.Count() || multi.Count() != 1200 {
+		t.Fatalf("counts %d / %d, want 1200", multi.Count(), single.Count())
+	}
+	sum := func(cs []geom.Weighted) float64 {
+		total := 0.0
+		for _, wp := range cs {
+			total += wp.W
+		}
+		return total
+	}
+	wm, ws := sum(multi.Coreset()), sum(single.Coreset())
+	if d := math.Abs(wm-ws) / math.Max(wm, ws); d > 1e-6 {
+		t.Fatalf("total decayed weight diverges: sharded %v, single %v (rel %v)", wm, ws, d)
+	}
+}
+
+// TestShardedRecentPointsDominate mirrors the single-lane drift test
+// through the sharded path: after a shift, centers follow the new mass.
+func TestShardedRecentPointsDominate(t *testing.T) {
+	sh := newShardedT(t, 4, math.Ln2/200)
+	rng := rand.New(rand.NewSource(2))
+	batch := func(cx, cy float64, n int) []geom.Weighted {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+		}
+		return unitBatch(pts)
+	}
+	for i := 0; i < 40; i++ {
+		sh.AddBatch(batch(0, 0, 100))
+	}
+	for i := 0; i < 12; i++ {
+		sh.AddBatch(batch(100, 100, 100))
+	}
+	centers := sh.Centers()
+	d, _ := geom.MinSqDist(geom.Point{100, 100}, centers)
+	if d > 25 {
+		t.Fatalf("no center near the recent mass (sqdist %v): %v", d, centers)
+	}
+}
+
+// TestShardedRescaleAcrossThreshold: a fast decay rate pushes raw
+// arrival weights past the rescale threshold many times over; the lanes
+// re-reference independently and the merged coreset must still be
+// finite, positive and dominated by the newest points.
+func TestShardedRescaleAcrossThreshold(t *testing.T) {
+	sh := newShardedT(t, 3, 1) // weight doubles ~every 0.7 arrivals: rescale storms
+	rng := rand.New(rand.NewSource(3))
+	for b := 0; b < 50; b++ {
+		pts := make([]geom.Point, 30)
+		for i := range pts {
+			pts[i] = geom.Point{float64(b) + rng.NormFloat64()*0.01, 0}
+		}
+		sh.AddBatch(unitBatch(pts))
+	}
+	cs := sh.Coreset()
+	if len(cs) == 0 {
+		t.Fatal("empty coreset after rescale storm")
+	}
+	total := 0.0
+	for _, wp := range cs {
+		if math.IsInf(wp.W, 0) || math.IsNaN(wp.W) || wp.W < 0 {
+			t.Fatalf("non-finite or negative merged weight %v", wp.W)
+		}
+		total += wp.W
+	}
+	if total <= 0 {
+		t.Fatalf("total merged weight %v, want > 0", total)
+	}
+	centers := sh.Centers()
+	d, _ := geom.MinSqDist(geom.Point{49, 0}, centers)
+	if d > 4 {
+		t.Fatalf("centers ignore the newest arrivals (sqdist %v): %v", d, centers)
+	}
+}
+
+// TestShardedWallClock: under AddBatchWall, age is wall time, not
+// arrival counts — a huge old cohort observed long before a small new
+// one carries ~no weight.
+func TestShardedWallClock(t *testing.T) {
+	sh := newShardedT(t, 3, math.Ln2/10) // half-life 10 seconds
+	rng := rand.New(rand.NewSource(4))
+	batch := func(cx float64, n int) []geom.Weighted {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{cx + rng.NormFloat64(), 0}
+		}
+		return unitBatch(pts)
+	}
+	for i := 0; i < 20; i++ {
+		sh.AddBatchWall(0, batch(0, 100))
+	}
+	for i := 0; i < 4; i++ {
+		sh.AddBatchWall(1000, batch(500, 50)) // 100 half-lives later
+	}
+	if sh.Count() != 2200 {
+		t.Fatalf("count %d, want 2200 (arrival indices still consumed)", sh.Count())
+	}
+	centers := sh.Centers()
+	d, _ := geom.MinSqDist(geom.Point{500, 0}, centers)
+	if d > 25 {
+		t.Fatalf("wall-clock decay did not bury the old cohort (sqdist %v): %v", d, centers)
+	}
+}
+
+// TestShardedQuiesceRoundTrip: a quiesced cut reassembles via
+// NewShardedFromShards with counts and query behavior intact, and a
+// lane whose rate disagrees with the stream's is rejected.
+func TestShardedQuiesceRoundTrip(t *testing.T) {
+	lambda := math.Ln2 / 150
+	sh := newShardedT(t, 3, lambda)
+	rng := rand.New(rand.NewSource(6))
+	for b := 0; b < 10; b++ {
+		pts := make([]geom.Point, 35)
+		for i := range pts {
+			pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		sh.AddBatch(unitBatch(pts))
+	}
+	var rebuilt *Sharded
+	err := sh.Quiesce(func(shards []*Shard, clock, rr, count int64) error {
+		if count != 350 || clock != 350 {
+			t.Fatalf("quiesce cursors clock=%d count=%d, want 350/350", clock, count)
+		}
+		var err error
+		rebuilt, err = NewShardedFromShards(2, shards[0].Lambda(), 1, kmeans.FastOptions(),
+			shards, clock, rr, count)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Count() != 350 || rebuilt.NumLanes() != 3 {
+		t.Fatalf("rebuilt count %d lanes %d", rebuilt.Count(), rebuilt.NumLanes())
+	}
+	if got := len(rebuilt.Centers()); got != 2 {
+		t.Fatalf("%d centers, want 2", got)
+	}
+
+	// Lane/stream rate mismatch is refused.
+	err = sh.Quiesce(func(shards []*Shard, clock, rr, count int64) error {
+		_, err := NewShardedFromShards(2, lambda*2, 1, kmeans.FastOptions(), shards, clock, rr, count)
+		return err
+	})
+	if err == nil {
+		t.Fatal("NewShardedFromShards accepted a lane rate mismatch")
+	}
+}
+
+// TestShardedConcurrentProducers hammers the sequencing path from
+// several goroutines while querying; run with -race. Drained, the
+// applied count equals every batch acked.
+func TestShardedConcurrentProducers(t *testing.T) {
+	sh := newShardedT(t, 4, math.Ln2/500)
+	const producers = 4
+	const batches = 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(10 + p)))
+			for b := 0; b < batches; b++ {
+				pts := make([]geom.Point, 20)
+				for i := range pts {
+					pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+				}
+				sh.AddBatch(unitBatch(pts))
+			}
+		}(p)
+	}
+	for i := 0; i < 10; i++ {
+		_ = sh.Centers()
+	}
+	wg.Wait()
+	if want := int64(producers * batches * 20); sh.Count() != want || sh.Clock() != want {
+		t.Fatalf("count %d clock %d, want %d", sh.Count(), sh.Clock(), want)
+	}
+}
+
+func TestShardedName(t *testing.T) {
+	sh := newShardedT(t, 3, 0.01)
+	if name := sh.Name(); !strings.HasPrefix(name, "Decay[3x") {
+		t.Fatalf("Name() = %q", name)
+	}
+}

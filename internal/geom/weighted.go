@@ -35,6 +35,26 @@ func CloneWeighted(pts []Weighted) []Weighted {
 	return out
 }
 
+// AppendScaled appends src to dst with every weight multiplied by
+// factor, dropping entries whose scaled weight underflows to zero (or
+// was zero already) — the shard-merge kernel: renormalizing a lane's
+// coreset to the global reference time is one uniform scaling, and
+// entries that vanish under it are too stale to influence any query.
+// Point storage is shared, not copied; weights land in fresh structs.
+func AppendScaled(dst, src []Weighted, factor float64) []Weighted {
+	if cap(dst)-len(dst) < len(src) {
+		grown := make([]Weighted, len(dst), len(dst)+len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, wp := range src {
+		if w := wp.W * factor; w > 0 {
+			dst = append(dst, Weighted{P: wp.P, W: w})
+		}
+	}
+	return dst
+}
+
 // TotalWeight returns the sum of the weights in pts.
 func TotalWeight(pts []Weighted) float64 {
 	var s float64

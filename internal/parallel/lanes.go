@@ -1,0 +1,154 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Lanes generalizes Sharded's ingest skeleton beyond driver-based
+// structures: P independently-locked lanes each owning one sub-structure
+// of any type S, fed through a tiny lock-free sequencing step (an atomic
+// arrival clock plus a round-robin dispatch cursor) so producers contend
+// only on atomics, never on a shared mutex.
+//
+// The discipline mirrors Sharded exactly:
+//
+//   - Reserve is the sequencing critical section. It assigns the batch a
+//     contiguous span of global arrival indices and a dispatch lane with
+//     two atomic adds — this is the only globally-ordered step, so the
+//     expensive work (coreset insertion, histogram carries) runs under
+//     per-lane locks in parallel.
+//   - Apply advances the applied counter inside the lane critical
+//     section, so a Quiesce holding every lane lock observes a count
+//     that exactly matches the arrivals applied to the sub-structures
+//     (acked == stored), even while other batches are mid-flight between
+//     Reserve and Apply.
+//   - Quiesce locks all lanes in index order for a consistent cut — the
+//     snapshot, detach and hibernation path.
+//
+// The decayed and windowed serving backends build on Lanes; the
+// concurrent backend keeps the original Sharded (whose lanes are
+// driver-typed and whose routing predates this generalization).
+type Lanes[S any] struct {
+	lanes []*lane[S]
+
+	clock atomic.Int64 // arrival indices issued by Reserve
+	n     atomic.Int64 // arrivals applied inside lane critical sections
+	rr    atomic.Int64 // round-robin dispatch cursor
+}
+
+type lane[S any] struct {
+	mu sync.Mutex
+	s  S
+}
+
+// NewLanes builds a lane set around the given sub-structures (one lane
+// per element; the slice is not retained).
+func NewLanes[S any](subs []S) (*Lanes[S], error) {
+	if len(subs) < 1 {
+		return nil, fmt.Errorf("parallel: need at least 1 lane, got %d", len(subs))
+	}
+	l := &Lanes[S]{lanes: make([]*lane[S], len(subs))}
+	for i, s := range subs {
+		l.lanes[i] = &lane[S]{s: s}
+	}
+	return l, nil
+}
+
+// NumLanes returns the lane count.
+func (l *Lanes[S]) NumLanes() int { return len(l.lanes) }
+
+// Reserve is the sequencing step: it atomically assigns the next n
+// global arrival indices (returning the first; indices are 1-based and
+// contiguous per batch) and picks the dispatch lane round-robin.
+// Lock-free; safe from any number of producers.
+func (l *Lanes[S]) Reserve(n int) (first int64, lane int) {
+	end := l.clock.Add(int64(n))
+	return end - int64(n) + 1, int((l.rr.Add(1) - 1) % int64(len(l.lanes)))
+}
+
+// Apply runs f on the given lane's sub-structure under its lock, then
+// advances the applied counter by applied. The counter moves inside the
+// critical section so Quiesce sees counts and structures agree.
+func (l *Lanes[S]) Apply(lane, applied int, f func(s S)) {
+	ln := l.lanes[lane]
+	ln.mu.Lock()
+	f(ln.s)
+	l.n.Add(int64(applied))
+	ln.mu.Unlock()
+}
+
+// View runs f on the given lane's sub-structure under its lock without
+// touching the counters — the per-lane query/maintenance path.
+func (l *Lanes[S]) View(lane int, f func(s S)) {
+	ln := l.lanes[lane]
+	ln.mu.Lock()
+	f(ln.s)
+	ln.mu.Unlock()
+}
+
+// Each runs f on every lane in index order, taking each lane's lock only
+// while its own f call runs — the query-time gather: lanes not currently
+// being read keep ingesting.
+func (l *Lanes[S]) Each(f func(lane int, s S)) {
+	for i, ln := range l.lanes {
+		ln.mu.Lock()
+		f(i, ln.s)
+		ln.mu.Unlock()
+	}
+}
+
+// Quiesce locks every lane in index order, then calls f with the
+// sub-structures and the sequencer cursors. While f runs no ingest or
+// lane-touching query can proceed, so f sees a consistent cut: count is
+// exactly the arrivals applied to the sub-structures. clock can exceed
+// count if batches are mid-flight between Reserve and Apply; their
+// indices are issued but their points are not yet stored (nor acked —
+// the producer's call has not returned). The slice is freshly allocated
+// but the sub-structures are passed by reference; f must not retain them
+// past its return.
+func (l *Lanes[S]) Quiesce(f func(subs []S, clock, rr, count int64) error) error {
+	for _, ln := range l.lanes {
+		ln.mu.Lock()
+	}
+	defer func() {
+		for _, ln := range l.lanes {
+			ln.mu.Unlock()
+		}
+	}()
+	subs := make([]S, len(l.lanes))
+	for i, ln := range l.lanes {
+		subs[i] = ln.s
+	}
+	return f(subs, l.clock.Load(), l.rr.Load(), l.n.Load())
+}
+
+// RestoreCursors resets the sequencer state after a restore. clock is
+// clamped up to count so reissued indices can never collide with spans
+// already recorded in restored sub-structures.
+func (l *Lanes[S]) RestoreCursors(clock, rr, count int64) error {
+	if count < 0 {
+		return fmt.Errorf("parallel: negative restored count %d", count)
+	}
+	if rr < 0 {
+		return fmt.Errorf("parallel: negative restored lane cursor %d", rr)
+	}
+	if clock < count {
+		clock = count
+	}
+	l.clock.Store(clock)
+	l.rr.Store(rr)
+	l.n.Store(count)
+	return nil
+}
+
+// Clock returns the number of arrival indices issued so far.
+func (l *Lanes[S]) Clock() int64 { return l.clock.Load() }
+
+// Count returns the arrivals applied to lanes (one atomic load).
+func (l *Lanes[S]) Count() int64 { return l.n.Load() }
+
+// RR returns the round-robin dispatch cursor (persisted so routing
+// resumes where the snapshot stopped).
+func (l *Lanes[S]) RR() int64 { return l.rr.Load() }

@@ -40,14 +40,31 @@ type BackendSnapshot struct {
 	// Dim is the point dimension probed from stored points (0 when no
 	// point had been ingested yet).
 	Dim int
-	// Shards is the ingest parallelism (concurrent only; 0 otherwise).
+	// Shards is the ingest parallelism. 0 on decayed/windowed snapshots
+	// written before format version 4 (which serialized one lock-bound
+	// structure); those restore as single-lane backends.
 	Shards int
-	// HalfLife is the decay half-life in points (decayed only).
+	// HalfLife is the decay half-life in arrival counts (decayed only;
+	// mutually exclusive with HalfLifeSeconds).
 	HalfLife float64
+	// HalfLifeSeconds is the wall-clock decay half-life (decayed only;
+	// format version 4).
+	HalfLifeSeconds float64
 	// WindowN is the sliding-window length in points (windowed only).
 	WindowN int64
 	// Count is the number of points observed across the stream.
 	Count int64
+
+	// Sequencer cursors for lane-sharded decayed/windowed backends
+	// (format version 4). Clock is the global arrival-index cursor
+	// (>= Count: indices reserved by in-flight batches are issued but not
+	// applied); RR is the round-robin lane dispatch cursor.
+	Clock int64
+	RR    int64
+	// ElapsedSeconds is the stream's wall-clock age at snapshot time
+	// (wall-clock decayed only), so a restored stream's clock resumes
+	// where the snapshot stopped instead of at zero.
+	ElapsedSeconds float64
 
 	// Per-tenant quota knobs (0 = unlimited), carried so a hibernated or
 	// migrated tenant keeps its limits. Older snapshots decode them as
@@ -59,10 +76,22 @@ type BackendSnapshot struct {
 	// Sharded is the concurrent payload — the same v2 ShardedSnapshot,
 	// wrapped instead of top-level.
 	Sharded *ShardedSnapshot
-	// Decayed is the forward-decay payload.
+	// Decayed is the legacy (pre-v4) single-lock forward-decay payload.
+	// New snapshots write DecayedShards instead; Decayed is read-only
+	// back-compat and restores into lane 0 of a single-lane backend.
 	Decayed *DecayedSnapshot
-	// Window is the sliding-window payload.
+	// Window is the legacy (pre-v4) single-lock sliding-window payload;
+	// like Decayed, it restores into lane 0.
 	Window *window.Snapshot
+
+	// DecayedShards holds one forward-decay lane per ingest shard
+	// (format version 4); exactly one of Decayed/DecayedShards is set on
+	// a decayed snapshot.
+	DecayedShards []DecayedShardSnapshot
+	// WindowShards holds one sliding-window histogram per ingest lane
+	// (format version 4); exactly one of Window/WindowShards is set on a
+	// windowed snapshot.
+	WindowShards []window.Snapshot
 }
 
 // DecayedSnapshot is the forward-decay wrapper's payload: the decay state
@@ -70,6 +99,15 @@ type BackendSnapshot struct {
 // the wrapped driver.
 type DecayedSnapshot struct {
 	State decay.State
+	Inner Envelope
+}
+
+// DecayedShardSnapshot is one lane of a sharded forward-decay backend:
+// the lane's reference time (the global arrival time — index or seconds
+// — at which its stored-weight scale is 1) around a v1 single-clusterer
+// envelope holding the lane's driver.
+type DecayedShardSnapshot struct {
+	RefT  float64
 	Inner Envelope
 }
 
@@ -126,11 +164,58 @@ func ValidateBackend(bs *BackendSnapshot) error {
 		}
 		return nil
 	case BackendDecayed:
-		if bs.Decayed == nil {
-			return fmt.Errorf("persist: decayed backend snapshot missing payload")
-		}
+		return validateDecayedBackend(bs)
+	case BackendWindowed:
+		return validateWindowedBackend(bs)
+	}
+	return fmt.Errorf("persist: unknown backend type %q in snapshot", bs.Type)
+}
+
+// validateCursors checks the v4 sequencer cursors shared by sharded
+// decayed and windowed snapshots. A clock behind the count would reissue
+// arrival indices already recorded inside the restored lanes — the
+// "mismatched arrival cursors" corruption class.
+func validateCursors(bs *BackendSnapshot) error {
+	if bs.RR < 0 {
+		return fmt.Errorf("persist: negative lane cursor %d in backend snapshot", bs.RR)
+	}
+	if bs.Clock < 0 {
+		return fmt.Errorf("persist: negative arrival clock %d in backend snapshot", bs.Clock)
+	}
+	if bs.Clock != 0 && bs.Clock < bs.Count {
+		return fmt.Errorf("persist: arrival clock %d behind count %d in backend snapshot", bs.Clock, bs.Count)
+	}
+	return nil
+}
+
+func validateDecayedBackend(bs *BackendSnapshot) error {
+	// Exactly one half-life encoding: arrival-count or wall-clock.
+	if bs.HalfLife < 0 || math.IsInf(bs.HalfLife, 0) || math.IsNaN(bs.HalfLife) {
+		return fmt.Errorf("persist: invalid half-life %v in decayed backend snapshot", bs.HalfLife)
+	}
+	if bs.HalfLifeSeconds < 0 || math.IsInf(bs.HalfLifeSeconds, 0) || math.IsNaN(bs.HalfLifeSeconds) {
+		return fmt.Errorf("persist: invalid wall-clock half-life %v in decayed backend snapshot", bs.HalfLifeSeconds)
+	}
+	if (bs.HalfLife > 0) == (bs.HalfLifeSeconds > 0) {
+		return fmt.Errorf("persist: decayed backend snapshot needs exactly one of half-life (%v) and wall-clock half-life (%v)",
+			bs.HalfLife, bs.HalfLifeSeconds)
+	}
+	if bs.ElapsedSeconds < 0 || math.IsInf(bs.ElapsedSeconds, 0) || math.IsNaN(bs.ElapsedSeconds) {
+		return fmt.Errorf("persist: invalid elapsed seconds %v in decayed backend snapshot", bs.ElapsedSeconds)
+	}
+	if bs.ElapsedSeconds != 0 && bs.HalfLifeSeconds == 0 {
+		return fmt.Errorf("persist: elapsed seconds %v on an arrival-count decayed backend snapshot", bs.ElapsedSeconds)
+	}
+	if err := validateCursors(bs); err != nil {
+		return err
+	}
+	if (bs.Decayed == nil) == (len(bs.DecayedShards) == 0) {
+		return fmt.Errorf("persist: decayed backend snapshot needs exactly one of the legacy and the sharded payload")
+	}
+	if bs.Decayed != nil {
+		// Legacy single-lock payload (pre-v4).
 		if bs.HalfLife <= 0 {
-			return fmt.Errorf("persist: invalid half-life %v in decayed backend snapshot", bs.HalfLife)
+			return fmt.Errorf("persist: legacy decayed backend snapshot without arrival-count half-life")
 		}
 		if err := decay.ValidateState(bs.Decayed.State); err != nil {
 			return err
@@ -142,31 +227,72 @@ func ValidateBackend(bs *BackendSnapshot) error {
 			return fmt.Errorf("persist: backend half-life %v disagrees with payload rate (implies %v)",
 				bs.HalfLife, impliedHalfLife)
 		}
-		switch bs.Decayed.Inner.Kind {
-		case KindCT, KindCC, KindRCC:
-		default:
-			return fmt.Errorf("persist: decayed backend wraps kind %q (want a driver-wrapped CT, CC or RCC)",
-				bs.Decayed.Inner.Kind)
+		return validateDecayedInner(bs, 0, bs.Decayed.Inner, bs.Count)
+	}
+	// Sharded payload (v4): per-lane reference times plus inner drivers
+	// whose counts must add up to the stream count.
+	if bs.Shards != 0 && bs.Shards != len(bs.DecayedShards) {
+		return fmt.Errorf("persist: backend shards=%d disagrees with %d decayed lanes", bs.Shards, len(bs.DecayedShards))
+	}
+	var sum int64
+	for i, ss := range bs.DecayedShards {
+		if math.IsInf(ss.RefT, 0) || math.IsNaN(ss.RefT) {
+			return fmt.Errorf("persist: lane %d reference time %v is not finite in decayed backend snapshot", i, ss.RefT)
 		}
-		if d := bs.Decayed.Inner.Driver; d != nil {
-			if bs.K != d.K {
-				return fmt.Errorf("persist: backend k=%d disagrees with decayed payload k=%d", bs.K, d.K)
-			}
-			if bs.Count != d.Count {
-				return fmt.Errorf("persist: backend count %d disagrees with decayed payload count %d", bs.Count, d.Count)
-			}
+		if ss.Inner.Driver == nil {
+			return fmt.Errorf("persist: lane %d missing driver state in decayed backend snapshot", i)
 		}
-		if bs.Algo != "" && bs.Algo != string(bs.Decayed.Inner.Kind) {
-			return fmt.Errorf("persist: backend algo %s disagrees with payload kind %s", bs.Algo, bs.Decayed.Inner.Kind)
+		if err := validateDecayedInner(bs, i, ss.Inner, -1); err != nil {
+			return err
 		}
-		return nil
-	case BackendWindowed:
-		if bs.Window == nil {
-			return fmt.Errorf("persist: windowed backend snapshot missing payload")
+		if ss.Inner.Kind != bs.DecayedShards[0].Inner.Kind {
+			return fmt.Errorf("persist: lane %d kind %q differs from lane 0 kind %q in decayed backend snapshot",
+				i, ss.Inner.Kind, bs.DecayedShards[0].Inner.Kind)
 		}
-		if bs.WindowN < 1 {
-			return fmt.Errorf("persist: invalid window length %d in windowed backend snapshot", bs.WindowN)
+		sum += ss.Inner.Driver.Count
+	}
+	if sum != bs.Count {
+		return fmt.Errorf("persist: backend count %d disagrees with %d points across decayed lanes", bs.Count, sum)
+	}
+	return nil
+}
+
+// validateDecayedInner checks one decayed lane's inner envelope against
+// the backend metadata. wantCount < 0 skips the per-lane count check
+// (sharded lanes are checked in aggregate instead).
+func validateDecayedInner(bs *BackendSnapshot, lane int, inner Envelope, wantCount int64) error {
+	switch inner.Kind {
+	case KindCT, KindCC, KindRCC:
+	default:
+		return fmt.Errorf("persist: decayed backend lane %d wraps kind %q (want a driver-wrapped CT, CC or RCC)",
+			lane, inner.Kind)
+	}
+	if d := inner.Driver; d != nil {
+		if bs.K != d.K {
+			return fmt.Errorf("persist: backend k=%d disagrees with decayed lane %d k=%d", bs.K, lane, d.K)
 		}
+		if wantCount >= 0 && wantCount != d.Count {
+			return fmt.Errorf("persist: backend count %d disagrees with decayed payload count %d", wantCount, d.Count)
+		}
+	}
+	if bs.Algo != "" && bs.Algo != string(inner.Kind) {
+		return fmt.Errorf("persist: backend algo %s disagrees with payload kind %s", bs.Algo, inner.Kind)
+	}
+	return nil
+}
+
+func validateWindowedBackend(bs *BackendSnapshot) error {
+	if bs.WindowN < 1 {
+		return fmt.Errorf("persist: invalid window length %d in windowed backend snapshot", bs.WindowN)
+	}
+	if err := validateCursors(bs); err != nil {
+		return err
+	}
+	if (bs.Window == nil) == (len(bs.WindowShards) == 0) {
+		return fmt.Errorf("persist: windowed backend snapshot needs exactly one of the legacy and the sharded payload")
+	}
+	if bs.Window != nil {
+		// Legacy single-lock payload (pre-v4).
 		if err := bs.Window.Validate(); err != nil {
 			return err
 		}
@@ -181,7 +307,35 @@ func ValidateBackend(bs *BackendSnapshot) error {
 		}
 		return nil
 	}
-	return fmt.Errorf("persist: unknown backend type %q in snapshot", bs.Type)
+	// Sharded payload (v4): per-lane histograms tagged with global
+	// arrival indices; a lane's newest index can never exceed the
+	// sequencer clock.
+	if bs.Shards != 0 && bs.Shards != len(bs.WindowShards) {
+		return fmt.Errorf("persist: backend shards=%d disagrees with %d window lanes", bs.Shards, len(bs.WindowShards))
+	}
+	clock := bs.Clock
+	if clock == 0 {
+		clock = bs.Count
+	}
+	for i, ws := range bs.WindowShards {
+		if err := ws.Validate(); err != nil {
+			return fmt.Errorf("persist: window lane %d: %w", i, err)
+		}
+		if bs.K != ws.K {
+			return fmt.Errorf("persist: backend k=%d disagrees with window lane %d k=%d", bs.K, i, ws.K)
+		}
+		if bs.WindowN != ws.WindowN {
+			return fmt.Errorf("persist: backend window %d disagrees with lane %d window %d", bs.WindowN, i, ws.WindowN)
+		}
+		if ws.M != bs.WindowShards[0].M || ws.R != bs.WindowShards[0].R {
+			return fmt.Errorf("persist: window lane %d parameters (m=%d r=%d) differ from lane 0 (m=%d r=%d)",
+				i, ws.M, ws.R, bs.WindowShards[0].M, bs.WindowShards[0].R)
+		}
+		if ws.Count > clock {
+			return fmt.Errorf("persist: window lane %d newest arrival %d exceeds sequencer clock %d", i, ws.Count, clock)
+		}
+	}
+	return nil
 }
 
 // relDiff returns |a-b| relative to the larger magnitude (0 when both
@@ -228,6 +382,70 @@ func RestoreDecayed(ds *DecayedSnapshot, seed int64, b coreset.Builder, opt kmea
 	return dc, nil
 }
 
+// SnapshotDecayedShards captures the lanes of a sharded forward-decay
+// backend (as exposed by decay.Sharded.Quiesce) plus the probed point
+// dimension. The caller wraps the result into a BackendSnapshot together
+// with the sequencer cursors.
+func SnapshotDecayedShards(shards []*decay.Shard) ([]DecayedShardSnapshot, int, error) {
+	out := make([]DecayedShardSnapshot, len(shards))
+	dim := 0
+	for i, sh := range shards {
+		inner, err := SnapshotClusterer(sh.Driver())
+		if err != nil {
+			return nil, 0, fmt.Errorf("persist: decayed lane %d: %w", i, err)
+		}
+		out[i] = DecayedShardSnapshot{RefT: sh.RefT(), Inner: inner}
+		if dim == 0 {
+			dim = driverDim(sh.Driver())
+		}
+	}
+	return out, dim, nil
+}
+
+// RestoreDecayedShards reconstructs the lanes of a sharded forward-decay
+// backend. lambda is the stream's decay rate (derived by the caller from
+// whichever half-life encoding the snapshot carries); per-lane seeds
+// follow the same seed+lane*7919 convention as fresh construction.
+func RestoreDecayedShards(sss []DecayedShardSnapshot, lambda float64, seed int64, b coreset.Builder, opt kmeans.Options) ([]*decay.Shard, error) {
+	if len(sss) == 0 {
+		return nil, fmt.Errorf("persist: decayed backend snapshot has no lanes")
+	}
+	out := make([]*decay.Shard, len(sss))
+	for i, ss := range sss {
+		inner, err := RestoreClusterer(ss.Inner, seed+int64(i)*7919, b, opt)
+		if err != nil {
+			return nil, fmt.Errorf("persist: decayed lane %d: %w", i, err)
+		}
+		drv, ok := inner.(*core.Driver)
+		if !ok {
+			return nil, fmt.Errorf("persist: decayed lane %d wraps %T, want *core.Driver", i, inner)
+		}
+		sh, err := decay.NewShard(drv, lambda, ss.RefT)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sh
+	}
+	return out, nil
+}
+
+// RestoreWindowShards reconstructs the lanes of a sharded sliding-window
+// backend.
+func RestoreWindowShards(wss []window.Snapshot, seed int64, b coreset.Builder, opt kmeans.Options) ([]*window.Clusterer, error) {
+	if len(wss) == 0 {
+		return nil, fmt.Errorf("persist: windowed backend snapshot has no lanes")
+	}
+	out := make([]*window.Clusterer, len(wss))
+	for i, ws := range wss {
+		wc, err := RestoreWindowed(&ws, seed+int64(i)*7919, b, opt)
+		if err != nil {
+			return nil, fmt.Errorf("persist: window lane %d: %w", i, err)
+		}
+		out[i] = wc
+	}
+	return out, nil
+}
+
 // RestoreWindowed reconstructs a live window.Clusterer from its payload.
 func RestoreWindowed(ws *window.Snapshot, seed int64, b coreset.Builder, opt kmeans.Options) (*window.Clusterer, error) {
 	if ws == nil {
@@ -249,14 +467,15 @@ func RestoreWindowed(ws *window.Snapshot, seed int64, b coreset.Builder, opt kme
 // clustering structures. It covers both format generations: a bare v2
 // sharded envelope reads as a concurrent backend.
 type BackendMeta struct {
-	Type     string
-	Algo     string
-	K        int
-	Dim      int
-	Shards   int
-	HalfLife float64
-	WindowN  int64
-	Count    int64
+	Type            string
+	Algo            string
+	K               int
+	Dim             int
+	Shards          int
+	HalfLife        float64
+	HalfLifeSeconds float64
+	WindowN         int64
+	Count           int64
 
 	// Quota knobs; zero on v2 sharded envelopes, which predate quotas.
 	PointsPerSec     float64
@@ -296,7 +515,8 @@ func PeekBackend(r io.Reader) (BackendMeta, error) {
 		}
 		return BackendMeta{
 			Type: bs.Type, Algo: bs.Algo, K: bs.K, Dim: bs.Dim,
-			Shards: bs.Shards, HalfLife: bs.HalfLife, WindowN: bs.WindowN,
+			Shards: bs.Shards, HalfLife: bs.HalfLife,
+			HalfLifeSeconds: bs.HalfLifeSeconds, WindowN: bs.WindowN,
 			Count: bs.Count, PointsPerSec: bs.PointsPerSec,
 			BytesPerSec: bs.BytesPerSec, MaxResidentBytes: bs.MaxResidentBytes,
 		}, nil

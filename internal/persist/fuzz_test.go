@@ -2,14 +2,17 @@ package persist
 
 import (
 	"bytes"
+	"math"
 	"testing"
 
 	"streamkm/internal/core"
 	"streamkm/internal/coreset"
 	"streamkm/internal/coretree"
+	"streamkm/internal/decay"
 	"streamkm/internal/geom"
 	"streamkm/internal/kmeans"
 	"streamkm/internal/seqkm"
+	"streamkm/internal/window"
 )
 
 // FuzzLoad feeds arbitrary bytes to the snapshot loader and restorer: they
@@ -56,12 +59,30 @@ func FuzzLoad(f *testing.F) {
 	shFlipped[len(shFlipped)/3] ^= 0x55
 	f.Add(shFlipped)
 
+	// Version-4 lane-sharded backend envelopes, valid and corrupted.
+	for _, env := range []Envelope{goldenDecayedShardedEnvelope(f), goldenWindowedShardedEnvelope(f)} {
+		var buf bytes.Buffer
+		if err := Save(&buf, env); err != nil {
+			f.Fatal(err)
+		}
+		good := buf.Bytes()
+		f.Add(good)
+		f.Add(good[:len(good)-len(good)/5])
+		flipped := append([]byte{}, good...)
+		flipped[2*len(flipped)/3] ^= 0x55
+		f.Add(flipped)
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		env, err := Load(bytes.NewReader(data))
 		if err != nil {
 			return // rejection is the expected outcome for noise
 		}
 		// Whatever decoded must restore cleanly or error — never panic.
+		if env.Kind == KindBackend {
+			fuzzRestoreBackend(env.Backend)
+			return
+		}
 		if env.Kind == KindSharded {
 			sh, err := RestoreSharded(env, 1, coreset.KMeansPP{}, kmeans.FastOptions())
 			if err != nil {
@@ -80,6 +101,68 @@ func FuzzLoad(f *testing.F) {
 		_ = restored.PointsStored()
 		restored.Add(geom.Point{1, 2})
 	})
+}
+
+// fuzzRestoreBackend drives a decoded backend envelope through the
+// validate-then-restore sequence the registry uses; every outcome but a
+// panic is acceptable.
+func fuzzRestoreBackend(bs *BackendSnapshot) {
+	if err := ValidateBackend(bs); err != nil {
+		return
+	}
+	b, opt := coreset.KMeansPP{}, kmeans.FastOptions()
+	switch bs.Type {
+	case BackendConcurrent:
+		sh, err := RestoreSharded(Envelope{Kind: KindSharded, Sharded: bs.Sharded}, 1, b, opt)
+		if err != nil {
+			return
+		}
+		sh.Add(geom.Point{1, 2})
+	case BackendDecayed:
+		if len(bs.DecayedShards) > 0 {
+			lambda := math.Ln2 / bs.HalfLife
+			if bs.HalfLifeSeconds > 0 {
+				lambda = math.Ln2 / bs.HalfLifeSeconds
+			}
+			lanes, err := RestoreDecayedShards(bs.DecayedShards, lambda, 1, b, opt)
+			if err != nil {
+				return
+			}
+			sh, err := decay.NewShardedFromShards(bs.K, lanes[0].Lambda(), 1, opt,
+				lanes, bs.Clock, bs.RR, bs.Count)
+			if err != nil {
+				return
+			}
+			sh.AddBatch([]geom.Weighted{{P: geom.Point{1, 2}, W: 1}})
+			_ = sh.Centers()
+			return
+		}
+		dc, err := RestoreDecayed(bs.Decayed, 1, b, opt)
+		if err != nil {
+			return
+		}
+		dc.Add(geom.Point{1, 2})
+	case BackendWindowed:
+		if len(bs.WindowShards) > 0 {
+			subs, err := RestoreWindowShards(bs.WindowShards, 1, b, opt)
+			if err != nil {
+				return
+			}
+			sh, err := window.NewShardedFromLanes(bs.K, bs.WindowN, 1, opt,
+				subs, bs.Clock, bs.RR, bs.Count)
+			if err != nil {
+				return
+			}
+			sh.AddBatch([]geom.Weighted{{P: geom.Point{1, 2}, W: 1}})
+			_ = sh.Centers()
+			return
+		}
+		wc, err := RestoreWindowed(bs.Window, 1, b, opt)
+		if err != nil {
+			return
+		}
+		wc.Add(geom.Point{1, 2})
+	}
 }
 
 // TestRestoreRejectsInvalidParameters covers the untrusted-snapshot

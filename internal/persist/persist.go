@@ -36,21 +36,28 @@ var magic = [7]byte{'S', 'K', 'M', 'S', 'N', 'A', 'P'}
 // Version is the newest snapshot format version. Version 2 added the
 // sharded envelope (KindSharded); version 3 added the typed backend
 // envelope (KindBackend) that wraps the decayed and windowed variants
-// around the v1/v2 payloads. The envelope encoding is otherwise
-// unchanged. Load accepts every version back to MinVersion so old
-// checkpoints keep restoring, and Save stamps each snapshot with the
-// oldest version able to express it (see envelopeVersion), so snapshots
-// that don't use newer features stay readable by older binaries after a
-// rollback.
-const Version byte = 3
+// around the v1/v2 payloads; version 4 added per-lane sub-envelopes for
+// sharded decayed/windowed backends (DecayedShards/WindowShards plus the
+// sequencer cursors) and the wall-clock half-life. The envelope encoding
+// is otherwise unchanged. Load accepts every version back to MinVersion
+// so old checkpoints keep restoring, and Save stamps each snapshot with
+// the oldest version able to express it (see envelopeVersion), so
+// snapshots that don't use newer features stay readable by older
+// binaries after a rollback.
+const Version byte = 4
 
 // MinVersion is the oldest snapshot format Load still accepts.
 const MinVersion byte = 1
 
 // envelopeVersion returns the oldest format version that can express
 // env: single-clusterer envelopes are byte-compatible with version 1,
-// sharded envelopes need version 2, typed backend envelopes version 3.
+// sharded envelopes need version 2, typed backend envelopes version 3,
+// lane-sharded decayed/windowed backend envelopes version 4.
 func envelopeVersion(env Envelope) byte {
+	if bs := env.Backend; bs != nil &&
+		(len(bs.DecayedShards) > 0 || len(bs.WindowShards) > 0 || bs.HalfLifeSeconds != 0) {
+		return 4
+	}
 	if env.Kind == KindBackend || env.Backend != nil {
 		return 3
 	}

@@ -4,8 +4,11 @@
 // the stream, so a single daemon can hold thousands of tenants, and the
 // ones it cannot hold in RAM cost nothing while cold.
 //
-// Each stream owns one clustering backend (in the shipped daemon a
-// streamkm.Concurrent). The registry bounds how many are resident at
+// Each stream owns one clustering backend (in the shipped daemon any
+// streamkm backend variant — concurrent, decayed or windowed, all with
+// sharded ingest lanes; backends reporting a lane count through the
+// Sharder interface surface it in Info and /stats). The registry
+// bounds how many are resident at
 // once: past MaxResident — or past an idle TTL — the least-recently-used
 // stream is hibernated, i.e. checkpointed to its per-stream snapshot
 // file (the same versioned envelope internal/persist writes for daemon
@@ -74,7 +77,15 @@ type StreamConfig struct {
 	K        int     `json:"k"`
 	Dim      int     `json:"dim"`
 	HalfLife float64 `json:"half_life,omitempty"`
-	WindowN  int64   `json:"window_n,omitempty"`
+	// HalfLifeSeconds is the wall-clock decay half-life in seconds,
+	// mutually exclusive with the arrival-count HalfLife; only decayed
+	// backends accept either.
+	HalfLifeSeconds float64 `json:"half_life_seconds,omitempty"`
+	WindowN         int64   `json:"window_n,omitempty"`
+	// Shards is the stream's ingest-lane parallelism; 0 inherits the
+	// serving layer's default. On restore the snapshot's recorded lane
+	// layout always wins over this knob.
+	Shards int `json:"shards,omitempty"`
 
 	// Per-tenant quotas, all 0 = unlimited. PointsPerSec and BytesPerSec
 	// are sustained ingest rates enforced by a token bucket at the
@@ -93,8 +104,9 @@ type StreamConfig struct {
 // make every ingested point allocate megabytes before any dimension
 // check fires.
 const (
-	MaxK   = 1 << 20
-	MaxDim = 1 << 20
+	MaxK      = 1 << 20
+	MaxDim    = 1 << 20
+	MaxShards = 1 << 10
 )
 
 // Validate rejects stream configurations no backend constructor should
@@ -118,8 +130,20 @@ func (c StreamConfig) Validate() error {
 	if c.HalfLife < 0 {
 		return fmt.Errorf("%w: half_life must be >= 0, got %v", ErrInvalidConfig, c.HalfLife)
 	}
+	if c.HalfLifeSeconds < 0 {
+		return fmt.Errorf("%w: half_life_seconds must be >= 0, got %v", ErrInvalidConfig, c.HalfLifeSeconds)
+	}
+	if c.HalfLife > 0 && c.HalfLifeSeconds > 0 {
+		return fmt.Errorf("%w: half_life (%v) and half_life_seconds (%v) are mutually exclusive", ErrInvalidConfig, c.HalfLife, c.HalfLifeSeconds)
+	}
 	if c.WindowN < 0 {
 		return fmt.Errorf("%w: window_n must be >= 0, got %d", ErrInvalidConfig, c.WindowN)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: shards must be >= 0, got %d", ErrInvalidConfig, c.Shards)
+	}
+	if c.Shards > MaxShards {
+		return fmt.Errorf("%w: shards %d exceeds the maximum %d", ErrInvalidConfig, c.Shards, MaxShards)
 	}
 	if c.PointsPerSec < 0 {
 		return fmt.Errorf("%w: points_per_sec must be >= 0, got %v", ErrInvalidConfig, c.PointsPerSec)
@@ -690,8 +714,11 @@ func (r *Registry) fillDefaults(cfg StreamConfig) StreamConfig {
 	// default's: a windowed tenant under a decayed-default daemon must
 	// not silently pick up the daemon's half-life.
 	if cfg.Backend == r.cfg.Default.Backend {
-		if cfg.HalfLife == 0 {
+		// The two half-life forms are one knob: a request naming either
+		// form has chosen its clock and inherits neither default.
+		if cfg.HalfLife == 0 && cfg.HalfLifeSeconds == 0 {
 			cfg.HalfLife = r.cfg.Default.HalfLife
+			cfg.HalfLifeSeconds = r.cfg.Default.HalfLifeSeconds
 		}
 		if cfg.WindowN == 0 {
 			cfg.WindowN = r.cfg.Default.WindowN
@@ -1064,7 +1091,9 @@ type Info struct {
 	K            int     `json:"k,omitempty"`
 	Dim          int     `json:"dim,omitempty"`
 	HalfLife     float64 `json:"half_life,omitempty"`
+	HalfLifeSecs float64 `json:"half_life_seconds,omitempty"`
 	WindowN      int64   `json:"window_n,omitempty"`
+	Shards       int     `json:"shards,omitempty"`
 	PointsPerSec float64 `json:"points_per_sec,omitempty"`
 	BytesPerSec  float64 `json:"bytes_per_sec,omitempty"`
 	MaxResBytes  int64   `json:"max_resident_bytes,omitempty"`

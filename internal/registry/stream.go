@@ -98,6 +98,7 @@ func (e *Stream) info() Info {
 		K:            e.cfg.K,
 		Dim:          int(e.dim.Load()),
 		HalfLife:     e.cfg.HalfLife,
+		HalfLifeSecs: e.cfg.HalfLifeSeconds,
 		WindowN:      e.cfg.WindowN,
 		PointsPerSec: e.cfg.PointsPerSec,
 		BytesPerSec:  e.cfg.BytesPerSec,
@@ -110,6 +111,15 @@ func (e *Stream) info() Info {
 		in.Resident = true
 		in.Count = b.Count()
 		in.PointsStored = b.PointsStored()
+		if s, ok := b.(Sharder); ok {
+			in.Shards = s.NumShards()
+		}
 	}
 	return in
+}
+
+// Sharder is optionally implemented by backends with parallel ingest
+// lanes; Info reports the lane count for resident streams.
+type Sharder interface {
+	NumShards() int
 }

@@ -22,12 +22,18 @@
 // the small Clusterer interface ([][]float64 in, [][]float64 out). The
 // shipped daemon (cmd/streamkmd) wires the registry to the
 // streamkm.Open/Restore backend factory, so each tenant picks its own
-// variant in the PUT body: "concurrent" (P-way sharded ingest with
-// per-shard locks and a read-mostly centers cache — the default),
-// "decayed" (forward exponential decay, influence halving every
-// half_life arrivals) or "windowed" (hard sliding window over the last
-// window_n arrivals). All three hibernate and restore through the same
-// snapshot envelope.
+// variant in the PUT body: "concurrent" (every point counts forever —
+// the default), "decayed" (forward exponential decay, influence halving
+// every half_life arrivals or every half_life_seconds of wall time) or
+// "windowed" (hard sliding window over the last window_n arrivals). All
+// three ingest through "shards" parallel lanes with per-lane locks and
+// a read-mostly centers cache; the decayed and windowed pipelines
+// sequence batches with a lock-free global arrival clock and merge the
+// lanes' coresets at query time (the shard-merge trace stage), so their
+// recency semantics are computed over the global arrival order, not
+// per-lane ones. All three hibernate and restore through the same
+// snapshot envelope, which records the lane layout: a stream restores
+// with the shard count it was checkpointed with.
 //
 // Multi endpoints:
 //
@@ -44,7 +50,8 @@
 //	                               restores a hibernated stream lazily.
 //	GET    /streams/{id}/stats     per-stream facts (count, residency,
 //	                               memory, backend spec incl. half_life /
-//	                               window_n); never warms a cold stream.
+//	                               half_life_seconds / window_n / shards);
+//	                               never warms a cold stream.
 //	GET    /streams/{id}/snapshot  the stream's serialized state; served
 //	                               from its file when hibernated.
 //	POST   /streams/{id}/snapshot  checkpoint the stream to its file.
@@ -65,9 +72,11 @@
 //	                               stream serves again from its snapshot.
 //	PUT    /streams/{id}           explicit create with a JSON backend
 //	                               spec {"backend","algo","k","dim",
-//	                               "half_life","window_n"} — backend is
+//	                               "half_life","half_life_seconds",
+//	                               "window_n","shards"} — backend is
 //	                               "concurrent" (default), "decayed"
-//	                               (requires half_life > 0) or "windowed"
+//	                               (requires exactly one of half_life /
+//	                               half_life_seconds, > 0) or "windowed"
 //	                               (requires window_n >= bucket size);
 //	                               every field optional, zero values fall
 //	                               back to the registry default. Invalid
@@ -197,7 +206,9 @@
 // Spans carry named stage timers attributing latency to the code path
 // that spent it: body-read, wire-decode, lock-wait (stream lock
 // acquisition inside the registry), quota (admission check),
-// cluster-apply, coreset-recompute (query-time k-means++), restore
+// cluster-apply, shard-merge (rescaling and unioning the decayed or
+// windowed lanes' coresets on a centers-cache miss),
+// coreset-recompute (query-time k-means++), restore
 // (rehydrating a hibernated stream — the stage that explains a
 // multi-second outlier on an otherwise sub-millisecond endpoint) and
 // checkpoint-fsync. Stages only appear when their code path ran, and

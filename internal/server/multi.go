@@ -426,11 +426,7 @@ func (m *Multi) handleCenters(id string, w http.ResponseWriter, r *http.Request)
 	)
 	err := m.reg.WithContext(r.Context(), id, false, func(s *registry.Stream, b registry.Backend) error {
 		endStage := trace.FromContext(r.Context()).StartStage("coreset-recompute")
-		if rf, ok := b.(Refresher); ok && refresh {
-			centers = rf.Refresh()
-		} else {
-			centers = b.Centers()
-		}
+		centers = queryCenters(r.Context(), b, refresh)
 		endStage()
 		count = b.Count()
 		k = s.Config().K
@@ -477,8 +473,14 @@ func (m *Multi) handleStreamStats(id string, w http.ResponseWriter, _ *http.Requ
 	if in.HalfLife > 0 {
 		resp["half_life"] = in.HalfLife
 	}
+	if in.HalfLifeSecs > 0 {
+		resp["half_life_seconds"] = in.HalfLifeSecs
+	}
 	if in.WindowN > 0 {
 		resp["window_n"] = in.WindowN
+	}
+	if in.Shards > 0 {
+		resp["shards"] = in.Shards
 	}
 	if in.PointsPerSec > 0 {
 		resp["points_per_sec"] = in.PointsPerSec

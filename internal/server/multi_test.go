@@ -41,7 +41,7 @@ func streamkmRegistry(t testing.TB, cfg registry.Config) *registry.Registry {
 		}
 		return registry.StreamConfig{
 			Backend: m.Type, Algo: m.Algo, K: m.K, Dim: m.Dim,
-			HalfLife: m.HalfLife, WindowN: m.WindowN,
+			HalfLife: m.HalfLife, HalfLifeSeconds: m.HalfLifeSeconds, WindowN: m.WindowN,
 			PointsPerSec: m.PointsPerSec, BytesPerSec: m.BytesPerSec,
 			MaxResidentBytes: m.MaxResidentBytes,
 		}, m.Count, nil

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,6 +47,19 @@ type WeightedAdder interface {
 // GET /centers?refresh=1 calls it to force recomputation.
 type Refresher interface {
 	Refresh() [][]float64
+}
+
+// ContextCenterer is optionally implemented by backends that stage their
+// query internals (e.g. the sharded pipelines' shard-merge) into the
+// request's trace span; handleCenters prefers it over Clusterer.Centers.
+type ContextCenterer interface {
+	CentersContext(ctx context.Context) [][]float64
+}
+
+// ContextRefresher is ContextCenterer's forced-recomputation
+// counterpart, preferred over Refresher when ?refresh=1 is set.
+type ContextRefresher interface {
+	RefreshContext(ctx context.Context) [][]float64
 }
 
 // CacheStater is optionally implemented by backends with a centers
@@ -335,11 +349,7 @@ func (s *Server) handleCenters(w http.ResponseWriter, r *http.Request) (int64, b
 	var centers [][]float64
 	refresh, _ := strconv.ParseBool(r.URL.Query().Get("refresh"))
 	endStage := trace.FromContext(r.Context()).StartStage("coreset-recompute")
-	if rf, ok := s.c.(Refresher); ok && refresh {
-		centers = rf.Refresh()
-	} else {
-		centers = s.c.Centers()
-	}
+	centers = queryCenters(r.Context(), s.c, refresh)
 	endStage()
 	if centers == nil {
 		centers = [][]float64{}
@@ -351,6 +361,25 @@ func (s *Server) handleCenters(w http.ResponseWriter, r *http.Request) (int64, b
 		"centers": centers,
 	})
 	return int64(len(centers)), false
+}
+
+// queryCenters dispatches a centers query to the richest interface the
+// backend offers: context-carrying variants (so backend-internal stages
+// like shard-merge land in the request's span) over plain ones, forced
+// refresh over the cached fast path.
+func queryCenters(ctx context.Context, c Clusterer, refresh bool) [][]float64 {
+	if refresh {
+		if rf, ok := c.(ContextRefresher); ok {
+			return rf.RefreshContext(ctx)
+		}
+		if rf, ok := c.(Refresher); ok {
+			return rf.Refresh()
+		}
+	}
+	if cc, ok := c.(ContextCenterer); ok {
+		return cc.CentersContext(ctx)
+	}
+	return c.Centers()
 }
 
 // handleSnapshotGet streams the backend's serialized state to the client

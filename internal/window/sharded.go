@@ -1,0 +1,186 @@
+package window
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+	"streamkm/internal/parallel"
+)
+
+// Sharded is a sliding-window streaming clusterer over P parallel ingest
+// lanes. The sequencing step (parallel.Lanes.Reserve) assigns each batch
+// a contiguous span of global arrival indices lock-free; the histogram
+// work — base-bucket fills, merge-and-reduce carries — runs under a
+// per-lane lock, so P producers proceed in parallel.
+//
+// Each lane keeps its own exponential histogram whose bucket spans are
+// tagged with GLOBAL arrival indices (a lane sees a gapped subsequence;
+// the gaps belong to sibling lanes). Expiry is therefore global too: the
+// window covers the last windowN issued indices, and any lane bucket
+// whose span has left it is dropped — on the ingesting lane after each
+// batch, and on every lane at query time, so idle lanes cannot pin stale
+// points. A query unions the per-lane coresets: by the coreset union
+// property the union summarizes the union of the lane substreams, which
+// is exactly the window (up to each lane's boundary-straddling oldest
+// bucket — the same (1+1/r) relaxation as the single-stream histogram,
+// now per lane). Memory is P times the single-stream bound:
+// O(P·r·m·log(W/m)).
+type Sharded struct {
+	lanes   *parallel.Lanes[*Clusterer]
+	k       int
+	windowN int64
+
+	qmu      sync.Mutex // guards rng at query time
+	rng      *rand.Rand
+	queryOpt kmeans.Options
+}
+
+// NewSharded builds a P-lane sliding-window clusterer; the parameters
+// are as for New, applied to every lane.
+func NewSharded(p, k, m, r int, windowN int64, b coreset.Builder, seed int64, queryOpt kmeans.Options) (*Sharded, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("window: need at least 1 lane, got %d", p)
+	}
+	subs := make([]*Clusterer, p)
+	for i := range subs {
+		wc, err := New(k, m, r, windowN, b, rand.New(rand.NewSource(seed+int64(i)*7919)), queryOpt)
+		if err != nil {
+			return nil, err
+		}
+		subs[i] = wc
+	}
+	lanes, err := parallel.NewLanes(subs)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{lanes: lanes, k: k, windowN: windowN,
+		rng: rand.New(rand.NewSource(seed)), queryOpt: queryOpt}, nil
+}
+
+// NewShardedFromLanes reassembles a Sharded around already-restored lane
+// clusterers — the persistence layer's entry point. clock, rr and count
+// restore the sequencer cursors.
+func NewShardedFromLanes(k int, windowN int64, seed int64, queryOpt kmeans.Options,
+	subs []*Clusterer, clock, rr, count int64) (*Sharded, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("window: k must be >= 1, got %d", k)
+	}
+	for i, wc := range subs {
+		if wc == nil {
+			return nil, fmt.Errorf("window: nil restored clusterer for lane %d", i)
+		}
+		if wc.WindowN() != windowN {
+			return nil, fmt.Errorf("window: lane %d window %d disagrees with stream window %d", i, wc.WindowN(), windowN)
+		}
+	}
+	lanes, err := parallel.NewLanes(subs)
+	if err != nil {
+		return nil, err
+	}
+	if err := lanes.RestoreCursors(clock, rr, count); err != nil {
+		return nil, err
+	}
+	return &Sharded{lanes: lanes, k: k, windowN: windowN,
+		rng: rand.New(rand.NewSource(seed)), queryOpt: queryOpt}, nil
+}
+
+// AddBatch observes a batch: the points take the next len(wps) global
+// arrival indices, land in one lane's histogram, and that lane expires
+// buckets against the batch's own end index.
+func (s *Sharded) AddBatch(wps []geom.Weighted) {
+	if len(wps) == 0 {
+		return
+	}
+	first, lane := s.lanes.Reserve(len(wps))
+	s.lanes.Apply(lane, len(wps), func(wc *Clusterer) {
+		for i, wp := range wps {
+			wc.AddWeightedAt(first+int64(i), wp)
+		}
+		wc.ExpireBefore(first + int64(len(wps)-1) - s.windowN)
+	})
+}
+
+// Coreset expires every lane against the current global clock, then
+// unions the per-lane coresets (copies — the union is detached from the
+// live structures before k-means runs on it).
+func (s *Sharded) Coreset() []geom.Weighted {
+	cutoff := s.lanes.Clock() - s.windowN
+	var union []geom.Weighted
+	s.lanes.Each(func(_ int, wc *Clusterer) {
+		wc.ExpireBefore(cutoff)
+		union = append(union, wc.Coreset()...)
+	})
+	return union
+}
+
+// CoresetCenters runs the query-time k-means++ over an already-merged
+// coreset (as returned by Coreset) — split out so the serving layer can
+// time the merge and the solve as separate trace stages.
+func (s *Sharded) CoresetCenters(union []geom.Weighted) []geom.Point {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	centers, _ := kmeans.Run(s.rng, union, s.k, s.queryOpt)
+	return centers
+}
+
+// Centers answers a global k-means query over the current window.
+func (s *Sharded) Centers() []geom.Point {
+	return s.CoresetCenters(s.Coreset())
+}
+
+// Quiesce locks every lane for a consistent cut; see
+// parallel.Lanes.Quiesce.
+func (s *Sharded) Quiesce(f func(subs []*Clusterer, clock, rr, count int64) error) error {
+	return s.lanes.Quiesce(f)
+}
+
+// Count returns total arrivals applied across lanes.
+func (s *Sharded) Count() int64 { return s.lanes.Count() }
+
+// Clock returns the arrival indices issued so far.
+func (s *Sharded) Clock() int64 { return s.lanes.Clock() }
+
+// NumLanes returns the ingest parallelism.
+func (s *Sharded) NumLanes() int { return s.lanes.NumLanes() }
+
+// K returns the number of centers answered by queries.
+func (s *Sharded) K() int { return s.k }
+
+// WindowN returns the window length in points.
+func (s *Sharded) WindowN() int64 { return s.windowN }
+
+// WindowOccupancy returns how many of the last windowN arrivals the
+// window currently covers: min(count, windowN).
+func (s *Sharded) WindowOccupancy() int64 {
+	if n := s.Count(); n < s.windowN {
+		return n
+	}
+	return s.windowN
+}
+
+// PointsStored sums lane memory in points.
+func (s *Sharded) PointsStored() int {
+	total := 0
+	s.lanes.Each(func(_ int, wc *Clusterer) { total += wc.PointsStored() })
+	return total
+}
+
+// Dim probes the point dimension from stored points (0 when empty).
+func (s *Sharded) Dim() int {
+	dim := 0
+	s.lanes.Each(func(_ int, wc *Clusterer) {
+		if dim == 0 {
+			dim = wc.Dim()
+		}
+	})
+	return dim
+}
+
+// Name identifies the algorithm in reports.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("Window[%d/%d lanes]", s.windowN, s.lanes.NumLanes())
+}

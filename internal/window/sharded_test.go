@@ -1,0 +1,192 @@
+package window
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamkm/internal/coreset"
+	"streamkm/internal/geom"
+	"streamkm/internal/kmeans"
+)
+
+func newShardedT(t testing.TB, p int, windowN int64) *Sharded {
+	t.Helper()
+	sh, err := NewSharded(p, 2, 25, 2, windowN, coreset.KMeansPP{}, 1, kmeans.FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sh
+}
+
+func unitBatch(pts []geom.Point) []geom.Weighted {
+	out := make([]geom.Weighted, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Weighted{P: p, W: 1}
+	}
+	return out
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := NewSharded(0, 2, 25, 2, 100, coreset.KMeansPP{}, 1, kmeans.FastOptions()); err == nil {
+		t.Error("accepted zero lanes")
+	}
+	if _, err := NewSharded(2, 0, 25, 2, 100, coreset.KMeansPP{}, 1, kmeans.FastOptions()); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := NewSharded(2, 2, 25, 2, 0, coreset.KMeansPP{}, 1, kmeans.FastOptions()); err == nil {
+		t.Error("accepted window 0")
+	}
+}
+
+// TestShardedExpiryForgetsOldCluster is the sliding-window semantic
+// through the sharded path: arrival indices are global, so a window
+// that slid past the old cluster forgets it even though its points sit
+// in other lanes than the new ones.
+func TestShardedExpiryForgetsOldCluster(t *testing.T) {
+	sh := newShardedT(t, 3, 200)
+	rng := rand.New(rand.NewSource(2))
+	batch := func(cx, cy float64, n int) []geom.Weighted {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			pts[i] = geom.Point{cx + rng.NormFloat64(), cy + rng.NormFloat64()}
+		}
+		return unitBatch(pts)
+	}
+	// 900 points at the old location, then 300 (>= windowN) at the new.
+	for i := 0; i < 18; i++ {
+		sh.AddBatch(batch(0, 0, 50))
+	}
+	for i := 0; i < 6; i++ {
+		sh.AddBatch(batch(200, 200, 50))
+	}
+	if sh.Count() != 1200 {
+		t.Fatalf("count %d, want 1200", sh.Count())
+	}
+	if occ := sh.WindowOccupancy(); occ != 200 {
+		t.Fatalf("occupancy %d, want 200", occ)
+	}
+	for _, c := range sh.Centers() {
+		d, _ := geom.MinSqDist(geom.Point{200, 200}, []geom.Point{c})
+		if d > 400 {
+			t.Fatalf("center %v survives outside the window", c)
+		}
+	}
+}
+
+// TestShardedGlobalExpiryReachesIdleLanes: Coreset expires every lane
+// against the global clock, so mass in a lane that received no recent
+// batches still ages out. With windowN smaller than one round of
+// batches, only the newest batch can survive a query.
+func TestShardedGlobalExpiryReachesIdleLanes(t *testing.T) {
+	sh := newShardedT(t, 3, 40)
+	rng := rand.New(rand.NewSource(3))
+	for b := 0; b < 9; b++ {
+		pts := make([]geom.Point, 50)
+		for i := range pts {
+			pts[i] = geom.Point{float64(100 * b), rng.NormFloat64()}
+		}
+		sh.AddBatch(unitBatch(pts))
+	}
+	// All lanes expired at query time: surviving coreset weight covers the
+	// last windowN arrivals plus at most one straddling histogram bucket
+	// (the documented boundary approximation) — nowhere near the 450
+	// points ingested across the idle lanes.
+	total := 0.0
+	for _, wp := range sh.Coreset() {
+		total += wp.W
+	}
+	if total > 100 {
+		t.Fatalf("coreset weight %v: idle lanes kept expired mass (window 40 + straddle)", total)
+	}
+	if total <= 0 {
+		t.Fatal("window went empty")
+	}
+	// Centers come from the in-window batches (one straddling batch of
+	// slack), never the early stream.
+	for _, c := range sh.Centers() {
+		if c[0] < 600 {
+			t.Fatalf("center %v reflects arrivals the window slid past", c)
+		}
+	}
+}
+
+// TestShardedQuiesceRoundTrip: the quiesced lanes reassemble with
+// cursors intact, and a lane with the wrong window is refused.
+func TestShardedQuiesceRoundTrip(t *testing.T) {
+	sh := newShardedT(t, 3, 500)
+	rng := rand.New(rand.NewSource(4))
+	for b := 0; b < 8; b++ {
+		pts := make([]geom.Point, 30)
+		for i := range pts {
+			pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+		}
+		sh.AddBatch(unitBatch(pts))
+	}
+	var rebuilt *Sharded
+	err := sh.Quiesce(func(subs []*Clusterer, clock, rr, count int64) error {
+		if count != 240 || clock != 240 {
+			t.Fatalf("quiesce cursors clock=%d count=%d, want 240/240", clock, count)
+		}
+		var err error
+		rebuilt, err = NewShardedFromLanes(2, 500, 1, kmeans.FastOptions(), subs, clock, rr, count)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Count() != 240 || rebuilt.NumLanes() != 3 || rebuilt.WindowN() != 500 {
+		t.Fatalf("rebuilt count %d lanes %d window %d", rebuilt.Count(), rebuilt.NumLanes(), rebuilt.WindowN())
+	}
+	if got := len(rebuilt.Centers()); got != 2 {
+		t.Fatalf("%d centers, want 2", got)
+	}
+	err = sh.Quiesce(func(subs []*Clusterer, clock, rr, count int64) error {
+		_, err := NewShardedFromLanes(2, 999, 1, kmeans.FastOptions(), subs, clock, rr, count)
+		return err
+	})
+	if err == nil {
+		t.Fatal("NewShardedFromLanes accepted a window mismatch")
+	}
+}
+
+// TestShardedConcurrentProducers hammers sequencing and per-lane expiry
+// from several goroutines while querying; run with -race.
+func TestShardedConcurrentProducers(t *testing.T) {
+	sh := newShardedT(t, 4, 300)
+	const producers = 4
+	const batches = 25
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(20 + p)))
+			for b := 0; b < batches; b++ {
+				pts := make([]geom.Point, 20)
+				for i := range pts {
+					pts[i] = geom.Point{rng.NormFloat64(), rng.NormFloat64()}
+				}
+				sh.AddBatch(unitBatch(pts))
+			}
+		}(p)
+	}
+	for i := 0; i < 10; i++ {
+		_ = sh.Centers()
+	}
+	wg.Wait()
+	if want := int64(producers * batches * 20); sh.Count() != want || sh.Clock() != want {
+		t.Fatalf("count %d clock %d, want %d", sh.Count(), sh.Clock(), want)
+	}
+	if occ := sh.WindowOccupancy(); occ != 300 {
+		t.Fatalf("occupancy %d, want 300", occ)
+	}
+}
+
+func TestShardedName(t *testing.T) {
+	sh := newShardedT(t, 3, 100)
+	if name := sh.Name(); !strings.Contains(name, "3 lanes") {
+		t.Fatalf("Name() = %q", name)
+	}
+}

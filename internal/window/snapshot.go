@@ -24,8 +24,14 @@ type Snapshot struct {
 	Count   int64
 
 	PartialStart int64
-	Partial      []geom.Weighted
-	Levels       [][]BucketSnapshot
+	// PartialEnd is the arrival index of the newest partial point. Zero
+	// in snapshots written before shard-mode ingest (and while the
+	// partial is empty); Restore reconstructs it as
+	// PartialStart+len(Partial)-1, exact for single-stream snapshots
+	// (their partial spans are contiguous).
+	PartialEnd int64
+	Partial    []geom.Weighted
+	Levels     [][]BucketSnapshot
 }
 
 // Snapshot captures the clusterer's complete logical state (deep copies).
@@ -33,6 +39,7 @@ func (c *Clusterer) Snapshot() Snapshot {
 	s := Snapshot{
 		K: c.k, M: c.m, R: c.r, WindowN: c.windowN, Count: c.count,
 		PartialStart: c.partialStart,
+		PartialEnd:   c.partialEnd,
 		Partial:      geom.CloneWeighted(c.partial),
 		Levels:       make([][]BucketSnapshot, len(c.levels)),
 	}
@@ -69,6 +76,10 @@ func (s Snapshot) Validate() error {
 	if len(s.Partial) >= s.M {
 		return fmt.Errorf("window: partial bucket of %d points with bucket size %d in snapshot", len(s.Partial), s.M)
 	}
+	if s.PartialEnd != 0 && (s.PartialEnd < s.PartialStart || s.PartialEnd > s.Count) {
+		return fmt.Errorf("window: partial span [%d,%d] inconsistent with count %d in snapshot",
+			s.PartialStart, s.PartialEnd, s.Count)
+	}
 	for j, lvl := range s.Levels {
 		for i, b := range lvl {
 			if b.Start < 1 || b.End < b.Start {
@@ -89,6 +100,10 @@ func (c *Clusterer) Restore(s Snapshot) {
 	c.windowN = s.WindowN
 	c.count = s.Count
 	c.partialStart = s.PartialStart
+	c.partialEnd = s.PartialEnd
+	if c.partialEnd == 0 && len(s.Partial) > 0 {
+		c.partialEnd = s.PartialStart + int64(len(s.Partial)) - 1
+	}
 	c.partial = append(make([]geom.Weighted, 0, s.M), geom.CloneWeighted(s.Partial)...)
 	c.levels = make([][]bucket, len(s.Levels))
 	for j, lvl := range s.Levels {

@@ -56,7 +56,8 @@ type Clusterer struct {
 	levels       [][]bucket // levels[j]: buckets in arrival order, oldest first
 	partial      []geom.Weighted
 	partialStart int64 // arrival index of partial[0]; 0 while partial is empty
-	count        int64 // total arrivals observed
+	partialEnd   int64 // arrival index of the newest partial point; 0 while empty
+	count        int64 // total arrivals observed (shard mode: newest global index seen)
 }
 
 // New creates a sliding-window clusterer answering k centers over the
@@ -90,18 +91,32 @@ func (c *Clusterer) Add(p geom.Point) { c.AddWeighted(geom.Weighted{P: p, W: 1})
 // AddWeighted observes one weighted point (one arrival tick regardless of
 // weight, matching the infinite-stream driver's semantics).
 func (c *Clusterer) AddWeighted(wp geom.Weighted) {
-	c.count++
+	c.AddWeightedAt(c.count+1, wp)
+	c.ExpireBefore(c.count - c.windowN)
+}
+
+// AddWeightedAt observes one weighted point carrying an explicit global
+// arrival index (1-based, strictly greater than any index this clusterer
+// has seen). It is the shard-mode ingest path: each lane of a sharded
+// windowed stream sees a gapped subsequence of the global indices — the
+// gaps belong to sibling lanes — and tags its bucket spans with them, so
+// merged buckets from different lanes expire against one shared clock.
+// Expiry is NOT performed here; shard mode expires explicitly via
+// ExpireBefore with a globally-derived cutoff.
+func (c *Clusterer) AddWeightedAt(idx int64, wp geom.Weighted) {
+	c.count = idx
 	if len(c.partial) == 0 {
-		c.partialStart = c.count
+		c.partialStart = idx
 	}
 	c.partial = append(c.partial, wp)
+	c.partialEnd = idx
 	if len(c.partial) == c.m {
-		sealed := bucket{points: c.partial, start: c.partialStart, end: c.count}
+		sealed := bucket{points: c.partial, start: c.partialStart, end: idx}
 		c.partial = make([]geom.Weighted, 0, c.m)
 		c.partialStart = 0
+		c.partialEnd = 0
 		c.insert(0, sealed)
 	}
-	c.expire()
 }
 
 // insert appends b at level j, then carries: a level past r buckets
@@ -127,11 +142,15 @@ func (c *Clusterer) insert(j int, b bucket) {
 	}
 }
 
-// expire drops every bucket whose span lies entirely outside the window
-// (end <= count - windowN). The oldest surviving bucket may straddle the
-// boundary and is kept whole.
-func (c *Clusterer) expire() {
-	cutoff := c.count - c.windowN
+// ExpireBefore drops every bucket whose span lies entirely at or before
+// cutoff (end <= cutoff), plus the partial bucket when even its newest
+// point has left the window. The oldest surviving bucket may straddle
+// the boundary and is kept whole. Single-stream ingest calls it with
+// count-windowN after every arrival; shard mode calls it with a cutoff
+// derived from the global arrival clock (on the ingesting lane after
+// each batch, and on every lane at query time, so an idle lane cannot
+// serve stale points forever).
+func (c *Clusterer) ExpireBefore(cutoff int64) {
 	if cutoff <= 0 {
 		return
 	}
@@ -144,6 +163,11 @@ func (c *Clusterer) expire() {
 		if drop > 0 {
 			c.levels[j] = append(lvl[:0], lvl[drop:]...)
 		}
+	}
+	if len(c.partial) > 0 && c.partialEnd > 0 && c.partialEnd <= cutoff {
+		c.partial = c.partial[:0]
+		c.partialStart = 0
+		c.partialEnd = 0
 	}
 }
 

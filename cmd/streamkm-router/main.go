@@ -10,6 +10,20 @@
 // the recent/slowest span ring; -slow-request D logs requests at or
 // over D with their dominant stage (typically proxy-hop); -debug-addr
 // serves net/http/pprof on its own listener, never on the proxy mux.
+//
+// High availability is opt-in by three flags. -replicate-interval ships
+// every placed tenant's snapshot to a standby member that often (each
+// ship a "replicate" span with a replicate-ship stage), bounding
+// failover loss to one interval of traffic. -health-interval probes
+// every member's /healthz; -health-fails consecutive failures mark a
+// member down and automatically promote its tenants onto their
+// standbys. -state makes the routing table durable: placement,
+// in-flight handoffs, standby assignments and promotions persist to an
+// atomically-rewritten JSON file, so a restarted router (or a second
+// one started from the same file) completes interrupted migrations
+// instead of leaving tenants frozen. -fan-timeout bounds each member's
+// leg of the merged /streams and /stats views so a wedged daemon
+// yields partial results, not a freeze.
 package main
 
 import (
@@ -40,6 +54,13 @@ type options struct {
 	bootRetries int
 	slowRequest time.Duration
 	debugAddr   string
+
+	statePath         string
+	healthInterval    time.Duration
+	healthTimeout     time.Duration
+	healthFails       int
+	replicateInterval time.Duration
+	fanTimeout        time.Duration
 }
 
 // parseMembers turns "a=http://h1:7070,b=http://h2:7070" into members.
@@ -75,10 +96,14 @@ func build(o options) (*ring.Proxy, error) {
 		o.timeout = 30 * time.Second
 	}
 	return ring.NewProxy(ring.ProxyConfig{
-		Members:     members,
-		Replicas:    o.replicas,
-		Client:      &http.Client{Timeout: o.timeout},
-		SlowRequest: o.slowRequest,
+		Members:       members,
+		Replicas:      o.replicas,
+		Client:        &http.Client{Timeout: o.timeout},
+		SlowRequest:   o.slowRequest,
+		StatePath:     o.statePath,
+		FailThreshold: o.healthFails,
+		ProbeTimeout:  o.healthTimeout,
+		FanTimeout:    o.fanTimeout,
 	})
 }
 
@@ -105,6 +130,12 @@ func main() {
 	flag.IntVar(&o.bootRetries, "sync-retries", 30, "boot reconciliation attempts, 2s apart, before refusing to start")
 	flag.DurationVar(&o.slowRequest, "slow-request", 0, "log one structured record per proxied request slower than this, with its dominant stage (0 = disabled)")
 	flag.StringVar(&o.debugAddr, "debug-addr", "", "serve net/http/pprof on this address (never on the proxy mux; empty = disabled)")
+	flag.StringVar(&o.statePath, "state", "", "persist the routing table (placement, handoffs, standbys) atomically to this file and load it on boot; a restarted router or a second replica pointed here completes interrupted migrations (empty = in-memory only)")
+	flag.DurationVar(&o.healthInterval, "health-interval", 0, "probe every member's /healthz this often; members failing -health-fails consecutive probes are marked down and their tenants fail over to the standbys (0 = disabled)")
+	flag.DurationVar(&o.healthTimeout, "health-timeout", 2*time.Second, "per-member health probe timeout")
+	flag.IntVar(&o.healthFails, "health-fails", 0, "consecutive probe failures before a member is marked down (0 = 3)")
+	flag.DurationVar(&o.replicateInterval, "replicate-interval", 0, "ship every placed tenant's snapshot to its standby this often; bounds failover loss to one interval of traffic (0 = disabled)")
+	flag.DurationVar(&o.fanTimeout, "fan-timeout", 10*time.Second, "per-member deadline for fleet-wide fan-outs (/streams, /stats merges), so one wedged daemon yields partial results instead of a freeze")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -163,6 +194,11 @@ func main() {
 		}
 	}
 
+	loopCtx, stopLoops := context.WithCancel(context.Background())
+	defer stopLoops()
+	p.StartHealthLoop(loopCtx, o.healthInterval)
+	p.StartReplicationLoop(loopCtx, o.replicateInterval)
+
 	done := make(chan struct{})
 	if o.rebalance > 0 {
 		go func() {
@@ -194,6 +230,7 @@ func main() {
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	<-stop
 	close(done)
+	stopLoops()
 	logger.Info("shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -16,6 +16,7 @@ type RegistryStats struct {
 	evictions     atomic.Int64
 	evictFailures atomic.Int64
 	restores      atomic.Int64
+	standbys      atomic.Int64
 	throttled     atomic.Int64
 	shed          atomic.Int64
 
@@ -40,6 +41,11 @@ func (r *RegistryStats) RecordEvictFailure() { r.evictFailures.Add(1) }
 
 // RecordRestore accounts one hibernated stream lazily restored from disk.
 func (r *RegistryStats) RecordRestore() { r.restores.Add(1) }
+
+// RecordStandbyInstall accounts one replication ship accepted: a
+// standby snapshot envelope installed (or refreshed) in the detached,
+// non-serving state.
+func (r *RegistryStats) RecordStandbyInstall() { r.standbys.Add(1) }
 
 // RecordThrottle accounts one request refused by a per-tenant quota
 // (the 429 + Retry-After path).
@@ -68,6 +74,7 @@ type RegistrySnapshot struct {
 	Evictions       int64   `json:"evictions"`
 	EvictFailures   int64   `json:"evict_failures"`
 	Restores        int64   `json:"restores"`
+	StandbyInstalls int64   `json:"standby_installs"`
 	Throttled       int64   `json:"throttled"`
 	Shed            int64   `json:"shed"`
 	Sweeps          int64   `json:"sweeps"`
@@ -85,6 +92,7 @@ func (r *RegistryStats) Snapshot() RegistrySnapshot {
 		Evictions:       r.evictions.Load(),
 		EvictFailures:   r.evictFailures.Load(),
 		Restores:        r.restores.Load(),
+		StandbyInstalls: r.standbys.Load(),
 		Throttled:       r.throttled.Load(),
 		Shed:            r.shed.Load(),
 		Sweeps:          r.sweeps.Load(),

@@ -16,6 +16,13 @@ type RouterStats struct {
 	migrations    atomic.Int64
 	migrationErrs atomic.Int64
 	staleDeletes  atomic.Int64
+	clientCancels atomic.Int64
+	replications  atomic.Int64
+	replicateErrs atomic.Int64
+	promotions    atomic.Int64
+	promotionErrs atomic.Int64
+	memberDowns   atomic.Int64
+	memberUps     atomic.Int64
 }
 
 // RecordProxied accounts one forwarded per-stream request; failed marks
@@ -50,6 +57,37 @@ func (r *RouterStats) RecordMigration(failed bool) {
 // reconciliation.
 func (r *RouterStats) RecordStaleDelete() { r.staleDeletes.Add(1) }
 
+// RecordClientCancel accounts one proxied request abandoned by its own
+// client (context cancellation / disconnect) — NOT an upstream failure:
+// it is counted apart from proxy errors and never feeds member health.
+func (r *RouterStats) RecordClientCancel() { r.clientCancels.Add(1) }
+
+// RecordReplication accounts one standby replication ship attempt;
+// failed marks the snapshot fetch or standby install as unsuccessful.
+func (r *RouterStats) RecordReplication(failed bool) {
+	r.replications.Add(1)
+	if failed {
+		r.replicateErrs.Add(1)
+	}
+}
+
+// RecordPromotion accounts one standby promotion attempt after a member
+// was probed down; failed means the standby could not be reattached and
+// the tenant stays refusing writes until a later pass.
+func (r *RouterStats) RecordPromotion(failed bool) {
+	r.promotions.Add(1)
+	if failed {
+		r.promotionErrs.Add(1)
+	}
+}
+
+// RecordMemberDown accounts one member crossing the health-probe fail
+// threshold into the down state.
+func (r *RouterStats) RecordMemberDown() { r.memberDowns.Add(1) }
+
+// RecordMemberUp accounts one down member probing healthy again.
+func (r *RouterStats) RecordMemberUp() { r.memberUps.Add(1) }
+
 // RouterSnapshot is a point-in-time copy of router counters, shaped for
 // direct JSON serialization in a stats response.
 type RouterSnapshot struct {
@@ -61,6 +99,13 @@ type RouterSnapshot struct {
 	Migrations       int64 `json:"migrations"`
 	MigrationErrors  int64 `json:"migration_errors"`
 	StaleCopyDeletes int64 `json:"stale_copy_deletes"`
+	ClientCancels    int64 `json:"client_cancels"`
+	Replications     int64 `json:"replications"`
+	ReplicationErrs  int64 `json:"replication_errors"`
+	Promotions       int64 `json:"promotions"`
+	PromotionErrs    int64 `json:"promotion_errors"`
+	MemberDowns      int64 `json:"member_downs"`
+	MemberUps        int64 `json:"member_ups"`
 }
 
 // Snapshot captures current counter values.
@@ -74,5 +119,12 @@ func (r *RouterStats) Snapshot() RouterSnapshot {
 		Migrations:       r.migrations.Load(),
 		MigrationErrors:  r.migrationErrs.Load(),
 		StaleCopyDeletes: r.staleDeletes.Load(),
+		ClientCancels:    r.clientCancels.Load(),
+		Replications:     r.replications.Load(),
+		ReplicationErrs:  r.replicateErrs.Load(),
+		Promotions:       r.promotions.Load(),
+		PromotionErrs:    r.promotionErrs.Load(),
+		MemberDowns:      r.memberDowns.Load(),
+		MemberUps:        r.memberUps.Load(),
 	}
 }

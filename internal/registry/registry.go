@@ -28,6 +28,7 @@
 package registry
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -860,6 +861,10 @@ func (r *Registry) Detach(id, newOwner string) (string, error) {
 	}
 	if e.detached {
 		e.newOwner = newOwner
+		// Detaching a standby copy for migration promotes its file to the
+		// authoritative copy of the move; replication must no longer
+		// overwrite it.
+		e.standby = false
 		return e.path, nil
 	}
 	if e.path == "" {
@@ -886,11 +891,13 @@ func (r *Registry) Detach(id, newOwner string) (string, error) {
 	return e.path, nil
 }
 
-// Reattach lifts a Detach — the abort path of a failed migration. The
-// stream stays hibernated and serves again, restored lazily on its next
-// access from the snapshot the detach wrote; nothing was lost in the
-// round trip because every request since the detach was refused, not
-// half-applied.
+// Reattach lifts a Detach — the abort path of a failed migration, and
+// the promotion path for a standby copy (the failover primitive: a
+// standby reattached starts serving the replicated state). The stream
+// stays hibernated and serves again, restored lazily on its next access
+// from the snapshot the detach (or the last replication ship) wrote;
+// nothing was lost in the round trip because every request since the
+// detach was refused, not half-applied.
 func (r *Registry) Reattach(id string) error {
 	r.mu.Lock()
 	e, ok := r.streams[id]
@@ -904,6 +911,7 @@ func (r *Registry) Reattach(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	e.detached = false
+	e.standby = false
 	e.newOwner = ""
 	return nil
 }
@@ -975,6 +983,126 @@ func (r *Registry) Install(id string, src io.Reader) error {
 	e.mu.Unlock()
 	r.stats.RecordCreate()
 	r.enforceCap()
+	return nil
+}
+
+// InstallStandby writes a snapshot envelope for id and registers it in
+// the standby state: detached (every request refused with ErrDetached +
+// the owner hint, so a client landing on a replica learns where the live
+// copy serves) and overwritable — replication ships a fresher snapshot
+// of the same tenant periodically, and each ship replaces the previous
+// file. Unlike Install it never materializes a backend: a daemon can
+// hold thousands of standby tenants at zero RAM cost. The envelope is
+// validated with Peek (when configured) before anything is touched.
+// Refuses with ErrExists when id already exists as anything other than a
+// standby copy — a live tenant or a detached migration source is never
+// clobbered by replication. Returns the point count recorded in the
+// envelope (the shipped arrival count, the router's replication-lag
+// anchor).
+func (r *Registry) InstallStandby(id string, src io.Reader, owner string) (int64, error) {
+	if err := ValidateID(id); err != nil {
+		return 0, err
+	}
+	path := r.pathFor(id)
+	if path == "" {
+		return 0, errors.New("registry: standby install requires persistence (DataDir or a Files entry)")
+	}
+	raw, err := io.ReadAll(src)
+	if err != nil {
+		return 0, fmt.Errorf("registry: standby install %q: %w", id, err)
+	}
+	var cfg StreamConfig
+	var count int64
+	havePeek := false
+	if r.cfg.Peek != nil {
+		cfg, count, err = r.cfg.Peek(bytes.NewReader(raw))
+		if err != nil {
+			return 0, fmt.Errorf("%w: standby envelope for %q rejected: %v", ErrInvalidConfig, id, err)
+		}
+		havePeek = true
+	}
+	for {
+		r.mu.Lock()
+		e, ok := r.streams[id]
+		if !ok {
+			e = &Stream{id: id, path: path, cfg: r.cfg.Default, detached: true, standby: true, newOwner: owner}
+			e.lastAccess.Store(r.cfg.now().UnixNano())
+			r.streams[id] = e
+			r.mu.Unlock()
+
+			e.mu.Lock()
+			if e.deleted {
+				e.mu.Unlock()
+				continue
+			}
+			// A snapshot file with no registry entry is not ours to
+			// overwrite (mirrors Install): the boot scan registered every
+			// file it found, so an unregistered one appeared out of band.
+			if _, serr := os.Stat(path); serr == nil {
+				err = fmt.Errorf("%w: snapshot file %s already on disk", ErrExists, path)
+			} else if !os.IsNotExist(serr) {
+				err = fmt.Errorf("registry: standby install %q: %w", id, serr)
+			} else {
+				err = r.writeStandby(e, raw, cfg, count, havePeek, owner)
+			}
+			if err != nil {
+				e.deleted = true
+			}
+			e.mu.Unlock()
+			if err != nil {
+				r.mu.Lock()
+				if r.streams[id] == e {
+					delete(r.streams, id)
+				}
+				r.mu.Unlock()
+				return 0, err
+			}
+			r.stats.RecordCreate()
+			r.stats.RecordStandbyInstall()
+			return count, nil
+		}
+		r.mu.Unlock()
+
+		e.mu.Lock()
+		if e.deleted {
+			e.mu.Unlock()
+			continue
+		}
+		if !e.standby {
+			e.mu.Unlock()
+			return 0, fmt.Errorf("%w: %q is not a standby copy", ErrExists, id)
+		}
+		err := r.writeStandby(e, raw, cfg, count, havePeek, owner)
+		e.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		r.stats.RecordStandbyInstall()
+		return count, nil
+	}
+}
+
+// writeStandby persists a shipped envelope over e's snapshot file and
+// refreshes the cold-serving metadata; the caller holds e.mu.
+func (r *Registry) writeStandby(e *Stream, raw []byte, cfg StreamConfig, count int64, havePeek bool, owner string) error {
+	if _, err := persist.WriteFileAtomic(e.path, func(w io.Writer) error {
+		_, werr := w.Write(raw)
+		return werr
+	}); err != nil {
+		return fmt.Errorf("registry: standby install %q: %w", e.id, err)
+	}
+	e.detached = true
+	e.standby = true
+	e.newOwner = owner
+	if havePeek {
+		e.cfg = cfg
+		e.count = count
+		e.lastCkptCount = count
+		if cfg.Dim > 0 {
+			e.dim.Store(int64(cfg.Dim))
+		}
+	}
+	e.lastAccess.Store(r.cfg.now().UnixNano())
 	return nil
 }
 
@@ -1086,6 +1214,7 @@ type Info struct {
 	ID           string  `json:"id"`
 	Resident     bool    `json:"resident"`
 	Detached     bool    `json:"detached,omitempty"`
+	Standby      bool    `json:"standby,omitempty"`
 	Backend      string  `json:"backend,omitempty"`
 	Algo         string  `json:"algo,omitempty"`
 	K            int     `json:"k,omitempty"`

@@ -1,0 +1,113 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestStandbyLifecycle walks the replication target's contract: a
+// shipped snapshot installs as a non-serving standby copy, refreshes in
+// place on later ships, refuses all traffic with the owner hint until
+// promoted, and serves its full replicated history after Reattach.
+func TestStandbyLifecycle(t *testing.T) {
+	src := mustNew(t, Config{DataDir: t.TempDir()})
+	dst := mustNew(t, Config{DataDir: t.TempDir()})
+	ingest(t, src, "s1", 30)
+
+	var snap bytes.Buffer
+	if err := src.Snapshot("s1", &snap); err != nil {
+		t.Fatal(err)
+	}
+	count, err := dst.InstallStandby("s1", bytes.NewReader(snap.Bytes()), "http://owner:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 30 {
+		t.Fatalf("installed standby count = %d, want 30", count)
+	}
+	in, err := dst.Stat("s1")
+	if err != nil || !in.Standby || !in.Detached {
+		t.Fatalf("standby stat = %+v, %v; want standby+detached", in, err)
+	}
+
+	// Non-serving: any access is refused with the owner hint, exactly
+	// like a mid-migration detach, so no client can read a stale replica.
+	werr := dst.With("s1", true, func(_ *Stream, _ Backend) error { return nil })
+	if !errors.Is(werr, ErrDetached) {
+		t.Fatalf("With on standby copy: %v, want ErrDetached", werr)
+	}
+	var de *DetachedError
+	if !errors.As(werr, &de) || de.Owner != "http://owner:7070" {
+		t.Fatalf("standby refusal owner hint: %v", werr)
+	}
+
+	// A fresher ship overwrites in place — standby copies are the one
+	// kind of existing stream an install may clobber.
+	ingest(t, src, "s1", 12)
+	snap.Reset()
+	if err := src.Snapshot("s1", &snap); err != nil {
+		t.Fatal(err)
+	}
+	count, err = dst.InstallStandby("s1", bytes.NewReader(snap.Bytes()), "http://owner:7070")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 42 {
+		t.Fatalf("refreshed standby count = %d, want 42", count)
+	}
+
+	// Promotion: Reattach clears the standby state and the copy serves
+	// its replicated history.
+	if err := dst.Reattach("s1"); err != nil {
+		t.Fatal(err)
+	}
+	in, err = dst.Stat("s1")
+	if err != nil || in.Standby || in.Detached {
+		t.Fatalf("promoted stat = %+v, %v; want attached", in, err)
+	}
+	var served int64
+	if err := dst.With("s1", false, func(_ *Stream, b Backend) error {
+		served = b.Count()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if served != 42 {
+		t.Fatalf("promoted copy serves count %d, want 42", served)
+	}
+
+	// Once promoted, the copy is authoritative: a late ship from the old
+	// owner must NOT clobber it.
+	if _, err := dst.InstallStandby("s1", bytes.NewReader(snap.Bytes()), "http://owner:7070"); !errors.Is(err, ErrExists) {
+		t.Fatalf("late ship over promoted copy: %v, want ErrExists", err)
+	}
+}
+
+// TestStandbyDetachPromotesFile: migrating a standby copy away (detach)
+// converts it to an authoritative detached source — the standby flag
+// must not survive, or the destination could later overwrite the only
+// copy with a stale ship.
+func TestStandbyDetachPromotesFile(t *testing.T) {
+	src := mustNew(t, Config{DataDir: t.TempDir()})
+	dst := mustNew(t, Config{DataDir: t.TempDir()})
+	ingest(t, src, "s2", 9)
+	var snap bytes.Buffer
+	if err := src.Snapshot("s2", &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.InstallStandby("s2", bytes.NewReader(snap.Bytes()), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Detach("s2", "http://next:7070"); err != nil {
+		t.Fatal(err)
+	}
+	in, err := dst.Stat("s2")
+	if err != nil || in.Standby || !in.Detached {
+		t.Fatalf("detached ex-standby stat = %+v, %v; want detached only", in, err)
+	}
+	// And a ship can no longer overwrite it.
+	if _, err := dst.InstallStandby("s2", bytes.NewReader(snap.Bytes()), ""); !errors.Is(err, ErrExists) {
+		t.Fatalf("ship over detached source: %v, want ErrExists", err)
+	}
+}

@@ -26,6 +26,13 @@ type Stream struct {
 	// hint handed to refused clients.
 	detached bool
 	newOwner string
+	// standby marks a detached entry as a replication target: the copy was
+	// shipped here by InstallStandby and may be overwritten by a fresher
+	// ship at any time. The flag is what distinguishes a copy that is safe
+	// to overwrite (a replica, whose newest state lives elsewhere) from a
+	// detached migration source (the only authoritative copy, never to be
+	// clobbered). Reattach — promotion — clears it.
+	standby bool
 	// Metadata captured at hibernation (or boot Peek) time, served while
 	// the stream is cold.
 	count         int64
@@ -93,6 +100,7 @@ func (e *Stream) info() Info {
 	in := Info{
 		ID:           e.id,
 		Detached:     e.detached,
+		Standby:      e.standby,
 		Backend:      e.cfg.Backend,
 		Algo:         e.cfg.Algo,
 		K:            e.cfg.K,

@@ -1,0 +1,502 @@
+package ring
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplicationShipsStandby checks the replication pass end to end on
+// a healthy fleet: every placed tenant gets a standby copy on another
+// member, the copy is installed in the non-serving standby state (reads
+// and writes against it are refused with 409 + owner hint), and the
+// replication lag — shipped arrival count and wall time — surfaces in
+// /stats and /metrics.
+func TestReplicationShipsStandby(t *testing.T) {
+	a := newTestDaemon(t, "a", 50)
+	b := newTestDaemon(t, "b", 50)
+	p, ts := newTestProxy(t, a, b)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	pts := tenantPoints(1, 60)
+	ingestRetry(t, client, ts.URL+"/streams/rep-t/ingest", pts, testDeadline)
+
+	rep := p.ReplicateOnce(context.Background())
+	if rep.Shipped != 1 || rep.Failed != 0 {
+		t.Fatalf("replicate report = %+v, want 1 shipped", rep)
+	}
+
+	// The copy must exist on the non-owner, flagged standby.
+	p.mu.RLock()
+	owner := p.placement["rep-t"]
+	rs := p.standbys["rep-t"]
+	p.mu.RUnlock()
+	if owner == "" || rs.Standby == "" || rs.Standby == owner {
+		t.Fatalf("owner=%q standby=%+v: want distinct members", owner, rs)
+	}
+	if rs.ShippedCount != 60 {
+		t.Fatalf("shipped count = %d, want 60", rs.ShippedCount)
+	}
+	standbyDaemon := a
+	if rs.Standby == "b" {
+		standbyDaemon = b
+	}
+	found := false
+	for _, in := range standbyDaemon.reg.List() {
+		if in.ID == "rep-t" {
+			found = true
+			if !in.Standby || !in.Detached {
+				t.Fatalf("standby copy info = %+v, want standby+detached", in)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no standby copy of rep-t on %s", rs.Standby)
+	}
+
+	// The standby copy itself must refuse to serve: hitting the standby
+	// daemon directly (bypassing the router) gets the 409 + owner hint the
+	// detached state answers with.
+	resp, err := client.Get(standbyDaemon.ts.URL + "/streams/rep-t/centers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("read against standby copy: status %d, want 409", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Streamkm-Owner") == "" {
+		t.Fatal("standby refusal missing owner hint header")
+	}
+
+	// Lag in /stats...
+	_, stats := getJSON(t, client, ts.URL+"/stats")
+	router := stats["router"].(map[string]interface{})
+	standbys := router["standbys"].(map[string]interface{})
+	entry, ok := standbys["rep-t"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("no rep-t in /stats standbys: %v", standbys)
+	}
+	if int64(entry["shipped_count"].(float64)) != 60 {
+		t.Fatalf("stats shipped_count = %v, want 60", entry["shipped_count"])
+	}
+	// ...and in /metrics.
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 1<<20)
+	n, _ := mresp.Body.Read(raw)
+	mresp.Body.Close()
+	exposition := string(raw[:n])
+	for _, want := range []string{
+		"streamkm_router_standbys 1",
+		`streamkm_router_standby_shipped_count{stream="rep-t",standby="` + rs.Standby + `"} 60`,
+		`event="replication"`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
+	// A second pass refreshes the same copy in place (no ErrExists from
+	// the overwrite) and advances the lag watermark.
+	ingestRetry(t, client, ts.URL+"/streams/rep-t/ingest", tenantPoints(2, 40), testDeadline)
+	rep = p.ReplicateOnce(context.Background())
+	if rep.Shipped != 1 || rep.Failed != 0 {
+		t.Fatalf("second replicate report = %+v, want 1 shipped", rep)
+	}
+	p.mu.RLock()
+	rs = p.standbys["rep-t"]
+	p.mu.RUnlock()
+	if rs.ShippedCount != 100 {
+		t.Fatalf("refreshed shipped count = %d, want 100", rs.ShippedCount)
+	}
+}
+
+// TestFailoverPromotesStandbyAfterHardKill is the kill-without-warning
+// acceptance test: a three-daemon fleet with replicated standbys loses
+// one member to a hard kill (no final checkpoint, exactly like kill -9),
+// the router's health probes cross the fail threshold, and every tenant
+// placed on the dead member is automatically promoted onto its standby —
+// with zero acknowledged points lost up to the last replication ship,
+// loss beyond it bounded by one replication interval, and writes flowing
+// again after promotion. When the member returns, reconciliation deletes
+// its stale pre-promotion copies instead of letting their counts win.
+func TestFailoverPromotesStandbyAfterHardKill(t *testing.T) {
+	daemons := map[string]*testDaemon{
+		"a": newTestDaemon(t, "a", 50),
+		"b": newTestDaemon(t, "b", 50),
+		"c": newTestDaemon(t, "c", 50),
+	}
+	p, ts := newTestProxyCfg(t, ProxyConfig{
+		FailThreshold: 2,
+		ProbeTimeout:  2 * time.Second,
+	}, daemons["a"], daemons["b"], daemons["c"])
+	client := &http.Client{Timeout: 10 * time.Second}
+	ctx := context.Background()
+
+	const tenants = 6
+	id := func(i int) string { return fmt.Sprintf("ha-t%d", i) }
+	for i := 0; i < tenants; i++ {
+		ingestRetry(t, client, ts.URL+"/streams/"+id(i)+"/ingest", tenantPoints(i, 60), testDeadline)
+	}
+	if rep := p.ReplicateOnce(ctx); rep.Shipped != tenants || rep.Failed != 0 {
+		t.Fatalf("first replication = %+v, want %d shipped", rep, tenants)
+	}
+	// More traffic, then a second ship: the standbys now carry count 80.
+	for i := 0; i < tenants; i++ {
+		ingestRetry(t, client, ts.URL+"/streams/"+id(i)+"/ingest", tenantPoints(100+i, 20), testDeadline)
+	}
+	if rep := p.ReplicateOnce(ctx); rep.Shipped != tenants || rep.Failed != 0 {
+		t.Fatalf("second replication = %+v, want %d shipped", rep, tenants)
+	}
+	const shippedCount = 80
+
+	// Checkpoint everything (so the victim's disk holds pre-kill copies —
+	// the stale state recovery must NOT resurrect), then ingest a tail
+	// that no replication pass ships: the traffic inside the loss window.
+	for _, d := range daemons {
+		if err := d.reg.CheckpointAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const tail = 15
+	for i := 0; i < tenants; i++ {
+		ingestRetry(t, client, ts.URL+"/streams/"+id(i)+"/ingest", tenantPoints(200+i, tail), testDeadline)
+	}
+
+	// Pick a victim that holds at least one tenant and note who sits
+	// where before the crash.
+	st := p.snapshotState()
+	victim := ""
+	var victimTenants, survivors []string
+	for i := 0; i < tenants; i++ {
+		m, ok := st.Placement[id(i)]
+		if !ok {
+			t.Fatalf("tenant %s has no placement", id(i))
+		}
+		if victim == "" {
+			victim = m
+		}
+		if m == victim {
+			victimTenants = append(victimTenants, id(i))
+		} else {
+			survivors = append(survivors, id(i))
+		}
+	}
+	if len(victimTenants) == 0 {
+		t.Fatal("no tenants on victim")
+	}
+	expectedStandby := make(map[string]string)
+	for _, tid := range victimTenants {
+		rs := st.Standbys[tid]
+		if rs.Standby == "" || rs.Standby == victim {
+			t.Fatalf("tenant %s standby = %+v before kill", tid, rs)
+		}
+		expectedStandby[tid] = rs.Standby
+	}
+
+	daemons[victim].killHard(t)
+
+	// Two failed probe rounds cross the threshold; the second one runs
+	// the failover synchronously.
+	p.ProbeOnce(ctx)
+	downs, _ := p.ProbeOnce(ctx)
+	if downs != 1 || !p.prober.Down(victim) {
+		t.Fatalf("downs=%d Down(%s)=%v after threshold", downs, victim, p.prober.Down(victim))
+	}
+
+	snap := p.Stats()
+	if snap.Promotions < int64(len(victimTenants)) || snap.PromotionErrs != 0 {
+		t.Fatalf("promotions=%d (errs=%d), want %d clean", snap.Promotions, snap.PromotionErrs, len(victimTenants))
+	}
+
+	// Every victim tenant now serves from its standby with exactly the
+	// last-shipped count: zero acks lost among the replicated points, the
+	// tail (one replication interval of traffic) is the entire loss.
+	for _, tid := range victimTenants {
+		member, inHandoff := p.route(tid)
+		if inHandoff {
+			t.Fatalf("tenant %s still frozen after promotion", tid)
+		}
+		if want := expectedStandby[tid]; member != want {
+			t.Fatalf("tenant %s routed to %s, want standby %s", tid, member, want)
+		}
+		count, _ := queryCenters(t, client, ts.URL, tid)
+		if count != shippedCount {
+			t.Fatalf("tenant %s count after promotion = %d, want %d (shipped watermark)", tid, count, shippedCount)
+		}
+	}
+	// Survivors keep every acked point including the tail.
+	for _, tid := range survivors {
+		if count, _ := queryCenters(t, client, ts.URL, tid); count != shippedCount+tail {
+			t.Fatalf("survivor %s count = %d, want %d", tid, count, shippedCount+tail)
+		}
+	}
+
+	// Writes flow again — onto the promoted copies.
+	for _, tid := range victimTenants {
+		ingestRetry(t, client, ts.URL+"/streams/"+tid+"/ingest", tenantPoints(300, 10), testDeadline)
+		if count, _ := queryCenters(t, client, ts.URL, tid); count != shippedCount+10 {
+			t.Fatalf("tenant %s count after post-promotion writes = %d, want %d", tid, count, shippedCount+10)
+		}
+	}
+
+	// The merged fan-outs must degrade, not freeze: the dead member is
+	// reported failed, every tenant still listed exactly once.
+	_, listing := getJSON(t, client, ts.URL+"/streams")
+	failedList := fmt.Sprintf("%v", listing["daemons_failed"])
+	if !strings.Contains(failedList, victim) {
+		t.Fatalf("daemons_failed = %s, want %s in it", failedList, victim)
+	}
+	if got := int(listing["total"].(float64)); got != tenants {
+		t.Fatalf("merged listing total = %d, want %d", got, tenants)
+	}
+
+	// A replication pass on the degraded fleet re-establishes standbys
+	// for the promoted tenants on the surviving members.
+	if rep := p.ReplicateOnce(ctx); rep.Failed != 0 {
+		t.Fatalf("replication on degraded fleet failed: %+v", rep)
+	}
+	p.mu.RLock()
+	for _, tid := range victimTenants {
+		rs := p.standbys[tid]
+		if rs.Standby == "" || rs.Standby == victim {
+			t.Errorf("tenant %s standby after failover = %+v", tid, rs)
+		}
+	}
+	p.mu.RUnlock()
+
+	// Recovery: the member reboots from its (stale) data dir at a new
+	// address. Its pre-promotion copies carry the checkpoint counts, but
+	// promotion is authoritative — reconciliation must delete them, not
+	// prefer them, and the promoted tenants keep their post-failover
+	// history.
+	daemons[victim].boot(t, 50)
+	if err := p.UpdateMemberURL(victim, daemons[victim].ts.URL); err != nil {
+		t.Fatal(err)
+	}
+	if _, ups := p.ProbeOnce(ctx); ups != 1 {
+		t.Fatal("recovered member did not transition up")
+	}
+	if _, err := p.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tenants; i++ {
+		count, _ := queryCenters(t, client, ts.URL, id(i))
+		var want int64 = shippedCount + tail
+		for _, tid := range victimTenants {
+			if tid == id(i) {
+				want = shippedCount + 10 // promoted history: shipped + post-failover writes
+			}
+		}
+		if count != want {
+			t.Fatalf("tenant %s count after recovery+rebalance = %d, want %d", id(i), count, want)
+		}
+	}
+	// The promoted table drains once the stale copies are reconciled.
+	p.mu.RLock()
+	promotedLeft := len(p.promoted)
+	p.mu.RUnlock()
+	if promotedLeft != 0 {
+		t.Fatalf("%d promoted entries left after reconciliation", promotedLeft)
+	}
+}
+
+// TestRouterStateRoundTrip proves the durable handoff table does its
+// one crucial job: a migration abandoned between detach and install by a
+// dying router is completed by a second router built from the same state
+// file — the frozen tenant thaws on its ring owner with its full
+// history, instead of refusing writes forever.
+func TestRouterStateRoundTrip(t *testing.T) {
+	a := newTestDaemon(t, "a", 50)
+	b := newTestDaemon(t, "b", 50)
+	statePath := filepath.Join(t.TempDir(), "router-state.json")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	p1, ts1 := newTestProxyCfg(t, ProxyConfig{StatePath: statePath}, a, b)
+
+	// Plant the tenant on the member the ring does NOT choose, so a
+	// rebalance must migrate it.
+	owner, _ := p1.Ring().Owner("rt-t")
+	holderDaemon := a
+	if owner == "a" {
+		holderDaemon = b
+	}
+	ingestRetry(t, client, holderDaemon.ts.URL+"/streams/rt-t/ingest", tenantPoints(3, 70), testDeadline)
+
+	// Kill the router mid-migration: after the detach succeeds, every
+	// further upstream call — the snapshot fetch AND the abort's
+	// reattach — fails, exactly as if the router process died. The
+	// handoff entry persists to the state file in its frozen-pending
+	// shape.
+	p1.afterDetach = func(tenant, from string) {
+		p1.client = &http.Client{
+			Transport: roundTripperFunc(func(*http.Request) (*http.Response, error) {
+				return nil, fmt.Errorf("router died mid-migration")
+			}),
+		}
+	}
+	if _, err := p1.Rebalance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+
+	// The tenant is frozen on the source: detached, refusing traffic.
+	resp, err := client.Get(holderDaemon.ts.URL + "/streams/rt-t/centers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("abandoned tenant: status %d, want 409 (frozen)", resp.StatusCode)
+	}
+
+	// A second router from the same state file must know about the
+	// interrupted handoff before any traffic or listing.
+	p2, ts2 := newTestProxyCfg(t, ProxyConfig{StatePath: statePath}, a, b)
+	p2.mu.RLock()
+	mg, knows := p2.handoff["rt-t"]
+	p2.mu.RUnlock()
+	if !knows {
+		t.Fatal("second router loaded state without the interrupted handoff")
+	}
+	if mg.From == "" || mg.To == "" || mg.Err == "" {
+		t.Fatalf("handoff entry lost its shape: %+v", mg)
+	}
+	// Mid-handoff writes are refused by the successor too — the freeze
+	// carried over, so no write could fork the tenant in the gap.
+	resp, err = client.Post(ts2.URL+"/streams/rt-t/ingest", "application/x-ndjson",
+		strings.NewReader(ndjsonBody(tenantPoints(4, 1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("write against inherited handoff: status %d, want 503", resp.StatusCode)
+	}
+
+	if _, err := p2.Rebalance(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	member, inHandoff := p2.route("rt-t")
+	if inHandoff || member != owner {
+		t.Fatalf("after successor rebalance: member=%s inHandoff=%v, want %s settled", member, inHandoff, owner)
+	}
+	count, _ := queryCenters(t, client, ts2.URL, "rt-t")
+	if count != 70 {
+		t.Fatalf("tenant count after completed migration = %d, want 70", count)
+	}
+	// And the write path thaws.
+	ingestRetry(t, client, ts2.URL+"/streams/rt-t/ingest", tenantPoints(5, 5), testDeadline)
+	if count, _ := queryCenters(t, client, ts2.URL, "rt-t"); count != 75 {
+		t.Fatalf("count after thaw = %d, want 75", count)
+	}
+}
+
+// roundTripperFunc adapts a function to http.RoundTripper.
+type roundTripperFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripperFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// TestFanoutTimeout wedges one member — accepts connections, never
+// answers — and checks the merged views degrade to partial results
+// within the per-member fan-out deadline instead of freezing.
+func TestFanoutTimeout(t *testing.T) {
+	a := newTestDaemon(t, "a", 50)
+	release := make(chan struct{})
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hold every request until the test ends
+	}))
+	defer wedged.Close()
+	defer close(release)
+
+	p, err := NewProxy(ProxyConfig{
+		Members: []Member{
+			{Name: "a", URL: a.ts.URL},
+			{Name: "wedge", URL: wedged.URL},
+		},
+		Client:     &http.Client{}, // no client-level timeout: the fan deadline must do it
+		FanTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	ingestRetry(t, client, a.ts.URL+"/streams/fan-t/ingest", tenantPoints(6, 10), testDeadline)
+
+	t0 := time.Now()
+	_, listing := getJSON(t, client, ts.URL+"/streams")
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("merged listing took %v; the wedged member froze the fan-out", elapsed)
+	}
+	if got := fmt.Sprintf("%v", listing["daemons_failed"]); !strings.Contains(got, "wedge") {
+		t.Fatalf("daemons_failed = %v, want wedge reported", got)
+	}
+	if got := int(listing["total"].(float64)); got != 1 {
+		t.Fatalf("partial listing total = %d, want 1", got)
+	}
+	// /stats degrades the same way.
+	t0 = time.Now()
+	_, stats := getJSON(t, client, ts.URL+"/stats")
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("merged stats took %v", elapsed)
+	}
+	if _, ok := stats["daemons"].(map[string]interface{})["wedge"].(map[string]interface{})["error"]; !ok {
+		t.Fatal("wedged member not annotated in merged stats")
+	}
+}
+
+// TestClientCancelNotBadGateway checks the forward() classification fix:
+// a client that hangs up mid-request is accounted as a client cancel,
+// not as a daemon-unreachable proxy error — the distinction that keeps
+// disconnect storms from looking like (or ever becoming) fleet trouble.
+func TestClientCancelNotBadGateway(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-time.After(10 * time.Second):
+		}
+	}))
+	defer slow.Close()
+
+	p, err := NewProxy(ProxyConfig{
+		Members: []Member{{Name: "slow", URL: slow.URL}},
+		Client:  &http.Client{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p.Handler())
+	defer ts.Close()
+
+	// The client gives up after 100ms — long before the daemon answers.
+	impatient := &http.Client{Timeout: 100 * time.Millisecond}
+	if _, err := impatient.Get(ts.URL + "/streams/cc-t/centers"); err == nil {
+		t.Fatal("impatient client unexpectedly got an answer")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := p.Stats()
+		if s.ClientCancels == 1 {
+			if s.ProxyErrors != 0 {
+				t.Fatalf("client cancel also counted as proxy error: %+v", s)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client cancel never recorded: %+v", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,315 @@
+package ring
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"streamkm/internal/trace"
+)
+
+// Prober is the health state machine behind the router's automatic
+// failover: one consecutive-failure counter per member, a threshold, and
+// a down set. It holds no sockets and makes no requests itself — the
+// proxy feeds it probe outcomes — so the flap → threshold → down →
+// recover transitions are testable in isolation. Safe for concurrent
+// use.
+//
+// Transitions are edge-triggered: Observe reports wentDown exactly once
+// when the fail counter crosses the threshold, and wentUp exactly once
+// when a down member probes healthy again. A failure streak shorter than
+// the threshold (a flap) never changes state.
+type Prober struct {
+	mu        sync.Mutex
+	threshold int
+	fails     map[string]int
+	down      map[string]bool
+	lastOK    map[string]int64 // unix nanos of the last healthy probe
+}
+
+// DefaultFailThreshold is how many consecutive probe failures mark a
+// member down when the configuration leaves it zero.
+const DefaultFailThreshold = 3
+
+// NewProber builds a prober; threshold <= 0 selects DefaultFailThreshold.
+func NewProber(threshold int) *Prober {
+	if threshold <= 0 {
+		threshold = DefaultFailThreshold
+	}
+	return &Prober{
+		threshold: threshold,
+		fails:     make(map[string]int),
+		down:      make(map[string]bool),
+		lastOK:    make(map[string]int64),
+	}
+}
+
+// Observe feeds one probe outcome for member, returning whether this
+// observation transitioned the member down or up.
+func (pr *Prober) Observe(member string, ok bool, at time.Time) (wentDown, wentUp bool) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if ok {
+		pr.fails[member] = 0
+		pr.lastOK[member] = at.UnixNano()
+		if pr.down[member] {
+			delete(pr.down, member)
+			return false, true
+		}
+		return false, false
+	}
+	pr.fails[member]++
+	if !pr.down[member] && pr.fails[member] >= pr.threshold {
+		pr.down[member] = true
+		return true, false
+	}
+	return false, false
+}
+
+// Down reports whether member is currently marked down.
+func (pr *Prober) Down(member string) bool {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.down[member]
+}
+
+// DownMembers returns the sorted names currently marked down.
+func (pr *Prober) DownMembers() []string {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	out := make([]string, 0, len(pr.down))
+	for m := range pr.down {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forget drops all state for a member that left the fleet.
+func (pr *Prober) Forget(member string) {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	delete(pr.fails, member)
+	delete(pr.down, member)
+	delete(pr.lastOK, member)
+}
+
+// MemberHealth is one member's probe state, as served under GET /ring
+// and in /stats.
+type MemberHealth struct {
+	Down             bool  `json:"down"`
+	ConsecutiveFails int   `json:"consecutive_fails,omitempty"`
+	LastOKUnix       int64 `json:"last_ok_unix,omitempty"`
+}
+
+// Snapshot captures every known member's probe state.
+func (pr *Prober) Snapshot() map[string]MemberHealth {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	out := make(map[string]MemberHealth)
+	for m, n := range pr.fails {
+		h := out[m]
+		h.ConsecutiveFails = n
+		out[m] = h
+	}
+	for m := range pr.down {
+		h := out[m]
+		h.Down = true
+		out[m] = h
+	}
+	for m, t := range pr.lastOK {
+		h := out[m]
+		h.LastOKUnix = t / 1e9
+		out[m] = h
+	}
+	return out
+}
+
+// ProbeOnce runs one health-probe round: GET /healthz on every member
+// (bounded by the probe timeout), feed the outcomes to the prober, and —
+// for members that just crossed the threshold — fail their tenants over
+// to the standbys. Members that just recovered get a rebalance kick so
+// reconciliation (stale pre-promotion copies, tenants migrating back to
+// their ring owner) happens without an operator. Returns how many
+// members went down and up this round.
+func (p *Proxy) ProbeOnce(ctx context.Context) (downs, ups int) {
+	p.mu.RLock()
+	members := make([]Member, 0, len(p.urls))
+	for n := range p.urls {
+		if p.ring.Has(n) {
+			members = append(members, Member{Name: n, URL: p.urls[n]})
+		}
+	}
+	p.mu.RUnlock()
+
+	type outcome struct {
+		name string
+		ok   bool
+	}
+	results := make([]outcome, len(members))
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m Member) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, p.probeTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(pctx, http.MethodGet, m.URL+"/healthz", nil)
+			ok := false
+			if err == nil {
+				resp, rerr := p.client.Do(req)
+				if rerr == nil {
+					resp.Body.Close()
+					ok = resp.StatusCode == http.StatusOK
+				}
+			}
+			results[i] = outcome{name: m.Name, ok: ok}
+		}(i, m)
+	}
+	wg.Wait()
+
+	now := time.Now()
+	var recovered []string
+	for _, r := range results {
+		wentDown, wentUp := p.prober.Observe(r.name, r.ok, now)
+		switch {
+		case wentDown:
+			downs++
+			p.stats.RecordMemberDown()
+			p.logger.LogAttrs(context.Background(), slog.LevelError, "member probed down",
+				slog.String("member", r.name))
+			p.failover(ctx, r.name)
+		case wentUp:
+			ups++
+			p.stats.RecordMemberUp()
+			p.logger.LogAttrs(context.Background(), slog.LevelInfo, "member recovered",
+				slog.String("member", r.name))
+			recovered = append(recovered, r.name)
+		}
+	}
+	if len(recovered) > 0 {
+		// Reconcile in the background: Rebalance takes its own pass lock
+		// and must not stall the probe loop.
+		go p.Rebalance(context.WithoutCancel(ctx))
+	}
+	return downs, ups
+}
+
+// failover promotes every tenant placed on the dead member onto its
+// standby copy: the tenant enters the write-refusal window (the same
+// handoff freeze a migration uses, so no write can fork it), the standby
+// daemon reattaches its replicated copy, placement repoints, and the old
+// member is recorded in the promoted table so its stale pre-promotion
+// copy is deleted when it comes back. Tenants without a standby (single
+// member fleet, or the first replication pass never ran) stay where they
+// are and keep failing until the member returns. A new standby for the
+// promoted tenant is established by the next replication pass.
+func (p *Proxy) failover(ctx context.Context, dead string) {
+	p.mu.RLock()
+	type job struct{ tenant, standby string }
+	var jobs []job
+	for id, member := range p.placement {
+		if member != dead {
+			continue
+		}
+		if _, mid := p.handoff[id]; mid {
+			continue // already frozen mid-migration; rebalance owns it
+		}
+		rep, ok := p.standbys[id]
+		if !ok || rep.Standby == "" || rep.Standby == dead {
+			continue
+		}
+		jobs = append(jobs, job{tenant: id, standby: rep.Standby})
+	}
+	p.mu.RUnlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].tenant < jobs[j].tenant })
+
+	for _, j := range jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		if p.prober.Down(j.standby) {
+			continue // standby died too; nothing serveable to promote
+		}
+		p.promote(ctx, j.tenant, dead, j.standby)
+	}
+	p.saveState()
+}
+
+// promote fails one tenant over from dead onto its standby.
+func (p *Proxy) promote(ctx context.Context, id, dead, standby string) {
+	url := p.memberURL(standby)
+	if url == "" {
+		return
+	}
+	// Freeze writes first: between here and the placement repoint the
+	// tenant must not accept a write that could land on (or lazily fork
+	// toward) the dead member.
+	p.mu.Lock()
+	p.handoff[id] = migration{From: dead, To: standby}
+	p.mu.Unlock()
+
+	sp := p.tr.StartSpan("promote", trace.TraceID{}, trace.SpanID{})
+	sp.SetStream(id)
+	t0 := time.Now()
+	_, _, err := p.do(trace.NewContext(ctx, sp), http.MethodPost, url+"/streams/"+id+"/reattach", nil)
+	sp.RecordStage("standby-promote", time.Since(t0))
+	sp.SetError(err)
+	data := sp.End()
+	if err != nil {
+		p.stats.RecordPromotion(true)
+		// Keep the freeze: a failed promotion leaves the tenant refusing
+		// writes (retriable) rather than forked. The next probe round (the
+		// member is still down and placement still names it) retries.
+		p.mu.Lock()
+		p.handoff[id] = migration{From: dead, To: standby, Err: err.Error()}
+		p.mu.Unlock()
+		p.logger.LogAttrs(context.Background(), slog.LevelError, "standby promotion failed",
+			slog.String("tenant", id),
+			slog.String("dead", dead),
+			slog.String("standby", standby),
+			slog.String("trace_id", data.TraceID),
+			slog.String("error", err.Error()))
+		return
+	}
+	p.stats.RecordPromotion(false)
+	p.mu.Lock()
+	p.placement[id] = standby
+	delete(p.handoff, id)
+	delete(p.standbys, id)
+	// Remember where the stale pre-promotion copy sits: when that member
+	// recovers, reconciliation deletes its copy before anything else can
+	// mistake the (possibly higher-count) pre-failover state for the
+	// authoritative one. Promotion is authoritative by contract — the
+	// accepted loss is bounded by one replication interval.
+	p.promoted[id] = dead
+	p.mu.Unlock()
+	p.logger.LogAttrs(context.Background(), slog.LevelInfo, "tenant promoted to standby",
+		slog.String("tenant", id),
+		slog.String("dead", dead),
+		slog.String("standby", standby),
+		slog.String("trace_id", data.TraceID))
+}
+
+// StartHealthLoop probes the fleet every interval until ctx is
+// cancelled. The daemon wires this to -health-interval.
+func (p *Proxy) StartHealthLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.ProbeOnce(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

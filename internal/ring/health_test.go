@@ -1,0 +1,136 @@
+package ring
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProberThreshold walks the full state machine: failures below the
+// threshold (a flap) change nothing, the crossing observation reports
+// wentDown exactly once, further failures stay silent, and the first
+// healthy probe reports wentUp exactly once and re-arms the counter.
+func TestProberThreshold(t *testing.T) {
+	pr := NewProber(3)
+	now := time.Now()
+
+	for i := 0; i < 2; i++ {
+		down, up := pr.Observe("a", false, now)
+		if down || up {
+			t.Fatalf("observation %d below threshold: down=%v up=%v", i+1, down, up)
+		}
+		if pr.Down("a") {
+			t.Fatalf("down before threshold at failure %d", i+1)
+		}
+	}
+	down, up := pr.Observe("a", false, now)
+	if !down || up {
+		t.Fatalf("threshold crossing: down=%v up=%v, want down only", down, up)
+	}
+	if !pr.Down("a") {
+		t.Fatal("not marked down after threshold")
+	}
+	// Already down: more failures must not re-report the transition.
+	for i := 0; i < 5; i++ {
+		if down, _ := pr.Observe("a", false, now); down {
+			t.Fatal("wentDown reported twice")
+		}
+	}
+	down, up = pr.Observe("a", true, now)
+	if down || !up {
+		t.Fatalf("recovery: down=%v up=%v, want up only", down, up)
+	}
+	if pr.Down("a") {
+		t.Fatal("still down after recovery")
+	}
+	// Recovery must reset the consecutive counter: two failures are a
+	// flap again, not a continuation of the old streak.
+	pr.Observe("a", false, now)
+	if d, _ := pr.Observe("a", false, now); d {
+		t.Fatal("counter not reset by recovery")
+	}
+}
+
+// TestProberFlapNeverTrips alternates failure and success: consecutive
+// means consecutive, so a flapping member never crosses the threshold.
+func TestProberFlapNeverTrips(t *testing.T) {
+	pr := NewProber(2)
+	now := time.Now()
+	for i := 0; i < 20; i++ {
+		pr.Observe("a", i%2 == 0, now)
+		if pr.Down("a") {
+			t.Fatalf("flapping member marked down at observation %d", i)
+		}
+	}
+}
+
+// TestProberDefaultThreshold checks the zero-value threshold fallback.
+func TestProberDefaultThreshold(t *testing.T) {
+	pr := NewProber(0)
+	now := time.Now()
+	for i := 0; i < DefaultFailThreshold-1; i++ {
+		pr.Observe("a", false, now)
+	}
+	if pr.Down("a") {
+		t.Fatal("down before default threshold")
+	}
+	if down, _ := pr.Observe("a", false, now); !down {
+		t.Fatal("default threshold did not trip")
+	}
+}
+
+// TestProberSnapshotAndForget checks the observability view and member
+// removal.
+func TestProberSnapshotAndForget(t *testing.T) {
+	pr := NewProber(2)
+	now := time.Now()
+	pr.Observe("a", true, now)
+	pr.Observe("b", false, now)
+	pr.Observe("b", false, now)
+
+	snap := pr.Snapshot()
+	if snap["a"].Down || snap["a"].LastOKUnix == 0 {
+		t.Fatalf("healthy member snapshot: %+v", snap["a"])
+	}
+	if !snap["b"].Down || snap["b"].ConsecutiveFails != 2 {
+		t.Fatalf("down member snapshot: %+v", snap["b"])
+	}
+	if got := pr.DownMembers(); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("DownMembers = %v, want [b]", got)
+	}
+
+	pr.Forget("b")
+	if pr.Down("b") {
+		t.Fatal("forgotten member still down")
+	}
+	if _, ok := pr.Snapshot()["b"]; ok {
+		t.Fatal("forgotten member still in snapshot")
+	}
+}
+
+// TestProberConcurrent hammers one prober from many goroutines so the
+// -race build checks the locking; the invariant is only that each
+// member's down transitions alternate (no double wentDown / wentUp).
+func TestProberConcurrent(t *testing.T) {
+	pr := NewProber(3)
+	members := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for _, m := range members {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(m string, g int) {
+				defer wg.Done()
+				now := time.Now()
+				for i := 0; i < 200; i++ {
+					pr.Observe(m, (i+g)%5 != 0, now)
+					pr.Down(m)
+				}
+			}(m, g)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		pr.Snapshot()
+		pr.DownMembers()
+	}
+	wg.Wait()
+}

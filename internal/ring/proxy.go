@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -44,6 +45,22 @@ type ProxyConfig struct {
 	// Logger receives slow-request and migration-failure records; nil
 	// uses slog.Default().
 	Logger *slog.Logger
+	// StatePath, when set, makes the routing table durable: placement,
+	// in-flight handoffs, standby assignments and the promoted table are
+	// written atomically to this file on every placement-affecting
+	// mutation and loaded back on construction. A second router replica
+	// pointed at the same file (or a restarted one) completes another's
+	// interrupted migrations instead of abandoning them.
+	StatePath string
+	// FailThreshold is how many consecutive health-probe failures mark a
+	// member down (0 = DefaultFailThreshold).
+	FailThreshold int
+	// ProbeTimeout bounds each member /healthz probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// FanTimeout bounds each member's leg of a fleet-wide fan-out
+	// (/streams, /stats merges), so one wedged daemon degrades results to
+	// partial instead of freezing them (0 = 10s).
+	FanTimeout time.Duration
 }
 
 // migration is one tenant handoff, in flight or pending retry.
@@ -78,11 +95,24 @@ type Proxy struct {
 	slow   time.Duration
 	logger *slog.Logger
 
+	prober       *Prober
+	probeTimeout time.Duration
+	fanTimeout   time.Duration
+
+	statePath string
+	stateMu   sync.Mutex // serializes state-file writes
+
 	mu        sync.RWMutex
 	ring      *Ring
 	urls      map[string]string    // member name -> base URL (incl. draining members)
 	placement map[string]string    // tenant -> member name last observed holding it
 	handoff   map[string]migration // tenant -> in-flight or pending migration
+	// standbys tracks each tenant's designated standby and how fresh its
+	// replicated copy is; promoted remembers, for each failed-over tenant,
+	// the dead member whose stale pre-promotion copy must be deleted when
+	// it recovers (before count-based reconciliation could prefer it).
+	standbys map[string]ReplicaState
+	promoted map[string]string
 
 	rebalanceMu sync.Mutex // one rebalance pass at a time
 
@@ -123,17 +153,42 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	if logger == nil {
 		logger = slog.Default()
 	}
+	probeTimeout := cfg.ProbeTimeout
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	fanTimeout := cfg.FanTimeout
+	if fanTimeout <= 0 {
+		fanTimeout = 10 * time.Second
+	}
 	p := &Proxy{
-		client:    client,
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
-		ring:      r,
-		urls:      urls,
-		placement: make(map[string]string),
-		handoff:   make(map[string]migration),
-		tr:        tr,
-		slow:      cfg.SlowRequest,
-		logger:    logger,
+		client:       client,
+		mux:          http.NewServeMux(),
+		start:        time.Now(),
+		ring:         r,
+		urls:         urls,
+		placement:    make(map[string]string),
+		handoff:      make(map[string]migration),
+		standbys:     make(map[string]ReplicaState),
+		promoted:     make(map[string]string),
+		prober:       NewProber(cfg.FailThreshold),
+		probeTimeout: probeTimeout,
+		fanTimeout:   fanTimeout,
+		statePath:    cfg.StatePath,
+		tr:           tr,
+		slow:         cfg.SlowRequest,
+		logger:       logger,
+	}
+	if p.statePath != "" {
+		st, found, err := loadState(p.statePath)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if err := p.adoptState(st, cfg.Members); err != nil {
+				return nil, err
+			}
+		}
 	}
 	p.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -196,6 +251,17 @@ func (p *Proxy) route(id string) (member string, inHandoff bool) {
 func isWrite(method string) bool {
 	return method != http.MethodGet && method != http.MethodHead
 }
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// closed the connection before the upstream answered. Go's standard
+// library has no name for it, but it is the de facto code for exactly
+// this classification.
+const statusClientClosedRequest = 499
+
+// maxStandbySeries caps the per-tenant replication-lag gauges on
+// /metrics, mirroring the daemons' tenant-series cap; fleets beyond it
+// keep the aggregate gauges and the full table in /stats JSON.
+const maxStandbySeries = 1024
 
 // handleStream forwards one per-stream request to the member serving the
 // tenant, refusing writes while the tenant is mid-handoff.
@@ -281,6 +347,21 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, member, base
 	resp, err := p.client.Do(out)
 	endHop()
 	if err != nil {
+		// A transport error with the client's own context dead is the
+		// client hanging up, not the daemon failing: the upstream round
+		// trip was aborted from our side. Classifying it as 502 would both
+		// lie to the logs ("daemon unreachable") and inflate the proxy
+		// error rate with failures the fleet never caused, so it gets its
+		// own counter and nginx's 499 convention. It also must never feed
+		// member health — health is probe-only (see ProbeOnce).
+		if cerr := r.Context().Err(); cerr != nil {
+			p.stats.RecordClientCancel()
+			sp.SetStatus(statusClientClosedRequest)
+			writeJSON(w, statusClientClosedRequest, map[string]interface{}{
+				"error": fmt.Sprintf("client closed request: %v", cerr),
+			})
+			return
+		}
 		p.stats.RecordProxied(true)
 		sp.SetError(err)
 		writeJSON(w, http.StatusBadGateway, map[string]interface{}{
@@ -306,18 +387,32 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, id, member, base
 	// handoff completed while this response was in flight, and re-pinning
 	// to the old source would fork the tenant on its next write.
 	if resp.StatusCode < 300 && id != "" {
+		var droppedStandby ReplicaState
+		var dropped bool
 		p.mu.Lock()
 		if _, mid := p.handoff[id]; !mid {
 			cur, pinned := p.placement[id]
 			if !pinned || cur == member {
 				if r.Method == http.MethodDelete && r.URL.Path == "/streams/"+id {
 					delete(p.placement, id)
+					// A deleted tenant's replica copy and promotion record go
+					// with it, or the orphan standby would sit on disk until an
+					// operator noticed and a recovering member would get a
+					// pointless stale-delete.
+					droppedStandby, dropped = p.standbys[id]
+					delete(p.standbys, id)
+					delete(p.promoted, id)
 				} else {
 					p.placement[id] = member
 				}
 			}
 		}
 		p.mu.Unlock()
+		if dropped && droppedStandby.Standby != "" {
+			// Best-effort, off the request path; reconciliation catches any
+			// copy this misses.
+			go p.deleteCopy(context.WithoutCancel(r.Context()), id, droppedStandby.Standby)
+		}
 	}
 	h := w.Header()
 	for k, vs := range resp.Header {
@@ -337,7 +432,17 @@ type memberEntry struct {
 	err  error
 }
 
-// fanGet issues GET {url}+path on every known member concurrently.
+// errMemberDown marks a fan-out leg skipped because the member is
+// currently probed down; it surfaces the member in the merged response's
+// failed list without spending a connection timeout on it.
+var errMemberDown = errors.New("member is down (health probe)")
+
+// fanGet issues GET {url}+path on every known member concurrently. Each
+// leg gets its own deadline (p.fanTimeout) so one wedged daemon — alive
+// at the TCP level but never answering — degrades the merged view to a
+// partial result instead of freezing /streams and /stats for everyone.
+// Members currently probed down are skipped outright and reported as
+// failed.
 func (p *Proxy) fanGet(path string) []memberEntry {
 	p.mu.RLock()
 	members := make([]Member, 0, len(p.urls))
@@ -350,11 +455,22 @@ func (p *Proxy) fanGet(path string) []memberEntry {
 	out := make([]memberEntry, len(members))
 	var wg sync.WaitGroup
 	for i, m := range members {
+		if p.prober.Down(m.Name) {
+			out[i] = memberEntry{name: m.Name, err: errMemberDown}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, m Member) {
 			defer wg.Done()
 			out[i] = memberEntry{name: m.Name}
-			resp, err := p.client.Get(m.URL + path)
+			ctx, cancel := context.WithTimeout(context.Background(), p.fanTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.URL+path, nil)
+			if err != nil {
+				out[i].err = err
+				return
+			}
+			resp, err := p.client.Do(req)
 			if err != nil {
 				out[i].err = err
 				return
@@ -479,6 +595,14 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for id, mg := range p.handoff {
 		handoffs[id] = mg
 	}
+	standbys := make(map[string]ReplicaState, len(p.standbys))
+	for id, rs := range p.standbys {
+		standbys[id] = rs
+	}
+	promoted := make(map[string]string, len(p.promoted))
+	for id, m := range p.promoted {
+		promoted[id] = m
+	}
 	p.mu.RUnlock()
 	sort.Strings(targets)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -486,6 +610,14 @@ func (p *Proxy) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"ring":     ringState,
 			"members":  members,
 			"handoffs": handoffs,
+			// standbys is the replication-lag report: per tenant, where the
+			// standby copy lives, the arrival count it was last shipped at,
+			// and when. health is the probe state machine's view; promoted
+			// lists tenants failed over whose dead ex-owner has not yet been
+			// reconciled.
+			"standbys": standbys,
+			"promoted": promoted,
+			"health":   p.prober.Snapshot(),
 			"stats":    p.stats.Snapshot(),
 			"uptime_s": time.Since(p.start).Seconds(),
 			// metrics_targets is the scrape inventory: every member's
@@ -519,33 +651,77 @@ func (p *Proxy) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	ev.Add(float64(s.Migrations), "event", "migration")
 	ev.Add(float64(s.MigrationErrors), "event", "migration_error")
 	ev.Add(float64(s.StaleCopyDeletes), "event", "stale_copy_delete")
+	ev.Add(float64(s.ClientCancels), "event", "client_cancel")
+	ev.Add(float64(s.Replications), "event", "replication")
+	ev.Add(float64(s.ReplicationErrs), "event", "replication_error")
+	ev.Add(float64(s.Promotions), "event", "promotion")
+	ev.Add(float64(s.PromotionErrs), "event", "promotion_error")
+	ev.Add(float64(s.MemberDowns), "event", "member_down")
+	ev.Add(float64(s.MemberUps), "event", "member_up")
 	e.Histogram("streamkm_router_proxy_latency_seconds",
 		"End-to-end per-stream forwarding latency in seconds (routing + upstream).").
 		Add(p.proxyLatency.Snapshot())
+
+	p.mu.RLock()
+	type lag struct {
+		id string
+		rs ReplicaState
+	}
+	lags := make([]lag, 0, len(p.standbys))
+	for id, rs := range p.standbys {
+		lags = append(lags, lag{id, rs})
+	}
+	p.mu.RUnlock()
+	sort.Slice(lags, func(i, j int) bool { return lags[i].id < lags[j].id })
+	e.Gauge("streamkm_router_members_down", "Members currently marked down by the health prober.").
+		Add(float64(len(p.prober.DownMembers())))
+	e.Gauge("streamkm_router_standbys", "Tenants with a designated standby copy.").
+		Add(float64(len(lags)))
+	if len(lags) > 0 {
+		now := time.Now().Unix()
+		oldest := float64(0)
+		for _, l := range lags {
+			if age := float64(now - l.rs.ShippedUnix); age > oldest {
+				oldest = age
+			}
+		}
+		e.Gauge("streamkm_router_replication_oldest_ship_seconds",
+			"Age of the stalest standby copy — the worst-case failover loss window.").Add(oldest)
+		// Per-tenant lag series, under the same cardinality cap the daemons
+		// apply to tenant series: the tail beyond it stays visible through
+		// the aggregates above and the /stats JSON.
+		count := e.Gauge("streamkm_router_standby_shipped_count",
+			"Arrival count last shipped to the tenant's standby copy.")
+		age := e.Gauge("streamkm_router_standby_age_seconds",
+			"Seconds since the tenant's standby copy was last shipped.")
+		for i, l := range lags {
+			if i >= maxStandbySeries {
+				break
+			}
+			count.Add(float64(l.rs.ShippedCount), "stream", l.id, "standby", l.rs.Standby)
+			age.Add(float64(now-l.rs.ShippedUnix), "stream", l.id, "standby", l.rs.Standby)
+		}
+	}
 	e.Gauge("streamkm_uptime_seconds", "Seconds since process start.").Add(time.Since(p.start).Seconds())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	e.WriteTo(w)
 }
 
-// handleRing reports the serializable ring state plus member addresses
-// and in-flight handoffs — everything another router needs to agree on
-// placement.
+// handleRing reports the full routing table — ring state, member
+// addresses and health, placement, in-flight handoffs, standby
+// assignments and the promoted table: everything another router needs to
+// agree on placement or take over an interrupted migration. With -state
+// configured this is the same data the durable file holds.
 func (p *Proxy) handleRing(w http.ResponseWriter, _ *http.Request) {
-	p.mu.RLock()
-	st := p.ring.State()
-	members := make(map[string]string, len(p.urls))
-	for n, u := range p.urls {
-		members[n] = u
-	}
-	handoffs := make(map[string]migration, len(p.handoff))
-	for id, mg := range p.handoff {
-		handoffs[id] = mg
-	}
-	p.mu.RUnlock()
+	st := p.snapshotState()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"ring":     st,
-		"members":  members,
-		"handoffs": handoffs,
+		"ring":      st.Ring,
+		"members":   st.Members,
+		"placement": st.Placement,
+		"handoffs":  st.Handoffs,
+		"standbys":  st.Standbys,
+		"promoted":  st.Promoted,
+		"health":    p.prober.Snapshot(),
 	})
 }
 

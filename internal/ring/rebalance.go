@@ -66,11 +66,13 @@ func (p *Proxy) UpdateMemberURL(name, url string) error {
 		return fmt.Errorf("ring: member needs both name and url")
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if _, ok := p.urls[name]; !ok {
+		p.mu.Unlock()
 		return fmt.Errorf("%w: %q", errNotMember, name)
 	}
 	p.urls[name] = strings.TrimRight(url, "/")
+	p.mu.Unlock()
+	p.saveState()
 	return nil
 }
 
@@ -98,6 +100,10 @@ type holder struct {
 	member   string
 	count    int64
 	detached bool
+	// standby marks a replication target copy: an intentional duplicate,
+	// never authoritative, never counted as a stale leftover while it
+	// matches the tenant's current standby assignment.
+	standby bool
 }
 
 // Rebalance reconciles actual tenant placement with ring ownership: it
@@ -133,9 +139,10 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			continue
 		}
 		for _, in := range body.Streams {
-			holders[in.ID] = append(holders[in.ID], holder{member: e.name, count: in.Count, detached: in.Detached})
+			holders[in.ID] = append(holders[in.ID], holder{member: e.name, count: in.Count, detached: in.Detached, standby: in.Standby})
 		}
 	}
+	allListed := len(rep.ListFailed) == 0
 	// Tenants with a pending migration whose source daemon could not be
 	// listed still need a retry attempt, so they surface even when absent
 	// from every listing.
@@ -154,6 +161,13 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 	sort.Strings(tenants)
 	rep.Tenants = len(tenants)
 
+	p.mu.RLock()
+	promotedNow := make(map[string]string, len(p.promoted))
+	for id, m := range p.promoted {
+		promotedNow[id] = m
+	}
+	p.mu.RUnlock()
+
 	for _, id := range tenants {
 		if err := ctx.Err(); err != nil {
 			return rep, err
@@ -163,18 +177,93 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			continue // empty ring: nowhere to place anything
 		}
 		hs := holders[id]
-		sort.Slice(hs, func(i, j int) bool {
-			if hs[i].count != hs[j].count {
-				return hs[i].count > hs[j].count
+
+		// A failed-over tenant's pre-promotion copy never enters
+		// authoritative selection: it can out-count the promoted copy by up
+		// to one replication interval, and picking it would silently undo
+		// every write accepted since the promotion. Promotion is
+		// authoritative by contract, so the old copy is dropped from
+		// consideration unconditionally and deleted as soon as its member
+		// answers again.
+		if old, wasPromoted := promotedNow[id]; wasPromoted {
+			staleSeen := false
+			kept := make([]holder, 0, len(hs))
+			for _, h := range hs {
+				if h.member == old {
+					staleSeen = true
+					continue
+				}
+				kept = append(kept, h)
 			}
-			if (hs[i].member == desired) != (hs[j].member == desired) {
-				return hs[i].member == desired
+			hs = kept
+			settled := false
+			if staleSeen && !p.prober.Down(old) {
+				if err := p.deleteCopy(ctx, id, old); err == nil {
+					p.stats.RecordStaleDelete()
+					rep.StaleDeleted = append(rep.StaleDeleted, id+"@"+old)
+					settled = true
+				}
+			} else if !staleSeen && allListed {
+				settled = true // the stale copy is already gone
 			}
-			return hs[i].member < hs[j].member
+			if settled {
+				p.mu.Lock()
+				delete(p.promoted, id)
+				p.mu.Unlock()
+			}
+			if len(hs) == 0 {
+				continue // only the stale copy existed; nothing to place
+			}
+		}
+
+		// Standby replicas are intentional duplicates — never candidates
+		// for the authoritative copy.
+		auths := make([]holder, 0, len(hs))
+		for _, h := range hs {
+			if !h.standby {
+				auths = append(auths, h)
+			}
+		}
+		if len(auths) == 0 {
+			// Every surviving copy is a standby replica: the authoritative
+			// copy is gone (tenant deleted while replication lagged, or a
+			// standby assignment that moved). Orphans are deleted only when
+			// the whole fleet answered the listing — a down owner must not
+			// look like a deleted tenant.
+			if allListed {
+				for _, h := range hs {
+					if p.prober.Down(h.member) {
+						continue
+					}
+					if err := p.deleteCopy(ctx, id, h.member); err == nil {
+						p.stats.RecordStaleDelete()
+						rep.StaleDeleted = append(rep.StaleDeleted, id+"@"+h.member)
+					}
+				}
+				p.mu.Lock()
+				delete(p.standbys, id)
+				p.mu.Unlock()
+			}
+			continue
+		}
+		sort.Slice(auths, func(i, j int) bool {
+			if auths[i].count != auths[j].count {
+				return auths[i].count > auths[j].count
+			}
+			if (auths[i].member == desired) != (auths[j].member == desired) {
+				return auths[i].member == desired
+			}
+			return auths[i].member < auths[j].member
 		})
-		auth := hs[0]
+		auth := auths[0]
 
 		if auth.member != desired {
+			// Migrations through a down endpoint can only burn a timeout and
+			// fail; defer them until the prober sees both sides again.
+			if p.prober.Down(auth.member) || p.prober.Down(desired) {
+				rep.Pending[id] = fmt.Sprintf("deferred: %s or %s is down", auth.member, desired)
+				continue
+			}
 			if err := p.migrate(ctx, id, auth.member, desired, hs); err != nil {
 				rep.Pending[id] = err.Error()
 				continue // keep every copy; retry next pass
@@ -207,9 +296,21 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			delete(p.handoff, id)
 			p.mu.Unlock()
 		}
-		// The owner's copy is confirmed; stale duplicates elsewhere go.
+		// The owner's copy is confirmed; stale duplicates elsewhere go. The
+		// tenant's current standby replica is not stale — it is the failover
+		// copy — but a standby left on some other member (the assignment
+		// moved with the ring) is an orphan.
+		p.mu.RLock()
+		curStandby := p.standbys[id].Standby
+		p.mu.RUnlock()
 		for _, h := range hs {
 			if h.member == desired || h.member == auth.member {
+				continue
+			}
+			if h.standby && h.member == curStandby {
+				continue
+			}
+			if p.prober.Down(h.member) {
 				continue
 			}
 			if err := p.deleteCopy(ctx, id, h.member); err == nil {
@@ -218,10 +319,28 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 			}
 		}
 	}
+	// Entries for tenants no listing knows anymore (deleted fleet-wide)
+	// have nothing left to reconcile; drop them once the whole fleet
+	// answered, so the tables can't grow without bound.
+	if allListed {
+		p.mu.Lock()
+		for id := range p.promoted {
+			if _, ok := holders[id]; !ok {
+				delete(p.promoted, id)
+			}
+		}
+		for id := range p.standbys {
+			if _, ok := holders[id]; !ok {
+				delete(p.standbys, id)
+			}
+		}
+		p.mu.Unlock()
+	}
 	if len(rep.Pending) == 0 {
 		rep.Pending = nil
 	}
 	p.pruneDeparted()
+	p.saveState()
 	return rep, nil
 }
 
@@ -229,7 +348,7 @@ func (p *Proxy) Rebalance(ctx context.Context) (RebalanceReport, error) {
 // ring, holding no tenant placement, no pending handoff from them.
 func (p *Proxy) pruneDeparted() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
+	var pruned []string
 	inUse := make(map[string]bool)
 	for _, m := range p.placement {
 		inUse[m] = true
@@ -238,10 +357,21 @@ func (p *Proxy) pruneDeparted() {
 		inUse[mg.From] = true
 		inUse[mg.To] = true
 	}
+	for _, rs := range p.standbys {
+		inUse[rs.Standby] = true
+	}
+	for _, m := range p.promoted {
+		inUse[m] = true // still owes us a stale-copy delete
+	}
 	for name := range p.urls {
 		if !p.ring.Has(name) && !inUse[name] {
 			delete(p.urls, name)
+			pruned = append(pruned, name)
 		}
+	}
+	p.mu.Unlock()
+	for _, name := range pruned {
+		p.prober.Forget(name)
 	}
 }
 
@@ -304,6 +434,10 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 		}
 		root.SetError(err)
 		root.End()
+		// Persist the failure shape: a frozen-pending handoff entry is
+		// exactly what a successor router must learn about to finish or
+		// unfreeze the tenant.
+		p.saveState()
 		// Partial-migration failures are the hardest incidents to
 		// reconstruct; log every coordinate of the abort as structured
 		// attrs. frozen_pending means even the reattach failed: the
@@ -373,11 +507,16 @@ func (p *Proxy) migrate(ctx context.Context, id, from, to string, hs []holder) e
 	if err != nil {
 		return fail(fmt.Errorf("install on %s: %w", to, err))
 	}
-	// The destination owns the state now; route there and unfreeze.
+	// The destination owns the state now; route there and unfreeze. The
+	// standby assignment is dropped with the move: the old replica may sit
+	// on the member that just became the owner, and the next replication
+	// pass re-designates and re-ships.
 	p.mu.Lock()
 	p.placement[id] = to
 	delete(p.handoff, id)
+	delete(p.standbys, id)
 	p.mu.Unlock()
+	p.saveState()
 	// Best-effort cleanup of the source copy: if it fails, the detach
 	// tombstone keeps the copy refusing traffic and the next rebalance
 	// deletes it as a stale duplicate.

@@ -1,0 +1,158 @@
+package ring
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"streamkm/internal/trace"
+)
+
+// ReplicaState is one tenant's standby assignment and replication lag:
+// which member holds the standby copy, and how far behind the owner that
+// copy was when last shipped. The loss bound on failover is everything
+// the owner accepted after ShippedCount — at most one replication
+// interval of traffic.
+type ReplicaState struct {
+	Standby      string `json:"standby"`
+	ShippedCount int64  `json:"shipped_count"`
+	ShippedUnix  int64  `json:"shipped_unix"`
+}
+
+// ReplicateReport summarizes one replication pass.
+type ReplicateReport struct {
+	Shipped int `json:"shipped"`
+	Failed  int `json:"failed"`
+	Skipped int `json:"skipped"`
+}
+
+// ReplicateOnce runs one asynchronous standby-replication pass: for
+// every placed tenant it designates a standby (the next distinct ring
+// member after the owner that is up), fetches the owner's snapshot, and
+// installs it on the standby in the non-serving standby state. Tenants
+// mid-handoff, tenants on down owners, and tenants with no eligible
+// standby (single-member fleet) are skipped; a standby that moved (ring
+// change) just gets the next ship at the new member, and the old copy is
+// cleaned up as an orphan by reconciliation.
+//
+// Replication is asynchronous by design: it never blocks or slows the
+// ingest path, and the durability it buys is bounded staleness — on
+// failover the promoted copy is at most one replication interval behind.
+func (p *Proxy) ReplicateOnce(ctx context.Context) ReplicateReport {
+	var rep ReplicateReport
+
+	p.mu.RLock()
+	ringNow := p.ring
+	tenants := make([]string, 0, len(p.placement))
+	owners := make(map[string]string, len(p.placement))
+	for id, m := range p.placement {
+		if _, mid := p.handoff[id]; mid {
+			rep.Skipped++
+			continue
+		}
+		tenants = append(tenants, id)
+		owners[id] = m
+	}
+	p.mu.RUnlock()
+	sort.Strings(tenants)
+
+	changed := false
+	for _, id := range tenants {
+		if ctx.Err() != nil {
+			break
+		}
+		owner := owners[id]
+		if p.prober.Down(owner) {
+			rep.Skipped++
+			continue
+		}
+		standby := ""
+		for _, m := range ringNow.Owners(id, ringNow.Len()) {
+			if m != owner && !p.prober.Down(m) && p.memberURL(m) != "" {
+				standby = m
+				break
+			}
+		}
+		if standby == "" {
+			rep.Skipped++
+			continue
+		}
+		if err := p.ship(ctx, id, owner, standby); err != nil {
+			rep.Failed++
+		} else {
+			rep.Shipped++
+		}
+		changed = true
+	}
+	if changed {
+		p.saveState()
+	}
+	return rep
+}
+
+// ship copies one tenant's snapshot from its owner onto its standby.
+func (p *Proxy) ship(ctx context.Context, id, owner, standby string) error {
+	ownerURL, standbyURL := p.memberURL(owner), p.memberURL(standby)
+
+	sp := p.tr.StartSpan("replicate", trace.TraceID{}, trace.SpanID{})
+	sp.SetStream(id)
+	ctx = trace.NewContext(ctx, sp)
+	endShip := sp.StartStage("replicate-ship")
+
+	snap, _, err := p.do(ctx, http.MethodGet, ownerURL+"/streams/"+id+"/snapshot", nil)
+	if err == nil {
+		var raw []byte
+		raw, _, err = p.do(ctx, http.MethodPut,
+			standbyURL+"/streams/"+id+"/standby?owner="+url.QueryEscape(ownerURL), snap)
+		if err == nil {
+			var body struct {
+				Count int64 `json:"count"`
+			}
+			json.Unmarshal(raw, &body)
+			p.mu.Lock()
+			p.standbys[id] = ReplicaState{
+				Standby:      standby,
+				ShippedCount: body.Count,
+				ShippedUnix:  time.Now().Unix(),
+			}
+			p.mu.Unlock()
+		}
+	}
+	endShip()
+	sp.SetError(err)
+	data := sp.End()
+	p.stats.RecordReplication(err != nil)
+	if err != nil {
+		p.logger.LogAttrs(context.Background(), slog.LevelWarn, "standby replication failed",
+			slog.String("tenant", id),
+			slog.String("owner", owner),
+			slog.String("standby", standby),
+			slog.String("trace_id", data.TraceID),
+			slog.String("error", err.Error()))
+	}
+	return err
+}
+
+// StartReplicationLoop ships standby snapshots every interval until ctx
+// is cancelled. The daemon wires this to -replicate-interval.
+func (p *Proxy) StartReplicationLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				p.ReplicateOnce(ctx)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}

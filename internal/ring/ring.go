@@ -33,6 +33,38 @@
 // migration outcome, so a failed handoff names the exact step and trace
 // to pull. ProxyConfig.SlowRequest (the router's -slow-request flag)
 // enables the structured slow-request log.
+//
+// # High availability
+//
+// Three mechanisms turn the router from a migration driver into a
+// failover controller. Asynchronous standby replication (ReplicateOnce,
+// the -replicate-interval loop) designates, for every placed tenant,
+// the next distinct ring member after its owner as a standby, and
+// periodically ships the owner's snapshot there via the daemons'
+// GET snapshot → PUT standby pair; the copy installs detached and
+// flagged standby — refusing every request with 409 + owner hint, and
+// overwritable only by later ships — so a replica can never serve stale
+// answers or fork the tenant. Health-probed membership (Prober,
+// ProbeOnce, the -health-interval loop) GETs every member's /healthz
+// and marks a member down after a configurable run of consecutive
+// failures; down members are skipped by fan-outs and rebalance, and the
+// down transition triggers failover: each dead member's tenants are
+// promoted on their standbys — handoff freeze, reattach, placement
+// repoint — inside the same write-refusal window a migration uses, so
+// promotion can never fork a tenant either. Member health is probe-only:
+// passive forward errors (including client disconnects, counted apart
+// as 499s) never trip it. Promotion is authoritative by contract: the
+// promoted copy may trail the dead owner's by up to one replication
+// interval (the documented loss bound), and the promoted table
+// remembers the old owner so reconciliation deletes its stale,
+// possibly higher-count copy when it returns instead of resurrecting
+// it. Finally, the durable handoff table (-state) persists ring,
+// members, placement, handoffs, standby assignments and promotions to
+// one atomically-written JSON file on every placement-affecting
+// mutation and serves the same under GET /ring — so a restarted router,
+// or a second replica pointed at the same file, knows about a
+// predecessor's in-flight migration and completes (or aborts) it
+// rather than leaving the tenant frozen.
 package ring
 
 import (
@@ -145,6 +177,33 @@ func (r *Ring) Owner(key string) (string, bool) {
 		i = 0
 	}
 	return r.members[r.owner[i]], true
+}
+
+// Owners returns the first n distinct members clockwise from key's ring
+// position — Owners(key, 1)[0] is Owner(key), Owners(key, 2)[1] is the
+// natural standby (the member a replica of key's tenant should live on:
+// it is where ownership falls if the owner leaves the ring). n is capped
+// at the member count; an empty ring returns nil.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.hashes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for scanned := 0; scanned < len(r.hashes) && len(out) < n; scanned++ {
+		vi := (i + scanned) % len(r.hashes)
+		mi := r.owner[vi]
+		if !seen[mi] {
+			seen[mi] = true
+			out = append(out, r.members[mi])
+		}
+	}
+	return out
 }
 
 // Members returns the sorted member names (a copy).

@@ -1,0 +1,152 @@
+package ring
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"time"
+
+	"streamkm/internal/persist"
+)
+
+// RouterState is the durable routing table: everything a restarted
+// router — or a second router replica pointed at the same file — needs
+// to take over without re-deriving placement from scratch or abandoning
+// another router's interrupted migration. It is written atomically
+// (write-to-temp + rename, the same discipline stream checkpoints use)
+// on every placement-affecting mutation: migrations completing or
+// failing, promotions, membership changes, replication passes, and
+// rebalance ends. Per-request traffic pins are deliberately NOT
+// persisted — they are reconstructible from one listing pass and would
+// turn every proxied write into a disk write.
+//
+// The crucial entries are Handoffs: a tenant frozen between detach and
+// install by a router crash stays refusing writes on its source daemon,
+// and only a router that knows the handoff was in flight will reattach
+// or complete it. Loading this file is what lets a successor finish a
+// predecessor's move.
+type RouterState struct {
+	SavedUnix int64                   `json:"saved_unix"`
+	Ring      State                   `json:"ring"`
+	Members   map[string]string       `json:"members"`
+	Placement map[string]string       `json:"placement,omitempty"`
+	Handoffs  map[string]migration    `json:"handoffs,omitempty"`
+	Standbys  map[string]ReplicaState `json:"standbys,omitempty"`
+	Promoted  map[string]string       `json:"promoted,omitempty"`
+}
+
+// snapshotState captures the proxy's durable state under the read lock.
+func (p *Proxy) snapshotState() RouterState {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := RouterState{
+		SavedUnix: time.Now().Unix(),
+		Ring:      p.ring.State(),
+		Members:   make(map[string]string, len(p.urls)),
+		Placement: make(map[string]string, len(p.placement)),
+		Handoffs:  make(map[string]migration, len(p.handoff)),
+		Standbys:  make(map[string]ReplicaState, len(p.standbys)),
+		Promoted:  make(map[string]string, len(p.promoted)),
+	}
+	for n, u := range p.urls {
+		st.Members[n] = u
+	}
+	for id, m := range p.placement {
+		st.Placement[id] = m
+	}
+	for id, mg := range p.handoff {
+		st.Handoffs[id] = mg
+	}
+	for id, r := range p.standbys {
+		st.Standbys[id] = r
+	}
+	for id, m := range p.promoted {
+		st.Promoted[id] = m
+	}
+	return st
+}
+
+// saveState persists the routing table to the configured -state file.
+// No-op without one. Failures are logged, never fatal: the in-memory
+// state stays correct, and the next mutation retries the write.
+func (p *Proxy) saveState() {
+	if p.statePath == "" {
+		return
+	}
+	st := p.snapshotState()
+	// Serialize writers so two concurrent mutations can't interleave
+	// rename order with snapshot order and leave the older state on disk.
+	p.stateMu.Lock()
+	defer p.stateMu.Unlock()
+	_, err := persist.WriteFileAtomic(p.statePath, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st)
+	})
+	if err != nil {
+		p.logger.LogAttrs(context.Background(), slog.LevelError, "router state write failed",
+			slog.String("path", p.statePath),
+			slog.String("error", err.Error()))
+	}
+}
+
+// loadState reads a RouterState file; a missing file is a clean boot.
+func loadState(path string) (RouterState, bool, error) {
+	var st RouterState
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return st, false, nil
+	}
+	if err != nil {
+		return st, false, err
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return st, false, fmt.Errorf("ring: corrupt router state %s: %w", path, err)
+	}
+	return st, true, nil
+}
+
+// adoptState installs a loaded RouterState into a freshly built proxy.
+// The file's ring and tables win over the command line for everything
+// placement-affecting (the file records reality: in-flight handoffs,
+// promotions); cfg.Members only contribute address refreshes and brand
+// new members, which join the ring exactly as a POST /cluster/members
+// would — the next rebalance migrates tenants onto them.
+func (p *Proxy) adoptState(st RouterState, cfgMembers []Member) error {
+	r, err := FromState(st.Ring)
+	if err != nil {
+		return fmt.Errorf("ring: router state: %w", err)
+	}
+	p.ring = r
+	p.urls = make(map[string]string, len(st.Members))
+	for n, u := range st.Members {
+		p.urls[n] = u
+	}
+	for _, m := range cfgMembers {
+		p.urls[m.Name] = strings.TrimRight(m.URL, "/")
+		if !p.ring.Has(m.Name) {
+			nr, err := p.ring.WithMember(m.Name)
+			if err != nil {
+				return err
+			}
+			p.ring = nr
+		}
+	}
+	for id, m := range st.Placement {
+		p.placement[id] = m
+	}
+	for id, mg := range st.Handoffs {
+		p.handoff[id] = mg
+	}
+	for id, rs := range st.Standbys {
+		p.standbys[id] = rs
+	}
+	for id, m := range st.Promoted {
+		p.promoted[id] = m
+	}
+	return nil
+}

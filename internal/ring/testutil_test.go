@@ -95,20 +95,37 @@ func (d *testDaemon) killGraceful(t testing.TB) {
 // newTestProxy wires a router over the daemons and serves it.
 func newTestProxy(t testing.TB, daemons ...*testDaemon) (*Proxy, *httptest.Server) {
 	t.Helper()
+	return newTestProxyCfg(t, ProxyConfig{}, daemons...)
+}
+
+// newTestProxyCfg is newTestProxy with a ProxyConfig override; Members
+// and (when unset) Client are filled in from the daemons.
+func newTestProxyCfg(t testing.TB, cfg ProxyConfig, daemons ...*testDaemon) (*Proxy, *httptest.Server) {
+	t.Helper()
 	members := make([]Member, len(daemons))
 	for i, d := range daemons {
 		members[i] = Member{Name: d.name, URL: d.ts.URL}
 	}
-	p, err := NewProxy(ProxyConfig{
-		Members: members,
-		Client:  &http.Client{Timeout: 10 * time.Second},
-	})
+	cfg.Members = members
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	p, err := NewProxy(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(p.Handler())
 	t.Cleanup(ts.Close)
 	return p, ts
+}
+
+// killHard is the kill -9 path: stop serving instantly with NO final
+// checkpoint — in-memory state the last checkpoint missed is lost, as it
+// would be on a real crash.
+func (d *testDaemon) killHard(t testing.TB) {
+	t.Helper()
+	d.ts.CloseClientConnections()
+	d.ts.Close()
 }
 
 // tenantPoints generates tenant i's well-separated 3-cluster mixture,

@@ -68,8 +68,22 @@
 //	                               echoed as an X-Streamkm-Owner header on
 //	                               those 409s so clients can follow the
 //	                               move.
-//	POST   /streams/{id}/reattach  lift a detach (aborted migration); the
-//	                               stream serves again from its snapshot.
+//	POST   /streams/{id}/reattach  lift a detach (aborted migration) or
+//	                               promote a standby copy; the stream
+//	                               serves again from its snapshot.
+//	PUT    /streams/{id}/standby   install the snapshot envelope in the
+//	                               body as a non-serving standby copy:
+//	                               registered detached — every request
+//	                               409s, with the ?owner= query value as
+//	                               the X-Streamkm-Owner hint — and
+//	                               flagged standby, so a later ship may
+//	                               overwrite it in place (the one install
+//	                               allowed to). The receiving half of the
+//	                               router's asynchronous standby
+//	                               replication; reattach promotes the
+//	                               copy to serving on failover. A ship
+//	                               over an existing non-standby stream
+//	                               (including a promoted copy) is 409.
 //	PUT    /streams/{id}           explicit create with a JSON backend
 //	                               spec {"backend","algo","k","dim",
 //	                               "half_life","half_life_seconds",
@@ -118,7 +132,12 @@
 // sharding: cmd/streamkm-router (internal/ring) consistent-hashes
 // tenants across a fleet of these servers and migrates them with
 // detach → GET snapshot → PUT snapshot → DELETE, refusing writes to a
-// tenant only during its own handoff window.
+// tenant only during its own handoff window. The standby install is the
+// daemon half of automatic failover: the router periodically ships each
+// tenant's snapshot onto another member as a standby copy, and when
+// health probes declare the owner dead, promotes the copy with one
+// reattach — the stream loses at most one replication interval of
+// arrivals.
 //
 // Each stream adopts the dimension of its first ingested point (unless
 // configured); subsequent mismatches are rejected with 400 before

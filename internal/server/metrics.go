@@ -81,6 +81,7 @@ func (m *Multi) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	ev.Add(float64(lf.Evictions), "event", "eviction")
 	ev.Add(float64(lf.EvictFailures), "event", "evict_failure")
 	ev.Add(float64(lf.Restores), "event", "restore")
+	ev.Add(float64(lf.StandbyInstalls), "event", "standby_install")
 	ev.Add(float64(lf.Throttled), "event", "throttle")
 	ev.Add(float64(lf.Shed), "event", "shed")
 	ev.Add(float64(lf.Sweeps), "event", "sweep")

@@ -61,8 +61,13 @@ type Multi struct {
 	// Per-tenant ingest/query accounting behind the /metrics per-stream
 	// series. The map is capped at maxTenantSeries streams; beyond that,
 	// new streams account under the "_other" overflow bucket so a tenant
-	// spray cannot turn the exposition into a cardinality bomb.
+	// spray cannot turn the exposition into a cardinality bomb. Series
+	// are pruned when their stream is deleted or departs via detach, so
+	// the cap counts live tenants, not every id ever seen. tenantMu
+	// serializes slot creation and pruning (lookups stay lock-free); the
+	// count is atomic so the fast path can read it without the lock.
 	tenants     sync.Map // stream id -> *tenantStats
+	tenantMu    sync.Mutex
 	tenantCount atomic.Int64
 	tenantOther tenantStats
 
@@ -84,19 +89,40 @@ const maxTenantSeries = 1024
 // reached.
 const tenantOverflow = "_other"
 
-// tenantFor resolves the accounting slot for a stream id.
+// tenantFor resolves the accounting slot for a stream id. Slot creation
+// runs under tenantMu: a bare check-then-LoadOrStore would let N racing
+// first requests all pass the cap check and overshoot maxTenantSeries by
+// up to GOMAXPROCS-1 series.
 func (m *Multi) tenantFor(id string) *tenantStats {
+	if v, ok := m.tenants.Load(id); ok {
+		return v.(*tenantStats)
+	}
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
 	if v, ok := m.tenants.Load(id); ok {
 		return v.(*tenantStats)
 	}
 	if m.tenantCount.Load() >= maxTenantSeries {
 		return &m.tenantOther
 	}
-	v, loaded := m.tenants.LoadOrStore(id, &tenantStats{})
-	if !loaded {
-		m.tenantCount.Add(1)
+	t := &tenantStats{}
+	m.tenants.Store(id, t)
+	m.tenantCount.Add(1)
+	return t
+}
+
+// pruneTenant drops a stream's metrics series when the stream leaves the
+// daemon (DELETE, or departure via detach), freeing its slot under the
+// series cap. Without this the cap counted every id ever seen, and after
+// 1024 distinct ids every new tenant folded into "_other" forever, even
+// with only a handful live.
+func (m *Multi) pruneTenant(id string) {
+	m.tenantMu.Lock()
+	defer m.tenantMu.Unlock()
+	if _, ok := m.tenants.Load(id); ok {
+		m.tenants.Delete(id)
+		m.tenantCount.Add(-1)
 	}
-	return v.(*tenantStats)
 }
 
 // tenantRecord wraps a per-stream handler with per-tenant accounting in
@@ -140,6 +166,7 @@ func NewMulti(reg *registry.Registry, cfg MultiConfig) *Multi {
 	m.mux.Handle("GET /streams/{id}/snapshot", m.observe("snapshot", &m.snapshotStats, m.byID(m.handleSnapshotGet)))
 	m.mux.Handle("POST /streams/{id}/snapshot", m.observe("snapshot", &m.snapshotStats, m.byID(m.handleSnapshotPost)))
 	m.mux.Handle("PUT /streams/{id}/snapshot", m.observe("install", &m.snapshotStats, m.byID(m.handleSnapshotInstall)))
+	m.mux.Handle("PUT /streams/{id}/standby", m.observe("standby", &m.snapshotStats, m.byID(m.handleStandbyInstall)))
 	m.mux.Handle("POST /streams/{id}/detach", m.observe("detach", &m.adminStats, m.byID(m.handleDetach)))
 	m.mux.Handle("POST /streams/{id}/reattach", m.observe("reattach", &m.adminStats, m.byID(m.handleReattach)))
 	m.mux.Handle("PUT /streams/{id}", m.observe("create", &m.adminStats, m.byID(m.handleCreate)))
@@ -555,6 +582,10 @@ func (m *Multi) handleDetach(id string, w http.ResponseWriter, r *http.Request) 
 		writeErr(w, err)
 		return 0, true
 	}
+	// The tenant is departing; free its per-stream metrics slot. An
+	// aborted migration (reattach) simply re-registers the series on the
+	// tenant's next request.
+	m.pruneTenant(id)
 	in, _ := m.reg.Stat(id)
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"stream":   id,
@@ -607,6 +638,43 @@ func (m *Multi) handleSnapshotInstall(id string, w http.ResponseWriter, r *http.
 	return 1, false
 }
 
+// handleStandbyInstall accepts a replication ship: the request body is a
+// snapshot envelope installed (or refreshed — unlike PUT snapshot, a
+// re-ship over an existing standby copy succeeds) in the standby state:
+// registered, detached, refusing every read and write with 409 + an
+// X-Streamkm-Owner hint naming where the live copy serves (?owner=...).
+// POST /streams/{id}/reattach promotes the standby into a serving
+// tenant — the failover path. 409 when the id is live here (replication
+// never clobbers a serving tenant), 400 for an envelope that fails
+// validation.
+func (m *Multi) handleStandbyInstall(id string, w http.ResponseWriter, r *http.Request) (int64, bool) {
+	owner := r.URL.Query().Get("owner")
+	body := limitBody(w, r, m.cfg.MaxBodyBytes)
+	count, err := m.reg.InstallStandby(id, body, owner)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]interface{}{
+				"error": fmt.Sprintf("snapshot exceeds %d bytes", mbe.Limit),
+			})
+			return 0, true
+		}
+		status := statusFor(err)
+		if status == http.StatusInternalServerError {
+			status = http.StatusBadRequest
+		}
+		writeJSON(w, status, map[string]interface{}{"error": err.Error()})
+		return 0, true
+	}
+	writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"stream":  id,
+		"standby": true,
+		"count":   count,
+		"owner":   owner,
+	})
+	return 1, false
+}
+
 // handleCreate registers a stream with an explicit configuration — a
 // backend spec like {"backend":"windowed","algo":"CC","k":10,"dim":0,
 // "window_n":100000} (or "backend":"decayed" with "half_life") — every
@@ -637,12 +705,14 @@ func (m *Multi) handleCreate(id string, w http.ResponseWriter, r *http.Request) 
 	return 1, false
 }
 
-// handleDelete removes a stream and its on-disk snapshot.
+// handleDelete removes a stream and its on-disk snapshot, and frees the
+// stream's per-tenant metrics slot.
 func (m *Multi) handleDelete(id string, w http.ResponseWriter, _ *http.Request) (int64, bool) {
 	if err := m.reg.Delete(id); err != nil {
 		writeErr(w, err)
 		return 0, true
 	}
+	m.pruneTenant(id)
 	writeJSON(w, http.StatusOK, map[string]interface{}{"deleted": id})
 	return 1, false
 }

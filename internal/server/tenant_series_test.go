@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"streamkm/internal/registry"
+)
+
+// TestTenantSeriesChurnPastCap is the regression test for the metrics
+// series leak: the per-tenant series cap must count LIVE tenants, not
+// every id ever seen. Before the fix, churning more than maxTenantSeries
+// distinct ids through the daemon — create, traffic, delete — left every
+// slot occupied forever, so all later tenants folded into "_other" even
+// with zero live streams. Now DELETE (and detach) prune the series, so a
+// fresh tenant after heavy churn still gets its own labelled series.
+func TestTenantSeriesChurnPastCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churns past the 1024-series cap; slow")
+	}
+	ts, m := newMultiServer(t, registry.Config{DataDir: t.TempDir(), MaxResident: 4}, MultiConfig{})
+	client := ts.Client()
+	body := "[1,2]\n[3,4]\n"
+
+	churn := maxTenantSeries + 50
+	for i := 0; i < churn; i++ {
+		id := fmt.Sprintf("churn-%d", i)
+		resp, err := client.Post(ts.URL+"/streams/"+id+"/ingest", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", id, resp.StatusCode)
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/streams/"+id, nil)
+		resp, err = client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("delete %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	if n := m.tenantCount.Load(); n != 0 {
+		t.Fatalf("tenantCount after full churn = %d, want 0 (series leaked)", n)
+	}
+
+	// The tell-tale symptom of the leak: a brand-new tenant folding into
+	// the overflow bucket despite an empty daemon.
+	resp, err := client.Post(ts.URL+"/streams/fresh-after-churn/ingest", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-churn ingest: status %d", resp.StatusCode)
+	}
+	if got := m.tenantFor("fresh-after-churn"); got == &m.tenantOther {
+		t.Fatal("fresh tenant folded into _other after churn — series not pruned")
+	}
+	mresp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(raw), `stream="fresh-after-churn"`) {
+		t.Fatal("fresh tenant has no labelled series in /metrics after churn")
+	}
+}
+
+// TestTenantSeriesCreateRace exercises the tenantFor fast-path/create
+// split under -race: N goroutines racing to create the same id must
+// produce exactly one slot (the old check-then-LoadOrStore overshot the
+// cap by up to GOMAXPROCS-1 slots when first requests raced).
+func TestTenantSeriesCreateRace(t *testing.T) {
+	_, m := newMultiServer(t, registry.Config{}, MultiConfig{})
+
+	const goroutines = 32
+	const ids = 20
+	var wg sync.WaitGroup
+	slots := make([][]interface{}, ids)
+	for i := range slots {
+		slots[i] = make([]interface{}, goroutines)
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ids; i++ {
+				slots[i][g] = m.tenantFor(fmt.Sprintf("race-%d", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if n := m.tenantCount.Load(); n != ids {
+		t.Fatalf("tenantCount = %d after racing %d ids, want exactly %d", n, ids, ids)
+	}
+	for i := range slots {
+		for g := 1; g < goroutines; g++ {
+			if slots[i][g] != slots[i][0] {
+				t.Fatalf("id race-%d resolved to two different slots", i)
+			}
+		}
+	}
+
+	// Concurrent create/prune of the same id must never drive the count
+	// negative or leave a phantom slot.
+	var cp sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		cp.Add(1)
+		go func() {
+			defer cp.Done()
+			for i := 0; i < 100; i++ {
+				m.tenantFor("flapper")
+				m.pruneTenant("flapper")
+			}
+		}()
+	}
+	cp.Wait()
+	m.pruneTenant("flapper")
+	if n := m.tenantCount.Load(); n != ids {
+		t.Fatalf("tenantCount after create/prune storm = %d, want %d", n, ids)
+	}
+}
